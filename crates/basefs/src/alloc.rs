@@ -1,0 +1,210 @@
+//! Inode and data-block allocators.
+//!
+//! In-memory bitmaps with rotating allocation hints (next-fit), the
+//! performance-oriented policy; every mutation also updates the bitmap's
+//! backing block in the page cache (as dirty metadata) so the journal
+//! commit picks it up. The shadow, by contrast, re-derives allocation
+//! state from disk with no hints at all.
+
+use crate::pagecache::{PageCache, PageClass};
+use rae_fsformat::bitmap::Bitmap;
+use rae_fsformat::Geometry;
+use rae_vfs::{FsError, FsResult, InodeNo};
+
+#[derive(Debug)]
+pub(crate) struct Allocators {
+    geo: Geometry,
+    ibm: Bitmap,
+    dbm: Bitmap,
+    ino_hint: u64,
+    blk_hint: u64,
+    pub(crate) free_inodes: u32,
+    pub(crate) free_blocks: u64,
+}
+
+impl Allocators {
+    /// Load both bitmaps from the page cache (i.e. from disk or from
+    /// absorbed recovery images).
+    pub(crate) fn load(geo: Geometry, pages: &PageCache) -> FsResult<Allocators> {
+        let mut ibm = Bitmap::new(u64::from(geo.inode_count));
+        for i in 0..geo.inode_bitmap_blocks {
+            let img = pages.read(geo.inode_bitmap_start + i, PageClass::Meta)?;
+            ibm.splice_block(i, &img)?;
+        }
+        let mut dbm = Bitmap::new(geo.data_blocks);
+        for i in 0..geo.data_bitmap_blocks {
+            let img = pages.read(geo.data_bitmap_start + i, PageClass::Meta)?;
+            dbm.splice_block(i, &img)?;
+        }
+        ibm.validate_tail()?;
+        dbm.validate_tail()?;
+        let free_inodes =
+            u32::try_from(u64::from(geo.inode_count) - ibm.count_set()).map_err(|_| {
+                FsError::Corrupted {
+                    detail: "inode bitmap count overflow".to_string(),
+                }
+            })?;
+        let free_blocks = dbm.count_clear();
+        Ok(Allocators {
+            geo,
+            ibm,
+            dbm,
+            ino_hint: 1,
+            blk_hint: 0,
+            free_inodes,
+            free_blocks,
+        })
+    }
+
+    fn flush_ibm_block(&self, pages: &PageCache, bit: u64) -> FsResult<()> {
+        let blk = Bitmap::block_containing(bit);
+        pages.write(
+            self.geo.inode_bitmap_start + blk,
+            self.ibm.block_image(blk).to_vec(),
+            PageClass::Meta,
+        )
+    }
+
+    fn flush_dbm_block(&self, pages: &PageCache, bit: u64) -> FsResult<()> {
+        let blk = Bitmap::block_containing(bit);
+        pages.write(
+            self.geo.data_bitmap_start + blk,
+            self.dbm.block_image(blk).to_vec(),
+            PageClass::Meta,
+        )
+    }
+
+    /// Allocate an inode number (next-fit from the rotating hint).
+    pub(crate) fn alloc_ino(&mut self, pages: &PageCache) -> FsResult<InodeNo> {
+        let bit = self.ibm.find_free_from(self.ino_hint).ok_or(FsError::NoInodes)?;
+        if bit == 0 {
+            // bit 0 is the reserved null inode; it is always set, so
+            // find_free_from can never legitimately return it
+            return Err(FsError::Corrupted {
+                detail: "inode bitmap lost the reserved null bit".to_string(),
+            });
+        }
+        let prev = self.ibm.set(bit)?;
+        debug_assert!(!prev);
+        self.ino_hint = (bit + 1) % u64::from(self.geo.inode_count);
+        self.free_inodes -= 1;
+        self.flush_ibm_block(pages, bit)?;
+        Ok(InodeNo(u32::try_from(bit).expect("inode_count fits u32")))
+    }
+
+    /// Free an inode number.
+    pub(crate) fn free_ino(&mut self, pages: &PageCache, ino: InodeNo) -> FsResult<()> {
+        let prev = self.ibm.clear(u64::from(ino.0))?;
+        if !prev {
+            return Err(FsError::Internal {
+                detail: format!("double free of {ino}"),
+            });
+        }
+        self.free_inodes += 1;
+        self.flush_ibm_block(pages, u64::from(ino.0))
+    }
+
+    /// Whether `ino` is currently allocated.
+    pub(crate) fn ino_allocated(&self, ino: InodeNo) -> FsResult<bool> {
+        self.ibm.test(u64::from(ino.0))
+    }
+
+    /// Allocate a data block, returning its absolute block number.
+    pub(crate) fn alloc_block(&mut self, pages: &PageCache) -> FsResult<u64> {
+        let bit = self.dbm.find_free_from(self.blk_hint).ok_or(FsError::NoSpace)?;
+        let prev = self.dbm.set(bit)?;
+        debug_assert!(!prev);
+        self.blk_hint = (bit + 1) % self.geo.data_blocks;
+        self.free_blocks -= 1;
+        self.flush_dbm_block(pages, bit)?;
+        Ok(self.geo.data_block(bit))
+    }
+
+    /// Free a data block by absolute block number.
+    pub(crate) fn free_block(&mut self, pages: &PageCache, bno: u64) -> FsResult<()> {
+        let bit = self.geo.data_index(bno)?;
+        let prev = self.dbm.clear(bit)?;
+        if !prev {
+            return Err(FsError::Internal {
+                detail: format!("double free of block {bno}"),
+            });
+        }
+        self.free_blocks += 1;
+        self.flush_dbm_block(pages, bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_blockdev::{MemDisk, QueueConfig};
+    use rae_fsformat::{mkfs, MkfsParams};
+    use std::sync::Arc;
+
+    fn setup() -> (Geometry, PageCache) {
+        let dev = Arc::new(MemDisk::new(4096));
+        let geo = mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+        let pages = PageCache::new(dev, 512, QueueConfig::default());
+        (geo, pages)
+    }
+
+    #[test]
+    fn load_fresh_counts() {
+        let (geo, pages) = setup();
+        let alloc = Allocators::load(geo, &pages).unwrap();
+        assert_eq!(alloc.free_inodes, geo.inode_count - 2);
+        assert_eq!(alloc.free_blocks, geo.data_blocks);
+        assert!(alloc.ino_allocated(InodeNo(1)).unwrap());
+        assert!(!alloc.ino_allocated(InodeNo(2)).unwrap());
+    }
+
+    #[test]
+    fn ino_alloc_free_cycle() {
+        let (geo, pages) = setup();
+        let mut alloc = Allocators::load(geo, &pages).unwrap();
+        let a = alloc.alloc_ino(&pages).unwrap();
+        let b = alloc.alloc_ino(&pages).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(alloc.free_inodes, geo.inode_count - 4);
+        alloc.free_ino(&pages, a).unwrap();
+        assert_eq!(alloc.free_inodes, geo.inode_count - 3);
+        assert!(matches!(
+            alloc.free_ino(&pages, a),
+            Err(FsError::Internal { .. })
+        ));
+    }
+
+    #[test]
+    fn hint_rotates() {
+        let (geo, pages) = setup();
+        let mut alloc = Allocators::load(geo, &pages).unwrap();
+        let a = alloc.alloc_ino(&pages).unwrap();
+        alloc.free_ino(&pages, a).unwrap();
+        let b = alloc.alloc_ino(&pages).unwrap();
+        assert_ne!(a, b, "next-fit hint does not immediately reuse");
+    }
+
+    #[test]
+    fn block_alloc_updates_cache_image() {
+        let (geo, pages) = setup();
+        let mut alloc = Allocators::load(geo, &pages).unwrap();
+        let b = alloc.alloc_block(&pages).unwrap();
+        assert!(geo.is_data_block(b));
+        // the bitmap block in the page cache is dirty meta now
+        assert!(pages.dirty_meta_count() >= 1);
+        // reloading from the cache sees the allocation
+        let alloc2 = Allocators::load(geo, &pages).unwrap();
+        assert_eq!(alloc2.free_blocks, geo.data_blocks - 1);
+    }
+
+    #[test]
+    fn exhaustion_reports_nospace() {
+        let (geo, pages) = setup();
+        let mut alloc = Allocators::load(geo, &pages).unwrap();
+        for _ in 0..geo.data_blocks {
+            alloc.alloc_block(&pages).unwrap();
+        }
+        assert_eq!(alloc.alloc_block(&pages), Err(FsError::NoSpace));
+        assert_eq!(alloc.free_blocks, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The dentry cache: `(parent inode, component name) -> child inode`.
+//!
+//! Hot path lookups skip directory-block scanning entirely. Negative
+//! entries are not cached (a deliberate simplification — negative
+//! dentries are a classic bug source the shadow does without, and the
+//! base keeps its cache coherent more easily this way).
+
+use rae_vfs::InodeNo;
+use std::collections::{HashMap, VecDeque};
+
+/// A capacity-bounded dentry cache with LRU eviction (lazy-queue).
+#[derive(Debug)]
+pub(crate) struct DentryCache {
+    map: HashMap<(InodeNo, String), (InodeNo, u64)>,
+    lru: VecDeque<(InodeNo, String, u64)>,
+    capacity: usize,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl DentryCache {
+    pub(crate) fn new(capacity: usize) -> DentryCache {
+        DentryCache {
+            map: HashMap::new(),
+            lru: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub(crate) fn lookup(&mut self, parent: InodeNo, name: &str) -> Option<InodeNo> {
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        // borrow dance: compute hit first
+        let hit = self.map.get_mut(&(parent, name.to_string()));
+        match hit {
+            Some((ino, s)) => {
+                *s = stamp;
+                let ino = *ino;
+                self.lru.push_back((parent, name.to_string(), stamp));
+                self.hits += 1;
+                Some(ino)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&mut self, parent: InodeNo, name: &str, child: InodeNo) {
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        self.map.insert((parent, name.to_string()), (child, stamp));
+        self.lru.push_back((parent, name.to_string(), stamp));
+        while self.map.len() > self.capacity {
+            let Some((p, n, s)) = self.lru.pop_front() else {
+                break;
+            };
+            if let Some(&(_, cur)) = self.map.get(&(p, n.clone())) {
+                if cur == s {
+                    self.map.remove(&(p, n));
+                }
+            }
+        }
+    }
+
+    /// Invalidate one entry (unlink/rmdir/rename source or target).
+    pub(crate) fn invalidate(&mut self, parent: InodeNo, name: &str) {
+        self.map.remove(&(parent, name.to_string()));
+    }
+
+    /// Drop everything (contained reboot).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_invalidate() {
+        let mut dc = DentryCache::new(8);
+        dc.insert(InodeNo(1), "a", InodeNo(2));
+        assert_eq!(dc.lookup(InodeNo(1), "a"), Some(InodeNo(2)));
+        assert_eq!(dc.lookup(InodeNo(1), "b"), None);
+        assert_eq!(dc.lookup(InodeNo(2), "a"), None);
+        dc.invalidate(InodeNo(1), "a");
+        assert_eq!(dc.lookup(InodeNo(1), "a"), None);
+        assert_eq!(dc.hits(), 1);
+        assert_eq!(dc.misses(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut dc = DentryCache::new(2);
+        dc.insert(InodeNo(1), "a", InodeNo(2));
+        dc.insert(InodeNo(1), "b", InodeNo(3));
+        let _ = dc.lookup(InodeNo(1), "a"); // touch a
+        dc.insert(InodeNo(1), "c", InodeNo(4)); // evicts b
+        assert_eq!(dc.len(), 2);
+        assert_eq!(dc.lookup(InodeNo(1), "a"), Some(InodeNo(2)));
+        assert_eq!(dc.lookup(InodeNo(1), "b"), None);
+        assert_eq!(dc.lookup(InodeNo(1), "c"), Some(InodeNo(4)));
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let mut dc = DentryCache::new(4);
+        dc.insert(InodeNo(1), "a", InodeNo(2));
+        dc.insert(InodeNo(1), "a", InodeNo(9));
+        assert_eq!(dc.lookup(InodeNo(1), "a"), Some(InodeNo(9)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut dc = DentryCache::new(4);
+        dc.insert(InodeNo(1), "a", InodeNo(2));
+        dc.clear();
+        assert_eq!(dc.lookup(InodeNo(1), "a"), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! The file-descriptor table.
+//!
+//! Descriptor numbering is part of the application-visible state RAE
+//! must reconstruct ("file descriptor numbers must be identical to the
+//! applications for completed operations"), so allocation follows the
+//! spec exactly: lowest free number from [`rae_vfs::FIRST_FD`].
+
+use rae_vfs::{Fd, FsError, FsResult, InodeNo, OpenFlags, FIRST_FD, MAX_OPEN_FILES};
+use std::collections::BTreeMap;
+
+/// One open descriptor. The opening path is retained for diagnostics
+/// and fault-trigger contexts (it is not used for resolution — the
+/// inode is authoritative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FdEntry {
+    pub(crate) ino: InodeNo,
+    pub(crate) flags: OpenFlags,
+    pub(crate) path: String,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct FdTable {
+    map: BTreeMap<Fd, FdEntry>,
+}
+
+impl FdTable {
+    pub(crate) fn new() -> FdTable {
+        FdTable::default()
+    }
+
+    /// Allocate the lowest free descriptor for `ino`.
+    pub(crate) fn alloc(&mut self, ino: InodeNo, flags: OpenFlags, path: &str) -> FsResult<Fd> {
+        if self.map.len() >= MAX_OPEN_FILES {
+            return Err(FsError::TooManyOpenFiles);
+        }
+        let mut candidate = FIRST_FD;
+        for &fd in self.map.keys() {
+            if fd.0 > candidate {
+                break;
+            }
+            if fd.0 >= candidate {
+                candidate = fd.0 + 1;
+            }
+        }
+        let fd = Fd(candidate);
+        self.map.insert(
+            fd,
+            FdEntry {
+                ino,
+                flags,
+                path: path.to_string(),
+            },
+        );
+        Ok(fd)
+    }
+
+    /// Install a specific descriptor (recovery hand-off path).
+    pub(crate) fn install(
+        &mut self,
+        fd: Fd,
+        ino: InodeNo,
+        flags: OpenFlags,
+        path: &str,
+    ) -> FsResult<()> {
+        if self.map.contains_key(&fd) {
+            return Err(FsError::Internal {
+                detail: format!("descriptor {fd} installed twice"),
+            });
+        }
+        self.map.insert(
+            fd,
+            FdEntry {
+                ino,
+                flags,
+                path: path.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    pub(crate) fn get(&self, fd: Fd) -> FsResult<FdEntry> {
+        self.map.get(&fd).cloned().ok_or(FsError::BadFd)
+    }
+
+    pub(crate) fn close(&mut self, fd: Fd) -> FsResult<FdEntry> {
+        self.map.remove(&fd).ok_or(FsError::BadFd)
+    }
+
+    pub(crate) fn has_open(&self, ino: InodeNo) -> bool {
+        self.map.values().any(|e| e.ino == ino)
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// All open descriptors, in descriptor order.
+    pub(crate) fn entries(&self) -> Vec<(Fd, FdEntry)> {
+        self.map.iter().map(|(&fd, e)| (fd, e.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_free_allocation() {
+        let mut t = FdTable::new();
+        let a = t.alloc(InodeNo(2), OpenFlags::RDONLY, "/a").unwrap();
+        let b = t.alloc(InodeNo(3), OpenFlags::RDONLY, "/b").unwrap();
+        assert_eq!((a, b), (Fd(FIRST_FD), Fd(FIRST_FD + 1)));
+        t.close(a).unwrap();
+        let c = t.alloc(InodeNo(4), OpenFlags::RDONLY, "/c").unwrap();
+        assert_eq!(c, Fd(FIRST_FD));
+        assert_eq!(t.get(c).unwrap().path, "/c");
+    }
+
+    #[test]
+    fn install_specific_descriptor() {
+        let mut t = FdTable::new();
+        t.install(Fd(7), InodeNo(5), OpenFlags::RDWR, "/x").unwrap();
+        assert_eq!(t.get(Fd(7)).unwrap().ino, InodeNo(5));
+        assert!(t.install(Fd(7), InodeNo(6), OpenFlags::RDWR, "/y").is_err());
+        // allocation skips over installed descriptors
+        for expect in [3, 4, 5, 6, 8] {
+            let fd = t.alloc(InodeNo(9), OpenFlags::RDONLY, "/z").unwrap();
+            assert_eq!(fd, Fd(expect));
+        }
+    }
+
+    #[test]
+    fn open_tracking() {
+        let mut t = FdTable::new();
+        let fd = t.alloc(InodeNo(2), OpenFlags::RDONLY, "/a").unwrap();
+        assert!(t.has_open(InodeNo(2)));
+        assert!(!t.has_open(InodeNo(3)));
+        t.close(fd).unwrap();
+        assert!(!t.has_open(InodeNo(2)));
+        assert_eq!(t.close(fd), Err(FsError::BadFd));
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut t = FdTable::new();
+        for _ in 0..MAX_OPEN_FILES {
+            t.alloc(InodeNo(2), OpenFlags::RDONLY, "/a").unwrap();
+        }
+        assert_eq!(
+            t.alloc(InodeNo(2), OpenFlags::RDONLY, "/a"),
+            Err(FsError::TooManyOpenFiles)
+        );
+        assert_eq!(t.len(), MAX_OPEN_FILES);
+    }
+}

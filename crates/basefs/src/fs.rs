@@ -1,0 +1,1743 @@
+//! The `BaseFs` type: lifecycle, internal machinery, and the
+//! [`FileSystem`] implementation.
+
+use crate::alloc::Allocators;
+use crate::dentry::DentryCache;
+use crate::fdtable::FdTable;
+use crate::jmgr::JournalMgr;
+use crate::pagecache::{CacheStats, PageCache, PageClass};
+use parking_lot::Mutex;
+use rae_blockdev::{BlockDevice, QueueConfig, BLOCK_SIZE};
+use rae_faults::{FaultAction, FaultRegistry, OpContext, Site};
+use rae_fsformat::dirent::DirBlock;
+use rae_fsformat::inode::{
+    locate_block, BlockPtrLoc, DiskInode, INODES_PER_BLOCK, INODE_SIZE, PTRS_PER_BLOCK,
+};
+use rae_fsformat::journal::{self, ReplayReport};
+use rae_fsformat::{Geometry, MountState, RecoveryDelta, Superblock};
+use rae_vfs::{
+    split_parent, split_path, DirEntry, Fd, FileStat, FileSystem, FileType, FsError,
+    FsGeometryInfo, FsResult, InodeNo, OpCounters, OpKind, OpenFlags, SetAttr, MAX_FILE_SIZE,
+    MAX_LINKS, ROOT_INO,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of a [`BaseFs`] instance.
+#[derive(Debug, Clone)]
+pub struct BaseFsConfig {
+    /// Page-cache capacity in blocks.
+    pub page_cache_blocks: usize,
+    /// Dentry-cache capacity in entries.
+    pub dentry_cache_entries: usize,
+    /// Write-back queue configuration.
+    pub queue: QueueConfig,
+    /// Fault registry consulted by the bug hooks (empty = no faults).
+    pub faults: FaultRegistry,
+    /// Commit the running transaction when this many dirty metadata
+    /// pages accumulate (bounds journal transaction size).
+    pub max_dirty_meta: usize,
+    /// Validate metadata images before each journal commit
+    /// (validate-on-sync: the paper's fault-model assumption that
+    /// errors are detected before being persisted to disk).
+    pub validate_on_commit: bool,
+}
+
+impl Default for BaseFsConfig {
+    fn default() -> BaseFsConfig {
+        BaseFsConfig {
+            page_cache_blocks: 2048,
+            dentry_cache_entries: 4096,
+            queue: QueueConfig::default(),
+            faults: FaultRegistry::new(),
+            max_dirty_meta: 192,
+            validate_on_commit: true,
+        }
+    }
+}
+
+/// Point-in-time performance statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaseFsStats {
+    /// Page-cache counters.
+    pub cache: CacheStats,
+    /// Dentry-cache hits.
+    pub dentry_hits: u64,
+    /// Dentry-cache misses.
+    pub dentry_misses: u64,
+    /// Journal transactions committed.
+    pub journal_commits: u64,
+    /// Journal checkpoints performed.
+    pub journal_checkpoints: u64,
+    /// Open descriptors.
+    pub open_fds: usize,
+    /// Pages resident in the page cache.
+    pub resident_pages: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    icache: HashMap<InodeNo, DiskInode>,
+    dcache: DentryCache,
+    alloc: Allocators,
+    fds: FdTable,
+    jmgr: JournalMgr,
+    clock: u64,
+    mount_count: u32,
+}
+
+/// The performance-oriented base filesystem. See the crate docs for the
+/// architecture and the RAE integration surface.
+pub struct BaseFs {
+    dev: Arc<dyn BlockDevice>,
+    geo: Geometry,
+    pages: PageCache,
+    inner: Mutex<Inner>,
+    counters: OpCounters,
+    faults: FaultRegistry,
+    max_dirty_meta: usize,
+    validate_on_commit: bool,
+    cur_seq: AtomicU64,
+    persisted_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for BaseFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaseFs")
+            .field("geometry", &self.geo)
+            .field("pages", &self.pages)
+            .finish()
+    }
+}
+
+impl BaseFs {
+    /// Mount a filesystem from `dev`, replaying the journal.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] if the superblock or journal header fail
+    /// validation; device errors.
+    ///
+    /// # Panics
+    ///
+    /// An armed [`Site::MountImage`] bug with a panic effect fires here
+    /// (the crafted-image crash class).
+    pub fn mount(dev: Arc<dyn BlockDevice>, config: BaseFsConfig) -> FsResult<BaseFs> {
+        let faults = config.faults.clone();
+        if let Some(action) = faults.check(&OpContext::new(OpKind::Mount, Site::MountImage)) {
+            Self::act_static(action)?;
+        }
+        let sb = Superblock::read_from(dev.as_ref())?;
+        let geo = sb.geometry;
+        if dev.block_count() < geo.total_blocks {
+            return Err(FsError::Corrupted {
+                detail: "device smaller than the filesystem".to_string(),
+            });
+        }
+        let replay = journal::replay(dev.as_ref(), &geo)?;
+        let mut sb = Superblock::read_from(dev.as_ref())?;
+        sb.mount_state = MountState::Dirty;
+        sb.mount_count += 1;
+        sb.write_to(dev.as_ref())?;
+        dev.flush()?;
+
+        let pages = PageCache::new(Arc::clone(&dev), config.page_cache_blocks, config.queue);
+        let alloc = Allocators::load(geo, &pages)?;
+        Ok(BaseFs {
+            dev,
+            geo,
+            pages,
+            inner: Mutex::new(Inner {
+                icache: HashMap::new(),
+                dcache: DentryCache::new(config.dentry_cache_entries),
+                alloc,
+                fds: FdTable::new(),
+                jmgr: JournalMgr::new(geo, replay.next_seq),
+                clock: 0,
+                mount_count: sb.mount_count,
+            }),
+            counters: OpCounters::new(),
+            faults,
+            max_dirty_meta: config.max_dirty_meta.max(8),
+            validate_on_commit: config.validate_on_commit,
+            cur_seq: AtomicU64::new(0),
+            persisted_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Cleanly unmount: commit, checkpoint, mark the superblock clean.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn unmount(self) -> FsResult<()> {
+        {
+            let mut inner = self.inner.lock();
+            self.commit_locked(&mut inner)?;
+            inner.jmgr.checkpoint(self.dev.as_ref())?;
+            let sb = Superblock {
+                geometry: self.geo,
+                free_inodes: inner.alloc.free_inodes,
+                free_blocks: inner.alloc.free_blocks,
+                mount_state: MountState::Clean,
+                mount_count: inner.mount_count,
+            };
+            sb.write_to(self.dev.as_ref())?;
+            self.dev.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Commit the running transaction and checkpoint the journal: all
+    /// durable state reaches its home location, so a reader of the raw
+    /// device (e.g. an auditing shadow) sees the complete filesystem
+    /// without replaying the journal.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn checkpoint(&self) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        self.commit_locked(inner)?;
+        inner.jmgr.checkpoint(self.dev.as_ref())
+    }
+
+    /// Simulate a kernel crash: every in-memory structure vanishes
+    /// without a commit. Writes already handed to the write-back queue
+    /// may still land (as on real hardware); dirty cached state is
+    /// lost. This is the baseline recovery path experiment E4 compares
+    /// RAE against.
+    pub fn crash(self) {
+        drop(self);
+    }
+
+    // ------------------------------------------------------------------
+    // RAE integration surface
+    // ------------------------------------------------------------------
+
+    /// Contained reboot (§3.2): discard all in-memory state and rebuild
+    /// from the trusted on-disk state, replaying the journal.
+    /// Applications keep running; descriptors are restored afterwards
+    /// via [`BaseFs::absorb_recovery`].
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] / device errors if the on-disk state
+    /// itself cannot be trusted — recovery is then impossible.
+    pub fn contained_reboot(&self) -> FsResult<ReplayReport> {
+        let mut inner = self.inner.lock();
+        // Quiesce in-flight write-back, then drop every cached page —
+        // nothing in memory is trusted after an error.
+        self.pages.quiesce()?;
+        self.pages.discard_all();
+        inner.icache.clear();
+        inner.dcache.clear();
+        inner.fds.clear();
+
+        let report = journal::replay(self.dev.as_ref(), &self.geo)?;
+        inner.alloc = Allocators::load(self.geo, &self.pages)?;
+        inner.jmgr = JournalMgr::new(self.geo, report.next_seq);
+        Ok(report)
+    }
+
+    /// Metadata downloading (§3.2): absorb the shadow's reconstructed
+    /// state. Block images land in the page cache marked dirty (the
+    /// existing journal machinery persists them at the next commit);
+    /// the descriptor table is rebuilt with identical numbering.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Internal`] on duplicate descriptors; cache errors.
+    pub fn absorb_recovery(&self, delta: &RecoveryDelta) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        for (bno, img) in &delta.meta_blocks {
+            if *bno == 0 {
+                continue; // superblock is rebuilt from the bitmaps below
+            }
+            self.pages.write(*bno, img.clone(), PageClass::Meta)?;
+        }
+        for (bno, img) in &delta.data_blocks {
+            self.pages.write(*bno, img.clone(), PageClass::Data)?;
+        }
+        inner.icache.clear();
+        inner.dcache.clear();
+        inner.alloc = Allocators::load(self.geo, &self.pages)?;
+        inner.fds.clear();
+        for rfd in &delta.fd_entries {
+            if !inner.alloc.ino_allocated(rfd.ino)? {
+                return Err(FsError::Internal {
+                    detail: format!(
+                        "recovery delta restores {} on unallocated {}",
+                        rfd.fd, rfd.ino
+                    ),
+                });
+            }
+            inner.fds.install(rfd.fd, rfd.ino, rfd.flags, &rfd.path)?;
+        }
+        Ok(())
+    }
+
+    /// Record the sequence number of the operation about to execute
+    /// (called by the RAE runtime before each logged operation).
+    pub fn note_op_seq(&self, seq: u64) {
+        self.cur_seq.store(seq, Ordering::Relaxed);
+    }
+
+    /// The persistence barrier: every logged operation with a sequence
+    /// number at or below this value is recoverable from disk alone
+    /// (journal replay included), so its record can be discarded.
+    #[must_use]
+    pub fn persisted_seq(&self) -> u64 {
+        self.persisted_seq.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The filesystem geometry.
+    #[must_use]
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// A handle to the underlying device (shared with the shadow).
+    #[must_use]
+    pub fn device(&self) -> Arc<dyn BlockDevice> {
+        Arc::clone(&self.dev)
+    }
+
+    /// The fault registry driving this instance's bug hooks.
+    #[must_use]
+    pub fn fault_registry(&self) -> FaultRegistry {
+        self.faults.clone()
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Performance statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> BaseFsStats {
+        let inner = self.inner.lock();
+        BaseFsStats {
+            cache: self.pages.stats(),
+            dentry_hits: inner.dcache.hits(),
+            dentry_misses: inner.dcache.misses(),
+            journal_commits: inner.jmgr.commits(),
+            journal_checkpoints: inner.jmgr.checkpoints(),
+            open_fds: inner.fds.len(),
+            resident_pages: self.pages.resident(),
+        }
+    }
+
+    /// Snapshot of the open-descriptor table (for the RAE recorder).
+    #[must_use]
+    pub fn fd_snapshot(&self) -> Vec<(Fd, InodeNo, OpenFlags, String)> {
+        let inner = self.inner.lock();
+        inner
+            .fds
+            .entries()
+            .into_iter()
+            .map(|(fd, e)| (fd, e.ino, e.flags, e.path))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault hooks
+    // ------------------------------------------------------------------
+
+    fn act_static(action: FaultAction) -> FsResult<bool> {
+        match action {
+            FaultAction::FailDetected { bug_id } => Err(FsError::DetectedBug { bug_id }),
+            FaultAction::Panic { bug_id } => {
+                panic!("injected filesystem bug #{bug_id}: simulated kernel BUG()")
+            }
+            FaultAction::Warn { .. } => Ok(false),
+            FaultAction::CorruptSilently { .. } => Ok(true),
+            FaultAction::CorruptMetadata { .. } => Ok(false), // handled in hook()
+        }
+    }
+
+    /// Consult the registry at a hook site. Returns `Ok(true)` when the
+    /// operation should corrupt its payload silently.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::DetectedBug`] for detected-error effects.
+    fn hook(&self, ctx: &OpContext<'_>) -> FsResult<bool> {
+        match self.faults.check(ctx) {
+            Some(FaultAction::CorruptMetadata { .. }) => {
+                // the memory-scribbler class: a dirty metadata page is
+                // silently damaged; validate-on-commit catches it at
+                // the next persistence point
+                let _ = self.pages.scribble_dirty_meta((
+                    self.geo.inode_table_start,
+                    self.geo.inode_table_start + self.geo.inode_table_blocks,
+                ));
+                Ok(false)
+            }
+            Some(action) => Self::act_static(action),
+            None => Ok(false),
+        }
+    }
+
+    /// Validate metadata images about to be committed: the superblock
+    /// must decode, and every inode-table block must hold 16 decodable
+    /// slots. Bitmap and directory/indirect images have no per-block
+    /// self-description and are covered by the shadow's full checks.
+    fn validate_commit_images(&self, images: &[(u64, Vec<u8>)]) -> FsResult<()> {
+        let it_start = self.geo.inode_table_start;
+        let it_end = it_start + self.geo.inode_table_blocks;
+        for (bno, img) in images {
+            if *bno == 0 {
+                Superblock::decode(img)?;
+            } else if (it_start..it_end).contains(bno) {
+                for slot in 0..INODES_PER_BLOCK {
+                    DiskInode::decode(&img[slot * INODE_SIZE..(slot + 1) * INODE_SIZE]).map_err(
+                        |e| FsError::Corrupted {
+                            detail: format!(
+                                "validate-on-commit: inode table block {bno} slot {slot}: {e}"
+                            ),
+                        },
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Inode access
+    // ------------------------------------------------------------------
+
+    fn load_inode_opt(&self, inner: &mut Inner, ino: InodeNo) -> FsResult<Option<DiskInode>> {
+        if let Some(i) = inner.icache.get(&ino) {
+            return Ok(Some(*i));
+        }
+        let (bno, off) = self.geo.inode_location(ino)?;
+        let block = self.pages.read(bno, PageClass::Meta)?;
+        let decoded = DiskInode::decode(&block[off..off + INODE_SIZE])?;
+        if let Some(i) = decoded {
+            inner.icache.insert(ino, i);
+        }
+        Ok(decoded)
+    }
+
+    fn load_inode(&self, inner: &mut Inner, ino: InodeNo) -> FsResult<DiskInode> {
+        self.load_inode_opt(inner, ino)?.ok_or(FsError::Corrupted {
+            detail: format!("{ino} referenced but not allocated"),
+        })
+    }
+
+    fn store_inode(&self, inner: &mut Inner, ino: InodeNo, inode: &DiskInode) -> FsResult<()> {
+        let (bno, off) = self.geo.inode_location(ino)?;
+        self.pages.update(bno, off, &inode.encode(), PageClass::Meta)?;
+        inner.icache.insert(ino, *inode);
+        Ok(())
+    }
+
+    fn clear_inode(&self, inner: &mut Inner, ino: InodeNo) -> FsResult<()> {
+        let (bno, off) = self.geo.inode_location(ino)?;
+        self.pages
+            .update(bno, off, &[0u8; INODE_SIZE], PageClass::Meta)?;
+        inner.icache.remove(&ino);
+        Ok(())
+    }
+
+    fn tick(inner: &mut Inner) -> u64 {
+        inner.clock += 1;
+        inner.clock
+    }
+
+    // ------------------------------------------------------------------
+    // Block mapping
+    // ------------------------------------------------------------------
+
+    fn read_ptr(&self, bno: u64, slot: usize) -> FsResult<u64> {
+        let img = self.pages.read(bno, PageClass::Meta)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&img[slot * 8..slot * 8 + 8]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn write_ptr(&self, bno: u64, slot: usize, value: u64) -> FsResult<()> {
+        self.pages
+            .update(bno, slot * 8, &value.to_le_bytes(), PageClass::Meta)
+    }
+
+    /// The data block backing file-block `idx` (0 = hole).
+    fn get_file_block(&self, inode: &DiskInode, idx: u64) -> FsResult<u64> {
+        match locate_block(idx)? {
+            BlockPtrLoc::Direct(s) => Ok(inode.direct[s]),
+            BlockPtrLoc::Indirect { slot } => {
+                if inode.indirect == 0 {
+                    Ok(0)
+                } else {
+                    self.read_ptr(inode.indirect, slot)
+                }
+            }
+            BlockPtrLoc::DoubleIndirect { l1, l2 } => {
+                if inode.dindirect == 0 {
+                    return Ok(0);
+                }
+                let l1p = self.read_ptr(inode.dindirect, l1)?;
+                if l1p == 0 {
+                    Ok(0)
+                } else {
+                    self.read_ptr(l1p, l2)
+                }
+            }
+        }
+    }
+
+    fn alloc_data_block(&self, inner: &mut Inner, class: PageClass) -> FsResult<u64> {
+        let bno = inner.alloc.alloc_block(&self.pages)?;
+        self.pages.write(bno, vec![0u8; BLOCK_SIZE], class)?;
+        Ok(bno)
+    }
+
+    /// Get-or-allocate the data block backing file-block `idx`,
+    /// updating the inode's pointers and block count in place. The
+    /// caller must store the inode afterwards.
+    fn ensure_file_block(
+        &self,
+        inner: &mut Inner,
+        inode: &mut DiskInode,
+        idx: u64,
+    ) -> FsResult<u64> {
+        match locate_block(idx)? {
+            BlockPtrLoc::Direct(s) => {
+                if inode.direct[s] == 0 {
+                    inode.direct[s] = self.alloc_data_block(inner, PageClass::Data)?;
+                    inode.blocks += 1;
+                }
+                Ok(inode.direct[s])
+            }
+            BlockPtrLoc::Indirect { slot } => {
+                if inode.indirect == 0 {
+                    inode.indirect = self.alloc_data_block(inner, PageClass::Meta)?;
+                    inode.blocks += 1;
+                }
+                let mut ptr = self.read_ptr(inode.indirect, slot)?;
+                if ptr == 0 {
+                    ptr = self.alloc_data_block(inner, PageClass::Data)?;
+                    inode.blocks += 1;
+                    self.write_ptr(inode.indirect, slot, ptr)?;
+                }
+                Ok(ptr)
+            }
+            BlockPtrLoc::DoubleIndirect { l1, l2 } => {
+                if inode.dindirect == 0 {
+                    inode.dindirect = self.alloc_data_block(inner, PageClass::Meta)?;
+                    inode.blocks += 1;
+                }
+                let mut l1p = self.read_ptr(inode.dindirect, l1)?;
+                if l1p == 0 {
+                    l1p = self.alloc_data_block(inner, PageClass::Meta)?;
+                    inode.blocks += 1;
+                    self.write_ptr(inode.dindirect, l1, l1p)?;
+                }
+                let mut ptr = self.read_ptr(l1p, l2)?;
+                if ptr == 0 {
+                    ptr = self.alloc_data_block(inner, PageClass::Data)?;
+                    inode.blocks += 1;
+                    self.write_ptr(l1p, l2, ptr)?;
+                }
+                Ok(ptr)
+            }
+        }
+    }
+
+    /// Blocks (data + new indirect blocks) a write to file-blocks
+    /// `[start_idx, end_idx)` would have to allocate. Used for the
+    /// all-or-nothing `NoSpace` pre-check.
+    fn count_missing_blocks(
+        &self,
+        inode: &DiskInode,
+        start_idx: u64,
+        end_idx: u64,
+    ) -> FsResult<u64> {
+        let mut need = 0u64;
+        let mut need_indirect = inode.indirect == 0;
+        let mut need_dindirect = inode.dindirect == 0;
+        let mut l1_seen: HashMap<usize, bool> = HashMap::new();
+        for idx in start_idx..end_idx {
+            match locate_block(idx)? {
+                BlockPtrLoc::Direct(s) => {
+                    if inode.direct[s] == 0 {
+                        need += 1;
+                    }
+                }
+                BlockPtrLoc::Indirect { slot } => {
+                    if need_indirect {
+                        need += 1;
+                        need_indirect = false;
+                    }
+                    if inode.indirect == 0 || self.read_ptr(inode.indirect, slot)? == 0 {
+                        need += 1;
+                    }
+                }
+                BlockPtrLoc::DoubleIndirect { l1, l2 } => {
+                    if need_dindirect {
+                        need += 1;
+                        need_dindirect = false;
+                    }
+                    let l1_missing = if inode.dindirect == 0 {
+                        true
+                    } else {
+                        match l1_seen.get(&l1) {
+                            Some(&m) => m,
+                            None => {
+                                let m = self.read_ptr(inode.dindirect, l1)? == 0;
+                                l1_seen.insert(l1, m);
+                                m
+                            }
+                        }
+                    };
+                    if l1_missing {
+                        if !l1_seen.get(&l1).copied().unwrap_or(false) || inode.dindirect == 0 {
+                            // count the L1 block itself once
+                            if l1_seen.insert(l1, true) != Some(true) {
+                                need += 1;
+                            }
+                        }
+                        need += 1; // the data block
+                    } else if self.read_ptr(self.read_ptr(inode.dindirect, l1)?, l2)? == 0 {
+                        need += 1;
+                    }
+                }
+            }
+        }
+        Ok(need)
+    }
+
+    /// Free blocks past `new_size`, zero the partial tail, update size
+    /// and block count. The caller stores the inode.
+    fn truncate_core(
+        &self,
+        inner: &mut Inner,
+        inode: &mut DiskInode,
+        new_size: u64,
+    ) -> FsResult<()> {
+        let old_nb = inode.size.div_ceil(BLOCK_SIZE as u64);
+        let new_nb = new_size.div_ceil(BLOCK_SIZE as u64);
+
+        for idx in new_nb..old_nb {
+            match locate_block(idx)? {
+                BlockPtrLoc::Direct(s) => {
+                    if inode.direct[s] != 0 {
+                        inner.alloc.free_block(&self.pages, inode.direct[s])?;
+                        inode.direct[s] = 0;
+                        inode.blocks -= 1;
+                    }
+                }
+                BlockPtrLoc::Indirect { slot } => {
+                    if inode.indirect != 0 {
+                        let ptr = self.read_ptr(inode.indirect, slot)?;
+                        if ptr != 0 {
+                            inner.alloc.free_block(&self.pages, ptr)?;
+                            self.write_ptr(inode.indirect, slot, 0)?;
+                            inode.blocks -= 1;
+                        }
+                    }
+                }
+                BlockPtrLoc::DoubleIndirect { l1, l2 } => {
+                    if inode.dindirect != 0 {
+                        let l1p = self.read_ptr(inode.dindirect, l1)?;
+                        if l1p != 0 {
+                            let ptr = self.read_ptr(l1p, l2)?;
+                            if ptr != 0 {
+                                inner.alloc.free_block(&self.pages, ptr)?;
+                                self.write_ptr(l1p, l2, 0)?;
+                                inode.blocks -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // free indirect structures that became entirely unused
+        if new_nb <= 12 && inode.indirect != 0 {
+            inner.alloc.free_block(&self.pages, inode.indirect)?;
+            inode.indirect = 0;
+            inode.blocks -= 1;
+        }
+        if inode.dindirect != 0 {
+            let covered = 12 + PTRS_PER_BLOCK as u64;
+            if new_nb <= covered {
+                // every L1 chain is gone
+                for l1 in 0..PTRS_PER_BLOCK {
+                    let l1p = self.read_ptr(inode.dindirect, l1)?;
+                    if l1p != 0 {
+                        inner.alloc.free_block(&self.pages, l1p)?;
+                        self.write_ptr(inode.dindirect, l1, 0)?;
+                        inode.blocks -= 1;
+                    }
+                }
+                inner.alloc.free_block(&self.pages, inode.dindirect)?;
+                inode.dindirect = 0;
+                inode.blocks -= 1;
+            } else {
+                // free fully-vacated L1 blocks
+                let first_live_l1 = ((new_nb - covered).saturating_sub(1) / PTRS_PER_BLOCK as u64
+                    + 1) as usize;
+                for l1 in first_live_l1..PTRS_PER_BLOCK {
+                    let l1p = self.read_ptr(inode.dindirect, l1)?;
+                    if l1p != 0 {
+                        inner.alloc.free_block(&self.pages, l1p)?;
+                        self.write_ptr(inode.dindirect, l1, 0)?;
+                        inode.blocks -= 1;
+                    }
+                }
+            }
+        }
+
+        // zero the partial tail so a later extension reads zeroes
+        if !new_size.is_multiple_of(BLOCK_SIZE as u64) && new_size < inode.size {
+            let tail_idx = new_size / BLOCK_SIZE as u64;
+            let bno = self.get_file_block(inode, tail_idx)?;
+            if bno != 0 {
+                let from = (new_size % BLOCK_SIZE as u64) as usize;
+                let zeros = vec![0u8; BLOCK_SIZE - from];
+                self.pages.update(bno, from, &zeros, PageClass::Data)?;
+            }
+        }
+        inode.size = new_size;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Directories
+    // ------------------------------------------------------------------
+
+    /// Allocated block numbers of a directory, in file order.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] on holes or a misshapen size (directories
+    /// are always fully allocated, block-aligned files).
+    fn dir_blocks(&self, inode: &DiskInode) -> FsResult<Vec<u64>> {
+        if !inode.size.is_multiple_of(BLOCK_SIZE as u64) {
+            return Err(FsError::Corrupted {
+                detail: "directory size not block-aligned".to_string(),
+            });
+        }
+        let nb = inode.size / BLOCK_SIZE as u64;
+        let mut out = Vec::with_capacity(nb as usize);
+        for idx in 0..nb {
+            let bno = self.get_file_block(inode, idx)?;
+            if bno == 0 {
+                return Err(FsError::Corrupted {
+                    detail: "hole inside a directory".to_string(),
+                });
+            }
+            out.push(bno);
+        }
+        Ok(out)
+    }
+
+    fn dir_lookup(
+        &self,
+        inner: &mut Inner,
+        dir_ino: InodeNo,
+        name: &str,
+    ) -> FsResult<Option<InodeNo>> {
+        if let Some(ino) = inner.dcache.lookup(dir_ino, name) {
+            return Ok(Some(ino));
+        }
+        let dir = self.load_inode(inner, dir_ino)?;
+        for bno in self.dir_blocks(&dir)? {
+            let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+            if let Some(rec) = db.find(name) {
+                inner.dcache.insert(dir_ino, name, rec.ino);
+                return Ok(Some(rec.ino));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Whether the directory-entry insert below can succeed without
+    /// running out of space.
+    fn dir_insert_precheck(
+        &self,
+        inner: &mut Inner,
+        dir: &DiskInode,
+        name_len: usize,
+    ) -> FsResult<()> {
+        for bno in self.dir_blocks(dir)? {
+            let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+            if db.fits(name_len) {
+                return Ok(());
+            }
+        }
+        let nb = dir.size / BLOCK_SIZE as u64;
+        let need = self.count_missing_blocks(dir, nb, nb + 1)?;
+        if inner.alloc.free_blocks < need {
+            return Err(FsError::NoSpace);
+        }
+        Ok(())
+    }
+
+    /// Insert an entry; the caller has checked for duplicates and run
+    /// the pre-check. Stores the directory inode if it grows.
+    fn dir_insert(
+        &self,
+        inner: &mut Inner,
+        dir_ino: InodeNo,
+        name: &str,
+        ino: InodeNo,
+        ftype: FileType,
+    ) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Create, Site::DirModify).with_path(name);
+        let _ = self.hook(&ctx)?;
+
+        let mut dir = self.load_inode(inner, dir_ino)?;
+        for bno in self.dir_blocks(&dir)? {
+            let mut db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+            if db.try_insert(name, ino, ftype)? {
+                self.pages.write(bno, db.into_bytes(), PageClass::Meta)?;
+                inner.dcache.insert(dir_ino, name, ino);
+                return Ok(());
+            }
+        }
+        // grow the directory by one block
+        let nb = dir.size / BLOCK_SIZE as u64;
+        let bno = self.ensure_file_block(inner, &mut dir, nb)?;
+        let mut db = DirBlock::empty();
+        let inserted = db.try_insert(name, ino, ftype)?;
+        debug_assert!(inserted);
+        self.pages.write(bno, db.into_bytes(), PageClass::Meta)?;
+        dir.size += BLOCK_SIZE as u64;
+        let now = Self::tick(inner);
+        dir.mtime = now;
+        self.store_inode(inner, dir_ino, &dir)?;
+        inner.dcache.insert(dir_ino, name, ino);
+        Ok(())
+    }
+
+    /// Remove an entry; `Ok(true)` if found. Shrinks trailing empty
+    /// blocks.
+    fn dir_remove(&self, inner: &mut Inner, dir_ino: InodeNo, name: &str) -> FsResult<bool> {
+        let ctx = OpContext::new(OpKind::Unlink, Site::DirModify).with_path(name);
+        let _ = self.hook(&ctx)?;
+
+        let mut dir = self.load_inode(inner, dir_ino)?;
+        let blocks = self.dir_blocks(&dir)?;
+        let mut found = false;
+        for &bno in &blocks {
+            let mut db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+            if db.remove(name) {
+                self.pages.write(bno, db.into_bytes(), PageClass::Meta)?;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return Ok(false);
+        }
+        inner.dcache.invalidate(dir_ino, name);
+        // shrink trailing empty blocks
+        let mut nb = dir.size / BLOCK_SIZE as u64;
+        let mut changed = false;
+        while nb > 0 {
+            let last = self.get_file_block(&dir, nb - 1)?;
+            if last == 0 {
+                break;
+            }
+            let db = DirBlock::from_bytes(self.pages.read(last, PageClass::Meta)?)?;
+            if !db.is_empty() {
+                break;
+            }
+            self.truncate_core(inner, &mut dir, (nb - 1) * BLOCK_SIZE as u64)?;
+            nb -= 1;
+            changed = true;
+        }
+        let now = Self::tick(inner);
+        dir.mtime = now;
+        let _ = changed;
+        self.store_inode(inner, dir_ino, &dir)?;
+        Ok(true)
+    }
+
+    fn dir_entry_count(&self, inode: &DiskInode) -> FsResult<usize> {
+        let mut n = 0;
+        for bno in self.dir_blocks(inode)? {
+            let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+            n += db.len();
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Path resolution
+    // ------------------------------------------------------------------
+
+    fn resolve(&self, inner: &mut Inner, comps: &[&str]) -> FsResult<InodeNo> {
+        if !comps.is_empty() {
+            let joined = comps.join("/");
+            let ctx = OpContext::new(OpKind::Stat, Site::PathLookup).with_path(&joined);
+            let _ = self.hook(&ctx)?;
+        }
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            let inode = self.load_inode(inner, cur)?;
+            if inode.ftype != FileType::Directory {
+                return Err(FsError::NotDir);
+            }
+            match self.dir_lookup(inner, cur, comp)? {
+                Some(next) => cur = next,
+                None => return Err(FsError::NotFound),
+            }
+        }
+        Ok(cur)
+    }
+
+    fn resolve_parent<'p>(&self, inner: &mut Inner, path: &'p str) -> FsResult<(InodeNo, &'p str)> {
+        let (parent_comps, name) = split_parent(path)?;
+        let parent = self.resolve(inner, &parent_comps)?;
+        let pinode = self.load_inode(inner, parent)?;
+        if pinode.ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        Ok((parent, name))
+    }
+
+    /// Whether `target` equals `anc` or lies anywhere below it.
+    fn is_self_or_descendant(
+        &self,
+        inner: &mut Inner,
+        anc: InodeNo,
+        target: InodeNo,
+    ) -> FsResult<bool> {
+        if anc == target {
+            return Ok(true);
+        }
+        let mut stack = vec![anc];
+        while let Some(cur) = stack.pop() {
+            let inode = self.load_inode(inner, cur)?;
+            if inode.ftype != FileType::Directory {
+                continue;
+            }
+            for bno in self.dir_blocks(&inode)? {
+                let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+                for rec in db.records() {
+                    if rec.ino == target {
+                        return Ok(true);
+                    }
+                    if rec.ftype == FileType::Directory {
+                        stack.push(rec.ino);
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Journal commit
+    // ------------------------------------------------------------------
+
+    fn commit_locked(&self, inner: &mut Inner) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Sync, Site::JournalCommit);
+        let _ = self.hook(&ctx)?;
+
+        // ordered mode: file data reaches the disk before the metadata
+        // that references it
+        self.pages.flush_data()?;
+        let mut images = self.pages.take_dirty_meta();
+        if images.is_empty() {
+            return Ok(());
+        }
+        let sb = Superblock {
+            geometry: self.geo,
+            free_inodes: inner.alloc.free_inodes,
+            free_blocks: inner.alloc.free_blocks,
+            mount_state: MountState::Dirty,
+            mount_count: inner.mount_count,
+        };
+        images.push((0, sb.encode()));
+        if self.validate_on_commit {
+            self.validate_commit_images(&images)?;
+        }
+        inner.jmgr.commit(self.dev.as_ref(), images)?;
+        self.persisted_seq
+            .store(self.cur_seq.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Commit if the running transaction has grown past the bound.
+    fn maybe_autocommit(&self, inner: &mut Inner) -> FsResult<()> {
+        if self.pages.dirty_meta_count() >= self.max_dirty_meta {
+            self.commit_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Free every block of a file/symlink inode and the inode itself.
+    fn destroy_inode(&self, inner: &mut Inner, ino: InodeNo, inode: &mut DiskInode) -> FsResult<()> {
+        self.truncate_core(inner, inode, 0)?;
+        inner.alloc.free_ino(&self.pages, ino)?;
+        self.clear_inode(inner, ino)
+    }
+}
+
+impl BaseFs {
+    /// `open` returning the allocated descriptor, the inode it refers
+    /// to, and whether the file was created — the outcome the RAE
+    /// recorder logs (the shadow later validates these choices).
+    ///
+    /// # Errors
+    ///
+    /// As [`FileSystem::open`].
+    pub fn open_ex(&self, path: &str, flags: OpenFlags) -> FsResult<(Fd, InodeNo, bool)> {
+        let ctx = OpContext::new(OpKind::Open, Site::ApiEntry).with_path(path);
+        let _ = self.hook(&ctx)?;
+        if !flags.valid() {
+            self.counters.record_error(OpKind::Open);
+            return Err(FsError::InvalidArgument);
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let (parent, name) = self.resolve_parent(inner, path)?;
+            match self.dir_lookup(inner, parent, name)? {
+                Some(ino) => {
+                    if flags.creates() && flags.contains(OpenFlags::EXCL) {
+                        return Err(FsError::Exists);
+                    }
+                    let mut inode = self.load_inode(inner, ino)?;
+                    match inode.ftype {
+                        FileType::Directory => return Err(FsError::IsDir),
+                        FileType::Symlink => return Err(FsError::InvalidArgument),
+                        FileType::Regular => {}
+                    }
+                    if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+                        self.truncate_core(inner, &mut inode, 0)?;
+                        let now = Self::tick(inner);
+                        inode.mtime = now;
+                        inode.ctime = now;
+                        self.store_inode(inner, ino, &inode)?;
+                    }
+                    inner.fds.alloc(ino, flags, path).map(|fd| (fd, ino, false))
+                }
+                None => {
+                    if !flags.creates() {
+                        return Err(FsError::NotFound);
+                    }
+                    let ctx = OpContext::new(OpKind::Create, Site::Alloc).with_path(path);
+                    let _ = self.hook(&ctx)?;
+                    let dir = self.load_inode(inner, parent)?;
+                    self.dir_insert_precheck(inner, &dir, name.len())?;
+                    if inner.alloc.free_inodes == 0 {
+                        return Err(FsError::NoInodes);
+                    }
+                    let ino = inner.alloc.alloc_ino(&self.pages)?;
+                    let now = Self::tick(inner);
+                    let inode = DiskInode::new(FileType::Regular, now);
+                    self.store_inode(inner, ino, &inode)?;
+                    self.dir_insert(inner, parent, name, ino, FileType::Regular)?;
+                    let mut pdir = self.load_inode(inner, parent)?;
+                    pdir.mtime = now;
+                    self.store_inode(inner, parent, &pdir)?;
+                    match inner.fds.alloc(ino, flags, path) {
+                        Ok(fd) => Ok((fd, ino, true)),
+                        Err(e) => {
+                            // roll back the creation on fd exhaustion
+                            self.dir_remove(inner, parent, name)?;
+                            let mut dead = inode;
+                            self.destroy_inode(inner, ino, &mut dead)?;
+                            Err(e)
+                        }
+                    }
+                }
+            }
+        })();
+        match &result {
+            Ok(_) => self.counters.record(OpKind::Open),
+            Err(_) => self.counters.record_error(OpKind::Open),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    /// Restore a descriptor by inode (the recovery path's `RestoreFd`;
+    /// also exercised by tests). The inode must be an allocated regular
+    /// file; the descriptor number must be free.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] for a bad inode; [`FsError::Internal`]
+    /// for a duplicate descriptor.
+    pub fn restore_fd(&self, fd: Fd, ino: InodeNo, flags: OpenFlags, path: &str) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let inode = self.load_inode(inner, ino)?;
+        if inode.ftype != FileType::Regular {
+            return Err(FsError::Corrupted {
+                detail: format!("descriptor restore aimed at non-file {ino}"),
+            });
+        }
+        inner.fds.install(fd, ino, flags, path)
+    }
+}
+
+impl FileSystem for BaseFs {
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        self.open_ex(path, flags).map(|(fd, _, _)| fd)
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let r = inner.fds.close(fd).map(|_| ());
+        match &r {
+            Ok(()) => self.counters.record(OpKind::Close),
+            Err(_) => self.counters.record_error(OpKind::Close),
+        }
+        r
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let entry = inner.fds.get(fd)?;
+            if !entry.flags.readable() {
+                return Err(FsError::BadAccessMode);
+            }
+            let inode = self.load_inode(inner, entry.ino)?;
+            let start = offset.min(inode.size);
+            let end = offset.saturating_add(len as u64).min(inode.size);
+            let mut out = Vec::with_capacity((end - start) as usize);
+            let mut pos = start;
+            while pos < end {
+                let idx = pos / BLOCK_SIZE as u64;
+                let in_blk = (pos % BLOCK_SIZE as u64) as usize;
+                let take = ((BLOCK_SIZE - in_blk) as u64).min(end - pos) as usize;
+                let bno = self.get_file_block(&inode, idx)?;
+                if bno == 0 {
+                    out.extend(std::iter::repeat_n(0u8, take));
+                } else {
+                    let blk = self.pages.read(bno, PageClass::Data)?;
+                    out.extend_from_slice(&blk[in_blk..in_blk + take]);
+                }
+                pos += take as u64;
+            }
+            Ok(out)
+        })();
+        match &result {
+            Ok(data) => {
+                self.counters.record(OpKind::Read);
+                self.counters.add_bytes_read(data.len() as u64);
+            }
+            Err(_) => self.counters.record_error(OpKind::Read),
+        }
+        result
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let entry = inner.fds.get(fd)?;
+            if !entry.flags.writable() {
+                return Err(FsError::BadAccessMode);
+            }
+            if data.is_empty() {
+                return Ok(0);
+            }
+            let ctx = OpContext::new(OpKind::Write, Site::Write)
+                .with_path(&entry.path)
+                .with_io(offset, data.len());
+            let corrupt = self.hook(&ctx)?;
+            let mut payload; // only materialized when corrupting
+            let data: &[u8] = if corrupt {
+                payload = data.to_vec();
+                payload[0] ^= 0x01; // the silent wrong result
+                &payload
+            } else {
+                data
+            };
+
+            let mut inode = self.load_inode(inner, entry.ino)?;
+            let at = if entry.flags.contains(OpenFlags::APPEND) {
+                inode.size
+            } else {
+                offset
+            };
+            let end = at.checked_add(data.len() as u64).ok_or(FsError::FileTooBig)?;
+            if end > MAX_FILE_SIZE {
+                return Err(FsError::FileTooBig);
+            }
+            // all-or-nothing space pre-check
+            let start_idx = at / BLOCK_SIZE as u64;
+            let end_idx = end.div_ceil(BLOCK_SIZE as u64);
+            let need = self.count_missing_blocks(&inode, start_idx, end_idx)?;
+            if need > inner.alloc.free_blocks {
+                return Err(FsError::NoSpace);
+            }
+
+            let mut pos = at;
+            let mut src = 0usize;
+            while pos < end {
+                let idx = pos / BLOCK_SIZE as u64;
+                let in_blk = (pos % BLOCK_SIZE as u64) as usize;
+                let take = ((BLOCK_SIZE - in_blk) as u64).min(end - pos) as usize;
+                let bno = self.ensure_file_block(inner, &mut inode, idx)?;
+                if take == BLOCK_SIZE {
+                    self.pages
+                        .write(bno, data[src..src + take].to_vec(), PageClass::Data)?;
+                } else {
+                    self.pages
+                        .update(bno, in_blk, &data[src..src + take], PageClass::Data)?;
+                }
+                pos += take as u64;
+                src += take;
+            }
+            if end > inode.size {
+                inode.size = end;
+            }
+            let now = Self::tick(inner);
+            inode.mtime = now;
+            inode.ctime = now;
+            self.store_inode(inner, entry.ino, &inode)?;
+            Ok(data.len())
+        })();
+        match &result {
+            Ok(n) => {
+                self.counters.record(OpKind::Write);
+                self.counters.add_bytes_written(*n as u64);
+            }
+            Err(_) => self.counters.record_error(OpKind::Write),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let entry = inner.fds.get(fd)?;
+            if !entry.flags.writable() {
+                return Err(FsError::BadAccessMode);
+            }
+            let ctx = OpContext::new(OpKind::Truncate, Site::Truncate).with_path(&entry.path);
+            let _ = self.hook(&ctx)?;
+            if size > MAX_FILE_SIZE {
+                return Err(FsError::FileTooBig);
+            }
+            let mut inode = self.load_inode(inner, entry.ino)?;
+            if size < inode.size {
+                self.truncate_core(inner, &mut inode, size)?;
+            } else {
+                inode.size = size; // extension is sparse
+            }
+            let now = Self::tick(inner);
+            inode.mtime = now;
+            inode.ctime = now;
+            self.store_inode(inner, entry.ino, &inode)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Truncate),
+            Err(_) => self.counters.record_error(OpKind::Truncate),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::SetAttr, Site::ApiEntry).with_path(path);
+        let _ = self.hook(&ctx)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let comps = split_path(path)?;
+            let ino = self.resolve(inner, &comps)?;
+            let mut inode = self.load_inode(inner, ino)?;
+            if let Some(size) = attr.size {
+                match inode.ftype {
+                    FileType::Directory => return Err(FsError::IsDir),
+                    FileType::Symlink => return Err(FsError::InvalidArgument),
+                    FileType::Regular => {}
+                }
+                if size > MAX_FILE_SIZE {
+                    return Err(FsError::FileTooBig);
+                }
+                if size < inode.size {
+                    self.truncate_core(inner, &mut inode, size)?;
+                } else {
+                    inode.size = size;
+                }
+                let now = Self::tick(inner);
+                inode.mtime = now;
+                inode.ctime = now;
+            }
+            if let Some(mtime) = attr.mtime {
+                inode.mtime = mtime;
+            }
+            self.store_inode(inner, ino, &inode)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::SetAttr),
+            Err(_) => self.counters.record_error(OpKind::SetAttr),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            inner.fds.get(fd)?;
+            self.commit_locked(inner)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Fsync),
+            Err(_) => self.counters.record_error(OpKind::Fsync),
+        }
+        result
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = self.commit_locked(inner);
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Sync),
+            Err(_) => self.counters.record_error(OpKind::Sync),
+        }
+        result
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Mkdir, Site::ApiEntry).with_path(path);
+        let _ = self.hook(&ctx)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let (parent, name) = self.resolve_parent(inner, path)?;
+            if self.dir_lookup(inner, parent, name)?.is_some() {
+                return Err(FsError::Exists);
+            }
+            let ctx = OpContext::new(OpKind::Mkdir, Site::Alloc).with_path(path);
+            let _ = self.hook(&ctx)?;
+            let pdir = self.load_inode(inner, parent)?;
+            self.dir_insert_precheck(inner, &pdir, name.len())?;
+            if inner.alloc.free_inodes == 0 {
+                return Err(FsError::NoInodes);
+            }
+            let ino = inner.alloc.alloc_ino(&self.pages)?;
+            let now = Self::tick(inner);
+            let inode = DiskInode::new(FileType::Directory, now);
+            self.store_inode(inner, ino, &inode)?;
+            self.dir_insert(inner, parent, name, ino, FileType::Directory)?;
+            let mut pdir = self.load_inode(inner, parent)?;
+            pdir.links += 1;
+            pdir.mtime = now;
+            self.store_inode(inner, parent, &pdir)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Mkdir),
+            Err(_) => self.counters.record_error(OpKind::Mkdir),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Rmdir, Site::ApiEntry).with_path(path);
+        let _ = self.hook(&ctx)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let (parent, name) = self.resolve_parent(inner, path)?;
+            let ino = self
+                .dir_lookup(inner, parent, name)?
+                .ok_or(FsError::NotFound)?;
+            let mut inode = self.load_inode(inner, ino)?;
+            if inode.ftype != FileType::Directory {
+                return Err(FsError::NotDir);
+            }
+            if self.dir_entry_count(&inode)? != 0 {
+                return Err(FsError::NotEmpty);
+            }
+            self.dir_remove(inner, parent, name)?;
+            self.destroy_inode(inner, ino, &mut inode)?;
+            let now = Self::tick(inner);
+            let mut pdir = self.load_inode(inner, parent)?;
+            pdir.links -= 1;
+            pdir.mtime = now;
+            self.store_inode(inner, parent, &pdir)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Rmdir),
+            Err(_) => self.counters.record_error(OpKind::Rmdir),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Unlink, Site::ApiEntry).with_path(path);
+        let _ = self.hook(&ctx)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let (parent, name) = self.resolve_parent(inner, path)?;
+            let ino = self
+                .dir_lookup(inner, parent, name)?
+                .ok_or(FsError::NotFound)?;
+            let mut inode = self.load_inode(inner, ino)?;
+            match inode.ftype {
+                FileType::Directory => return Err(FsError::IsDir),
+                FileType::Regular => {
+                    if inner.fds.has_open(ino) {
+                        return Err(FsError::Busy);
+                    }
+                }
+                FileType::Symlink => {}
+            }
+            self.dir_remove(inner, parent, name)?;
+            inode.links -= 1;
+            if inode.links == 0 {
+                self.destroy_inode(inner, ino, &mut inode)?;
+            } else {
+                let now = Self::tick(inner);
+                inode.ctime = now;
+                self.store_inode(inner, ino, &inode)?;
+            }
+            let now = Self::tick(inner);
+            let mut pdir = self.load_inode(inner, parent)?;
+            pdir.mtime = now;
+            self.store_inode(inner, parent, &pdir)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Unlink),
+            Err(_) => self.counters.record_error(OpKind::Unlink),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Rename, Site::Rename)
+            .with_path(from)
+            .with_path2(to);
+        let _ = self.hook(&ctx)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let (from_parent, from_name) = self.resolve_parent(inner, from)?;
+            let (to_parent, to_name) = self.resolve_parent(inner, to)?;
+            let src = self
+                .dir_lookup(inner, from_parent, from_name)?
+                .ok_or(FsError::NotFound)?;
+            if from_parent == to_parent && from_name == to_name {
+                return Ok(());
+            }
+            let src_inode = self.load_inode(inner, src)?;
+            let src_is_dir = src_inode.ftype == FileType::Directory;
+            if src_is_dir && self.is_self_or_descendant(inner, src, to_parent)? {
+                return Err(FsError::RenameLoop);
+            }
+            let existing_dst = self.dir_lookup(inner, to_parent, to_name)?;
+            if let Some(dst) = existing_dst {
+                if dst == src {
+                    return Ok(()); // hard links to the same inode
+                }
+                let mut dst_inode = self.load_inode(inner, dst)?;
+                match (src_is_dir, dst_inode.ftype == FileType::Directory) {
+                    (true, true) => {
+                        if self.dir_entry_count(&dst_inode)? != 0 {
+                            return Err(FsError::NotEmpty);
+                        }
+                    }
+                    (true, false) => return Err(FsError::NotDir),
+                    (false, true) => return Err(FsError::IsDir),
+                    (false, false) => {
+                        if dst_inode.ftype == FileType::Regular && inner.fds.has_open(dst) {
+                            return Err(FsError::Busy);
+                        }
+                    }
+                }
+                // remove and destroy (or unlink) the replaced target
+                self.dir_remove(inner, to_parent, to_name)?;
+                if dst_inode.ftype == FileType::Directory {
+                    self.destroy_inode(inner, dst, &mut dst_inode)?;
+                    let mut tp = self.load_inode(inner, to_parent)?;
+                    tp.links -= 1;
+                    self.store_inode(inner, to_parent, &tp)?;
+                } else {
+                    dst_inode.links -= 1;
+                    if dst_inode.links == 0 {
+                        self.destroy_inode(inner, dst, &mut dst_inode)?;
+                    } else {
+                        self.store_inode(inner, dst, &dst_inode)?;
+                    }
+                }
+            } else {
+                // the insert below must not fail halfway: pre-check space
+                let tp = self.load_inode(inner, to_parent)?;
+                self.dir_insert_precheck(inner, &tp, to_name.len())?;
+            }
+
+            self.dir_remove(inner, from_parent, from_name)?;
+            self.dir_insert(inner, to_parent, to_name, src, src_inode.ftype)?;
+            let now = Self::tick(inner);
+            if src_is_dir && from_parent != to_parent {
+                let mut fp = self.load_inode(inner, from_parent)?;
+                fp.links -= 1;
+                fp.mtime = now;
+                self.store_inode(inner, from_parent, &fp)?;
+                let mut tp = self.load_inode(inner, to_parent)?;
+                tp.links += 1;
+                tp.mtime = now;
+                self.store_inode(inner, to_parent, &tp)?;
+            } else {
+                let mut fp = self.load_inode(inner, from_parent)?;
+                fp.mtime = now;
+                self.store_inode(inner, from_parent, &fp)?;
+                if from_parent != to_parent {
+                    let mut tp = self.load_inode(inner, to_parent)?;
+                    tp.mtime = now;
+                    self.store_inode(inner, to_parent, &tp)?;
+                }
+            }
+            Ok(())
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Rename),
+            Err(_) => self.counters.record_error(OpKind::Rename),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn link(&self, existing: &str, new: &str) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Link, Site::ApiEntry)
+            .with_path(existing)
+            .with_path2(new);
+        let _ = self.hook(&ctx)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let comps = split_path(existing)?;
+            if comps.is_empty() {
+                return Err(FsError::IsDir);
+            }
+            let src = self.resolve(inner, &comps)?;
+            let mut src_inode = self.load_inode(inner, src)?;
+            match src_inode.ftype {
+                FileType::Directory => return Err(FsError::IsDir),
+                FileType::Symlink => return Err(FsError::InvalidArgument),
+                FileType::Regular => {}
+            }
+            if u32::from(src_inode.links) >= MAX_LINKS {
+                return Err(FsError::TooManyLinks);
+            }
+            let (new_parent, new_name) = self.resolve_parent(inner, new)?;
+            if self.dir_lookup(inner, new_parent, new_name)?.is_some() {
+                return Err(FsError::Exists);
+            }
+            let np = self.load_inode(inner, new_parent)?;
+            self.dir_insert_precheck(inner, &np, new_name.len())?;
+            self.dir_insert(inner, new_parent, new_name, src, FileType::Regular)?;
+            let now = Self::tick(inner);
+            src_inode.links += 1;
+            src_inode.ctime = now;
+            self.store_inode(inner, src, &src_inode)?;
+            let mut np = self.load_inode(inner, new_parent)?;
+            np.mtime = now;
+            self.store_inode(inner, new_parent, &np)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Link),
+            Err(_) => self.counters.record_error(OpKind::Link),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Symlink, Site::ApiEntry).with_path(linkpath);
+        let _ = self.hook(&ctx)?;
+        if target.len() > BLOCK_SIZE {
+            return Err(FsError::NameTooLong);
+        }
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let (parent, name) = self.resolve_parent(inner, linkpath)?;
+            if self.dir_lookup(inner, parent, name)?.is_some() {
+                return Err(FsError::Exists);
+            }
+            let pdir = self.load_inode(inner, parent)?;
+            self.dir_insert_precheck(inner, &pdir, name.len())?;
+            if inner.alloc.free_inodes == 0 {
+                return Err(FsError::NoInodes);
+            }
+            let target_blocks = if target.is_empty() { 0 } else { 1 };
+            if inner.alloc.free_blocks < target_blocks {
+                return Err(FsError::NoSpace);
+            }
+            let ino = inner.alloc.alloc_ino(&self.pages)?;
+            let now = Self::tick(inner);
+            let mut inode = DiskInode::new(FileType::Symlink, now);
+            if !target.is_empty() {
+                let bno = self.alloc_data_block(inner, PageClass::Data)?;
+                let mut blk = vec![0u8; BLOCK_SIZE];
+                blk[..target.len()].copy_from_slice(target.as_bytes());
+                self.pages.write(bno, blk, PageClass::Data)?;
+                inode.direct[0] = bno;
+                inode.blocks = 1;
+            }
+            inode.size = target.len() as u64;
+            self.store_inode(inner, ino, &inode)?;
+            self.dir_insert(inner, parent, name, ino, FileType::Symlink)?;
+            let mut pdir = self.load_inode(inner, parent)?;
+            pdir.mtime = now;
+            self.store_inode(inner, parent, &pdir)
+        })();
+        match &result {
+            Ok(()) => self.counters.record(OpKind::Symlink),
+            Err(_) => self.counters.record_error(OpKind::Symlink),
+        }
+        self.maybe_autocommit(inner)?;
+        result
+    }
+
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let comps = split_path(path)?;
+            let ino = self.resolve(inner, &comps)?;
+            let inode = self.load_inode(inner, ino)?;
+            if inode.ftype != FileType::Symlink {
+                return Err(FsError::InvalidArgument);
+            }
+            if inode.size == 0 {
+                return Ok(String::new());
+            }
+            let bno = inode.direct[0];
+            if bno == 0 || inode.size > BLOCK_SIZE as u64 {
+                return Err(FsError::Corrupted {
+                    detail: format!("symlink {ino} has inconsistent target storage"),
+                });
+            }
+            let blk = self.pages.read(bno, PageClass::Data)?;
+            String::from_utf8(blk[..inode.size as usize].to_vec()).map_err(|_| {
+                FsError::Corrupted {
+                    detail: format!("symlink {ino} target is not UTF-8"),
+                }
+            })
+        })();
+        match &result {
+            Ok(_) => self.counters.record(OpKind::Readlink),
+            Err(_) => self.counters.record_error(OpKind::Readlink),
+        }
+        result
+    }
+
+    fn stat(&self, path: &str) -> FsResult<FileStat> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let comps = split_path(path)?;
+            let ino = self.resolve(inner, &comps)?;
+            let inode = self.load_inode(inner, ino)?;
+            Ok(FileStat {
+                ino,
+                ftype: inode.ftype,
+                size: inode.size,
+                nlink: u32::from(inode.links),
+                blocks: u64::from(inode.blocks),
+                mtime: inode.mtime,
+                ctime: inode.ctime,
+            })
+        })();
+        match &result {
+            Ok(_) => self.counters.record(OpKind::Stat),
+            Err(_) => self.counters.record_error(OpKind::Stat),
+        }
+        result
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<FileStat> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let entry = inner.fds.get(fd)?;
+            let inode = self.load_inode(inner, entry.ino)?;
+            Ok(FileStat {
+                ino: entry.ino,
+                ftype: inode.ftype,
+                size: inode.size,
+                nlink: u32::from(inode.links),
+                blocks: u64::from(inode.blocks),
+                mtime: inode.mtime,
+                ctime: inode.ctime,
+            })
+        })();
+        match &result {
+            Ok(_) => self.counters.record(OpKind::Fstat),
+            Err(_) => self.counters.record_error(OpKind::Fstat),
+        }
+        result
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let ctx = OpContext::new(OpKind::Readdir, Site::Readdir).with_path(path);
+        let corrupt = self.hook(&ctx)?;
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let result = (|| {
+            let comps = split_path(path)?;
+            let ino = self.resolve(inner, &comps)?;
+            let inode = self.load_inode(inner, ino)?;
+            if inode.ftype != FileType::Directory {
+                return Err(FsError::NotDir);
+            }
+            let mut out = Vec::new();
+            for bno in self.dir_blocks(&inode)? {
+                let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+                for rec in db.records() {
+                    out.push(DirEntry {
+                        ino: rec.ino,
+                        ftype: rec.ftype,
+                        name: rec.name,
+                    });
+                }
+            }
+            if corrupt {
+                out.pop(); // the silent wrong result: one entry vanishes
+            }
+            Ok(out)
+        })();
+        match &result {
+            Ok(_) => self.counters.record(OpKind::Readdir),
+            Err(_) => self.counters.record_error(OpKind::Readdir),
+        }
+        result
+    }
+
+    fn statfs(&self) -> FsResult<FsGeometryInfo> {
+        let inner = self.inner.lock();
+        self.counters.record(OpKind::Statfs);
+        Ok(FsGeometryInfo {
+            block_size: BLOCK_SIZE as u32,
+            total_blocks: self.geo.data_blocks,
+            free_blocks: inner.alloc.free_blocks,
+            total_inodes: u64::from(self.geo.inode_count) - 2,
+            free_inodes: u64::from(inner.alloc.free_inodes),
+        })
+    }
+}

@@ -1,0 +1,219 @@
+//! Stress tests: cache pressure, concurrency, and tiny-resource
+//! configurations, each ending in a full consistency check.
+
+use crate::fs::{BaseFs, BaseFsConfig};
+use rae_blockdev::{BlockDevice, MemDisk, QueueConfig, BLOCK_SIZE};
+use rae_fsformat::{fsck, mkfs, MkfsParams};
+use rae_vfs::{FileSystem, FsError, OpenFlags};
+use std::sync::Arc;
+
+fn rw_create() -> OpenFlags {
+    OpenFlags::RDWR | OpenFlags::CREATE
+}
+
+fn mount(dev: Arc<MemDisk>, config: BaseFsConfig) -> BaseFs {
+    BaseFs::mount(dev as Arc<dyn BlockDevice>, config).unwrap()
+}
+
+#[test]
+fn tiny_page_cache_forces_eviction_churn() {
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    // a 24-page cache with a realistic workload: constant eviction
+    let fs = mount(
+        dev.clone(),
+        BaseFsConfig {
+            page_cache_blocks: 24,
+            queue: QueueConfig {
+                nr_queues: 2,
+                queue_depth: 4, // tiny: exercises backpressure
+            },
+            ..BaseFsConfig::default()
+        },
+    );
+    for i in 0..40 {
+        let fd = fs.open(&format!("/f{i}"), rw_create()).unwrap();
+        fs.write(fd, 0, &vec![i as u8; 2 * BLOCK_SIZE]).unwrap();
+        fs.close(fd).unwrap();
+    }
+    // all data readable back despite the churn
+    for i in 0..40 {
+        let fd = fs.open(&format!("/f{i}"), OpenFlags::RDONLY).unwrap();
+        let data = fs.read(fd, 0, 2 * BLOCK_SIZE).unwrap();
+        assert!(data.iter().all(|&b| b == i as u8), "file {i} corrupted");
+        fs.close(fd).unwrap();
+    }
+    assert!(fs.stats().cache.evictions > 20, "{:?}", fs.stats());
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+#[test]
+fn tiny_cache_smaller_than_dirty_metadata_set() {
+    // dirty metadata is pinned; the cache must be allowed to exceed its
+    // nominal capacity rather than lose pinned pages
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    let fs = mount(
+        dev.clone(),
+        BaseFsConfig {
+            page_cache_blocks: 4, // absurdly small
+            max_dirty_meta: 1_000_000, // never autocommit
+            ..BaseFsConfig::default()
+        },
+    );
+    for i in 0..30 {
+        fs.mkdir(&format!("/d{i}")).unwrap();
+    }
+    for i in 0..30 {
+        assert!(fs.stat(&format!("/d{i}")).is_ok());
+    }
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+#[test]
+fn inode_exhaustion_and_recovery_of_space() {
+    let dev = Arc::new(MemDisk::new(512));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 512,
+            inode_count: 16, // 14 usable
+            journal_blocks: 16,
+        },
+    )
+    .unwrap();
+    let fs = mount(dev.clone(), BaseFsConfig::default());
+    let mut created = 0;
+    let mut i = 0;
+    loop {
+        match fs.mkdir(&format!("/d{i}")) {
+            Ok(()) => created += 1,
+            Err(FsError::NoInodes) => break,
+            Err(e) => panic!("{e}"),
+        }
+        i += 1;
+    }
+    assert_eq!(created, 14, "16 inodes - null - root");
+    // freeing makes room again
+    fs.rmdir("/d0").unwrap();
+    fs.mkdir("/again").unwrap();
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+#[test]
+fn mixed_concurrent_workload_many_threads() {
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 4096,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    let fs = Arc::new(mount(dev.clone(), BaseFsConfig::default()));
+    for t in 0..6 {
+        fs.mkdir(&format!("/t{t}")).unwrap();
+    }
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..60 {
+                let path = format!("/t{t}/f{i}");
+                let fd = fs.open(&path, rw_create()).unwrap();
+                fs.write(fd, 0, &vec![(t * 40 + i) as u8; 1500]).unwrap();
+                let back = fs.read(fd, 0, 1500).unwrap();
+                assert!(back.iter().all(|&b| b == (t * 40 + i) as u8));
+                fs.close(fd).unwrap();
+                if i % 7 == 0 {
+                    let _ = fs.readdir(&format!("/t{t}")).unwrap();
+                }
+                if i % 13 == 0 {
+                    fs.rename(&path, &format!("/t{t}/r{i}")).unwrap();
+                }
+                if i % 17 == 0 {
+                    let _ = fs.sync();
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let fs = Arc::into_inner(fs).unwrap();
+    fs.unmount().unwrap();
+    let report = fsck(dev.as_ref()).unwrap();
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn deep_nesting_and_long_names() {
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    let fs = mount(dev.clone(), BaseFsConfig::default());
+
+    // 40-deep nesting
+    let mut path = String::new();
+    for i in 0..40 {
+        path.push_str(&format!("/n{i}"));
+        fs.mkdir(&path).unwrap();
+    }
+    let long_name = "x".repeat(rae_vfs::MAX_NAME_LEN);
+    let deep_file = format!("{path}/{long_name}");
+    let fd = fs.open(&deep_file, rw_create()).unwrap();
+    fs.write(fd, 0, b"bottom").unwrap();
+    fs.close(fd).unwrap();
+    assert_eq!(fs.stat(&deep_file).unwrap().size, 6);
+
+    // a name one byte too long is rejected cleanly
+    let too_long = format!("{path}/{}", "y".repeat(rae_vfs::MAX_NAME_LEN + 1));
+    assert_eq!(fs.open(&too_long, rw_create()), Err(FsError::NameTooLong));
+
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+#[test]
+fn file_grows_and_shrinks_through_every_pointer_tier() {
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 256,
+            journal_blocks: 128,
+        },
+    )
+    .unwrap();
+    let fs = mount(dev.clone(), BaseFsConfig::default());
+    let fd = fs.open("/grow", rw_create()).unwrap();
+    let free0 = fs.statfs().unwrap().free_blocks;
+
+    // direct tier (12 blocks), indirect tier (+100), double tier (one
+    // far block)
+    fs.write(fd, 0, &vec![1u8; 12 * BLOCK_SIZE]).unwrap();
+    fs.write(fd, 12 * BLOCK_SIZE as u64, &vec![2u8; 100 * BLOCK_SIZE]).unwrap();
+    let far = (12 + 512 + 100) as u64 * BLOCK_SIZE as u64;
+    fs.write(fd, far, b"far out").unwrap();
+    assert_eq!(fs.fstat(fd).unwrap().size, far + 7);
+
+    // spot-check all tiers read back
+    assert_eq!(fs.read(fd, 5, 1).unwrap(), vec![1]);
+    assert_eq!(fs.read(fd, 50 * BLOCK_SIZE as u64, 1).unwrap(), vec![2]);
+    assert_eq!(fs.read(fd, far, 7).unwrap(), b"far out");
+
+    // shrink tier by tier; block accounting must return to zero
+    fs.truncate(fd, (12 + 50) as u64 * BLOCK_SIZE as u64).unwrap();
+    fs.truncate(fd, 6 * BLOCK_SIZE as u64).unwrap();
+    fs.truncate(fd, 0).unwrap();
+    assert_eq!(fs.fstat(fd).unwrap().blocks, 0);
+    assert_eq!(fs.statfs().unwrap().free_blocks, free0);
+    fs.close(fd).unwrap();
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}

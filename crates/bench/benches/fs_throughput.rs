@@ -1,0 +1,56 @@
+//! Criterion bench behind experiment E1: base vs shadow-as-primary
+//! throughput on identical scripts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rae_bench::harness::{fresh_latency_device, mount_base};
+use rae_blockdev::BlockDevice;
+use rae_faults::FaultRegistry;
+use rae_shadowfs::{ShadowAsPrimary, ShadowOpts};
+use rae_workloads::{generate_script, run_script, Profile};
+use std::sync::Arc;
+
+fn bench_fs_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_throughput");
+    group.sample_size(10);
+
+    for profile in [Profile::Varmail, Profile::FileServer, Profile::WebServer] {
+        let script = generate_script(profile, 42, 400);
+
+        group.bench_with_input(
+            BenchmarkId::new("base", profile.name()),
+            &script,
+            |b, script| {
+                b.iter_batched(
+                    || mount_base(fresh_latency_device() as Arc<dyn BlockDevice>, FaultRegistry::new()),
+                    |fs| run_script(&fs, script),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("shadow", profile.name()),
+            &script,
+            |b, script| {
+                b.iter_batched(
+                    || {
+                        ShadowAsPrimary::load(
+                            fresh_latency_device() as Arc<dyn BlockDevice>,
+                            ShadowOpts {
+                                validate_image: false,
+                                ..ShadowOpts::default()
+                            },
+                        )
+                        .expect("shadow load")
+                    },
+                    |fs| run_script(&fs, script),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fs_throughput);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench behind experiment E2: the RAE recording tax on the
+//! common path (no faults armed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rae::RaeConfig;
+use rae_bench::harness::{fresh_latency_device, mount_base, mount_rae};
+use rae_blockdev::BlockDevice;
+use rae_faults::FaultRegistry;
+use rae_workloads::{generate_script, run_script, Profile};
+use std::sync::Arc;
+
+fn bench_rae_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rae_overhead");
+    group.sample_size(10);
+
+    for profile in [Profile::Varmail, Profile::FileServer] {
+        let script = generate_script(profile, 7, 400);
+
+        group.bench_with_input(
+            BenchmarkId::new("base_raw", profile.name()),
+            &script,
+            |b, script| {
+                b.iter_batched(
+                    || mount_base(fresh_latency_device() as Arc<dyn BlockDevice>, FaultRegistry::new()),
+                    |fs| run_script(&fs, script),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("rae_wrapped", profile.name()),
+            &script,
+            |b, script| {
+                b.iter_batched(
+                    || mount_rae(fresh_latency_device() as Arc<dyn BlockDevice>, RaeConfig::default()),
+                    |fs| run_script(&fs, script),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rae_overhead);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench behind experiment E3: full recovery latency as a
+//! function of the retained operation-log length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rae::RaeConfig;
+use rae_basefs::BaseFsConfig;
+use rae_bench::harness::{fresh_device, mount_rae};
+use rae_blockdev::BlockDevice;
+use rae_faults::{BugSpec, Effect, FaultRegistry, Site, Trigger};
+use rae_shadowfs::ShadowOpts;
+use rae_vfs::{FileSystem, OpenFlags};
+use std::sync::Arc;
+
+/// Build a RAE filesystem with `len` unsynced operations and a bug
+/// armed to fire on the next allocation.
+fn primed_fs(len: usize) -> rae::RaeFs {
+    let faults = FaultRegistry::new();
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults: faults.clone(),
+            ..BaseFsConfig::default()
+        },
+        shadow: ShadowOpts {
+            validate_image: false,
+            ..ShadowOpts::default()
+        },
+        max_log_records: usize::MAX,
+        ..RaeConfig::default()
+    };
+    let fs = mount_rae(fresh_device() as Arc<dyn BlockDevice>, config);
+    for k in 0..len {
+        let fd = fs
+            .open(&format!("/f{k:05}"), OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
+        fs.write(fd, 0, &[k as u8; 512]).unwrap();
+        fs.close(fd).unwrap();
+    }
+    faults.arm(BugSpec::new(
+        9000,
+        "trigger",
+        Site::Alloc,
+        Trigger::Always,
+        Effect::DetectedError,
+    ));
+    fs
+}
+
+fn bench_recovery_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_latency");
+    group.sample_size(10);
+    for len in [10usize, 100, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter_batched(
+                || primed_fs(len),
+                |fs| {
+                    fs.mkdir("/trigger").unwrap(); // bug fires, recovery runs
+                    assert_eq!(fs.stats().recoveries, 1);
+                    fs
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery_latency);
+criterion_main!(benches);

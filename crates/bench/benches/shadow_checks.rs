@@ -1,0 +1,82 @@
+//! Criterion bench behind experiment E5: the cost of the shadow's
+//! runtime check battery during constrained replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rae_bench::harness::fresh_device;
+use rae_blockdev::{BlockDevice, MemDisk};
+use rae_shadowfs::{ShadowFs, ShadowOpts};
+use rae_vfs::{Fd, FsOp, OpRecord, OpenFlags};
+use std::sync::Arc;
+
+fn build_records(dev: &Arc<MemDisk>, files: usize) -> Vec<OpRecord> {
+    let mut generator = ShadowFs::load(
+        dev.clone() as Arc<dyn BlockDevice>,
+        ShadowOpts {
+            validate_image: false,
+            paranoid_checks: false,
+            refinement_check: false,
+        },
+    )
+    .unwrap();
+    let mut records = Vec::new();
+    let mut seq = 0u64;
+    for k in 0..files {
+        for op in [
+            FsOp::Create {
+                path: format!("/b{k:05}"),
+                flags: OpenFlags::RDWR | OpenFlags::CREATE,
+            },
+            FsOp::Write {
+                fd: Fd(3),
+                offset: 0,
+                data: vec![k as u8; 2048],
+            },
+            FsOp::Close { fd: Fd(3) },
+        ] {
+            let outcome = generator.execute_autonomous(&op).unwrap();
+            seq += 1;
+            let mut rec = OpRecord::new(seq, op);
+            rec.complete(outcome);
+            records.push(rec);
+        }
+    }
+    records
+}
+
+fn bench_shadow_checks(c: &mut Criterion) {
+    let dev = fresh_device();
+    let records = build_records(&dev, 150);
+
+    let configs: [(&str, ShadowOpts); 3] = [
+        (
+            "minimal",
+            ShadowOpts { validate_image: false, paranoid_checks: false, refinement_check: false },
+        ),
+        (
+            "paranoid",
+            ShadowOpts { validate_image: false, paranoid_checks: true, refinement_check: false },
+        ),
+        (
+            "paranoid_fsck",
+            ShadowOpts { validate_image: true, paranoid_checks: true, refinement_check: false },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("shadow_checks");
+    group.sample_size(10);
+    for (label, opts) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| {
+                let mut shadow =
+                    ShadowFs::load(dev.clone() as Arc<dyn BlockDevice>, *opts).unwrap();
+                let report = shadow.replay_constrained(&records).unwrap();
+                assert!(report.is_clean());
+                shadow.checks_performed()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shadow_checks);
+criterion_main!(benches);

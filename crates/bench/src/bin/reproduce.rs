@@ -1,0 +1,45 @@
+//! Regenerate every table and figure.
+//!
+//! ```text
+//! cargo run --release -p rae-bench --bin reproduce -- [--fast] [targets...]
+//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e4 | e4b | e5 | e6 | e7
+//! ```
+
+use rae_bench::experiments::{self, Scale};
+
+fn main() {
+    rae_bench::harness::quiet_injected_panics();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let scale = if fast { Scale::fast() } else { Scale::full() };
+    let mut targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        targets.push("all");
+    }
+
+    for target in targets {
+        let output = match target {
+            "all" => experiments::run_all(scale),
+            "table1" | "t1" => experiments::table1(),
+            "fig1" | "f1" => experiments::figure1(),
+            "e1" => experiments::e1_base_vs_shadow(scale),
+            "e2" => experiments::e2_rae_overhead(scale),
+            "e3" => experiments::e3_recovery_latency(scale),
+            "e4" => experiments::e4_availability(scale),
+            "e4b" => experiments::e4b_latency_tail(scale),
+            "e5" => experiments::e5_check_cost(scale),
+            "e6" => experiments::e6_differential(scale),
+            "e7" => experiments::e7_crafted_images(),
+            "trust" => experiments::trust_accounting(),
+            other => {
+                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e7|e4b)");
+                std::process::exit(2);
+            }
+        };
+        println!("{output}");
+    }
+}

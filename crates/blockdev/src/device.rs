@@ -1,0 +1,122 @@
+//! The [`BlockDevice`] trait.
+
+use rae_vfs::{FsError, FsResult};
+
+/// Block size used throughout the stack, in bytes.
+///
+/// Fixed at 4 KiB: the shared on-disk format, both filesystems, and all
+/// experiments assume this granularity (matching the common Linux page
+/// and filesystem block size).
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Allocate a zero-filled block buffer.
+#[must_use]
+pub fn zeroed_block() -> Vec<u8> {
+    vec![0u8; BLOCK_SIZE]
+}
+
+/// A synchronous block device with internal synchronization.
+///
+/// All methods take `&self`; implementations are safe for concurrent use
+/// (per-block locking in [`crate::MemDisk`], positional I/O in
+/// [`crate::FileDisk`]). Buffers must be exactly [`BLOCK_SIZE`] bytes;
+/// passing any other length is an [`FsError::Internal`] programming
+/// error, reported rather than panicking so that fault-injection paths
+/// cannot be crashed by corrupt length fields.
+pub trait BlockDevice: Send + Sync {
+    /// Number of blocks on the device.
+    fn block_count(&self) -> u64;
+
+    /// Read block `bno` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IoFailed`] for out-of-range blocks, device errors, or
+    /// injected faults; [`FsError::Internal`] for misshapen buffers.
+    fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()>;
+
+    /// Write `buf` to block `bno`.
+    ///
+    /// Completion does **not** imply durability; call
+    /// [`BlockDevice::flush`] for a persistence barrier.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockDevice::read_block`].
+    fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()>;
+
+    /// Persistence barrier: all previously completed writes are durable
+    /// when this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::IoFailed`] if the device cannot guarantee durability.
+    fn flush(&self) -> FsResult<()>;
+}
+
+/// Validate a buffer length, shared by implementations.
+pub(crate) fn check_buf(len: usize) -> FsResult<()> {
+    if len == BLOCK_SIZE {
+        Ok(())
+    } else {
+        Err(FsError::Internal {
+            detail: format!("block buffer has {len} bytes, expected {BLOCK_SIZE}"),
+        })
+    }
+}
+
+/// Validate a block number against the device size, shared by
+/// implementations.
+pub(crate) fn check_range(bno: u64, count: u64) -> FsResult<()> {
+    if bno < count {
+        Ok(())
+    } else {
+        Err(FsError::IoFailed {
+            detail: format!("block {bno} out of range (device has {count} blocks)"),
+        })
+    }
+}
+
+impl<D: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<D> {
+    fn block_count(&self) -> u64 {
+        (**self).block_count()
+    }
+    fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()> {
+        (**self).read_block(bno, buf)
+    }
+    fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()> {
+        (**self).write_block(bno, buf)
+    }
+    fn flush(&self) -> FsResult<()> {
+        (**self).flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_validation() {
+        assert!(check_buf(BLOCK_SIZE).is_ok());
+        assert!(matches!(check_buf(1), Err(FsError::Internal { .. })));
+        assert!(matches!(
+            check_buf(BLOCK_SIZE + 1),
+            Err(FsError::Internal { .. })
+        ));
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(check_range(0, 10).is_ok());
+        assert!(check_range(9, 10).is_ok());
+        assert!(matches!(check_range(10, 10), Err(FsError::IoFailed { .. })));
+    }
+
+    #[test]
+    fn zeroed_block_has_block_size() {
+        let b = zeroed_block();
+        assert_eq!(b.len(), BLOCK_SIZE);
+        assert!(b.iter().all(|&x| x == 0));
+    }
+}

@@ -1,0 +1,536 @@
+//! Device-level fault injection.
+//!
+//! [`FaultyDisk`] wraps any [`BlockDevice`] and injects the hardware
+//! fault classes the paper's fault model covers: explicit I/O errors
+//! (transient or targeted), *silent* read corruption (the "cores that
+//! don't count" / bad-DRAM class the shadow's runtime checks defend
+//! against), per-operation latency (to model slow media), and write
+//! cut-off (crash emulation).
+
+use crate::device::{BlockDevice, BLOCK_SIZE};
+use parking_lot::Mutex;
+use rae_vfs::{FsError, FsResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which blocks a fault rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A single block.
+    Block(u64),
+    /// A half-open block range `[start, end)`.
+    Range {
+        /// First affected block.
+        start: u64,
+        /// One past the last affected block.
+        end: u64,
+    },
+    /// Every block.
+    Any,
+}
+
+impl FaultTarget {
+    fn matches(self, bno: u64) -> bool {
+        match self {
+            FaultTarget::Block(b) => b == bno,
+            FaultTarget::Range { start, end } => (start..end).contains(&bno),
+            FaultTarget::Any => true,
+        }
+    }
+}
+
+/// When a fault rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TriggerMode {
+    /// On every matching access.
+    Always,
+    /// Exactly once, on the n-th matching access (1-based).
+    Nth(u64),
+    /// Independently with probability `p` per matching access
+    /// (deterministic given the plan seed).
+    Prob(f64),
+}
+
+/// An error-injection rule for reads or writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessRule {
+    /// Affected blocks.
+    pub target: FaultTarget,
+    /// Firing schedule.
+    pub mode: TriggerMode,
+}
+
+/// A silent-corruption rule: flip one bit of the data *returned* by a
+/// matching read (the stored data is untouched — the fault is in the
+/// "transfer path", as with DMA/DRAM/CPU corruption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptRule {
+    /// Affected blocks.
+    pub target: FaultTarget,
+    /// Byte offset of the flipped bit within the block.
+    pub byte: usize,
+    /// Bit index (0–7).
+    pub bit: u8,
+    /// Firing schedule.
+    pub mode: TriggerMode,
+}
+
+/// What happens to writes after a write cut-off point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteCutMode {
+    /// Writes fail with [`FsError::IoFailed`].
+    Error,
+    /// Writes report success but are discarded — emulates a crash where
+    /// the machine died and later writes never reached the platter.
+    SilentDrop,
+}
+
+/// A device-level fault plan.
+///
+/// Build with the fluent methods, then install via
+/// [`FaultyDisk::with_plan`] or [`FaultyDisk::set_plan`].
+#[derive(Debug, Clone, Default)]
+pub struct DiskFaultPlan {
+    read_errors: Vec<AccessRule>,
+    write_errors: Vec<AccessRule>,
+    corrupt_reads: Vec<CorruptRule>,
+    read_latency_ns: u64,
+    write_latency_ns: u64,
+    write_cut: Option<(u64, WriteCutMode)>,
+    seed: u64,
+}
+
+impl DiskFaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> DiskFaultPlan {
+        DiskFaultPlan::default()
+    }
+
+    /// Seed for probabilistic rules (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> DiskFaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Fail matching reads.
+    #[must_use]
+    pub fn fail_reads(mut self, target: FaultTarget, mode: TriggerMode) -> DiskFaultPlan {
+        self.read_errors.push(AccessRule { target, mode });
+        self
+    }
+
+    /// Fail matching writes.
+    #[must_use]
+    pub fn fail_writes(mut self, target: FaultTarget, mode: TriggerMode) -> DiskFaultPlan {
+        self.write_errors.push(AccessRule { target, mode });
+        self
+    }
+
+    /// Silently corrupt matching reads (single bit flip in the returned
+    /// buffer).
+    #[must_use]
+    pub fn corrupt_reads(
+        mut self,
+        target: FaultTarget,
+        byte: usize,
+        bit: u8,
+        mode: TriggerMode,
+    ) -> DiskFaultPlan {
+        assert!(byte < BLOCK_SIZE && bit < 8, "corruption coordinates out of range");
+        self.corrupt_reads.push(CorruptRule {
+            target,
+            byte,
+            bit,
+            mode,
+        });
+        self
+    }
+
+    /// Busy-wait latency per read, in nanoseconds (models media speed).
+    #[must_use]
+    pub fn read_latency_ns(mut self, ns: u64) -> DiskFaultPlan {
+        self.read_latency_ns = ns;
+        self
+    }
+
+    /// Busy-wait latency per write, in nanoseconds.
+    #[must_use]
+    pub fn write_latency_ns(mut self, ns: u64) -> DiskFaultPlan {
+        self.write_latency_ns = ns;
+        self
+    }
+
+    /// Cut writes off after `n` successful writes (crash emulation).
+    #[must_use]
+    pub fn cut_writes_after(mut self, n: u64, mode: WriteCutMode) -> DiskFaultPlan {
+        self.write_cut = Some((n, mode));
+        self
+    }
+}
+
+/// Record of one injected fault, for assertions in tests and reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A read of `bno` was failed.
+    ReadError(u64),
+    /// A write of `bno` was failed.
+    WriteError(u64),
+    /// A read of `bno` was silently corrupted.
+    CorruptedRead(u64),
+    /// A write of `bno` was dropped past the cut-off.
+    DroppedWrite(u64),
+}
+
+struct FaultState {
+    plan: DiskFaultPlan,
+    read_rule_hits: Vec<u64>,
+    write_rule_hits: Vec<u64>,
+    corrupt_rule_hits: Vec<u64>,
+    rng: SmallRng,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultState {
+    fn new(plan: DiskFaultPlan) -> FaultState {
+        FaultState {
+            read_rule_hits: vec![0; plan.read_errors.len()],
+            write_rule_hits: vec![0; plan.write_errors.len()],
+            corrupt_rule_hits: vec![0; plan.corrupt_reads.len()],
+            rng: SmallRng::seed_from_u64(plan.seed),
+            events: Vec::new(),
+            plan,
+        }
+    }
+
+    fn rule_fires(mode: TriggerMode, hits: &mut u64, rng: &mut SmallRng) -> bool {
+        *hits += 1;
+        match mode {
+            TriggerMode::Always => true,
+            TriggerMode::Nth(n) => *hits == n,
+            TriggerMode::Prob(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
+        }
+    }
+}
+
+/// A fault-injecting wrapper around any block device.
+///
+/// The plan can be swapped at runtime ([`FaultyDisk::set_plan`]);
+/// injected events are recorded and drainable for assertions.
+pub struct FaultyDisk<D> {
+    inner: D,
+    state: Mutex<FaultState>,
+    writes_done: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for FaultyDisk<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyDisk")
+            .field("inner", &self.inner)
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<D: BlockDevice> FaultyDisk<D> {
+    /// Wrap `inner` with no active faults.
+    #[must_use]
+    pub fn new(inner: D) -> FaultyDisk<D> {
+        FaultyDisk::with_plan(inner, DiskFaultPlan::new())
+    }
+
+    /// Wrap `inner` with `plan` active.
+    #[must_use]
+    pub fn with_plan(inner: D, plan: DiskFaultPlan) -> FaultyDisk<D> {
+        FaultyDisk {
+            inner,
+            state: Mutex::new(FaultState::new(plan)),
+            writes_done: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the active plan (resets per-rule counters, keeps events).
+    pub fn set_plan(&self, plan: DiskFaultPlan) {
+        let mut st = self.state.lock();
+        let events = std::mem::take(&mut st.events);
+        *st = FaultState::new(plan);
+        st.events = events;
+    }
+
+    /// Remove all faults.
+    pub fn clear_plan(&self) {
+        self.set_plan(DiskFaultPlan::new());
+    }
+
+    /// Total faults injected since construction.
+    #[must_use]
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Drain the recorded fault events.
+    #[must_use]
+    pub fn take_events(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.state.lock().events)
+    }
+
+    /// Access the wrapped device.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn busy_wait(ns: u64) {
+        if ns == 0 {
+            return;
+        }
+        let start = Instant::now();
+        while u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX) < ns {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+
+    fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()> {
+        let (latency, error, corrupt) = {
+            let mut st = self.state.lock();
+            let latency = st.plan.read_latency_ns;
+
+            let mut error = false;
+            for i in 0..st.plan.read_errors.len() {
+                let rule = st.plan.read_errors[i].clone();
+                if rule.target.matches(bno) {
+                    let mut hits = st.read_rule_hits[i];
+                    let fires = FaultState::rule_fires(rule.mode, &mut hits, &mut st.rng);
+                    st.read_rule_hits[i] = hits;
+                    if fires {
+                        error = true;
+                        break;
+                    }
+                }
+            }
+
+            let mut corrupt = None;
+            if !error {
+                for i in 0..st.plan.corrupt_reads.len() {
+                    let rule = st.plan.corrupt_reads[i].clone();
+                    if rule.target.matches(bno) {
+                        let mut hits = st.corrupt_rule_hits[i];
+                        let fires = FaultState::rule_fires(rule.mode, &mut hits, &mut st.rng);
+                        st.corrupt_rule_hits[i] = hits;
+                        if fires {
+                            corrupt = Some((rule.byte, rule.bit));
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if error {
+                st.events.push(FaultEvent::ReadError(bno));
+            } else if corrupt.is_some() {
+                st.events.push(FaultEvent::CorruptedRead(bno));
+            }
+            (latency, error, corrupt)
+        };
+
+        Self::busy_wait(latency);
+        if error {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(FsError::IoFailed {
+                detail: format!("injected read error at block {bno}"),
+            });
+        }
+        self.inner.read_block(bno, buf)?;
+        if let Some((byte, bit)) = corrupt {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            buf[byte] ^= 1 << bit;
+        }
+        Ok(())
+    }
+
+    fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()> {
+        let (latency, error, cut) = {
+            let mut st = self.state.lock();
+            let latency = st.plan.write_latency_ns;
+
+            let mut error = false;
+            for i in 0..st.plan.write_errors.len() {
+                let rule = st.plan.write_errors[i].clone();
+                if rule.target.matches(bno) {
+                    let mut hits = st.write_rule_hits[i];
+                    let fires = FaultState::rule_fires(rule.mode, &mut hits, &mut st.rng);
+                    st.write_rule_hits[i] = hits;
+                    if fires {
+                        error = true;
+                        break;
+                    }
+                }
+            }
+
+            let cut = if error {
+                None
+            } else {
+                match st.plan.write_cut {
+                    Some((n, mode)) if self.writes_done.load(Ordering::Relaxed) >= n => Some(mode),
+                    _ => None,
+                }
+            };
+
+            if error {
+                st.events.push(FaultEvent::WriteError(bno));
+            } else if cut == Some(WriteCutMode::SilentDrop) {
+                st.events.push(FaultEvent::DroppedWrite(bno));
+            }
+            (latency, error, cut)
+        };
+
+        Self::busy_wait(latency);
+        if error {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(FsError::IoFailed {
+                detail: format!("injected write error at block {bno}"),
+            });
+        }
+        match cut {
+            Some(WriteCutMode::Error) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(FsError::IoFailed {
+                    detail: format!("write cut-off reached at block {bno}"),
+                })
+            }
+            Some(WriteCutMode::SilentDrop) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Ok(()) // swallowed
+            }
+            None => {
+                self.inner.write_block(bno, buf)?;
+                self.writes_done.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    fn flush(&self) -> FsResult<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemDisk;
+
+    fn block(fill: u8) -> Vec<u8> {
+        vec![fill; BLOCK_SIZE]
+    }
+
+    #[test]
+    fn no_plan_is_transparent() {
+        let d = FaultyDisk::new(MemDisk::new(4));
+        d.write_block(1, &block(9)).unwrap();
+        let mut r = block(0);
+        d.read_block(1, &mut r).unwrap();
+        assert_eq!(r[0], 9);
+        assert_eq!(d.injected_faults(), 0);
+    }
+
+    #[test]
+    fn nth_read_error_fires_once() {
+        let plan =
+            DiskFaultPlan::new().fail_reads(FaultTarget::Block(2), TriggerMode::Nth(2));
+        let d = FaultyDisk::with_plan(MemDisk::new(4), plan);
+        let mut r = block(0);
+        assert!(d.read_block(2, &mut r).is_ok()); // 1st
+        assert!(d.read_block(2, &mut r).is_err()); // 2nd fires
+        assert!(d.read_block(2, &mut r).is_ok()); // 3rd ok again
+        assert_eq!(d.injected_faults(), 1);
+        assert_eq!(d.take_events(), vec![FaultEvent::ReadError(2)]);
+    }
+
+    #[test]
+    fn always_write_error_on_range() {
+        let plan = DiskFaultPlan::new()
+            .fail_writes(FaultTarget::Range { start: 5, end: 7 }, TriggerMode::Always);
+        let d = FaultyDisk::with_plan(MemDisk::new(10), plan);
+        assert!(d.write_block(4, &block(1)).is_ok());
+        assert!(d.write_block(5, &block(1)).is_err());
+        assert!(d.write_block(6, &block(1)).is_err());
+        assert!(d.write_block(7, &block(1)).is_ok());
+    }
+
+    #[test]
+    fn silent_corruption_flips_returned_bit_only() {
+        let plan = DiskFaultPlan::new().corrupt_reads(
+            FaultTarget::Block(0),
+            100,
+            1,
+            TriggerMode::Nth(1),
+        );
+        let d = FaultyDisk::with_plan(MemDisk::new(1), plan);
+        d.write_block(0, &block(0)).unwrap();
+
+        let mut r = block(0);
+        d.read_block(0, &mut r).unwrap();
+        assert_eq!(r[100], 0b10, "first read corrupted");
+
+        d.read_block(0, &mut r).unwrap();
+        assert_eq!(r[100], 0, "stored data untouched, later reads clean");
+    }
+
+    #[test]
+    fn probabilistic_faults_are_seed_deterministic() {
+        let run = |seed| {
+            let plan = DiskFaultPlan::new()
+                .seed(seed)
+                .fail_reads(FaultTarget::Any, TriggerMode::Prob(0.5));
+            let d = FaultyDisk::with_plan(MemDisk::new(1), plan);
+            let mut r = block(0);
+            (0..64).map(|_| d.read_block(0, &mut r).is_err()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn write_cut_error_mode() {
+        let plan = DiskFaultPlan::new().cut_writes_after(2, WriteCutMode::Error);
+        let d = FaultyDisk::with_plan(MemDisk::new(4), plan);
+        assert!(d.write_block(0, &block(1)).is_ok());
+        assert!(d.write_block(1, &block(1)).is_ok());
+        assert!(d.write_block(2, &block(1)).is_err());
+    }
+
+    #[test]
+    fn write_cut_silent_drop_swallows() {
+        let plan = DiskFaultPlan::new().cut_writes_after(1, WriteCutMode::SilentDrop);
+        let d = FaultyDisk::with_plan(MemDisk::new(4), plan);
+        d.write_block(0, &block(7)).unwrap();
+        d.write_block(1, &block(7)).unwrap(); // dropped, reports ok
+
+        let mut r = block(9);
+        d.read_block(1, &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 0), "dropped write never landed");
+        assert_eq!(d.take_events(), vec![FaultEvent::DroppedWrite(1)]);
+    }
+
+    #[test]
+    fn set_plan_resets_counters() {
+        let plan = DiskFaultPlan::new().fail_reads(FaultTarget::Any, TriggerMode::Nth(1));
+        let d = FaultyDisk::with_plan(MemDisk::new(1), plan.clone());
+        let mut r = block(0);
+        assert!(d.read_block(0, &mut r).is_err());
+        d.set_plan(plan);
+        assert!(d.read_block(0, &mut r).is_err(), "counter reset, fires again");
+    }
+}

@@ -1,0 +1,51 @@
+//! Block-device substrate for the RAE shadow-filesystem stack.
+//!
+//! The paper's experiments depend on the *interface* and *fault surface*
+//! of storage, not on physical media, so this crate provides:
+//!
+//! * [`BlockDevice`] — the synchronous, internally-synchronized block
+//!   interface both filesystems are built on (4 KiB blocks);
+//! * [`MemDisk`] — an in-memory disk with whole-image snapshot/restore
+//!   (the workhorse for tests and benchmarks);
+//! * [`FileDisk`] — a file-backed disk for persistent images;
+//! * [`FaultyDisk`] — a wrapper injecting device-level faults: targeted
+//!   or probabilistic read/write errors, silent bit corruption, per-op
+//!   latency, and write cut-off for crash emulation;
+//! * [`StatsDisk`] — a transparent I/O accounting wrapper;
+//! * [`WritebackQueue`] — a blk-mq-flavoured multi-queue asynchronous
+//!   write-back engine used by the base filesystem's page cache.
+//!
+//! # Example
+//!
+//! ```
+//! use rae_blockdev::{BlockDevice, MemDisk, BLOCK_SIZE};
+//!
+//! # fn main() -> rae_vfs::FsResult<()> {
+//! let disk = MemDisk::new(128);
+//! let mut block = vec![0u8; BLOCK_SIZE];
+//! block[0] = 0xAB;
+//! disk.write_block(7, &block)?;
+//!
+//! let mut back = vec![0u8; BLOCK_SIZE];
+//! disk.read_block(7, &mut back)?;
+//! assert_eq!(back[0], 0xAB);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod faulty;
+mod file;
+mod mem;
+mod queue;
+mod stats;
+
+pub use device::{zeroed_block, BlockDevice, BLOCK_SIZE};
+pub use faulty::{AccessRule, CorruptRule, DiskFaultPlan, FaultEvent, FaultTarget, FaultyDisk, TriggerMode, WriteCutMode};
+pub use file::FileDisk;
+pub use mem::MemDisk;
+pub use queue::{QueueConfig, WritebackQueue};
+pub use stats::{DiskCounters, StatsDisk};

@@ -1,0 +1,168 @@
+//! Transparent I/O accounting.
+
+use crate::device::BlockDevice;
+use rae_vfs::FsResult;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of device I/O counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskCounters {
+    /// Completed block reads.
+    pub reads: u64,
+    /// Completed block writes.
+    pub writes: u64,
+    /// Completed flush barriers.
+    pub flushes: u64,
+    /// Failed operations (reads + writes + flushes).
+    pub errors: u64,
+}
+
+impl DiskCounters {
+    /// Total completed data operations (reads + writes).
+    #[must_use]
+    pub fn io_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A wrapper counting the I/O that reaches the underlying device.
+///
+/// Experiments use it to show, e.g., how many device reads the shadow's
+/// cache-free design performs versus the base's cached path.
+#[derive(Debug)]
+pub struct StatsDisk<D> {
+    inner: D,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    flushes: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl<D: BlockDevice> StatsDisk<D> {
+    /// Wrap `inner` with zeroed counters.
+    #[must_use]
+    pub fn new(inner: D) -> StatsDisk<D> {
+        StatsDisk {
+            inner,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counter values.
+    #[must_use]
+    pub fn counters(&self) -> DiskCounters {
+        DiskCounters {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.flushes.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
+    }
+
+    /// Access the wrapped device.
+    #[must_use]
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for StatsDisk<D> {
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+
+    fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()> {
+        match self.inner.read_block(bno, buf) {
+            Ok(()) => {
+                self.reads.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()> {
+        match self.inner.write_block(bno, buf) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn flush(&self) -> FsResult<()> {
+        match self.inner.flush() {
+            Ok(()) => {
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BLOCK_SIZE;
+    use crate::faulty::{DiskFaultPlan, FaultTarget, FaultyDisk, TriggerMode};
+    use crate::mem::MemDisk;
+
+    #[test]
+    fn counts_reads_writes_flushes() {
+        let d = StatsDisk::new(MemDisk::new(4));
+        let mut b = vec![0u8; BLOCK_SIZE];
+        d.write_block(0, &b).unwrap();
+        d.write_block(1, &b).unwrap();
+        d.read_block(0, &mut b).unwrap();
+        d.flush().unwrap();
+
+        let c = d.counters();
+        assert_eq!(c.reads, 1);
+        assert_eq!(c.writes, 2);
+        assert_eq!(c.flushes, 1);
+        assert_eq!(c.errors, 0);
+        assert_eq!(c.io_ops(), 3);
+    }
+
+    #[test]
+    fn counts_errors_separately() {
+        let plan = DiskFaultPlan::new().fail_reads(FaultTarget::Any, TriggerMode::Always);
+        let d = StatsDisk::new(FaultyDisk::with_plan(MemDisk::new(2), plan));
+        let mut b = vec![0u8; BLOCK_SIZE];
+        assert!(d.read_block(0, &mut b).is_err());
+        let c = d.counters();
+        assert_eq!(c.reads, 0);
+        assert_eq!(c.errors, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let d = StatsDisk::new(MemDisk::new(1));
+        let b = vec![0u8; BLOCK_SIZE];
+        d.write_block(0, &b).unwrap();
+        d.reset();
+        assert_eq!(d.counters(), DiskCounters::default());
+    }
+}

@@ -1,0 +1,276 @@
+//! The classification pipeline (the study's methodology as code).
+
+use crate::dataset::RawBugRecord;
+use serde::{Deserialize, Serialize};
+
+/// Determinism classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Determinism {
+    /// Reproduces deterministically from an operation sequence.
+    Deterministic,
+    /// No reproducer, or depends on in-flight I/O or thread interleaving.
+    NonDeterministic,
+    /// The record does not say.
+    Unknown,
+}
+
+impl Determinism {
+    /// Stable index (Table 1 row).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Determinism::Deterministic => 0,
+            Determinism::NonDeterministic => 1,
+            Determinism::Unknown => 2,
+        }
+    }
+
+    /// Row label as printed in Table 1.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Determinism::Deterministic => "Deterministic",
+            Determinism::NonDeterministic => "Non-Deterministic",
+            Determinism::Unknown => "Unknown",
+        }
+    }
+}
+
+/// Consequence classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Consequence {
+    /// External symptoms without a crash: corruption, performance,
+    /// permission, freeze, deadlock…
+    NoCrash,
+    /// Kernel crash (BUG(), oops, null dereference, use-after-free…).
+    Crash,
+    /// A `WARN_ON` path was hit (the suggested substitute for `BUG()`).
+    Warn,
+    /// The commit message contains no clear external symptom.
+    Unknown,
+}
+
+impl Consequence {
+    /// Stable index (Table 1 column).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Consequence::NoCrash => 0,
+            Consequence::Crash => 1,
+            Consequence::Warn => 2,
+            Consequence::Unknown => 3,
+        }
+    }
+
+    /// Column label as printed in Table 1.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Consequence::NoCrash => "No Crash",
+            Consequence::Crash => "Crash",
+            Consequence::Warn => "WARN",
+            Consequence::Unknown => "Unknown",
+        }
+    }
+}
+
+/// The study's collection filter: keep records whose references or
+/// message mention "bugzilla" or "reported by" (case-insensitive).
+#[must_use]
+pub fn filter_study(records: Vec<RawBugRecord>) -> Vec<RawBugRecord> {
+    records
+        .into_iter()
+        .filter(|r| {
+            let msg = r.commit_message.to_lowercase();
+            msg.contains("bugzilla")
+                || msg.contains("reported-by")
+                || msg.contains("reported by")
+                || r.refs.iter().any(|x| {
+                    let x = x.to_lowercase();
+                    x.contains("bugzilla") || x.contains("reported")
+                })
+        })
+        .collect()
+}
+
+const CRASH_MARKERS: [&str; 8] = [
+    "bug()",
+    "bug_on",
+    "kernel panic",
+    "null pointer dereference",
+    "null-ptr-deref",
+    "use-after-free",
+    "oops",
+    "general protection fault",
+];
+
+const WARN_MARKERS: [&str; 3] = ["warn_on", "warn()", "warning at fs/"];
+
+const NOCRASH_MARKERS: [&str; 8] = [
+    "data corruption",
+    "corrupted",
+    "wrong data",
+    "performance regression",
+    "slowdown",
+    "permission",
+    "deadlock",
+    "hang",
+];
+
+/// Classify one record along both axes.
+///
+/// Determinism follows the paper's rule verbatim: "bugs that do not
+/// have reproducers, or are related to the interaction with IO (e.g.,
+/// multiple inflight requests), or are related to threading, are
+/// classified as non-deterministic"; records without clear clues are
+/// `Unknown`. Consequence is keyword-driven over the commit message,
+/// with `WARN` taking precedence over no-crash markers and crash
+/// markers taking precedence over everything.
+#[must_use]
+pub fn classify(record: &RawBugRecord) -> (Determinism, Consequence) {
+    let determinism = if record.determinism_unclear {
+        Determinism::Unknown
+    } else if !record.has_reproducer || record.involves_inflight_io || record.involves_threading {
+        Determinism::NonDeterministic
+    } else {
+        Determinism::Deterministic
+    };
+
+    let msg = record.commit_message.to_lowercase();
+    let consequence = if CRASH_MARKERS.iter().any(|m| msg.contains(m)) {
+        Consequence::Crash
+    } else if WARN_MARKERS.iter().any(|m| msg.contains(m)) {
+        Consequence::Warn
+    } else if NOCRASH_MARKERS.iter().any(|m| msg.contains(m)) {
+        Consequence::NoCrash
+    } else {
+        Consequence::Unknown
+    };
+    (determinism, consequence)
+}
+
+/// Aggregated counts: `counts[determinism][consequence]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StudySummary {
+    /// The Table 1 matrix.
+    pub counts: [[u64; 4]; 3],
+}
+
+impl StudySummary {
+    /// Row total.
+    #[must_use]
+    pub fn row_total(&self, d: Determinism) -> u64 {
+        self.counts[d.index()].iter().sum()
+    }
+
+    /// Grand total.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+}
+
+/// Classify and aggregate a record set.
+#[must_use]
+pub fn summarize(records: &[RawBugRecord]) -> StudySummary {
+    let mut summary = StudySummary::default();
+    for r in records {
+        let (d, c) = classify(r);
+        summary.counts[d.index()][c.index()] += 1;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(msg: &str, repro: bool, io: bool, threading: bool) -> RawBugRecord {
+        RawBugRecord {
+            id: 1,
+            year: 2020,
+            commit_message: msg.to_string(),
+            refs: vec!["bugzilla.kernel.org/12345".into()],
+            has_reproducer: repro,
+            involves_inflight_io: io,
+            involves_threading: threading,
+            determinism_unclear: false,
+        }
+    }
+
+    #[test]
+    fn crash_markers_dominate() {
+        let r = record(
+            "ext4: fix use-after-free in ext4_put_super, also a deadlock",
+            true,
+            false,
+            false,
+        );
+        assert_eq!(classify(&r), (Determinism::Deterministic, Consequence::Crash));
+    }
+
+    #[test]
+    fn warn_beats_nocrash() {
+        let r = record("ext4: WARN_ON hit during data corruption handling", true, false, false);
+        assert_eq!(classify(&r).1, Consequence::Warn);
+    }
+
+    #[test]
+    fn nocrash_and_unknown() {
+        let r = record("ext4: fix data corruption on resize", true, false, false);
+        assert_eq!(classify(&r).1, Consequence::NoCrash);
+        let r = record("ext4: tidy up extent handling", true, false, false);
+        assert_eq!(classify(&r).1, Consequence::Unknown);
+    }
+
+    #[test]
+    fn determinism_rules() {
+        assert_eq!(
+            classify(&record("x bug()", true, false, false)).0,
+            Determinism::Deterministic
+        );
+        assert_eq!(
+            classify(&record("x bug()", false, false, false)).0,
+            Determinism::NonDeterministic,
+            "no reproducer"
+        );
+        assert_eq!(
+            classify(&record("x bug()", true, true, false)).0,
+            Determinism::NonDeterministic,
+            "in-flight io"
+        );
+        assert_eq!(
+            classify(&record("x bug()", true, false, true)).0,
+            Determinism::NonDeterministic,
+            "threading"
+        );
+        let mut r = record("x bug()", true, false, false);
+        r.determinism_unclear = true;
+        assert_eq!(classify(&r).0, Determinism::Unknown);
+    }
+
+    #[test]
+    fn filter_requires_study_markers() {
+        let keep = record("ext4: fix thing. Reported-by: someone", true, false, false);
+        let mut drop1 = keep.clone();
+        drop1.commit_message = "ext4: cleanup".into();
+        drop1.refs = vec![];
+        let kept = filter_study(vec![keep, drop1]);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn summary_totals() {
+        let records = vec![
+            record("a bug()", true, false, false),
+            record("b warn_on", true, false, false),
+            record("c data corruption", false, false, false),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.counts[0][1], 1); // det crash
+        assert_eq!(s.counts[0][2], 1); // det warn
+        assert_eq!(s.counts[1][0], 1); // nondet nocrash
+        assert_eq!(s.row_total(Determinism::Deterministic), 2);
+    }
+}

@@ -1,0 +1,250 @@
+//! The curated bug-record corpus.
+//!
+//! Records are commit-record facsimiles. Aggregate counts reproduce the
+//! paper's Table 1 exactly; the per-year split of deterministic bugs
+//! follows Figure 1's digitized shape (rising through the decade,
+//! peaking in 2022). Twenty additional records without study markers
+//! are included so the collection filter does real work.
+
+use serde::{Deserialize, Serialize};
+
+/// One raw bug record, as the collection phase would produce it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawBugRecord {
+    /// Stable record id.
+    pub id: u32,
+    /// Year the fix landed.
+    pub year: u16,
+    /// Synthesized commit message (classification input).
+    pub commit_message: String,
+    /// Reference lines (bugzilla links, Reported-by tags).
+    pub refs: Vec<String>,
+    /// Whether the report includes a reproducer.
+    pub has_reproducer: bool,
+    /// Whether the bug involves in-flight I/O interaction.
+    pub involves_inflight_io: bool,
+    /// Whether the bug involves thread interleaving.
+    pub involves_threading: bool,
+    /// Whether the record gives no determinism clues at all.
+    pub determinism_unclear: bool,
+}
+
+/// Per-year deterministic-bug decomposition (crash, no-crash, warn,
+/// unknown), digitized from Figure 1. Row sums: 165 total; column
+/// sums match Table 1's deterministic row exactly.
+pub(crate) const DET_BY_YEAR: [(u16, [u64; 4]); 11] = [
+    // year, [crash, nocrash, warn, unknown]
+    (2013, [4, 4, 0, 0]),
+    (2014, [5, 4, 0, 0]),
+    (2015, [5, 4, 1, 0]),
+    (2016, [5, 5, 0, 1]),
+    (2017, [6, 5, 1, 0]),
+    (2018, [7, 6, 1, 1]),
+    (2019, [8, 6, 1, 1]),
+    (2020, [9, 7, 1, 1]),
+    (2021, [9, 8, 2, 1]),
+    (2022, [12, 10, 2, 2]),
+    (2023, [8, 9, 2, 1]),
+];
+
+/// Table 1 non-deterministic row: (nocrash, crash, warn, unknown).
+const NONDET_TOTALS: [u64; 4] = [31, 26, 19, 7];
+/// Table 1 unknown-determinism row.
+const UNKNOWN_TOTALS: [u64; 4] = [5, 2, 1, 0];
+
+const CRASH_TEMPLATES: [&str; 4] = [
+    "ext4: fix use-after-free in {site} when mounting a crafted image",
+    "ext4: avoid null pointer dereference in {site}",
+    "ext4: fix BUG() triggered by {site} on corrupted extent tree",
+    "ext4: prevent kernel oops in {site} during {feature} handling",
+];
+
+const NOCRASH_TEMPLATES: [&str; 4] = [
+    "ext4: fix data corruption in {site} after {feature} conversion",
+    "ext4: fix performance regression in {site} introduced by {feature}",
+    "ext4: fix deadlock between {site} and writeback",
+    "ext4: fix permission check bypass in {site}",
+];
+
+const WARN_TEMPLATES: [&str; 2] = [
+    "ext4: avoid WARN_ON in {site} when {feature} races with unmount",
+    "ext4: silence bogus WARN_ON during {site} replay",
+];
+
+const UNKNOWN_TEMPLATES: [&str; 2] = [
+    "ext4: correct accounting in {site}",
+    "ext4: harden {site} against inconsistent {feature} state",
+];
+
+const SITES: [&str; 8] = [
+    "ext4_rename",
+    "ext4_put_super",
+    "ext4_ext_map_blocks",
+    "ext4_mb_new_blocks",
+    "ext4_truncate",
+    "ext4_readdir",
+    "ext4_symlink",
+    "jbd2_journal_commit",
+];
+
+const FEATURES: [&str; 6] = [
+    "bigalloc",
+    "iomap",
+    "folio",
+    "fast_commit",
+    "delalloc",
+    "blk-mq",
+];
+
+fn message(templates: &[&str], n: usize) -> String {
+    let t = templates[n % templates.len()];
+    t.replace("{site}", SITES[n % SITES.len()])
+        .replace("{feature}", FEATURES[n % FEATURES.len()])
+}
+
+/// consequence index -> template set (matching `Consequence::index`).
+fn templates_for(consequence: usize) -> &'static [&'static str] {
+    match consequence {
+        0 => &NOCRASH_TEMPLATES,
+        1 => &CRASH_TEMPLATES,
+        2 => &WARN_TEMPLATES,
+        _ => &UNKNOWN_TEMPLATES,
+    }
+}
+
+/// Build the full corpus: 256 study records + 20 chaff records the
+/// collection filter must drop. Deterministic (no randomness).
+#[must_use]
+pub fn corpus() -> Vec<RawBugRecord> {
+    let mut out = Vec::with_capacity(276);
+    let mut id = 0u32;
+    let mut emit = |out: &mut Vec<RawBugRecord>,
+                    year: u16,
+                    consequence: usize,
+                    has_reproducer: bool,
+                    io: bool,
+                    threading: bool,
+                    unclear: bool| {
+        id += 1;
+        let refs = if id.is_multiple_of(2) {
+            vec![format!("https://bugzilla.kernel.org/show_bug.cgi?id={}", 200_000 + id)]
+        } else {
+            vec![format!("Reported-by: fuzzer{id}@example.org")]
+        };
+        out.push(RawBugRecord {
+            id,
+            year,
+            commit_message: format!(
+                "{}\n\n{}",
+                message(templates_for(consequence), id as usize),
+                refs[0]
+            ),
+            refs,
+            has_reproducer,
+            involves_inflight_io: io,
+            involves_threading: threading,
+            determinism_unclear: unclear,
+        });
+    };
+
+    // deterministic records, year by year (Figure 1 decomposition);
+    // DET_BY_YEAR rows are [crash, nocrash, warn, unknown] — map to
+    // consequence indices 1, 0, 2, 3.
+    for (year, row) in DET_BY_YEAR {
+        for (slot, &count) in row.iter().enumerate() {
+            let consequence = match slot {
+                0 => 1, // crash
+                1 => 0, // nocrash
+                2 => 2, // warn
+                _ => 3, // unknown
+            };
+            for _ in 0..count {
+                emit(&mut out, year, consequence, true, false, false, false);
+            }
+        }
+    }
+
+    // non-deterministic records: rotate the non-determinism cause and
+    // spread years round-robin across the decade
+    let years: Vec<u16> = (2013..=2023).collect();
+    let mut year_idx = 0usize;
+    for (consequence, &count) in NONDET_TOTALS.iter().enumerate() {
+        for k in 0..count {
+            let (repro, io, thr) = match k % 3 {
+                0 => (false, false, false), // no reproducer
+                1 => (true, true, false),   // in-flight IO
+                _ => (true, false, true),   // threading
+            };
+            emit(&mut out, years[year_idx % years.len()], consequence, repro, io, thr, false);
+            year_idx += 1;
+        }
+    }
+
+    // unknown-determinism records
+    for (consequence, &count) in UNKNOWN_TOTALS.iter().enumerate() {
+        for _ in 0..count {
+            emit(&mut out, years[year_idx % years.len()], consequence, true, false, false, true);
+            year_idx += 1;
+        }
+    }
+
+    // chaff: plausible commits without study markers (filtered out)
+    for i in 0..20u32 {
+        id += 1;
+        out.push(RawBugRecord {
+            id,
+            year: 2013 + (i % 11) as u16,
+            commit_message: format!(
+                "ext4: refactor {} for readability",
+                SITES[i as usize % SITES.len()]
+            ),
+            refs: vec![],
+            has_reproducer: true,
+            involves_inflight_io: false,
+            involves_threading: false,
+            determinism_unclear: false,
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_expected_size() {
+        let c = corpus();
+        assert_eq!(c.len(), 276);
+        // ids unique
+        let mut ids: Vec<u32> = c.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 276);
+    }
+
+    #[test]
+    fn det_by_year_matches_table1_row() {
+        let col = |i: usize| DET_BY_YEAR.iter().map(|(_, r)| r[i]).sum::<u64>();
+        assert_eq!(col(0), 78, "crash");
+        assert_eq!(col(1), 68, "nocrash");
+        assert_eq!(col(2), 11, "warn");
+        assert_eq!(col(3), 8, "unknown");
+        let total: u64 = DET_BY_YEAR.iter().map(|(_, r)| r.iter().sum::<u64>()).sum();
+        assert_eq!(total, 165);
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        assert_eq!(corpus(), corpus());
+    }
+
+    #[test]
+    fn years_span_the_decade() {
+        let c = corpus();
+        let years: std::collections::BTreeSet<u16> = c.iter().map(|r| r.year).collect();
+        assert!(years.contains(&2013));
+        assert!(years.contains(&2023));
+    }
+}

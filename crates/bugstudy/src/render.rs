@@ -1,0 +1,121 @@
+//! Text renderers for Table 1 and Figure 1.
+
+use crate::classify::{classify, Consequence, Determinism, StudySummary};
+use crate::dataset::RawBugRecord;
+use std::collections::BTreeMap;
+
+/// Render the Table 1 matrix in the paper's layout.
+#[must_use]
+pub fn render_table1(summary: &StudySummary) -> String {
+    let mut s = String::new();
+    s.push_str("Table 1: Study of filesystem bugs (Linux ext4)\n");
+    s.push_str(&format!(
+        "{:<18} {:>9} {:>7} {:>6} {:>8} {:>7}\n",
+        "Determinism", "No Crash", "Crash", "WARN", "Unknown", "Total"
+    ));
+    for d in [
+        Determinism::Deterministic,
+        Determinism::NonDeterministic,
+        Determinism::Unknown,
+    ] {
+        let row = summary.counts[d.index()];
+        s.push_str(&format!(
+            "{:<18} {:>9} {:>7} {:>6} {:>8} {:>7}\n",
+            d.label(),
+            row[Consequence::NoCrash.index()],
+            row[Consequence::Crash.index()],
+            row[Consequence::Warn.index()],
+            row[Consequence::Unknown.index()],
+            row.iter().sum::<u64>(),
+        ));
+    }
+    s.push_str(&format!("{:<18} {:>41}\n", "Total", summary.total()));
+    s
+}
+
+/// Per-year deterministic-bug counts by consequence:
+/// `year -> [nocrash, crash, warn, unknown]`.
+#[must_use]
+pub fn figure1_series(records: &[RawBugRecord]) -> BTreeMap<u16, [u64; 4]> {
+    let mut by_year: BTreeMap<u16, [u64; 4]> = BTreeMap::new();
+    for r in records {
+        let (d, c) = classify(r);
+        if d == Determinism::Deterministic {
+            by_year.entry(r.year).or_default()[c.index()] += 1;
+        }
+    }
+    by_year
+}
+
+/// Render Figure 1 as stacked ASCII bars (one row per year; one glyph
+/// per bug: `#` crash, `o` no-crash, `w` WARN, `?` unknown).
+#[must_use]
+pub fn render_figure1(series: &BTreeMap<u16, [u64; 4]>) -> String {
+    let mut s = String::new();
+    s.push_str("Figure 1: Number of deterministic bugs by the year\n");
+    s.push_str("          (# crash, o no-crash, w WARN, ? unknown)\n");
+    for (year, row) in series {
+        let [nocrash, crash, warn, unknown] = row;
+        let total = nocrash + crash + warn + unknown;
+        s.push_str(&format!(
+            "{year}  {:>3} |{}{}{}{}\n",
+            total,
+            "#".repeat(*crash as usize),
+            "o".repeat(*nocrash as usize),
+            "w".repeat(*warn as usize),
+            "?".repeat(*unknown as usize),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{filter_study, summarize};
+    use crate::dataset::corpus;
+    use crate::{PAPER_TABLE1, PAPER_TOTAL};
+
+    #[test]
+    fn full_pipeline_reproduces_table1_exactly() {
+        let records = filter_study(corpus());
+        assert_eq!(records.len() as u64, PAPER_TOTAL, "filter keeps 256");
+        let summary = summarize(&records);
+        assert_eq!(summary.counts, PAPER_TABLE1);
+    }
+
+    #[test]
+    fn table_rendering_contains_the_numbers() {
+        let summary = summarize(&filter_study(corpus()));
+        let table = render_table1(&summary);
+        for n in ["68", "78", "11", "165", "31", "26", "19", "83", "256"] {
+            assert!(table.contains(n), "missing {n} in:\n{table}");
+        }
+    }
+
+    #[test]
+    fn figure1_series_matches_the_digitized_shape() {
+        let records = filter_study(corpus());
+        let series = figure1_series(&records);
+        assert_eq!(series.len(), 11, "2013..=2023");
+        let total: u64 = series.values().flatten().sum();
+        assert_eq!(total, 165, "every deterministic bug appears once");
+        // the shape: recent years dominate, 2022 is the peak
+        let year_total = |y: u16| series[&y].iter().sum::<u64>();
+        assert!(year_total(2022) > year_total(2013));
+        assert!(year_total(2022) >= year_total(2021));
+        assert!((2013..=2022).all(|y| year_total(y) <= year_total(2022)));
+    }
+
+    #[test]
+    fn figure_rendering_has_one_bar_per_year() {
+        let series = figure1_series(&filter_study(corpus()));
+        let fig = render_figure1(&series);
+        assert_eq!(fig.lines().count(), 2 + 11);
+        assert!(fig.contains("2022"));
+        // bar glyph count equals the year total
+        let line_2022 = fig.lines().find(|l| l.starts_with("2022")).unwrap();
+        let glyphs = line_2022.chars().filter(|c| "#ow?".contains(*c)).count();
+        assert_eq!(glyphs, 26);
+    }
+}

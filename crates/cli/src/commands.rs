@@ -1,0 +1,412 @@
+//! The filesystem command interpreter shared by `exec` and `shell`.
+
+use rae::{RaeConfig, RaeFs};
+use rae_blockdev::BlockDevice;
+use rae_faults::{BugSpec, Effect, FaultRegistry, Site, Trigger};
+use rae_vfs::{FileSystem, FileType, FsError, OpenFlags};
+use std::fmt;
+use std::sync::Arc;
+
+/// Interpreter errors (distinct from filesystem errors so the shell can
+/// keep running after a typo).
+#[derive(Debug)]
+pub enum CommandError {
+    /// The command or its arguments were malformed.
+    Usage(String),
+    /// The filesystem refused the operation.
+    Fs(FsError),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::Usage(msg) => write!(f, "usage: {msg}"),
+            CommandError::Fs(e) => write!(f, "error: {e} (errno {})", e.errno()),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<FsError> for CommandError {
+    fn from(e: FsError) -> CommandError {
+        CommandError::Fs(e)
+    }
+}
+
+/// One mounted session: a RAE filesystem plus its fault registry for
+/// the `inject` command.
+pub struct Session {
+    fs: RaeFs,
+    faults: FaultRegistry,
+    next_bug_id: u32,
+}
+
+impl Session {
+    /// Mount a RAE session over `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Mount failures.
+    pub fn mount(dev: Arc<dyn BlockDevice>) -> Result<Session, FsError> {
+        let faults = FaultRegistry::new();
+        let config = RaeConfig {
+            base: rae_basefs::BaseFsConfig {
+                faults: faults.clone(),
+                ..rae_basefs::BaseFsConfig::default()
+            },
+            ..RaeConfig::default()
+        };
+        Ok(Session {
+            fs: RaeFs::mount(dev, config)?,
+            faults,
+            next_bug_id: 9000,
+        })
+    }
+
+    /// Unmount cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn unmount(self) -> Result<(), FsError> {
+        self.fs.unmount()
+    }
+
+    /// The wrapped filesystem (tests).
+    #[must_use]
+    pub fn fs(&self) -> &RaeFs {
+        &self.fs
+    }
+
+    /// Execute one command line; returns its printable output.
+    ///
+    /// # Errors
+    ///
+    /// [`CommandError`] on bad syntax or filesystem errors. The session
+    /// stays usable either way.
+    pub fn run(&mut self, line: &str) -> Result<String, CommandError> {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Ok(String::new());
+        };
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "help" => Ok(HELP.to_string()),
+            "ls" => self.ls(args.first().copied().unwrap_or("/")),
+            "tree" => self.tree(),
+            "mkdir" => {
+                let p = one(&args, "mkdir <path>")?;
+                self.fs.mkdir(p)?;
+                Ok(String::new())
+            }
+            "rmdir" => {
+                let p = one(&args, "rmdir <path>")?;
+                self.fs.rmdir(p)?;
+                Ok(String::new())
+            }
+            "write" | "append" => {
+                if args.len() < 2 {
+                    return Err(CommandError::Usage(format!("{cmd} <path> <text>")));
+                }
+                let path = args[0];
+                let text = line
+                    .splitn(3, char::is_whitespace)
+                    .nth(2)
+                    .unwrap_or_default();
+                let mut flags = OpenFlags::RDWR | OpenFlags::CREATE;
+                if cmd == "append" {
+                    flags |= OpenFlags::APPEND;
+                }
+                let fd = self.fs.open(path, flags)?;
+                // offset 0: append mode writes at EOF regardless
+                let n = self.fs.write(fd, 0, text.as_bytes())?;
+                self.fs.close(fd)?;
+                Ok(format!("wrote {n} bytes"))
+            }
+            "cat" => {
+                let p = one(&args, "cat <path>")?;
+                let st = self.fs.stat(p)?;
+                let fd = self.fs.open(p, OpenFlags::RDONLY)?;
+                let data = self.fs.read(fd, 0, st.size as usize)?;
+                self.fs.close(fd)?;
+                Ok(String::from_utf8_lossy(&data).into_owned())
+            }
+            "rm" => {
+                let p = one(&args, "rm <path>")?;
+                self.fs.unlink(p)?;
+                Ok(String::new())
+            }
+            "mv" => {
+                let (a, b) = two(&args, "mv <from> <to>")?;
+                self.fs.rename(a, b)?;
+                Ok(String::new())
+            }
+            "ln" => {
+                let (a, b) = two(&args, "ln <existing> <new>")?;
+                self.fs.link(a, b)?;
+                Ok(String::new())
+            }
+            "symlink" => {
+                let (t, l) = two(&args, "symlink <target> <linkpath>")?;
+                self.fs.symlink(t, l)?;
+                Ok(String::new())
+            }
+            "readlink" => {
+                let p = one(&args, "readlink <path>")?;
+                Ok(self.fs.readlink(p)?)
+            }
+            "stat" => {
+                let p = one(&args, "stat <path>")?;
+                let st = self.fs.stat(p)?;
+                Ok(format!(
+                    "{} {} size={} nlink={} blocks={} ino={}",
+                    p, st.ftype, st.size, st.nlink, st.blocks, st.ino
+                ))
+            }
+            "statfs" => {
+                let info = self.fs.statfs()?;
+                Ok(format!(
+                    "blocks: {}/{} free, inodes: {}/{} free",
+                    info.free_blocks, info.total_blocks, info.free_inodes, info.total_inodes
+                ))
+            }
+            "sync" => {
+                self.fs.sync()?;
+                Ok(String::new())
+            }
+            "inject" => self.inject(&args),
+            "stats" => {
+                let s = self.fs.stats();
+                Ok(format!(
+                    "detected={} panics={} recoveries={} failures={} masked={} \
+                     recovery_time={:.2}ms log_len={} trimmed={}",
+                    s.detected_errors,
+                    s.panics_caught,
+                    s.recoveries,
+                    s.recovery_failures,
+                    s.ops_masked,
+                    s.recovery_time_ns as f64 / 1e6,
+                    s.log_len,
+                    s.log_trimmed
+                ))
+            }
+            "audit" => {
+                let report = self.fs.audit()?;
+                if report.is_clean() {
+                    Ok(format!(
+                        "audit clean: {} records re-executed, {} skipped",
+                        report.executed,
+                        report.skipped_errors + report.skipped_sync
+                    ))
+                } else {
+                    let mut out = format!("{} discrepancies:\n", report.discrepancies.len());
+                    for d in &report.discrepancies {
+                        out.push_str(&format!(
+                            "  seq {} {}: expected {}, got {}\n",
+                            d.seq, d.what, d.expected, d.got
+                        ));
+                    }
+                    Ok(out)
+                }
+            }
+            other => Err(CommandError::Usage(format!(
+                "unknown command '{other}' (try 'help')"
+            ))),
+        }
+    }
+
+    fn ls(&self, path: &str) -> Result<String, CommandError> {
+        let mut entries = self.fs.readdir(path)?;
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::new();
+        for e in entries {
+            let tag = match e.ftype {
+                FileType::Directory => "d",
+                FileType::Regular => "-",
+                FileType::Symlink => "l",
+            };
+            out.push_str(&format!("{tag} {} {}\n", e.ino, e.name));
+        }
+        Ok(out)
+    }
+
+    fn tree(&self) -> Result<String, CommandError> {
+        let mut out = String::from("/\n");
+        self.tree_walk("/", 1, &mut out)?;
+        Ok(out)
+    }
+
+    fn tree_walk(&self, dir: &str, depth: usize, out: &mut String) -> Result<(), CommandError> {
+        let mut entries = self.fs.readdir(dir)?;
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        for e in entries {
+            let path = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{dir}/{}", e.name)
+            };
+            let suffix = match e.ftype {
+                FileType::Directory => "/",
+                FileType::Symlink => "@",
+                FileType::Regular => "",
+            };
+            out.push_str(&format!("{}{}{}\n", "  ".repeat(depth), e.name, suffix));
+            if e.ftype == FileType::Directory {
+                self.tree_walk(&path, depth + 1, out)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn inject(&mut self, args: &[&str]) -> Result<String, CommandError> {
+        let usage = "inject <site> <nth> <effect>  \
+                     (site: rename|alloc|write|lookup|dirmod|readdir|commit, \
+                     effect: error|panic|warn|silent|scribble)";
+        if args.len() != 3 {
+            return Err(CommandError::Usage(usage.into()));
+        }
+        let site = match args[0] {
+            "rename" => Site::Rename,
+            "alloc" => Site::Alloc,
+            "write" => Site::Write,
+            "lookup" => Site::PathLookup,
+            "dirmod" => Site::DirModify,
+            "readdir" => Site::Readdir,
+            "commit" => Site::JournalCommit,
+            _ => return Err(CommandError::Usage(usage.into())),
+        };
+        let nth: u64 = args[1]
+            .parse()
+            .map_err(|_| CommandError::Usage(usage.into()))?;
+        let effect = match args[2] {
+            "error" => Effect::DetectedError,
+            "panic" => Effect::Panic,
+            "warn" => Effect::Warn,
+            "silent" => Effect::SilentWrongResult,
+            "scribble" => Effect::CorruptMetadata,
+            _ => return Err(CommandError::Usage(usage.into())),
+        };
+        let id = self.next_bug_id;
+        self.next_bug_id += 1;
+        self.faults.arm(BugSpec::new(
+            id,
+            format!("shell-injected-{id}"),
+            site,
+            Trigger::NthMatch(nth),
+            effect,
+        ));
+        Ok(format!("armed bug #{id} at {site:?} (fires on match {nth})"))
+    }
+}
+
+fn one<'a>(args: &[&'a str], usage: &str) -> Result<&'a str, CommandError> {
+    if args.len() == 1 {
+        Ok(args[0])
+    } else {
+        Err(CommandError::Usage(usage.to_string()))
+    }
+}
+
+fn two<'a>(args: &[&'a str], usage: &str) -> Result<(&'a str, &'a str), CommandError> {
+    if args.len() == 2 {
+        Ok((args[0], args[1]))
+    } else {
+        Err(CommandError::Usage(usage.to_string()))
+    }
+}
+
+const HELP: &str = "commands:
+  ls [path]                 list a directory
+  tree                      print the whole tree
+  mkdir <p> | rmdir <p>     create / remove a directory
+  write <p> <text>          create/overwrite a file
+  append <p> <text>         append to a file
+  cat <p> | rm <p>          read / unlink a file
+  mv <a> <b> | ln <a> <b>   rename / hard-link
+  symlink <target> <link>   create a symlink
+  readlink <p> | stat <p>   inspect
+  statfs | sync             filesystem-wide
+  inject <site> <n> <eff>   arm a bug (RAE will mask it)
+  stats | audit             RAE runtime introspection
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_blockdev::MemDisk;
+    use rae_fsformat::{mkfs, MkfsParams};
+
+    fn session() -> Session {
+        let dev = Arc::new(MemDisk::new(4096));
+        mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+        Session::mount(dev as Arc<dyn BlockDevice>).unwrap()
+    }
+
+    #[test]
+    fn basic_command_flow() {
+        let mut s = session();
+        s.run("mkdir /docs").unwrap();
+        assert_eq!(s.run("write /docs/a.txt hello world").unwrap(), "wrote 11 bytes");
+        assert_eq!(s.run("cat /docs/a.txt").unwrap(), "hello world");
+        let ls = s.run("ls /docs").unwrap();
+        assert!(ls.contains("a.txt"));
+        s.run("mv /docs/a.txt /docs/b.txt").unwrap();
+        assert!(s.run("cat /docs/a.txt").is_err());
+        assert_eq!(s.run("cat /docs/b.txt").unwrap(), "hello world");
+        let tree = s.run("tree").unwrap();
+        assert!(tree.contains("docs/"));
+        assert!(tree.contains("b.txt"));
+        s.run("rm /docs/b.txt").unwrap();
+        s.run("rmdir /docs").unwrap();
+    }
+
+    #[test]
+    fn links_and_stat() {
+        let mut s = session();
+        s.run("write /f data").unwrap();
+        s.run("ln /f /g").unwrap();
+        let st = s.run("stat /f").unwrap();
+        assert!(st.contains("nlink=2"), "{st}");
+        s.run("symlink /f /s").unwrap();
+        assert_eq!(s.run("readlink /s").unwrap(), "/f");
+        let sf = s.run("statfs").unwrap();
+        assert!(sf.contains("free"));
+    }
+
+    #[test]
+    fn inject_and_mask_via_shell() {
+        let mut s = session();
+        let msg = s.run("inject rename 1 panic").unwrap();
+        assert!(msg.contains("armed"));
+        s.run("write /a x").unwrap();
+        // the rename panics in the base; RAE masks it; the shell sees
+        // a normal success
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        s.run("mv /a /b").unwrap();
+        std::panic::set_hook(quiet);
+        assert_eq!(s.run("cat /b").unwrap(), "x");
+        let stats = s.run("stats").unwrap();
+        assert!(stats.contains("recoveries=1"), "{stats}");
+        let audit = s.run("audit").unwrap();
+        assert!(audit.contains("audit clean"), "{audit}");
+    }
+
+    #[test]
+    fn errors_keep_the_session_alive() {
+        let mut s = session();
+        assert!(matches!(s.run("cat /missing"), Err(CommandError::Fs(FsError::NotFound))));
+        assert!(matches!(s.run("frobnicate"), Err(CommandError::Usage(_))));
+        assert!(matches!(s.run("mkdir"), Err(CommandError::Usage(_))));
+        s.run("mkdir /still-works").unwrap();
+    }
+
+    #[test]
+    fn append_appends() {
+        let mut s = session();
+        s.run("write /log line1").unwrap();
+        s.run("append /log +line2").unwrap();
+        assert_eq!(s.run("cat /log").unwrap(), "line1+line2");
+    }
+}

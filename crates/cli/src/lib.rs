@@ -1,0 +1,28 @@
+//! Library backing the `raefs` command-line tool.
+//!
+//! Everything is exposed as a library so the command interpreter is
+//! unit-testable; `src/bin/raefs.rs` is a thin argv wrapper.
+//!
+//! ```text
+//! raefs mkfs  <image> [--blocks N] [--inodes N] [--journal N]
+//! raefs fsck  <image>
+//! raefs info  <image>
+//! raefs corrupt <image> <case>        # crafted-image corpus case
+//! raefs exec  <image> <cmd;cmd;...>   # run fs commands, then unmount
+//! raefs shell <image>                 # interactive REPL
+//! ```
+//!
+//! Filesystem commands (exec/shell): `ls [path]`, `tree`, `mkdir p`,
+//! `rmdir p`, `write p text`, `append p text`, `cat p`, `rm p`,
+//! `mv a b`, `ln a b`, `symlink target link`, `readlink p`, `stat p`,
+//! `statfs`, `sync`, `inject <site> <nth> <effect>`, `stats`, `audit`,
+//! `help`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod commands;
+mod tool;
+
+pub use commands::{CommandError, Session};
+pub use tool::{run_tool, ToolError};

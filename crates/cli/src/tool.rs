@@ -1,0 +1,238 @@
+//! Top-level tool dispatch (`mkfs`/`fsck`/`info`/`corrupt`/`exec`).
+
+use crate::commands::Session;
+use rae_blockdev::{BlockDevice, FileDisk};
+use rae_fsformat::{fsck, mkfs, CraftedImage, MkfsParams, Superblock};
+use rae_vfs::FsError;
+use std::fmt;
+use std::sync::Arc;
+
+/// Tool-level failures.
+#[derive(Debug)]
+pub enum ToolError {
+    /// Bad arguments.
+    Usage(String),
+    /// Filesystem or device failure.
+    Fs(FsError),
+    /// The check found problems (fsck's non-zero exit).
+    Dirty(String),
+}
+
+impl fmt::Display for ToolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolError::Usage(m) => write!(f, "usage: {m}"),
+            ToolError::Fs(e) => write!(f, "{e}"),
+            ToolError::Dirty(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+impl From<FsError> for ToolError {
+    fn from(e: FsError) -> ToolError {
+        ToolError::Fs(e)
+    }
+}
+
+const USAGE: &str = "raefs <command> ...
+  mkfs <image> [--blocks N] [--inodes N] [--journal N]
+  fsck <image>
+  info <image>
+  corrupt <image> <case|list>
+  exec <image> '<cmd>; <cmd>; ...'";
+
+fn parse_flag(args: &[String], name: &str, default: u64) -> Result<u64, ToolError> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ToolError::Usage(format!("{name} needs a number"))),
+        None => Ok(default),
+    }
+}
+
+/// Run the tool with `argv[1..]`; returns the text to print.
+///
+/// # Errors
+///
+/// [`ToolError`] for bad usage, filesystem failures, or a dirty fsck.
+pub fn run_tool(args: &[String]) -> Result<String, ToolError> {
+    let Some(cmd) = args.first() else {
+        return Err(ToolError::Usage(USAGE.into()));
+    };
+    let image = args
+        .get(1)
+        .ok_or_else(|| ToolError::Usage(USAGE.into()))?;
+
+    match cmd.as_str() {
+        "mkfs" => {
+            let blocks = parse_flag(args, "--blocks", 4096)?;
+            let inodes = parse_flag(args, "--inodes", 1024)?;
+            let journal = parse_flag(args, "--journal", 256)?;
+            let dev = FileDisk::create(image, blocks)?;
+            let geo = mkfs(
+                &dev,
+                MkfsParams {
+                    total_blocks: blocks,
+                    inode_count: u32::try_from(inodes)
+                        .map_err(|_| ToolError::Usage("--inodes too large".into()))?,
+                    journal_blocks: journal,
+                },
+            )?;
+            Ok(format!(
+                "created {image}: {} blocks ({} data), {} inodes, {}-block journal",
+                geo.total_blocks, geo.data_blocks, geo.inode_count, geo.journal_blocks
+            ))
+        }
+        "fsck" => {
+            let dev = FileDisk::open(image)?;
+            let report = fsck(&dev)?;
+            if report.is_clean() {
+                Ok(format!("{image}: {report}"))
+            } else {
+                Err(ToolError::Dirty(format!("{image}: {report}")))
+            }
+        }
+        "info" => {
+            let dev = FileDisk::open(image)?;
+            let sb = Superblock::read_from(&dev)?;
+            let g = sb.geometry;
+            Ok(format!(
+                "{image}:\n  total blocks   {}\n  data blocks    {} (start {})\n  \
+                 inodes         {} ({} free)\n  free blocks    {}\n  journal        {} blocks @ {}\n  \
+                 state          {:?} (mounted {} times)",
+                g.total_blocks,
+                g.data_blocks,
+                g.data_start,
+                g.inode_count,
+                sb.free_inodes,
+                sb.free_blocks,
+                g.journal_blocks,
+                g.journal_start,
+                sb.mount_state,
+                sb.mount_count,
+            ))
+        }
+        "corrupt" => {
+            let case_name = args
+                .get(2)
+                .ok_or_else(|| ToolError::Usage("corrupt <image> <case|list>".into()))?;
+            let dev = FileDisk::open(image)?;
+            let corpus = CraftedImage::standard_corpus(&dev)?;
+            if case_name == "list" {
+                let names: Vec<&str> = corpus.iter().map(|c| c.name).collect();
+                return Ok(names.join("\n"));
+            }
+            let case = corpus
+                .iter()
+                .find(|c| c.name == case_name)
+                .ok_or_else(|| {
+                    ToolError::Usage(format!("unknown case '{case_name}' (try 'list')"))
+                })?;
+            rae_fsformat::apply_corruption(&dev, &case.corruption)?;
+            dev.flush()?;
+            Ok(format!("applied '{}' to {image}", case.name))
+        }
+        "exec" => {
+            let script = args
+                .get(2)
+                .ok_or_else(|| ToolError::Usage("exec <image> '<cmd>; ...'".into()))?;
+            let dev: Arc<dyn BlockDevice> = Arc::new(FileDisk::open(image)?);
+            let mut session = Session::mount(dev)?;
+            let mut out = String::new();
+            for line in script.split(';') {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match session.run(line) {
+                    Ok(text) if text.is_empty() => {}
+                    Ok(text) => {
+                        out.push_str(&text);
+                        if !text.ends_with('\n') {
+                            out.push('\n');
+                        }
+                    }
+                    Err(e) => {
+                        out.push_str(&format!("{line}: {e}\n"));
+                    }
+                }
+            }
+            session.unmount()?;
+            Ok(out)
+        }
+        other => Err(ToolError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_image(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("raefs-cli-{}-{name}.img", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn run(args: &[&str]) -> Result<String, ToolError> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        run_tool(&owned)
+    }
+
+    #[test]
+    fn mkfs_exec_fsck_lifecycle() {
+        let img = tmp_image("life");
+        let out = run(&["mkfs", &img, "--blocks", "2048", "--inodes", "256", "--journal", "64"])
+            .unwrap();
+        assert!(out.contains("created"), "{out}");
+
+        let out = run(&["exec", &img, "mkdir /a; write /a/f persistent data; tree"]).unwrap();
+        assert!(out.contains("wrote 15 bytes"), "{out}");
+        assert!(out.contains("a/"), "{out}");
+
+        // state persisted in the file image across invocations
+        let out = run(&["exec", &img, "cat /a/f"]).unwrap();
+        assert!(out.contains("persistent data"), "{out}");
+
+        let out = run(&["fsck", &img]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+
+        let out = run(&["info", &img]).unwrap();
+        assert!(out.contains("total blocks   2048"), "{out}");
+
+        std::fs::remove_file(&img).unwrap();
+    }
+
+    #[test]
+    fn corrupt_then_fsck_fails() {
+        let img = tmp_image("corrupt");
+        run(&["mkfs", &img]).unwrap();
+        run(&["exec", &img, "mkdir /d; write /d/f x"]).unwrap();
+        let list = run(&["corrupt", &img, "list"]).unwrap();
+        assert!(list.contains("inode-bitrot"), "{list}");
+        run(&["corrupt", &img, "inode-bitrot"]).unwrap();
+        let err = run(&["fsck", &img]).unwrap_err();
+        assert!(matches!(err, ToolError::Dirty(_)), "{err}");
+        std::fs::remove_file(&img).unwrap();
+    }
+
+    #[test]
+    fn exec_reports_per_command_errors_and_continues() {
+        let img = tmp_image("errors");
+        run(&["mkfs", &img]).unwrap();
+        let out = run(&["exec", &img, "cat /missing; mkdir /ok; ls /"]).unwrap();
+        assert!(out.contains("errno 2"), "{out}");
+        assert!(out.contains("ok"), "{out}");
+        std::fs::remove_file(&img).unwrap();
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&[]), Err(ToolError::Usage(_))));
+        assert!(matches!(run(&["mkfs"]), Err(ToolError::Usage(_))));
+        assert!(matches!(run(&["bogus", "x"]), Err(ToolError::Usage(_))));
+    }
+}

@@ -1,0 +1,796 @@
+//! The public RAE filesystem: records operations, detects runtime
+//! errors, and masks them through shadow recovery.
+
+use crate::oplog::OpLog;
+use crate::report::{RaeStats, RecoveryReport, RecoveryTrigger};
+use parking_lot::{Mutex, RwLock};
+use rae_basefs::{BaseFs, BaseFsConfig};
+use rae_blockdev::BlockDevice;
+use rae_shadowfs::{ReadReply, ReadRequest, ShadowFs, ShadowOpts};
+use rae_vfs::{
+    DirEntry, Fd, FileStat, FileSystem, FsError, FsGeometryInfo, FsOp, FsResult, FsStatus,
+    InodeNo, OpOutcome, OpenFlags, SetAttr,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the runtime reacts to a runtime error in the base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Robust Alternative Execution: contained reboot + shadow
+    /// recovery + hand-off (the paper's approach).
+    Rae,
+    /// Baseline: drop all in-memory state and remount from disk.
+    /// Buffered updates and all descriptors are lost; the failing
+    /// operation returns an I/O error.
+    CrashRemount,
+    /// Baseline: return the error to the application and keep running
+    /// on the (now untrusted) base state. Unsafe by construction; used
+    /// only to quantify the paper's "returning an error code … is
+    /// insufficient" argument.
+    ErrorReturn,
+}
+
+/// What to do when the shadow's cross-check disagrees with a recorded
+/// outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiscrepancyPolicy {
+    /// Report and continue (default: availability first).
+    Continue,
+    /// Abort the recovery (strictness first).
+    Abort,
+}
+
+/// Configuration of the RAE runtime.
+#[derive(Debug, Clone)]
+pub struct RaeConfig {
+    /// Base filesystem configuration.
+    pub base: BaseFsConfig,
+    /// Reaction to runtime errors.
+    pub mode: RecoveryMode,
+    /// Shadow configuration used during recovery.
+    pub shadow: ShadowOpts,
+    /// Cross-check disagreement policy.
+    pub on_discrepancy: DiscrepancyPolicy,
+    /// Treat WARN events as runtime errors (recover immediately).
+    pub treat_warn_as_error: bool,
+    /// Force a persistence barrier (sync) when the operation log
+    /// exceeds this many records.
+    pub max_log_records: usize,
+    /// Give up (go offline) after this many recoveries with no
+    /// successful operation in between — a recovery storm means the
+    /// shadow's output immediately re-triggers errors and availability
+    /// is no longer being bought.
+    pub max_consecutive_recoveries: u32,
+}
+
+impl Default for RaeConfig {
+    fn default() -> RaeConfig {
+        RaeConfig {
+            base: BaseFsConfig::default(),
+            mode: RecoveryMode::Rae,
+            shadow: ShadowOpts::default(),
+            on_discrepancy: DiscrepancyPolicy::Continue,
+            treat_warn_as_error: false,
+            max_log_records: 10_000,
+            max_consecutive_recoveries: 8,
+        }
+    }
+}
+
+/// Internal uniform return value of base dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ret {
+    Unit,
+    Opened(Fd, InodeNo, bool),
+    Written(usize),
+}
+
+/// The RAE filesystem: a [`BaseFs`] wrapped with operation recording,
+/// error detection, and shadow recovery. Implements [`FileSystem`];
+/// applications cannot tell recoveries happened except by latency.
+pub struct RaeFs {
+    base: BaseFs,
+    config: RaeConfig,
+    /// Serializes mutating operations and guards the log.
+    log: Mutex<OpLog>,
+    /// Recovery quiesce gate: operations hold `read`, recovery holds
+    /// `write` ("during recovery, new application operations are not
+    /// admitted").
+    gate: RwLock<()>,
+    reports: Mutex<Vec<RecoveryReport>>,
+    failed: AtomicBool,
+    detected_errors: AtomicU64,
+    panics_caught: AtomicU64,
+    recoveries: AtomicU64,
+    recovery_failures: AtomicU64,
+    ops_masked: AtomicU64,
+    recovery_time_ns: AtomicU64,
+    consecutive_recoveries: AtomicU64,
+}
+
+impl std::fmt::Debug for RaeFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RaeFs")
+            .field("mode", &self.config.mode)
+            .field("recoveries", &self.recoveries.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl RaeFs {
+    /// Mount a RAE filesystem over `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Base mount failures (invalid superblock/journal, device errors).
+    /// A panic during mount (crafted-image class) is caught and
+    /// reported as [`FsError::Internal`].
+    pub fn mount(dev: Arc<dyn BlockDevice>, config: RaeConfig) -> FsResult<RaeFs> {
+        let base_cfg = config.base.clone();
+        let base = match catch_unwind(AssertUnwindSafe(|| BaseFs::mount(dev, base_cfg))) {
+            Ok(r) => r?,
+            Err(p) => {
+                return Err(FsError::Internal {
+                    detail: format!("base filesystem panicked during mount: {}", panic_msg(p.as_ref())),
+                })
+            }
+        };
+        Ok(RaeFs {
+            base,
+            config,
+            log: Mutex::new(OpLog::new()),
+            gate: RwLock::new(()),
+            reports: Mutex::new(Vec::new()),
+            failed: AtomicBool::new(false),
+            detected_errors: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            recovery_failures: AtomicU64::new(0),
+            ops_masked: AtomicU64::new(0),
+            recovery_time_ns: AtomicU64::new(0),
+            consecutive_recoveries: AtomicU64::new(0),
+        })
+    }
+
+    /// Cleanly unmount (commit + checkpoint + clean superblock).
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn unmount(self) -> FsResult<()> {
+        self.base.unmount()
+    }
+
+    /// Access the wrapped base filesystem (benchmarks and tests).
+    #[must_use]
+    pub fn base(&self) -> &BaseFs {
+        &self.base
+    }
+
+    /// Runtime statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> RaeStats {
+        let log = self.log.lock();
+        RaeStats {
+            detected_errors: self.detected_errors.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            recovery_failures: self.recovery_failures.load(Ordering::Relaxed),
+            ops_masked: self.ops_masked.load(Ordering::Relaxed),
+            recovery_time_ns: self.recovery_time_ns.load(Ordering::Relaxed),
+            log_len: log.len(),
+            log_trimmed: log.trimmed_total(),
+        }
+    }
+
+    /// All recovery reports so far (clone).
+    #[must_use]
+    pub fn recovery_reports(&self) -> Vec<RecoveryReport> {
+        self.reports.lock().clone()
+    }
+
+    /// Online audit (§4.3's testing phase as a runtime API): quiesce,
+    /// run the shadow over the current on-disk state and the retained
+    /// operation log in constrained mode, and report every discrepancy
+    /// between the base's recorded outcomes and the shadow's
+    /// re-execution — **without** rebooting or modifying the base.
+    /// A dirty report indicates a bug in the base or a missing
+    /// condition in the shadow; either way it is worth reporting.
+    ///
+    /// The base's buffered state must be durable for the shadow to see
+    /// it, so the audit starts with a sync. The remaining log after the
+    /// barrier (live opens as `RestoreFd` records) is what gets
+    /// replayed.
+    ///
+    /// # Errors
+    ///
+    /// Sync failures or shadow runtime errors.
+    pub fn audit(&self) -> FsResult<rae_shadowfs::ReplayReport> {
+        self.check_online()?;
+        let mut log = self.log.lock();
+        {
+            let _admitted = self.gate.read();
+            // commit + checkpoint: the raw device must show the full
+            // durable state for the shadow to audit it
+            self.base.checkpoint()?;
+        }
+        log.trim(self.base.persisted_seq());
+        let _quiesced = self.gate.write();
+        let mut shadow = ShadowFs::load(self.base.device(), self.config.shadow)?;
+        let (completed, _) = log.for_recovery();
+        shadow.replay_constrained(&completed)
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch_base(&self, op: &FsOp) -> FsResult<Ret> {
+        match op {
+            FsOp::Create { path, flags } | FsOp::Open { path, flags } => self
+                .base
+                .open_ex(path, *flags)
+                .map(|(fd, ino, created)| Ret::Opened(fd, ino, created)),
+            FsOp::RestoreFd { fd, ino, flags, path } => self
+                .base
+                .restore_fd(*fd, *ino, *flags, path)
+                .map(|()| Ret::Opened(*fd, *ino, false)),
+            FsOp::Close { fd } => self.base.close(*fd).map(|()| Ret::Unit),
+            FsOp::Write { fd, offset, data } => {
+                self.base.write(*fd, *offset, data).map(Ret::Written)
+            }
+            FsOp::Truncate { fd, size } => self.base.truncate(*fd, *size).map(|()| Ret::Unit),
+            FsOp::SetAttr { path, attr } => self.base.setattr(path, *attr).map(|()| Ret::Unit),
+            FsOp::Fsync { fd } => self.base.fsync(*fd).map(|()| Ret::Unit),
+            FsOp::Sync => self.base.sync().map(|()| Ret::Unit),
+            FsOp::Mkdir { path } => self.base.mkdir(path).map(|()| Ret::Unit),
+            FsOp::Rmdir { path } => self.base.rmdir(path).map(|()| Ret::Unit),
+            FsOp::Unlink { path } => self.base.unlink(path).map(|()| Ret::Unit),
+            FsOp::Rename { from, to } => self.base.rename(from, to).map(|()| Ret::Unit),
+            FsOp::Link { existing, new } => self.base.link(existing, new).map(|()| Ret::Unit),
+            FsOp::Symlink { target, linkpath } => {
+                self.base.symlink(target, linkpath).map(|()| Ret::Unit)
+            }
+        }
+    }
+
+    fn outcome_of(ret: Ret) -> OpOutcome {
+        match ret {
+            Ret::Unit => OpOutcome::Unit,
+            Ret::Opened(fd, ino, created) => OpOutcome::Opened { fd, ino, created },
+            Ret::Written(n) => OpOutcome::Written { n },
+        }
+    }
+
+    fn ret_of(outcome: OpOutcome) -> FsResult<Ret> {
+        match outcome {
+            OpOutcome::Unit => Ok(Ret::Unit),
+            OpOutcome::Opened { fd, ino, created } => Ok(Ret::Opened(fd, ino, created)),
+            OpOutcome::Written { n } => Ok(Ret::Written(n)),
+            OpOutcome::Failed(e) => Err(e),
+            OpOutcome::Pending => Err(FsError::Internal {
+                detail: "recovery produced a pending outcome".to_string(),
+            }),
+        }
+    }
+
+    fn check_online(&self) -> FsResult<()> {
+        if self.failed.load(Ordering::Acquire) {
+            Err(FsError::RecoveryFailed {
+                detail: "filesystem is offline after a failed recovery".to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Execute a mutating operation with full RAE protection.
+    fn exec_mutating(&self, op: FsOp) -> FsResult<Ret> {
+        self.check_online()?;
+        let mut log = self.log.lock();
+        let seq = log.append(op); // the log owns the operation
+        self.base.note_op_seq(seq);
+
+        let result = {
+            let op = log.op_of(seq);
+            let _admitted = self.gate.read();
+            catch_unwind(AssertUnwindSafe(|| self.dispatch_base(op)))
+        };
+
+        match result {
+            Ok(Ok(ret)) => {
+                self.consecutive_recoveries.store(0, Ordering::Relaxed);
+                log.complete(seq, Self::outcome_of(ret));
+                if self.config.treat_warn_as_error
+                    && !self.base.fault_registry().take_warnings().is_empty()
+                {
+                    self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                    self.recover(&mut log, None, None, RecoveryTrigger::WarnPolicy)?;
+                }
+                log.trim(self.base.persisted_seq());
+                if log.len() > self.config.max_log_records {
+                    // forced barrier — its own runtime errors must be
+                    // masked like any other (a commit-site bug would
+                    // otherwise leak to an unrelated operation)
+                    let barrier = {
+                        let _admitted = self.gate.read();
+                        catch_unwind(AssertUnwindSafe(|| self.base.sync()))
+                    };
+                    match barrier {
+                        Ok(Ok(())) => log.trim(self.base.persisted_seq()),
+                        Ok(Err(e)) => {
+                            self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                            self.recover(&mut log, None, None, RecoveryTrigger::DetectedError(e))?;
+                        }
+                        Err(p) => {
+                            self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                            self.recover(
+                                &mut log,
+                                None,
+                                None,
+                                RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref())),
+                            )?;
+                        }
+                    }
+                }
+                Ok(ret)
+            }
+            Ok(Err(e)) if e.is_specified() => {
+                log.complete(seq, OpOutcome::Failed(e.clone()));
+                log.trim(self.base.persisted_seq());
+                Err(e)
+            }
+            Ok(Err(e)) => {
+                self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                let op = log.op_of(seq).clone(); // error path only
+                self.handle_runtime_error(&mut log, seq, &op, RecoveryTrigger::DetectedError(e))
+            }
+            Err(p) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let op = log.op_of(seq).clone();
+                self.handle_runtime_error(
+                    &mut log,
+                    seq,
+                    &op,
+                    RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref())),
+                )
+            }
+        }
+    }
+
+    fn handle_runtime_error(
+        &self,
+        log: &mut OpLog,
+        seq: u64,
+        op: &FsOp,
+        trigger: RecoveryTrigger,
+    ) -> FsResult<Ret> {
+        match self.config.mode {
+            RecoveryMode::Rae => {
+                let (outcome, _) = self.recover(log, Some((seq, op)), None, trigger)?;
+                self.ops_masked.fetch_add(1, Ordering::Relaxed);
+                Self::ret_of(outcome)
+            }
+            RecoveryMode::CrashRemount => {
+                // the whole machine "crashes": buffered state and every
+                // descriptor are gone; remount from disk
+                let _quiesced = self.gate.write();
+                log.clear();
+                match self.base.contained_reboot() {
+                    Ok(_) => Err(FsError::IoFailed {
+                        detail: "filesystem crashed and was remounted; unsynced state lost"
+                            .to_string(),
+                    }),
+                    Err(e) => self.mark_failed(e),
+                }
+            }
+            RecoveryMode::ErrorReturn => {
+                log.drop_record(seq);
+                match trigger {
+                    RecoveryTrigger::DetectedError(e) => Err(e),
+                    RecoveryTrigger::CaughtPanic(msg) => Err(FsError::Internal {
+                        detail: format!("base panicked: {msg}"),
+                    }),
+                    RecoveryTrigger::WarnPolicy => Err(FsError::Internal {
+                        detail: "warn policy violation".to_string(),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn mark_failed<T>(&self, e: FsError) -> FsResult<T> {
+        self.failed.store(true, Ordering::Release);
+        self.recovery_failures.fetch_add(1, Ordering::Relaxed);
+        Err(FsError::RecoveryFailed {
+            detail: e.to_string(),
+        })
+    }
+
+    /// The RAE recovery procedure (§3.2): quiesce, contained reboot,
+    /// shadow constrained replay, autonomous in-flight execution,
+    /// metadata download, resume.
+    fn recover(
+        &self,
+        log: &mut OpLog,
+        in_flight: Option<(u64, &FsOp)>,
+        read_in_flight: Option<&ReadRequest>,
+        trigger: RecoveryTrigger,
+    ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
+        let _quiesced = self.gate.write();
+        let start = Instant::now();
+
+        // recovery-storm guard: masking is pointless if every recovery
+        // immediately re-triggers another error
+        let streak = self.consecutive_recoveries.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak > u64::from(self.config.max_consecutive_recoveries) {
+            return self.mark_failed(FsError::Internal {
+                detail: format!(
+                    "recovery storm: {streak} consecutive recoveries without progress"
+                ),
+            });
+        }
+
+        // 1. contained reboot: discard untrusted memory, replay journal
+        let boot = match self.base.contained_reboot() {
+            Ok(b) => b,
+            Err(e) => return self.mark_failed(e),
+        };
+        let reboot_time = start.elapsed();
+
+        // 2. launch the shadow on the trusted on-disk state
+        let t_load = Instant::now();
+        let mut shadow = match ShadowFs::load(self.base.device(), self.config.shadow) {
+            Ok(s) => s,
+            Err(e) => return self.mark_failed(e),
+        };
+        let shadow_load_time = t_load.elapsed();
+        let t_replay = Instant::now();
+
+        // 3. constrained re-execution of the completed records
+        let (completed, pending) = log.for_recovery();
+        debug_assert_eq!(
+            pending.as_ref().map(|r| r.seq),
+            in_flight.as_ref().map(|(s, _)| *s),
+            "pending record must be the in-flight operation"
+        );
+        let replay = match shadow.replay_constrained(&completed) {
+            Ok(r) => r,
+            Err(e) => return self.mark_failed(e),
+        };
+        if !replay.is_clean() && self.config.on_discrepancy == DiscrepancyPolicy::Abort {
+            return self.mark_failed(FsError::CheckFailed {
+                check: "cross-check".to_string(),
+                detail: format!("{} discrepancies", replay.discrepancies.len()),
+            });
+        }
+
+        // 4. autonomous execution of the in-flight operation (pending
+        // reads complete through the shadow too)
+        let mut reissue_sync = false;
+        let outcome = match in_flight {
+            Some((_, op)) if op.is_sync_family() => {
+                reissue_sync = true;
+                OpOutcome::Unit
+            }
+            Some((_, op)) => match shadow.execute_autonomous(op) {
+                Ok(o) => o,
+                Err(e) => return self.mark_failed(e),
+            },
+            None => OpOutcome::Unit,
+        };
+        let read_reply = match read_in_flight {
+            Some(req) => match shadow.serve_read(req) {
+                Ok(r) => Some(Ok(r)),
+                Err(e) if e.is_specified() => Some(Err(e)),
+                Err(e) => return self.mark_failed(e),
+            },
+            None => None,
+        };
+
+        // 5. metadata download into the rebooted base
+        let replay_time = t_replay.elapsed();
+        let t_handoff = Instant::now();
+        let shadow_checks = shadow.checks_performed();
+        let delta = shadow.into_delta();
+        let report = RecoveryReport {
+            trigger,
+            duration: start.elapsed(), // refined below
+            reboot_time,
+            shadow_load_time,
+            replay_time,
+            handoff_time: Duration::ZERO, // refined below
+            journal_transactions_replayed: boot.transactions,
+            records_replayed: replay.executed,
+            records_skipped: replay.skipped_errors + replay.skipped_sync,
+            discrepancies: replay.discrepancies,
+            delta_meta_blocks: delta.meta_blocks.len(),
+            delta_data_blocks: delta.data_blocks.len(),
+            fds_restored: delta.fd_entries.len(),
+            shadow_checks,
+            had_in_flight: in_flight.is_some(),
+        };
+        if let Err(e) = self.base.absorb_recovery(&delta) {
+            return self.mark_failed(e);
+        }
+
+        // 6. bookkeeping: the in-flight record is resolved with the
+        // shadow's outcome; the log stays (S0 has not advanced) unless
+        // a sync is re-issued below
+        if let Some((seq, _)) = in_flight {
+            log.resolve_pending(seq, outcome.clone());
+        }
+        if reissue_sync {
+            if let Err(e) = self.base.sync() {
+                return self.mark_failed(e);
+            }
+            log.trim(self.base.persisted_seq());
+        }
+
+        let elapsed = start.elapsed();
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+        self.recovery_time_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let mut report = report;
+        report.handoff_time = t_handoff.elapsed();
+        report.duration = elapsed;
+        self.reports.lock().push(report);
+        match read_reply {
+            Some(Ok(r)) => Ok((outcome, Some(r))),
+            Some(Err(e)) => Err(e), // the application's specified answer
+            None => Ok((outcome, None)),
+        }
+    }
+
+    fn dispatch_read_base(&self, op: &ReadRequest) -> FsResult<ReadReply> {
+        match op {
+            ReadRequest::Read { fd, offset, len } => {
+                self.base.read(*fd, *offset, *len).map(ReadReply::Data)
+            }
+            ReadRequest::Stat { path } => self.base.stat(path).map(ReadReply::Stat),
+            ReadRequest::Fstat { fd } => self.base.fstat(*fd).map(ReadReply::Stat),
+            ReadRequest::Readdir { path } => self.base.readdir(path).map(ReadReply::Entries),
+            ReadRequest::Readlink { path } => self.base.readlink(path).map(ReadReply::Target),
+            ReadRequest::Statfs => self.base.statfs().map(ReadReply::Info),
+        }
+    }
+
+    /// Execute a read-only operation. Reads are not recorded (they
+    /// never change essential state), but a runtime error still
+    /// triggers a full recovery — and the pending read then completes
+    /// *through the shadow* in autonomous mode, exactly like a pending
+    /// mutation would (§3.2). Retrying on the base instead would loop
+    /// forever on a deterministic read-path bug.
+    fn exec_read(&self, op: &ReadRequest) -> FsResult<ReadReply> {
+        self.check_online()?;
+        let first = {
+            let _admitted = self.gate.read();
+            catch_unwind(AssertUnwindSafe(|| self.dispatch_read_base(op)))
+        };
+        let trigger = match first {
+            Ok(Ok(v)) => {
+                self.consecutive_recoveries.store(0, Ordering::Relaxed);
+                return Ok(v);
+            }
+            Ok(Err(e)) if e.is_specified() => return Err(e),
+            Ok(Err(e)) => {
+                self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                RecoveryTrigger::DetectedError(e)
+            }
+            Err(p) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref()))
+            }
+        };
+        match self.config.mode {
+            RecoveryMode::Rae => {
+                let reply = {
+                    let mut log = self.log.lock();
+                    let (_, reply) = self.recover(&mut log, None, Some(op), trigger)?;
+                    reply
+                };
+                self.ops_masked.fetch_add(1, Ordering::Relaxed);
+                reply.ok_or_else(|| FsError::Internal {
+                    detail: "recovery did not produce a read reply".to_string(),
+                })
+            }
+            RecoveryMode::CrashRemount => {
+                let mut log = self.log.lock();
+                let _quiesced = self.gate.write();
+                log.clear();
+                match self.base.contained_reboot() {
+                    Ok(_) => Err(FsError::IoFailed {
+                        detail: "filesystem crashed and was remounted".to_string(),
+                    }),
+                    Err(e) => self.mark_failed(e),
+                }
+            }
+            RecoveryMode::ErrorReturn => match trigger {
+                RecoveryTrigger::DetectedError(e) => Err(e),
+                RecoveryTrigger::CaughtPanic(msg) => Err(FsError::Internal {
+                    detail: format!("base panicked: {msg}"),
+                }),
+                RecoveryTrigger::WarnPolicy => unreachable!("reads do not apply warn policy"),
+            },
+        }
+    }
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+impl FileSystem for RaeFs {
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        let op = if flags.creates() {
+            FsOp::Create {
+                path: path.to_string(),
+                flags,
+            }
+        } else {
+            FsOp::Open {
+                path: path.to_string(),
+                flags,
+            }
+        };
+        match self.exec_mutating(op)? {
+            Ret::Opened(fd, _, _) => Ok(fd),
+            other => Err(FsError::Internal {
+                detail: format!("open produced {other:?}"),
+            }),
+        }
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        self.exec_mutating(FsOp::Close { fd }).map(|_| ())
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        match self.exec_read(&ReadRequest::Read { fd, offset, len })? {
+            ReadReply::Data(d) => Ok(d),
+            other => Err(FsError::Internal {
+                detail: format!("read produced {other:?}"),
+            }),
+        }
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        match self.exec_mutating(FsOp::Write {
+            fd,
+            offset,
+            data: data.to_vec(),
+        })? {
+            Ret::Written(n) => Ok(n),
+            other => Err(FsError::Internal {
+                detail: format!("write produced {other:?}"),
+            }),
+        }
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        self.exec_mutating(FsOp::Truncate { fd, size }).map(|_| ())
+    }
+
+    fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()> {
+        self.exec_mutating(FsOp::SetAttr {
+            path: path.to_string(),
+            attr,
+        })
+        .map(|_| ())
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        self.exec_mutating(FsOp::Fsync { fd }).map(|_| ())
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        self.exec_mutating(FsOp::Sync).map(|_| ())
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.exec_mutating(FsOp::Mkdir {
+            path: path.to_string(),
+        })
+        .map(|_| ())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.exec_mutating(FsOp::Rmdir {
+            path: path.to_string(),
+        })
+        .map(|_| ())
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.exec_mutating(FsOp::Unlink {
+            path: path.to_string(),
+        })
+        .map(|_| ())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.exec_mutating(FsOp::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        })
+        .map(|_| ())
+    }
+
+    fn link(&self, existing: &str, new: &str) -> FsResult<()> {
+        self.exec_mutating(FsOp::Link {
+            existing: existing.to_string(),
+            new: new.to_string(),
+        })
+        .map(|_| ())
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
+        self.exec_mutating(FsOp::Symlink {
+            target: target.to_string(),
+            linkpath: linkpath.to_string(),
+        })
+        .map(|_| ())
+    }
+
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        match self.exec_read(&ReadRequest::Readlink { path: path.to_string() })? {
+            ReadReply::Target(t) => Ok(t),
+            other => Err(FsError::Internal {
+                detail: format!("readlink produced {other:?}"),
+            }),
+        }
+    }
+
+    fn stat(&self, path: &str) -> FsResult<FileStat> {
+        match self.exec_read(&ReadRequest::Stat { path: path.to_string() })? {
+            ReadReply::Stat(st) => Ok(st),
+            other => Err(FsError::Internal {
+                detail: format!("stat produced {other:?}"),
+            }),
+        }
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<FileStat> {
+        match self.exec_read(&ReadRequest::Fstat { fd })? {
+            ReadReply::Stat(st) => Ok(st),
+            other => Err(FsError::Internal {
+                detail: format!("fstat produced {other:?}"),
+            }),
+        }
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        match self.exec_read(&ReadRequest::Readdir { path: path.to_string() })? {
+            ReadReply::Entries(es) => Ok(es),
+            other => Err(FsError::Internal {
+                detail: format!("readdir produced {other:?}"),
+            }),
+        }
+    }
+
+    fn statfs(&self) -> FsResult<FsGeometryInfo> {
+        match self.exec_read(&ReadRequest::Statfs)? {
+            ReadReply::Info(i) => Ok(i),
+            other => Err(FsError::Internal {
+                detail: format!("statfs produced {other:?}"),
+            }),
+        }
+    }
+
+    fn status(&self) -> FsStatus {
+        if self.failed.load(Ordering::Acquire) {
+            FsStatus::Failed
+        } else {
+            FsStatus::Active
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Recovery reports and runtime statistics.
+
+use rae_shadowfs::Discrepancy;
+use rae_vfs::FsError;
+use std::time::Duration;
+
+/// What pulled the trigger on a recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryTrigger {
+    /// The base surfaced a runtime error (detected bug, corruption,
+    /// failed internal check, I/O failure).
+    DetectedError(FsError),
+    /// The base panicked; the unwind was caught at the RAE boundary
+    /// (the kernel-crash class).
+    CaughtPanic(String),
+    /// A WARN event occurred and policy treats WARN as an error.
+    WarnPolicy,
+}
+
+/// Full account of one recovery.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Why recovery ran.
+    pub trigger: RecoveryTrigger,
+    /// Wall-clock duration of the entire recovery (contained reboot,
+    /// shadow load + replay, hand-off).
+    pub duration: Duration,
+    /// Phase 1: contained reboot (cache reset + journal replay).
+    pub reboot_time: Duration,
+    /// Phase 2: shadow load (including image validation when enabled).
+    pub shadow_load_time: Duration,
+    /// Phase 3: constrained replay + autonomous in-flight execution.
+    pub replay_time: Duration,
+    /// Phase 4: metadata download into the base.
+    pub handoff_time: Duration,
+    /// Journal transactions the contained reboot replayed.
+    pub journal_transactions_replayed: u64,
+    /// Operation records the shadow re-executed in constrained mode.
+    pub records_replayed: u64,
+    /// Records skipped (base-failed + sync-family).
+    pub records_skipped: u64,
+    /// Cross-check disagreements (reported per §4.3).
+    pub discrepancies: Vec<Discrepancy>,
+    /// Metadata block images handed to the base.
+    pub delta_meta_blocks: usize,
+    /// Data block images handed to the base.
+    pub delta_data_blocks: usize,
+    /// Descriptors restored with identical numbering.
+    pub fds_restored: usize,
+    /// Runtime checks the shadow performed during this recovery.
+    pub shadow_checks: u64,
+    /// Whether an in-flight operation was completed autonomously.
+    pub had_in_flight: bool,
+}
+
+/// Snapshot of the RAE runtime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RaeStats {
+    /// Runtime errors detected from base return values.
+    pub detected_errors: u64,
+    /// Panics caught at the API boundary.
+    pub panics_caught: u64,
+    /// Successful recoveries.
+    pub recoveries: u64,
+    /// Recoveries that failed (filesystem offline afterwards).
+    pub recovery_failures: u64,
+    /// Operations whose result was produced by the shadow (masked
+    /// from the application).
+    pub ops_masked: u64,
+    /// Total wall-clock nanoseconds spent in recovery.
+    pub recovery_time_ns: u64,
+    /// Records currently retained in the operation log.
+    pub log_len: usize,
+    /// Records discarded at persistence barriers so far.
+    pub log_trimmed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_equality() {
+        assert_eq!(
+            RecoveryTrigger::DetectedError(FsError::DetectedBug { bug_id: 1 }),
+            RecoveryTrigger::DetectedError(FsError::DetectedBug { bug_id: 1 })
+        );
+        assert_ne!(
+            RecoveryTrigger::WarnPolicy,
+            RecoveryTrigger::CaughtPanic("x".into())
+        );
+    }
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = RaeStats::default();
+        assert_eq!(s.recoveries, 0);
+        assert_eq!(s.ops_masked, 0);
+    }
+}

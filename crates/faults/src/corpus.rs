@@ -1,0 +1,231 @@
+//! The standard injectable-bug corpus used by the availability and
+//! differential experiments (E4, E6).
+//!
+//! The corpus spans the determinism × consequence matrix of the paper's
+//! Table 1: deterministic and non-deterministic triggers crossed with
+//! crash (panic), WARN, detected-error, and silent-no-crash effects,
+//! placed at the code sites the paper's Figure 1 discussion names as
+//! bug-rich (input sanitization, rename, allocation, new-feature write
+//! paths, mount-time image parsing).
+
+use crate::spec::{BugSpec, Effect, Site, Trigger};
+use rae_vfs::OpKind;
+
+/// Build the standard 21-bug corpus.
+///
+/// Ids are stable (100–120) so experiment tables can reference them.
+/// Deterministic bugs use operation-pattern triggers; non-deterministic
+/// ones use seeded probabilities.
+#[must_use]
+pub fn standard_bug_corpus() -> Vec<BugSpec> {
+    vec![
+        // --- deterministic, crash (panic) class ---
+        BugSpec::new(
+            100,
+            "rename-dir-null-deref",
+            Site::Rename,
+            Trigger::PathContains("victim".into()),
+            Effect::Panic,
+        ),
+        BugSpec::new(
+            101,
+            "unlink-use-after-free",
+            Site::DirModify,
+            Trigger::All(vec![Trigger::OpIs(OpKind::Unlink), Trigger::NthMatch(50)]),
+            Effect::Panic,
+        ),
+        BugSpec::new(
+            102,
+            "large-offset-overflow",
+            Site::Write,
+            Trigger::OffsetAtLeast(1 << 30),
+            Effect::Panic,
+        ),
+        BugSpec::new(
+            103,
+            "mount-crafted-image-crash",
+            Site::MountImage,
+            Trigger::Always,
+            Effect::Panic,
+        ),
+        // --- deterministic, detected-error class ---
+        BugSpec::new(
+            104,
+            "alloc-accounting-check",
+            Site::Alloc,
+            Trigger::NthMatch(100),
+            Effect::DetectedError,
+        ),
+        BugSpec::new(
+            105,
+            "truncate-extent-check",
+            Site::Truncate,
+            Trigger::All(vec![Trigger::OpIs(OpKind::Truncate), Trigger::NthMatch(10)]),
+            Effect::DetectedError,
+        ),
+        BugSpec::new(
+            106,
+            "readdir-bad-reclen",
+            Site::Readdir,
+            Trigger::PathContains("hotdir".into()),
+            Effect::DetectedError,
+        ),
+        BugSpec::new(
+            107,
+            "journal-commit-espace",
+            Site::JournalCommit,
+            Trigger::NthMatch(20),
+            Effect::DetectedError,
+        ),
+        BugSpec::new(
+            108,
+            "lookup-sanity-check",
+            Site::PathLookup,
+            Trigger::PathContains("deep/deep".into()),
+            Effect::DetectedError,
+        ),
+        // --- deterministic, WARN class ---
+        BugSpec::new(
+            109,
+            "write-warn-dirty-accounting",
+            Site::Write,
+            Trigger::EveryNth(500),
+            Effect::Warn,
+        ),
+        BugSpec::new(
+            110,
+            "api-warn-flag-combo",
+            Site::ApiEntry,
+            Trigger::All(vec![Trigger::OpIs(OpKind::Open), Trigger::NthMatch(64)]),
+            Effect::Warn,
+        ),
+        // --- deterministic, silent no-crash class ---
+        BugSpec::new(
+            111,
+            "write-silent-bitflip",
+            Site::Write,
+            Trigger::All(vec![Trigger::LenAtLeast(1024), Trigger::EveryNth(97)]),
+            Effect::SilentWrongResult,
+        ),
+        BugSpec::new(
+            112,
+            "append-silent-corruption",
+            Site::Write,
+            Trigger::All(vec![Trigger::PathContains(".log".into()), Trigger::EveryNth(41)]),
+            Effect::SilentWrongResult,
+        ),
+        // --- non-deterministic, crash class ---
+        BugSpec::new(
+            113,
+            "race-dentry-crash",
+            Site::PathLookup,
+            Trigger::Random { p: 0.0005 },
+            Effect::Panic,
+        ),
+        BugSpec::new(
+            114,
+            "race-alloc-crash",
+            Site::Alloc,
+            Trigger::Random { p: 0.0005 },
+            Effect::Panic,
+        ),
+        // --- non-deterministic, detected-error class ---
+        BugSpec::new(
+            115,
+            "transient-io-detected",
+            Site::Write,
+            Trigger::Random { p: 0.001 },
+            Effect::DetectedError,
+        ),
+        BugSpec::new(
+            116,
+            "transient-commit-detected",
+            Site::JournalCommit,
+            Trigger::Random { p: 0.002 },
+            Effect::DetectedError,
+        ),
+        // --- non-deterministic, WARN class ---
+        BugSpec::new(
+            117,
+            "transient-warn",
+            Site::DirModify,
+            Trigger::Random { p: 0.001 },
+            Effect::Warn,
+        ),
+        // --- non-deterministic, silent class ---
+        BugSpec::new(
+            118,
+            "transient-silent-corruption",
+            Site::Write,
+            Trigger::Random { p: 0.0008 },
+            Effect::SilentWrongResult,
+        ),
+        BugSpec::new(
+            119,
+            "transient-readdir-warn",
+            Site::Readdir,
+            Trigger::Random { p: 0.001 },
+            Effect::Warn,
+        ),
+        // --- deterministic, memory-corruption class (detected at the
+        // next commit by validate-on-sync, per the fault model) ---
+        BugSpec::new(
+            120,
+            "dirmod-metadata-scribbler",
+            Site::DirModify,
+            Trigger::EveryNth(350),
+            Effect::CorruptMetadata,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_stable_unique_ids() {
+        let corpus = standard_bug_corpus();
+        assert_eq!(corpus.len(), 21);
+        let mut ids: Vec<u32> = corpus.iter().map(|b| b.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 21);
+        assert_eq!(*ids.first().unwrap(), 100);
+        assert_eq!(*ids.last().unwrap(), 120);
+    }
+
+    #[test]
+    fn corpus_spans_the_matrix() {
+        let corpus = standard_bug_corpus();
+        let det: Vec<_> = corpus.iter().filter(|b| b.is_deterministic()).collect();
+        let nondet: Vec<_> = corpus.iter().filter(|b| !b.is_deterministic()).collect();
+        assert!(det.len() >= 10, "deterministic bugs are the majority, as in Table 1");
+        assert!(nondet.len() >= 5);
+
+        for effect in [
+            Effect::Panic,
+            Effect::DetectedError,
+            Effect::Warn,
+            Effect::SilentWrongResult,
+        ] {
+            assert!(
+                det.iter().any(|b| b.effect == effect),
+                "deterministic {effect:?} missing"
+            );
+            assert!(
+                nondet.iter().any(|b| b.effect == effect)
+                    || effect == Effect::DetectedError
+                    || nondet.iter().any(|b| b.effect == effect),
+                "non-deterministic {effect:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_covers_many_sites() {
+        let corpus = standard_bug_corpus();
+        let sites: std::collections::HashSet<_> = corpus.iter().map(|b| b.site).collect();
+        assert!(sites.len() >= 8, "only {} sites covered", sites.len());
+    }
+}

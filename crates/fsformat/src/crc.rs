@@ -1,0 +1,105 @@
+//! CRC32C (Castagnoli), the checksum used by every on-disk structure.
+//!
+//! Implemented as a classic 256-entry table; dependency-free so that the
+//! format crate stays self-contained (the ABI must not drift with an
+//! external crate's implementation choices).
+
+const POLY: u32 = 0x82F6_3B78; // reflected Castagnoli polynomial
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            j += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Compute the CRC32C of `data`.
+#[must_use]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_seeded(!0u32, data) ^ !0u32
+}
+
+/// Continue a CRC computation (raw state in, raw state out; callers that
+/// split data across buffers seed with `!0` and finalize with `^ !0`).
+#[must_use]
+pub fn crc32c_seeded(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = (state >> 8) ^ TABLE[((state ^ b as u32) & 0xFF) as usize];
+    }
+    state
+}
+
+/// Compute the checksum of a structure image with its own checksum field
+/// zeroed: `data` is the full encoded structure, `crc_at` the byte
+/// offset of the little-endian u32 checksum inside it.
+///
+/// # Panics
+///
+/// Panics if `crc_at + 4` exceeds `data.len()` (caller layout bug).
+#[must_use]
+pub fn crc32c_excluding(data: &[u8], crc_at: usize) -> u32 {
+    assert!(crc_at + 4 <= data.len());
+    let mut state = !0u32;
+    state = crc32c_seeded(state, &data[..crc_at]);
+    state = crc32c_seeded(state, &[0, 0, 0, 0]);
+    state = crc32c_seeded(state, &data[crc_at + 4..]);
+    state ^ !0u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / common CRC32C test vectors.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32c(data);
+        let mut st = !0u32;
+        st = crc32c_seeded(st, &data[..10]);
+        st = crc32c_seeded(st, &data[10..]);
+        assert_eq!(st ^ !0u32, oneshot);
+    }
+
+    #[test]
+    fn excluding_matches_manual_zeroing() {
+        let mut buf = vec![7u8; 64];
+        buf[20..24].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        let want = {
+            let mut z = buf.clone();
+            z[20..24].fill(0);
+            crc32c(&z)
+        };
+        assert_eq!(crc32c_excluding(&buf, 20), want);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0xA5u8; 4096];
+        let clean = crc32c(&data);
+        for bit in [0, 13, 4095 * 8 + 7] {
+            let mut flipped = data.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32c(&flipped), clean, "bit {bit} undetected");
+        }
+    }
+}

@@ -1,0 +1,494 @@
+//! Directory-entry blocks: ext2-style variable-length records.
+//!
+//! Every directory data block is fully tiled by records:
+//!
+//! ```text
+//! +--------+---------+----------+-------+----------------+
+//! | ino u32| rec_len | name_len | ftype | name bytes ... |
+//! +--------+---------+----------+-------+----------------+
+//! ```
+//!
+//! `rec_len` covers the 8-byte header, the name, and any slack up to the
+//! next record; the rec_lens of a block always sum to exactly 4096. A
+//! record with `ino == 0` is free space. Deletion coalesces a record
+//! into its predecessor, as ext2 does.
+
+use crate::wire::{get_u16, get_u32, put_u16, put_u32};
+use rae_blockdev::BLOCK_SIZE;
+use rae_vfs::{FileType, FsError, FsResult, InodeNo, MAX_NAME_LEN};
+
+const HEADER_LEN: usize = 8;
+
+fn align4(n: usize) -> usize {
+    (n + 3) & !3
+}
+
+fn record_space(name_len: usize) -> usize {
+    align4(HEADER_LEN + name_len)
+}
+
+/// One used directory record (borrowed view during iteration).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirRecord {
+    /// Target inode.
+    pub ino: InodeNo,
+    /// Recorded file type.
+    pub ftype: FileType,
+    /// Entry name.
+    pub name: String,
+}
+
+/// An owned, always-consistent directory block.
+///
+/// All mutation goes through [`DirBlock::try_insert`] /
+/// [`DirBlock::remove`], which preserve the tiling invariant; decoding a
+/// block from disk re-validates everything (crafted images must not get
+/// past [`DirBlock::from_bytes`]).
+#[derive(Clone, PartialEq, Eq)]
+pub struct DirBlock {
+    buf: Vec<u8>,
+}
+
+impl std::fmt::Debug for DirBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirBlock")
+            .field("entries", &self.records().count())
+            .finish()
+    }
+}
+
+impl Default for DirBlock {
+    fn default() -> DirBlock {
+        DirBlock::empty()
+    }
+}
+
+impl DirBlock {
+    /// A block containing a single free record spanning everything.
+    #[must_use]
+    pub fn empty() -> DirBlock {
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        put_u32(&mut buf, 0, 0); // ino 0 = free
+        put_u16(&mut buf, 4, BLOCK_SIZE as u16);
+        DirBlock { buf }
+    }
+
+    /// Validate and adopt a raw block read from disk.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] when the record chain does not tile the
+    /// block, a record is misaligned or undersized, a name is empty,
+    /// overlong, contains `/` or NUL, or is not UTF-8.
+    pub fn from_bytes(buf: Vec<u8>) -> FsResult<DirBlock> {
+        if buf.len() != BLOCK_SIZE {
+            return Err(corrupt("directory block has wrong length"));
+        }
+        let mut off = 0usize;
+        while off < BLOCK_SIZE {
+            if off + HEADER_LEN > BLOCK_SIZE {
+                return Err(corrupt("record header crosses block end"));
+            }
+            let ino = get_u32(&buf, off);
+            let rec_len = get_u16(&buf, off + 4) as usize;
+            let name_len = buf[off + 6] as usize;
+            let ftype = buf[off + 7];
+            if rec_len < HEADER_LEN || !rec_len.is_multiple_of(4) || off + rec_len > BLOCK_SIZE {
+                return Err(corrupt("bad record length"));
+            }
+            if ino != 0 {
+                if name_len == 0 || name_len > MAX_NAME_LEN {
+                    return Err(corrupt("bad name length"));
+                }
+                if HEADER_LEN + name_len > rec_len {
+                    return Err(corrupt("name overflows record"));
+                }
+                if FileType::from_u8(ftype).is_none() {
+                    return Err(corrupt("invalid file type in record"));
+                }
+                let name = &buf[off + HEADER_LEN..off + HEADER_LEN + name_len];
+                let name = std::str::from_utf8(name).map_err(|_| corrupt("name is not UTF-8"))?;
+                if name.contains('/') || name.contains('\0') {
+                    return Err(corrupt("name contains / or NUL"));
+                }
+            }
+            off += rec_len;
+        }
+        if off != BLOCK_SIZE {
+            return Err(corrupt("records do not tile the block"));
+        }
+        let db = DirBlock { buf };
+        // duplicate names within one block are structural corruption
+        let mut seen = std::collections::HashSet::new();
+        for r in db.records() {
+            if !seen.insert(r.name.clone()) {
+                return Err(corrupt("duplicate name in directory block"));
+            }
+        }
+        Ok(db)
+    }
+
+    /// The raw block image.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume into the raw block image.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn record_at(&self, off: usize) -> (u32, usize, usize, u8) {
+        (
+            get_u32(&self.buf, off),
+            get_u16(&self.buf, off + 4) as usize,
+            self.buf[off + 6] as usize,
+            self.buf[off + 7],
+        )
+    }
+
+    /// Iterate over the used records in on-disk order.
+    pub fn records(&self) -> impl Iterator<Item = DirRecord> + '_ {
+        let mut off = 0usize;
+        std::iter::from_fn(move || {
+            while off < BLOCK_SIZE {
+                let (ino, rec_len, name_len, ftype) = self.record_at(off);
+                let cur = off;
+                off += rec_len;
+                if ino != 0 {
+                    let name = std::str::from_utf8(
+                        &self.buf[cur + HEADER_LEN..cur + HEADER_LEN + name_len],
+                    )
+                    .expect("invariant: names validated on construction")
+                    .to_string();
+                    return Some(DirRecord {
+                        ino: InodeNo(ino),
+                        ftype: FileType::from_u8(ftype)
+                            .expect("invariant: ftype validated on construction"),
+                        name,
+                    });
+                }
+            }
+            None
+        })
+    }
+
+    /// Find a record by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<DirRecord> {
+        self.records().find(|r| r.name == name)
+    }
+
+    /// Number of used records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records().count()
+    }
+
+    /// Whether the block holds no used records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records().next().is_none()
+    }
+
+    /// Try to insert a record; `Ok(false)` when the block has no room
+    /// (the caller moves on to another block).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] if `name` is already present in this block;
+    /// [`FsError::NameTooLong`] / [`FsError::InvalidArgument`] for bad
+    /// names; [`FsError::Corrupted`] for a null inode.
+    pub fn try_insert(&mut self, name: &str, ino: InodeNo, ftype: FileType) -> FsResult<bool> {
+        if name.is_empty() || name.contains('/') || name.contains('\0') {
+            return Err(FsError::InvalidArgument);
+        }
+        if name.len() > MAX_NAME_LEN {
+            return Err(FsError::NameTooLong);
+        }
+        if ino.is_null() {
+            return Err(corrupt("refusing to insert entry for inode 0"));
+        }
+        if self.find(name).is_some() {
+            return Err(FsError::Exists);
+        }
+        let need = record_space(name.len());
+
+        let mut off = 0usize;
+        while off < BLOCK_SIZE {
+            let (cur_ino, rec_len, name_len, _) = self.record_at(off);
+            let used = if cur_ino == 0 { 0 } else { record_space(name_len) };
+            let slack = rec_len - used;
+            if slack >= need {
+                let insert_at = off + used;
+                if used > 0 {
+                    // shrink current record, carve the new one from its tail
+                    put_u16(&mut self.buf, off + 4, used as u16);
+                }
+                put_u32(&mut self.buf, insert_at, ino.0);
+                put_u16(&mut self.buf, insert_at + 4, (rec_len - used) as u16);
+                self.buf[insert_at + 6] = name.len() as u8;
+                self.buf[insert_at + 7] = ftype.as_u8();
+                self.buf[insert_at + HEADER_LEN..insert_at + HEADER_LEN + name.len()]
+                    .copy_from_slice(name.as_bytes());
+                // zero stale name bytes in the slack area (hygiene: old
+                // names must not linger on disk)
+                let name_end = insert_at + HEADER_LEN + name.len();
+                let rec_end = insert_at + (rec_len - used);
+                self.buf[name_end..rec_end].fill(0);
+                return Ok(true);
+            }
+            off += rec_len;
+        }
+        Ok(false)
+    }
+
+    /// Remove the record for `name`, coalescing its space; `false` if
+    /// not present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let mut prev: Option<usize> = None;
+        let mut off = 0usize;
+        while off < BLOCK_SIZE {
+            let (ino, rec_len, name_len, _) = self.record_at(off);
+            if ino != 0
+                && &self.buf[off + HEADER_LEN..off + HEADER_LEN + name_len] == name.as_bytes()
+            {
+                match prev {
+                    Some(p) => {
+                        let (_, prev_len, _, _) = self.record_at(p);
+                        put_u16(&mut self.buf, p + 4, (prev_len + rec_len) as u16);
+                    }
+                    None => {
+                        put_u32(&mut self.buf, off, 0);
+                        self.buf[off + 6] = 0;
+                        self.buf[off + 7] = 0;
+                    }
+                }
+                // scrub the name bytes
+                self.buf[off + HEADER_LEN..off + HEADER_LEN + name_len].fill(0);
+                return true;
+            }
+            prev = Some(off);
+            off += rec_len;
+        }
+        false
+    }
+
+    /// Bytes of payload capacity remaining for a name of length `n`
+    /// (true iff an insert of such a name would succeed).
+    #[must_use]
+    pub fn fits(&self, name_len: usize) -> bool {
+        let need = record_space(name_len);
+        let mut off = 0usize;
+        while off < BLOCK_SIZE {
+            let (ino, rec_len, cur_name_len, _) = self.record_at(off);
+            let used = if ino == 0 { 0 } else { record_space(cur_name_len) };
+            if rec_len - used >= need {
+                return true;
+            }
+            off += rec_len;
+        }
+        false
+    }
+}
+
+fn corrupt(msg: &str) -> FsError {
+    FsError::Corrupted {
+        detail: format!("dirent: {msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(db: &DirBlock) -> Vec<String> {
+        db.records().map(|r| r.name).collect()
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let db = DirBlock::empty();
+        assert!(db.is_empty());
+        assert_eq!(db.len(), 0);
+        let db2 = DirBlock::from_bytes(db.clone().into_bytes()).unwrap();
+        assert!(db2.is_empty());
+    }
+
+    #[test]
+    fn insert_find_remove() {
+        let mut db = DirBlock::empty();
+        assert!(db.try_insert("alpha", InodeNo(2), FileType::Regular).unwrap());
+        assert!(db.try_insert("beta", InodeNo(3), FileType::Directory).unwrap());
+        assert_eq!(db.len(), 2);
+
+        let r = db.find("alpha").unwrap();
+        assert_eq!(r.ino, InodeNo(2));
+        assert_eq!(r.ftype, FileType::Regular);
+
+        assert!(db.remove("alpha"));
+        assert!(!db.remove("alpha"));
+        assert_eq!(names(&db), vec!["beta"]);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut db = DirBlock::empty();
+        db.try_insert("x", InodeNo(2), FileType::Regular).unwrap();
+        assert_eq!(
+            db.try_insert("x", InodeNo(3), FileType::Regular),
+            Err(FsError::Exists)
+        );
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        let mut db = DirBlock::empty();
+        assert_eq!(
+            db.try_insert("", InodeNo(2), FileType::Regular),
+            Err(FsError::InvalidArgument)
+        );
+        assert_eq!(
+            db.try_insert("a/b", InodeNo(2), FileType::Regular),
+            Err(FsError::InvalidArgument)
+        );
+        assert_eq!(
+            db.try_insert(&"n".repeat(MAX_NAME_LEN + 1), InodeNo(2), FileType::Regular),
+            Err(FsError::NameTooLong)
+        );
+        assert!(matches!(
+            db.try_insert("ok", InodeNo(0), FileType::Regular),
+            Err(FsError::Corrupted { .. })
+        ));
+    }
+
+    #[test]
+    fn fills_up_and_reports_no_room() {
+        let mut db = DirBlock::empty();
+        let mut inserted = 0u32;
+        loop {
+            let name = format!("file-{inserted:04}");
+            if !db.try_insert(&name, InodeNo(2 + inserted), FileType::Regular).unwrap() {
+                break;
+            }
+            inserted += 1;
+        }
+        // 16-byte records (8 header + 9 name -> aligned 20)... roughly 200+
+        assert!(inserted > 150, "only {inserted} records fit");
+        assert!(!db.fits(9));
+        assert!(db.len() as u32 == inserted);
+
+        // after removing one, there is room again
+        assert!(db.remove("file-0050"));
+        assert!(db.fits(9));
+        assert!(db.try_insert("file-0050", InodeNo(999), FileType::Regular).unwrap());
+    }
+
+    #[test]
+    fn remove_first_record_then_reuse() {
+        let mut db = DirBlock::empty();
+        db.try_insert("first", InodeNo(2), FileType::Regular).unwrap();
+        db.try_insert("second", InodeNo(3), FileType::Regular).unwrap();
+        assert!(db.remove("first"));
+        assert_eq!(names(&db), vec!["second"]);
+        // the freed head record is reusable
+        assert!(db.try_insert("third", InodeNo(4), FileType::Regular).unwrap());
+        let db2 = DirBlock::from_bytes(db.into_bytes()).unwrap();
+        let mut got = names(&db2);
+        got.sort();
+        assert_eq!(got, vec!["second", "third"]);
+    }
+
+    #[test]
+    fn removal_coalesces_space_for_large_names() {
+        let mut db = DirBlock::empty();
+        let big = "b".repeat(200); // needs a 208-byte record
+        // fill with 100-byte names (108-byte records)
+        let mut i = 0;
+        while db
+            .try_insert(&format!("n{i:099}"), InodeNo(2), FileType::Regular)
+            .unwrap()
+        {
+            i += 1;
+        }
+        assert!(!db.fits(big.len()));
+        // remove two adjacent records; their coalesced 216 bytes fit it
+        assert!(db.remove(&format!("n{:099}", 3)));
+        assert!(db.remove(&format!("n{:099}", 4)));
+        assert!(db.fits(big.len()), "coalescing failed to merge slack");
+        assert!(db.try_insert(&big, InodeNo(7), FileType::Regular).unwrap());
+    }
+
+    #[test]
+    fn survives_encode_decode_after_churn() {
+        let mut db = DirBlock::empty();
+        for i in 0..50 {
+            db.try_insert(&format!("f{i}"), InodeNo(2 + i), FileType::Regular)
+                .unwrap();
+        }
+        for i in (0..50).step_by(2) {
+            assert!(db.remove(&format!("f{i}")));
+        }
+        for i in 50..60 {
+            db.try_insert(&format!("g{i}"), InodeNo(2 + i), FileType::Symlink)
+                .unwrap();
+        }
+        let db2 = DirBlock::from_bytes(db.clone().into_bytes()).unwrap();
+        assert_eq!(names(&db), names(&db2));
+        assert_eq!(db2.len(), 25 + 10);
+    }
+
+    #[test]
+    fn from_bytes_rejects_corruption() {
+        let mut db = DirBlock::empty();
+        db.try_insert("hello", InodeNo(2), FileType::Regular).unwrap();
+        let clean = db.into_bytes();
+
+        // rec_len not multiple of 4
+        let mut b = clean.clone();
+        put_u16(&mut b, 4, 13);
+        assert!(DirBlock::from_bytes(b).is_err());
+
+        // rec_len shorter than header
+        let mut b = clean.clone();
+        put_u16(&mut b, 4, 4);
+        assert!(DirBlock::from_bytes(b).is_err());
+
+        // name_len zero on a used record
+        let mut b = clean.clone();
+        b[6] = 0;
+        assert!(DirBlock::from_bytes(b).is_err());
+
+        // invalid ftype
+        let mut b = clean.clone();
+        b[7] = 200;
+        assert!(DirBlock::from_bytes(b).is_err());
+
+        // slash inside the stored name
+        let mut b = clean.clone();
+        b[HEADER_LEN + 1] = b'/';
+        assert!(DirBlock::from_bytes(b).is_err());
+
+        // truncation: records no longer tile the block
+        let mut b = clean;
+        put_u16(&mut b, 4, (BLOCK_SIZE - 4) as u16);
+        assert!(DirBlock::from_bytes(b).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_duplicate_names() {
+        let mut db = DirBlock::empty();
+        db.try_insert("dup", InodeNo(2), FileType::Regular).unwrap();
+        db.try_insert("tmp", InodeNo(3), FileType::Regular).unwrap();
+        let mut raw = db.into_bytes();
+        // rewrite the second name to collide with the first
+        let second_off = record_space(3 + HEADER_LEN) - HEADER_LEN; // offset of record 2
+        let _ = second_off;
+        // find second record by walking
+        let first_len = get_u16(&raw, 4) as usize;
+        raw[first_len + HEADER_LEN..first_len + HEADER_LEN + 3].copy_from_slice(b"dup");
+        assert!(DirBlock::from_bytes(raw).is_err());
+    }
+}

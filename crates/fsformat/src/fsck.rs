@@ -1,0 +1,807 @@
+//! The full structural checker — the paper's "verified FSCK" analog.
+//!
+//! §4.3: "to ensure the shadow is robust against crashes given a crafted
+//! filesystem image and call sequence, the input image must be
+//! guaranteed to be valid, essentially requiring a verified version of
+//! the filesystem checker." [`fsck`] is that checker: it never panics on
+//! arbitrary bytes, and it validates every cross-structure invariant of
+//! the format. The shadow runs it (at configurable depth) before
+//! trusting an image; experiments E7 feed it the crafted-image corpus.
+
+use crate::bitmap::Bitmap;
+use crate::dirent::DirBlock;
+use crate::inode::{read_inode, DiskInode, PTRS_PER_BLOCK};
+use crate::layout::Geometry;
+use crate::superblock::{MountState, Superblock};
+use crate::wire::get_u64;
+use rae_blockdev::{BlockDevice, BLOCK_SIZE};
+use rae_vfs::{FileType, FsResult, InodeNo, ROOT_INO};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// One inconsistency found by [`fsck`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsckError {
+    /// The superblock failed validation; no further checking possible.
+    Superblock(String),
+    /// An inode record failed decoding or structural validation.
+    BadInode {
+        /// The inode.
+        ino: InodeNo,
+        /// What failed.
+        detail: String,
+    },
+    /// A directory block failed validation.
+    BadDirent {
+        /// The owning directory.
+        dir: InodeNo,
+        /// What failed.
+        detail: String,
+    },
+    /// A directory entry points at an unallocated or out-of-range inode.
+    DanglingEntry {
+        /// The owning directory.
+        dir: InodeNo,
+        /// Entry name.
+        name: String,
+        /// The bogus target.
+        target: InodeNo,
+    },
+    /// A directory entry's recorded type disagrees with the inode.
+    TypeMismatch {
+        /// The owning directory.
+        dir: InodeNo,
+        /// Entry name.
+        name: String,
+        /// The target inode.
+        target: InodeNo,
+    },
+    /// A block is referenced by more than one owner.
+    DoubleAlloc {
+        /// The block.
+        bno: u64,
+        /// Two of its owners.
+        owners: (InodeNo, InodeNo),
+    },
+    /// A directory is referenced by more than one entry (hard-linked
+    /// directory) or a directory cycle exists.
+    DirLoop {
+        /// The multiply-referenced directory.
+        ino: InodeNo,
+    },
+    /// Data bitmap disagrees with actual block usage.
+    DataBitmapMismatch {
+        /// The block.
+        bno: u64,
+        /// Bit state in the bitmap.
+        marked: bool,
+        /// Whether some inode actually uses it.
+        used: bool,
+    },
+    /// Inode bitmap disagrees with the inode table.
+    InodeBitmapMismatch {
+        /// The inode.
+        ino: InodeNo,
+        /// Bit state in the bitmap.
+        marked: bool,
+        /// Whether the table slot is populated.
+        used: bool,
+    },
+    /// An allocated inode is not reachable from the root.
+    Unreachable {
+        /// The orphan.
+        ino: InodeNo,
+    },
+    /// An inode's recorded link count is wrong.
+    LinkCount {
+        /// The inode.
+        ino: InodeNo,
+        /// Count in the inode.
+        recorded: u32,
+        /// Count derived from the directory tree.
+        actual: u32,
+    },
+    /// An inode's recorded block count is wrong.
+    BlockCount {
+        /// The inode.
+        ino: InodeNo,
+        /// Count in the inode.
+        recorded: u32,
+        /// Count derived from its pointers.
+        actual: u32,
+    },
+    /// A directory's size field is not consistent with its blocks.
+    DirSize {
+        /// The directory.
+        ino: InodeNo,
+        /// Its size field.
+        size: u64,
+    },
+    /// Superblock free counters disagree with the bitmaps.
+    FreeCount {
+        /// `"inodes"` or `"blocks"`.
+        kind: &'static str,
+        /// Superblock value.
+        superblock: u64,
+        /// Bitmap-derived value.
+        actual: u64,
+    },
+    /// The root inode is missing or not a directory.
+    BadRoot(String),
+}
+
+impl fmt::Display for FsckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsckError::Superblock(d) => write!(f, "superblock: {d}"),
+            FsckError::BadInode { ino, detail } => write!(f, "{ino}: {detail}"),
+            FsckError::BadDirent { dir, detail } => write!(f, "dir {dir}: {detail}"),
+            FsckError::DanglingEntry { dir, name, target } => {
+                write!(f, "dir {dir}: entry '{name}' -> unallocated {target}")
+            }
+            FsckError::TypeMismatch { dir, name, target } => {
+                write!(f, "dir {dir}: entry '{name}' type disagrees with {target}")
+            }
+            FsckError::DoubleAlloc { bno, owners } => {
+                write!(f, "block {bno} owned by both {} and {}", owners.0, owners.1)
+            }
+            FsckError::DirLoop { ino } => write!(f, "directory {ino} multiply referenced"),
+            FsckError::DataBitmapMismatch { bno, marked, used } => write!(
+                f,
+                "data bitmap: block {bno} marked={marked} but used={used}"
+            ),
+            FsckError::InodeBitmapMismatch { ino, marked, used } => write!(
+                f,
+                "inode bitmap: {ino} marked={marked} but table populated={used}"
+            ),
+            FsckError::Unreachable { ino } => write!(f, "{ino} unreachable from root"),
+            FsckError::LinkCount { ino, recorded, actual } => {
+                write!(f, "{ino}: link count {recorded}, tree says {actual}")
+            }
+            FsckError::BlockCount { ino, recorded, actual } => {
+                write!(f, "{ino}: block count {recorded}, pointers say {actual}")
+            }
+            FsckError::DirSize { ino, size } => {
+                write!(f, "dir {ino}: size {size} not consistent with its blocks")
+            }
+            FsckError::FreeCount { kind, superblock, actual } => {
+                write!(f, "superblock free {kind} = {superblock}, bitmap says {actual}")
+            }
+            FsckError::BadRoot(d) => write!(f, "root: {d}"),
+        }
+    }
+}
+
+/// The result of a check pass.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// All inconsistencies found, in discovery order.
+    pub errors: Vec<FsckError>,
+    /// Allocated inodes examined.
+    pub inodes_checked: u64,
+    /// Directory entries examined.
+    pub entries_checked: u64,
+    /// Data blocks accounted to owners.
+    pub blocks_accounted: u64,
+}
+
+impl FsckReport {
+    /// Whether the image is fully consistent.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl fmt::Display for FsckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "clean ({} inodes, {} entries, {} blocks)",
+                self.inodes_checked, self.entries_checked, self.blocks_accounted
+            )
+        } else {
+            writeln!(f, "{} error(s):", self.errors.len())?;
+            for e in &self.errors {
+                writeln!(f, "  {e}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// All blocks owned by an inode: data blocks plus the indirect blocks
+/// themselves. Returns `(blocks, file_data_blocks)` where `blocks` is
+/// everything charged to the inode's block count.
+fn collect_blocks<D: BlockDevice + ?Sized>(
+    dev: &D,
+    geo: &Geometry,
+    ino: InodeNo,
+    inode: &DiskInode,
+    errors: &mut Vec<FsckError>,
+) -> FsResult<Vec<u64>> {
+    let mut owned = Vec::new();
+    let mut push = |bno: u64, errors: &mut Vec<FsckError>| {
+        if bno == 0 {
+            return;
+        }
+        if geo.is_data_block(bno) {
+            owned.push(bno);
+        } else {
+            errors.push(FsckError::BadInode {
+                ino,
+                detail: format!("pointer to non-data block {bno}"),
+            });
+        }
+    };
+
+    for &p in &inode.direct {
+        push(p, errors);
+    }
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    if inode.indirect != 0 {
+        push(inode.indirect, errors);
+        if geo.is_data_block(inode.indirect) {
+            dev.read_block(inode.indirect, &mut buf)?;
+            for s in 0..PTRS_PER_BLOCK {
+                push(get_u64(&buf, s * 8), errors);
+            }
+        }
+    }
+    if inode.dindirect != 0 {
+        push(inode.dindirect, errors);
+        if geo.is_data_block(inode.dindirect) {
+            dev.read_block(inode.dindirect, &mut buf)?;
+            let l1: Vec<u64> = (0..PTRS_PER_BLOCK).map(|s| get_u64(&buf, s * 8)).collect();
+            for l1p in l1 {
+                push(l1p, errors);
+                if l1p != 0 && geo.is_data_block(l1p) {
+                    dev.read_block(l1p, &mut buf)?;
+                    for s in 0..PTRS_PER_BLOCK {
+                        push(get_u64(&buf, s * 8), errors);
+                    }
+                }
+            }
+        }
+    }
+    Ok(owned)
+}
+
+/// The ordered data blocks of a file within `0..size` (holes as 0).
+fn file_blocks_in_order<D: BlockDevice + ?Sized>(
+    dev: &D,
+    geo: &Geometry,
+    inode: &DiskInode,
+) -> FsResult<Vec<u64>> {
+    let nblocks = inode.size.div_ceil(BLOCK_SIZE as u64);
+    let mut out = Vec::with_capacity(nblocks as usize);
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    let mut ind: Option<(u64, Vec<u64>)> = None;
+    let mut dind: Option<Vec<u64>> = None;
+
+    for i in 0..nblocks {
+        let loc = crate::inode::locate_block(i)?;
+        let bno = match loc {
+            crate::inode::BlockPtrLoc::Direct(s) => inode.direct[s],
+            crate::inode::BlockPtrLoc::Indirect { slot } => {
+                if inode.indirect == 0 || !geo.is_data_block(inode.indirect) {
+                    0
+                } else {
+                    if ind.as_ref().map(|(b, _)| *b) != Some(inode.indirect) {
+                        dev.read_block(inode.indirect, &mut buf)?;
+                        let ptrs = (0..PTRS_PER_BLOCK).map(|s| get_u64(&buf, s * 8)).collect();
+                        ind = Some((inode.indirect, ptrs));
+                    }
+                    ind.as_ref().expect("just populated").1[slot]
+                }
+            }
+            crate::inode::BlockPtrLoc::DoubleIndirect { l1, l2 } => {
+                if inode.dindirect == 0 || !geo.is_data_block(inode.dindirect) {
+                    0
+                } else {
+                    if dind.is_none() {
+                        dev.read_block(inode.dindirect, &mut buf)?;
+                        dind = Some((0..PTRS_PER_BLOCK).map(|s| get_u64(&buf, s * 8)).collect());
+                    }
+                    let l1p = dind.as_ref().expect("just populated")[l1];
+                    if l1p == 0 || !geo.is_data_block(l1p) {
+                        0
+                    } else {
+                        dev.read_block(l1p, &mut buf)?;
+                        get_u64(&buf, l2 * 8)
+                    }
+                }
+            }
+        };
+        out.push(bno);
+    }
+    Ok(out)
+}
+
+/// Run the full structural check over `dev`.
+///
+/// Never panics on arbitrary images; every defect is reported as an
+/// [`FsckError`]. Read-only.
+///
+/// # Errors
+///
+/// Only device I/O failures; *format* problems are reported in the
+/// [`FsckReport`], not as `Err`.
+pub fn fsck<D: BlockDevice + ?Sized>(dev: &D) -> FsResult<FsckReport> {
+    let mut report = FsckReport::default();
+
+    // Phase 0: superblock.
+    let sb = match Superblock::read_from(dev) {
+        Ok(sb) => sb,
+        Err(e) => {
+            report.errors.push(FsckError::Superblock(e.to_string()));
+            return Ok(report);
+        }
+    };
+    let geo = sb.geometry;
+    if geo.total_blocks > dev.block_count() {
+        report.errors.push(FsckError::Superblock(format!(
+            "filesystem claims {} blocks but device has {}",
+            geo.total_blocks,
+            dev.block_count()
+        )));
+        return Ok(report);
+    }
+
+    // Phase 1: bitmaps.
+    let ibm = match Bitmap::load(dev, geo.inode_bitmap_start, geo.inode_bitmap_blocks, u64::from(geo.inode_count)) {
+        Ok(b) => b,
+        Err(e) => {
+            report.errors.push(FsckError::Superblock(format!("inode bitmap: {e}")));
+            return Ok(report);
+        }
+    };
+    let dbm = match Bitmap::load(dev, geo.data_bitmap_start, geo.data_bitmap_blocks, geo.data_blocks) {
+        Ok(b) => b,
+        Err(e) => {
+            report.errors.push(FsckError::Superblock(format!("data bitmap: {e}")));
+            return Ok(report);
+        }
+    };
+
+    // Phase 2: inode table scan.
+    let mut inodes: BTreeMap<InodeNo, DiskInode> = BTreeMap::new();
+    for raw in 1..geo.inode_count {
+        let ino = InodeNo(raw);
+        match read_inode(dev, &geo, ino) {
+            Ok(Some(inode)) => {
+                if let Err(e) = inode.validate(&geo) {
+                    report.errors.push(FsckError::BadInode {
+                        ino,
+                        detail: e.to_string(),
+                    });
+                } else {
+                    inodes.insert(ino, inode);
+                }
+            }
+            Ok(None) => {}
+            Err(e) => report.errors.push(FsckError::BadInode {
+                ino,
+                detail: e.to_string(),
+            }),
+        }
+    }
+    report.inodes_checked = inodes.len() as u64;
+
+    // Phase 3: inode bitmap vs table.
+    for raw in 1..geo.inode_count {
+        let ino = InodeNo(raw);
+        let marked = ibm.test(u64::from(raw)).unwrap_or(false);
+        let used = inodes.contains_key(&ino);
+        if marked != used {
+            report
+                .errors
+                .push(FsckError::InodeBitmapMismatch { ino, marked, used });
+        }
+    }
+
+    // Phase 4: root.
+    match inodes.get(&ROOT_INO) {
+        Some(i) if i.ftype == FileType::Directory => {}
+        Some(_) => report.errors.push(FsckError::BadRoot("not a directory".into())),
+        None => {
+            report.errors.push(FsckError::BadRoot("missing".into()));
+            return Ok(report);
+        }
+    }
+
+    // Phase 5: directory tree walk from the root.
+    let mut name_refs: BTreeMap<InodeNo, u32> = BTreeMap::new(); // dirent references
+    let mut subdirs: BTreeMap<InodeNo, u32> = BTreeMap::new(); // child dirs per dir
+    let mut visited: BTreeSet<InodeNo> = BTreeSet::new();
+    let mut queue = VecDeque::from([ROOT_INO]);
+    visited.insert(ROOT_INO);
+
+    while let Some(dir) = queue.pop_front() {
+        let inode = inodes[&dir];
+        if !inode.size.is_multiple_of(BLOCK_SIZE as u64) {
+            report.errors.push(FsckError::DirSize { ino: dir, size: inode.size });
+        }
+        let blocks = match file_blocks_in_order(dev, &geo, &inode) {
+            Ok(b) => b,
+            Err(_) => {
+                report.errors.push(FsckError::BadDirent {
+                    dir,
+                    detail: "unreadable directory blocks".into(),
+                });
+                continue;
+            }
+        };
+        for bno in blocks {
+            if bno == 0 {
+                report.errors.push(FsckError::DirSize { ino: dir, size: inode.size });
+                continue;
+            }
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            dev.read_block(bno, &mut buf)?;
+            let db = match DirBlock::from_bytes(buf) {
+                Ok(db) => db,
+                Err(e) => {
+                    report.errors.push(FsckError::BadDirent {
+                        dir,
+                        detail: e.to_string(),
+                    });
+                    continue;
+                }
+            };
+            for rec in db.records() {
+                report.entries_checked += 1;
+                let target = rec.ino;
+                let Some(child) = (if target.0 < geo.inode_count {
+                    inodes.get(&target)
+                } else {
+                    None
+                }) else {
+                    report.errors.push(FsckError::DanglingEntry {
+                        dir,
+                        name: rec.name.clone(),
+                        target,
+                    });
+                    continue;
+                };
+                if child.ftype != rec.ftype {
+                    report.errors.push(FsckError::TypeMismatch {
+                        dir,
+                        name: rec.name.clone(),
+                        target,
+                    });
+                }
+                *name_refs.entry(target).or_insert(0) += 1;
+                if child.ftype == FileType::Directory {
+                    *subdirs.entry(dir).or_insert(0) += 1;
+                    if !visited.insert(target) {
+                        report.errors.push(FsckError::DirLoop { ino: target });
+                    } else {
+                        queue.push_back(target);
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 6: reachability + link counts.
+    for (&ino, inode) in &inodes {
+        if inode.ftype == FileType::Directory {
+            if !visited.contains(&ino) {
+                report.errors.push(FsckError::Unreachable { ino });
+                continue;
+            }
+            let expected = 2 + subdirs.get(&ino).copied().unwrap_or(0);
+            if u32::from(inode.links) != expected {
+                report.errors.push(FsckError::LinkCount {
+                    ino,
+                    recorded: u32::from(inode.links),
+                    actual: expected,
+                });
+            }
+            if ino != ROOT_INO && name_refs.get(&ino).copied().unwrap_or(0) != 1 {
+                report.errors.push(FsckError::DirLoop { ino });
+            }
+        } else {
+            let refs = name_refs.get(&ino).copied().unwrap_or(0);
+            if refs == 0 {
+                report.errors.push(FsckError::Unreachable { ino });
+            } else if u32::from(inode.links) != refs {
+                report.errors.push(FsckError::LinkCount {
+                    ino,
+                    recorded: u32::from(inode.links),
+                    actual: refs,
+                });
+            }
+        }
+    }
+
+    // Phase 7: block ownership, double allocation, block counts.
+    let mut owner: BTreeMap<u64, InodeNo> = BTreeMap::new();
+    for (&ino, inode) in &inodes {
+        let owned = collect_blocks(dev, &geo, ino, inode, &mut report.errors)?;
+        if owned.len() as u32 != inode.blocks {
+            report.errors.push(FsckError::BlockCount {
+                ino,
+                recorded: inode.blocks,
+                actual: owned.len() as u32,
+            });
+        }
+        for bno in owned {
+            report.blocks_accounted += 1;
+            if let Some(&prev) = owner.get(&bno) {
+                report.errors.push(FsckError::DoubleAlloc {
+                    bno,
+                    owners: (prev, ino),
+                });
+            } else {
+                owner.insert(bno, ino);
+            }
+        }
+    }
+
+    // Phase 8: data bitmap vs ownership.
+    for idx in 0..geo.data_blocks {
+        let bno = geo.data_block(idx);
+        let marked = dbm.test(idx).unwrap_or(false);
+        let used = owner.contains_key(&bno);
+        if marked != used {
+            report
+                .errors
+                .push(FsckError::DataBitmapMismatch { bno, marked, used });
+        }
+    }
+
+    // Phase 9: free counters (only meaningful on a clean filesystem;
+    // a dirty one may have committed-but-uncheckpointed counters).
+    if sb.mount_state == MountState::Clean {
+        let actual_free_inodes = u64::from(geo.inode_count) - ibm.count_set();
+        if u64::from(sb.free_inodes) != actual_free_inodes {
+            report.errors.push(FsckError::FreeCount {
+                kind: "inodes",
+                superblock: u64::from(sb.free_inodes),
+                actual: actual_free_inodes,
+            });
+        }
+        let actual_free_blocks = dbm.count_clear();
+        if sb.free_blocks != actual_free_blocks {
+            report.errors.push(FsckError::FreeCount {
+                kind: "blocks",
+                superblock: sb.free_blocks,
+                actual: actual_free_blocks,
+            });
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inode::write_inode;
+    use crate::mkfs::{mkfs, MkfsParams};
+    use rae_blockdev::MemDisk;
+
+    fn fresh() -> (MemDisk, Geometry) {
+        let dev = MemDisk::new(4096);
+        let geo = mkfs(&dev, MkfsParams::default()).unwrap();
+        (dev, geo)
+    }
+
+    /// Build a tiny valid tree by hand: /dir, /dir/file (1 block).
+    fn build_tree(dev: &MemDisk, geo: &Geometry) {
+        let dir_ino = InodeNo(2);
+        let file_ino = InodeNo(3);
+        let root_dirblk = geo.data_start;
+        let dir_dirblk = geo.data_start + 1;
+        let file_blk = geo.data_start + 2;
+
+        // root: one block containing "dir"
+        let mut root = DiskInode::new(FileType::Directory, 0);
+        root.links = 3; // 2 + one subdir
+        root.size = BLOCK_SIZE as u64;
+        root.direct[0] = root_dirblk;
+        root.blocks = 1;
+        write_inode(dev, geo, ROOT_INO, Some(&root)).unwrap();
+        let mut db = DirBlock::empty();
+        db.try_insert("dir", dir_ino, FileType::Directory).unwrap();
+        dev.write_block(root_dirblk, db.as_bytes()).unwrap();
+
+        // dir: one block containing "file"
+        let mut dir = DiskInode::new(FileType::Directory, 0);
+        dir.size = BLOCK_SIZE as u64;
+        dir.direct[0] = dir_dirblk;
+        dir.blocks = 1;
+        write_inode(dev, geo, dir_ino, Some(&dir)).unwrap();
+        let mut db = DirBlock::empty();
+        db.try_insert("file", file_ino, FileType::Regular).unwrap();
+        dev.write_block(dir_dirblk, db.as_bytes()).unwrap();
+
+        // file: one data block
+        let mut file = DiskInode::new(FileType::Regular, 0);
+        file.size = 100;
+        file.direct[0] = file_blk;
+        file.blocks = 1;
+        write_inode(dev, geo, file_ino, Some(&file)).unwrap();
+
+        // bitmaps + superblock counters
+        let mut ibm = Bitmap::load(dev, geo.inode_bitmap_start, geo.inode_bitmap_blocks, u64::from(geo.inode_count)).unwrap();
+        ibm.set(2).unwrap();
+        ibm.set(3).unwrap();
+        ibm.store(dev, geo.inode_bitmap_start).unwrap();
+        let mut dbm = Bitmap::load(dev, geo.data_bitmap_start, geo.data_bitmap_blocks, geo.data_blocks).unwrap();
+        for b in [root_dirblk, dir_dirblk, file_blk] {
+            dbm.set(geo.data_index(b).unwrap()).unwrap();
+        }
+        dbm.store(dev, geo.data_bitmap_start).unwrap();
+        let mut sb = Superblock::read_from(dev).unwrap();
+        sb.free_inodes -= 2;
+        sb.free_blocks -= 3;
+        sb.write_to(dev).unwrap();
+    }
+
+    #[test]
+    fn fresh_image_is_clean() {
+        let (dev, _) = fresh();
+        let report = fsck(&dev).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.inodes_checked, 1); // root only
+    }
+
+    #[test]
+    fn hand_built_tree_is_clean() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        let report = fsck(&dev).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.inodes_checked, 3);
+        assert_eq!(report.entries_checked, 2);
+        assert_eq!(report.blocks_accounted, 3);
+    }
+
+    #[test]
+    fn detects_garbage_superblock() {
+        let dev = MemDisk::new(64);
+        let report = fsck(&dev).unwrap();
+        assert!(matches!(report.errors[0], FsckError::Superblock(_)));
+    }
+
+    #[test]
+    fn detects_dangling_entry() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        // point "file" at an unallocated inode
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(geo.data_start + 1, &mut buf).unwrap();
+        let mut db = DirBlock::from_bytes(buf).unwrap();
+        db.remove("file");
+        db.try_insert("file", InodeNo(99), FileType::Regular).unwrap();
+        dev.write_block(geo.data_start + 1, db.as_bytes()).unwrap();
+
+        let report = fsck(&dev).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::DanglingEntry { .. })), "{report}");
+        // and the now-orphaned file inode + bitmap drift are also flagged
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::Unreachable { ino } if *ino == InodeNo(3))));
+    }
+
+    #[test]
+    fn detects_wrong_link_count() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        let mut file = read_inode(&dev, &geo, InodeNo(3)).unwrap().unwrap();
+        file.links = 5;
+        write_inode(&dev, &geo, InodeNo(3), Some(&file)).unwrap();
+        let report = fsck(&dev).unwrap();
+        assert!(report.errors.iter().any(
+            |e| matches!(e, FsckError::LinkCount { ino, recorded: 5, actual: 1 } if *ino == InodeNo(3))
+        ), "{report}");
+    }
+
+    #[test]
+    fn detects_double_allocation() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        // make the file share the dir's dirent block
+        let mut file = read_inode(&dev, &geo, InodeNo(3)).unwrap().unwrap();
+        file.direct[1] = geo.data_start + 1;
+        file.blocks = 2;
+        write_inode(&dev, &geo, InodeNo(3), Some(&file)).unwrap();
+        let report = fsck(&dev).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::DoubleAlloc { .. })), "{report}");
+    }
+
+    #[test]
+    fn detects_bitmap_mismatches() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        // mark a random free data block as used
+        let mut dbm = Bitmap::load(&dev, geo.data_bitmap_start, geo.data_bitmap_blocks, geo.data_blocks).unwrap();
+        dbm.set(50).unwrap();
+        dbm.store(&dev, geo.data_bitmap_start).unwrap();
+        let report = fsck(&dev).unwrap();
+        assert!(report.errors.iter().any(|e| matches!(
+            e,
+            FsckError::DataBitmapMismatch { marked: true, used: false, .. }
+        )), "{report}");
+        // free-count drift is also caught
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::FreeCount { kind: "blocks", .. })));
+    }
+
+    #[test]
+    fn detects_unreachable_directory() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        // remove the "dir" entry from root but keep the inode allocated
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(geo.data_start, &mut buf).unwrap();
+        let mut db = DirBlock::from_bytes(buf).unwrap();
+        db.remove("dir");
+        dev.write_block(geo.data_start, db.as_bytes()).unwrap();
+
+        let report = fsck(&dev).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::Unreachable { ino } if *ino == InodeNo(2))), "{report}");
+    }
+
+    #[test]
+    fn detects_type_mismatch() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(geo.data_start + 1, &mut buf).unwrap();
+        let mut db = DirBlock::from_bytes(buf).unwrap();
+        db.remove("file");
+        db.try_insert("file", InodeNo(3), FileType::Symlink).unwrap();
+        dev.write_block(geo.data_start + 1, db.as_bytes()).unwrap();
+        let report = fsck(&dev).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::TypeMismatch { .. })), "{report}");
+    }
+
+    #[test]
+    fn detects_wrong_block_count() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        let mut file = read_inode(&dev, &geo, InodeNo(3)).unwrap().unwrap();
+        file.blocks = 9;
+        write_inode(&dev, &geo, InodeNo(3), Some(&file)).unwrap();
+        let report = fsck(&dev).unwrap();
+        assert!(report.errors.iter().any(
+            |e| matches!(e, FsckError::BlockCount { recorded: 9, actual: 1, .. })
+        ), "{report}");
+    }
+
+    #[test]
+    fn detects_corrupt_inode_record() {
+        let (dev, geo) = fresh();
+        build_tree(&dev, &geo);
+        let (bno, off) = geo.inode_location(InodeNo(3)).unwrap();
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(bno, &mut buf).unwrap();
+        buf[off + 9] ^= 0xFF; // smash the size field; checksum breaks
+        dev.write_block(bno, &buf).unwrap();
+        let report = fsck(&dev).unwrap();
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, FsckError::BadInode { ino, .. } if *ino == InodeNo(3))), "{report}");
+    }
+}

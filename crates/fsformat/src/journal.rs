@@ -1,0 +1,454 @@
+//! The physical metadata journal: record formats, scan, and replay.
+//!
+//! The journal occupies `geometry.journal_blocks` blocks starting at
+//! `geometry.journal_start`. Block 0 of the region is the *journal
+//! header* (magic + base sequence number). Transactions are appended
+//! from block 1:
+//!
+//! ```text
+//! [descriptor: seq, tags(target bno + data CRC)] [data image]* [commit: seq]
+//! ```
+//!
+//! The log is append-only; when it fills up, the owner checkpoints
+//! (writes all journaled blocks home) and resets the header with a new
+//! base sequence. (JBD2 wraps circularly instead; the reset-on-
+//! checkpoint simplification preserves the recovery semantics the
+//! paper's contained reboot relies on and is recorded in DESIGN.md.)
+//!
+//! [`replay`] is deliberately conservative: it applies only transactions
+//! whose descriptor, every data-block checksum, and commit record all
+//! validate, and stops at the first gap — exactly the "recover from
+//! known on-disk state" step of a contained reboot.
+
+use crate::crc::{crc32c, crc32c_excluding};
+use crate::layout::Geometry;
+use crate::wire::{get_u32, get_u64, put_u32, put_u64};
+use rae_blockdev::{BlockDevice, BLOCK_SIZE};
+use rae_vfs::{FsError, FsResult};
+
+/// Magic of the journal header block ("RAEH").
+pub const JOURNAL_HEADER_MAGIC: u32 = 0x5241_4548;
+/// Magic of a descriptor block ("RAED").
+pub const JOURNAL_DESC_MAGIC: u32 = 0x5241_4544;
+/// Magic of a commit block ("RAEC").
+pub const JOURNAL_COMMIT_MAGIC: u32 = 0x5241_4543;
+
+/// Maximum data blocks in one transaction (fits one descriptor block).
+pub const MAX_TXN_BLOCKS: usize = 256;
+
+const HDR_OFF_MAGIC: usize = 0;
+const HDR_OFF_BASE_SEQ: usize = 4;
+const HDR_OFF_CRC: usize = 12;
+const HDR_LEN: usize = 16;
+
+const DESC_OFF_MAGIC: usize = 0;
+const DESC_OFF_SEQ: usize = 4;
+const DESC_OFF_NTAGS: usize = 12;
+const DESC_OFF_TAGS: usize = 16;
+const TAG_LEN: usize = 12; // target u64 + crc u32
+
+const COMMIT_OFF_MAGIC: usize = 0;
+const COMMIT_OFF_SEQ: usize = 4;
+const COMMIT_OFF_CRC: usize = 12;
+const COMMIT_LEN: usize = 16;
+
+/// One journaled block: where it belongs and the checksum of its image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnTag {
+    /// Home location of the journaled block.
+    pub target: u64,
+    /// CRC32C of the journaled image.
+    pub crc: u32,
+}
+
+/// Encode the journal header block.
+#[must_use]
+pub fn encode_header(base_seq: u64) -> Vec<u8> {
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    put_u32(&mut buf, HDR_OFF_MAGIC, JOURNAL_HEADER_MAGIC);
+    put_u64(&mut buf, HDR_OFF_BASE_SEQ, base_seq);
+    let crc = crc32c_excluding(&buf[..HDR_LEN], HDR_OFF_CRC);
+    put_u32(&mut buf, HDR_OFF_CRC, crc);
+    buf
+}
+
+/// Decode and validate the journal header block.
+///
+/// # Errors
+///
+/// [`FsError::Corrupted`] on bad magic or checksum.
+pub fn decode_header(buf: &[u8]) -> FsResult<u64> {
+    if buf.len() != BLOCK_SIZE || get_u32(buf, HDR_OFF_MAGIC) != JOURNAL_HEADER_MAGIC {
+        return Err(corrupt("bad journal header magic"));
+    }
+    if get_u32(buf, HDR_OFF_CRC) != crc32c_excluding(&buf[..HDR_LEN], HDR_OFF_CRC) {
+        return Err(corrupt("journal header checksum mismatch"));
+    }
+    Ok(get_u64(buf, HDR_OFF_BASE_SEQ))
+}
+
+/// Encode a descriptor block for transaction `seq` covering `tags`.
+///
+/// # Panics
+///
+/// Panics if `tags` is empty or exceeds [`MAX_TXN_BLOCKS`] (caller bug:
+/// transaction sizing is the journal owner's invariant).
+#[must_use]
+pub fn encode_descriptor(seq: u64, tags: &[TxnTag]) -> Vec<u8> {
+    assert!(!tags.is_empty() && tags.len() <= MAX_TXN_BLOCKS);
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    put_u32(&mut buf, DESC_OFF_MAGIC, JOURNAL_DESC_MAGIC);
+    put_u64(&mut buf, DESC_OFF_SEQ, seq);
+    put_u32(&mut buf, DESC_OFF_NTAGS, tags.len() as u32);
+    for (i, t) in tags.iter().enumerate() {
+        let off = DESC_OFF_TAGS + i * TAG_LEN;
+        put_u64(&mut buf, off, t.target);
+        put_u32(&mut buf, off + 8, t.crc);
+    }
+    let crc_at = DESC_OFF_TAGS + tags.len() * TAG_LEN;
+    let crc = crc32c(&buf[..crc_at]);
+    put_u32(&mut buf, crc_at, crc);
+    buf
+}
+
+/// Decode a descriptor block: `Ok(Some((seq, tags)))` for a valid
+/// descriptor, `Ok(None)` for a block that is not a descriptor at all
+/// (end of log), `Err` for a block that *claims* to be a descriptor but
+/// fails validation.
+///
+/// # Errors
+///
+/// [`FsError::Corrupted`] for tag counts out of range or checksum
+/// mismatches.
+pub fn decode_descriptor(buf: &[u8]) -> FsResult<Option<(u64, Vec<TxnTag>)>> {
+    if buf.len() != BLOCK_SIZE || get_u32(buf, DESC_OFF_MAGIC) != JOURNAL_DESC_MAGIC {
+        return Ok(None);
+    }
+    let ntags = get_u32(buf, DESC_OFF_NTAGS) as usize;
+    if ntags == 0 || ntags > MAX_TXN_BLOCKS {
+        return Err(corrupt("descriptor tag count out of range"));
+    }
+    let crc_at = DESC_OFF_TAGS + ntags * TAG_LEN;
+    if get_u32(buf, crc_at) != crc32c(&buf[..crc_at]) {
+        return Err(corrupt("descriptor checksum mismatch"));
+    }
+    let seq = get_u64(buf, DESC_OFF_SEQ);
+    let mut tags = Vec::with_capacity(ntags);
+    for i in 0..ntags {
+        let off = DESC_OFF_TAGS + i * TAG_LEN;
+        tags.push(TxnTag {
+            target: get_u64(buf, off),
+            crc: get_u32(buf, off + 8),
+        });
+    }
+    Ok(Some((seq, tags)))
+}
+
+/// Encode a commit block for transaction `seq`.
+#[must_use]
+pub fn encode_commit(seq: u64) -> Vec<u8> {
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    put_u32(&mut buf, COMMIT_OFF_MAGIC, JOURNAL_COMMIT_MAGIC);
+    put_u64(&mut buf, COMMIT_OFF_SEQ, seq);
+    let crc = crc32c_excluding(&buf[..COMMIT_LEN], COMMIT_OFF_CRC);
+    put_u32(&mut buf, COMMIT_OFF_CRC, crc);
+    buf
+}
+
+/// Whether `buf` is a valid commit block for `seq`.
+#[must_use]
+pub fn is_commit(buf: &[u8], seq: u64) -> bool {
+    buf.len() == BLOCK_SIZE
+        && get_u32(buf, COMMIT_OFF_MAGIC) == JOURNAL_COMMIT_MAGIC
+        && get_u64(buf, COMMIT_OFF_SEQ) == seq
+        && get_u32(buf, COMMIT_OFF_CRC) == crc32c_excluding(&buf[..COMMIT_LEN], COMMIT_OFF_CRC)
+}
+
+/// Write a fresh (empty) journal with the given base sequence.
+///
+/// # Errors
+///
+/// Device errors.
+pub fn reset<D: BlockDevice + ?Sized>(dev: &D, geo: &Geometry, base_seq: u64) -> FsResult<()> {
+    dev.write_block(geo.journal_start, &encode_header(base_seq))?;
+    // Invalidate the first record slot so stale descriptors from a
+    // previous epoch cannot be replayed.
+    if geo.journal_blocks > 1 {
+        dev.write_block(geo.journal_start + 1, &vec![0u8; BLOCK_SIZE])?;
+    }
+    dev.flush()
+}
+
+/// Outcome of a journal replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayReport {
+    /// Committed transactions applied.
+    pub transactions: u64,
+    /// Total block images written home.
+    pub blocks: u64,
+    /// Sequence number the journal was reset to.
+    pub next_seq: u64,
+}
+
+/// Scan the journal and apply every fully-committed transaction, then
+/// reset the journal. Idempotent: replaying twice applies the same
+/// images, and the final reset empties the log.
+///
+/// Uncommitted or torn tails (bad descriptor, bad data CRC, missing
+/// commit, sequence gap) terminate the scan silently — that is the
+/// crash-consistency contract.
+///
+/// # Errors
+///
+/// Device errors; [`FsError::Corrupted`] if the journal header itself is
+/// invalid, or a committed transaction targets a block outside the
+/// device or inside the journal/superblock region (never legal, so it
+/// is corruption rather than a torn tail).
+pub fn replay<D: BlockDevice + ?Sized>(dev: &D, geo: &Geometry) -> FsResult<ReplayReport> {
+    let mut hdr = vec![0u8; BLOCK_SIZE];
+    dev.read_block(geo.journal_start, &mut hdr)?;
+    let base_seq = decode_header(&hdr)?;
+
+    let first = geo.journal_start + 1;
+    let end = geo.journal_start + geo.journal_blocks;
+    let mut cursor = first;
+    let mut expected_seq = base_seq;
+    let mut report = ReplayReport::default();
+    let mut buf = vec![0u8; BLOCK_SIZE];
+
+    'scan: loop {
+        if cursor >= end {
+            break;
+        }
+        dev.read_block(cursor, &mut buf)?;
+        let (seq, tags) = match decode_descriptor(&buf) {
+            Ok(Some(d)) => d,
+            Ok(None) | Err(_) => break, // end of log or torn descriptor
+        };
+        if seq != expected_seq {
+            break; // stale record from a previous journal epoch
+        }
+        // full transaction must fit before the journal end
+        let data_start = cursor + 1;
+        let commit_at = data_start + tags.len() as u64;
+        if commit_at >= end {
+            break;
+        }
+        // validate every data block against its tag CRC
+        let mut images: Vec<(u64, Vec<u8>)> = Vec::with_capacity(tags.len());
+        for (i, tag) in tags.iter().enumerate() {
+            dev.read_block(data_start + i as u64, &mut buf)?;
+            if crc32c(&buf) != tag.crc {
+                break 'scan; // torn data block: uncommitted tail
+            }
+            images.push((tag.target, buf.clone()));
+        }
+        dev.read_block(commit_at, &mut buf)?;
+        if !is_commit(&buf, seq) {
+            break; // commit never made it: discard
+        }
+        // The transaction is committed: targets must be legal.
+        for (target, _) in &images {
+            let in_journal = *target >= geo.journal_start && *target < end;
+            if *target >= geo.total_blocks || in_journal {
+                return Err(corrupt("committed transaction targets an illegal block"));
+            }
+        }
+        for (target, image) in images {
+            dev.write_block(target, &image)?;
+            report.blocks += 1;
+        }
+        report.transactions += 1;
+        expected_seq += 1;
+        cursor = commit_at + 1;
+    }
+
+    dev.flush()?;
+    reset(dev, geo, expected_seq)?;
+    report.next_seq = expected_seq;
+    Ok(report)
+}
+
+fn corrupt(msg: &str) -> FsError {
+    FsError::Corrupted {
+        detail: format!("journal: {msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_blockdev::MemDisk;
+
+    fn geo() -> Geometry {
+        Geometry::compute(4096, 1024, 64).unwrap()
+    }
+
+    /// Hand-write a transaction into the journal at `slot` (region block
+    /// index, 1-based past the header).
+    fn write_txn(dev: &MemDisk, g: &Geometry, slot: u64, seq: u64, writes: &[(u64, u8)]) -> u64 {
+        let tags: Vec<TxnTag> = writes
+            .iter()
+            .map(|&(target, fill)| TxnTag {
+                target,
+                crc: crc32c(&vec![fill; BLOCK_SIZE]),
+            })
+            .collect();
+        let mut at = g.journal_start + slot;
+        dev.write_block(at, &encode_descriptor(seq, &tags)).unwrap();
+        at += 1;
+        for &(_, fill) in writes {
+            dev.write_block(at, &vec![fill; BLOCK_SIZE]).unwrap();
+            at += 1;
+        }
+        dev.write_block(at, &encode_commit(seq)).unwrap();
+        at + 1 - g.journal_start
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let buf = encode_header(42);
+        assert_eq!(decode_header(&buf).unwrap(), 42);
+        let mut bad = buf.clone();
+        bad[5] ^= 1;
+        assert!(decode_header(&bad).is_err());
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let tags = vec![
+            TxnTag { target: 100, crc: 7 },
+            TxnTag { target: 200, crc: 8 },
+        ];
+        let buf = encode_descriptor(9, &tags);
+        assert_eq!(decode_descriptor(&buf).unwrap(), Some((9, tags)));
+        assert_eq!(decode_descriptor(&vec![0u8; BLOCK_SIZE]).unwrap(), None);
+    }
+
+    #[test]
+    fn commit_recognition() {
+        let buf = encode_commit(5);
+        assert!(is_commit(&buf, 5));
+        assert!(!is_commit(&buf, 6));
+        let mut bad = buf.clone();
+        bad[8] ^= 1;
+        assert!(!is_commit(&bad, 5));
+    }
+
+    #[test]
+    fn replay_applies_committed_transactions_in_order() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        reset(&dev, &g, 10).unwrap();
+
+        let target = g.data_start + 3;
+        let next = write_txn(&dev, &g, 1, 10, &[(target, 0xAA)]);
+        write_txn(&dev, &g, next, 11, &[(target, 0xBB), (target + 1, 0xCC)]);
+
+        let report = replay(&dev, &g).unwrap();
+        assert_eq!(report.transactions, 2);
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.next_seq, 12);
+
+        let mut r = vec![0u8; BLOCK_SIZE];
+        dev.read_block(target, &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 0xBB), "later txn wins");
+        dev.read_block(target + 1, &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 0xCC));
+    }
+
+    #[test]
+    fn replay_stops_at_missing_commit() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        reset(&dev, &g, 0).unwrap();
+
+        let target = g.data_start;
+        // descriptor + data, but no commit (simulated crash mid-commit)
+        let tags = [TxnTag { target, crc: crc32c(&vec![1u8; BLOCK_SIZE]) }];
+        dev.write_block(g.journal_start + 1, &encode_descriptor(0, &tags)).unwrap();
+        dev.write_block(g.journal_start + 2, &vec![1u8; BLOCK_SIZE]).unwrap();
+
+        let report = replay(&dev, &g).unwrap();
+        assert_eq!(report.transactions, 0);
+        let mut r = vec![0u8; BLOCK_SIZE];
+        dev.read_block(target, &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 0), "uncommitted txn not applied");
+    }
+
+    #[test]
+    fn replay_stops_at_torn_data_block() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        reset(&dev, &g, 0).unwrap();
+
+        let target = g.data_start;
+        let tags = [TxnTag { target, crc: crc32c(&vec![1u8; BLOCK_SIZE]) }];
+        dev.write_block(g.journal_start + 1, &encode_descriptor(0, &tags)).unwrap();
+        dev.write_block(g.journal_start + 2, &vec![2u8; BLOCK_SIZE]).unwrap(); // wrong content
+        dev.write_block(g.journal_start + 3, &encode_commit(0)).unwrap();
+
+        let report = replay(&dev, &g).unwrap();
+        assert_eq!(report.transactions, 0, "CRC mismatch discards txn");
+    }
+
+    #[test]
+    fn replay_ignores_stale_sequence_numbers() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        reset(&dev, &g, 5).unwrap();
+        // a leftover transaction from an earlier epoch (seq 4)
+        write_txn(&dev, &g, 1, 4, &[(g.data_start, 0x77)]);
+        let report = replay(&dev, &g).unwrap();
+        assert_eq!(report.transactions, 0);
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        reset(&dev, &g, 0).unwrap();
+        write_txn(&dev, &g, 1, 0, &[(g.data_start + 9, 0x5A)]);
+
+        let r1 = replay(&dev, &g).unwrap();
+        assert_eq!(r1.transactions, 1);
+        let r2 = replay(&dev, &g).unwrap();
+        assert_eq!(r2.transactions, 0, "reset emptied the log");
+
+        let mut r = vec![0u8; BLOCK_SIZE];
+        dev.read_block(g.data_start + 9, &mut r).unwrap();
+        assert!(r.iter().all(|&b| b == 0x5A));
+    }
+
+    #[test]
+    fn replay_rejects_committed_txn_with_illegal_target() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        reset(&dev, &g, 0).unwrap();
+        // committed transaction aimed at the journal itself
+        write_txn(&dev, &g, 1, 0, &[(g.journal_start + 1, 0xEE)]);
+        assert!(matches!(
+            replay(&dev, &g),
+            Err(FsError::Corrupted { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_requires_valid_header() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        // no header written at all
+        assert!(replay(&dev, &g).is_err());
+    }
+
+    #[test]
+    fn reset_clears_first_slot() {
+        let g = geo();
+        let dev = MemDisk::new(g.total_blocks);
+        reset(&dev, &g, 0).unwrap();
+        write_txn(&dev, &g, 1, 0, &[(g.data_start, 1)]);
+        reset(&dev, &g, 1).unwrap();
+        let report = replay(&dev, &g).unwrap();
+        assert_eq!(report.transactions, 0, "old descriptor invalidated");
+    }
+}

@@ -1,0 +1,220 @@
+//! Filesystem geometry: where every region lives on the device.
+
+use rae_blockdev::BLOCK_SIZE;
+use rae_vfs::{FsError, FsResult, InodeNo};
+
+/// Bits per bitmap block.
+pub const BITS_PER_BLOCK: u64 = (BLOCK_SIZE * 8) as u64;
+
+/// Complete description of the on-disk region layout.
+///
+/// Computed once by [`Geometry::compute`] at `mkfs` time and thereafter
+/// derived from the superblock; both filesystems address the device
+/// exclusively through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total blocks on the device.
+    pub total_blocks: u64,
+    /// Number of inodes (inode numbers `1..=inode_count - 1` usable;
+    /// ino 0 is reserved as null).
+    pub inode_count: u32,
+    /// First journal block (the journal header).
+    pub journal_start: u64,
+    /// Journal length in blocks, including the header block.
+    pub journal_blocks: u64,
+    /// First inode-bitmap block.
+    pub inode_bitmap_start: u64,
+    /// Inode-bitmap length in blocks.
+    pub inode_bitmap_blocks: u64,
+    /// First data-bitmap block.
+    pub data_bitmap_start: u64,
+    /// Data-bitmap length in blocks.
+    pub data_bitmap_blocks: u64,
+    /// First inode-table block.
+    pub inode_table_start: u64,
+    /// Inode-table length in blocks.
+    pub inode_table_blocks: u64,
+    /// First data block.
+    pub data_start: u64,
+    /// Number of data blocks.
+    pub data_blocks: u64,
+}
+
+impl Geometry {
+    /// Compute a layout for a device of `total_blocks` blocks with
+    /// `inode_count` inodes and a journal of `journal_blocks` blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidArgument`] when the device is too small to hold
+    /// the metadata regions plus at least one data block, or parameters
+    /// are degenerate (zero inodes, journal shorter than 2 blocks).
+    pub fn compute(total_blocks: u64, inode_count: u32, journal_blocks: u64) -> FsResult<Geometry> {
+        if inode_count < 2 || journal_blocks < 2 || total_blocks < 8 {
+            return Err(FsError::InvalidArgument);
+        }
+        let journal_start = 1;
+        let inode_bitmap_start = journal_start + journal_blocks;
+        let inode_bitmap_blocks = u64::from(inode_count).div_ceil(BITS_PER_BLOCK);
+        let inode_table_blocks =
+            u64::from(inode_count).div_ceil(crate::inode::INODES_PER_BLOCK as u64);
+
+        let data_bitmap_start = inode_bitmap_start + inode_bitmap_blocks;
+        let fixed = data_bitmap_start + inode_table_blocks;
+        if fixed + 2 > total_blocks {
+            return Err(FsError::InvalidArgument);
+        }
+        // Solve: data_bitmap_blocks + data_blocks = total - fixed, with
+        // data_blocks <= data_bitmap_blocks * BITS_PER_BLOCK.
+        let remaining = total_blocks - fixed;
+        let data_bitmap_blocks = (remaining + BITS_PER_BLOCK) / (BITS_PER_BLOCK + 1);
+        let data_blocks = remaining - data_bitmap_blocks;
+        if data_blocks == 0 {
+            return Err(FsError::InvalidArgument);
+        }
+
+        let inode_table_start = data_bitmap_start + data_bitmap_blocks;
+        let data_start = inode_table_start + inode_table_blocks;
+        debug_assert!(data_blocks <= data_bitmap_blocks * BITS_PER_BLOCK);
+        debug_assert_eq!(data_start + data_blocks, total_blocks);
+
+        Ok(Geometry {
+            total_blocks,
+            inode_count,
+            journal_start,
+            journal_blocks,
+            inode_bitmap_start,
+            inode_bitmap_blocks,
+            data_bitmap_start,
+            data_bitmap_blocks,
+            inode_table_start,
+            inode_table_blocks,
+            data_start,
+            data_blocks,
+        })
+    }
+
+    /// The inode-table block holding `ino`, plus the byte offset of the
+    /// inode within that block.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] if `ino` is null or out of range — callers
+    /// pass inode numbers read from disk, so this is a validation point,
+    /// not an assertion.
+    pub fn inode_location(&self, ino: InodeNo) -> FsResult<(u64, usize)> {
+        if ino.is_null() || ino.0 >= self.inode_count {
+            return Err(FsError::Corrupted {
+                detail: format!("inode number {ino} out of range 1..{}", self.inode_count),
+            });
+        }
+        let idx = u64::from(ino.0);
+        let block = self.inode_table_start + idx / crate::inode::INODES_PER_BLOCK as u64;
+        let offset =
+            (idx % crate::inode::INODES_PER_BLOCK as u64) as usize * crate::inode::INODE_SIZE;
+        Ok((block, offset))
+    }
+
+    /// Whether `bno` lies in the data region.
+    #[must_use]
+    pub fn is_data_block(&self, bno: u64) -> bool {
+        bno >= self.data_start && bno < self.total_blocks
+    }
+
+    /// Map a data block number to its index in the data bitmap.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] when `bno` is outside the data region
+    /// (data structures on disk may carry garbage pointers).
+    pub fn data_index(&self, bno: u64) -> FsResult<u64> {
+        if self.is_data_block(bno) {
+            Ok(bno - self.data_start)
+        } else {
+            Err(FsError::Corrupted {
+                detail: format!(
+                    "block {bno} is not a data block (data region {}..{})",
+                    self.data_start, self.total_blocks
+                ),
+            })
+        }
+    }
+
+    /// Inverse of [`Geometry::data_index`].
+    #[must_use]
+    pub fn data_block(&self, index: u64) -> u64 {
+        self.data_start + index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_tile_the_device_exactly() {
+        let g = Geometry::compute(4096, 1024, 256).unwrap();
+        assert_eq!(g.journal_start, 1);
+        assert_eq!(g.inode_bitmap_start, 1 + 256);
+        assert_eq!(
+            g.data_start + g.data_blocks,
+            g.total_blocks,
+            "no wasted or overlapping blocks"
+        );
+        assert!(g.data_blocks <= g.data_bitmap_blocks * BITS_PER_BLOCK);
+        // 1024 inodes, 16 per block
+        assert_eq!(g.inode_table_blocks, 64);
+        assert_eq!(g.inode_bitmap_blocks, 1);
+    }
+
+    #[test]
+    fn tiny_and_large_devices() {
+        for (blocks, inodes, journal) in
+            [(64u64, 16u32, 8u64), (1 << 18, 1 << 15, 1024), (8192, 64, 2)]
+        {
+            let g = Geometry::compute(blocks, inodes, journal).unwrap();
+            assert_eq!(g.data_start + g.data_blocks, blocks);
+            assert!(g.data_blocks > 0);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(Geometry::compute(4, 16, 2).is_err(), "device too small");
+        assert!(Geometry::compute(4096, 1, 2).is_err(), "too few inodes");
+        assert!(Geometry::compute(4096, 16, 1).is_err(), "journal too short");
+        assert!(
+            Geometry::compute(300, 16, 298).is_err(),
+            "journal eats the whole device"
+        );
+    }
+
+    #[test]
+    fn inode_location_math() {
+        let g = Geometry::compute(4096, 1024, 256).unwrap();
+        let (b1, o1) = g.inode_location(InodeNo(1)).unwrap();
+        assert_eq!(b1, g.inode_table_start);
+        assert_eq!(o1, crate::inode::INODE_SIZE);
+        let (b16, o16) = g.inode_location(InodeNo(16)).unwrap();
+        assert_eq!(b16, g.inode_table_start + 1);
+        assert_eq!(o16, 0);
+    }
+
+    #[test]
+    fn inode_location_validates_range() {
+        let g = Geometry::compute(4096, 1024, 256).unwrap();
+        assert!(g.inode_location(InodeNo(0)).is_err());
+        assert!(g.inode_location(InodeNo(1024)).is_err());
+        assert!(g.inode_location(InodeNo(1023)).is_ok());
+    }
+
+    #[test]
+    fn data_index_roundtrip_and_validation() {
+        let g = Geometry::compute(4096, 1024, 256).unwrap();
+        let bno = g.data_block(5);
+        assert!(g.is_data_block(bno));
+        assert_eq!(g.data_index(bno).unwrap(), 5);
+        assert!(g.data_index(g.data_start - 1).is_err());
+        assert!(g.data_index(g.total_blocks).is_err());
+    }
+}

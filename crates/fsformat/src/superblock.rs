@@ -1,0 +1,305 @@
+//! The superblock: block 0 of every image.
+
+use crate::crc::crc32c_excluding;
+use crate::layout::Geometry;
+use crate::wire::{get_u32, get_u64, put_u32, put_u64};
+use rae_blockdev::{BlockDevice, BLOCK_SIZE};
+use rae_vfs::{FsError, FsResult};
+
+/// Magic number identifying the format ("RAEF").
+pub const SUPERBLOCK_MAGIC: u32 = 0x5241_4546;
+
+/// Format version this implementation reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+const OFF_MAGIC: usize = 0;
+const OFF_VERSION: usize = 4;
+const OFF_BLOCK_SIZE: usize = 8;
+const OFF_TOTAL_BLOCKS: usize = 12;
+const OFF_INODE_COUNT: usize = 20;
+const OFF_JOURNAL_START: usize = 24;
+const OFF_JOURNAL_BLOCKS: usize = 32;
+const OFF_IBMAP_START: usize = 40;
+const OFF_IBMAP_BLOCKS: usize = 48;
+const OFF_DBMAP_START: usize = 56;
+const OFF_DBMAP_BLOCKS: usize = 64;
+const OFF_ITABLE_START: usize = 72;
+const OFF_ITABLE_BLOCKS: usize = 80;
+const OFF_DATA_START: usize = 88;
+const OFF_DATA_BLOCKS: usize = 96;
+const OFF_FREE_INODES: usize = 104;
+const OFF_FREE_BLOCKS: usize = 108;
+const OFF_MOUNT_STATE: usize = 116;
+const OFF_MOUNT_COUNT: usize = 120;
+const OFF_CRC: usize = 124;
+const SB_ENCODED_LEN: usize = 128;
+
+/// Whether the filesystem was cleanly unmounted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MountState {
+    /// All state flushed; journal empty.
+    Clean,
+    /// Mounted (or crashed); the journal may hold committed transactions.
+    Dirty,
+}
+
+impl MountState {
+    fn as_u32(self) -> u32 {
+        match self {
+            MountState::Clean => 1,
+            MountState::Dirty => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Option<MountState> {
+        match v {
+            1 => Some(MountState::Clean),
+            2 => Some(MountState::Dirty),
+            _ => None,
+        }
+    }
+}
+
+/// The decoded superblock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Superblock {
+    /// Region layout (geometry fields are stored explicitly on disk).
+    pub geometry: Geometry,
+    /// Free inode count (maintained on flush; authoritative copy is the
+    /// bitmap — `fsck` cross-checks the two).
+    pub free_inodes: u32,
+    /// Free data block count (same caveat as `free_inodes`).
+    pub free_blocks: u64,
+    /// Clean/dirty mount state.
+    pub mount_state: MountState,
+    /// Number of times the filesystem has been mounted.
+    pub mount_count: u32,
+}
+
+impl Superblock {
+    /// Build the initial superblock for a fresh filesystem.
+    ///
+    /// Starts with the root inode allocated, everything else free.
+    #[must_use]
+    pub fn new(geometry: Geometry) -> Superblock {
+        Superblock {
+            geometry,
+            free_inodes: geometry.inode_count - 2, // ino 0 reserved, ino 1 = root
+            free_blocks: geometry.data_blocks,
+            mount_state: MountState::Clean,
+            mount_count: 0,
+        }
+    }
+
+    /// Encode into a 4 KiB block image (bytes past the encoded length
+    /// are zero).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let g = &self.geometry;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        put_u32(&mut buf, OFF_MAGIC, SUPERBLOCK_MAGIC);
+        put_u32(&mut buf, OFF_VERSION, FORMAT_VERSION);
+        put_u32(&mut buf, OFF_BLOCK_SIZE, BLOCK_SIZE as u32);
+        put_u64(&mut buf, OFF_TOTAL_BLOCKS, g.total_blocks);
+        put_u32(&mut buf, OFF_INODE_COUNT, g.inode_count);
+        put_u64(&mut buf, OFF_JOURNAL_START, g.journal_start);
+        put_u64(&mut buf, OFF_JOURNAL_BLOCKS, g.journal_blocks);
+        put_u64(&mut buf, OFF_IBMAP_START, g.inode_bitmap_start);
+        put_u64(&mut buf, OFF_IBMAP_BLOCKS, g.inode_bitmap_blocks);
+        put_u64(&mut buf, OFF_DBMAP_START, g.data_bitmap_start);
+        put_u64(&mut buf, OFF_DBMAP_BLOCKS, g.data_bitmap_blocks);
+        put_u64(&mut buf, OFF_ITABLE_START, g.inode_table_start);
+        put_u64(&mut buf, OFF_ITABLE_BLOCKS, g.inode_table_blocks);
+        put_u64(&mut buf, OFF_DATA_START, g.data_start);
+        put_u64(&mut buf, OFF_DATA_BLOCKS, g.data_blocks);
+        put_u32(&mut buf, OFF_FREE_INODES, self.free_inodes);
+        put_u64(&mut buf, OFF_FREE_BLOCKS, self.free_blocks);
+        put_u32(&mut buf, OFF_MOUNT_STATE, self.mount_state.as_u32());
+        put_u32(&mut buf, OFF_MOUNT_COUNT, self.mount_count);
+        let crc = crc32c_excluding(&buf[..SB_ENCODED_LEN], OFF_CRC);
+        put_u32(&mut buf, OFF_CRC, crc);
+        buf
+    }
+
+    /// Decode and fully validate a superblock image.
+    ///
+    /// Validation covers magic, version, block size, checksum, region
+    /// arithmetic (regions must tile the device without overlap), and
+    /// free-count ranges — a crafted image must not survive this.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Corrupted`] describing the first failed check.
+    pub fn decode(buf: &[u8]) -> FsResult<Superblock> {
+        if buf.len() != BLOCK_SIZE {
+            return Err(corrupt("superblock buffer is not one block"));
+        }
+        if get_u32(buf, OFF_MAGIC) != SUPERBLOCK_MAGIC {
+            return Err(corrupt("bad superblock magic"));
+        }
+        if get_u32(buf, OFF_VERSION) != FORMAT_VERSION {
+            return Err(corrupt("unsupported format version"));
+        }
+        if get_u32(buf, OFF_BLOCK_SIZE) as usize != BLOCK_SIZE {
+            return Err(corrupt("unsupported block size"));
+        }
+        let stored_crc = get_u32(buf, OFF_CRC);
+        let computed = crc32c_excluding(&buf[..SB_ENCODED_LEN], OFF_CRC);
+        if stored_crc != computed {
+            return Err(corrupt("superblock checksum mismatch"));
+        }
+
+        let geometry = Geometry {
+            total_blocks: get_u64(buf, OFF_TOTAL_BLOCKS),
+            inode_count: get_u32(buf, OFF_INODE_COUNT),
+            journal_start: get_u64(buf, OFF_JOURNAL_START),
+            journal_blocks: get_u64(buf, OFF_JOURNAL_BLOCKS),
+            inode_bitmap_start: get_u64(buf, OFF_IBMAP_START),
+            inode_bitmap_blocks: get_u64(buf, OFF_IBMAP_BLOCKS),
+            data_bitmap_start: get_u64(buf, OFF_DBMAP_START),
+            data_bitmap_blocks: get_u64(buf, OFF_DBMAP_BLOCKS),
+            inode_table_start: get_u64(buf, OFF_ITABLE_START),
+            inode_table_blocks: get_u64(buf, OFF_ITABLE_BLOCKS),
+            data_start: get_u64(buf, OFF_DATA_START),
+            data_blocks: get_u64(buf, OFF_DATA_BLOCKS),
+        };
+        let recomputed =
+            Geometry::compute(geometry.total_blocks, geometry.inode_count, geometry.journal_blocks)
+                .map_err(|_| corrupt("superblock geometry parameters are degenerate"))?;
+        if recomputed != geometry {
+            return Err(corrupt("superblock region layout is inconsistent"));
+        }
+
+        let free_inodes = get_u32(buf, OFF_FREE_INODES);
+        let free_blocks = get_u64(buf, OFF_FREE_BLOCKS);
+        if free_inodes > geometry.inode_count.saturating_sub(2) {
+            return Err(corrupt("free inode count exceeds inode count"));
+        }
+        if free_blocks > geometry.data_blocks {
+            return Err(corrupt("free block count exceeds data block count"));
+        }
+        let mount_state = MountState::from_u32(get_u32(buf, OFF_MOUNT_STATE))
+            .ok_or_else(|| corrupt("invalid mount state"))?;
+
+        Ok(Superblock {
+            geometry,
+            free_inodes,
+            free_blocks,
+            mount_state,
+            mount_count: get_u32(buf, OFF_MOUNT_COUNT),
+        })
+    }
+
+    /// Read and validate the superblock from block 0 of `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Device errors, or any [`Superblock::decode`] validation failure.
+    pub fn read_from<D: BlockDevice + ?Sized>(dev: &D) -> FsResult<Superblock> {
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read_block(0, &mut buf)?;
+        Superblock::decode(&buf)
+    }
+
+    /// Encode and write the superblock to block 0 of `dev`.
+    ///
+    /// # Errors
+    ///
+    /// Device errors.
+    pub fn write_to<D: BlockDevice + ?Sized>(&self, dev: &D) -> FsResult<()> {
+        dev.write_block(0, &self.encode())
+    }
+}
+
+fn corrupt(msg: &str) -> FsError {
+    FsError::Corrupted {
+        detail: format!("superblock: {msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_blockdev::MemDisk;
+
+    fn sample() -> Superblock {
+        Superblock::new(Geometry::compute(4096, 1024, 256).unwrap())
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let sb = sample();
+        let buf = sb.encode();
+        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
+    }
+
+    #[test]
+    fn roundtrip_through_device() {
+        let dev = MemDisk::new(4096);
+        let mut sb = sample();
+        sb.mount_state = MountState::Dirty;
+        sb.mount_count = 7;
+        sb.write_to(&dev).unwrap();
+        assert_eq!(Superblock::read_from(&dev).unwrap(), sb);
+    }
+
+    #[test]
+    fn initial_free_counts() {
+        let sb = sample();
+        assert_eq!(sb.free_inodes, 1022, "ino 0 reserved + root allocated");
+        assert_eq!(sb.free_blocks, sb.geometry.data_blocks);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = sample().encode();
+        buf[0] ^= 0xFF;
+        assert!(matches!(
+            Superblock::decode(&buf),
+            Err(FsError::Corrupted { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_any_single_bit_flip_in_encoded_region() {
+        let clean = sample().encode();
+        for bit in [8 * 8 + 1, 20 * 8, 100 * 8 + 5, 126 * 8] {
+            let mut buf = clean.clone();
+            buf[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                Superblock::decode(&buf).is_err(),
+                "flip at bit {bit} survived validation"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_layout_even_with_valid_crc() {
+        // Forge a superblock whose fields are internally checksummed
+        // correctly but describe an impossible layout.
+        let sb = sample();
+        let mut buf = sb.encode();
+        put_u64(&mut buf, OFF_DATA_START, sb.geometry.data_start + 1);
+        let crc = crc32c_excluding(&buf[..SB_ENCODED_LEN], OFF_CRC);
+        put_u32(&mut buf, OFF_CRC, crc);
+        let err = Superblock::decode(&buf).unwrap_err();
+        assert!(matches!(err, FsError::Corrupted { .. }));
+    }
+
+    #[test]
+    fn rejects_overstated_free_counts() {
+        let mut sb = sample();
+        sb.free_blocks = sb.geometry.data_blocks + 1;
+        let buf = sb.encode();
+        assert!(Superblock::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_mount_state() {
+        let mut buf = sample().encode();
+        put_u32(&mut buf, OFF_MOUNT_STATE, 9);
+        let crc = crc32c_excluding(&buf[..SB_ENCODED_LEN], OFF_CRC);
+        put_u32(&mut buf, OFF_CRC, crc);
+        assert!(Superblock::decode(&buf).is_err());
+    }
+}

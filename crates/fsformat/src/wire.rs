@@ -1,0 +1,50 @@
+//! Little-endian field codec helpers shared by the format modules.
+
+pub(crate) fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+pub(crate) fn put_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+pub(crate) fn put_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+pub(crate) fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = [0u8; 32];
+        put_u16(&mut buf, 0, 0xBEEF);
+        put_u32(&mut buf, 2, 0xDEAD_BEEF);
+        put_u64(&mut buf, 6, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u16(&buf, 0), 0xBEEF);
+        assert_eq!(get_u32(&buf, 2), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 6), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut buf = [0u8; 4];
+        put_u32(&mut buf, 0, 0x0102_0304);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,58 @@
+//! Executable abstract specification of the filesystem API.
+//!
+//! [`ModelFs`] is a pure, sequential, in-memory state machine
+//! implementing [`rae_vfs::FileSystem`]. It plays the role the Verus
+//! specification plays in the paper: the definition of *correct*
+//! behaviour that the shadow filesystem is checked against
+//! (continuously, when refinement checking is enabled, and exhaustively
+//! in property-based tests), and the oracle for differential testing of
+//! the base.
+//!
+//! # Canonical semantics
+//!
+//! The model pins down every observable decision both filesystems must
+//! agree on. Highlights (full details on each method):
+//!
+//! * **Descriptors** are allocated lowest-free starting at
+//!   [`rae_vfs::FIRST_FD`]; descriptor numbering is application-visible
+//!   state and must be identical across implementations (RAE
+//!   reconstructs it after recovery).
+//! * **Inode numbers** are a *policy* decision (§3.3 of the paper): the
+//!   model allocates lowest-free, the base allocates with a rotating
+//!   hint; differential comparison therefore checks inode numbers for
+//!   *consistency* (a stable bijection), not equality.
+//! * Directories cannot be opened; symlinks are leaf objects (never
+//!   followed); `unlink`/`rename`-replace of a file with open
+//!   descriptors returns [`rae_vfs::FsError::Busy`] (this stack does not model
+//!   orphan inodes — recorded in DESIGN.md).
+//! * `fsync`/`sync` are API no-ops in the model (durability is not
+//!   observable through the API).
+//! * The model has unbounded capacity: it never returns `NoSpace` /
+//!   `NoInodes`. Differential workloads are sized to fit the concrete
+//!   filesystems.
+//!
+//! # Example
+//!
+//! ```
+//! use rae_fsmodel::ModelFs;
+//! use rae_vfs::{FileSystem, OpenFlags};
+//!
+//! # fn main() -> rae_vfs::FsResult<()> {
+//! let fs = ModelFs::new();
+//! fs.mkdir("/docs")?;
+//! let fd = fs.open("/docs/a.txt", OpenFlags::RDWR | OpenFlags::CREATE)?;
+//! fs.write(fd, 0, b"hello")?;
+//! assert_eq!(fs.read(fd, 0, 5)?, b"hello");
+//! fs.close(fd)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mirror;
+mod model;
+
+pub use mirror::mirror_of;
+pub use model::ModelFs;

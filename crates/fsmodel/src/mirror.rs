@@ -1,0 +1,120 @@
+//! Build a model mirroring the current tree of any filesystem.
+//!
+//! Used by the shadow's refinement checking (the model must start from
+//! the same on-disk state the shadow starts from) and by differential
+//! test harnesses.
+
+use crate::model::ModelFs;
+use rae_vfs::{FileSystem, FileType, FsResult, OpenFlags};
+
+/// Walk `fs` from the root and reproduce its tree (directories, file
+/// contents, symlink targets, hard links) in a fresh [`ModelFs`].
+///
+/// Open descriptors of `fs` are not mirrored — callers re-open as
+/// needed. Hard links are detected via inode numbers and reproduced as
+/// links so `nlink` matches.
+///
+/// # Errors
+///
+/// Any error returned by `fs` during the walk.
+pub fn mirror_of(fs: &dyn FileSystem) -> FsResult<ModelFs> {
+    let model = ModelFs::new();
+    let mut seen_files: std::collections::HashMap<rae_vfs::InodeNo, String> =
+        std::collections::HashMap::new();
+    let mut stack = vec![String::from("/")];
+
+    while let Some(dir) = stack.pop() {
+        for entry in fs.readdir(&dir)? {
+            let path = if dir == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{dir}/{}", entry.name)
+            };
+            match entry.ftype {
+                FileType::Directory => {
+                    model.mkdir(&path)?;
+                    stack.push(path);
+                }
+                FileType::Symlink => {
+                    let target = fs.readlink(&path)?;
+                    model.symlink(&target, &path)?;
+                }
+                FileType::Regular => {
+                    if let Some(first) = seen_files.get(&entry.ino) {
+                        model.link(first, &path)?;
+                        continue;
+                    }
+                    let st = fs.stat(&path)?;
+                    let fd = fs.open(&path, OpenFlags::RDONLY)?;
+                    let mfd = model.open(&path, OpenFlags::RDWR | OpenFlags::CREATE)?;
+                    let mut off = 0u64;
+                    while off < st.size {
+                        let chunk = fs.read(fd, off, 1 << 16)?;
+                        if chunk.is_empty() {
+                            // sparse tail: extend with zeroes via truncate
+                            break;
+                        }
+                        model.write(mfd, off, &chunk)?;
+                        off += chunk.len() as u64;
+                    }
+                    if off < st.size {
+                        model.truncate(mfd, st.size)?;
+                    }
+                    model.close(mfd)?;
+                    fs.close(fd)?;
+                    seen_files.insert(entry.ino, path);
+                }
+            }
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_vfs::SetAttr;
+
+    #[test]
+    fn mirrors_tree_contents_and_links() {
+        let src = ModelFs::new();
+        src.mkdir("/d").unwrap();
+        src.mkdir("/d/e").unwrap();
+        let fd = src.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        src.write(fd, 0, b"payload").unwrap();
+        src.close(fd).unwrap();
+        src.link("/d/f", "/d/e/g").unwrap();
+        src.symlink("/d/f", "/s").unwrap();
+
+        let dst = mirror_of(&src).unwrap();
+        assert_eq!(dst.stat("/d/f").unwrap().size, 7);
+        assert_eq!(dst.stat("/d/f").unwrap().nlink, 2);
+        assert_eq!(
+            dst.stat("/d/f").unwrap().ino,
+            dst.stat("/d/e/g").unwrap().ino
+        );
+        assert_eq!(dst.readlink("/s").unwrap(), "/d/f");
+        let fd = dst.open("/d/e/g", OpenFlags::RDONLY).unwrap();
+        assert_eq!(dst.read(fd, 0, 7).unwrap(), b"payload");
+        dst.close(fd).unwrap();
+    }
+
+    #[test]
+    fn mirrors_sparse_file_sizes() {
+        let src = ModelFs::new();
+        let fd = src.open("/sparse", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        src.close(fd).unwrap();
+        src.setattr("/sparse", SetAttr { size: Some(10_000), mtime: None }).unwrap();
+
+        let dst = mirror_of(&src).unwrap();
+        assert_eq!(dst.stat("/sparse").unwrap().size, 10_000);
+    }
+
+    #[test]
+    fn mirror_of_empty_fs_is_empty() {
+        let src = ModelFs::new();
+        let dst = mirror_of(&src).unwrap();
+        assert!(dst.readdir("/").unwrap().is_empty());
+        assert_eq!(dst.inode_count(), 1);
+    }
+}

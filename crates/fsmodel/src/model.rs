@@ -1,0 +1,1033 @@
+//! The model state machine.
+
+use parking_lot::Mutex;
+use rae_vfs::{
+    split_parent, split_path, DirEntry, Fd, FileStat, FileSystem, FileType, FsError,
+    FsGeometryInfo, FsResult, InodeNo, OpenFlags, SetAttr, FIRST_FD, MAX_FILE_SIZE, MAX_LINKS,
+    MAX_NAME_LEN, MAX_OPEN_FILES, ROOT_INO,
+};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Node {
+    File { data: Vec<u8>, nlink: u32 },
+    Dir { children: BTreeMap<String, InodeNo> },
+    Symlink { target: String },
+}
+
+#[derive(Debug, Clone)]
+struct Inode {
+    node: Node,
+    mtime: u64,
+    ctime: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenFile {
+    ino: InodeNo,
+    flags: OpenFlags,
+}
+
+#[derive(Debug)]
+struct State {
+    inodes: BTreeMap<InodeNo, Inode>,
+    fds: BTreeMap<Fd, OpenFile>,
+    clock: u64,
+}
+
+impl State {
+    fn new() -> State {
+        let mut inodes = BTreeMap::new();
+        inodes.insert(
+            ROOT_INO,
+            Inode {
+                node: Node::Dir {
+                    children: BTreeMap::new(),
+                },
+                mtime: 0,
+                ctime: 0,
+            },
+        );
+        State {
+            inodes,
+            fds: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn alloc_ino(&self) -> InodeNo {
+        let mut candidate = 2u32;
+        for &ino in self.inodes.keys() {
+            if ino.0 > candidate {
+                break;
+            }
+            if ino.0 >= candidate {
+                candidate = ino.0 + 1;
+            }
+        }
+        InodeNo(candidate)
+    }
+
+    fn alloc_fd(&self) -> FsResult<Fd> {
+        if self.fds.len() >= MAX_OPEN_FILES {
+            return Err(FsError::TooManyOpenFiles);
+        }
+        let mut candidate = FIRST_FD;
+        for &fd in self.fds.keys() {
+            if fd.0 > candidate {
+                break;
+            }
+            if fd.0 >= candidate {
+                candidate = fd.0 + 1;
+            }
+        }
+        Ok(Fd(candidate))
+    }
+
+    /// Resolve a component list to an inode (directories only along the
+    /// way).
+    fn resolve(&self, comps: &[&str]) -> FsResult<InodeNo> {
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            let inode = &self.inodes[&cur];
+            match &inode.node {
+                Node::Dir { children } => match children.get(*comp) {
+                    Some(&next) => cur = next,
+                    None => return Err(FsError::NotFound),
+                },
+                _ => return Err(FsError::NotDir),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolve the parent directory of `path`; returns `(parent_ino, name)`.
+    fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(InodeNo, &'p str)> {
+        let (parent_comps, name) = split_parent(path)?;
+        let parent = self.resolve(&parent_comps)?;
+        match self.inodes[&parent].node {
+            Node::Dir { .. } => Ok((parent, name)),
+            _ => Err(FsError::NotDir),
+        }
+    }
+
+    fn children(&self, ino: InodeNo) -> &BTreeMap<String, InodeNo> {
+        match &self.inodes[&ino].node {
+            Node::Dir { children } => children,
+            _ => unreachable!("children() called on a non-directory"),
+        }
+    }
+
+    fn children_mut(&mut self, ino: InodeNo) -> &mut BTreeMap<String, InodeNo> {
+        match &mut self.inodes.get_mut(&ino).expect("valid ino").node {
+            Node::Dir { children } => children,
+            _ => unreachable!("children_mut() called on a non-directory"),
+        }
+    }
+
+    fn has_open_fd(&self, ino: InodeNo) -> bool {
+        self.fds.values().any(|f| f.ino == ino)
+    }
+
+    fn ftype(&self, ino: InodeNo) -> FileType {
+        match &self.inodes[&ino].node {
+            Node::File { .. } => FileType::Regular,
+            Node::Dir { .. } => FileType::Directory,
+            Node::Symlink { .. } => FileType::Symlink,
+        }
+    }
+
+    fn nlink(&self, ino: InodeNo) -> u32 {
+        match &self.inodes[&ino].node {
+            Node::File { nlink, .. } => *nlink,
+            Node::Dir { children } => {
+                2 + children
+                    .values()
+                    .filter(|c| matches!(self.inodes[c].node, Node::Dir { .. }))
+                    .count() as u32
+            }
+            Node::Symlink { .. } => 1,
+        }
+    }
+
+    fn size(&self, ino: InodeNo) -> u64 {
+        match &self.inodes[&ino].node {
+            Node::File { data, .. } => data.len() as u64,
+            Node::Dir { .. } => 0, // implementation-defined; compared only for files
+            Node::Symlink { target } => target.len() as u64,
+        }
+    }
+
+    fn stat_of(&self, ino: InodeNo) -> FileStat {
+        let inode = &self.inodes[&ino];
+        FileStat {
+            ino,
+            ftype: self.ftype(ino),
+            size: self.size(ino),
+            nlink: self.nlink(ino),
+            blocks: 0, // abstract model has no blocks
+            mtime: inode.mtime,
+            ctime: inode.ctime,
+        }
+    }
+
+    /// Whether directory `anc` is `node` itself or an ancestor of it.
+    fn is_self_or_ancestor(&self, anc: InodeNo, node: InodeNo) -> bool {
+        if anc == node {
+            return true;
+        }
+        // BFS down from anc looking for node
+        let mut stack = vec![anc];
+        while let Some(cur) = stack.pop() {
+            if let Node::Dir { children } = &self.inodes[&cur].node {
+                for &c in children.values() {
+                    if c == node {
+                        return true;
+                    }
+                    if matches!(self.inodes[&c].node, Node::Dir { .. }) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn drop_file_if_unlinked(&mut self, ino: InodeNo) {
+        let dead = match &self.inodes[&ino].node {
+            Node::File { nlink, .. } => *nlink == 0,
+            Node::Symlink { .. } => true, // symlinks have exactly one link
+            Node::Dir { .. } => false,
+        };
+        if dead {
+            self.inodes.remove(&ino);
+        }
+    }
+}
+
+/// The executable specification. See the crate docs for the semantics
+/// it pins down.
+#[derive(Debug)]
+pub struct ModelFs {
+    state: Mutex<State>,
+}
+
+impl Default for ModelFs {
+    fn default() -> ModelFs {
+        ModelFs::new()
+    }
+}
+
+impl ModelFs {
+    /// An empty filesystem containing only the root directory.
+    #[must_use]
+    pub fn new() -> ModelFs {
+        ModelFs {
+            state: Mutex::new(State::new()),
+        }
+    }
+
+    /// Number of live inodes (root included) — used by tests.
+    #[must_use]
+    pub fn inode_count(&self) -> usize {
+        self.state.lock().inodes.len()
+    }
+
+    /// Number of open descriptors — used by tests.
+    #[must_use]
+    pub fn open_fd_count(&self) -> usize {
+        self.state.lock().fds.len()
+    }
+
+    /// Install a specific descriptor for the regular file at `path`
+    /// (refinement-checking support for the shadow's synthetic
+    /// `RestoreFd` records — not part of the application API).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`/`NotDir` if the path does not resolve; `IsDir` for
+    /// directories; `Exists` if the descriptor is already in use.
+    pub fn restore_fd(&self, fd: Fd, path: &str, flags: OpenFlags) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let comps = split_path(path)?;
+        let ino = st.resolve(&comps)?;
+        match st.ftype(ino) {
+            FileType::Directory => return Err(FsError::IsDir),
+            FileType::Symlink => return Err(FsError::InvalidArgument),
+            FileType::Regular => {}
+        }
+        if st.fds.contains_key(&fd) {
+            return Err(FsError::Exists);
+        }
+        st.fds.insert(fd, OpenFile { ino, flags });
+        Ok(())
+    }
+}
+
+impl FileSystem for ModelFs {
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        if !flags.valid() {
+            return Err(FsError::InvalidArgument);
+        }
+        let mut st = self.state.lock();
+        let (parent, name) = st.resolve_parent(path)?;
+        let existing = st.children(parent).get(name).copied();
+        match existing {
+            Some(ino) => {
+                if flags.creates() && flags.contains(OpenFlags::EXCL) {
+                    return Err(FsError::Exists);
+                }
+                match st.ftype(ino) {
+                    FileType::Directory => return Err(FsError::IsDir),
+                    FileType::Symlink => return Err(FsError::InvalidArgument),
+                    FileType::Regular => {}
+                }
+                if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+                    let now = st.tick();
+                    if let Node::File { data, .. } =
+                        &mut st.inodes.get_mut(&ino).expect("resolved").node
+                    {
+                        data.clear();
+                    }
+                    let inode = st.inodes.get_mut(&ino).expect("resolved");
+                    inode.mtime = now;
+                    inode.ctime = now;
+                }
+                let fd = st.alloc_fd()?;
+                st.fds.insert(fd, OpenFile { ino, flags });
+                Ok(fd)
+            }
+            None => {
+                if !flags.creates() {
+                    return Err(FsError::NotFound);
+                }
+                let ino = st.alloc_ino();
+                let now = st.tick();
+                st.inodes.insert(
+                    ino,
+                    Inode {
+                        node: Node::File {
+                            data: Vec::new(),
+                            nlink: 1,
+                        },
+                        mtime: now,
+                        ctime: now,
+                    },
+                );
+                st.children_mut(parent).insert(name.to_string(), ino);
+                st.inodes.get_mut(&parent).expect("parent").mtime = now;
+                let fd = st.alloc_fd().inspect_err(|_| {
+                    // roll back the creation on fd exhaustion
+                    st.children_mut(parent).remove(name);
+                    st.inodes.remove(&ino);
+                })?;
+                st.fds.insert(fd, OpenFile { ino, flags });
+                Ok(fd)
+            }
+        }
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        let mut st = self.state.lock();
+        st.fds.remove(&fd).map(|_| ()).ok_or(FsError::BadFd)
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let st = self.state.lock();
+        let of = st.fds.get(&fd).copied().ok_or(FsError::BadFd)?;
+        if !of.flags.readable() {
+            return Err(FsError::BadAccessMode);
+        }
+        let Node::File { data, .. } = &st.inodes[&of.ino].node else {
+            return Err(FsError::IsDir);
+        };
+        let start = usize::try_from(offset.min(data.len() as u64)).expect("fits");
+        let end = start.saturating_add(len).min(data.len());
+        Ok(data[start..end].to_vec())
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let mut st = self.state.lock();
+        let of = st.fds.get(&fd).copied().ok_or(FsError::BadFd)?;
+        if !of.flags.writable() {
+            return Err(FsError::BadAccessMode);
+        }
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let cur_size = st.size(of.ino);
+        let at = if of.flags.contains(OpenFlags::APPEND) {
+            cur_size
+        } else {
+            offset
+        };
+        let end = at
+            .checked_add(data.len() as u64)
+            .ok_or(FsError::FileTooBig)?;
+        if end > MAX_FILE_SIZE {
+            return Err(FsError::FileTooBig);
+        }
+        let now = st.tick();
+        let Node::File { data: file, .. } =
+            &mut st.inodes.get_mut(&of.ino).expect("open file").node
+        else {
+            return Err(FsError::IsDir);
+        };
+        if file.len() < end as usize {
+            file.resize(end as usize, 0);
+        }
+        file[at as usize..end as usize].copy_from_slice(data);
+        let inode = st.inodes.get_mut(&of.ino).expect("open file");
+        inode.mtime = now;
+        inode.ctime = now;
+        Ok(data.len())
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let of = st.fds.get(&fd).copied().ok_or(FsError::BadFd)?;
+        if !of.flags.writable() {
+            return Err(FsError::BadAccessMode);
+        }
+        if size > MAX_FILE_SIZE {
+            return Err(FsError::FileTooBig);
+        }
+        let now = st.tick();
+        let Node::File { data, .. } = &mut st.inodes.get_mut(&of.ino).expect("open").node else {
+            return Err(FsError::IsDir);
+        };
+        data.resize(usize::try_from(size).map_err(|_| FsError::FileTooBig)?, 0);
+        let inode = st.inodes.get_mut(&of.ino).expect("open");
+        inode.mtime = now;
+        inode.ctime = now;
+        Ok(())
+    }
+
+    fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let comps = split_path(path)?;
+        let ino = st.resolve(&comps)?;
+        if let Some(size) = attr.size {
+            match st.ftype(ino) {
+                FileType::Directory => return Err(FsError::IsDir),
+                FileType::Symlink => return Err(FsError::InvalidArgument),
+                FileType::Regular => {}
+            }
+            if size > MAX_FILE_SIZE {
+                return Err(FsError::FileTooBig);
+            }
+            let now = st.tick();
+            if let Node::File { data, .. } = &mut st.inodes.get_mut(&ino).expect("resolved").node {
+                data.resize(usize::try_from(size).map_err(|_| FsError::FileTooBig)?, 0);
+            }
+            let inode = st.inodes.get_mut(&ino).expect("resolved");
+            inode.mtime = now;
+            inode.ctime = now;
+        }
+        if let Some(mtime) = attr.mtime {
+            let inode = st.inodes.get_mut(&ino).expect("resolved");
+            inode.mtime = mtime;
+        }
+        Ok(())
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        let st = self.state.lock();
+        if st.fds.contains_key(&fd) {
+            Ok(())
+        } else {
+            Err(FsError::BadFd)
+        }
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let (parent, name) = st.resolve_parent(path)?;
+        if st.children(parent).contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let ino = st.alloc_ino();
+        let now = st.tick();
+        st.inodes.insert(
+            ino,
+            Inode {
+                node: Node::Dir {
+                    children: BTreeMap::new(),
+                },
+                mtime: now,
+                ctime: now,
+            },
+        );
+        st.children_mut(parent).insert(name.to_string(), ino);
+        st.inodes.get_mut(&parent).expect("parent").mtime = now;
+        Ok(())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let (parent, name) = st.resolve_parent(path)?;
+        let ino = *st.children(parent).get(name).ok_or(FsError::NotFound)?;
+        match &st.inodes[&ino].node {
+            Node::Dir { children } => {
+                if !children.is_empty() {
+                    return Err(FsError::NotEmpty);
+                }
+            }
+            _ => return Err(FsError::NotDir),
+        }
+        let now = st.tick();
+        st.children_mut(parent).remove(name);
+        st.inodes.remove(&ino);
+        st.inodes.get_mut(&parent).expect("parent").mtime = now;
+        Ok(())
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let (parent, name) = st.resolve_parent(path)?;
+        let ino = *st.children(parent).get(name).ok_or(FsError::NotFound)?;
+        match &st.inodes[&ino].node {
+            Node::Dir { .. } => return Err(FsError::IsDir),
+            Node::File { .. } => {
+                if st.has_open_fd(ino) {
+                    return Err(FsError::Busy);
+                }
+            }
+            Node::Symlink { .. } => {}
+        }
+        let now = st.tick();
+        st.children_mut(parent).remove(name);
+        if let Node::File { nlink, .. } = &mut st.inodes.get_mut(&ino).expect("target").node {
+            *nlink -= 1;
+        }
+        st.drop_file_if_unlinked(ino);
+        st.inodes.get_mut(&parent).expect("parent").mtime = now;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let (from_parent, from_name) = st.resolve_parent(from)?;
+        let (to_parent, to_name) = st.resolve_parent(to)?;
+        let src = *st
+            .children(from_parent)
+            .get(from_name)
+            .ok_or(FsError::NotFound)?;
+        if from_parent == to_parent && from_name == to_name {
+            return Ok(()); // rename to itself: no-op
+        }
+        let src_is_dir = matches!(st.inodes[&src].node, Node::Dir { .. });
+        if src_is_dir && st.is_self_or_ancestor(src, to_parent) {
+            return Err(FsError::RenameLoop);
+        }
+        if let Some(&dst) = st.children(to_parent).get(to_name) {
+            if dst == src {
+                return Ok(()); // hard links to the same inode: no-op
+            }
+            match (&st.inodes[&src].node, &st.inodes[&dst].node) {
+                (Node::Dir { .. }, Node::Dir { children }) => {
+                    if !children.is_empty() {
+                        return Err(FsError::NotEmpty);
+                    }
+                }
+                (Node::Dir { .. }, _) => return Err(FsError::NotDir),
+                (_, Node::Dir { .. }) => return Err(FsError::IsDir),
+                _ => {
+                    if st.has_open_fd(dst) {
+                        return Err(FsError::Busy);
+                    }
+                }
+            }
+            // remove the replaced target
+            st.children_mut(to_parent).remove(to_name);
+            match &mut st.inodes.get_mut(&dst).expect("dst").node {
+                Node::File { nlink, .. } => *nlink -= 1,
+                Node::Dir { .. } => {
+                    st.inodes.remove(&dst);
+                }
+                Node::Symlink { .. } => {}
+            }
+            if st.inodes.contains_key(&dst) {
+                st.drop_file_if_unlinked(dst);
+            }
+        }
+        let now = st.tick();
+        st.children_mut(from_parent).remove(from_name);
+        st.children_mut(to_parent).insert(to_name.to_string(), src);
+        st.inodes.get_mut(&from_parent).expect("fp").mtime = now;
+        st.inodes.get_mut(&to_parent).expect("tp").mtime = now;
+        Ok(())
+    }
+
+    fn link(&self, existing: &str, new: &str) -> FsResult<()> {
+        let mut st = self.state.lock();
+        let comps = split_path(existing)?;
+        if comps.is_empty() {
+            return Err(FsError::IsDir); // "/" is a directory
+        }
+        let src = st.resolve(&comps)?;
+        match &st.inodes[&src].node {
+            Node::Dir { .. } => return Err(FsError::IsDir),
+            Node::Symlink { .. } => return Err(FsError::InvalidArgument),
+            Node::File { nlink, .. } => {
+                if *nlink >= MAX_LINKS {
+                    return Err(FsError::TooManyLinks);
+                }
+            }
+        }
+        let (new_parent, new_name) = st.resolve_parent(new)?;
+        if st.children(new_parent).contains_key(new_name) {
+            return Err(FsError::Exists);
+        }
+        let now = st.tick();
+        st.children_mut(new_parent).insert(new_name.to_string(), src);
+        if let Node::File { nlink, .. } = &mut st.inodes.get_mut(&src).expect("src").node {
+            *nlink += 1;
+        }
+        let inode = st.inodes.get_mut(&src).expect("src");
+        inode.ctime = now;
+        st.inodes.get_mut(&new_parent).expect("np").mtime = now;
+        Ok(())
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
+        if target.len() > 4096 {
+            return Err(FsError::NameTooLong);
+        }
+        let mut st = self.state.lock();
+        let (parent, name) = st.resolve_parent(linkpath)?;
+        if st.children(parent).contains_key(name) {
+            return Err(FsError::Exists);
+        }
+        let ino = st.alloc_ino();
+        let now = st.tick();
+        st.inodes.insert(
+            ino,
+            Inode {
+                node: Node::Symlink {
+                    target: target.to_string(),
+                },
+                mtime: now,
+                ctime: now,
+            },
+        );
+        st.children_mut(parent).insert(name.to_string(), ino);
+        st.inodes.get_mut(&parent).expect("parent").mtime = now;
+        Ok(())
+    }
+
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        let st = self.state.lock();
+        let comps = split_path(path)?;
+        let ino = st.resolve(&comps)?;
+        match &st.inodes[&ino].node {
+            Node::Symlink { target } => Ok(target.clone()),
+            _ => Err(FsError::InvalidArgument),
+        }
+    }
+
+    fn stat(&self, path: &str) -> FsResult<FileStat> {
+        let st = self.state.lock();
+        let comps = split_path(path)?;
+        let ino = st.resolve(&comps)?;
+        Ok(st.stat_of(ino))
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<FileStat> {
+        let st = self.state.lock();
+        let of = st.fds.get(&fd).ok_or(FsError::BadFd)?;
+        Ok(st.stat_of(of.ino))
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let st = self.state.lock();
+        let comps = split_path(path)?;
+        let ino = st.resolve(&comps)?;
+        match &st.inodes[&ino].node {
+            Node::Dir { children } => Ok(children
+                .iter()
+                .map(|(name, &c)| DirEntry {
+                    ino: c,
+                    ftype: st.ftype(c),
+                    name: name.clone(),
+                })
+                .collect()),
+            _ => Err(FsError::NotDir),
+        }
+    }
+
+    fn statfs(&self) -> FsResult<FsGeometryInfo> {
+        let st = self.state.lock();
+        Ok(FsGeometryInfo {
+            block_size: 4096,
+            total_blocks: u64::MAX,
+            free_blocks: u64::MAX,
+            total_inodes: u64::MAX,
+            free_inodes: u64::MAX - st.inodes.len() as u64,
+        })
+    }
+}
+
+// `name` length validation happens in split_path; keep a compile-time
+// reference so the constant is visibly part of the spec.
+const _: () = assert!(MAX_NAME_LEN == 255);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> ModelFs {
+        ModelFs::new()
+    }
+
+    #[test]
+    fn create_write_read() {
+        let m = fs();
+        let fd = m.open("/a", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        assert_eq!(fd, Fd(FIRST_FD));
+        assert_eq!(m.write(fd, 0, b"hello").unwrap(), 5);
+        assert_eq!(m.read(fd, 0, 100).unwrap(), b"hello");
+        assert_eq!(m.read(fd, 2, 2).unwrap(), b"ll");
+        assert_eq!(m.read(fd, 10, 5).unwrap(), b"");
+        m.close(fd).unwrap();
+        assert_eq!(m.open_fd_count(), 0);
+    }
+
+    #[test]
+    fn fd_numbers_are_lowest_free() {
+        let m = fs();
+        let a = m.open("/a", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        let b = m.open("/b", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        let c = m.open("/c", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        assert_eq!((a, b, c), (Fd(3), Fd(4), Fd(5)));
+        m.close(b).unwrap();
+        let d = m.open("/d", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        assert_eq!(d, Fd(4), "lowest free descriptor reused");
+    }
+
+    #[test]
+    fn open_errors() {
+        let m = fs();
+        assert_eq!(m.open("/missing", OpenFlags::RDONLY), Err(FsError::NotFound));
+        m.mkdir("/d").unwrap();
+        assert_eq!(m.open("/d", OpenFlags::RDONLY), Err(FsError::IsDir));
+        let fd = m.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        assert_eq!(
+            m.open("/f", OpenFlags::RDONLY | OpenFlags::CREATE | OpenFlags::EXCL),
+            Err(FsError::Exists)
+        );
+        assert_eq!(
+            m.open("/f/x", OpenFlags::RDONLY),
+            Err(FsError::NotDir),
+            "file used as intermediate component"
+        );
+        m.symlink("/f", "/s").unwrap();
+        assert_eq!(m.open("/s", OpenFlags::RDONLY), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn access_modes_enforced() {
+        let m = fs();
+        let ro = m.open("/f", OpenFlags::RDONLY | OpenFlags::CREATE).unwrap();
+        assert_eq!(m.write(ro, 0, b"x"), Err(FsError::BadAccessMode));
+        assert_eq!(m.truncate(ro, 0), Err(FsError::BadAccessMode));
+        m.close(ro).unwrap();
+        let wo = m.open("/f", OpenFlags::WRONLY).unwrap();
+        assert_eq!(m.read(wo, 0, 1), Err(FsError::BadAccessMode));
+        m.close(wo).unwrap();
+    }
+
+    #[test]
+    fn trunc_flag_clears_content() {
+        let m = fs();
+        let fd = m.open("/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m.write(fd, 0, b"content").unwrap();
+        m.close(fd).unwrap();
+        let fd = m.open("/f", OpenFlags::RDWR | OpenFlags::TRUNC).unwrap();
+        assert_eq!(m.fstat(fd).unwrap().size, 0);
+        m.close(fd).unwrap();
+    }
+
+    #[test]
+    fn append_mode_ignores_offset() {
+        let m = fs();
+        let fd = m
+            .open("/log", OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::APPEND)
+            .unwrap();
+        m.write(fd, 999, b"aa").unwrap();
+        m.write(fd, 0, b"bb").unwrap();
+        assert_eq!(m.read(fd, 0, 10).unwrap(), b"aabb");
+        m.close(fd).unwrap();
+    }
+
+    #[test]
+    fn sparse_write_zero_fills() {
+        let m = fs();
+        let fd = m.open("/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m.write(fd, 5, b"x").unwrap();
+        assert_eq!(m.read(fd, 0, 6).unwrap(), b"\0\0\0\0\0x");
+        assert_eq!(m.fstat(fd).unwrap().size, 6);
+        m.close(fd).unwrap();
+    }
+
+    #[test]
+    fn write_past_max_file_size_rejected() {
+        let m = fs();
+        let fd = m.open("/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        assert_eq!(m.write(fd, MAX_FILE_SIZE, b"y"), Err(FsError::FileTooBig));
+        assert_eq!(m.write(fd, u64::MAX, b"y"), Err(FsError::FileTooBig));
+        m.close(fd).unwrap();
+    }
+
+    #[test]
+    fn mkdir_rmdir() {
+        let m = fs();
+        m.mkdir("/a").unwrap();
+        m.mkdir("/a/b").unwrap();
+        assert_eq!(m.mkdir("/a"), Err(FsError::Exists));
+        assert_eq!(m.mkdir("/x/y"), Err(FsError::NotFound));
+        assert_eq!(m.rmdir("/a"), Err(FsError::NotEmpty));
+        m.rmdir("/a/b").unwrap();
+        m.rmdir("/a").unwrap();
+        assert_eq!(m.rmdir("/a"), Err(FsError::NotFound));
+        assert_eq!(m.rmdir("/"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn rmdir_on_file_is_notdir() {
+        let m = fs();
+        let fd = m.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        assert_eq!(m.rmdir("/f"), Err(FsError::NotDir));
+        assert_eq!(m.unlink("/f"), Ok(()));
+    }
+
+    #[test]
+    fn unlink_open_file_is_busy() {
+        let m = fs();
+        let fd = m.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        assert_eq!(m.unlink("/f"), Err(FsError::Busy));
+        m.close(fd).unwrap();
+        m.unlink("/f").unwrap();
+        assert_eq!(m.stat("/f"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn unlink_dir_is_isdir() {
+        let m = fs();
+        m.mkdir("/d").unwrap();
+        assert_eq!(m.unlink("/d"), Err(FsError::IsDir));
+    }
+
+    #[test]
+    fn hard_links_share_content() {
+        let m = fs();
+        let fd = m.open("/a", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m.write(fd, 0, b"shared").unwrap();
+        m.close(fd).unwrap();
+        m.link("/a", "/b").unwrap();
+        assert_eq!(m.stat("/a").unwrap().nlink, 2);
+        assert_eq!(m.stat("/a").unwrap().ino, m.stat("/b").unwrap().ino);
+
+        let fd = m.open("/b", OpenFlags::RDONLY).unwrap();
+        assert_eq!(m.read(fd, 0, 6).unwrap(), b"shared");
+        m.close(fd).unwrap();
+
+        m.unlink("/a").unwrap();
+        assert_eq!(m.stat("/b").unwrap().nlink, 1);
+        let fd = m.open("/b", OpenFlags::RDONLY).unwrap();
+        assert_eq!(m.read(fd, 0, 6).unwrap(), b"shared");
+        m.close(fd).unwrap();
+    }
+
+    #[test]
+    fn link_errors() {
+        let m = fs();
+        m.mkdir("/d").unwrap();
+        assert_eq!(m.link("/d", "/e"), Err(FsError::IsDir));
+        assert_eq!(m.link("/", "/e"), Err(FsError::IsDir));
+        assert_eq!(m.link("/nope", "/e"), Err(FsError::NotFound));
+        let fd = m.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        assert_eq!(m.link("/f", "/d"), Err(FsError::Exists));
+        m.symlink("/f", "/s").unwrap();
+        assert_eq!(m.link("/s", "/s2"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn rename_basic_and_replace() {
+        let m = fs();
+        let fd = m.open("/a", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m.write(fd, 0, b"data").unwrap();
+        m.close(fd).unwrap();
+        m.rename("/a", "/b").unwrap();
+        assert_eq!(m.stat("/a"), Err(FsError::NotFound));
+        assert_eq!(m.stat("/b").unwrap().size, 4);
+
+        let fd = m.open("/c", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        m.rename("/b", "/c").unwrap(); // replaces /c
+        assert_eq!(m.stat("/c").unwrap().size, 4);
+        assert_eq!(m.inode_count(), 2, "replaced inode freed (root + c)");
+    }
+
+    #[test]
+    fn rename_directory_rules() {
+        let m = fs();
+        m.mkdir("/a").unwrap();
+        m.mkdir("/a/b").unwrap();
+        assert_eq!(m.rename("/a", "/a/b/c"), Err(FsError::RenameLoop));
+        assert_eq!(m.rename("/a", "/a"), Ok(()), "self rename is a no-op");
+
+        m.mkdir("/empty").unwrap();
+        m.rename("/a/b", "/empty").unwrap(); // replace empty dir
+        assert!(m.readdir("/a").unwrap().is_empty());
+
+        m.mkdir("/full").unwrap();
+        m.mkdir("/full/x").unwrap();
+        assert_eq!(m.rename("/empty", "/full"), Err(FsError::NotEmpty));
+
+        let fd = m.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        assert_eq!(m.rename("/empty", "/f"), Err(FsError::NotDir));
+        assert_eq!(m.rename("/f", "/empty"), Err(FsError::IsDir));
+    }
+
+    #[test]
+    fn rename_replace_open_file_is_busy() {
+        let m = fs();
+        for p in ["/a", "/b"] {
+            let fd = m.open(p, OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+            m.close(fd).unwrap();
+        }
+        let held = m.open("/b", OpenFlags::RDONLY).unwrap();
+        assert_eq!(m.rename("/a", "/b"), Err(FsError::Busy));
+        m.close(held).unwrap();
+        m.rename("/a", "/b").unwrap();
+    }
+
+    #[test]
+    fn rename_hardlink_alias_is_noop() {
+        let m = fs();
+        let fd = m.open("/a", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        m.link("/a", "/b").unwrap();
+        m.rename("/a", "/b").unwrap(); // same inode: no-op
+        assert!(m.stat("/a").is_ok());
+        assert!(m.stat("/b").is_ok());
+    }
+
+    #[test]
+    fn symlinks_store_targets() {
+        let m = fs();
+        m.symlink("/some/where", "/s").unwrap();
+        assert_eq!(m.readlink("/s").unwrap(), "/some/where");
+        assert_eq!(m.stat("/s").unwrap().ftype, FileType::Symlink);
+        assert_eq!(m.stat("/s").unwrap().size, 11);
+        assert_eq!(m.readlink("/"), Err(FsError::InvalidArgument));
+        m.unlink("/s").unwrap();
+        assert_eq!(m.stat("/s"), Err(FsError::NotFound));
+        assert_eq!(m.symlink(&"t".repeat(5000), "/s2"), Err(FsError::NameTooLong));
+    }
+
+    #[test]
+    fn readdir_sorted_content() {
+        let m = fs();
+        m.mkdir("/d").unwrap();
+        for name in ["zz", "aa", "mm"] {
+            let fd = m
+                .open(&format!("/d/{name}"), OpenFlags::WRONLY | OpenFlags::CREATE)
+                .unwrap();
+            m.close(fd).unwrap();
+        }
+        let names: Vec<String> = m.readdir("/d").unwrap().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"], "model readdir is sorted");
+        assert_eq!(m.readdir("/d/aa"), Err(FsError::NotDir));
+    }
+
+    #[test]
+    fn nlink_accounting_for_dirs() {
+        let m = fs();
+        m.mkdir("/d").unwrap();
+        assert_eq!(m.stat("/d").unwrap().nlink, 2);
+        m.mkdir("/d/s1").unwrap();
+        m.mkdir("/d/s2").unwrap();
+        assert_eq!(m.stat("/d").unwrap().nlink, 4);
+        m.rmdir("/d/s1").unwrap();
+        assert_eq!(m.stat("/d").unwrap().nlink, 3);
+        assert_eq!(m.stat("/").unwrap().nlink, 3, "root: 2 + /d");
+    }
+
+    #[test]
+    fn setattr_size_and_mtime() {
+        let m = fs();
+        let fd = m.open("/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m.write(fd, 0, b"0123456789").unwrap();
+        m.close(fd).unwrap();
+        m.setattr("/f", SetAttr { size: Some(4), mtime: None }).unwrap();
+        assert_eq!(m.stat("/f").unwrap().size, 4);
+        m.setattr("/f", SetAttr { size: None, mtime: Some(777) }).unwrap();
+        assert_eq!(m.stat("/f").unwrap().mtime, 777);
+        m.mkdir("/d").unwrap();
+        assert_eq!(
+            m.setattr("/d", SetAttr { size: Some(0), mtime: None }),
+            Err(FsError::IsDir)
+        );
+    }
+
+    #[test]
+    fn fstat_and_bad_fds() {
+        let m = fs();
+        assert_eq!(m.fstat(Fd(99)), Err(FsError::BadFd));
+        assert_eq!(m.close(Fd(99)), Err(FsError::BadFd));
+        assert_eq!(m.read(Fd(99), 0, 1), Err(FsError::BadFd));
+        assert_eq!(m.write(Fd(99), 0, b"x"), Err(FsError::BadFd));
+        assert_eq!(m.fsync(Fd(99)), Err(FsError::BadFd));
+    }
+
+    #[test]
+    fn fd_exhaustion() {
+        let m = fs();
+        let mut fds = Vec::new();
+        for i in 0..MAX_OPEN_FILES {
+            fds.push(
+                m.open(&format!("/f{i}"), OpenFlags::WRONLY | OpenFlags::CREATE)
+                    .unwrap(),
+            );
+        }
+        assert_eq!(
+            m.open("/overflow", OpenFlags::WRONLY | OpenFlags::CREATE),
+            Err(FsError::TooManyOpenFiles)
+        );
+        // the failed create must have rolled back
+        assert_eq!(m.stat("/overflow"), Err(FsError::NotFound));
+        for fd in fds {
+            m.close(fd).unwrap();
+        }
+    }
+
+    #[test]
+    fn ino_allocation_is_lowest_free() {
+        let m = fs();
+        let fd = m.open("/a", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        m.mkdir("/d").unwrap();
+        let a_ino = m.stat("/a").unwrap().ino;
+        let d_ino = m.stat("/d").unwrap().ino;
+        assert_eq!((a_ino, d_ino), (InodeNo(2), InodeNo(3)));
+        m.unlink("/a").unwrap();
+        let fd = m.open("/e", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        assert_eq!(m.stat("/e").unwrap().ino, InodeNo(2), "freed ino reused");
+    }
+}

@@ -1,0 +1,256 @@
+//! Property tests of the executable specification itself: the spec is
+//! the trust anchor for every differential test, so its own invariants
+//! get the heaviest scrutiny.
+
+use proptest::prelude::*;
+use rae_fsmodel::ModelFs;
+use rae_vfs::{Fd, FileSystem, FileType, FsError, OpenFlags, SetAttr};
+use std::collections::BTreeMap;
+
+/// A simplified op alphabet over a small path universe, so sequences
+/// collide meaningfully.
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(u8),
+    Rmdir(u8),
+    Create(u8),
+    Unlink(u8),
+    Rename(u8, u8),
+    Link(u8, u8),
+    OpenClose(u8),
+    WriteAt(u8, u16, u8),
+    Truncate(u8, u16),
+    SetSize(u8, u16),
+}
+
+fn path(n: u8) -> String {
+    // 2-level universe of 4 dirs x 4 names
+    let d = n % 4;
+    let f = (n / 4) % 4;
+    if n.is_multiple_of(2) {
+        format!("/d{d}/f{f}")
+    } else {
+        format!("/d{d}")
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Mkdir),
+        any::<u8>().prop_map(Op::Rmdir),
+        any::<u8>().prop_map(Op::Create),
+        any::<u8>().prop_map(Op::Unlink),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+        any::<u8>().prop_map(Op::OpenClose),
+        (any::<u8>(), any::<u16>(), any::<u8>()).prop_map(|(p, o, b)| Op::WriteAt(p, o, b)),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, s)| Op::Truncate(p, s)),
+        (any::<u8>(), any::<u16>()).prop_map(|(p, s)| Op::SetSize(p, s)),
+    ]
+}
+
+fn apply(m: &ModelFs, op: &Op) {
+    let _ = match op {
+        Op::Mkdir(p) => m.mkdir(&path(*p)),
+        Op::Rmdir(p) => m.rmdir(&path(*p)),
+        Op::Create(p) => m
+            .open(&path(*p), OpenFlags::RDWR | OpenFlags::CREATE)
+            .and_then(|fd| m.close(fd)),
+        Op::Unlink(p) => m.unlink(&path(*p)),
+        Op::Rename(a, b) => m.rename(&path(*a), &path(*b)),
+        Op::Link(a, b) => m.link(&path(*a), &path(*b)),
+        Op::OpenClose(p) => m.open(&path(*p), OpenFlags::RDONLY).and_then(|fd| m.close(fd)),
+        Op::WriteAt(p, off, byte) => m
+            .open(&path(*p), OpenFlags::RDWR | OpenFlags::CREATE)
+            .and_then(|fd| {
+                m.write(fd, u64::from(*off), &[*byte])?;
+                m.close(fd)
+            }),
+        Op::Truncate(p, size) => m.open(&path(*p), OpenFlags::RDWR).and_then(|fd| {
+            m.truncate(fd, u64::from(*size))?;
+            m.close(fd)
+        }),
+        Op::SetSize(p, size) => m.setattr(
+            &path(*p),
+            SetAttr {
+                size: Some(u64::from(*size)),
+                mtime: None,
+            },
+        ),
+    };
+}
+
+/// Walk the tree and check global invariants.
+fn check_invariants(m: &ModelFs) -> Result<(), TestCaseError> {
+    let mut stack = vec![String::from("/")];
+    let mut ino_nlinks: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut ino_claimed: BTreeMap<u32, u32> = BTreeMap::new();
+    while let Some(dir) = stack.pop() {
+        let dstat = m.stat(&dir).unwrap();
+        prop_assert_eq!(dstat.ftype, FileType::Directory);
+        let entries = m.readdir(&dir).unwrap();
+        // nlink of a dir = 2 + subdirectories
+        let subdirs = entries
+            .iter()
+            .filter(|e| e.ftype == FileType::Directory)
+            .count() as u32;
+        prop_assert_eq!(dstat.nlink, 2 + subdirs, "dir {} nlink", &dir);
+        // no duplicate names
+        let mut names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        prop_assert_eq!(before, names.len(), "duplicate names in {}", &dir);
+
+        for e in entries {
+            let p = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{dir}/{}", e.name)
+            };
+            let st = m.stat(&p).unwrap();
+            prop_assert_eq!(st.ino, e.ino, "readdir/stat ino mismatch at {}", &p);
+            prop_assert_eq!(st.ftype, e.ftype, "type mismatch at {}", &p);
+            match e.ftype {
+                FileType::Directory => stack.push(p),
+                FileType::Regular => {
+                    ino_nlinks.insert(e.ino.0, st.nlink);
+                    *ino_claimed.entry(e.ino.0).or_insert(0) += 1;
+                }
+                FileType::Symlink => {
+                    prop_assert!(m.readlink(&p).is_ok());
+                }
+            }
+        }
+    }
+    // hard-link accounting: recorded nlink equals discovered path count
+    for (ino, nlink) in ino_nlinks {
+        prop_assert_eq!(
+            nlink,
+            ino_claimed[&ino],
+            "ino {} nlink vs paths",
+            ino
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// After any op sequence, the model's tree satisfies the global
+    /// invariants (nlink accounting, no duplicates, readdir/stat
+    /// agreement) and no descriptors leak.
+    #[test]
+    fn model_invariants_hold(ops in proptest::collection::vec(arb_op(), 1..250)) {
+        let m = ModelFs::new();
+        for op in &ops {
+            apply(&m, op);
+        }
+        check_invariants(&m)?;
+        prop_assert_eq!(m.open_fd_count(), 0, "descriptor leak");
+    }
+
+    /// Operations that return an error leave the observable tree
+    /// untouched (failure atomicity of the spec).
+    #[test]
+    fn failed_ops_change_nothing(setup in proptest::collection::vec(arb_op(), 0..60), probe in arb_op()) {
+        let m = ModelFs::new();
+        for op in &setup {
+            apply(&m, op);
+        }
+        let before = snapshot(&m);
+        // find an op that fails, run it, compare
+        let failed = match &probe {
+            Op::Mkdir(p) => m.mkdir(&path(*p)).is_err(),
+            Op::Rmdir(p) => m.rmdir(&path(*p)).is_err(),
+            Op::Unlink(p) => m.unlink(&path(*p)).is_err(),
+            Op::Rename(a, b) => m.rename(&path(*a), &path(*b)).is_err(),
+            Op::Link(a, b) => m.link(&path(*a), &path(*b)).is_err(),
+            _ => return Ok(()), // open-based ops roll back via close; skip
+        };
+        if failed {
+            prop_assert_eq!(snapshot(&m), before, "failed op mutated state");
+        }
+    }
+
+    /// read(write(x)) == x at arbitrary offsets (contents round-trip).
+    #[test]
+    fn write_read_roundtrip(
+        offset in 0u64..100_000,
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+    ) {
+        let m = ModelFs::new();
+        let fd = m.open("/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m.write(fd, offset, &data).unwrap();
+        prop_assert_eq!(m.read(fd, offset, data.len()).unwrap(), data.clone());
+        // bytes before the write are zero
+        if offset > 0 {
+            let probe = m.read(fd, offset - 1, 1).unwrap();
+            prop_assert_eq!(probe, vec![0u8]);
+        }
+        prop_assert_eq!(m.fstat(fd).unwrap().size, offset + data.len() as u64);
+        m.close(fd).unwrap();
+    }
+
+    /// Descriptor numbers are dense-lowest-free under arbitrary
+    /// open/close interleavings.
+    #[test]
+    fn fd_allocation_is_always_lowest_free(closes in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let m = ModelFs::new();
+        let mut open: Vec<Fd> = Vec::new();
+        for (i, c) in closes.iter().enumerate() {
+            // open one
+            let fd = m.open(&format!("/f{i}"), OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+            // fd must equal the smallest number not currently open
+            let mut expect = rae_vfs::FIRST_FD;
+            let mut in_use: Vec<u32> = open.iter().map(|f| f.0).collect();
+            in_use.sort_unstable();
+            for u in in_use {
+                if u == expect {
+                    expect += 1;
+                }
+            }
+            prop_assert_eq!(fd.0, expect);
+            open.push(fd);
+            // maybe close a random one
+            if !open.is_empty() && (*c as usize).is_multiple_of(3) {
+                let victim = open.remove(*c as usize % open.len());
+                m.close(victim).unwrap();
+            }
+        }
+        for fd in open {
+            m.close(fd).unwrap();
+        }
+        prop_assert_eq!(m.open_fd_count(), 0);
+    }
+}
+
+/// Normalized tree snapshot for atomicity comparisons.
+fn snapshot(m: &ModelFs) -> BTreeMap<String, (String, u64, u32)> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![String::from("/")];
+    while let Some(dir) = stack.pop() {
+        for e in m.readdir(&dir).unwrap() {
+            let p = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{dir}/{}", e.name)
+            };
+            let st = m.stat(&p).unwrap();
+            out.insert(p.clone(), (st.ftype.to_string(), st.size, st.nlink));
+            if e.ftype == FileType::Directory {
+                stack.push(p);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn model_rejects_io_on_directories() {
+    let m = ModelFs::new();
+    m.mkdir("/d").unwrap();
+    assert_eq!(m.open("/d", OpenFlags::RDONLY), Err(FsError::IsDir));
+    assert_eq!(m.open("/d", OpenFlags::RDWR), Err(FsError::IsDir));
+}

@@ -1,0 +1,143 @@
+//! Run the shadow as a primary filesystem.
+//!
+//! [`ShadowAsPrimary`] wraps the single-threaded [`ShadowFs`] in a
+//! mutex and implements [`FileSystem`], so experiment E1 can benchmark
+//! "what if the slow-but-correct filesystem served the workload
+//! directly?" and differential harnesses can drive base, shadow, and
+//! model through one interface.
+//!
+//! The never-write rule still holds: all mutations stay in the overlay.
+//! [`ShadowAsPrimary::into_inner`] recovers the shadow (e.g. to extract
+//! the delta).
+
+use crate::shadow::{ShadowFs, ShadowOpts};
+use parking_lot::Mutex;
+use rae_blockdev::BlockDevice;
+use rae_vfs::{
+    DirEntry, Fd, FileStat, FileSystem, FsGeometryInfo, FsResult, OpenFlags, SetAttr,
+};
+use std::sync::Arc;
+
+/// A [`FileSystem`] adapter over [`ShadowFs`]. See the module docs.
+#[derive(Debug)]
+pub struct ShadowAsPrimary {
+    inner: Mutex<ShadowFs>,
+}
+
+impl ShadowAsPrimary {
+    /// Load a shadow from `dev` and wrap it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShadowFs::load`].
+    pub fn load(dev: Arc<dyn BlockDevice>, opts: ShadowOpts) -> FsResult<ShadowAsPrimary> {
+        Ok(ShadowAsPrimary {
+            inner: Mutex::new(ShadowFs::load(dev, opts)?),
+        })
+    }
+
+    /// Wrap an existing shadow.
+    #[must_use]
+    pub fn new(shadow: ShadowFs) -> ShadowAsPrimary {
+        ShadowAsPrimary {
+            inner: Mutex::new(shadow),
+        }
+    }
+
+    /// Recover the wrapped shadow.
+    #[must_use]
+    pub fn into_inner(self) -> ShadowFs {
+        self.inner.into_inner()
+    }
+
+    /// Runtime checks performed so far.
+    #[must_use]
+    pub fn checks_performed(&self) -> u64 {
+        self.inner.lock().checks_performed()
+    }
+}
+
+impl FileSystem for ShadowAsPrimary {
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
+        self.inner.lock().op_open(path, flags, None).map(|(fd, _, _)| fd)
+    }
+
+    fn close(&self, fd: Fd) -> FsResult<()> {
+        self.inner.lock().op_close(fd)
+    }
+
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        self.inner.lock().op_read(fd, offset, len)
+    }
+
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
+        self.inner.lock().op_write(fd, offset, data)
+    }
+
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
+        self.inner.lock().op_truncate(fd, size)
+    }
+
+    fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()> {
+        self.inner.lock().op_setattr(path, attr)
+    }
+
+    fn fsync(&self, fd: Fd) -> FsResult<()> {
+        // the shadow never persists; as a primary this is a no-op on
+        // an open descriptor, an error otherwise
+        let inner = self.inner.lock();
+        if inner.fds.contains_key(&fd) {
+            Ok(())
+        } else {
+            Err(rae_vfs::FsError::BadFd)
+        }
+    }
+
+    fn sync(&self) -> FsResult<()> {
+        Ok(())
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<()> {
+        self.inner.lock().op_mkdir(path, None).map(|_| ())
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.inner.lock().op_rmdir(path)
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.inner.lock().op_unlink(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> FsResult<()> {
+        self.inner.lock().op_rename(from, to)
+    }
+
+    fn link(&self, existing: &str, new: &str) -> FsResult<()> {
+        self.inner.lock().op_link(existing, new)
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
+        self.inner.lock().op_symlink(target, linkpath, None).map(|_| ())
+    }
+
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        self.inner.lock().op_readlink(path)
+    }
+
+    fn stat(&self, path: &str) -> FsResult<FileStat> {
+        self.inner.lock().op_stat(path)
+    }
+
+    fn fstat(&self, fd: Fd) -> FsResult<FileStat> {
+        self.inner.lock().op_fstat(fd)
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
+        self.inner.lock().op_readdir(path)
+    }
+
+    fn statfs(&self) -> FsResult<FsGeometryInfo> {
+        self.inner.lock().op_statfs()
+    }
+}

@@ -1,0 +1,223 @@
+//! The error model shared by the base filesystem, the shadow filesystem,
+//! the executable specification, and the RAE runtime.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result alias used throughout the RAE stack.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors produced by filesystem operations.
+///
+/// The first group mirrors POSIX errno values and is part of the
+/// *specified* behaviour: the base, the shadow, and the abstract model
+/// must agree on them. The second group (`Io*`, `Corrupted`,
+/// `DetectedBug`, `CheckFailed`, `Internal`, `RecoveryFailed`) describes
+/// *runtime errors* in the sense of the paper: conditions that are not
+/// part of the API contract and that trigger RAE recovery when they
+/// surface from the base.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsError {
+    /// A path component does not exist (`ENOENT`).
+    NotFound,
+    /// The target already exists (`EEXIST`).
+    Exists,
+    /// A non-final path component is not a directory (`ENOTDIR`).
+    NotDir,
+    /// The operation requires a non-directory but found a directory (`EISDIR`).
+    IsDir,
+    /// Directory not empty on `rmdir`/`rename` (`ENOTEMPTY`).
+    NotEmpty,
+    /// No free data blocks (`ENOSPC`).
+    NoSpace,
+    /// No free inodes (`ENOSPC` with inode exhaustion).
+    NoInodes,
+    /// Malformed argument: empty path, bad flag combination, … (`EINVAL`).
+    InvalidArgument,
+    /// A path component exceeds [`crate::MAX_NAME_LEN`] (`ENAMETOOLONG`).
+    NameTooLong,
+    /// The per-process file table is full (`EMFILE`).
+    TooManyOpenFiles,
+    /// The file descriptor is not open (`EBADF`).
+    BadFd,
+    /// The descriptor was opened without the required access mode (`EBADF`).
+    BadAccessMode,
+    /// Too many hard links (`EMLINK`).
+    TooManyLinks,
+    /// File too large for the format's maximum file size (`EFBIG`).
+    FileTooBig,
+    /// The filesystem is mounted (or the handle is) read-only (`EROFS`).
+    ReadOnly,
+    /// The filesystem is quiescing for recovery (`EBUSY`); transient.
+    Busy,
+    /// `rename` would move a directory under itself (`EINVAL`).
+    RenameLoop,
+
+    /// The block device failed an I/O request.
+    IoFailed {
+        /// Description of the failed request (device-supplied).
+        detail: String,
+    },
+    /// An on-disk structure failed validation (checksum, range, magic…).
+    Corrupted {
+        /// What failed to validate and where.
+        detail: String,
+    },
+    /// An injected (or organic) bug was detected at a fault hook.
+    DetectedBug {
+        /// Identifier of the bug in the fault plan / bug corpus.
+        bug_id: u32,
+    },
+    /// A shadow runtime check failed.
+    CheckFailed {
+        /// Name of the check (e.g. `"inode.size_vs_blocks"`).
+        check: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// An internal invariant of the implementation was violated.
+    Internal {
+        /// Description of the violated invariant.
+        detail: String,
+    },
+    /// RAE recovery itself failed; the filesystem is offline.
+    RecoveryFailed {
+        /// Why recovery could not complete.
+        detail: String,
+    },
+}
+
+impl FsError {
+    /// The closest POSIX errno for this error (negated Linux-style values
+    /// are not used; these are the positive `errno.h` constants).
+    #[must_use]
+    pub fn errno(&self) -> i32 {
+        match self {
+            FsError::NotFound => 2,            // ENOENT
+            FsError::IoFailed { .. } => 5,     // EIO
+            FsError::BadFd | FsError::BadAccessMode => 9, // EBADF
+            FsError::Busy => 16,               // EBUSY
+            FsError::Exists => 17,             // EEXIST
+            FsError::NotDir => 20,             // ENOTDIR
+            FsError::IsDir => 21,              // EISDIR
+            FsError::InvalidArgument | FsError::RenameLoop => 22, // EINVAL
+            FsError::TooManyOpenFiles => 24,   // EMFILE
+            FsError::FileTooBig => 27,         // EFBIG
+            FsError::NoSpace | FsError::NoInodes => 28, // ENOSPC
+            FsError::ReadOnly => 30,           // EROFS
+            FsError::TooManyLinks => 31,       // EMLINK
+            FsError::NameTooLong => 36,        // ENAMETOOLONG
+            FsError::NotEmpty => 39,           // ENOTEMPTY
+            FsError::Corrupted { .. }
+            | FsError::DetectedBug { .. }
+            | FsError::CheckFailed { .. }
+            | FsError::Internal { .. }
+            | FsError::RecoveryFailed { .. } => 117, // EUCLEAN ("structure needs cleaning")
+        }
+    }
+
+    /// Whether this error is part of the specified API contract.
+    ///
+    /// Specified errors (`ENOENT`, `EEXIST`, …) are returned to the
+    /// application and recorded in the operation log; the shadow must
+    /// reproduce them. Unspecified errors are *runtime errors*: when the
+    /// base raises one, RAE triggers recovery instead of returning it.
+    #[must_use]
+    pub fn is_specified(&self) -> bool {
+        !self.is_runtime_error()
+    }
+
+    /// Whether this error is a runtime error that should trigger RAE
+    /// recovery when surfaced by the base filesystem.
+    #[must_use]
+    pub fn is_runtime_error(&self) -> bool {
+        matches!(
+            self,
+            FsError::IoFailed { .. }
+                | FsError::Corrupted { .. }
+                | FsError::DetectedBug { .. }
+                | FsError::CheckFailed { .. }
+                | FsError::Internal { .. }
+                | FsError::RecoveryFailed { .. }
+        )
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::Exists => write!(f, "file exists"),
+            FsError::NotDir => write!(f, "not a directory"),
+            FsError::IsDir => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes left on device"),
+            FsError::InvalidArgument => write!(f, "invalid argument"),
+            FsError::NameTooLong => write!(f, "file name too long"),
+            FsError::TooManyOpenFiles => write!(f, "too many open files"),
+            FsError::BadFd => write!(f, "bad file descriptor"),
+            FsError::BadAccessMode => write!(f, "descriptor opened without required access mode"),
+            FsError::TooManyLinks => write!(f, "too many links"),
+            FsError::FileTooBig => write!(f, "file too large"),
+            FsError::ReadOnly => write!(f, "read-only file system"),
+            FsError::Busy => write!(f, "device or resource busy"),
+            FsError::RenameLoop => write!(f, "rename would create a directory loop"),
+            FsError::IoFailed { detail } => write!(f, "i/o error: {detail}"),
+            FsError::Corrupted { detail } => write!(f, "corrupted structure: {detail}"),
+            FsError::DetectedBug { bug_id } => write!(f, "detected runtime bug #{bug_id}"),
+            FsError::CheckFailed { check, detail } => {
+                write!(f, "runtime check '{check}' failed: {detail}")
+            }
+            FsError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
+            FsError::RecoveryFailed { detail } => write!(f, "recovery failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_values_match_errno_h() {
+        assert_eq!(FsError::NotFound.errno(), 2);
+        assert_eq!(FsError::Exists.errno(), 17);
+        assert_eq!(FsError::NotEmpty.errno(), 39);
+        assert_eq!(FsError::NoSpace.errno(), 28);
+        assert_eq!(FsError::BadFd.errno(), 9);
+    }
+
+    #[test]
+    fn runtime_errors_are_not_specified() {
+        let runtime = FsError::DetectedBug { bug_id: 3 };
+        assert!(runtime.is_runtime_error());
+        assert!(!runtime.is_specified());
+
+        let specified = FsError::NotFound;
+        assert!(specified.is_specified());
+        assert!(!specified.is_runtime_error());
+    }
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        for err in [
+            FsError::NotFound,
+            FsError::Busy,
+            FsError::Corrupted { detail: "bad magic".into() },
+            FsError::DetectedBug { bug_id: 1 },
+        ] {
+            let s = err.to_string();
+            assert!(!s.ends_with('.'), "{s:?} ends with punctuation");
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s:?} not lowercase");
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FsError>();
+    }
+}

@@ -1,0 +1,274 @@
+//! The object-safe [`FileSystem`] trait implemented by the base
+//! filesystem, the shadow adapter, the abstract model, and the public
+//! RAE filesystem.
+
+use crate::error::FsResult;
+use crate::types::{DirEntry, Fd, FileStat, FsGeometryInfo, OpenFlags, SetAttr};
+
+/// Coarse lifecycle state of a filesystem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsStatus {
+    /// Serving operations normally.
+    Active,
+    /// Temporarily refusing operations (e.g. during RAE recovery).
+    Quiesced,
+    /// Permanently offline (unrecoverable failure).
+    Failed,
+}
+
+/// A POSIX-flavoured filesystem API.
+///
+/// All methods take `&self`: implementations are internally synchronized
+/// and usable from multiple threads (the shadow is single-threaded
+/// internally but still presents this interface through its adapter).
+///
+/// # Path semantics
+///
+/// * Paths are absolute, `/`-separated, UTF-8. `.` and `..` components
+///   are rejected ([`crate::FsError::InvalidArgument`]); callers
+///   normalise paths before issuing operations.
+/// * Symbolic links are leaf objects: path resolution does not follow
+///   them (they are created with [`FileSystem::symlink`] and read with
+///   [`FileSystem::readlink`]).
+///
+/// # Errors
+///
+/// Every method returns [`crate::FsError`] values from the *specified*
+/// set for contract violations (`NotFound`, `Exists`, …). Runtime errors
+/// (`Corrupted`, `DetectedBug`, …) may surface from implementations with
+/// bugs or bad media; the RAE runtime intercepts those before
+/// applications see them.
+pub trait FileSystem: Send + Sync {
+    /// Open (and possibly create) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` without `CREATE`; `Exists` with `CREATE|EXCL`; `IsDir`
+    /// for directories opened writable; `TooManyOpenFiles` when the
+    /// descriptor table is full.
+    fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd>;
+
+    /// Close a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// `BadFd` if the descriptor is not open.
+    fn close(&self, fd: Fd) -> FsResult<()>;
+
+    /// Read up to `len` bytes at `offset`. Short reads happen only at
+    /// end-of-file.
+    ///
+    /// # Errors
+    ///
+    /// `BadFd`; `BadAccessMode` if opened write-only.
+    fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>>;
+
+    /// Write `data` at `offset` (or at end-of-file in append mode),
+    /// returning bytes accepted (always `data.len()` unless an error is
+    /// returned — partial writes are not produced by this stack).
+    ///
+    /// # Errors
+    ///
+    /// `BadFd`; `BadAccessMode` if opened read-only; `NoSpace`;
+    /// `FileTooBig` beyond the format's maximum file size.
+    fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize>;
+
+    /// Truncate or zero-extend the file to `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// `BadFd`; `BadAccessMode` if opened read-only; `NoSpace` when
+    /// extending; `FileTooBig`.
+    fn truncate(&self, fd: Fd, size: u64) -> FsResult<()>;
+
+    /// Apply attribute changes to `path`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `IsDir` when setting a size on a directory.
+    fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()>;
+
+    /// Make the file durable on the device.
+    ///
+    /// # Errors
+    ///
+    /// `BadFd`; `IoFailed` on device write failure.
+    fn fsync(&self, fd: Fd) -> FsResult<()>;
+
+    /// Make all buffered state durable on the device.
+    ///
+    /// # Errors
+    ///
+    /// `IoFailed` on device write failure.
+    fn sync(&self) -> FsResult<()>;
+
+    /// Create a directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `Exists`; `NotFound`/`NotDir` on the parent; `NoSpace`/`NoInodes`.
+    fn mkdir(&self, path: &str) -> FsResult<()>;
+
+    /// Remove the empty directory at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `NotDir`; `NotEmpty`; `InvalidArgument` for `/`.
+    fn rmdir(&self, path: &str) -> FsResult<()>;
+
+    /// Remove the directory entry at `path` (file or symlink).
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `IsDir` for directories (use [`FileSystem::rmdir`]).
+    fn unlink(&self, path: &str) -> FsResult<()>;
+
+    /// Rename `from` to `to`, atomically replacing a compatible target.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `NotDir`/`IsDir` on incompatible replacement;
+    /// `NotEmpty` when replacing a non-empty directory; `RenameLoop`
+    /// when moving a directory below itself; `InvalidArgument` for `/`.
+    fn rename(&self, from: &str, to: &str) -> FsResult<()>;
+
+    /// Create a hard link `new` to the file at `existing`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `IsDir` (directories cannot be hard-linked);
+    /// `Exists`; `TooManyLinks`.
+    fn link(&self, existing: &str, new: &str) -> FsResult<()>;
+
+    /// Create a symbolic link at `linkpath` containing `target`.
+    ///
+    /// # Errors
+    ///
+    /// `Exists`; `NotFound`/`NotDir` on the parent; `NameTooLong` for
+    /// targets longer than one block.
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()>;
+
+    /// Read the contents of the symlink at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `InvalidArgument` if `path` is not a symlink.
+    fn readlink(&self, path: &str) -> FsResult<String>;
+
+    /// Stat the object at `path`.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `NotDir` on a non-directory path component.
+    fn stat(&self, path: &str) -> FsResult<FileStat>;
+
+    /// Stat the object behind an open descriptor.
+    ///
+    /// # Errors
+    ///
+    /// `BadFd`.
+    fn fstat(&self, fd: Fd) -> FsResult<FileStat>;
+
+    /// List the entries of the directory at `path` (excluding `.`/`..`),
+    /// in on-disk order.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound`; `NotDir`.
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>>;
+
+    /// Filesystem-wide geometry and free-space summary.
+    ///
+    /// # Errors
+    ///
+    /// `IoFailed` if the superblock cannot be consulted.
+    fn statfs(&self) -> FsResult<FsGeometryInfo>;
+
+    /// Current lifecycle status. Defaults to [`FsStatus::Active`].
+    fn status(&self) -> FsStatus {
+        FsStatus::Active
+    }
+}
+
+/// Split an absolute path into components, validating shape.
+///
+/// Returns the component list (empty for `/`).
+///
+/// # Errors
+///
+/// [`crate::FsError::InvalidArgument`] for relative paths, empty paths,
+/// `.`/`..` components, or embedded empty components (`//` is allowed
+/// and collapsed); [`crate::FsError::NameTooLong`] for oversized
+/// components.
+pub fn split_path(path: &str) -> FsResult<Vec<&str>> {
+    use crate::error::FsError;
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidArgument);
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        if comp.is_empty() {
+            continue; // leading slash and doubled slashes collapse
+        }
+        if comp == "." || comp == ".." {
+            return Err(FsError::InvalidArgument);
+        }
+        if comp.len() > crate::types::MAX_NAME_LEN {
+            return Err(FsError::NameTooLong);
+        }
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Split a path into `(parent_components, final_name)`.
+///
+/// # Errors
+///
+/// As [`split_path`], plus [`crate::FsError::InvalidArgument`] when the
+/// path is `/` (which has no final component).
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    use crate::error::FsError;
+    let mut comps = split_path(path)?;
+    match comps.pop() {
+        Some(name) => Ok((comps, name)),
+        None => Err(FsError::InvalidArgument),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FsError;
+
+    #[test]
+    fn split_path_accepts_normal_paths() {
+        assert_eq!(split_path("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(split_path("/a").unwrap(), vec!["a"]);
+        assert_eq!(split_path("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split_path("//a//b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn split_path_rejects_bad_shapes() {
+        assert_eq!(split_path(""), Err(FsError::InvalidArgument));
+        assert_eq!(split_path("a/b"), Err(FsError::InvalidArgument));
+        assert_eq!(split_path("/a/./b"), Err(FsError::InvalidArgument));
+        assert_eq!(split_path("/a/../b"), Err(FsError::InvalidArgument));
+        let long = format!("/{}", "x".repeat(crate::types::MAX_NAME_LEN + 1));
+        assert_eq!(split_path(&long), Err(FsError::NameTooLong));
+    }
+
+    #[test]
+    fn split_parent_separates_final_component() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+        assert_eq!(split_parent("/"), Err(FsError::InvalidArgument));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_fs: &dyn FileSystem) {}
+    }
+}

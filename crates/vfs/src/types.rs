@@ -1,0 +1,361 @@
+//! Small strong types shared across the stack.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Maximum length of one path component, in bytes.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Maximum simultaneously open descriptors (spec constant shared by the
+/// model, the base, and the shadow — descriptor numbering is part of
+/// the application-visible state RAE must reconstruct).
+pub const MAX_OPEN_FILES: usize = 1024;
+
+/// First descriptor number handed out (0–2 are reserved, as in POSIX).
+pub const FIRST_FD: u32 = 3;
+
+/// Maximum hard-link count per inode.
+pub const MAX_LINKS: u32 = 65_000;
+
+/// Maximum file size in bytes (spec constant; equals the on-disk
+/// format's 12 direct + 1 indirect + 1 double-indirect addressing limit
+/// at 4 KiB blocks — the format crate asserts the equality in tests).
+pub const MAX_FILE_SIZE: u64 = (12 + 512 + 512 * 512) * 4096;
+
+/// The inode number of the filesystem root directory.
+pub const ROOT_INO: InodeNo = InodeNo(1);
+
+/// An inode number.
+///
+/// Inode 0 is reserved as "no inode" in on-disk structures; inode 1 is the
+/// root directory ([`ROOT_INO`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct InodeNo(pub u32);
+
+impl InodeNo {
+    /// Whether this is the reserved "no inode" value.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for InodeNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino{}", self.0)
+    }
+}
+
+/// A file descriptor, as handed to the application.
+///
+/// RAE guarantees descriptor numbers survive recovery: after a contained
+/// reboot the shadow reconstructs the descriptor table with identical
+/// numbering, so applications keep using their descriptors unaware that a
+/// recovery happened.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// The type of a file, as stored in the inode mode and directory entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileType {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+    /// A symbolic link (stored inline in the inode).
+    Symlink,
+}
+
+impl FileType {
+    /// On-disk encoding of the file type (also used in directory entries).
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            FileType::Regular => 1,
+            FileType::Directory => 2,
+            FileType::Symlink => 3,
+        }
+    }
+
+    /// Decode an on-disk file-type byte.
+    ///
+    /// Returns `None` for unknown encodings so callers can surface a
+    /// corruption error rather than panicking on crafted images.
+    #[must_use]
+    pub fn from_u8(v: u8) -> Option<FileType> {
+        match v {
+            1 => Some(FileType::Regular),
+            2 => Some(FileType::Directory),
+            3 => Some(FileType::Symlink),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FileType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileType::Regular => write!(f, "file"),
+            FileType::Directory => write!(f, "dir"),
+            FileType::Symlink => write!(f, "symlink"),
+        }
+    }
+}
+
+/// Open flags, modelled as a transparent bit set (see C-BITFLAG; kept
+/// dependency-free rather than pulling in the `bitflags` crate).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OpenFlags(u32);
+
+impl OpenFlags {
+    /// Open for reading only.
+    pub const RDONLY: OpenFlags = OpenFlags(0);
+    /// Open for writing only.
+    pub const WRONLY: OpenFlags = OpenFlags(1);
+    /// Open for reading and writing.
+    pub const RDWR: OpenFlags = OpenFlags(2);
+    /// Create the file if it does not exist.
+    pub const CREATE: OpenFlags = OpenFlags(1 << 6);
+    /// With [`OpenFlags::CREATE`], fail if the file already exists.
+    pub const EXCL: OpenFlags = OpenFlags(1 << 7);
+    /// Truncate the file to zero length on open.
+    pub const TRUNC: OpenFlags = OpenFlags(1 << 9);
+    /// All writes append to the end of the file, ignoring the offset.
+    pub const APPEND: OpenFlags = OpenFlags(1 << 10);
+
+    const ACCESS_MASK: u32 = 0b11;
+    const KNOWN_MASK: u32 =
+        0b11 | (1 << 6) | (1 << 7) | (1 << 9) | (1 << 10);
+
+    /// An empty flag set (equivalent to [`OpenFlags::RDONLY`]).
+    #[must_use]
+    pub fn empty() -> OpenFlags {
+        OpenFlags(0)
+    }
+
+    /// Raw bit representation (stable; used in recorded traces).
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from raw bits, rejecting unknown flag bits.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Option<OpenFlags> {
+        if bits & !Self::KNOWN_MASK != 0 {
+            None
+        } else {
+            Some(OpenFlags(bits))
+        }
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    ///
+    /// For the access mode use [`OpenFlags::readable`] /
+    /// [`OpenFlags::writable`] instead: access modes are a 2-bit enum,
+    /// not independent bits.
+    #[must_use]
+    pub fn contains(self, other: OpenFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the access mode permits reading.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        self.0 & Self::ACCESS_MASK != Self::WRONLY.0
+    }
+
+    /// Whether the access mode permits writing.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        let mode = self.0 & Self::ACCESS_MASK;
+        mode == Self::WRONLY.0 || mode == Self::RDWR.0
+    }
+
+    /// Whether [`OpenFlags::CREATE`] is set.
+    #[must_use]
+    pub fn creates(self) -> bool {
+        self.contains(OpenFlags::CREATE)
+    }
+
+    /// Whether the access-mode bits are a valid combination.
+    #[must_use]
+    pub fn valid(self) -> bool {
+        self.0 & Self::ACCESS_MASK != 0b11
+    }
+
+    /// The flags with the one-shot creation/truncation bits removed
+    /// (`CREATE`, `EXCL`, `TRUNC`). Used when an `open` record crosses a
+    /// persistence barrier: its creation effects are already durable,
+    /// so only the behavioural flags (access mode, `APPEND`) survive.
+    #[must_use]
+    pub fn without_creation(self) -> OpenFlags {
+        OpenFlags(self.0 & !(Self::CREATE.0 | Self::EXCL.0 | Self::TRUNC.0))
+    }
+}
+
+impl BitOr for OpenFlags {
+    type Output = OpenFlags;
+    fn bitor(self, rhs: OpenFlags) -> OpenFlags {
+        OpenFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for OpenFlags {
+    fn bitor_assign(&mut self, rhs: OpenFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for OpenFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mode = match self.0 & Self::ACCESS_MASK {
+            0 => "ro",
+            1 => "wo",
+            2 => "rw",
+            _ => "??",
+        };
+        write!(f, "{mode}")?;
+        if self.contains(OpenFlags::CREATE) {
+            write!(f, "|creat")?;
+        }
+        if self.contains(OpenFlags::EXCL) {
+            write!(f, "|excl")?;
+        }
+        if self.contains(OpenFlags::TRUNC) {
+            write!(f, "|trunc")?;
+        }
+        if self.contains(OpenFlags::APPEND) {
+            write!(f, "|append")?;
+        }
+        Ok(())
+    }
+}
+
+/// Metadata of a file, as returned by `stat`-family operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: InodeNo,
+    /// File type.
+    pub ftype: FileType,
+    /// Size in bytes (for directories: byte size of the entry area).
+    pub size: u64,
+    /// Number of hard links.
+    pub nlink: u32,
+    /// Number of data blocks allocated to the file.
+    pub blocks: u64,
+    /// Last modification time (logical clock; see crate docs).
+    pub mtime: u64,
+    /// Last inode change time (logical clock).
+    pub ctime: u64,
+}
+
+/// An entry produced by `readdir`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// Inode the entry points at.
+    pub ino: InodeNo,
+    /// File type recorded in the directory entry.
+    pub ftype: FileType,
+    /// Entry name (one path component, no slashes).
+    pub name: String,
+}
+
+/// Attributes settable via `setattr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SetAttr {
+    /// New size (truncate/extend) if set.
+    pub size: Option<u64>,
+    /// New modification time if set.
+    pub mtime: Option<u64>,
+}
+
+/// Geometry summary reported by `statfs`-like queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsGeometryInfo {
+    /// Block size in bytes.
+    pub block_size: u32,
+    /// Total data blocks in the filesystem.
+    pub total_blocks: u64,
+    /// Free data blocks.
+    pub free_blocks: u64,
+    /// Total inodes.
+    pub total_inodes: u64,
+    /// Free inodes.
+    pub free_inodes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flags_access_modes() {
+        assert!(OpenFlags::RDONLY.readable());
+        assert!(!OpenFlags::RDONLY.writable());
+        assert!(!OpenFlags::WRONLY.readable());
+        assert!(OpenFlags::WRONLY.writable());
+        assert!(OpenFlags::RDWR.readable());
+        assert!(OpenFlags::RDWR.writable());
+    }
+
+    #[test]
+    fn open_flags_compose() {
+        let f = OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::EXCL;
+        assert!(f.creates());
+        assert!(f.contains(OpenFlags::EXCL));
+        assert!(!f.contains(OpenFlags::TRUNC));
+        assert!(f.valid());
+    }
+
+    #[test]
+    fn open_flags_roundtrip_bits() {
+        let f = OpenFlags::WRONLY | OpenFlags::APPEND | OpenFlags::CREATE;
+        assert_eq!(OpenFlags::from_bits(f.bits()), Some(f));
+        assert_eq!(OpenFlags::from_bits(0xdead_0000), None);
+    }
+
+    #[test]
+    fn invalid_access_mode_rejected() {
+        let bad = OpenFlags::from_bits(0b11).unwrap();
+        assert!(!bad.valid());
+    }
+
+    #[test]
+    fn file_type_codec_roundtrip() {
+        for t in [FileType::Regular, FileType::Directory, FileType::Symlink] {
+            assert_eq!(FileType::from_u8(t.as_u8()), Some(t));
+        }
+        assert_eq!(FileType::from_u8(0), None);
+        assert_eq!(FileType::from_u8(200), None);
+    }
+
+    #[test]
+    fn root_ino_is_one_and_not_null() {
+        assert_eq!(ROOT_INO, InodeNo(1));
+        assert!(!ROOT_INO.is_null());
+        assert!(InodeNo(0).is_null());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(InodeNo(5).to_string(), "ino5");
+        assert_eq!(Fd(3).to_string(), "fd3");
+        let f = OpenFlags::RDWR | OpenFlags::CREATE;
+        assert_eq!(f.to_string(), "rw|creat");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests of the shared API types (paths, flags, records).
+
+use proptest::prelude::*;
+use rae_vfs::{split_parent, split_path, FsError, FsOp, OpOutcome, OpRecord, OpenFlags};
+
+proptest! {
+    /// from_bits(bits()) is the identity for every constructible flag
+    /// combination.
+    #[test]
+    fn open_flags_bits_roundtrip(access in 0u32..3, creat in any::<bool>(), excl in any::<bool>(),
+                                 trunc in any::<bool>(), append in any::<bool>()) {
+        let mut f = match access {
+            0 => OpenFlags::RDONLY,
+            1 => OpenFlags::WRONLY,
+            _ => OpenFlags::RDWR,
+        };
+        if creat { f |= OpenFlags::CREATE; }
+        if excl { f |= OpenFlags::EXCL; }
+        if trunc { f |= OpenFlags::TRUNC; }
+        if append { f |= OpenFlags::APPEND; }
+        prop_assert_eq!(OpenFlags::from_bits(f.bits()), Some(f));
+        // stripping creation flags is idempotent and preserves access
+        let stripped = f.without_creation();
+        prop_assert_eq!(stripped.without_creation(), stripped);
+        prop_assert_eq!(stripped.readable(), f.readable());
+        prop_assert_eq!(stripped.writable(), f.writable());
+        prop_assert!(!stripped.creates());
+        prop_assert!(!stripped.contains(OpenFlags::TRUNC));
+        prop_assert_eq!(stripped.contains(OpenFlags::APPEND), append);
+    }
+
+    /// split_path accepts exactly the well-formed paths and never
+    /// panics on arbitrary input.
+    #[test]
+    fn split_path_total_and_consistent(s in ".*") {
+        match split_path(&s) {
+            Ok(comps) => {
+                prop_assert!(s.starts_with('/'));
+                for c in &comps {
+                    prop_assert!(!c.is_empty());
+                    prop_assert!(!c.contains('/'));
+                    prop_assert_ne!(*c, ".");
+                    prop_assert_ne!(*c, "..");
+                    prop_assert!(c.len() <= rae_vfs::MAX_NAME_LEN);
+                }
+                // rebuilding the path resolves to the same components
+                let rebuilt = format!("/{}", comps.join("/"));
+                prop_assert_eq!(split_path(&rebuilt).unwrap(), comps);
+            }
+            Err(e) => {
+                prop_assert!(matches!(e, FsError::InvalidArgument | FsError::NameTooLong));
+            }
+        }
+    }
+
+    /// split_parent(p) + name == split_path(p).
+    #[test]
+    fn split_parent_agrees_with_split_path(comps in proptest::collection::vec("[a-z]{1,10}", 1..6)) {
+        let path = format!("/{}", comps.join("/"));
+        let (parent, name) = split_parent(&path).unwrap();
+        let full = split_path(&path).unwrap();
+        prop_assert_eq!(name, comps.last().unwrap().as_str());
+        prop_assert_eq!(parent.len(), full.len() - 1);
+        prop_assert_eq!(&parent[..], &full[..full.len() - 1]);
+    }
+
+    /// errno values stay within the POSIX range and runtime errors are
+    /// never "specified".
+    #[test]
+    fn errno_partition(bug_id in any::<u32>()) {
+        let errs = [
+            FsError::NotFound,
+            FsError::Exists,
+            FsError::NotDir,
+            FsError::IsDir,
+            FsError::NotEmpty,
+            FsError::NoSpace,
+            FsError::Busy,
+            FsError::DetectedBug { bug_id },
+            FsError::Corrupted { detail: format!("d{bug_id}") },
+            FsError::Internal { detail: "x".into() },
+        ];
+        for e in errs {
+            prop_assert!(e.errno() > 0 && e.errno() < 200);
+            prop_assert_ne!(e.is_specified(), e.is_runtime_error());
+        }
+    }
+
+    /// Record lifecycle invariants hold for arbitrary writes.
+    #[test]
+    fn record_lifecycle(seq in any::<u64>(), offset in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let op = FsOp::Write { fd: rae_vfs::Fd(3), offset, data };
+        prop_assert!(op.mutates_state());
+        prop_assert!(!op.is_sync_family());
+        let mut rec = OpRecord::new(seq, op);
+        prop_assert!(rec.outcome.is_pending());
+        rec.complete(OpOutcome::Written { n: 1 });
+        prop_assert!(rec.outcome.is_success());
+    }
+}

@@ -1,0 +1,209 @@
+//! Differential comparison: outcomes and whole trees.
+
+use crate::script::{ScriptOutcome, StepResult};
+use rae_vfs::{FileSystem, FileType, FsResult, OpenFlags};
+use std::collections::BTreeMap;
+
+/// One step where two implementations disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Step index in the script.
+    pub step: usize,
+    /// Result from the first implementation.
+    pub a: StepResult,
+    /// Result from the second implementation.
+    pub b: StepResult,
+}
+
+/// Compare two script outcomes step by step.
+///
+/// Returns every disagreement — per §4.3, "disagreements between the
+/// base and shadow indicate bugs in the base or missing conditions in
+/// the shadow", so the caller reports them either way.
+#[must_use]
+pub fn compare_outcomes(a: &ScriptOutcome, b: &ScriptOutcome) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    let n = a.steps.len().max(b.steps.len());
+    for i in 0..n {
+        let ra = a.steps.get(i);
+        let rb = b.steps.get(i);
+        if ra != rb {
+            out.push(Divergence {
+                step: i,
+                a: ra.cloned().unwrap_or(StepResult::SkippedBadSlot),
+                b: rb.cloned().unwrap_or(StepResult::SkippedBadSlot),
+            });
+        }
+    }
+    out
+}
+
+/// A normalized tree node for whole-filesystem comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeNode {
+    /// A directory (children are separate map entries).
+    Dir,
+    /// A regular file with its full contents and link count.
+    File {
+        /// File contents.
+        content: Vec<u8>,
+        /// Hard-link count.
+        nlink: u32,
+    },
+    /// A symlink and its target.
+    Symlink {
+        /// Link target string.
+        target: String,
+    },
+}
+
+/// Walk `fs` and dump every path (excluding `/`) with normalized
+/// content. Hard links appear at each of their paths with the shared
+/// content and link count.
+///
+/// # Errors
+///
+/// Any error from the walked filesystem.
+pub fn dump_tree(fs: &dyn FileSystem) -> FsResult<BTreeMap<String, TreeNode>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![String::from("/")];
+    while let Some(dir) = stack.pop() {
+        for entry in fs.readdir(&dir)? {
+            let path = if dir == "/" {
+                format!("/{}", entry.name)
+            } else {
+                format!("{dir}/{}", entry.name)
+            };
+            match entry.ftype {
+                FileType::Directory => {
+                    out.insert(path.clone(), TreeNode::Dir);
+                    stack.push(path);
+                }
+                FileType::Symlink => {
+                    let target = fs.readlink(&path)?;
+                    out.insert(path, TreeNode::Symlink { target });
+                }
+                FileType::Regular => {
+                    let st = fs.stat(&path)?;
+                    let fd = fs.open(&path, OpenFlags::RDONLY)?;
+                    let mut content = Vec::with_capacity(st.size as usize);
+                    let mut off = 0u64;
+                    loop {
+                        let chunk = fs.read(fd, off, 1 << 16)?;
+                        if chunk.is_empty() {
+                            break;
+                        }
+                        off += chunk.len() as u64;
+                        content.extend_from_slice(&chunk);
+                    }
+                    // sparse tails past the last byte read as zeroes
+                    content.resize(st.size as usize, 0);
+                    fs.close(fd)?;
+                    out.insert(
+                        path,
+                        TreeNode::File {
+                            content,
+                            nlink: st.nlink,
+                        },
+                    );
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compare two trees; returns human-readable difference descriptions.
+#[must_use]
+pub fn diff_trees(
+    a: &BTreeMap<String, TreeNode>,
+    b: &BTreeMap<String, TreeNode>,
+) -> Vec<String> {
+    let mut diffs = Vec::new();
+    for (path, node) in a {
+        match b.get(path) {
+            None => diffs.push(format!("{path}: present in A only")),
+            Some(other) if other != node => {
+                diffs.push(format!("{path}: content differs"));
+            }
+            _ => {}
+        }
+    }
+    for path in b.keys() {
+        if !a.contains_key(path) {
+            diffs.push(format!("{path}: present in B only"));
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{generate_script, run_script, Profile};
+    use rae_fsmodel::ModelFs;
+
+    #[test]
+    fn identical_runs_have_no_divergence() {
+        let script = generate_script(Profile::FileServer, 3, 200);
+        let a = run_script(&ModelFs::new(), &script);
+        let b = run_script(&ModelFs::new(), &script);
+        assert!(compare_outcomes(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn outcome_divergence_is_located() {
+        let script = generate_script(Profile::Varmail, 5, 50);
+        let a = run_script(&ModelFs::new(), &script);
+        let mut b = a.clone();
+        b.steps[7] = StepResult::Errno(5);
+        let divs = compare_outcomes(&a, &b);
+        assert_eq!(divs.len(), 1);
+        assert_eq!(divs[0].step, 7);
+    }
+
+    #[test]
+    fn tree_dump_and_diff() {
+        let m1 = ModelFs::new();
+        m1.mkdir("/d").unwrap();
+        let fd = m1.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m1.write(fd, 0, b"same").unwrap();
+        m1.close(fd).unwrap();
+        m1.symlink("/d/f", "/s").unwrap();
+
+        let m2 = ModelFs::new();
+        m2.mkdir("/d").unwrap();
+        let fd = m2.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m2.write(fd, 0, b"same").unwrap();
+        m2.close(fd).unwrap();
+        m2.symlink("/d/f", "/s").unwrap();
+
+        let t1 = dump_tree(&m1).unwrap();
+        let t2 = dump_tree(&m2).unwrap();
+        assert!(diff_trees(&t1, &t2).is_empty());
+
+        // diverge: change content in m2
+        let fd = m2.open("/d/f", OpenFlags::RDWR).unwrap();
+        m2.write(fd, 0, b"DIFF").unwrap();
+        m2.close(fd).unwrap();
+        m2.mkdir("/extra").unwrap();
+        let t2 = dump_tree(&m2).unwrap();
+        let diffs = diff_trees(&t1, &t2);
+        assert_eq!(diffs.len(), 2);
+        assert!(diffs.iter().any(|d| d.contains("/d/f")));
+        assert!(diffs.iter().any(|d| d.contains("/extra")));
+    }
+
+    #[test]
+    fn tree_dump_captures_sparse_sizes() {
+        let m = ModelFs::new();
+        let fd = m.open("/sparse", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        m.close(fd).unwrap();
+        m.setattr("/sparse", rae_vfs::SetAttr { size: Some(9000), mtime: None }).unwrap();
+        let t = dump_tree(&m).unwrap();
+        match &t["/sparse"] {
+            TreeNode::File { content, .. } => assert_eq!(content.len(), 9000),
+            other => panic!("{other:?}"),
+        }
+    }
+}

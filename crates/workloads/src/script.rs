@@ -1,0 +1,669 @@
+//! Seeded operation scripts.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rae_vfs::{Fd, FileSystem, FsError, OpenFlags, SetAttr};
+use serde::{Deserialize, Serialize};
+
+/// One scripted step. Descriptor-valued steps refer to *slots* (the
+/// n-th successful open in script order), so the same script drives any
+/// [`FileSystem`] implementation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field meanings mirror the FileSystem API
+pub enum ScriptOp {
+    Open { path: String, flags_bits: u32 },
+    Close { slot: usize },
+    Write { slot: usize, offset: u64, data: Vec<u8> },
+    Read { slot: usize, offset: u64, len: usize },
+    Truncate { slot: usize, size: u64 },
+    Fsync { slot: usize },
+    Sync,
+    Mkdir { path: String },
+    Rmdir { path: String },
+    Unlink { path: String },
+    Rename { from: String, to: String },
+    Link { existing: String, new: String },
+    Symlink { target: String, linkpath: String },
+    Readlink { path: String },
+    Stat { path: String },
+    Fstat { slot: usize },
+    Readdir { path: String },
+    SetSize { path: String, size: u64 },
+}
+
+/// Workload mixes, loosely modelled on the classic filebench personas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Mail-server style: create / append / fsync / read / delete, many
+    /// small files (metadata-heavy).
+    Varmail,
+    /// Mixed file service: create/write/read/stat/delete across a
+    /// directory tree.
+    FileServer,
+    /// Read-mostly over a pre-created working set.
+    WebServer,
+    /// One large file, sequential writes then sequential reads.
+    SequentialIo,
+    /// One large file, random 4K reads/writes.
+    RandomIo,
+    /// Uniform chaos over every operation type (differential testing).
+    Chaos,
+}
+
+impl Profile {
+    /// All profiles, for sweep harnesses.
+    pub const ALL: [Profile; 6] = [
+        Profile::Varmail,
+        Profile::FileServer,
+        Profile::WebServer,
+        Profile::SequentialIo,
+        Profile::RandomIo,
+        Profile::Chaos,
+    ];
+
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Varmail => "varmail",
+            Profile::FileServer => "fileserver",
+            Profile::WebServer => "webserver",
+            Profile::SequentialIo => "seqio",
+            Profile::RandomIo => "randio",
+            Profile::Chaos => "chaos",
+        }
+    }
+}
+
+/// Tracker used during generation so scripts are mostly-valid (a
+/// controlled fraction of steps intentionally target bogus paths to
+/// exercise error paths).
+struct GenState {
+    rng: SmallRng,
+    dirs: Vec<String>,
+    files: Vec<String>,
+    symlinks: Vec<String>,
+    open_slots: Vec<(usize, bool)>, // (slot, writable)
+    next_slot: usize,
+    next_name: u64,
+}
+
+impl GenState {
+    fn new(seed: u64) -> GenState {
+        GenState {
+            rng: SmallRng::seed_from_u64(seed),
+            dirs: vec!["/".to_string()],
+            files: Vec::new(),
+            symlinks: Vec::new(),
+            open_slots: Vec::new(),
+            next_slot: 0,
+            next_name: 0,
+        }
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.next_name += 1;
+        format!("{prefix}{:05}", self.next_name)
+    }
+
+    fn random_dir(&mut self) -> String {
+        self.dirs.choose(&mut self.rng).cloned().unwrap_or_else(|| "/".into())
+    }
+
+    fn random_file(&mut self) -> Option<String> {
+        self.files.choose(&mut self.rng).cloned()
+    }
+
+    fn join(dir: &str, name: &str) -> String {
+        if dir == "/" {
+            format!("/{name}")
+        } else {
+            format!("{dir}/{name}")
+        }
+    }
+
+    fn payload(&mut self, max: usize) -> Vec<u8> {
+        let len = self.rng.gen_range(1..=max);
+        let mut v = vec![0u8; len];
+        self.rng.fill(&mut v[..]);
+        v
+    }
+}
+
+fn rw_create_bits() -> u32 {
+    (OpenFlags::RDWR | OpenFlags::CREATE).bits()
+}
+
+/// Generate a deterministic script.
+///
+/// The script touches only paths under `/` of the target filesystem and
+/// is sized to fit comfortably in the default 16 MiB test geometry
+/// (payloads ≤ 16 KiB, bounded file population).
+#[must_use]
+pub fn generate_script(profile: Profile, seed: u64, steps: usize) -> Vec<ScriptOp> {
+    let mut st = GenState::new(seed ^ 0xA5A5_0000);
+    let mut out = Vec::with_capacity(steps + 16);
+
+    // fixed prelude per profile
+    match profile {
+        Profile::WebServer => {
+            out.push(ScriptOp::Mkdir { path: "/site".into() });
+            st.dirs.push("/site".into());
+            for i in 0..20 {
+                let path = format!("/site/page{i:03}");
+                out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+                let slot = st.next_slot;
+                st.next_slot += 1;
+                let data = st.payload(8192);
+                out.push(ScriptOp::Write { slot, offset: 0, data });
+                out.push(ScriptOp::Close { slot });
+                st.files.push(path);
+            }
+        }
+        Profile::SequentialIo | Profile::RandomIo => {
+            out.push(ScriptOp::Open { path: "/big".into(), flags_bits: rw_create_bits() });
+            st.open_slots.push((st.next_slot, true));
+            st.next_slot += 1;
+            st.files.push("/big".into());
+        }
+        _ => {
+            out.push(ScriptOp::Mkdir { path: "/work".into() });
+            st.dirs.push("/work".into());
+        }
+    }
+
+    for step in 0..steps {
+        match profile {
+            Profile::Varmail => gen_varmail(&mut st, &mut out),
+            Profile::FileServer => gen_fileserver(&mut st, &mut out),
+            Profile::WebServer => gen_webserver(&mut st, &mut out),
+            Profile::SequentialIo => {
+                let slot = 0;
+                if step % 3 == 2 {
+                    let offset = (step as u64 / 3) * 8192;
+                    out.push(ScriptOp::Read { slot, offset, len: 8192 });
+                } else {
+                    let offset = (step as u64) * 4096 % (512 * 1024);
+                    let data = st.payload(4096);
+                    out.push(ScriptOp::Write { slot, offset, data });
+                }
+            }
+            Profile::RandomIo => {
+                let slot = 0;
+                let offset = st.rng.gen_range(0..256u64) * 4096;
+                if st.rng.gen_bool(0.5) {
+                    out.push(ScriptOp::Read { slot, offset, len: 4096 });
+                } else {
+                    let data = st.payload(4096);
+                    out.push(ScriptOp::Write { slot, offset, data });
+                }
+            }
+            Profile::Chaos => gen_chaos(&mut st, &mut out),
+        }
+    }
+
+    // close every still-open slot so scripts end quiescent
+    for (slot, _) in std::mem::take(&mut st.open_slots) {
+        out.push(ScriptOp::Close { slot });
+    }
+    out
+}
+
+fn gen_varmail(st: &mut GenState, out: &mut Vec<ScriptOp>) {
+    match st.rng.gen_range(0..10) {
+        0..=3 => {
+            // deliver: create, append, fsync, close
+            let dir = st.random_dir();
+            let path = GenState::join(&dir, &st.fresh_name("mail"));
+            out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+            let slot = st.next_slot;
+            st.next_slot += 1;
+            let data = st.payload(4096);
+            out.push(ScriptOp::Write { slot, offset: 0, data });
+            out.push(ScriptOp::Fsync { slot });
+            out.push(ScriptOp::Close { slot });
+            st.files.push(path);
+        }
+        4..=6 => {
+            // read a mailbox
+            if let Some(path) = st.random_file() {
+                out.push(ScriptOp::Open { path, flags_bits: OpenFlags::RDONLY.bits() });
+                let slot = st.next_slot;
+                st.next_slot += 1;
+                out.push(ScriptOp::Read { slot, offset: 0, len: 8192 });
+                out.push(ScriptOp::Close { slot });
+            }
+        }
+        7..=8 => {
+            // expunge
+            if !st.files.is_empty() {
+                let idx = st.rng.gen_range(0..st.files.len());
+                let path = st.files.swap_remove(idx);
+                out.push(ScriptOp::Unlink { path });
+            }
+        }
+        _ => {
+            let dir = GenState::join(&st.random_dir(), &st.fresh_name("box"));
+            out.push(ScriptOp::Mkdir { path: dir.clone() });
+            if st.dirs.len() < 12 {
+                st.dirs.push(dir);
+            }
+        }
+    }
+}
+
+fn gen_fileserver(st: &mut GenState, out: &mut Vec<ScriptOp>) {
+    match st.rng.gen_range(0..12) {
+        0..=2 => {
+            let dir = st.random_dir();
+            let path = GenState::join(&dir, &st.fresh_name("f"));
+            out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+            let slot = st.next_slot;
+            st.next_slot += 1;
+            let data = st.payload(16384);
+            out.push(ScriptOp::Write { slot, offset: 0, data });
+            out.push(ScriptOp::Close { slot });
+            st.files.push(path);
+        }
+        3..=5 => {
+            if let Some(path) = st.random_file() {
+                out.push(ScriptOp::Open { path, flags_bits: OpenFlags::RDONLY.bits() });
+                let slot = st.next_slot;
+                st.next_slot += 1;
+                let offset = st.rng.gen_range(0..4u64) * 4096;
+                out.push(ScriptOp::Read { slot, offset, len: 4096 });
+                out.push(ScriptOp::Close { slot });
+            }
+        }
+        6..=7 => {
+            if let Some(path) = st.random_file() {
+                out.push(ScriptOp::Stat { path });
+            }
+        }
+        8 => {
+            let dir = st.random_dir();
+            out.push(ScriptOp::Readdir { path: dir });
+        }
+        9 => {
+            if !st.files.is_empty() {
+                let idx = st.rng.gen_range(0..st.files.len());
+                let path = st.files.swap_remove(idx);
+                out.push(ScriptOp::Unlink { path });
+            }
+        }
+        10 => {
+            if let Some(from) = st.random_file() {
+                let dir = st.random_dir();
+                let to = GenState::join(&dir, &st.fresh_name("mv"));
+                out.push(ScriptOp::Rename { from: from.clone(), to: to.clone() });
+                if let Some(pos) = st.files.iter().position(|f| *f == from) {
+                    st.files[pos] = to;
+                }
+            }
+        }
+        _ => {
+            let dir = GenState::join(&st.random_dir(), &st.fresh_name("d"));
+            out.push(ScriptOp::Mkdir { path: dir.clone() });
+            if st.dirs.len() < 16 {
+                st.dirs.push(dir);
+            }
+        }
+    }
+}
+
+fn gen_webserver(st: &mut GenState, out: &mut Vec<ScriptOp>) {
+    if st.rng.gen_bool(0.9) {
+        if let Some(path) = st.random_file() {
+            out.push(ScriptOp::Open { path, flags_bits: OpenFlags::RDONLY.bits() });
+            let slot = st.next_slot;
+            st.next_slot += 1;
+            out.push(ScriptOp::Read { slot, offset: 0, len: 8192 });
+            out.push(ScriptOp::Close { slot });
+        }
+    } else {
+        // log append
+        out.push(ScriptOp::Open {
+            path: "/access.log".into(),
+            flags_bits: (OpenFlags::WRONLY | OpenFlags::CREATE | OpenFlags::APPEND).bits(),
+        });
+        let slot = st.next_slot;
+        st.next_slot += 1;
+        let data = st.payload(256);
+        out.push(ScriptOp::Write { slot, offset: 0, data });
+        out.push(ScriptOp::Close { slot });
+        if !st.files.contains(&"/access.log".to_string()) {
+            st.files.push("/access.log".into());
+        }
+    }
+}
+
+fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
+    match st.rng.gen_range(0..18) {
+        0..=2 => {
+            let dir = st.random_dir();
+            let path = GenState::join(&dir, &st.fresh_name("c"));
+            out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+            st.open_slots.push((st.next_slot, true));
+            st.next_slot += 1;
+            st.files.push(path);
+        }
+        3 => {
+            if !st.open_slots.is_empty() {
+                let idx = st.rng.gen_range(0..st.open_slots.len());
+                let (slot, _) = st.open_slots.swap_remove(idx);
+                out.push(ScriptOp::Close { slot });
+            }
+        }
+        4..=6 => {
+            if !st.open_slots.is_empty() {
+                let (slot, _) = st.open_slots[st.rng.gen_range(0..st.open_slots.len())];
+                let offset = st.rng.gen_range(0..32u64) * 1024;
+                let data = st.payload(4096);
+                out.push(ScriptOp::Write { slot, offset, data });
+            }
+        }
+        7..=8 => {
+            if !st.open_slots.is_empty() {
+                let (slot, _) = st.open_slots[st.rng.gen_range(0..st.open_slots.len())];
+                out.push(ScriptOp::Read {
+                    slot,
+                    offset: st.rng.gen_range(0..64u64) * 512,
+                    len: 2048,
+                });
+            }
+        }
+        9 => {
+            if !st.open_slots.is_empty() {
+                let (slot, _) = st.open_slots[st.rng.gen_range(0..st.open_slots.len())];
+                out.push(ScriptOp::Truncate { slot, size: st.rng.gen_range(0..20_000) });
+            }
+        }
+        10 => {
+            let dir = GenState::join(&st.random_dir(), &st.fresh_name("d"));
+            out.push(ScriptOp::Mkdir { path: dir.clone() });
+            if st.dirs.len() < 10 {
+                st.dirs.push(dir);
+            }
+        }
+        11 => {
+            // sometimes target a nonexistent path on purpose
+            if st.rng.gen_bool(0.5) {
+                out.push(ScriptOp::Rmdir { path: "/no/such/dir".into() });
+            } else if st.dirs.len() > 1 {
+                let idx = st.rng.gen_range(1..st.dirs.len());
+                let path = st.dirs[idx].clone();
+                out.push(ScriptOp::Rmdir { path });
+            }
+        }
+        12 => {
+            if st.rng.gen_bool(0.3) {
+                out.push(ScriptOp::Unlink { path: "/phantom".into() });
+            } else if !st.files.is_empty() {
+                let idx = st.rng.gen_range(0..st.files.len());
+                let path = st.files.swap_remove(idx);
+                out.push(ScriptOp::Unlink { path });
+            }
+        }
+        13 => {
+            if let Some(from) = st.random_file() {
+                let to = GenState::join(&st.random_dir(), &st.fresh_name("r"));
+                out.push(ScriptOp::Rename { from: from.clone(), to: to.clone() });
+                if let Some(pos) = st.files.iter().position(|f| *f == from) {
+                    st.files[pos] = to;
+                }
+            }
+        }
+        14 => {
+            if let Some(existing) = st.random_file() {
+                let new = GenState::join(&st.random_dir(), &st.fresh_name("l"));
+                out.push(ScriptOp::Link { existing, new: new.clone() });
+                st.files.push(new);
+            }
+        }
+        15 => {
+            let target = st.random_file().unwrap_or_else(|| "/dangling".into());
+            let linkpath = GenState::join(&st.random_dir(), &st.fresh_name("s"));
+            out.push(ScriptOp::Symlink { target, linkpath: linkpath.clone() });
+            st.symlinks.push(linkpath);
+        }
+        16 => {
+            if let Some(path) = st.symlinks.choose(&mut st.rng).cloned() {
+                out.push(ScriptOp::Readlink { path });
+            } else if !st.open_slots.is_empty() {
+                let (slot, _) = st.open_slots[st.rng.gen_range(0..st.open_slots.len())];
+                out.push(ScriptOp::Fstat { slot });
+            } else if let Some(path) = st.random_file() {
+                out.push(ScriptOp::Stat { path });
+            }
+        }
+        _ => {
+            let dir = st.random_dir();
+            out.push(ScriptOp::Readdir { path: dir });
+            if let Some(path) = st.random_file() {
+                if st.rng.gen_bool(0.3) {
+                    out.push(ScriptOp::SetSize { path, size: st.rng.gen_range(0..10_000) });
+                }
+            }
+        }
+    }
+}
+
+/// Normalized result of one step, comparable across implementations.
+///
+/// Inode numbers, timestamps, and block counts are excluded (policy
+/// decisions per §3.3); directory listings are compared as sorted
+/// `(name, type)` pairs; errors compare by errno.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepResult {
+    /// Operation succeeded with no comparable value.
+    Ok,
+    /// `open` succeeded; descriptor number is part of the spec.
+    OpenedFd(u32),
+    /// `read` returned these bytes.
+    Data(Vec<u8>),
+    /// Bytes accepted by `write`.
+    Wrote(usize),
+    /// `stat`/`fstat`: type tag, size (files/symlinks only), nlink.
+    Meta {
+        /// File type name.
+        ftype: String,
+        /// Size (zeroed for directories — implementation-defined).
+        size: u64,
+        /// Link count.
+        nlink: u32,
+    },
+    /// Sorted directory listing.
+    Listing(Vec<(String, String)>),
+    /// Symlink target.
+    Target(String),
+    /// The step failed with this errno.
+    Errno(i32),
+    /// The step referenced an unopened slot (script bookkeeping).
+    SkippedBadSlot,
+}
+
+/// Outcome of running a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptOutcome {
+    /// Per-step normalized results.
+    pub steps: Vec<StepResult>,
+    /// Steps that returned errors.
+    pub errors: u64,
+    /// Total bytes read + written.
+    pub bytes_moved: u64,
+}
+
+fn norm<T>(r: Result<T, FsError>, ok: impl FnOnce(T) -> StepResult) -> StepResult {
+    match r {
+        Ok(v) => ok(v),
+        Err(e) => StepResult::Errno(e.errno()),
+    }
+}
+
+/// Run `script` against `fs`, producing normalized results.
+pub fn run_script(fs: &dyn FileSystem, script: &[ScriptOp]) -> ScriptOutcome {
+    let mut slots: Vec<Option<Fd>> = Vec::new();
+    let mut steps = Vec::with_capacity(script.len());
+    let mut errors = 0u64;
+    let mut bytes_moved = 0u64;
+
+    for op in script {
+        let result = match op {
+            ScriptOp::Open { path, flags_bits } => {
+                let flags = OpenFlags::from_bits(*flags_bits).unwrap_or_else(OpenFlags::empty);
+                let r = fs.open(path, flags);
+                match r {
+                    Ok(fd) => {
+                        slots.push(Some(fd));
+                        StepResult::OpenedFd(fd.0)
+                    }
+                    Err(e) => {
+                        slots.push(None);
+                        StepResult::Errno(e.errno())
+                    }
+                }
+            }
+            ScriptOp::Close { slot } => match slots.get_mut(*slot).and_then(Option::take) {
+                Some(fd) => norm(fs.close(fd), |()| StepResult::Ok),
+                None => StepResult::SkippedBadSlot,
+            },
+            ScriptOp::Write { slot, offset, data } => match slot_fd(&slots, *slot) {
+                Some(fd) => {
+                    let r = fs.write(fd, *offset, data);
+                    if let Ok(n) = &r {
+                        bytes_moved += *n as u64;
+                    }
+                    norm(r, StepResult::Wrote)
+                }
+                None => StepResult::SkippedBadSlot,
+            },
+            ScriptOp::Read { slot, offset, len } => match slot_fd(&slots, *slot) {
+                Some(fd) => {
+                    let r = fs.read(fd, *offset, *len);
+                    if let Ok(d) = &r {
+                        bytes_moved += d.len() as u64;
+                    }
+                    norm(r, StepResult::Data)
+                }
+                None => StepResult::SkippedBadSlot,
+            },
+            ScriptOp::Truncate { slot, size } => match slot_fd(&slots, *slot) {
+                Some(fd) => norm(fs.truncate(fd, *size), |()| StepResult::Ok),
+                None => StepResult::SkippedBadSlot,
+            },
+            ScriptOp::Fsync { slot } => match slot_fd(&slots, *slot) {
+                Some(fd) => norm(fs.fsync(fd), |()| StepResult::Ok),
+                None => StepResult::SkippedBadSlot,
+            },
+            ScriptOp::Sync => norm(fs.sync(), |()| StepResult::Ok),
+            ScriptOp::Mkdir { path } => norm(fs.mkdir(path), |()| StepResult::Ok),
+            ScriptOp::Rmdir { path } => norm(fs.rmdir(path), |()| StepResult::Ok),
+            ScriptOp::Unlink { path } => norm(fs.unlink(path), |()| StepResult::Ok),
+            ScriptOp::Rename { from, to } => norm(fs.rename(from, to), |()| StepResult::Ok),
+            ScriptOp::Link { existing, new } => norm(fs.link(existing, new), |()| StepResult::Ok),
+            ScriptOp::Symlink { target, linkpath } => {
+                norm(fs.symlink(target, linkpath), |()| StepResult::Ok)
+            }
+            ScriptOp::Readlink { path } => norm(fs.readlink(path), StepResult::Target),
+            ScriptOp::Stat { path } => norm(fs.stat(path), normalize_stat),
+            ScriptOp::Fstat { slot } => match slot_fd(&slots, *slot) {
+                Some(fd) => norm(fs.fstat(fd), normalize_stat),
+                None => StepResult::SkippedBadSlot,
+            },
+            ScriptOp::Readdir { path } => norm(fs.readdir(path), |entries| {
+                let mut listing: Vec<(String, String)> = entries
+                    .into_iter()
+                    .map(|e| (e.name, e.ftype.to_string()))
+                    .collect();
+                listing.sort();
+                StepResult::Listing(listing)
+            }),
+            ScriptOp::SetSize { path, size } => norm(
+                fs.setattr(path, SetAttr { size: Some(*size), mtime: None }),
+                |()| StepResult::Ok,
+            ),
+        };
+        if matches!(result, StepResult::Errno(_)) {
+            errors += 1;
+        }
+        steps.push(result);
+    }
+    ScriptOutcome {
+        steps,
+        errors,
+        bytes_moved,
+    }
+}
+
+fn slot_fd(slots: &[Option<Fd>], slot: usize) -> Option<Fd> {
+    slots.get(slot).copied().flatten()
+}
+
+fn normalize_stat(st: rae_vfs::FileStat) -> StepResult {
+    StepResult::Meta {
+        ftype: st.ftype.to_string(),
+        size: if st.ftype == rae_vfs::FileType::Directory {
+            0
+        } else {
+            st.size
+        },
+        nlink: st.nlink,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rae_fsmodel::ModelFs;
+
+    #[test]
+    fn scripts_are_deterministic() {
+        for profile in Profile::ALL {
+            let a = generate_script(profile, 7, 100);
+            let b = generate_script(profile, 7, 100);
+            assert_eq!(a, b, "{}", profile.name());
+            let c = generate_script(profile, 8, 100);
+            assert_ne!(a, c, "{} ignores the seed", profile.name());
+        }
+    }
+
+    #[test]
+    fn scripts_run_cleanly_on_the_model() {
+        for profile in Profile::ALL {
+            let script = generate_script(profile, 42, 300);
+            let model = ModelFs::new();
+            let outcome = run_script(&model, &script);
+            assert_eq!(outcome.steps.len(), script.len());
+            // chaos intentionally generates some errors; others mostly
+            // succeed
+            if profile != Profile::Chaos {
+                let error_rate = outcome.errors as f64 / script.len() as f64;
+                assert!(
+                    error_rate < 0.05,
+                    "{}: {:.0}% errors",
+                    profile.name(),
+                    error_rate * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_script_same_model_same_outcome() {
+        let script = generate_script(Profile::Chaos, 11, 400);
+        let a = run_script(&ModelFs::new(), &script);
+        let b = run_script(&ModelFs::new(), &script);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn profiles_have_distinct_shapes() {
+        let varmail = generate_script(Profile::Varmail, 1, 200);
+        let web = generate_script(Profile::WebServer, 1, 200);
+        let fsyncs = |s: &[ScriptOp]| s.iter().filter(|o| matches!(o, ScriptOp::Fsync { .. })).count();
+        let reads = |s: &[ScriptOp]| s.iter().filter(|o| matches!(o, ScriptOp::Read { .. })).count();
+        assert!(fsyncs(&varmail) > fsyncs(&web), "varmail fsyncs heavily");
+        assert!(reads(&web) > reads(&varmail), "webserver reads heavily");
+    }
+}

@@ -1,0 +1,189 @@
+//! Crash-consistency integration: the journal must make every
+//! crash/remount land on a consistent image with all synced state
+//! present, including crashes carved at arbitrary write-cut points.
+
+use rae_basefs::{BaseFs, BaseFsConfig};
+use rae_blockdev::{BlockDevice, DiskFaultPlan, FaultyDisk, MemDisk, WriteCutMode};
+use rae_faults::FaultRegistry;
+use rae_fsformat::{fsck, mkfs, MkfsParams};
+use rae_vfs::{FileSystem, OpenFlags};
+use std::sync::Arc;
+
+fn params() -> MkfsParams {
+    MkfsParams {
+        total_blocks: 8192,
+        inode_count: 2048,
+        journal_blocks: 128,
+    }
+}
+
+fn rw_create() -> OpenFlags {
+    OpenFlags::RDWR | OpenFlags::CREATE
+}
+
+/// Run a deterministic workload with periodic fsync against a device
+/// that silently drops all writes after `cut`: everything after the cut
+/// never reaches the "platter", emulating a machine crash at that
+/// instant. Returns the surviving image.
+fn run_until_cut(cut: u64) -> Vec<u8> {
+    let mem = MemDisk::new(8192);
+    mkfs(&mem, params()).unwrap();
+    let dev = Arc::new(FaultyDisk::with_plan(
+        mem,
+        DiskFaultPlan::new().cut_writes_after(cut, WriteCutMode::SilentDrop),
+    ));
+    let fs = BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    let mut synced = 0usize;
+    for i in 0..60 {
+        let dir = format!("/d{}", i % 5);
+        let _ = fs.mkdir(&dir);
+        if let Ok(fd) = fs.open(&format!("{dir}/f{i}"), rw_create()) {
+            let _ = fs.write(fd, 0, &vec![i as u8; 3000]);
+            let _ = fs.close(fd);
+        }
+        if i % 10 == 9 && fs.sync().is_ok() {
+            synced = i + 1;
+        }
+    }
+    let _ = synced;
+    fs.crash();
+    dev.inner().snapshot()
+}
+
+#[test]
+fn every_crash_point_yields_recoverable_image() {
+    // sweep crash points through the interesting range
+    for cut in [5u64, 25, 60, 120, 200, 400, 800] {
+        let image = run_until_cut(cut);
+        let dev = Arc::new(MemDisk::from_image(&image));
+        // mount replays the journal; the result must be consistent
+        let fs =
+            BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+        // tree must be walkable (no corruption)
+        let mut stack = vec![String::from("/")];
+        let mut files = 0usize;
+        while let Some(dir) = stack.pop() {
+            for e in fs.readdir(&dir).unwrap() {
+                let path = if dir == "/" {
+                    format!("/{}", e.name)
+                } else {
+                    format!("{dir}/{}", e.name)
+                };
+                match e.ftype {
+                    rae_vfs::FileType::Directory => stack.push(path),
+                    _ => {
+                        files += 1;
+                        let st = fs.stat(&path).unwrap();
+                        if st.ftype == rae_vfs::FileType::Regular && st.size > 0 {
+                            let fd = fs.open(&path, OpenFlags::RDONLY).unwrap();
+                            let _ = fs.read(fd, 0, st.size as usize).unwrap();
+                            fs.close(fd).unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        let _ = files;
+        fs.unmount().unwrap();
+        let report = fsck(dev.as_ref()).unwrap();
+        assert!(report.is_clean(), "cut={cut}: {report}");
+    }
+}
+
+#[test]
+fn synced_data_survives_any_later_crash() {
+    // phase 1: write + sync a known tree, snapshot the device
+    let mem = MemDisk::new(8192);
+    mkfs(&mem, params()).unwrap();
+    let dev = Arc::new(mem);
+    let fs = BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    fs.mkdir("/safe").unwrap();
+    for i in 0..10 {
+        let fd = fs.open(&format!("/safe/f{i}"), rw_create()).unwrap();
+        fs.write(fd, 0, format!("durable-{i}").as_bytes()).unwrap();
+        fs.close(fd).unwrap();
+    }
+    fs.sync().unwrap();
+    // phase 2: unsynced churn, then crash
+    for i in 0..30 {
+        let fd = fs.open(&format!("/volatile{i}"), rw_create()).unwrap();
+        fs.write(fd, 0, b"gone").unwrap();
+        fs.close(fd).unwrap();
+    }
+    fs.crash();
+
+    let fs2 = BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    for i in 0..10 {
+        let fd = fs2.open(&format!("/safe/f{i}"), OpenFlags::RDONLY).unwrap();
+        assert_eq!(
+            fs2.read(fd, 0, 20).unwrap(),
+            format!("durable-{i}").as_bytes()
+        );
+        fs2.close(fd).unwrap();
+    }
+    fs2.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+#[test]
+fn double_crash_replay_is_idempotent() {
+    let mem = MemDisk::new(8192);
+    mkfs(&mem, params()).unwrap();
+    let dev = Arc::new(mem);
+    {
+        let fs =
+            BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+        fs.mkdir("/committed").unwrap();
+        fs.sync().unwrap();
+        fs.crash();
+    }
+    // first remount replays; crash immediately again
+    {
+        let fs =
+            BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+        assert!(fs.stat("/committed").is_ok());
+        fs.crash();
+    }
+    // second remount must still see the same state
+    let fs = BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    assert!(fs.stat("/committed").is_ok());
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+#[test]
+fn rae_handles_transient_device_write_errors_at_sync() {
+    use rae::{RaeConfig, RaeFs};
+    // a transient write error in the journal region surfaces at
+    // sync/commit; RAE recovers instead of failing the application
+    let mem = MemDisk::new(8192);
+    mkfs(&mem, params()).unwrap();
+    let plan = DiskFaultPlan::new().fail_writes(
+        rae_blockdev::FaultTarget::Range { start: 1, end: 129 }, // journal
+        rae_blockdev::TriggerMode::Nth(3),
+    );
+    let dev = Arc::new(FaultyDisk::with_plan(mem, plan));
+    let fs = RaeFs::mount(
+        dev.clone() as Arc<dyn BlockDevice>,
+        RaeConfig {
+            base: BaseFsConfig {
+                faults: FaultRegistry::new(),
+                ..BaseFsConfig::default()
+            },
+            ..RaeConfig::default()
+        },
+    )
+    .unwrap();
+    fs.mkdir("/a").unwrap();
+    fs.sync().unwrap(); // journal write #3 fails -> runtime error -> recovery + re-issue
+    assert!(fs.stats().recoveries >= 1, "{:?}", fs.stats());
+    assert!(fs.stat("/a").is_ok());
+
+    // after recovery, durability still holds across a crash
+    fs.mkdir("/b").unwrap();
+    fs.sync().unwrap();
+    drop(fs);
+    let fs2 = BaseFs::mount(dev as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    assert!(fs2.stat("/a").is_ok());
+    assert!(fs2.stat("/b").is_ok());
+}

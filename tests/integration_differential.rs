@@ -1,0 +1,162 @@
+//! Differential conformance: the base, the shadow-as-primary, the RAE
+//! wrapper, and the executable specification must agree on every
+//! profile (§4.3's testing phase, as an integration gate).
+
+use rae::{RaeConfig, RaeFs};
+use rae_basefs::{BaseFs, BaseFsConfig};
+use rae_blockdev::{BlockDevice, MemDisk};
+use rae_fsformat::{mkfs, MkfsParams};
+use rae_fsmodel::ModelFs;
+use rae_shadowfs::{ShadowAsPrimary, ShadowOpts};
+use rae_vfs::FileSystem;
+use rae_workloads::{
+    compare_outcomes, diff_trees, dump_tree, generate_script, run_script, Profile,
+};
+use std::sync::Arc;
+
+fn fresh_base() -> BaseFs {
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 4096,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    BaseFs::mount(dev as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap()
+}
+
+fn fresh_shadow() -> ShadowAsPrimary {
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 4096,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    ShadowAsPrimary::load(dev as Arc<dyn BlockDevice>, ShadowOpts::default()).unwrap()
+}
+
+fn fresh_rae() -> RaeFs {
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 4096,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    RaeFs::mount(dev as Arc<dyn BlockDevice>, RaeConfig::default()).unwrap()
+}
+
+fn assert_conforms(name: &str, script_profile: Profile, seed: u64, steps: usize, fs: &dyn FileSystem) {
+    let script = generate_script(script_profile, seed, steps);
+    let model = ModelFs::new();
+    let expected = run_script(&model, &script);
+    let actual = run_script(fs, &script);
+    let divergences = compare_outcomes(&expected, &actual);
+    assert!(
+        divergences.is_empty(),
+        "{name} diverged from the spec on {} (seed {seed}): first at step {}: {:?} vs {:?} (op: {:?})",
+        script_profile.name(),
+        divergences[0].step,
+        divergences[0].a,
+        divergences[0].b,
+        script[divergences[0].step],
+    );
+    // final trees must agree too
+    let t_expected = dump_tree(&model).unwrap();
+    let t_actual = dump_tree(fs).unwrap();
+    let diffs = diff_trees(&t_expected, &t_actual);
+    assert!(diffs.is_empty(), "{name} tree differs: {diffs:?}");
+}
+
+#[test]
+fn base_conforms_to_spec_on_all_profiles() {
+    for profile in Profile::ALL {
+        for seed in [1u64, 2, 3] {
+            let base = fresh_base();
+            assert_conforms("base", profile, seed, 400, &base);
+        }
+    }
+}
+
+#[test]
+fn shadow_conforms_to_spec_on_all_profiles() {
+    for profile in Profile::ALL {
+        for seed in [1u64, 2, 3] {
+            let shadow = fresh_shadow();
+            assert_conforms("shadow", profile, seed, 400, &shadow);
+        }
+    }
+}
+
+#[test]
+fn rae_conforms_to_spec_on_all_profiles() {
+    for profile in Profile::ALL {
+        for seed in [4u64, 5] {
+            let rae = fresh_rae();
+            assert_conforms("rae", profile, seed, 300, &rae);
+            assert_eq!(rae.stats().recoveries, 0, "no faults were armed");
+        }
+    }
+}
+
+#[test]
+fn long_chaos_runs_agree_across_all_four_implementations() {
+    let script = generate_script(Profile::Chaos, 777, 1500);
+    let model = ModelFs::new();
+    let base = fresh_base();
+    let shadow = fresh_shadow();
+    let rae = fresh_rae();
+
+    let reference = run_script(&model, &script);
+    for (name, fs) in [
+        ("base", &base as &dyn FileSystem),
+        ("shadow", &shadow as &dyn FileSystem),
+        ("rae", &rae as &dyn FileSystem),
+    ] {
+        let outcome = run_script(fs, &script);
+        let divergences = compare_outcomes(&reference, &outcome);
+        assert!(
+            divergences.is_empty(),
+            "{name}: {} divergences, first at step {}: {:?} vs {:?}",
+            divergences.len(),
+            divergences[0].step,
+            divergences[0].a,
+            divergences[0].b,
+        );
+    }
+}
+
+#[test]
+fn base_survives_unmount_remount_with_identical_tree() {
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 4096,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    let base =
+        BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    let script = generate_script(Profile::FileServer, 21, 500);
+    let _ = run_script(&base, &script);
+    let before = dump_tree(&base).unwrap();
+    base.unmount().unwrap();
+
+    let base2 = BaseFs::mount(dev as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    let after = dump_tree(&base2).unwrap();
+    let diffs = diff_trees(&before, &after);
+    assert!(diffs.is_empty(), "remount changed the tree: {diffs:?}");
+}
