@@ -76,7 +76,10 @@ impl Allocators {
 
     /// Allocate an inode number (next-fit from the rotating hint).
     pub(crate) fn alloc_ino(&mut self, pages: &PageCache) -> FsResult<InodeNo> {
-        let bit = self.ibm.find_free_from(self.ino_hint).ok_or(FsError::NoInodes)?;
+        let bit = self
+            .ibm
+            .find_free_from(self.ino_hint)
+            .ok_or(FsError::NoInodes)?;
         if bit == 0 {
             // bit 0 is the reserved null inode; it is always set, so
             // find_free_from can never legitimately return it
@@ -111,7 +114,10 @@ impl Allocators {
 
     /// Allocate a data block, returning its absolute block number.
     pub(crate) fn alloc_block(&mut self, pages: &PageCache) -> FsResult<u64> {
-        let bit = self.dbm.find_free_from(self.blk_hint).ok_or(FsError::NoSpace)?;
+        let bit = self
+            .dbm
+            .find_free_from(self.blk_hint)
+            .ok_or(FsError::NoSpace)?;
         let prev = self.dbm.set(bit)?;
         debug_assert!(!prev);
         self.blk_hint = (bit + 1) % self.geo.data_blocks;

@@ -437,7 +437,8 @@ impl BaseFs {
 
     fn store_inode(&self, inner: &mut Inner, ino: InodeNo, inode: &DiskInode) -> FsResult<()> {
         let (bno, off) = self.geo.inode_location(ino)?;
-        self.pages.update(bno, off, &inode.encode(), PageClass::Meta)?;
+        self.pages
+            .update(bno, off, &inode.encode(), PageClass::Meta)?;
         inner.icache.insert(ino, *inode);
         Ok(())
     }
@@ -686,8 +687,8 @@ impl BaseFs {
                 inode.blocks -= 1;
             } else {
                 // free fully-vacated L1 blocks
-                let first_live_l1 = ((new_nb - covered).saturating_sub(1) / PTRS_PER_BLOCK as u64
-                    + 1) as usize;
+                let first_live_l1 =
+                    ((new_nb - covered).saturating_sub(1) / PTRS_PER_BLOCK as u64 + 1) as usize;
                 for l1 in first_live_l1..PTRS_PER_BLOCK {
                     let l1p = self.read_ptr(inode.dindirect, l1)?;
                     if l1p != 0 {
@@ -981,7 +982,12 @@ impl BaseFs {
     }
 
     /// Free every block of a file/symlink inode and the inode itself.
-    fn destroy_inode(&self, inner: &mut Inner, ino: InodeNo, inode: &mut DiskInode) -> FsResult<()> {
+    fn destroy_inode(
+        &self,
+        inner: &mut Inner,
+        ino: InodeNo,
+        inode: &mut DiskInode,
+    ) -> FsResult<()> {
         self.truncate_core(inner, inode, 0)?;
         inner.alloc.free_ino(&self.pages, ino)?;
         self.clear_inode(inner, ino)
@@ -1171,7 +1177,9 @@ impl FileSystem for BaseFs {
             } else {
                 offset
             };
-            let end = at.checked_add(data.len() as u64).ok_or(FsError::FileTooBig)?;
+            let end = at
+                .checked_add(data.len() as u64)
+                .ok_or(FsError::FileTooBig)?;
             if end > MAX_FILE_SIZE {
                 return Err(FsError::FileTooBig);
             }
@@ -1634,10 +1642,8 @@ impl FileSystem for BaseFs {
                 });
             }
             let blk = self.pages.read(bno, PageClass::Data)?;
-            String::from_utf8(blk[..inode.size as usize].to_vec()).map_err(|_| {
-                FsError::Corrupted {
-                    detail: format!("symlink {ino} target is not UTF-8"),
-                }
+            String::from_utf8(blk[..inode.size as usize].to_vec()).map_err(|_| FsError::Corrupted {
+                detail: format!("symlink {ino} target is not UTF-8"),
             })
         })();
         match &result {

@@ -82,9 +82,7 @@ fn sparse_files_read_zeroes_and_survive_sync() {
 #[test]
 fn append_mode() {
     let (_dev, fs) = fresh();
-    let fd = fs
-        .open("/log", rw_create() | OpenFlags::APPEND)
-        .unwrap();
+    let fd = fs.open("/log", rw_create() | OpenFlags::APPEND).unwrap();
     fs.write(fd, 999, b"aa").unwrap();
     fs.write(fd, 0, b"bb").unwrap();
     assert_eq!(fs.read(fd, 0, 10).unwrap(), b"aabb");
@@ -131,7 +129,12 @@ fn directory_tree_operations() {
     let fd = fs.open("/a/b/file", rw_create()).unwrap();
     fs.close(fd).unwrap();
 
-    let names: Vec<String> = fs.readdir("/a/b").unwrap().into_iter().map(|e| e.name).collect();
+    let names: Vec<String> = fs
+        .readdir("/a/b")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
     assert_eq!(names.len(), 2);
     assert!(names.contains(&"c".to_string()));
     assert!(names.contains(&"file".to_string()));
@@ -162,7 +165,11 @@ fn large_directory_spans_blocks() {
         fs.unlink(&format!("/big/{:040}", i)).unwrap();
     }
     assert!(fs.readdir("/big").unwrap().is_empty());
-    assert_eq!(fs.stat("/big").unwrap().size, 0, "trailing blocks reclaimed");
+    assert_eq!(
+        fs.stat("/big").unwrap().size,
+        0,
+        "trailing blocks reclaimed"
+    );
     fs.rmdir("/big").unwrap();
 }
 
@@ -187,7 +194,10 @@ fn rename_semantics_match_the_model() {
     assert_eq!(fs.stat("/d1/d2moved/g").unwrap().size, 7);
 
     // loop prevention
-    assert_eq!(fs.rename("/d1", "/d1/d2moved/inner"), Err(FsError::RenameLoop));
+    assert_eq!(
+        fs.rename("/d1", "/d1/d2moved/inner"),
+        Err(FsError::RenameLoop)
+    );
     // replacing an open file is Busy
     let held = fs.open("/d1/d2moved/g", OpenFlags::RDONLY).unwrap();
     let fd2 = fs.open("/other", rw_create()).unwrap();
@@ -223,7 +233,10 @@ fn symlink_roundtrip() {
     fs.symlink("/target/path", "/s").unwrap();
     assert_eq!(fs.readlink("/s").unwrap(), "/target/path");
     assert_eq!(fs.stat("/s").unwrap().ftype, FileType::Symlink);
-    assert_eq!(fs.open("/s", OpenFlags::RDONLY), Err(FsError::InvalidArgument));
+    assert_eq!(
+        fs.open("/s", OpenFlags::RDONLY),
+        Err(FsError::InvalidArgument)
+    );
     fs.symlink("", "/empty").unwrap();
     assert_eq!(fs.readlink("/empty").unwrap(), "");
     fs.unlink("/s").unwrap();
@@ -245,11 +258,24 @@ fn setattr_size() {
     let fd = fs.open("/f", rw_create()).unwrap();
     fs.write(fd, 0, b"0123456789").unwrap();
     fs.close(fd).unwrap();
-    fs.setattr("/f", SetAttr { size: Some(4), mtime: None }).unwrap();
+    fs.setattr(
+        "/f",
+        SetAttr {
+            size: Some(4),
+            mtime: None,
+        },
+    )
+    .unwrap();
     assert_eq!(fs.stat("/f").unwrap().size, 4);
     fs.mkdir("/d").unwrap();
     assert_eq!(
-        fs.setattr("/d", SetAttr { size: Some(0), mtime: None }),
+        fs.setattr(
+            "/d",
+            SetAttr {
+                size: Some(0),
+                mtime: None
+            }
+        ),
         Err(FsError::IsDir)
     );
 }
@@ -639,5 +665,8 @@ fn validate_on_commit_can_be_disabled() {
     drop(fs);
     // ...and the image is now inconsistent (fsck sees the bad inode)
     let report = fsck(dev.as_ref()).unwrap();
-    assert!(!report.is_clean(), "corruption reached the platter undetected");
+    assert!(
+        !report.is_clean(),
+        "corruption reached the platter undetected"
+    );
 }

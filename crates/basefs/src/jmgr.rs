@@ -256,9 +256,13 @@ mod tests {
 
         // hand-write a descriptor for the *next* seq without a commit
         // block (simulating a crash mid-commit)
-        let tags = [TxnTag { target: t1, crc: crc32c(&img(0x22)) }];
+        let tags = [TxnTag {
+            target: t1,
+            crc: crc32c(&img(0x22)),
+        }];
         let base = geo.journal_start + mgr.write_ptr;
-        dev.write_block(base, &journal::encode_descriptor(mgr.next_seq, &tags)).unwrap();
+        dev.write_block(base, &journal::encode_descriptor(mgr.next_seq, &tags))
+            .unwrap();
         dev.write_block(base + 1, &img(0x22)).unwrap();
 
         let report = journal::replay(&dev, &geo).unwrap();

@@ -46,10 +46,10 @@ mod fdtable;
 mod fs;
 #[cfg(test)]
 mod fs_tests;
-#[cfg(test)]
-mod stress_tests;
 mod jmgr;
 mod pagecache;
+#[cfg(test)]
+mod stress_tests;
 
 pub use fs::{BaseFs, BaseFsConfig, BaseFsStats};
 pub use pagecache::PageClass;

@@ -231,13 +231,7 @@ impl PageCache {
     ///
     /// Device errors on a miss; [`FsError::Internal`] on out-of-range
     /// coordinates.
-    pub fn update(
-        &self,
-        bno: u64,
-        offset: usize,
-        bytes: &[u8],
-        class: PageClass,
-    ) -> FsResult<()> {
+    pub fn update(&self, bno: u64, offset: usize, bytes: &[u8], class: PageClass) -> FsResult<()> {
         if offset + bytes.len() > BLOCK_SIZE {
             return Err(FsError::Internal {
                 detail: "page update crosses block boundary".to_string(),
@@ -523,13 +517,27 @@ mod writeback_race_tests {
         let pc = PageCache::new(
             dev.clone(),
             2,
-            QueueConfig { nr_queues: 1, queue_depth: 1 },
+            QueueConfig {
+                nr_queues: 1,
+                queue_depth: 1,
+            },
         );
         for round in 0..50u8 {
-            pc.write(0, vec![round; BLOCK_SIZE], PageClass::Data).unwrap();
+            pc.write(0, vec![round; BLOCK_SIZE], PageClass::Data)
+                .unwrap();
             // force eviction of block 0 by touching other blocks
-            pc.write(1 + u64::from(round % 8), vec![0xEE; BLOCK_SIZE], PageClass::Data).unwrap();
-            pc.write(9 + u64::from(round % 8), vec![0xEE; BLOCK_SIZE], PageClass::Data).unwrap();
+            pc.write(
+                1 + u64::from(round % 8),
+                vec![0xEE; BLOCK_SIZE],
+                PageClass::Data,
+            )
+            .unwrap();
+            pc.write(
+                9 + u64::from(round % 8),
+                vec![0xEE; BLOCK_SIZE],
+                PageClass::Data,
+            )
+            .unwrap();
             let back = pc.read(0, PageClass::Data).unwrap();
             assert!(
                 back.iter().all(|&b| b == round),

@@ -57,7 +57,7 @@ fn tiny_cache_smaller_than_dirty_metadata_set() {
     let fs = mount(
         dev.clone(),
         BaseFsConfig {
-            page_cache_blocks: 4, // absurdly small
+            page_cache_blocks: 4,      // absurdly small
             max_dirty_meta: 1_000_000, // never autocommit
             ..BaseFsConfig::default()
         },
@@ -197,7 +197,8 @@ fn file_grows_and_shrinks_through_every_pointer_tier() {
     // direct tier (12 blocks), indirect tier (+100), double tier (one
     // far block)
     fs.write(fd, 0, &vec![1u8; 12 * BLOCK_SIZE]).unwrap();
-    fs.write(fd, 12 * BLOCK_SIZE as u64, &vec![2u8; 100 * BLOCK_SIZE]).unwrap();
+    fs.write(fd, 12 * BLOCK_SIZE as u64, &vec![2u8; 100 * BLOCK_SIZE])
+        .unwrap();
     let far = (12 + 512 + 100) as u64 * BLOCK_SIZE as u64;
     fs.write(fd, far, b"far out").unwrap();
     assert_eq!(fs.fstat(fd).unwrap().size, far + 7);
@@ -208,7 +209,8 @@ fn file_grows_and_shrinks_through_every_pointer_tier() {
     assert_eq!(fs.read(fd, far, 7).unwrap(), b"far out");
 
     // shrink tier by tier; block accounting must return to zero
-    fs.truncate(fd, (12 + 50) as u64 * BLOCK_SIZE as u64).unwrap();
+    fs.truncate(fd, (12 + 50) as u64 * BLOCK_SIZE as u64)
+        .unwrap();
     fs.truncate(fd, 6 * BLOCK_SIZE as u64).unwrap();
     fs.truncate(fd, 0).unwrap();
     assert_eq!(fs.fstat(fd).unwrap().blocks, 0);

@@ -21,7 +21,12 @@ fn bench_fs_throughput(c: &mut Criterion) {
             &script,
             |b, script| {
                 b.iter_batched(
-                    || mount_base(fresh_latency_device() as Arc<dyn BlockDevice>, FaultRegistry::new()),
+                    || {
+                        mount_base(
+                            fresh_latency_device() as Arc<dyn BlockDevice>,
+                            FaultRegistry::new(),
+                        )
+                    },
                     |fs| run_script(&fs, script),
                     criterion::BatchSize::LargeInput,
                 );

@@ -21,7 +21,12 @@ fn bench_rae_overhead(c: &mut Criterion) {
             &script,
             |b, script| {
                 b.iter_batched(
-                    || mount_base(fresh_latency_device() as Arc<dyn BlockDevice>, FaultRegistry::new()),
+                    || {
+                        mount_base(
+                            fresh_latency_device() as Arc<dyn BlockDevice>,
+                            FaultRegistry::new(),
+                        )
+                    },
                     |fs| run_script(&fs, script),
                     criterion::BatchSize::LargeInput,
                 );
@@ -33,7 +38,12 @@ fn bench_rae_overhead(c: &mut Criterion) {
             &script,
             |b, script| {
                 b.iter_batched(
-                    || mount_rae(fresh_latency_device() as Arc<dyn BlockDevice>, RaeConfig::default()),
+                    || {
+                        mount_rae(
+                            fresh_latency_device() as Arc<dyn BlockDevice>,
+                            RaeConfig::default(),
+                        )
+                    },
                     |fs| run_script(&fs, script),
                     criterion::BatchSize::LargeInput,
                 );

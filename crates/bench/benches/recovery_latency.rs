@@ -1,8 +1,9 @@
-//! Criterion bench behind experiment E3: full recovery latency as a
-//! function of the retained operation-log length.
+//! Criterion bench behind experiments E3/E3b: full recovery latency as
+//! a function of the retained operation-log length, cold replay vs
+//! warm standby handover.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rae::RaeConfig;
+use rae::{RaeConfig, StandbyOpts};
 use rae_basefs::BaseFsConfig;
 use rae_bench::harness::{fresh_device, mount_rae};
 use rae_blockdev::BlockDevice;
@@ -12,8 +13,10 @@ use rae_vfs::{FileSystem, OpenFlags};
 use std::sync::Arc;
 
 /// Build a RAE filesystem with `len` unsynced operations and a bug
-/// armed to fire on the next allocation.
-fn primed_fs(len: usize) -> rae::RaeFs {
+/// armed to fire on the next allocation. With `warm` the standby is
+/// enabled and caught up before the bug is armed, so the measured
+/// recovery drains only the in-flight tail.
+fn primed_fs(len: usize, warm: bool) -> rae::RaeFs {
     let faults = FaultRegistry::new();
     let config = RaeConfig {
         base: BaseFsConfig {
@@ -25,15 +28,29 @@ fn primed_fs(len: usize) -> rae::RaeFs {
             ..ShadowOpts::default()
         },
         max_log_records: usize::MAX,
+        standby: StandbyOpts {
+            enabled: warm,
+            ..StandbyOpts::default()
+        },
         ..RaeConfig::default()
     };
     let fs = mount_rae(fresh_device() as Arc<dyn BlockDevice>, config);
+    // Cycle over 512 distinct files so the longest sweeps fit the
+    // 4096-inode bench geometry; the log still retains `len` records.
     for k in 0..len {
         let fd = fs
-            .open(&format!("/f{k:05}"), OpenFlags::RDWR | OpenFlags::CREATE)
+            .open(
+                &format!("/f{:05}", k % 512),
+                OpenFlags::RDWR | OpenFlags::CREATE,
+            )
             .unwrap();
         fs.write(fd, 0, &[k as u8; 512]).unwrap();
         fs.close(fd).unwrap();
+    }
+    if warm {
+        while fs.stats().standby_lag > 0 {
+            std::thread::yield_now();
+        }
     }
     faults.arm(BugSpec::new(
         9000,
@@ -48,18 +65,21 @@ fn primed_fs(len: usize) -> rae::RaeFs {
 fn bench_recovery_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("recovery_latency");
     group.sample_size(10);
-    for len in [10usize, 100, 500] {
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
-            b.iter_batched(
-                || primed_fs(len),
-                |fs| {
-                    fs.mkdir("/trigger").unwrap(); // bug fires, recovery runs
-                    assert_eq!(fs.stats().recoveries, 1);
-                    fs
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+    for len in [10usize, 100, 500, 1000, 5000] {
+        for warm in [false, true] {
+            let id = BenchmarkId::new(if warm { "warm" } else { "cold" }, len);
+            group.bench_with_input(id, &len, |b, &len| {
+                b.iter_batched(
+                    || primed_fs(len, warm),
+                    |fs| {
+                        fs.mkdir("/trigger").unwrap(); // bug fires, recovery runs
+                        assert_eq!(fs.stats().recoveries, 1);
+                        fs
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
     }
     group.finish();
 }

@@ -50,15 +50,27 @@ fn bench_shadow_checks(c: &mut Criterion) {
     let configs: [(&str, ShadowOpts); 3] = [
         (
             "minimal",
-            ShadowOpts { validate_image: false, paranoid_checks: false, refinement_check: false },
+            ShadowOpts {
+                validate_image: false,
+                paranoid_checks: false,
+                refinement_check: false,
+            },
         ),
         (
             "paranoid",
-            ShadowOpts { validate_image: false, paranoid_checks: true, refinement_check: false },
+            ShadowOpts {
+                validate_image: false,
+                paranoid_checks: true,
+                refinement_check: false,
+            },
         ),
         (
             "paranoid_fsck",
-            ShadowOpts { validate_image: true, paranoid_checks: true, refinement_check: false },
+            ShadowOpts {
+                validate_image: true,
+                paranoid_checks: true,
+                refinement_check: false,
+            },
         ),
     ];
 

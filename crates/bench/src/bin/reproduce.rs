@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p rae-bench --bin reproduce -- [--fast] [targets...]
-//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e4 | e4b | e5 | e6 | e7
+//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e5 | e6 | e7
 //! ```
 
 use rae_bench::experiments::{self, Scale};
@@ -29,6 +29,7 @@ fn main() {
             "e1" => experiments::e1_base_vs_shadow(scale),
             "e2" => experiments::e2_rae_overhead(scale),
             "e3" => experiments::e3_recovery_latency(scale),
+            "e3b" => experiments::e3b_warm_recovery(scale),
             "e4" => experiments::e4_availability(scale),
             "e4b" => experiments::e4b_latency_tail(scale),
             "e5" => experiments::e5_check_cost(scale),
@@ -36,7 +37,7 @@ fn main() {
             "e7" => experiments::e7_crafted_images(),
             "trust" => experiments::trust_accounting(),
             other => {
-                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e7|e4b)");
+                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e7|e3b|e4b)");
                 std::process::exit(2);
             }
         };

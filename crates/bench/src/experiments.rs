@@ -8,7 +8,7 @@ use crate::harness::{
     fresh_device, fresh_latency_device, mount_base, mount_rae, ops_per_sec, populate_small_tree,
     timed,
 };
-use rae::{RaeConfig, RecoveryMode};
+use rae::{RaeConfig, RecoveryMode, RecoveryPath, StandbyOpts};
 use rae_basefs::BaseFsConfig;
 use rae_blockdev::{BlockDevice, MemDisk};
 use rae_faults::{standard_bug_corpus, BugSpec, Effect, FaultRegistry, Site, Trigger};
@@ -95,8 +95,11 @@ fn prepopulated_latency_device(nfiles: usize) -> Arc<rae_blockdev::FaultyDisk<Me
         }
         for i in 0..nfiles {
             let path = format!("/d{:02}/file{i:04}", i % 16);
-            let fd = base.open(&path, OpenFlags::RDWR | OpenFlags::CREATE).expect("create");
-            base.write(fd, 0, &vec![(i % 251) as u8; 8192]).expect("write");
+            let fd = base
+                .open(&path, OpenFlags::RDWR | OpenFlags::CREATE)
+                .expect("create");
+            base.write(fd, 0, &vec![(i % 251) as u8; 8192])
+                .expect("write");
             base.close(fd).expect("close");
         }
         base.unmount().expect("unmount");
@@ -301,6 +304,89 @@ pub fn e3_recovery_latency(scale: Scale) -> String {
     out
 }
 
+/// E3b: warm-standby handover vs cold replay at the same retained log
+/// length. The cold column grows with the log; the warm column only
+/// pays the contained reboot, the in-flight tail drain and the
+/// hand-off, so it should stay ~flat — the O(retained log) vs
+/// O(in-flight) separation the standby subsystem exists for.
+#[must_use]
+pub fn e3b_warm_recovery(scale: Scale) -> String {
+    let mut out = String::from(
+        "E3b: cold replay vs warm standby handover\n\
+         (unvalidated shadow; warm waits for the standby to catch up\n\
+         before the bug fires, so the drain is the in-flight tail only)\n\
+         log_len  cold_ms  cold_replayed  warm_ms  warm_drained\n",
+    );
+    for &len in scale.log_lengths {
+        let mut total = [Duration::ZERO; 2];
+        let mut replayed = [0u64; 2];
+        for (i, warm) in [false, true].into_iter().enumerate() {
+            let dev = fresh_device();
+            let faults = FaultRegistry::new();
+            let config = RaeConfig {
+                base: BaseFsConfig {
+                    faults: faults.clone(),
+                    ..BaseFsConfig::default()
+                },
+                shadow: ShadowOpts {
+                    validate_image: false,
+                    ..ShadowOpts::default()
+                },
+                max_log_records: usize::MAX,
+                standby: StandbyOpts {
+                    enabled: warm,
+                    ..StandbyOpts::default()
+                },
+                ..RaeConfig::default()
+            };
+            let fs = mount_rae(dev as Arc<dyn BlockDevice>, config);
+            for k in 0..len {
+                let fd = fs
+                    .open(&format!("/f{k:05}"), OpenFlags::RDWR | OpenFlags::CREATE)
+                    .unwrap();
+                fs.write(fd, 0, &[k as u8; 512]).unwrap();
+                fs.close(fd).unwrap();
+            }
+            if warm {
+                while fs.stats().standby_lag > 0 {
+                    std::thread::yield_now();
+                }
+            }
+            faults.arm(BugSpec::new(
+                9000,
+                "trigger",
+                Site::Alloc,
+                Trigger::Always,
+                Effect::DetectedError,
+            ));
+            fs.mkdir("/trigger").unwrap();
+            let reports = fs.recovery_reports();
+            assert_eq!(reports.len(), 1);
+            assert_eq!(
+                reports[0].path,
+                if warm {
+                    RecoveryPath::Warm
+                } else {
+                    RecoveryPath::Cold
+                }
+            );
+            total[i] = reports[0].duration;
+            replayed[i] = reports[0].records_replayed;
+        }
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let _ = writeln!(
+            out,
+            "{:>7} {:>8.2} {:>13} {:>8.2} {:>12}",
+            len,
+            ms(total[0]),
+            replayed[0],
+            ms(total[1]),
+            replayed[1],
+        );
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // E4: availability campaign
 // ---------------------------------------------------------------------
@@ -495,19 +581,35 @@ pub fn e5_check_cost(scale: Scale) -> String {
     let configs: [(&str, ShadowOpts); 4] = [
         (
             "minimal",
-            ShadowOpts { validate_image: false, paranoid_checks: false, refinement_check: false },
+            ShadowOpts {
+                validate_image: false,
+                paranoid_checks: false,
+                refinement_check: false,
+            },
         ),
         (
             "paranoid",
-            ShadowOpts { validate_image: false, paranoid_checks: true, refinement_check: false },
+            ShadowOpts {
+                validate_image: false,
+                paranoid_checks: true,
+                refinement_check: false,
+            },
         ),
         (
             "paranoid+fsck",
-            ShadowOpts { validate_image: true, paranoid_checks: true, refinement_check: false },
+            ShadowOpts {
+                validate_image: true,
+                paranoid_checks: true,
+                refinement_check: false,
+            },
         ),
         (
             "paranoid+fsck+model",
-            ShadowOpts { validate_image: true, paranoid_checks: true, refinement_check: true },
+            ShadowOpts {
+                validate_image: true,
+                paranoid_checks: true,
+                refinement_check: true,
+            },
         ),
     ];
     let mut out = String::from(
@@ -615,7 +717,11 @@ pub fn e6_differential(scale: Scale) -> String {
         0,
         clean.len(),
         clean_tree.len(),
-        if clean.is_empty() && clean_tree.is_empty() { "clean" } else { "FALSE POSITIVE" }
+        if clean.is_empty() && clean_tree.is_empty() {
+            "clean"
+        } else {
+            "FALSE POSITIVE"
+        }
     );
     out
 }
@@ -640,7 +746,10 @@ pub fn e7_crafted_images() -> String {
     // pristine populated image to corrupt
     let pristine = fresh_device();
     {
-        let base = mount_base(pristine.clone() as Arc<dyn BlockDevice>, FaultRegistry::new());
+        let base = mount_base(
+            pristine.clone() as Arc<dyn BlockDevice>,
+            FaultRegistry::new(),
+        );
         populate_small_tree(&base).expect("populate");
         base.unmount().expect("unmount");
     }
@@ -679,11 +788,14 @@ pub fn e7_crafted_images() -> String {
             Err(_) => "rejected (spec error)".to_string(),
             Ok(_) => "ACCEPTED (bad!)".to_string(),
         };
-        let _ = writeln!(out, "{:<23} {:<20} {:<22}", case.name, base_cell, shadow_cell);
+        let _ = writeln!(
+            out,
+            "{:<23} {:<20} {:<22}",
+            case.name, base_cell, shadow_cell
+        );
     }
     out
 }
-
 
 // ---------------------------------------------------------------------
 // Trusted-code accounting (§4.3: "We expect to quantify the code we
@@ -727,12 +839,28 @@ pub fn trust_accounting() -> String {
         .expect("crates/")
         .to_path_buf();
     let rows: [(&str, &str, &str); 9] = [
-        ("fsformat", "trusted", "shared ABI + fsck: both filesystems and recovery depend on it"),
-        ("fsmodel", "trusted", "executable spec (the verification analog)"),
-        ("shadowfs", "trusted", "the robust alternative implementation"),
+        (
+            "fsformat",
+            "trusted",
+            "shared ABI + fsck: both filesystems and recovery depend on it",
+        ),
+        (
+            "fsmodel",
+            "trusted",
+            "executable spec (the verification analog)",
+        ),
+        (
+            "shadowfs",
+            "trusted",
+            "the robust alternative implementation",
+        ),
         ("core", "trusted", "RAE runtime: log, detection, hand-off"),
         ("vfs", "trusted", "shared types (passive)"),
-        ("blockdev", "trusted", "device substrate (shared by both sides)"),
+        (
+            "blockdev",
+            "trusted",
+            "device substrate (shared by both sides)",
+        ),
         ("basefs", "untrusted", "the complex base RAE protects"),
         ("faults", "harness", "fault injection (test apparatus)"),
         ("workloads", "harness", "generators + differential driver"),
@@ -773,6 +901,7 @@ pub fn run_all(scale: Scale) -> String {
         e1_base_vs_shadow(scale),
         e2_rae_overhead(scale),
         e3_recovery_latency(scale),
+        e3b_warm_recovery(scale),
         e4_availability(scale),
         e4b_latency_tail(scale),
         e5_check_cost(scale),

@@ -34,7 +34,9 @@ pub fn fresh_device() -> Arc<MemDisk> {
 pub fn fresh_latency_device() -> Arc<FaultyDisk<MemDisk>> {
     let mem = MemDisk::new(16384);
     mkfs(&mem, experiment_params()).expect("mkfs");
-    let plan = DiskFaultPlan::new().read_latency_ns(8_000).write_latency_ns(16_000);
+    let plan = DiskFaultPlan::new()
+        .read_latency_ns(8_000)
+        .write_latency_ns(16_000);
     Arc::new(FaultyDisk::with_plan(mem, plan))
 }
 
@@ -86,9 +88,15 @@ pub fn populate_small_tree(fs: &dyn FileSystem) -> FsResult<()> {
 pub fn quiet_injected_panics() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let msg = info.payload().downcast_ref::<String>().cloned().or_else(|| {
-            info.payload().downcast_ref::<&str>().map(|s| (*s).to_string())
-        });
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+            });
         if msg.is_some_and(|m| m.contains("injected filesystem bug")) {
             return;
         }

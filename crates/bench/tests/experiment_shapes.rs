@@ -63,7 +63,12 @@ fn e3_recovery_time_grows_with_log_length() {
     let out = experiments::e3_recovery_latency(Scale::fast());
     let times: Vec<f64> = out
         .lines()
-        .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .filter(|l| {
+            l.trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
         .map(|l| l.split_whitespace().nth(2).unwrap().parse().unwrap())
         .collect();
     assert!(times.len() >= 3, "{out}");
@@ -84,7 +89,10 @@ fn e4_rae_masks_everything() {
     assert_eq!(app_errors, 0, "RAE leaked runtime errors: {out}");
     assert!(recoveries > 0, "campaign never triggered: {out}");
 
-    let cr_line = out.lines().find(|l| l.starts_with("crash-remount")).unwrap();
+    let cr_line = out
+        .lines()
+        .find(|l| l.starts_with("crash-remount"))
+        .unwrap();
     let cr_ok: u64 = cr_line.split_whitespace().nth(1).unwrap().parse().unwrap();
     let rae_ok: u64 = fields[1].parse().unwrap();
     assert!(rae_ok > cr_ok, "RAE must complete more ops: {out}");

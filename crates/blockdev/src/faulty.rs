@@ -140,7 +140,10 @@ impl DiskFaultPlan {
         bit: u8,
         mode: TriggerMode,
     ) -> DiskFaultPlan {
-        assert!(byte < BLOCK_SIZE && bit < 8, "corruption coordinates out of range");
+        assert!(
+            byte < BLOCK_SIZE && bit < 8,
+            "corruption coordinates out of range"
+        );
         self.corrupt_reads.push(CorruptRule {
             target,
             byte,
@@ -447,8 +450,7 @@ mod tests {
 
     #[test]
     fn nth_read_error_fires_once() {
-        let plan =
-            DiskFaultPlan::new().fail_reads(FaultTarget::Block(2), TriggerMode::Nth(2));
+        let plan = DiskFaultPlan::new().fail_reads(FaultTarget::Block(2), TriggerMode::Nth(2));
         let d = FaultyDisk::with_plan(MemDisk::new(4), plan);
         let mut r = block(0);
         assert!(d.read_block(2, &mut r).is_ok()); // 1st
@@ -471,12 +473,8 @@ mod tests {
 
     #[test]
     fn silent_corruption_flips_returned_bit_only() {
-        let plan = DiskFaultPlan::new().corrupt_reads(
-            FaultTarget::Block(0),
-            100,
-            1,
-            TriggerMode::Nth(1),
-        );
+        let plan =
+            DiskFaultPlan::new().corrupt_reads(FaultTarget::Block(0), 100, 1, TriggerMode::Nth(1));
         let d = FaultyDisk::with_plan(MemDisk::new(1), plan);
         d.write_block(0, &block(0)).unwrap();
 
@@ -496,7 +494,9 @@ mod tests {
                 .fail_reads(FaultTarget::Any, TriggerMode::Prob(0.5));
             let d = FaultyDisk::with_plan(MemDisk::new(1), plan);
             let mut r = block(0);
-            (0..64).map(|_| d.read_block(0, &mut r).is_err()).collect::<Vec<_>>()
+            (0..64)
+                .map(|_| d.read_block(0, &mut r).is_err())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
@@ -531,6 +531,9 @@ mod tests {
         let mut r = block(0);
         assert!(d.read_block(0, &mut r).is_err());
         d.set_plan(plan);
-        assert!(d.read_block(0, &mut r).is_err(), "counter reset, fires again");
+        assert!(
+            d.read_block(0, &mut r).is_err(),
+            "counter reset, fires again"
+        );
     }
 }

@@ -32,7 +32,8 @@ impl FileDisk {
             .truncate(true)
             .open(path)
             .map_err(host_err)?;
-        file.set_len(block_count * BLOCK_SIZE as u64).map_err(host_err)?;
+        file.set_len(block_count * BLOCK_SIZE as u64)
+            .map_err(host_err)?;
         Ok(FileDisk { file, block_count })
     }
 
@@ -51,7 +52,9 @@ impl FileDisk {
         let len = file.metadata().map_err(host_err)?.len();
         if len == 0 || len % BLOCK_SIZE as u64 != 0 {
             return Err(FsError::IoFailed {
-                detail: format!("backing file length {len} is not a positive multiple of {BLOCK_SIZE}"),
+                detail: format!(
+                    "backing file length {len} is not a positive multiple of {BLOCK_SIZE}"
+                ),
             });
         }
         Ok(FileDisk {

@@ -12,6 +12,8 @@
 //!   or probabilistic read/write errors, silent bit corruption, per-op
 //!   latency, and write cut-off for crash emulation;
 //! * [`StatsDisk`] — a transparent I/O accounting wrapper;
+//! * [`TrackedDisk`] — a wrapper recording the written-block set, so
+//!   the warm standby's recovery resync visits only touched blocks;
 //! * [`WritebackQueue`] — a blk-mq-flavoured multi-queue asynchronous
 //!   write-back engine used by the base filesystem's page cache.
 //!
@@ -42,10 +44,15 @@ mod file;
 mod mem;
 mod queue;
 mod stats;
+mod tracked;
 
 pub use device::{zeroed_block, BlockDevice, BLOCK_SIZE};
-pub use faulty::{AccessRule, CorruptRule, DiskFaultPlan, FaultEvent, FaultTarget, FaultyDisk, TriggerMode, WriteCutMode};
+pub use faulty::{
+    AccessRule, CorruptRule, DiskFaultPlan, FaultEvent, FaultTarget, FaultyDisk, TriggerMode,
+    WriteCutMode,
+};
 pub use file::FileDisk;
 pub use mem::MemDisk;
 pub use queue::{QueueConfig, WritebackQueue};
 pub use stats::{DiskCounters, StatsDisk};
+pub use tracked::TrackedDisk;

@@ -56,6 +56,24 @@ impl MemDisk {
         MemDisk { blocks }
     }
 
+    /// Copy every block of `dev` into a new in-memory disk. The warm
+    /// standby snapshots the device this way at quiesced points so its
+    /// reads never race the live base's write-back.
+    ///
+    /// # Errors
+    ///
+    /// Device read errors.
+    pub fn clone_of(dev: &dyn BlockDevice) -> FsResult<MemDisk> {
+        let count = dev.block_count();
+        let mut blocks = Vec::with_capacity(usize::try_from(count).unwrap_or(0));
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for bno in 0..count {
+            dev.read_block(bno, &mut buf)?;
+            blocks.push(RwLock::new(buf.clone().into_boxed_slice()));
+        }
+        Ok(MemDisk { blocks })
+    }
+
     /// Copy the entire disk contents into one contiguous image.
     #[must_use]
     pub fn snapshot(&self) -> Vec<u8> {
@@ -180,6 +198,26 @@ mod tests {
         d2.read_block(1, &mut r).unwrap();
         assert_eq!(r[0], 0xEE);
         assert_eq!(d2.block_count(), 3);
+    }
+
+    #[test]
+    fn clone_of_is_a_frozen_copy() {
+        let d = MemDisk::new(3);
+        let mut b = vec![0u8; BLOCK_SIZE];
+        b[7] = 0xAB;
+        d.write_block(2, &b).unwrap();
+
+        let snap = MemDisk::clone_of(&d).unwrap();
+        assert_eq!(snap.block_count(), 3);
+        let mut r = vec![0u8; BLOCK_SIZE];
+        snap.read_block(2, &mut r).unwrap();
+        assert_eq!(r[7], 0xAB);
+
+        // later writes to the original do not reach the snapshot
+        b[7] = 0xCD;
+        d.write_block(2, &b).unwrap();
+        snap.read_block(2, &mut r).unwrap();
+        assert_eq!(r[7], 0xAB);
     }
 
     #[test]

@@ -210,7 +210,13 @@ mod tests {
     #[test]
     fn per_block_ordering_last_write_wins() {
         let disk = Arc::new(MemDisk::new(4));
-        let q = WritebackQueue::new(disk.clone(), QueueConfig { nr_queues: 4, queue_depth: 64 });
+        let q = WritebackQueue::new(
+            disk.clone(),
+            QueueConfig {
+                nr_queues: 4,
+                queue_depth: 64,
+            },
+        );
         for v in 0..100u8 {
             q.submit(2, vec![v; BLOCK_SIZE]).unwrap();
         }
@@ -223,8 +229,7 @@ mod tests {
     #[test]
     fn async_errors_surface_at_barrier() {
         let plan = DiskFaultPlan::new().fail_writes(FaultTarget::Block(3), TriggerMode::Always);
-        let disk: Arc<dyn BlockDevice> =
-            Arc::new(FaultyDisk::with_plan(MemDisk::new(8), plan));
+        let disk: Arc<dyn BlockDevice> = Arc::new(FaultyDisk::with_plan(MemDisk::new(8), plan));
         let q = WritebackQueue::new(disk, QueueConfig::default());
         q.submit(3, vec![1; BLOCK_SIZE]).unwrap();
         let err = q.barrier().unwrap_err();
@@ -257,7 +262,10 @@ mod tests {
         let disk = Arc::new(MemDisk::new(64));
         let q = Arc::new(WritebackQueue::new(
             disk.clone(),
-            QueueConfig { nr_queues: 3, queue_depth: 8 },
+            QueueConfig {
+                nr_queues: 3,
+                queue_depth: 8,
+            },
         ));
         let mut handles = Vec::new();
         for t in 0..4u64 {

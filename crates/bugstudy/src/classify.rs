@@ -206,12 +206,20 @@ mod tests {
             false,
             false,
         );
-        assert_eq!(classify(&r), (Determinism::Deterministic, Consequence::Crash));
+        assert_eq!(
+            classify(&r),
+            (Determinism::Deterministic, Consequence::Crash)
+        );
     }
 
     #[test]
     fn warn_beats_nocrash() {
-        let r = record("ext4: WARN_ON hit during data corruption handling", true, false, false);
+        let r = record(
+            "ext4: WARN_ON hit during data corruption handling",
+            true,
+            false,
+            false,
+        );
         assert_eq!(classify(&r).1, Consequence::Warn);
     }
 

@@ -127,7 +127,10 @@ pub fn corpus() -> Vec<RawBugRecord> {
                     unclear: bool| {
         id += 1;
         let refs = if id.is_multiple_of(2) {
-            vec![format!("https://bugzilla.kernel.org/show_bug.cgi?id={}", 200_000 + id)]
+            vec![format!(
+                "https://bugzilla.kernel.org/show_bug.cgi?id={}",
+                200_000 + id
+            )]
         } else {
             vec![format!("Reported-by: fuzzer{id}@example.org")]
         };
@@ -175,7 +178,15 @@ pub fn corpus() -> Vec<RawBugRecord> {
                 1 => (true, true, false),   // in-flight IO
                 _ => (true, false, true),   // threading
             };
-            emit(&mut out, years[year_idx % years.len()], consequence, repro, io, thr, false);
+            emit(
+                &mut out,
+                years[year_idx % years.len()],
+                consequence,
+                repro,
+                io,
+                thr,
+                false,
+            );
             year_idx += 1;
         }
     }
@@ -183,7 +194,15 @@ pub fn corpus() -> Vec<RawBugRecord> {
     // unknown-determinism records
     for (consequence, &count) in UNKNOWN_TOTALS.iter().enumerate() {
         for _ in 0..count {
-            emit(&mut out, years[year_idx % years.len()], consequence, true, false, false, true);
+            emit(
+                &mut out,
+                years[year_idx % years.len()],
+                consequence,
+                true,
+                false,
+                false,
+                true,
+            );
             year_idx += 1;
         }
     }

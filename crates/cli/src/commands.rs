@@ -1,6 +1,6 @@
 //! The filesystem command interpreter shared by `exec` and `shell`.
 
-use rae::{RaeConfig, RaeFs};
+use rae::{RaeConfig, RaeFs, StandbyOpts};
 use rae_blockdev::BlockDevice;
 use rae_faults::{BugSpec, Effect, FaultRegistry, Site, Trigger};
 use rae_vfs::{FileSystem, FileType, FsError, OpenFlags};
@@ -49,12 +49,23 @@ impl Session {
     ///
     /// Mount failures.
     pub fn mount(dev: Arc<dyn BlockDevice>) -> Result<Session, FsError> {
+        Session::mount_with(dev, StandbyOpts::default())
+    }
+
+    /// Mount a RAE session with an explicit warm-standby configuration
+    /// (`raefs standby` uses this to turn the standby on).
+    ///
+    /// # Errors
+    ///
+    /// Mount failures.
+    pub fn mount_with(dev: Arc<dyn BlockDevice>, standby: StandbyOpts) -> Result<Session, FsError> {
         let faults = FaultRegistry::new();
         let config = RaeConfig {
             base: rae_basefs::BaseFsConfig {
                 faults: faults.clone(),
                 ..rae_basefs::BaseFsConfig::default()
             },
+            standby,
             ..RaeConfig::default()
         };
         Ok(Session {
@@ -191,6 +202,20 @@ impl Session {
                     s.log_trimmed
                 ))
             }
+            "standby" => {
+                let s = self.fs.stats();
+                Ok(format!(
+                    "active={} degraded={} completed_seq={} applied_seq={} \
+                     lag={} audits={} divergences={}",
+                    s.standby_active,
+                    s.standby_degraded,
+                    s.standby_completed_seq,
+                    s.standby_applied_seq,
+                    s.standby_lag,
+                    s.standby_audits_run,
+                    s.standby_divergences
+                ))
+            }
             "audit" => {
                 let report = self.fs.audit()?;
                 if report.is_clean() {
@@ -296,7 +321,9 @@ impl Session {
             Trigger::NthMatch(nth),
             effect,
         ));
-        Ok(format!("armed bug #{id} at {site:?} (fires on match {nth})"))
+        Ok(format!(
+            "armed bug #{id} at {site:?} (fires on match {nth})"
+        ))
     }
 }
 
@@ -329,6 +356,7 @@ const HELP: &str = "commands:
   statfs | sync             filesystem-wide
   inject <site> <n> <eff>   arm a bug (RAE will mask it)
   stats | audit             RAE runtime introspection
+  standby                   warm-standby watermarks and lag
 ";
 
 #[cfg(test)]
@@ -347,7 +375,10 @@ mod tests {
     fn basic_command_flow() {
         let mut s = session();
         s.run("mkdir /docs").unwrap();
-        assert_eq!(s.run("write /docs/a.txt hello world").unwrap(), "wrote 11 bytes");
+        assert_eq!(
+            s.run("write /docs/a.txt hello world").unwrap(),
+            "wrote 11 bytes"
+        );
         assert_eq!(s.run("cat /docs/a.txt").unwrap(), "hello world");
         let ls = s.run("ls /docs").unwrap();
         assert!(ls.contains("a.txt"));
@@ -396,10 +427,62 @@ mod tests {
     #[test]
     fn errors_keep_the_session_alive() {
         let mut s = session();
-        assert!(matches!(s.run("cat /missing"), Err(CommandError::Fs(FsError::NotFound))));
+        assert!(matches!(
+            s.run("cat /missing"),
+            Err(CommandError::Fs(FsError::NotFound))
+        ));
         assert!(matches!(s.run("frobnicate"), Err(CommandError::Usage(_))));
         assert!(matches!(s.run("mkdir"), Err(CommandError::Usage(_))));
         s.run("mkdir /still-works").unwrap();
+    }
+
+    #[test]
+    fn standby_command_reports_watermarks_and_warm_recovery() {
+        let dev = Arc::new(MemDisk::new(4096));
+        mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+        let mut s = Session::mount_with(
+            dev as Arc<dyn BlockDevice>,
+            StandbyOpts {
+                enabled: true,
+                ..StandbyOpts::default()
+            },
+        )
+        .unwrap();
+        s.run("mkdir /d").unwrap();
+        s.run("write /d/f warm data").unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while s.fs().stats().standby_lag > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "standby never caught up"
+            );
+            std::thread::yield_now();
+        }
+        let out = s.run("standby").unwrap();
+        assert!(out.contains("active=true"), "{out}");
+        assert!(out.contains("lag=0"), "{out}");
+
+        // a masked panic now recovers through the warm standby and the
+        // standby respawns for the next fault
+        s.run("inject rename 1 panic").unwrap();
+        let quiet = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        s.run("mv /d/f /d/g").unwrap();
+        std::panic::set_hook(quiet);
+        assert_eq!(s.run("cat /d/g").unwrap(), "warm data");
+        let stats = s.run("stats").unwrap();
+        assert!(stats.contains("recoveries=1"), "{stats}");
+        let out = s.run("standby").unwrap();
+        assert!(out.contains("active=true"), "{out}");
+        assert!(out.contains("degraded=false"), "{out}");
+    }
+
+    #[test]
+    fn cold_session_reports_inactive_standby() {
+        let mut s = session();
+        let out = s.run("standby").unwrap();
+        assert!(out.contains("active=false"), "{out}");
+        assert!(s.run("help").unwrap().contains("standby"));
     }
 
     #[test]

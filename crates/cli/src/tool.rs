@@ -41,7 +41,8 @@ const USAGE: &str = "raefs <command> ...
   fsck <image>
   info <image>
   corrupt <image> <case|list>
-  exec <image> '<cmd>; <cmd>; ...'";
+  exec <image> '<cmd>; <cmd>; ...'
+  standby <image> ['<cmd>; ...']";
 
 fn parse_flag(args: &[String], name: &str, default: u64) -> Result<u64, ToolError> {
     match args.iter().position(|a| a == name) {
@@ -62,9 +63,7 @@ pub fn run_tool(args: &[String]) -> Result<String, ToolError> {
     let Some(cmd) = args.first() else {
         return Err(ToolError::Usage(USAGE.into()));
     };
-    let image = args
-        .get(1)
-        .ok_or_else(|| ToolError::Usage(USAGE.into()))?;
+    let image = args.get(1).ok_or_else(|| ToolError::Usage(USAGE.into()))?;
 
     match cmd.as_str() {
         "mkfs" => {
@@ -125,12 +124,9 @@ pub fn run_tool(args: &[String]) -> Result<String, ToolError> {
                 let names: Vec<&str> = corpus.iter().map(|c| c.name).collect();
                 return Ok(names.join("\n"));
             }
-            let case = corpus
-                .iter()
-                .find(|c| c.name == case_name)
-                .ok_or_else(|| {
-                    ToolError::Usage(format!("unknown case '{case_name}' (try 'list')"))
-                })?;
+            let case = corpus.iter().find(|c| c.name == case_name).ok_or_else(|| {
+                ToolError::Usage(format!("unknown case '{case_name}' (try 'list')"))
+            })?;
             rae_fsformat::apply_corruption(&dev, &case.corruption)?;
             dev.flush()?;
             Ok(format!("applied '{}' to {image}", case.name))
@@ -163,7 +159,54 @@ pub fn run_tool(args: &[String]) -> Result<String, ToolError> {
             session.unmount()?;
             Ok(out)
         }
-        other => Err(ToolError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
+        "standby" => {
+            let dev: Arc<dyn BlockDevice> = Arc::new(FileDisk::open(image)?);
+            let mut session = Session::mount_with(
+                dev,
+                rae::StandbyOpts {
+                    enabled: true,
+                    ..rae::StandbyOpts::default()
+                },
+            )?;
+            let mut out = String::new();
+            if let Some(script) = args.get(2) {
+                for line in script.split(';') {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match session.run(line) {
+                        Ok(text) if text.is_empty() => {}
+                        Ok(text) => {
+                            out.push_str(&text);
+                            if !text.ends_with('\n') {
+                                out.push('\n');
+                            }
+                        }
+                        Err(e) => {
+                            out.push_str(&format!("{line}: {e}\n"));
+                        }
+                    }
+                }
+            }
+            // let the apply thread drain so the reported lag reflects a
+            // quiesced image rather than the race of the moment
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while session.fs().stats().standby_lag > 0 && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            let status = session.run("standby").map_err(|e| match e {
+                crate::commands::CommandError::Fs(e) => ToolError::Fs(e),
+                crate::commands::CommandError::Usage(m) => ToolError::Usage(m),
+            })?;
+            out.push_str(&status);
+            out.push('\n');
+            session.unmount()?;
+            Ok(out)
+        }
+        other => Err(ToolError::Usage(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     }
 }
 
@@ -185,8 +228,17 @@ mod tests {
     #[test]
     fn mkfs_exec_fsck_lifecycle() {
         let img = tmp_image("life");
-        let out = run(&["mkfs", &img, "--blocks", "2048", "--inodes", "256", "--journal", "64"])
-            .unwrap();
+        let out = run(&[
+            "mkfs",
+            &img,
+            "--blocks",
+            "2048",
+            "--inodes",
+            "256",
+            "--journal",
+            "64",
+        ])
+        .unwrap();
         assert!(out.contains("created"), "{out}");
 
         let out = run(&["exec", &img, "mkdir /a; write /a/f persistent data; tree"]).unwrap();
@@ -226,6 +278,22 @@ mod tests {
         let out = run(&["exec", &img, "cat /missing; mkdir /ok; ls /"]).unwrap();
         assert!(out.contains("errno 2"), "{out}");
         assert!(out.contains("ok"), "{out}");
+        std::fs::remove_file(&img).unwrap();
+    }
+
+    #[test]
+    fn standby_subcommand_runs_warm_and_reports_status() {
+        let img = tmp_image("standby");
+        run(&["mkfs", &img]).unwrap();
+        let out = run(&["standby", &img, "mkdir /w; write /w/f warm; cat /w/f"]).unwrap();
+        assert!(out.contains("warm"), "{out}");
+        assert!(out.contains("active=true"), "{out}");
+        assert!(out.contains("lag=0"), "{out}");
+        // the image is clean and readable cold afterwards
+        let out = run(&["exec", &img, "cat /w/f; standby"]).unwrap();
+        assert!(out.contains("warm"), "{out}");
+        assert!(out.contains("active=false"), "{out}");
+        run(&["fsck", &img]).unwrap();
         std::fs::remove_file(&img).unwrap();
     }
 

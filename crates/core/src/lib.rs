@@ -57,5 +57,6 @@ mod raefs_tests;
 mod report;
 
 pub use oplog::OpLog;
+pub use rae_standby::{LagPolicy, StandbyOpts, StandbyStatus};
 pub use raefs::{DiscrepancyPolicy, RaeConfig, RaeFs, RecoveryMode};
-pub use report::{RaeStats, RecoveryReport, RecoveryTrigger};
+pub use report::{RaeStats, RecoveryPath, RecoveryReport, RecoveryTrigger};

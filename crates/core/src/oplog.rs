@@ -40,6 +40,15 @@ impl OpLog {
         }
     }
 
+    /// Index of record `seq`, if retained. Records stay strictly
+    /// seq-ascending across appends and trims (trim drains in order and
+    /// rewrites in place), so lookups binary-search instead of scanning
+    /// the whole retained log.
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        let idx = self.records.partition_point(|r| r.seq < seq);
+        (idx < self.records.len() && self.records[idx].seq == seq).then_some(idx)
+    }
+
     /// Borrow the operation of record `seq` (the common path avoids
     /// cloning multi-kilobyte write payloads).
     ///
@@ -48,13 +57,19 @@ impl OpLog {
     /// Panics if `seq` is not in the log.
     #[must_use]
     pub fn op_of(&self, seq: u64) -> &FsOp {
-        &self
-            .records
-            .iter()
-            .rev()
-            .find(|r| r.seq == seq)
-            .expect("op_of on unknown record")
-            .op
+        &self.record_of(seq).op
+    }
+
+    /// Borrow the full record for `seq` (outcome included) — the
+    /// standby publish path clones from here after completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not in the log.
+    #[must_use]
+    pub fn record_of(&self, seq: u64) -> &OpRecord {
+        let idx = self.index_of(seq).expect("record_of on unknown record");
+        &self.records[idx]
     }
 
     /// Append a pending record; returns its sequence number.
@@ -95,12 +110,8 @@ impl OpLog {
     /// Panics if `seq` is unknown or already completed (runtime
     /// invariant: exactly one in-flight record at a time).
     pub fn complete(&mut self, seq: u64, outcome: OpOutcome) {
-        let rec = self
-            .records
-            .iter_mut()
-            .rev()
-            .find(|r| r.seq == seq)
-            .expect("completing an unknown record");
+        let idx = self.index_of(seq).expect("completing an unknown record");
+        let rec = &mut self.records[idx];
         let closed_fd = Self::closed_fd(&rec.op);
         rec.complete(outcome.clone());
         self.track_outcome(seq, closed_fd, &outcome);
@@ -110,9 +121,10 @@ impl OpLog {
     /// (same bookkeeping as [`OpLog::complete`], but tolerant of the
     /// record having been dropped).
     pub fn resolve_pending(&mut self, seq: u64, outcome: OpOutcome) {
-        let Some(rec) = self.records.iter_mut().find(|r| r.seq == seq) else {
+        let Some(idx) = self.index_of(seq) else {
             return;
         };
+        let rec = &mut self.records[idx];
         if !rec.outcome.is_pending() {
             return;
         }
@@ -306,7 +318,9 @@ mod tests {
     fn trim_drops_durable_records() {
         let mut log = OpLog::new();
         for i in 0..5 {
-            let s = log.append(FsOp::Mkdir { path: format!("/d{i}") });
+            let s = log.append(FsOp::Mkdir {
+                path: format!("/d{i}"),
+            });
             log.complete(s, OpOutcome::Unit);
         }
         log.trim(3);
@@ -328,7 +342,12 @@ mod tests {
         assert_eq!(log.len(), 1, "open retained past the barrier");
         let (completed, _) = log.for_recovery();
         match &completed[0].op {
-            FsOp::RestoreFd { fd, ino, flags, path } => {
+            FsOp::RestoreFd {
+                fd,
+                ino,
+                flags,
+                path,
+            } => {
                 assert_eq!(*fd, Fd(3));
                 assert_eq!(*ino, InodeNo(7));
                 assert_eq!(path, "/f");
@@ -347,7 +366,10 @@ mod tests {
     #[test]
     fn closed_fd_open_is_dropped_at_barrier() {
         let mut log = OpLog::new();
-        let s1 = log.append(FsOp::Create { path: "/f".into(), flags: rw_create() });
+        let s1 = log.append(FsOp::Create {
+            path: "/f".into(),
+            flags: rw_create(),
+        });
         log.complete(s1, opened(3, 7, true));
         let s2 = log.append(FsOp::Close { fd: Fd(3) });
         log.complete(s2, OpOutcome::Unit);
@@ -358,7 +380,10 @@ mod tests {
     #[test]
     fn open_survives_until_its_close_is_durable() {
         let mut log = OpLog::new();
-        let s1 = log.append(FsOp::Create { path: "/f".into(), flags: rw_create() });
+        let s1 = log.append(FsOp::Create {
+            path: "/f".into(),
+            flags: rw_create(),
+        });
         log.complete(s1, opened(3, 7, true));
         let s2 = log.append(FsOp::Close { fd: Fd(3) });
         log.complete(s2, OpOutcome::Unit);
@@ -378,10 +403,13 @@ mod tests {
     #[test]
     fn restorefd_rule_applies_transitively() {
         let mut log = OpLog::new();
-        let s1 = log.append(FsOp::Create { path: "/f".into(), flags: rw_create() });
+        let s1 = log.append(FsOp::Create {
+            path: "/f".into(),
+            flags: rw_create(),
+        });
         log.complete(s1, opened(3, 7, true));
         log.trim(s1); // -> RestoreFd
-        // two more barriers while the fd stays open
+                      // two more barriers while the fd stays open
         log.trim(s1);
         log.trim(s1);
         assert_eq!(log.len(), 1);
@@ -396,11 +424,17 @@ mod tests {
     #[test]
     fn fd_reuse_keeps_only_latest_open() {
         let mut log = OpLog::new();
-        let s1 = log.append(FsOp::Create { path: "/a".into(), flags: rw_create() });
+        let s1 = log.append(FsOp::Create {
+            path: "/a".into(),
+            flags: rw_create(),
+        });
         log.complete(s1, opened(3, 7, true));
         let s2 = log.append(FsOp::Close { fd: Fd(3) });
         log.complete(s2, OpOutcome::Unit);
-        let s3 = log.append(FsOp::Create { path: "/b".into(), flags: rw_create() });
+        let s3 = log.append(FsOp::Create {
+            path: "/b".into(),
+            flags: rw_create(),
+        });
         log.complete(s3, opened(3, 8, true)); // fd 3 reused
         log.trim(s3);
         let (completed, _) = log.for_recovery();
@@ -414,11 +448,17 @@ mod tests {
     #[test]
     fn fd_reuse_with_partial_barrier_retains_old_pair() {
         let mut log = OpLog::new();
-        let s1 = log.append(FsOp::Create { path: "/a".into(), flags: rw_create() });
+        let s1 = log.append(FsOp::Create {
+            path: "/a".into(),
+            flags: rw_create(),
+        });
         log.complete(s1, opened(3, 7, true));
         let s2 = log.append(FsOp::Close { fd: Fd(3) });
         log.complete(s2, OpOutcome::Unit);
-        let s3 = log.append(FsOp::Create { path: "/b".into(), flags: rw_create() });
+        let s3 = log.append(FsOp::Create {
+            path: "/b".into(),
+            flags: rw_create(),
+        });
         log.complete(s3, opened(3, 8, true));
 
         // barrier covers only the first open: its close at s2 is not
@@ -434,7 +474,9 @@ mod tests {
     #[test]
     fn failed_records_trim_normally() {
         let mut log = OpLog::new();
-        let s = log.append(FsOp::Unlink { path: "/gone".into() });
+        let s = log.append(FsOp::Unlink {
+            path: "/gone".into(),
+        });
         log.complete(s, OpOutcome::Failed(FsError::NotFound));
         log.trim(s);
         assert!(log.is_empty());
@@ -443,7 +485,10 @@ mod tests {
     #[test]
     fn resolve_pending_completes_inflight() {
         let mut log = OpLog::new();
-        let s = log.append(FsOp::Create { path: "/f".into(), flags: rw_create() });
+        let s = log.append(FsOp::Create {
+            path: "/f".into(),
+            flags: rw_create(),
+        });
         log.resolve_pending(s, opened(3, 9, true));
         let (completed, pending) = log.for_recovery();
         assert!(pending.is_none());
@@ -468,5 +513,32 @@ mod tests {
         let s = log.append(FsOp::Sync);
         log.drop_record(s);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn seq_lookup_survives_trims() {
+        // The binary-searched lookups rely on the retained log staying
+        // strictly seq-ascending across trims and RestoreFd rewrites.
+        let mut log = OpLog::new();
+        let open_seq = log.append(FsOp::Create {
+            path: "/f".into(),
+            flags: rw_create(),
+        });
+        log.complete(open_seq, opened(3, 2, true));
+        let mk1 = log.append(FsOp::Mkdir { path: "/a".into() });
+        log.complete(mk1, OpOutcome::Unit);
+        log.trim(mk1); // drops /a, rewrites the live open into RestoreFd
+        let mk2 = log.append(FsOp::Mkdir { path: "/b".into() });
+        log.complete(mk2, OpOutcome::Unit);
+
+        assert!(matches!(log.op_of(open_seq), FsOp::RestoreFd { .. }));
+        assert_eq!(log.record_of(mk2).seq, mk2);
+        assert!(matches!(log.op_of(mk2), FsOp::Mkdir { .. }));
+        // resolve_pending on a trimmed seq is a tolerated no-op
+        log.resolve_pending(mk1, OpOutcome::Unit);
+        // completing on top of a trimmed gap still finds the right record
+        let mk3 = log.append(FsOp::Mkdir { path: "/c".into() });
+        log.complete(mk3, OpOutcome::Unit);
+        assert_eq!(log.record_of(mk3).outcome, OpOutcome::Unit);
     }
 }

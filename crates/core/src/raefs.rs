@@ -2,14 +2,15 @@
 //! errors, and masks them through shadow recovery.
 
 use crate::oplog::OpLog;
-use crate::report::{RaeStats, RecoveryReport, RecoveryTrigger};
+use crate::report::{RaeStats, RecoveryPath, RecoveryReport, RecoveryTrigger};
 use parking_lot::{Mutex, RwLock};
 use rae_basefs::{BaseFs, BaseFsConfig};
-use rae_blockdev::BlockDevice;
+use rae_blockdev::{BlockDevice, TrackedDisk};
 use rae_shadowfs::{ReadReply, ReadRequest, ShadowFs, ShadowOpts};
+use rae_standby::{Publish, StandbyOpts, StandbyStatus, WarmStandby};
 use rae_vfs::{
-    DirEntry, Fd, FileStat, FileSystem, FsError, FsGeometryInfo, FsOp, FsResult, FsStatus,
-    InodeNo, OpOutcome, OpenFlags, SetAttr,
+    DirEntry, Fd, FileStat, FileSystem, FsError, FsGeometryInfo, FsOp, FsResult, FsStatus, InodeNo,
+    OpOutcome, OpenFlags, SetAttr,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -64,6 +65,9 @@ pub struct RaeConfig {
     /// shadow's output immediately re-triggers errors and availability
     /// is no longer being bought.
     pub max_consecutive_recoveries: u32,
+    /// Warm-standby shadow configuration (default-off: cold replay is
+    /// the baseline).
+    pub standby: StandbyOpts,
 }
 
 impl Default for RaeConfig {
@@ -76,6 +80,7 @@ impl Default for RaeConfig {
             treat_warn_as_error: false,
             max_log_records: 10_000,
             max_consecutive_recoveries: 8,
+            standby: StandbyOpts::default(),
         }
     }
 }
@@ -101,6 +106,18 @@ pub struct RaeFs {
     /// admitted").
     gate: RwLock<()>,
     reports: Mutex<Vec<RecoveryReport>>,
+    /// The warm standby, when spawned and healthy. `None` after
+    /// degradation or when disabled; recovery takes the cold path.
+    standby: Mutex<Option<WarmStandby>>,
+    /// Records which device blocks the base writes, drained at every
+    /// standby snapshot point so warm recovery's resync visits only
+    /// the touched set. `Some` exactly when the standby is configured.
+    tracker: Option<Arc<TrackedDisk>>,
+    /// A standby was lost (lag drop, apply failure, failed audit, or
+    /// respawn failure) — surfaced in stats, reset on respawn.
+    standby_degraded: AtomicBool,
+    /// Completed operations since the last coordinated standby audit.
+    ops_since_audit: AtomicU64,
     failed: AtomicBool,
     detected_errors: AtomicU64,
     panics_caught: AtomicU64,
@@ -130,20 +147,51 @@ impl RaeFs {
     /// reported as [`FsError::Internal`].
     pub fn mount(dev: Arc<dyn BlockDevice>, config: RaeConfig) -> FsResult<RaeFs> {
         let base_cfg = config.base.clone();
+        // interpose the write tracker below the base so warm recovery
+        // knows which blocks to reconcile against the standby snapshot
+        let (dev, tracker) = if config.standby.enabled && config.mode == RecoveryMode::Rae {
+            let t = Arc::new(TrackedDisk::new(dev));
+            (Arc::clone(&t) as Arc<dyn BlockDevice>, Some(t))
+        } else {
+            (dev, None)
+        };
         let base = match catch_unwind(AssertUnwindSafe(|| BaseFs::mount(dev, base_cfg))) {
             Ok(r) => r?,
             Err(p) => {
                 return Err(FsError::Internal {
-                    detail: format!("base filesystem panicked during mount: {}", panic_msg(p.as_ref())),
+                    detail: format!(
+                        "base filesystem panicked during mount: {}",
+                        panic_msg(p.as_ref())
+                    ),
                 })
             }
         };
+        // spawn the warm standby before any operation completes so its
+        // lineage starts at the same on-disk state the base mounted
+        let (standby, standby_degraded) =
+            if config.standby.enabled && config.mode == RecoveryMode::Rae {
+                // drain before the spawn snapshot: anything landing
+                // later stays tracked for the next resync
+                if let Some(t) = &tracker {
+                    let _ = t.take_written();
+                }
+                match WarmStandby::spawn(base.device(), config.shadow, config.standby, Vec::new()) {
+                    Ok(sb) => (Some(sb), false),
+                    Err(_) => (None, true), // shadow refused the image: run cold
+                }
+            } else {
+                (None, false)
+            };
         Ok(RaeFs {
             base,
             config,
             log: Mutex::new(OpLog::new()),
             gate: RwLock::new(()),
             reports: Mutex::new(Vec::new()),
+            standby: Mutex::new(standby),
+            tracker,
+            standby_degraded: AtomicBool::new(standby_degraded),
+            ops_since_audit: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             detected_errors: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
@@ -174,6 +222,7 @@ impl RaeFs {
     #[must_use]
     pub fn stats(&self) -> RaeStats {
         let log = self.log.lock();
+        let standby = self.standby_status();
         RaeStats {
             detected_errors: self.detected_errors.load(Ordering::Relaxed),
             panics_caught: self.panics_caught.load(Ordering::Relaxed),
@@ -183,7 +232,25 @@ impl RaeFs {
             recovery_time_ns: self.recovery_time_ns.load(Ordering::Relaxed),
             log_len: log.len(),
             log_trimmed: log.trimmed_total(),
+            standby_active: standby.active,
+            standby_degraded: self.standby_degraded.load(Ordering::Acquire),
+            standby_completed_seq: standby.completed_seq,
+            standby_applied_seq: standby.applied_seq,
+            standby_lag: standby.lag,
+            standby_audits_run: standby.audits_run,
+            standby_divergences: standby.divergences,
         }
+    }
+
+    /// Watermarks and health of the warm standby (all-default when no
+    /// standby is live).
+    #[must_use]
+    pub fn standby_status(&self) -> StandbyStatus {
+        self.standby
+            .lock()
+            .as_ref()
+            .map(WarmStandby::status)
+            .unwrap_or_default()
     }
 
     /// All recovery reports so far (clone).
@@ -234,7 +301,12 @@ impl RaeFs {
                 .base
                 .open_ex(path, *flags)
                 .map(|(fd, ino, created)| Ret::Opened(fd, ino, created)),
-            FsOp::RestoreFd { fd, ino, flags, path } => self
+            FsOp::RestoreFd {
+                fd,
+                ino,
+                flags,
+                path,
+            } => self
                 .base
                 .restore_fd(*fd, *ino, *flags, path)
                 .map(|()| Ret::Opened(*fd, *ino, false)),
@@ -287,6 +359,109 @@ impl RaeFs {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Warm standby
+    // ------------------------------------------------------------------
+
+    /// Publish the just-completed record `seq` to the warm standby.
+    /// Callers hold the op-log lock, which serializes completion — so
+    /// publish order is completion order and nothing publishes while
+    /// `recover` (also under the log lock) drains the channel.
+    fn publish_to_standby(&self, log: &OpLog, seq: u64) {
+        let mut guard = self.standby.lock();
+        let Some(sb) = guard.as_ref() else { return };
+        if sb.publish(log.record_of(seq).clone()) == Publish::Degraded {
+            *guard = None; // drops the handle and joins the apply thread
+            self.standby_degraded.store(true, Ordering::Release);
+        }
+    }
+
+    /// Every `audit_interval_ops` completed operations: checkpoint the
+    /// base (the audit re-bases the standby onto the raw device, which
+    /// is only sound on the full durable state), quiesce, and run the
+    /// standby's consistency check + model diff + re-base divergence
+    /// check. An audit failure is a divergence: the standby is torn
+    /// down and recovery falls back to cold replay.
+    fn maybe_standby_audit(&self, log: &mut OpLog) -> FsResult<()> {
+        let interval = self.config.standby.audit_interval_ops;
+        if interval == 0 || self.standby.lock().is_none() {
+            return Ok(());
+        }
+        if self.ops_since_audit.fetch_add(1, Ordering::Relaxed) + 1 < interval {
+            return Ok(());
+        }
+        self.ops_since_audit.store(0, Ordering::Relaxed);
+        // the checkpoint is a base operation like any other: its own
+        // runtime errors must be masked, not leaked to the application
+        let barrier = {
+            let _admitted = self.gate.read();
+            catch_unwind(AssertUnwindSafe(|| self.base.checkpoint()))
+        };
+        match barrier {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                self.recover(log, None, None, RecoveryTrigger::DetectedError(e))?;
+                return Ok(()); // recovery respawned the standby; audit next round
+            }
+            Err(p) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.recover(
+                    log,
+                    None,
+                    None,
+                    RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref())),
+                )?;
+                return Ok(());
+            }
+        }
+        log.trim(self.base.persisted_seq());
+        let _quiesced = self.gate.write();
+        let mut guard = self.standby.lock();
+        if let Some(sb) = guard.as_ref() {
+            if sb.run_audit().is_ok() {
+                // the audit re-based the standby onto the (still
+                // quiesced) durable image: restart the write set there
+                if let Some(t) = &self.tracker {
+                    let _ = t.take_written();
+                }
+            } else {
+                *guard = None;
+                self.standby_degraded.store(true, Ordering::Release);
+            }
+        }
+        Ok(())
+    }
+
+    /// Restart the warm standby after a recovery: the backlog is the
+    /// retained completed log over the current device — exactly the
+    /// cold-replay initial condition — so the standby's lineage matches
+    /// a cold shadow's from here on. Called with the quiesce gate held.
+    fn respawn_standby(&self, log: &OpLog) {
+        if !self.config.standby.enabled || self.config.mode != RecoveryMode::Rae {
+            return;
+        }
+        let (backlog, _) = log.for_recovery();
+        // drain before the spawn snapshot (see `mount`)
+        if let Some(t) = &self.tracker {
+            let _ = t.take_written();
+        }
+        match WarmStandby::spawn(
+            self.base.device(),
+            self.config.shadow,
+            self.config.standby,
+            backlog,
+        ) {
+            Ok(sb) => {
+                *self.standby.lock() = Some(sb);
+                self.standby_degraded.store(false, Ordering::Release);
+            }
+            Err(_) => {
+                self.standby_degraded.store(true, Ordering::Release);
+            }
+        }
+    }
+
     /// Execute a mutating operation with full RAE protection.
     fn exec_mutating(&self, op: FsOp) -> FsResult<Ret> {
         self.check_online()?;
@@ -304,6 +479,7 @@ impl RaeFs {
             Ok(Ok(ret)) => {
                 self.consecutive_recoveries.store(0, Ordering::Relaxed);
                 log.complete(seq, Self::outcome_of(ret));
+                self.publish_to_standby(&log, seq);
                 if self.config.treat_warn_as_error
                     && !self.base.fault_registry().take_warnings().is_empty()
                 {
@@ -336,10 +512,15 @@ impl RaeFs {
                         }
                     }
                 }
+                self.maybe_standby_audit(&mut log)?;
                 Ok(ret)
             }
             Ok(Err(e)) if e.is_specified() => {
                 log.complete(seq, OpOutcome::Failed(e.clone()));
+                // `Failed` records are published too: the standby must
+                // accumulate the same skip counts a cold replay of this
+                // log would report
+                self.publish_to_standby(&log, seq);
                 log.trim(self.base.persisted_seq());
                 Err(e)
             }
@@ -428,9 +609,7 @@ impl RaeFs {
         let streak = self.consecutive_recoveries.fetch_add(1, Ordering::Relaxed) + 1;
         if streak > u64::from(self.config.max_consecutive_recoveries) {
             return self.mark_failed(FsError::Internal {
-                detail: format!(
-                    "recovery storm: {streak} consecutive recoveries without progress"
-                ),
+                detail: format!("recovery storm: {streak} consecutive recoveries without progress"),
             });
         }
 
@@ -441,26 +620,66 @@ impl RaeFs {
         };
         let reboot_time = start.elapsed();
 
-        // 2. launch the shadow on the trusted on-disk state
-        let t_load = Instant::now();
-        let mut shadow = match ShadowFs::load(self.base.device(), self.config.shadow) {
-            Ok(s) => s,
-            Err(e) => return self.mark_failed(e),
-        };
-        let shadow_load_time = t_load.elapsed();
-        let t_replay = Instant::now();
-
-        // 3. constrained re-execution of the completed records
+        // 2.+3. obtain a caught-up shadow. Warm path: the standby has
+        // already applied every completed record — the handover only
+        // drains the published-but-unapplied tail (O(in-flight)). Cold
+        // path: fresh shadow load + constrained replay of the whole
+        // retained log (O(retained log)).
         let (completed, pending) = log.for_recovery();
         debug_assert_eq!(
             pending.as_ref().map(|r| r.seq),
             in_flight.as_ref().map(|(s, _)| *s),
             "pending record must be the in-flight operation"
         );
-        let replay = match shadow.replay_constrained(&completed) {
-            Ok(r) => r,
-            Err(e) => return self.mark_failed(e),
+        let taken = self.standby.lock().take();
+        let mut t_replay = Instant::now();
+        let warm = taken.and_then(|sb| {
+            let lag = sb.lag();
+            let handed = sb.handover();
+            if handed.is_none() {
+                // degraded standby: fall back to cold replay
+                self.standby_degraded.store(true, Ordering::Release);
+            }
+            handed.map(|h| (h, lag))
+        });
+        let (path, shadow_load_time, shadow, replay, records_replayed) = match warm {
+            Some((handed, drained)) => {
+                let mut shadow = *handed.shadow;
+                // quiesced, caught up, and the device just rebooted to
+                // the durable state: rewrite the overlay into the full
+                // merged-view-vs-live diff, so the delta replaces the
+                // live image with the shadow's self-consistent one
+                // instead of splicing two block lineages together
+                let written = self.tracker.as_ref().map(|t| t.take_written());
+                if let Err(e) = shadow.resync_against(self.base.device().as_ref(), written.as_ref())
+                {
+                    return self.mark_failed(e);
+                }
+                (
+                    RecoveryPath::Warm,
+                    Duration::ZERO,
+                    shadow,
+                    handed.report,
+                    drained,
+                )
+            }
+            None => {
+                let t_load = Instant::now();
+                let mut shadow = match ShadowFs::load(self.base.device(), self.config.shadow) {
+                    Ok(s) => s,
+                    Err(e) => return self.mark_failed(e),
+                };
+                let load_time = t_load.elapsed();
+                t_replay = Instant::now();
+                let replay = match shadow.replay_constrained(&completed) {
+                    Ok(r) => r,
+                    Err(e) => return self.mark_failed(e),
+                };
+                let executed = replay.executed;
+                (RecoveryPath::Cold, load_time, shadow, replay, executed)
+            }
         };
+        let mut shadow = shadow;
         if !replay.is_clean() && self.config.on_discrepancy == DiscrepancyPolicy::Abort {
             return self.mark_failed(FsError::CheckFailed {
                 check: "cross-check".to_string(),
@@ -491,6 +710,15 @@ impl RaeFs {
             None => None,
         };
 
+        // fork the warm shadow before the metadata download consumes
+        // it: the copy resumes as the next standby (step 7) without an
+        // O(device) snapshot or a backlog replay
+        let standby_fork = if path == RecoveryPath::Warm {
+            Some(shadow.fork())
+        } else {
+            None
+        };
+
         // 5. metadata download into the rebooted base
         let replay_time = t_replay.elapsed();
         let t_handoff = Instant::now();
@@ -498,13 +726,14 @@ impl RaeFs {
         let delta = shadow.into_delta();
         let report = RecoveryReport {
             trigger,
+            path,
             duration: start.elapsed(), // refined below
             reboot_time,
             shadow_load_time,
             replay_time,
             handoff_time: Duration::ZERO, // refined below
             journal_transactions_replayed: boot.transactions,
-            records_replayed: replay.executed,
+            records_replayed,
             records_skipped: replay.skipped_errors + replay.skipped_sync,
             discrepancies: replay.discrepancies,
             delta_meta_blocks: delta.meta_blocks.len(),
@@ -528,6 +757,27 @@ impl RaeFs {
                 return self.mark_failed(e);
             }
             log.trim(self.base.persisted_seq());
+        }
+
+        // 7. re-arm the warm standby so the *next* recovery is warm
+        // too: a warm recovery resumes the forked shadow (it already
+        // holds the exact state the base just absorbed); a cold one
+        // re-spawns from a fresh device snapshot plus the retained log
+        match standby_fork {
+            Some(forked) => {
+                let resume_seq = in_flight
+                    .map(|(s, _)| s)
+                    .or_else(|| completed.last().map(|r| r.seq))
+                    .unwrap_or(0);
+                *self.standby.lock() = Some(WarmStandby::resume(
+                    forked,
+                    self.config.standby,
+                    self.base.device(),
+                    resume_seq,
+                ));
+                self.standby_degraded.store(false, Ordering::Release);
+            }
+            None => self.respawn_standby(log),
         }
 
         let elapsed = start.elapsed();
@@ -742,7 +992,9 @@ impl FileSystem for RaeFs {
     }
 
     fn readlink(&self, path: &str) -> FsResult<String> {
-        match self.exec_read(&ReadRequest::Readlink { path: path.to_string() })? {
+        match self.exec_read(&ReadRequest::Readlink {
+            path: path.to_string(),
+        })? {
             ReadReply::Target(t) => Ok(t),
             other => Err(FsError::Internal {
                 detail: format!("readlink produced {other:?}"),
@@ -751,7 +1003,9 @@ impl FileSystem for RaeFs {
     }
 
     fn stat(&self, path: &str) -> FsResult<FileStat> {
-        match self.exec_read(&ReadRequest::Stat { path: path.to_string() })? {
+        match self.exec_read(&ReadRequest::Stat {
+            path: path.to_string(),
+        })? {
             ReadReply::Stat(st) => Ok(st),
             other => Err(FsError::Internal {
                 detail: format!("stat produced {other:?}"),
@@ -769,7 +1023,9 @@ impl FileSystem for RaeFs {
     }
 
     fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
-        match self.exec_read(&ReadRequest::Readdir { path: path.to_string() })? {
+        match self.exec_read(&ReadRequest::Readdir {
+            path: path.to_string(),
+        })? {
             ReadReply::Entries(es) => Ok(es),
             other => Err(FsError::Internal {
                 detail: format!("readdir produced {other:?}"),

@@ -79,7 +79,11 @@ fn masks_deterministic_detected_bug() {
         RecoveryTrigger::DetectedError(FsError::DetectedBug { bug_id: 104 })
     ));
     assert!(reports[0].had_in_flight);
-    assert!(reports[0].discrepancies.is_empty(), "{:?}", reports[0].discrepancies);
+    assert!(
+        reports[0].discrepancies.is_empty(),
+        "{:?}",
+        reports[0].discrepancies
+    );
 }
 
 #[test]
@@ -115,7 +119,10 @@ fn descriptors_survive_recovery_with_identical_numbers() {
         1,
         "bug",
         Site::DirModify,
-        Trigger::All(vec![Trigger::OpIs(rae_vfs::OpKind::Unlink), Trigger::NthMatch(1)]),
+        Trigger::All(vec![
+            Trigger::OpIs(rae_vfs::OpKind::Unlink),
+            Trigger::NthMatch(1),
+        ]),
         Effect::Panic,
     ));
     let (_dev, fs) = setup(RecoveryMode::Rae, faults);
@@ -196,11 +203,8 @@ fn in_flight_fsync_is_reissued_after_recovery() {
     assert_eq!(fs.stats().recoveries, 1);
     // prove durability: crash the whole stack, remount raw
     drop(fs);
-    let fs2 = rae_basefs::BaseFs::mount(
-        dev as Arc<dyn BlockDevice>,
-        BaseFsConfig::default(),
-    )
-    .unwrap();
+    let fs2 =
+        rae_basefs::BaseFs::mount(dev as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
     let fd = fs2.open("/durable", OpenFlags::RDONLY).unwrap();
     assert_eq!(fs2.read(fd, 0, 12).unwrap(), b"must survive");
 }
@@ -288,12 +292,16 @@ fn crash_remount_baseline_loses_buffered_state() {
     fs.mkdir("/synced").unwrap();
     fs.sync().unwrap();
     let fd = fs.open("/unsynced-file", rw_create()).unwrap(); // alloc 2
-    // alloc 3 fires the bug -> "crash": everything buffered is lost
+                                                              // alloc 3 fires the bug -> "crash": everything buffered is lost
     let err = fs.mkdir("/doomed").unwrap_err();
     assert!(matches!(err, FsError::IoFailed { .. }));
 
     assert!(fs.stat("/synced").is_ok(), "durable state survives");
-    assert_eq!(fs.stat("/unsynced-file"), Err(FsError::NotFound), "buffered create lost");
+    assert_eq!(
+        fs.stat("/unsynced-file"),
+        Err(FsError::NotFound),
+        "buffered create lost"
+    );
     assert_eq!(fs.read(fd, 0, 1), Err(FsError::BadFd), "descriptors dead");
     assert_eq!(fs.stats().recoveries, 0, "no RAE recovery in this mode");
 }
@@ -420,7 +428,11 @@ fn log_cap_forces_barrier() {
     for i in 0..50 {
         fs.mkdir(&format!("/d{i}")).unwrap();
     }
-    assert!(fs.stats().log_len <= 11, "log bounded: {}", fs.stats().log_len);
+    assert!(
+        fs.stats().log_len <= 11,
+        "log bounded: {}",
+        fs.stats().log_len
+    );
     assert!(fs.stats().log_trimmed >= 39);
 }
 
@@ -718,4 +730,200 @@ fn forced_barrier_failures_are_masked_too() {
     for i in 0..30 {
         assert!(fs.stat(&format!("/d{i}")).is_ok(), "/d{i} lost");
     }
+}
+
+// ----------------------------------------------------------------------
+// Warm standby
+// ----------------------------------------------------------------------
+
+fn warm_opts() -> crate::StandbyOpts {
+    crate::StandbyOpts {
+        enabled: true,
+        channel_capacity: 8,
+        ..crate::StandbyOpts::default()
+    }
+}
+
+fn rename_crash_faults() -> FaultRegistry {
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        7,
+        "rename-crash",
+        Site::Rename,
+        Trigger::PathContains("victim".into()),
+        Effect::Panic,
+    ));
+    faults
+}
+
+/// Wait until the standby has applied everything published so far, so
+/// the drain at the next recovery is exactly the in-flight tail.
+fn wait_caught_up(fs: &RaeFs) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while fs.stats().standby_lag > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "standby never caught up"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Identical workload, no persistence barrier (nothing trims), ending
+/// in a masked in-flight panic. With `standby.enabled` the recovery
+/// takes the warm path; otherwise cold.
+fn run_rename_crash_scenario(standby: crate::StandbyOpts) -> (Arc<MemDisk>, RaeFs) {
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults: rename_crash_faults(),
+            ..BaseFsConfig::default()
+        },
+        standby,
+        ..RaeConfig::default()
+    };
+    let fs = RaeFs::mount(dev.clone() as Arc<dyn BlockDevice>, config).unwrap();
+    fs.mkdir("/d").unwrap();
+    let a = fs.open("/d/a", rw_create()).unwrap();
+    fs.write(a, 0, b"unsynced payload").unwrap();
+    let v = fs.open("/victim", rw_create()).unwrap();
+    fs.write(v, 0, b"precious").unwrap();
+    fs.close(v).unwrap();
+    fs.symlink("/d/a", "/sym").unwrap();
+    fs.link("/d/a", "/hard").unwrap();
+    if fs.stats().standby_active {
+        wait_caught_up(&fs);
+    }
+    // panics inside the base; RAE masks it through recovery
+    fs.rename("/victim", "/renamed").unwrap();
+    (dev, fs)
+}
+
+#[test]
+fn warm_and_cold_recovery_reach_identical_state() {
+    let (cold_dev, cold) = run_rename_crash_scenario(crate::StandbyOpts::default());
+    let (warm_dev, warm) = run_rename_crash_scenario(warm_opts());
+
+    let cold_reports = cold.recovery_reports();
+    let warm_reports = warm.recovery_reports();
+    assert_eq!(cold_reports.len(), 1);
+    assert_eq!(warm_reports.len(), 1);
+    let (cr, wr) = (&cold_reports[0], &warm_reports[0]);
+    assert_eq!(cr.path, crate::RecoveryPath::Cold);
+    assert_eq!(wr.path, crate::RecoveryPath::Warm);
+    assert!(cr.had_in_flight && wr.had_in_flight);
+
+    // identical cross-check verdicts: the standby's accumulated report
+    // equals what cold replay of the same log produced
+    assert_eq!(cr.discrepancies, wr.discrepancies);
+    // cold pays O(retained log); the warm drain is only the published-
+    // but-unapplied tail, which was empty once caught up
+    assert_eq!(
+        cr.records_replayed, 8,
+        "cold replays the whole retained log"
+    );
+    assert_eq!(
+        wr.records_replayed, 0,
+        "warm drains only the in-flight tail"
+    );
+
+    // both recovered filesystems answer identically
+    for fs in [&cold, &warm] {
+        assert_eq!(fs.stat("/victim"), Err(FsError::NotFound));
+        assert_eq!(fs.readlink("/sym").unwrap(), "/d/a");
+        assert_eq!(fs.stat("/hard").unwrap().nlink, 2);
+        assert_eq!(
+            fs.stat("/d/a").unwrap().size,
+            b"unsynced payload".len() as u64
+        );
+        let fd = fs.open("/renamed", OpenFlags::RDONLY).unwrap();
+        assert_eq!(fs.read(fd, 0, 16).unwrap(), b"precious");
+        fs.close(fd).unwrap();
+        assert_eq!(fs.stats().recoveries, 1);
+    }
+    let root_names = |fs: &RaeFs| {
+        let mut names: Vec<String> = fs
+            .readdir("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        names.sort();
+        names
+    };
+    assert_eq!(root_names(&cold), root_names(&warm));
+
+    // and both on-disk images are consistent after unmount
+    cold.unmount().unwrap();
+    warm.unmount().unwrap();
+    fsck(cold_dev.as_ref()).unwrap();
+    fsck(warm_dev.as_ref()).unwrap();
+}
+
+#[test]
+fn warm_recovery_respawns_standby_for_the_next_one() {
+    let (_dev, fs) = run_rename_crash_scenario(warm_opts());
+    let stats = fs.stats();
+    assert!(stats.standby_active, "standby respawned after recovery");
+    assert!(!stats.standby_degraded);
+
+    // a second masked crash takes the warm path again
+    let v = fs.open("/victim2", rw_create()).unwrap();
+    fs.write(v, 0, b"again").unwrap();
+    fs.close(v).unwrap();
+    wait_caught_up(&fs);
+    fs.rename("/victim2", "/renamed2").unwrap();
+
+    let reports = fs.recovery_reports();
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[1].path, crate::RecoveryPath::Warm);
+    assert_eq!(fs.stats().recoveries, 2);
+    let fd = fs.open("/renamed2", OpenFlags::RDONLY).unwrap();
+    assert_eq!(fs.read(fd, 0, 5).unwrap(), b"again");
+    fs.close(fd).unwrap();
+}
+
+#[test]
+fn standby_watermarks_surface_in_stats() {
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    let config = RaeConfig {
+        standby: warm_opts(),
+        ..RaeConfig::default()
+    };
+    let fs = RaeFs::mount(dev as Arc<dyn BlockDevice>, config).unwrap();
+    for i in 0..6 {
+        fs.mkdir(&format!("/d{i}")).unwrap();
+    }
+    wait_caught_up(&fs);
+    let stats = fs.stats();
+    assert!(stats.standby_active);
+    assert_eq!(stats.standby_lag, 0);
+    assert_eq!(stats.standby_completed_seq, stats.standby_applied_seq);
+    assert!(stats.standby_completed_seq >= 6);
+    assert_eq!(stats.standby_divergences, 0);
+}
+
+#[test]
+fn standby_audits_run_on_schedule_and_stay_clean() {
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    let config = RaeConfig {
+        standby: crate::StandbyOpts {
+            enabled: true,
+            audit_interval_ops: 4,
+            ..crate::StandbyOpts::default()
+        },
+        ..RaeConfig::default()
+    };
+    let fs = RaeFs::mount(dev as Arc<dyn BlockDevice>, config).unwrap();
+    for i in 0..12 {
+        fs.mkdir(&format!("/d{i}")).unwrap();
+    }
+    let stats = fs.stats();
+    assert_eq!(stats.standby_audits_run, 3, "one audit per 4 completed ops");
+    assert_eq!(stats.standby_divergences, 0);
+    assert!(stats.standby_active, "clean audits keep the standby alive");
+    assert!(!stats.standby_degraded);
 }

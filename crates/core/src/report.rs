@@ -17,11 +17,26 @@ pub enum RecoveryTrigger {
     WarnPolicy,
 }
 
+/// Which replay substrate produced the recovered state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPath {
+    /// Fresh shadow load plus constrained replay of the whole retained
+    /// log — O(retained log).
+    #[default]
+    Cold,
+    /// Handover from the warm standby, which was already caught up;
+    /// only the published-but-unapplied tail was drained —
+    /// O(in-flight).
+    Warm,
+}
+
 /// Full account of one recovery.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
     /// Why recovery ran.
     pub trigger: RecoveryTrigger,
+    /// Cold replay or warm standby handover.
+    pub path: RecoveryPath,
     /// Wall-clock duration of the entire recovery (contained reboot,
     /// shadow load + replay, hand-off).
     pub duration: Duration,
@@ -73,6 +88,22 @@ pub struct RaeStats {
     pub log_len: usize,
     /// Records discarded at persistence barriers so far.
     pub log_trimmed: u64,
+    /// A warm standby is live (spawned and not degraded).
+    pub standby_active: bool,
+    /// The standby degraded (lag drop, apply failure, or failed audit)
+    /// and the next recovery will take the cold path.
+    pub standby_degraded: bool,
+    /// Highest completed sequence number published to the standby.
+    pub standby_completed_seq: u64,
+    /// Highest sequence number the standby has applied.
+    pub standby_applied_seq: u64,
+    /// Records published to the standby but not yet applied.
+    pub standby_lag: u64,
+    /// Coordinated standby audits completed successfully.
+    pub standby_audits_run: u64,
+    /// Divergences the standby observed (cross-check discrepancy notes
+    /// plus audit failures).
+    pub standby_divergences: u64,
 }
 
 #[cfg(test)]

@@ -111,7 +111,10 @@ pub fn standard_bug_corpus() -> Vec<BugSpec> {
             112,
             "append-silent-corruption",
             Site::Write,
-            Trigger::All(vec![Trigger::PathContains(".log".into()), Trigger::EveryNth(41)]),
+            Trigger::All(vec![
+                Trigger::PathContains(".log".into()),
+                Trigger::EveryNth(41),
+            ]),
             Effect::SilentWrongResult,
         ),
         // --- non-deterministic, crash class ---
@@ -200,7 +203,10 @@ mod tests {
         let corpus = standard_bug_corpus();
         let det: Vec<_> = corpus.iter().filter(|b| b.is_deterministic()).collect();
         let nondet: Vec<_> = corpus.iter().filter(|b| !b.is_deterministic()).collect();
-        assert!(det.len() >= 10, "deterministic bugs are the majority, as in Table 1");
+        assert!(
+            det.len() >= 10,
+            "deterministic bugs are the majority, as in Table 1"
+        );
         assert!(nondet.len() >= 5);
 
         for effect in [

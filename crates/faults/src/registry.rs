@@ -196,7 +196,12 @@ impl FaultRegistry {
     #[must_use]
     pub fn check(&self, ctx: &OpContext<'_>) -> Option<FaultAction> {
         self.with_inner(|inner| {
-            let Inner { armed, rng, warn_log, warn_count } = inner;
+            let Inner {
+                armed,
+                rng,
+                warn_log,
+                warn_count,
+            } = inner;
             for a in armed.iter_mut() {
                 if a.spec.site != ctx.site {
                     continue;
@@ -269,15 +274,30 @@ mod tests {
     #[test]
     fn site_mismatch_does_not_fire() {
         let reg = FaultRegistry::new();
-        reg.arm(BugSpec::new(1, "b", Site::Rename, Trigger::Always, Effect::Panic));
+        reg.arm(BugSpec::new(
+            1,
+            "b",
+            Site::Rename,
+            Trigger::Always,
+            Effect::Panic,
+        ));
         assert_eq!(reg.check(&ctx(Site::Write)), None);
-        assert_eq!(reg.check(&ctx(Site::Rename)), Some(FaultAction::Panic { bug_id: 1 }));
+        assert_eq!(
+            reg.check(&ctx(Site::Rename)),
+            Some(FaultAction::Panic { bug_id: 1 })
+        );
     }
 
     #[test]
     fn nth_match_fires_exactly_once() {
         let reg = FaultRegistry::new();
-        reg.arm(BugSpec::new(2, "b", Site::Alloc, Trigger::NthMatch(3), Effect::DetectedError));
+        reg.arm(BugSpec::new(
+            2,
+            "b",
+            Site::Alloc,
+            Trigger::NthMatch(3),
+            Effect::DetectedError,
+        ));
         assert_eq!(reg.check(&ctx(Site::Alloc)), None);
         assert_eq!(reg.check(&ctx(Site::Alloc)), None);
         assert_eq!(
@@ -291,8 +311,16 @@ mod tests {
     #[test]
     fn every_nth_fires_periodically() {
         let reg = FaultRegistry::new();
-        reg.arm(BugSpec::new(3, "b", Site::Write, Trigger::EveryNth(2), Effect::Warn));
-        let fired: Vec<bool> = (0..6).map(|_| reg.check(&ctx(Site::Write)).is_some()).collect();
+        reg.arm(BugSpec::new(
+            3,
+            "b",
+            Site::Write,
+            Trigger::EveryNth(2),
+            Effect::Warn,
+        ));
+        let fired: Vec<bool> = (0..6)
+            .map(|_| reg.check(&ctx(Site::Write)).is_some())
+            .collect();
         assert_eq!(fired, vec![false, true, false, true, false, true]);
         assert_eq!(reg.warn_count(), 3);
     }
@@ -307,7 +335,9 @@ mod tests {
             Trigger::PathContains("boom".into()),
             Effect::Panic,
         ));
-        let clean = OpContext::new(OpKind::Rename, Site::Rename).with_path("/a").with_path2("/b");
+        let clean = OpContext::new(OpKind::Rename, Site::Rename)
+            .with_path("/a")
+            .with_path2("/b");
         assert_eq!(reg.check(&clean), None);
         let hit = OpContext::new(OpKind::Rename, Site::Rename)
             .with_path("/a")
@@ -323,7 +353,10 @@ mod tests {
             5,
             "b",
             Site::Write,
-            Trigger::All(vec![Trigger::PathContains("db".into()), Trigger::NthMatch(2)]),
+            Trigger::All(vec![
+                Trigger::PathContains("db".into()),
+                Trigger::NthMatch(2),
+            ]),
             Effect::DetectedError,
         ));
         let hit = OpContext::new(OpKind::Write, Site::Write).with_path("/db/file");
@@ -338,8 +371,16 @@ mod tests {
     fn random_trigger_is_seed_deterministic() {
         let run = |seed: u64| -> Vec<bool> {
             let reg = FaultRegistry::with_seed(seed);
-            reg.arm(BugSpec::new(6, "b", Site::Write, Trigger::Random { p: 0.3 }, Effect::Warn));
-            (0..32).map(|_| reg.check(&ctx(Site::Write)).is_some()).collect()
+            reg.arm(BugSpec::new(
+                6,
+                "b",
+                Site::Write,
+                Trigger::Random { p: 0.3 },
+                Effect::Warn,
+            ));
+            (0..32)
+                .map(|_| reg.check(&ctx(Site::Write)).is_some())
+                .collect()
         };
         assert_eq!(run(1), run(1));
         assert_ne!(run(1), run(2));
@@ -348,7 +389,13 @@ mod tests {
     #[test]
     fn warn_events_are_logged_and_drained() {
         let reg = FaultRegistry::new();
-        reg.arm(BugSpec::new(7, "w", Site::Readdir, Trigger::Always, Effect::Warn));
+        reg.arm(BugSpec::new(
+            7,
+            "w",
+            Site::Readdir,
+            Trigger::Always,
+            Effect::Warn,
+        ));
         let _ = reg.check(&ctx(Site::Readdir));
         let _ = reg.check(&ctx(Site::Readdir));
         let events = reg.take_warnings();
@@ -365,17 +412,32 @@ mod tests {
         reg.arm(spec.clone());
         assert!(reg.check(&ctx(Site::Alloc)).is_some());
         reg.arm(spec);
-        assert!(reg.check(&ctx(Site::Alloc)).is_some(), "counter reset on re-arm");
+        assert!(
+            reg.check(&ctx(Site::Alloc)).is_some(),
+            "counter reset on re-arm"
+        );
     }
 
     #[test]
     fn disarm_and_clear() {
         let reg = FaultRegistry::new();
-        reg.arm(BugSpec::new(9, "b", Site::Write, Trigger::Always, Effect::Panic));
+        reg.arm(BugSpec::new(
+            9,
+            "b",
+            Site::Write,
+            Trigger::Always,
+            Effect::Panic,
+        ));
         assert!(reg.disarm(9));
         assert!(!reg.disarm(9));
         assert_eq!(reg.check(&ctx(Site::Write)), None);
-        reg.arm(BugSpec::new(10, "b", Site::Write, Trigger::Always, Effect::Panic));
+        reg.arm(BugSpec::new(
+            10,
+            "b",
+            Site::Write,
+            Trigger::Always,
+            Effect::Panic,
+        ));
         reg.clear();
         assert_eq!(reg.armed_count(), 0);
     }
@@ -384,7 +446,13 @@ mod tests {
     fn clones_share_state() {
         let reg = FaultRegistry::new();
         let clone = reg.clone();
-        clone.arm(BugSpec::new(11, "b", Site::Write, Trigger::Always, Effect::Warn));
+        clone.arm(BugSpec::new(
+            11,
+            "b",
+            Site::Write,
+            Trigger::Always,
+            Effect::Warn,
+        ));
         assert_eq!(reg.armed_count(), 1);
         let _ = reg.check(&ctx(Site::Write));
         assert_eq!(clone.fired(11), 1);

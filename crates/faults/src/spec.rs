@@ -230,7 +230,13 @@ mod tests {
     fn bugspec_carries_determinism() {
         let det = BugSpec::new(1, "d", Site::Write, Trigger::Always, Effect::Panic);
         assert!(det.is_deterministic());
-        let nondet = BugSpec::new(2, "n", Site::Write, Trigger::Random { p: 0.1 }, Effect::Warn);
+        let nondet = BugSpec::new(
+            2,
+            "n",
+            Site::Write,
+            Trigger::Random { p: 0.1 },
+            Effect::Warn,
+        );
         assert!(!nondet.is_deterministic());
     }
 

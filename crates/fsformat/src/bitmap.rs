@@ -195,7 +195,10 @@ impl Bitmap {
         for i in self.nbits..self.nblocks() * BITS_PER_BLOCK {
             if self.test_raw(i) {
                 return Err(FsError::Corrupted {
-                    detail: format!("bitmap has bit {i} set beyond its {}-bit extent", self.nbits),
+                    detail: format!(
+                        "bitmap has bit {i} set beyond its {}-bit extent",
+                        self.nbits
+                    ),
                 });
             }
         }

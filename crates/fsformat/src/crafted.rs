@@ -137,8 +137,7 @@ pub fn apply_corruption<D: BlockDevice + ?Sized>(dev: &D, c: &Corruption) -> FsR
         }
         Corruption::InodePointerIntoMetadata { ino } => {
             let sb = Superblock::read_from(dev)?;
-            let mut inode = read_inode(dev, &sb.geometry, *ino)?
-                .ok_or(FsError::InvalidArgument)?;
+            let mut inode = read_inode(dev, &sb.geometry, *ino)?.ok_or(FsError::InvalidArgument)?;
             inode.direct[0] = sb.geometry.inode_bitmap_start; // metadata!
             if inode.blocks == 0 {
                 inode.blocks = 1;
@@ -150,15 +149,13 @@ pub fn apply_corruption<D: BlockDevice + ?Sized>(dev: &D, c: &Corruption) -> FsR
         }
         Corruption::InodeSizeLie { ino, size } => {
             let sb = Superblock::read_from(dev)?;
-            let mut inode = read_inode(dev, &sb.geometry, *ino)?
-                .ok_or(FsError::InvalidArgument)?;
+            let mut inode = read_inode(dev, &sb.geometry, *ino)?.ok_or(FsError::InvalidArgument)?;
             inode.size = *size;
             write_inode(dev, &sb.geometry, *ino, Some(&inode))
         }
         Corruption::InodeZeroLinks { ino } => {
             let sb = Superblock::read_from(dev)?;
-            let mut inode = read_inode(dev, &sb.geometry, *ino)?
-                .ok_or(FsError::InvalidArgument)?;
+            let mut inode = read_inode(dev, &sb.geometry, *ino)?.ok_or(FsError::InvalidArgument)?;
             inode.links = 0;
             write_inode(dev, &sb.geometry, *ino, Some(&inode))
         }
@@ -196,7 +193,12 @@ pub fn apply_corruption<D: BlockDevice + ?Sized>(dev: &D, c: &Corruption) -> FsR
         Corruption::BitmapClearInUse { index } => {
             let sb = Superblock::read_from(dev)?;
             let g = sb.geometry;
-            let mut dbm = Bitmap::load(dev, g.data_bitmap_start, g.data_bitmap_blocks, g.data_blocks)?;
+            let mut dbm = Bitmap::load(
+                dev,
+                g.data_bitmap_start,
+                g.data_bitmap_blocks,
+                g.data_blocks,
+            )?;
             if !dbm.clear(*index)? {
                 return Err(FsError::InvalidArgument);
             }
@@ -230,37 +232,60 @@ impl CraftedImage {
     /// the expected minimal population.
     pub fn standard_corpus<D: BlockDevice + ?Sized>(dev: &D) -> FsResult<Vec<CraftedCase>> {
         let sb = Superblock::read_from(dev)?;
-        let root = read_inode(dev, &sb.geometry, ROOT_INO)?
-            .ok_or(FsError::InvalidArgument)?;
+        let root = read_inode(dev, &sb.geometry, ROOT_INO)?.ok_or(FsError::InvalidArgument)?;
         let root_block = root.direct[0];
         if root_block == 0 {
             return Err(FsError::InvalidArgument);
         }
         Ok(vec![
-            CraftedCase { name: "sb-magic", corruption: Corruption::SuperblockMagic },
-            CraftedCase { name: "sb-geometry-lie", corruption: Corruption::SuperblockGeometryLie },
-            CraftedCase { name: "sb-freecount-lie", corruption: Corruption::SuperblockFreeCountLie },
-            CraftedCase { name: "inode-bitrot", corruption: Corruption::InodeBitrot { ino: InodeNo(2) } },
+            CraftedCase {
+                name: "sb-magic",
+                corruption: Corruption::SuperblockMagic,
+            },
+            CraftedCase {
+                name: "sb-geometry-lie",
+                corruption: Corruption::SuperblockGeometryLie,
+            },
+            CraftedCase {
+                name: "sb-freecount-lie",
+                corruption: Corruption::SuperblockFreeCountLie,
+            },
+            CraftedCase {
+                name: "inode-bitrot",
+                corruption: Corruption::InodeBitrot { ino: InodeNo(2) },
+            },
             CraftedCase {
                 name: "inode-ptr-metadata",
                 corruption: Corruption::InodePointerIntoMetadata { ino: InodeNo(2) },
             },
             CraftedCase {
                 name: "inode-size-lie",
-                corruption: Corruption::InodeSizeLie { ino: InodeNo(2), size: 1 << 40 },
+                corruption: Corruption::InodeSizeLie {
+                    ino: InodeNo(2),
+                    size: 1 << 40,
+                },
             },
-            CraftedCase { name: "inode-zero-links", corruption: Corruption::InodeZeroLinks { ino: InodeNo(2) } },
+            CraftedCase {
+                name: "inode-zero-links",
+                corruption: Corruption::InodeZeroLinks { ino: InodeNo(2) },
+            },
             CraftedCase {
                 name: "dirent-reclen-overflow",
                 corruption: Corruption::DirentRecLenOverflow { bno: root_block },
             },
             CraftedCase {
                 name: "dirent-dangling",
-                corruption: Corruption::DirentDanglingTarget { bno: root_block, target: 0xFFFF },
+                corruption: Corruption::DirentDanglingTarget {
+                    bno: root_block,
+                    target: 0xFFFF,
+                },
             },
-            CraftedCase { name: "bitmap-clear-inuse", corruption: Corruption::BitmapClearInUse {
-                index: sb.geometry.data_index(root_block)?,
-            } },
+            CraftedCase {
+                name: "bitmap-clear-inuse",
+                corruption: Corruption::BitmapClearInUse {
+                    index: sb.geometry.data_index(root_block)?,
+                },
+            },
         ])
     }
 }
@@ -296,10 +321,22 @@ mod tests {
         let file = DiskInode::new(FileType::Regular, 0);
         write_inode(&dev, &geo, file_ino, Some(&file)).unwrap();
 
-        let mut ibm = Bitmap::load(&dev, geo.inode_bitmap_start, geo.inode_bitmap_blocks, u64::from(geo.inode_count)).unwrap();
+        let mut ibm = Bitmap::load(
+            &dev,
+            geo.inode_bitmap_start,
+            geo.inode_bitmap_blocks,
+            u64::from(geo.inode_count),
+        )
+        .unwrap();
         ibm.set(2).unwrap();
         ibm.store(&dev, geo.inode_bitmap_start).unwrap();
-        let mut dbm = Bitmap::load(&dev, geo.data_bitmap_start, geo.data_bitmap_blocks, geo.data_blocks).unwrap();
+        let mut dbm = Bitmap::load(
+            &dev,
+            geo.data_bitmap_start,
+            geo.data_bitmap_blocks,
+            geo.data_blocks,
+        )
+        .unwrap();
         dbm.set(0).unwrap();
         dbm.store(&dev, geo.data_bitmap_start).unwrap();
 
@@ -363,7 +400,11 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Corruption::SuperblockMagic.name(), "sb-magic");
         assert_eq!(
-            Corruption::InodeSizeLie { ino: InodeNo(2), size: 0 }.name(),
+            Corruption::InodeSizeLie {
+                ino: InodeNo(2),
+                size: 0
+            }
+            .name(),
             "inode-size-lie"
         );
     }

@@ -219,7 +219,11 @@ impl DirBlock {
         let mut off = 0usize;
         while off < BLOCK_SIZE {
             let (cur_ino, rec_len, name_len, _) = self.record_at(off);
-            let used = if cur_ino == 0 { 0 } else { record_space(name_len) };
+            let used = if cur_ino == 0 {
+                0
+            } else {
+                record_space(name_len)
+            };
             let slack = rec_len - used;
             if slack >= need {
                 let insert_at = off + used;
@@ -284,7 +288,11 @@ impl DirBlock {
         let mut off = 0usize;
         while off < BLOCK_SIZE {
             let (ino, rec_len, cur_name_len, _) = self.record_at(off);
-            let used = if ino == 0 { 0 } else { record_space(cur_name_len) };
+            let used = if ino == 0 {
+                0
+            } else {
+                record_space(cur_name_len)
+            };
             if rec_len - used >= need {
                 return true;
             }
@@ -320,8 +328,12 @@ mod tests {
     #[test]
     fn insert_find_remove() {
         let mut db = DirBlock::empty();
-        assert!(db.try_insert("alpha", InodeNo(2), FileType::Regular).unwrap());
-        assert!(db.try_insert("beta", InodeNo(3), FileType::Directory).unwrap());
+        assert!(db
+            .try_insert("alpha", InodeNo(2), FileType::Regular)
+            .unwrap());
+        assert!(db
+            .try_insert("beta", InodeNo(3), FileType::Directory)
+            .unwrap());
         assert_eq!(db.len(), 2);
 
         let r = db.find("alpha").unwrap();
@@ -370,7 +382,10 @@ mod tests {
         let mut inserted = 0u32;
         loop {
             let name = format!("file-{inserted:04}");
-            if !db.try_insert(&name, InodeNo(2 + inserted), FileType::Regular).unwrap() {
+            if !db
+                .try_insert(&name, InodeNo(2 + inserted), FileType::Regular)
+                .unwrap()
+            {
                 break;
             }
             inserted += 1;
@@ -383,18 +398,24 @@ mod tests {
         // after removing one, there is room again
         assert!(db.remove("file-0050"));
         assert!(db.fits(9));
-        assert!(db.try_insert("file-0050", InodeNo(999), FileType::Regular).unwrap());
+        assert!(db
+            .try_insert("file-0050", InodeNo(999), FileType::Regular)
+            .unwrap());
     }
 
     #[test]
     fn remove_first_record_then_reuse() {
         let mut db = DirBlock::empty();
-        db.try_insert("first", InodeNo(2), FileType::Regular).unwrap();
-        db.try_insert("second", InodeNo(3), FileType::Regular).unwrap();
+        db.try_insert("first", InodeNo(2), FileType::Regular)
+            .unwrap();
+        db.try_insert("second", InodeNo(3), FileType::Regular)
+            .unwrap();
         assert!(db.remove("first"));
         assert_eq!(names(&db), vec!["second"]);
         // the freed head record is reusable
-        assert!(db.try_insert("third", InodeNo(4), FileType::Regular).unwrap());
+        assert!(db
+            .try_insert("third", InodeNo(4), FileType::Regular)
+            .unwrap());
         let db2 = DirBlock::from_bytes(db.into_bytes()).unwrap();
         let mut got = names(&db2);
         got.sort();
@@ -405,7 +426,7 @@ mod tests {
     fn removal_coalesces_space_for_large_names() {
         let mut db = DirBlock::empty();
         let big = "b".repeat(200); // needs a 208-byte record
-        // fill with 100-byte names (108-byte records)
+                                   // fill with 100-byte names (108-byte records)
         let mut i = 0;
         while db
             .try_insert(&format!("n{i:099}"), InodeNo(2), FileType::Regular)
@@ -443,7 +464,8 @@ mod tests {
     #[test]
     fn from_bytes_rejects_corruption() {
         let mut db = DirBlock::empty();
-        db.try_insert("hello", InodeNo(2), FileType::Regular).unwrap();
+        db.try_insert("hello", InodeNo(2), FileType::Regular)
+            .unwrap();
         let clean = db.into_bytes();
 
         // rec_len not multiple of 4

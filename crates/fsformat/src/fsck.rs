@@ -155,17 +155,32 @@ impl fmt::Display for FsckError {
                 "inode bitmap: {ino} marked={marked} but table populated={used}"
             ),
             FsckError::Unreachable { ino } => write!(f, "{ino} unreachable from root"),
-            FsckError::LinkCount { ino, recorded, actual } => {
+            FsckError::LinkCount {
+                ino,
+                recorded,
+                actual,
+            } => {
                 write!(f, "{ino}: link count {recorded}, tree says {actual}")
             }
-            FsckError::BlockCount { ino, recorded, actual } => {
+            FsckError::BlockCount {
+                ino,
+                recorded,
+                actual,
+            } => {
                 write!(f, "{ino}: block count {recorded}, pointers say {actual}")
             }
             FsckError::DirSize { ino, size } => {
                 write!(f, "dir {ino}: size {size} not consistent with its blocks")
             }
-            FsckError::FreeCount { kind, superblock, actual } => {
-                write!(f, "superblock free {kind} = {superblock}, bitmap says {actual}")
+            FsckError::FreeCount {
+                kind,
+                superblock,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "superblock free {kind} = {superblock}, bitmap says {actual}"
+                )
             }
             FsckError::BadRoot(d) => write!(f, "root: {d}"),
         }
@@ -350,17 +365,31 @@ pub fn fsck<D: BlockDevice + ?Sized>(dev: &D) -> FsResult<FsckReport> {
     }
 
     // Phase 1: bitmaps.
-    let ibm = match Bitmap::load(dev, geo.inode_bitmap_start, geo.inode_bitmap_blocks, u64::from(geo.inode_count)) {
+    let ibm = match Bitmap::load(
+        dev,
+        geo.inode_bitmap_start,
+        geo.inode_bitmap_blocks,
+        u64::from(geo.inode_count),
+    ) {
         Ok(b) => b,
         Err(e) => {
-            report.errors.push(FsckError::Superblock(format!("inode bitmap: {e}")));
+            report
+                .errors
+                .push(FsckError::Superblock(format!("inode bitmap: {e}")));
             return Ok(report);
         }
     };
-    let dbm = match Bitmap::load(dev, geo.data_bitmap_start, geo.data_bitmap_blocks, geo.data_blocks) {
+    let dbm = match Bitmap::load(
+        dev,
+        geo.data_bitmap_start,
+        geo.data_bitmap_blocks,
+        geo.data_blocks,
+    ) {
         Ok(b) => b,
         Err(e) => {
-            report.errors.push(FsckError::Superblock(format!("data bitmap: {e}")));
+            report
+                .errors
+                .push(FsckError::Superblock(format!("data bitmap: {e}")));
             return Ok(report);
         }
     };
@@ -404,7 +433,9 @@ pub fn fsck<D: BlockDevice + ?Sized>(dev: &D) -> FsResult<FsckReport> {
     // Phase 4: root.
     match inodes.get(&ROOT_INO) {
         Some(i) if i.ftype == FileType::Directory => {}
-        Some(_) => report.errors.push(FsckError::BadRoot("not a directory".into())),
+        Some(_) => report
+            .errors
+            .push(FsckError::BadRoot("not a directory".into())),
         None => {
             report.errors.push(FsckError::BadRoot("missing".into()));
             return Ok(report);
@@ -421,7 +452,10 @@ pub fn fsck<D: BlockDevice + ?Sized>(dev: &D) -> FsResult<FsckReport> {
     while let Some(dir) = queue.pop_front() {
         let inode = inodes[&dir];
         if !inode.size.is_multiple_of(BLOCK_SIZE as u64) {
-            report.errors.push(FsckError::DirSize { ino: dir, size: inode.size });
+            report.errors.push(FsckError::DirSize {
+                ino: dir,
+                size: inode.size,
+            });
         }
         let blocks = match file_blocks_in_order(dev, &geo, &inode) {
             Ok(b) => b,
@@ -435,7 +469,10 @@ pub fn fsck<D: BlockDevice + ?Sized>(dev: &D) -> FsResult<FsckReport> {
         };
         for bno in blocks {
             if bno == 0 {
-                report.errors.push(FsckError::DirSize { ino: dir, size: inode.size });
+                report.errors.push(FsckError::DirSize {
+                    ino: dir,
+                    size: inode.size,
+                });
                 continue;
             }
             let mut buf = vec![0u8; BLOCK_SIZE];
@@ -627,11 +664,23 @@ mod tests {
         write_inode(dev, geo, file_ino, Some(&file)).unwrap();
 
         // bitmaps + superblock counters
-        let mut ibm = Bitmap::load(dev, geo.inode_bitmap_start, geo.inode_bitmap_blocks, u64::from(geo.inode_count)).unwrap();
+        let mut ibm = Bitmap::load(
+            dev,
+            geo.inode_bitmap_start,
+            geo.inode_bitmap_blocks,
+            u64::from(geo.inode_count),
+        )
+        .unwrap();
         ibm.set(2).unwrap();
         ibm.set(3).unwrap();
         ibm.store(dev, geo.inode_bitmap_start).unwrap();
-        let mut dbm = Bitmap::load(dev, geo.data_bitmap_start, geo.data_bitmap_blocks, geo.data_blocks).unwrap();
+        let mut dbm = Bitmap::load(
+            dev,
+            geo.data_bitmap_start,
+            geo.data_bitmap_blocks,
+            geo.data_blocks,
+        )
+        .unwrap();
         for b in [root_dirblk, dir_dirblk, file_blk] {
             dbm.set(geo.data_index(b).unwrap()).unwrap();
         }
@@ -677,14 +726,18 @@ mod tests {
         dev.read_block(geo.data_start + 1, &mut buf).unwrap();
         let mut db = DirBlock::from_bytes(buf).unwrap();
         db.remove("file");
-        db.try_insert("file", InodeNo(99), FileType::Regular).unwrap();
+        db.try_insert("file", InodeNo(99), FileType::Regular)
+            .unwrap();
         dev.write_block(geo.data_start + 1, db.as_bytes()).unwrap();
 
         let report = fsck(&dev).unwrap();
-        assert!(report
-            .errors
-            .iter()
-            .any(|e| matches!(e, FsckError::DanglingEntry { .. })), "{report}");
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, FsckError::DanglingEntry { .. })),
+            "{report}"
+        );
         // and the now-orphaned file inode + bitmap drift are also flagged
         assert!(report
             .errors
@@ -715,10 +768,13 @@ mod tests {
         file.blocks = 2;
         write_inode(&dev, &geo, InodeNo(3), Some(&file)).unwrap();
         let report = fsck(&dev).unwrap();
-        assert!(report
-            .errors
-            .iter()
-            .any(|e| matches!(e, FsckError::DoubleAlloc { .. })), "{report}");
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, FsckError::DoubleAlloc { .. })),
+            "{report}"
+        );
     }
 
     #[test]
@@ -726,14 +782,27 @@ mod tests {
         let (dev, geo) = fresh();
         build_tree(&dev, &geo);
         // mark a random free data block as used
-        let mut dbm = Bitmap::load(&dev, geo.data_bitmap_start, geo.data_bitmap_blocks, geo.data_blocks).unwrap();
+        let mut dbm = Bitmap::load(
+            &dev,
+            geo.data_bitmap_start,
+            geo.data_bitmap_blocks,
+            geo.data_blocks,
+        )
+        .unwrap();
         dbm.set(50).unwrap();
         dbm.store(&dev, geo.data_bitmap_start).unwrap();
         let report = fsck(&dev).unwrap();
-        assert!(report.errors.iter().any(|e| matches!(
-            e,
-            FsckError::DataBitmapMismatch { marked: true, used: false, .. }
-        )), "{report}");
+        assert!(
+            report.errors.iter().any(|e| matches!(
+                e,
+                FsckError::DataBitmapMismatch {
+                    marked: true,
+                    used: false,
+                    ..
+                }
+            )),
+            "{report}"
+        );
         // free-count drift is also caught
         assert!(report
             .errors
@@ -753,10 +822,13 @@ mod tests {
         dev.write_block(geo.data_start, db.as_bytes()).unwrap();
 
         let report = fsck(&dev).unwrap();
-        assert!(report
-            .errors
-            .iter()
-            .any(|e| matches!(e, FsckError::Unreachable { ino } if *ino == InodeNo(2))), "{report}");
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, FsckError::Unreachable { ino } if *ino == InodeNo(2))),
+            "{report}"
+        );
     }
 
     #[test]
@@ -767,13 +839,17 @@ mod tests {
         dev.read_block(geo.data_start + 1, &mut buf).unwrap();
         let mut db = DirBlock::from_bytes(buf).unwrap();
         db.remove("file");
-        db.try_insert("file", InodeNo(3), FileType::Symlink).unwrap();
+        db.try_insert("file", InodeNo(3), FileType::Symlink)
+            .unwrap();
         dev.write_block(geo.data_start + 1, db.as_bytes()).unwrap();
         let report = fsck(&dev).unwrap();
-        assert!(report
-            .errors
-            .iter()
-            .any(|e| matches!(e, FsckError::TypeMismatch { .. })), "{report}");
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, FsckError::TypeMismatch { .. })),
+            "{report}"
+        );
     }
 
     #[test]
@@ -784,9 +860,17 @@ mod tests {
         file.blocks = 9;
         write_inode(&dev, &geo, InodeNo(3), Some(&file)).unwrap();
         let report = fsck(&dev).unwrap();
-        assert!(report.errors.iter().any(
-            |e| matches!(e, FsckError::BlockCount { recorded: 9, actual: 1, .. })
-        ), "{report}");
+        assert!(
+            report.errors.iter().any(|e| matches!(
+                e,
+                FsckError::BlockCount {
+                    recorded: 9,
+                    actual: 1,
+                    ..
+                }
+            )),
+            "{report}"
+        );
     }
 
     #[test]
@@ -799,9 +883,12 @@ mod tests {
         buf[off + 9] ^= 0xFF; // smash the size field; checksum breaks
         dev.write_block(bno, &buf).unwrap();
         let report = fsck(&dev).unwrap();
-        assert!(report
-            .errors
-            .iter()
-            .any(|e| matches!(e, FsckError::BadInode { ino, .. } if *ino == InodeNo(3))), "{report}");
+        assert!(
+            report
+                .errors
+                .iter()
+                .any(|e| matches!(e, FsckError::BadInode { ino, .. } if *ino == InodeNo(3))),
+            "{report}"
+        );
     }
 }

@@ -185,16 +185,13 @@ impl DiskInode {
         if self.ftype == FileType::Symlink && self.size > BLOCK_SIZE as u64 {
             return Err(corrupt("symlink target longer than one block"));
         }
-        for &p in self
-            .direct
-            .iter()
-            .chain([&self.indirect, &self.dindirect])
-        {
+        for &p in self.direct.iter().chain([&self.indirect, &self.dindirect]) {
             if p != 0 && !geo.is_data_block(p) {
                 return Err(corrupt("block pointer outside data region"));
             }
         }
-        let max_possible = (NDIRECT + 1 + PTRS_PER_BLOCK + 1 + PTRS_PER_BLOCK * (PTRS_PER_BLOCK + 1)) as u64;
+        let max_possible =
+            (NDIRECT + 1 + PTRS_PER_BLOCK + 1 + PTRS_PER_BLOCK * (PTRS_PER_BLOCK + 1)) as u64;
         if u64::from(self.blocks) > max_possible {
             return Err(corrupt("block count exceeds pointer capacity"));
         }
@@ -404,10 +401,7 @@ mod tests {
             locate_block(12 + 512 + 512 * 512 - 1).unwrap(),
             BlockPtrLoc::DoubleIndirect { l1: 511, l2: 511 }
         );
-        assert_eq!(
-            locate_block(12 + 512 + 512 * 512),
-            Err(FsError::FileTooBig)
-        );
+        assert_eq!(locate_block(12 + 512 + 512 * 512), Err(FsError::FileTooBig));
     }
 
     #[test]

@@ -317,8 +317,14 @@ mod tests {
     #[test]
     fn descriptor_roundtrip() {
         let tags = vec![
-            TxnTag { target: 100, crc: 7 },
-            TxnTag { target: 200, crc: 8 },
+            TxnTag {
+                target: 100,
+                crc: 7,
+            },
+            TxnTag {
+                target: 200,
+                crc: 8,
+            },
         ];
         let buf = encode_descriptor(9, &tags);
         assert_eq!(decode_descriptor(&buf).unwrap(), Some((9, tags)));
@@ -365,9 +371,14 @@ mod tests {
 
         let target = g.data_start;
         // descriptor + data, but no commit (simulated crash mid-commit)
-        let tags = [TxnTag { target, crc: crc32c(&vec![1u8; BLOCK_SIZE]) }];
-        dev.write_block(g.journal_start + 1, &encode_descriptor(0, &tags)).unwrap();
-        dev.write_block(g.journal_start + 2, &vec![1u8; BLOCK_SIZE]).unwrap();
+        let tags = [TxnTag {
+            target,
+            crc: crc32c(&vec![1u8; BLOCK_SIZE]),
+        }];
+        dev.write_block(g.journal_start + 1, &encode_descriptor(0, &tags))
+            .unwrap();
+        dev.write_block(g.journal_start + 2, &vec![1u8; BLOCK_SIZE])
+            .unwrap();
 
         let report = replay(&dev, &g).unwrap();
         assert_eq!(report.transactions, 0);
@@ -383,10 +394,16 @@ mod tests {
         reset(&dev, &g, 0).unwrap();
 
         let target = g.data_start;
-        let tags = [TxnTag { target, crc: crc32c(&vec![1u8; BLOCK_SIZE]) }];
-        dev.write_block(g.journal_start + 1, &encode_descriptor(0, &tags)).unwrap();
-        dev.write_block(g.journal_start + 2, &vec![2u8; BLOCK_SIZE]).unwrap(); // wrong content
-        dev.write_block(g.journal_start + 3, &encode_commit(0)).unwrap();
+        let tags = [TxnTag {
+            target,
+            crc: crc32c(&vec![1u8; BLOCK_SIZE]),
+        }];
+        dev.write_block(g.journal_start + 1, &encode_descriptor(0, &tags))
+            .unwrap();
+        dev.write_block(g.journal_start + 2, &vec![2u8; BLOCK_SIZE])
+            .unwrap(); // wrong content
+        dev.write_block(g.journal_start + 3, &encode_commit(0))
+            .unwrap();
 
         let report = replay(&dev, &g).unwrap();
         assert_eq!(report.transactions, 0, "CRC mismatch discards txn");
@@ -427,10 +444,7 @@ mod tests {
         reset(&dev, &g, 0).unwrap();
         // committed transaction aimed at the journal itself
         write_txn(&dev, &g, 1, 0, &[(g.journal_start + 1, 0xEE)]);
-        assert!(matches!(
-            replay(&dev, &g),
-            Err(FsError::Corrupted { .. })
-        ));
+        assert!(matches!(replay(&dev, &g), Err(FsError::Corrupted { .. })));
     }
 
     #[test]

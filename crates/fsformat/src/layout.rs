@@ -169,9 +169,11 @@ mod tests {
 
     #[test]
     fn tiny_and_large_devices() {
-        for (blocks, inodes, journal) in
-            [(64u64, 16u32, 8u64), (1 << 18, 1 << 15, 1024), (8192, 64, 2)]
-        {
+        for (blocks, inodes, journal) in [
+            (64u64, 16u32, 8u64),
+            (1 << 18, 1 << 15, 1024),
+            (8192, 64, 2),
+        ] {
             let g = Geometry::compute(blocks, inodes, journal).unwrap();
             assert_eq!(g.data_start + g.data_blocks, blocks);
             assert!(g.data_blocks > 0);

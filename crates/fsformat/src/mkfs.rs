@@ -52,7 +52,11 @@ impl MkfsParams {
 /// [`FsError::InvalidArgument`] for degenerate parameters or a device
 /// smaller than `params.total_blocks`; device errors.
 pub fn mkfs<D: BlockDevice + ?Sized>(dev: &D, params: MkfsParams) -> FsResult<Geometry> {
-    let geo = Geometry::compute(params.total_blocks, params.inode_count, params.journal_blocks)?;
+    let geo = Geometry::compute(
+        params.total_blocks,
+        params.inode_count,
+        params.journal_blocks,
+    )?;
     if dev.block_count() < geo.total_blocks {
         return Err(FsError::InvalidArgument);
     }

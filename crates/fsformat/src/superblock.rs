@@ -163,9 +163,12 @@ impl Superblock {
             data_start: get_u64(buf, OFF_DATA_START),
             data_blocks: get_u64(buf, OFF_DATA_BLOCKS),
         };
-        let recomputed =
-            Geometry::compute(geometry.total_blocks, geometry.inode_count, geometry.journal_blocks)
-                .map_err(|_| corrupt("superblock geometry parameters are degenerate"))?;
+        let recomputed = Geometry::compute(
+            geometry.total_blocks,
+            geometry.inode_count,
+            geometry.journal_blocks,
+        )
+        .map_err(|_| corrupt("superblock geometry parameters are degenerate"))?;
         if recomputed != geometry {
             return Err(corrupt("superblock region layout is inconsistent"));
         }

@@ -80,7 +80,9 @@ mod tests {
         let src = ModelFs::new();
         src.mkdir("/d").unwrap();
         src.mkdir("/d/e").unwrap();
-        let fd = src.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        let fd = src
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
         src.write(fd, 0, b"payload").unwrap();
         src.close(fd).unwrap();
         src.link("/d/f", "/d/e/g").unwrap();
@@ -102,9 +104,18 @@ mod tests {
     #[test]
     fn mirrors_sparse_file_sizes() {
         let src = ModelFs::new();
-        let fd = src.open("/sparse", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        let fd = src
+            .open("/sparse", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
         src.close(fd).unwrap();
-        src.setattr("/sparse", SetAttr { size: Some(10_000), mtime: None }).unwrap();
+        src.setattr(
+            "/sparse",
+            SetAttr {
+                size: Some(10_000),
+                mtime: None,
+            },
+        )
+        .unwrap();
 
         let dst = mirror_of(&src).unwrap();
         assert_eq!(dst.stat("/sparse").unwrap().size, 10_000);

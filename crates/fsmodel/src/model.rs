@@ -28,7 +28,7 @@ struct OpenFile {
     flags: OpenFlags,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct State {
     inodes: BTreeMap<InodeNo, Inode>,
     fds: BTreeMap<Fd, OpenFile>,
@@ -220,6 +220,14 @@ pub struct ModelFs {
 impl Default for ModelFs {
     fn default() -> ModelFs {
         ModelFs::new()
+    }
+}
+
+impl Clone for ModelFs {
+    fn clone(&self) -> ModelFs {
+        ModelFs {
+            state: Mutex::new(self.state.lock().clone()),
+        }
     }
 }
 
@@ -589,7 +597,8 @@ impl FileSystem for ModelFs {
             return Err(FsError::Exists);
         }
         let now = st.tick();
-        st.children_mut(new_parent).insert(new_name.to_string(), src);
+        st.children_mut(new_parent)
+            .insert(new_name.to_string(), src);
         if let Node::File { nlink, .. } = &mut st.inodes.get_mut(&src).expect("src").node {
             *nlink += 1;
         }
@@ -717,13 +726,19 @@ mod tests {
     #[test]
     fn open_errors() {
         let m = fs();
-        assert_eq!(m.open("/missing", OpenFlags::RDONLY), Err(FsError::NotFound));
+        assert_eq!(
+            m.open("/missing", OpenFlags::RDONLY),
+            Err(FsError::NotFound)
+        );
         m.mkdir("/d").unwrap();
         assert_eq!(m.open("/d", OpenFlags::RDONLY), Err(FsError::IsDir));
         let fd = m.open("/f", OpenFlags::WRONLY | OpenFlags::CREATE).unwrap();
         m.close(fd).unwrap();
         assert_eq!(
-            m.open("/f", OpenFlags::RDONLY | OpenFlags::CREATE | OpenFlags::EXCL),
+            m.open(
+                "/f",
+                OpenFlags::RDONLY | OpenFlags::CREATE | OpenFlags::EXCL
+            ),
             Err(FsError::Exists)
         );
         assert_eq!(
@@ -732,7 +747,10 @@ mod tests {
             "file used as intermediate component"
         );
         m.symlink("/f", "/s").unwrap();
-        assert_eq!(m.open("/s", OpenFlags::RDONLY), Err(FsError::InvalidArgument));
+        assert_eq!(
+            m.open("/s", OpenFlags::RDONLY),
+            Err(FsError::InvalidArgument)
+        );
     }
 
     #[test]
@@ -762,7 +780,10 @@ mod tests {
     fn append_mode_ignores_offset() {
         let m = fs();
         let fd = m
-            .open("/log", OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::APPEND)
+            .open(
+                "/log",
+                OpenFlags::RDWR | OpenFlags::CREATE | OpenFlags::APPEND,
+            )
             .unwrap();
         m.write(fd, 999, b"aa").unwrap();
         m.write(fd, 0, b"bb").unwrap();
@@ -937,7 +958,10 @@ mod tests {
         assert_eq!(m.readlink("/"), Err(FsError::InvalidArgument));
         m.unlink("/s").unwrap();
         assert_eq!(m.stat("/s"), Err(FsError::NotFound));
-        assert_eq!(m.symlink(&"t".repeat(5000), "/s2"), Err(FsError::NameTooLong));
+        assert_eq!(
+            m.symlink(&"t".repeat(5000), "/s2"),
+            Err(FsError::NameTooLong)
+        );
     }
 
     #[test]
@@ -950,7 +974,12 @@ mod tests {
                 .unwrap();
             m.close(fd).unwrap();
         }
-        let names: Vec<String> = m.readdir("/d").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<String> = m
+            .readdir("/d")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["aa", "mm", "zz"], "model readdir is sorted");
         assert_eq!(m.readdir("/d/aa"), Err(FsError::NotDir));
     }
@@ -974,13 +1003,33 @@ mod tests {
         let fd = m.open("/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
         m.write(fd, 0, b"0123456789").unwrap();
         m.close(fd).unwrap();
-        m.setattr("/f", SetAttr { size: Some(4), mtime: None }).unwrap();
+        m.setattr(
+            "/f",
+            SetAttr {
+                size: Some(4),
+                mtime: None,
+            },
+        )
+        .unwrap();
         assert_eq!(m.stat("/f").unwrap().size, 4);
-        m.setattr("/f", SetAttr { size: None, mtime: Some(777) }).unwrap();
+        m.setattr(
+            "/f",
+            SetAttr {
+                size: None,
+                mtime: Some(777),
+            },
+        )
+        .unwrap();
         assert_eq!(m.stat("/f").unwrap().mtime, 777);
         m.mkdir("/d").unwrap();
         assert_eq!(
-            m.setattr("/d", SetAttr { size: Some(0), mtime: None }),
+            m.setattr(
+                "/d",
+                SetAttr {
+                    size: Some(0),
+                    mtime: None
+                }
+            ),
             Err(FsError::IsDir)
         );
     }

@@ -59,7 +59,9 @@ fn apply(m: &ModelFs, op: &Op) {
         Op::Unlink(p) => m.unlink(&path(*p)),
         Op::Rename(a, b) => m.rename(&path(*a), &path(*b)),
         Op::Link(a, b) => m.link(&path(*a), &path(*b)),
-        Op::OpenClose(p) => m.open(&path(*p), OpenFlags::RDONLY).and_then(|fd| m.close(fd)),
+        Op::OpenClose(p) => m
+            .open(&path(*p), OpenFlags::RDONLY)
+            .and_then(|fd| m.close(fd)),
         Op::WriteAt(p, off, byte) => m
             .open(&path(*p), OpenFlags::RDWR | OpenFlags::CREATE)
             .and_then(|fd| {
@@ -125,12 +127,7 @@ fn check_invariants(m: &ModelFs) -> Result<(), TestCaseError> {
     }
     // hard-link accounting: recorded nlink equals discovered path count
     for (ino, nlink) in ino_nlinks {
-        prop_assert_eq!(
-            nlink,
-            ino_claimed[&ino],
-            "ino {} nlink vs paths",
-            ino
-        );
+        prop_assert_eq!(nlink, ino_claimed[&ino], "ino {} nlink vs paths", ino);
     }
     Ok(())
 }

@@ -13,9 +13,7 @@
 use crate::shadow::{ShadowFs, ShadowOpts};
 use parking_lot::Mutex;
 use rae_blockdev::BlockDevice;
-use rae_vfs::{
-    DirEntry, Fd, FileStat, FileSystem, FsGeometryInfo, FsResult, OpenFlags, SetAttr,
-};
+use rae_vfs::{DirEntry, Fd, FileStat, FileSystem, FsGeometryInfo, FsResult, OpenFlags, SetAttr};
 use std::sync::Arc;
 
 /// A [`FileSystem`] adapter over [`ShadowFs`]. See the module docs.
@@ -59,7 +57,10 @@ impl ShadowAsPrimary {
 
 impl FileSystem for ShadowAsPrimary {
     fn open(&self, path: &str, flags: OpenFlags) -> FsResult<Fd> {
-        self.inner.lock().op_open(path, flags, None).map(|(fd, _, _)| fd)
+        self.inner
+            .lock()
+            .op_open(path, flags, None)
+            .map(|(fd, _, _)| fd)
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
@@ -118,7 +119,10 @@ impl FileSystem for ShadowAsPrimary {
     }
 
     fn symlink(&self, target: &str, linkpath: &str) -> FsResult<()> {
-        self.inner.lock().op_symlink(target, linkpath, None).map(|_| ())
+        self.inner
+            .lock()
+            .op_symlink(target, linkpath, None)
+            .map(|_| ())
     }
 
     fn readlink(&self, path: &str) -> FsResult<String> {

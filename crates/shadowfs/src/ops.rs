@@ -158,8 +158,8 @@ impl ShadowFs {
                 inode.dindirect = 0;
                 inode.blocks -= 1;
             } else {
-                let first_live_l1 = ((new_nb - covered).saturating_sub(1) / PTRS_PER_BLOCK as u64
-                    + 1) as usize;
+                let first_live_l1 =
+                    ((new_nb - covered).saturating_sub(1) / PTRS_PER_BLOCK as u64 + 1) as usize;
                 for l1 in first_live_l1..PTRS_PER_BLOCK {
                     let l1p = self.read_ptr(inode.dindirect, l1)?;
                     if l1p != 0 {
@@ -288,7 +288,10 @@ impl ShadowFs {
 
     /// All entries of a directory by inode (used by the model builder
     /// and `readdir`).
-    pub(crate) fn list_dir(&mut self, dir_ino: InodeNo) -> FsResult<Vec<(String, InodeNo, FileType)>> {
+    pub(crate) fn list_dir(
+        &mut self,
+        dir_ino: InodeNo,
+    ) -> FsResult<Vec<(String, InodeNo, FileType)>> {
         let dir = self.load_inode(dir_ino)?;
         self.check(dir.ftype == FileType::Directory, "dir.is_directory", || {
             format!("{dir_ino} is not a directory")
@@ -450,9 +453,11 @@ impl ShadowFs {
         path: &str,
     ) -> FsResult<()> {
         let inode = self.load_inode(ino)?; // validates allocation + structure
-        self.check(inode.ftype == FileType::Regular, "restore.regular_file", || {
-            format!("descriptor restore for non-file {ino}")
-        })?;
+        self.check(
+            inode.ftype == FileType::Regular,
+            "restore.regular_file",
+            || format!("descriptor restore for non-file {ino}"),
+        )?;
         self.check(!self.fds.contains_key(&fd), "restore.fd_free", || {
             format!("descriptor {fd} restored twice")
         })?;
@@ -511,7 +516,9 @@ impl ShadowFs {
         } else {
             offset
         };
-        let end = at.checked_add(data.len() as u64).ok_or(FsError::FileTooBig)?;
+        let end = at
+            .checked_add(data.len() as u64)
+            .ok_or(FsError::FileTooBig)?;
         if end > MAX_FILE_SIZE {
             return Err(FsError::FileTooBig);
         }
@@ -588,7 +595,11 @@ impl ShadowFs {
         self.store_inode(ino, &inode)
     }
 
-    pub(crate) fn op_mkdir(&mut self, path: &str, wanted_ino: Option<InodeNo>) -> FsResult<InodeNo> {
+    pub(crate) fn op_mkdir(
+        &mut self,
+        path: &str,
+        wanted_ino: Option<InodeNo>,
+    ) -> FsResult<InodeNo> {
         let (parent, name) = self.resolve_parent(path)?;
         let pdir = self.load_inode(parent)?;
         if self.dir_find(&pdir, name)?.is_some() {

@@ -2,10 +2,11 @@
 //! sequences, cross-checking, and the recovery delta.
 
 use crate::shadow::{BlockKind, ShadowFs};
-use rae_blockdev::BLOCK_SIZE;
+use rae_blockdev::{BlockDevice, BLOCK_SIZE};
 use rae_fsformat::{fsck, RecoveredFd, RecoveryDelta};
 use rae_vfs::{FileSystem, FsError, FsOp, FsResult, OpOutcome, OpRecord};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// A read-only operation the shadow can serve on behalf of an
 /// application whose read was in flight when the base failed.
@@ -147,19 +148,27 @@ impl ShadowFs {
 
     /// Re-execute `op` against the refinement model (when enabled) and
     /// report result mismatches.
-    fn refine(&mut self, seq: u64, op: &FsOp, shadow_result: &FsResult<OpOutcome>, report: &mut ReplayReport) {
+    fn refine(
+        &mut self,
+        seq: u64,
+        op: &FsOp,
+        shadow_result: &FsResult<OpOutcome>,
+        report: &mut ReplayReport,
+    ) {
         let Some(model) = self.model.take() else {
             return;
         };
         let model_result: FsResult<OpOutcome> = match op {
-            FsOp::Create { path, flags } | FsOp::Open { path, flags } => model
-                .open(path, *flags)
-                .map(|fd| OpOutcome::Opened {
+            FsOp::Create { path, flags } | FsOp::Open { path, flags } => {
+                model.open(path, *flags).map(|fd| OpOutcome::Opened {
                     fd,
                     ino: rae_vfs::InodeNo(0), // model inos are not comparable
                     created: false,
-                }),
-            FsOp::RestoreFd { fd, flags, path, .. } => {
+                })
+            }
+            FsOp::RestoreFd {
+                fd, flags, path, ..
+            } => {
                 // a stale path (renamed before the barrier) is legal;
                 // disable refinement rather than mis-restore
                 if model.restore_fd(*fd, path, *flags).is_err() {
@@ -195,15 +204,20 @@ impl ShadowFs {
         match (shadow_result, &model_result) {
             (Ok(s), Ok(m)) => {
                 let agree = match (s, m) {
-                    (
-                        OpOutcome::Opened { fd: sf, .. },
-                        OpOutcome::Opened { fd: mf, .. },
-                    ) => sf == mf,
+                    (OpOutcome::Opened { fd: sf, .. }, OpOutcome::Opened { fd: mf, .. }) => {
+                        sf == mf
+                    }
                     (OpOutcome::Written { n: sn }, OpOutcome::Written { n: mn }) => sn == mn,
                     _ => true,
                 };
                 if !agree {
-                    Self::note(report, seq, "refinement.outcome", format!("{m:?}"), format!("{s:?}"));
+                    Self::note(
+                        report,
+                        seq,
+                        "refinement.outcome",
+                        format!("{m:?}"),
+                        format!("{s:?}"),
+                    );
                 }
             }
             (Err(se), Err(me)) => {
@@ -219,16 +233,17 @@ impl ShadowFs {
 
     /// Execute one operation. `wanted` injects the base's recorded
     /// allocation decisions in constrained mode.
-    fn execute(
-        &mut self,
-        op: &FsOp,
-        wanted_ino: Option<rae_vfs::InodeNo>,
-    ) -> FsResult<OpOutcome> {
+    fn execute(&mut self, op: &FsOp, wanted_ino: Option<rae_vfs::InodeNo>) -> FsResult<OpOutcome> {
         match op {
             FsOp::Create { path, flags } | FsOp::Open { path, flags } => self
                 .op_open(path, *flags, wanted_ino)
                 .map(|(fd, ino, created)| OpOutcome::Opened { fd, ino, created }),
-            FsOp::RestoreFd { fd, ino, flags, path } => self
+            FsOp::RestoreFd {
+                fd,
+                ino,
+                flags,
+                path,
+            } => self
                 .op_restore_fd(*fd, *ino, *flags, path)
                 .map(|()| OpOutcome::Opened {
                     fd: *fd,
@@ -253,6 +268,118 @@ impl ShadowFs {
         }
     }
 
+    /// Apply one completed record to the shadow — the single step of
+    /// constrained mode, shared by cold replay ([`replay_constrained`])
+    /// and the warm standby's continuous background apply. Pending
+    /// records are noted as discrepancies, `Failed`/sync-family records
+    /// are counted and skipped, and every executed record is
+    /// cross-checked against the base's recorded outcome.
+    ///
+    /// # Errors
+    ///
+    /// Only the shadow's own runtime errors (fatal for the caller's
+    /// replay or standby).
+    ///
+    /// [`replay_constrained`]: ShadowFs::replay_constrained
+    pub fn apply_record(&mut self, rec: &OpRecord, report: &mut ReplayReport) -> FsResult<()> {
+        match &rec.outcome {
+            OpOutcome::Pending => {
+                // in-flight records belong to autonomous mode
+                Self::note(
+                    report,
+                    rec.seq,
+                    "record.pending",
+                    "completed record",
+                    "pending record",
+                );
+                return Ok(());
+            }
+            OpOutcome::Failed(_) => {
+                report.skipped_errors += 1;
+                return Ok(());
+            }
+            _ => {}
+        }
+        if rec.op.is_sync_family() {
+            report.skipped_sync += 1;
+            return Ok(());
+        }
+        // constrained mode validates the base's inode allocation
+        let wanted_ino = match (&rec.op, &rec.outcome) {
+            (
+                FsOp::Create { .. } | FsOp::Open { .. },
+                OpOutcome::Opened {
+                    ino, created: true, ..
+                },
+            ) => Some(*ino),
+            (FsOp::Mkdir { .. } | FsOp::Symlink { .. }, _) => None, // base did not record the ino
+            _ => None,
+        };
+
+        let result = self.execute(&rec.op, wanted_ino);
+        self.refine(rec.seq, &rec.op, &result, report);
+        match result {
+            Ok(outcome) => {
+                report.executed += 1;
+                self.checks += 1;
+                match (&rec.outcome, &outcome) {
+                    (
+                        OpOutcome::Opened {
+                            fd: ef,
+                            ino: ei,
+                            created: ec,
+                        },
+                        OpOutcome::Opened {
+                            fd: gf,
+                            ino: gi,
+                            created: gc,
+                        },
+                    ) => {
+                        if ef != gf {
+                            Self::note(report, rec.seq, "outcome.fd", ef, gf);
+                        }
+                        if ei != gi {
+                            Self::note(report, rec.seq, "outcome.ino", ei, gi);
+                        }
+                        if ec != gc {
+                            Self::note(report, rec.seq, "outcome.created", ec, gc);
+                        }
+                    }
+                    (OpOutcome::Written { n: en }, OpOutcome::Written { n: gn }) => {
+                        if en != gn {
+                            Self::note(report, rec.seq, "outcome.written", en, gn);
+                        }
+                    }
+                    (OpOutcome::Unit, OpOutcome::Unit) => {}
+                    (expected, got) => {
+                        Self::note(
+                            report,
+                            rec.seq,
+                            "outcome.shape",
+                            format!("{expected:?}"),
+                            format!("{got:?}"),
+                        );
+                    }
+                }
+                Ok(())
+            }
+            Err(e) if e.is_specified() => {
+                // the base succeeded; the shadow refused — a real
+                // disagreement (bug in the base or missing shadow
+                // condition)
+                Self::note(
+                    report,
+                    rec.seq,
+                    "outcome.success",
+                    format!("{:?}", rec.outcome),
+                    e,
+                );
+                Ok(())
+            }
+            Err(e) => Err(e), // shadow runtime error: fatal
+        }
+    }
+
     /// Constrained mode (§3.2): re-execute completed records,
     /// cross-checking each against the base's recorded outcome and
     /// validating the base's allocation decisions.
@@ -268,82 +395,104 @@ impl ShadowFs {
     pub fn replay_constrained(&mut self, records: &[OpRecord]) -> FsResult<ReplayReport> {
         let mut report = ReplayReport::default();
         for rec in records {
-            match &rec.outcome {
-                OpOutcome::Pending => {
-                    // in-flight records belong to autonomous mode
-                    Self::note(&mut report, rec.seq, "record.pending", "completed record", "pending record");
-                    continue;
-                }
-                OpOutcome::Failed(_) => {
-                    report.skipped_errors += 1;
-                    continue;
-                }
-                _ => {}
-            }
-            if rec.op.is_sync_family() {
-                report.skipped_sync += 1;
-                continue;
-            }
-            // constrained mode validates the base's inode allocation
-            let wanted_ino = match (&rec.op, &rec.outcome) {
-                (FsOp::Create { .. } | FsOp::Open { .. }, OpOutcome::Opened { ino, created: true, .. }) => {
-                    Some(*ino)
-                }
-                (FsOp::Mkdir { .. } | FsOp::Symlink { .. }, _) => None, // base did not record the ino
-                _ => None,
-            };
-
-            let result = self.execute(&rec.op, wanted_ino);
-            self.refine(rec.seq, &rec.op, &result, &mut report);
-            match result {
-                Ok(outcome) => {
-                    report.executed += 1;
-                    self.checks += 1;
-                    match (&rec.outcome, &outcome) {
-                        (
-                            OpOutcome::Opened { fd: ef, ino: ei, created: ec },
-                            OpOutcome::Opened { fd: gf, ino: gi, created: gc },
-                        ) => {
-                            if ef != gf {
-                                Self::note(&mut report, rec.seq, "outcome.fd", ef, gf);
-                            }
-                            if ei != gi {
-                                Self::note(&mut report, rec.seq, "outcome.ino", ei, gi);
-                            }
-                            if ec != gc {
-                                Self::note(&mut report, rec.seq, "outcome.created", ec, gc);
-                            }
-                        }
-                        (OpOutcome::Written { n: en }, OpOutcome::Written { n: gn }) => {
-                            if en != gn {
-                                Self::note(&mut report, rec.seq, "outcome.written", en, gn);
-                            }
-                        }
-                        (OpOutcome::Unit, OpOutcome::Unit) => {}
-                        (expected, got) => {
-                            Self::note(
-                                &mut report,
-                                rec.seq,
-                                "outcome.shape",
-                                format!("{expected:?}"),
-                                format!("{got:?}"),
-                            );
-                        }
-                    }
-                }
-                Err(e) if e.is_specified() => {
-                    // the base succeeded; the shadow refused — a real
-                    // disagreement (bug in the base or missing shadow
-                    // condition)
-                    Self::note(&mut report, rec.seq, "outcome.success", format!("{:?}", rec.outcome), e);
-                }
-                Err(e) => return Err(e), // shadow runtime error: fatal
-            }
+            self.apply_record(rec, &mut report)?;
         }
         if self.opts.paranoid_checks {
             self.verify_consistency()?;
         }
         Ok(report)
+    }
+
+    /// Rewrite the overlay so it is exactly the set of blocks where
+    /// this shadow's merged view differs from `live`, without changing
+    /// the merged view itself. Returns how many overlay blocks were
+    /// dropped as already-persisted.
+    ///
+    /// A warm-standby shadow executes against a private frozen snapshot
+    /// of the device, so by recovery time its *base* and the live
+    /// device belong to different block lineages: the live image may
+    /// hold the base's own placement of operations the shadow placed
+    /// elsewhere. Absorbing only the shadow's written blocks would then
+    /// splice two layouts into one image — the same directory entry can
+    /// end up in two dirent blocks. This resync makes the eventual
+    /// delta ([`ShadowFs::into_delta`]) reproduce the shadow's merged
+    /// image wholesale:
+    ///
+    /// * an overlay block equal to `live` is dropped only when the
+    ///   snapshot base also agrees — otherwise dropping it would expose
+    ///   stale snapshot content to later merged reads;
+    /// * a block the shadow never wrote but where snapshot and `live`
+    ///   disagree is pinned into the overlay with the snapshot content,
+    ///   reverting the base's divergent placement on absorb.
+    ///
+    /// Block 0 (the base rebuilds its superblock from the bitmaps) and
+    /// the journal region (the rebooted base's journal is already
+    /// consistent with its manager state) are left untouched. Only
+    /// sound when `live` is quiesced and this shadow has applied every
+    /// completed operation — i.e. at recovery handover, after the
+    /// contained reboot.
+    ///
+    /// When `written_since_base` is `Some`, it must contain **every**
+    /// block the base wrote to the live device since this shadow's
+    /// base snapshot was taken (see `TrackedDisk` in `rae-blockdev`).
+    /// Blocks outside that set and outside the overlay were touched by
+    /// neither lineage, so they are byte-identical by construction and
+    /// the scan visits only the union — O(touched) instead of
+    /// O(device).
+    ///
+    /// # Errors
+    ///
+    /// Device read errors (either side).
+    pub fn resync_against(
+        &mut self,
+        live: &dyn BlockDevice,
+        written_since_base: Option<&HashSet<u64>>,
+    ) -> FsResult<usize> {
+        let candidates: Vec<u64> = match written_since_base {
+            Some(written) => {
+                let mut c: Vec<u64> = self
+                    .overlay
+                    .keys()
+                    .copied()
+                    .chain(written.iter().copied())
+                    .collect();
+                c.sort_unstable();
+                c.dedup();
+                c
+            }
+            None => (0..self.geo.total_blocks).collect(),
+        };
+        let journal = self.geo.journal_start..self.geo.journal_start + self.geo.journal_blocks;
+        let mut theirs = vec![0u8; BLOCK_SIZE];
+        let mut mine = vec![0u8; BLOCK_SIZE];
+        let mut dropped = 0usize;
+        for bno in candidates {
+            if bno == 0 || journal.contains(&bno) || bno >= self.geo.total_blocks {
+                continue;
+            }
+            live.read_block(bno, &mut theirs)?;
+            self.dev.read_block(bno, &mut mine)?;
+            match self.overlay.get(&bno) {
+                Some((img, _)) if img[..] == theirs[..] && mine[..] == theirs[..] => {
+                    self.overlay.remove(&bno);
+                    dropped += 1;
+                }
+                Some(_) => {}
+                None if mine[..] != theirs[..] => {
+                    // region-based classification: the shadow never
+                    // touched this block, so only its address says how
+                    // the base should cache the revert
+                    let kind = if bno >= self.geo.data_start {
+                        BlockKind::Data
+                    } else {
+                        BlockKind::Meta
+                    };
+                    self.overlay.insert(bno, (mine.clone(), kind));
+                }
+                None => {}
+            }
+        }
+        Ok(dropped)
     }
 
     /// Autonomous mode (§3.2): execute an in-flight operation, making

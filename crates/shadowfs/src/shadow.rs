@@ -95,7 +95,11 @@ impl ShadowFs {
             if !report.is_clean() {
                 return Err(FsError::CheckFailed {
                     check: "image-validation".to_string(),
-                    detail: format!("{} structural error(s): {}", report.errors.len(), report.errors[0]),
+                    detail: format!(
+                        "{} structural error(s): {}",
+                        report.errors.len(),
+                        report.errors[0]
+                    ),
                 });
             }
         }
@@ -111,9 +115,11 @@ impl ShadowFs {
             geo.data_bitmap_blocks,
             geo.data_blocks,
         )?;
-        let free_inodes = u32::try_from(u64::from(geo.inode_count) - ibm.count_set())
-            .map_err(|_| FsError::Corrupted {
-                detail: "inode bitmap overflow".to_string(),
+        let free_inodes =
+            u32::try_from(u64::from(geo.inode_count) - ibm.count_set()).map_err(|_| {
+                FsError::Corrupted {
+                    detail: "inode bitmap overflow".to_string(),
+                }
             })?;
         let free_blocks = dbm.count_clear();
 
@@ -156,11 +162,106 @@ impl ShadowFs {
         self.overlay.len()
     }
 
+    /// The refinement model maintained in lockstep with applied
+    /// operations, if `refine_against_model` is enabled.
+    #[must_use]
+    pub fn refinement_model(&self) -> Option<&ModelFs> {
+        self.model.as_ref()
+    }
+
+    /// Adopt `fresh` as the backing device and drop the overlay
+    /// entirely: bitmaps and free counts are reloaded from the new
+    /// image while the descriptor table, refinement model, and check
+    /// counters carry over.
+    ///
+    /// Sound only when the shadow's merged view is logically
+    /// equivalent to `fresh` — the warm standby calls this at
+    /// quiesced, checkpointed, caught-up audit points to shed its
+    /// accumulated overlay and re-anchor on the base's durable image.
+    /// Returns the number of overlay blocks released.
+    ///
+    /// # Errors
+    ///
+    /// Superblock/bitmap read errors on the new device.
+    pub fn rebase(&mut self, fresh: Arc<dyn BlockDevice>) -> FsResult<usize> {
+        let sb = Superblock::read_from(fresh.as_ref())?;
+        let geo = sb.geometry;
+        let ibm = Bitmap::load(
+            fresh.as_ref(),
+            geo.inode_bitmap_start,
+            geo.inode_bitmap_blocks,
+            u64::from(geo.inode_count),
+        )?;
+        let dbm = Bitmap::load(
+            fresh.as_ref(),
+            geo.data_bitmap_start,
+            geo.data_bitmap_blocks,
+            geo.data_blocks,
+        )?;
+        let free_inodes =
+            u32::try_from(u64::from(geo.inode_count) - ibm.count_set()).map_err(|_| {
+                FsError::Corrupted {
+                    detail: "inode bitmap overflow".to_string(),
+                }
+            })?;
+        let dropped = self.overlay.len();
+        self.dev = fresh;
+        self.geo = geo;
+        self.overlay.clear();
+        self.ibm = ibm;
+        self.free_blocks = dbm.count_clear();
+        self.dbm = dbm;
+        self.free_inodes = free_inodes;
+        Ok(dropped)
+    }
+
+    /// An independent deep copy sharing only the (immutable) backing
+    /// device handle. The RAE runtime forks the handed-over warm
+    /// shadow at the end of a warm recovery: one copy is consumed for
+    /// the metadata download, the other resumes as the next standby —
+    /// re-arming without an O(device) snapshot or a backlog replay.
+    #[must_use]
+    pub fn fork(&self) -> ShadowFs {
+        ShadowFs {
+            dev: Arc::clone(&self.dev),
+            geo: self.geo,
+            overlay: self.overlay.clone(),
+            ibm: self.ibm.clone(),
+            dbm: self.dbm.clone(),
+            free_inodes: self.free_inodes,
+            free_blocks: self.free_blocks,
+            fds: self.fds.clone(),
+            clock: self.clock,
+            opts: self.opts,
+            checks: self.checks,
+            model: self.model.clone(),
+        }
+    }
+
+    /// Rebuild a fresh in-memory model from the shadow's current tree
+    /// (the same walk recovery audits use). Diffing this against
+    /// [`refinement_model`] detects drift between the incrementally
+    /// maintained model and the actual shadow state.
+    ///
+    /// # Errors
+    ///
+    /// Shadow runtime errors while walking the tree.
+    ///
+    /// [`refinement_model`]: ShadowFs::refinement_model
+    pub fn snapshot_model(&mut self) -> FsResult<ModelFs> {
+        self.build_model()
+    }
+
     // ------------------------------------------------------------------
     // Checks
     // ------------------------------------------------------------------
 
-    pub(crate) fn check(&mut self, cond: bool, name: &str, detail: impl FnOnce() -> String) -> FsResult<()> {
+    pub(crate) fn check(
+        &mut self,
+        cond: bool,
+        name: &str,
+        detail: impl FnOnce() -> String,
+    ) -> FsResult<()> {
         self.checks += 1;
         if cond {
             Ok(())
@@ -236,7 +337,12 @@ impl ShadowFs {
         self.check(
             offset + bytes.len() <= BLOCK_SIZE,
             "block.update_bounds",
-            || format!("update [{offset}, {}) crosses block end", offset + bytes.len()),
+            || {
+                format!(
+                    "update [{offset}, {}) crosses block end",
+                    offset + bytes.len()
+                )
+            },
         )?;
         let mut img = self.read_block(bno)?;
         img[offset..offset + bytes.len()].copy_from_slice(bytes);
@@ -264,10 +370,11 @@ impl ShadowFs {
     }
 
     pub(crate) fn load_inode(&mut self, ino: InodeNo) -> FsResult<DiskInode> {
-        self.load_inode_opt(ino)?.ok_or_else(|| FsError::CheckFailed {
-            check: "inode.present".to_string(),
-            detail: format!("{ino} referenced but not allocated"),
-        })
+        self.load_inode_opt(ino)?
+            .ok_or_else(|| FsError::CheckFailed {
+                check: "inode.present".to_string(),
+                detail: format!("{ino} referenced but not allocated"),
+            })
     }
 
     pub(crate) fn store_inode(&mut self, ino: InodeNo, inode: &DiskInode) -> FsResult<()> {
@@ -326,8 +433,11 @@ impl ShadowFs {
         self.free_inodes -= 1;
         self.flush_ibm_block(bit)?;
         // paranoid: the counter must track the bitmap exactly
-        let (count_set, inode_count, free) =
-            (self.ibm.count_set(), u64::from(self.geo.inode_count), u64::from(self.free_inodes));
+        let (count_set, inode_count, free) = (
+            self.ibm.count_set(),
+            u64::from(self.geo.inode_count),
+            u64::from(self.free_inodes),
+        );
         self.pcheck(
             move || count_set + free == inode_count,
             "alloc.ino_accounting",

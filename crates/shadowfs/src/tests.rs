@@ -87,7 +87,8 @@ fn unvalidated_load_fails_later_with_check_not_crash() {
 #[test]
 fn checks_are_counted_and_ablatable() {
     let dev = fresh_dev();
-    let mut paranoid = ShadowFs::load(dev.clone() as Arc<dyn BlockDevice>, ShadowOpts::default()).unwrap();
+    let mut paranoid =
+        ShadowFs::load(dev.clone() as Arc<dyn BlockDevice>, ShadowOpts::default()).unwrap();
     let mut relaxed = ShadowFs::load(
         dev as Arc<dyn BlockDevice>,
         ShadowOpts {
@@ -113,11 +114,8 @@ fn checks_are_counted_and_ablatable() {
 /// Drive a "base" (autonomous shadow from the same image) to produce
 /// records, then replay them constrained on a fresh shadow.
 fn record_ops(dev: &Arc<MemDisk>, ops: Vec<FsOp>) -> Vec<OpRecord> {
-    let mut gen = ShadowFs::load(
-        dev.clone() as Arc<dyn BlockDevice>,
-        ShadowOpts::default(),
-    )
-    .unwrap();
+    let mut gen =
+        ShadowFs::load(dev.clone() as Arc<dyn BlockDevice>, ShadowOpts::default()).unwrap();
     let mut records = Vec::new();
     for (i, op) in ops.into_iter().enumerate() {
         let outcome = gen.execute_autonomous(&op).unwrap();
@@ -134,22 +132,49 @@ fn constrained_replay_reproduces_outcomes_exactly() {
     let records = record_ops(
         &dev,
         vec![
-            FsOp::Mkdir { path: "/dir".into() },
-            FsOp::Create { path: "/dir/a".into(), flags: rw_create() },
-            FsOp::Write { fd: Fd(3), offset: 0, data: b"payload".to_vec() },
-            FsOp::Create { path: "/dir/b".into(), flags: rw_create() },
+            FsOp::Mkdir {
+                path: "/dir".into(),
+            },
+            FsOp::Create {
+                path: "/dir/a".into(),
+                flags: rw_create(),
+            },
+            FsOp::Write {
+                fd: Fd(3),
+                offset: 0,
+                data: b"payload".to_vec(),
+            },
+            FsOp::Create {
+                path: "/dir/b".into(),
+                flags: rw_create(),
+            },
             FsOp::Close { fd: Fd(4) },
-            FsOp::Rename { from: "/dir/b".into(), to: "/dir/c".into() },
-            FsOp::Link { existing: "/dir/a".into(), new: "/hard".into() },
-            FsOp::Symlink { target: "/dir/a".into(), linkpath: "/sym".into() },
+            FsOp::Rename {
+                from: "/dir/b".into(),
+                to: "/dir/c".into(),
+            },
+            FsOp::Link {
+                existing: "/dir/a".into(),
+                new: "/hard".into(),
+            },
+            FsOp::Symlink {
+                target: "/dir/a".into(),
+                linkpath: "/sym".into(),
+            },
             FsOp::Truncate { fd: Fd(3), size: 3 },
-            FsOp::Unlink { path: "/dir/c".into() },
+            FsOp::Unlink {
+                path: "/dir/c".into(),
+            },
         ],
     );
 
     let mut sh = load(&dev);
     let report = sh.replay_constrained(&records).unwrap();
-    assert!(report.is_clean(), "discrepancies: {:?}", report.discrepancies);
+    assert!(
+        report.is_clean(),
+        "discrepancies: {:?}",
+        report.discrepancies
+    );
     assert_eq!(report.executed, 10);
     // reconstructed state is queryable
     assert_eq!(sh.op_stat("/dir/a").unwrap().size, 3);
@@ -161,10 +186,7 @@ fn constrained_replay_reproduces_outcomes_exactly() {
 #[test]
 fn constrained_replay_skips_failed_and_sync_records() {
     let dev = fresh_dev();
-    let mut records = record_ops(
-        &dev,
-        vec![FsOp::Mkdir { path: "/d".into() }],
-    );
+    let mut records = record_ops(&dev, vec![FsOp::Mkdir { path: "/d".into() }]);
     // a specified error the base returned (shadow must skip it)
     let mut failed = OpRecord::new(50, FsOp::Mkdir { path: "/d".into() });
     failed.complete(OpOutcome::Failed(FsError::Exists));
@@ -187,8 +209,15 @@ fn cross_check_flags_base_lies() {
     let mut records = record_ops(
         &dev,
         vec![
-            FsOp::Create { path: "/f".into(), flags: rw_create() },
-            FsOp::Write { fd: Fd(3), offset: 0, data: b"1234".to_vec() },
+            FsOp::Create {
+                path: "/f".into(),
+                flags: rw_create(),
+            },
+            FsOp::Write {
+                fd: Fd(3),
+                offset: 0,
+                data: b"1234".to_vec(),
+            },
         ],
     );
     // pretend the base claimed it wrote 999 bytes (a wrong-result bug)
@@ -205,7 +234,10 @@ fn constrained_mode_validates_unusable_ino() {
     let dev = fresh_dev();
     let mut records = record_ops(
         &dev,
-        vec![FsOp::Create { path: "/f".into(), flags: rw_create() }],
+        vec![FsOp::Create {
+            path: "/f".into(),
+            flags: rw_create(),
+        }],
     );
     // claim the base allocated the root inode (ino 1) for the new file
     records[0].outcome = OpOutcome::Opened {
@@ -244,15 +276,29 @@ fn restore_fd_reestablishes_descriptors() {
             path: "/kept".into(),
         },
     );
-    r.complete(OpOutcome::Opened { fd: Fd(3), ino: InodeNo(2), created: false });
+    r.complete(OpOutcome::Opened {
+        fd: Fd(3),
+        ino: InodeNo(2),
+        created: false,
+    });
     records.push(r);
-    let mut w = OpRecord::new(6, FsOp::Write { fd: Fd(3), offset: 0, data: b"x".to_vec() });
+    let mut w = OpRecord::new(
+        6,
+        FsOp::Write {
+            fd: Fd(3),
+            offset: 0,
+            data: b"x".to_vec(),
+        },
+    );
     w.complete(OpOutcome::Written { n: 1 });
     records.push(w);
 
     let mut sh = ShadowFs::load(
         dev as Arc<dyn BlockDevice>,
-        ShadowOpts { validate_image: false, ..ShadowOpts::default() },
+        ShadowOpts {
+            validate_image: false,
+            ..ShadowOpts::default()
+        },
     )
     .unwrap();
     let report = sh.replay_constrained(&records).unwrap();
@@ -266,7 +312,9 @@ fn autonomous_mode_returns_specified_errors_as_outcomes() {
     let dev = fresh_dev();
     let mut sh = load(&dev);
     let outcome = sh
-        .execute_autonomous(&FsOp::Unlink { path: "/missing".into() })
+        .execute_autonomous(&FsOp::Unlink {
+            path: "/missing".into(),
+        })
         .unwrap();
     assert_eq!(outcome, OpOutcome::Failed(FsError::NotFound));
     // sync family: acknowledged but never executed
@@ -285,7 +333,10 @@ fn delta_contains_all_overlay_blocks_and_fds() {
     let delta = sh.into_delta();
     // +1: the synthesized counter-consistent superblock image
     assert_eq!(delta.block_count(), overlay_len + 1);
-    assert!(delta.meta_blocks.len() >= 3, "inode table + bitmaps + root dir");
+    assert!(
+        delta.meta_blocks.len() >= 3,
+        "inode table + bitmaps + root dir"
+    );
     assert_eq!(delta.data_blocks.len(), 2);
     assert_eq!(delta.fd_entries.len(), 1);
     assert_eq!(delta.fd_entries[0].fd, fd);
@@ -300,8 +351,15 @@ fn refinement_check_passes_on_clean_replay() {
         &dev,
         vec![
             FsOp::Mkdir { path: "/d".into() },
-            FsOp::Create { path: "/d/f".into(), flags: rw_create() },
-            FsOp::Write { fd: Fd(3), offset: 10, data: b"sparse".to_vec() },
+            FsOp::Create {
+                path: "/d/f".into(),
+                flags: rw_create(),
+            },
+            FsOp::Write {
+                fd: Fd(3),
+                offset: 10,
+                data: b"sparse".to_vec(),
+            },
             FsOp::Close { fd: Fd(3) },
         ],
     );
@@ -328,7 +386,8 @@ fn post_recovery_fsck_catches_inconsistent_reconstruction() {
     let blk = rae_fsformat::bitmap::Bitmap::block_containing(bit);
     let img = sh.ibm.block_image(blk).to_vec();
     let bno = sh.geo.inode_bitmap_start + blk;
-    sh.overlay.insert(bno, (img, crate::shadow::BlockKind::Meta));
+    sh.overlay
+        .insert(bno, (img, crate::shadow::BlockKind::Meta));
 
     let err = sh.verify_consistency().unwrap_err();
     assert!(matches!(err, FsError::CheckFailed { ref check, .. } if check == "post-recovery-fsck"));
@@ -343,7 +402,10 @@ fn shadow_as_primary_matches_model_on_scripted_sequence() {
     type Step = Box<dyn Fn(&dyn FileSystem) -> Result<String, FsError>>;
     let script: Vec<Step> = vec![
         Box::new(|fs| fs.mkdir("/d").map(|()| "ok".into())),
-        Box::new(|fs| fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE).map(|fd| fd.to_string())),
+        Box::new(|fs| {
+            fs.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE)
+                .map(|fd| fd.to_string())
+        }),
         Box::new(|fs| fs.write(Fd(3), 0, b"abc").map(|n| n.to_string())),
         Box::new(|fs| fs.read(Fd(3), 1, 2).map(|d| format!("{d:?}"))),
         Box::new(|fs| fs.truncate(Fd(3), 1).map(|()| "ok".into())),
@@ -353,7 +415,10 @@ fn shadow_as_primary_matches_model_on_scripted_sequence() {
         Box::new(|fs| fs.unlink("/d/f").map(|()| "ok".into())),
         Box::new(|fs| fs.rmdir("/d").map(|()| "ok".into())),
         Box::new(|fs| fs.rmdir("/d").map(|()| "ok".into())), // NotFound
-        Box::new(|fs| fs.setattr("/nope", SetAttr::default()).map(|()| "ok".into())),
+        Box::new(|fs| {
+            fs.setattr("/nope", SetAttr::default())
+                .map(|()| "ok".into())
+        }),
     ];
     for (i, step) in script.iter().enumerate() {
         let s = step(&shadow);
@@ -372,11 +437,23 @@ fn serve_read_answers_pending_reads() {
     sh.op_mkdir("/dir", None).unwrap();
     sh.op_symlink("/served", "/lnk", None).unwrap();
 
-    match sh.serve_read(&ReadRequest::Read { fd, offset: 8, len: 3 }).unwrap() {
+    match sh
+        .serve_read(&ReadRequest::Read {
+            fd,
+            offset: 8,
+            len: 3,
+        })
+        .unwrap()
+    {
         ReadReply::Data(d) => assert_eq!(d, b"via"),
         other => panic!("{other:?}"),
     }
-    match sh.serve_read(&ReadRequest::Stat { path: "/served".into() }).unwrap() {
+    match sh
+        .serve_read(&ReadRequest::Stat {
+            path: "/served".into(),
+        })
+        .unwrap()
+    {
         ReadReply::Stat(st) => {
             assert_eq!(st.ino, ino);
             assert_eq!(st.size, 22);
@@ -387,11 +464,19 @@ fn serve_read_answers_pending_reads() {
         ReadReply::Stat(st) => assert_eq!(st.ino, ino),
         other => panic!("{other:?}"),
     }
-    match sh.serve_read(&ReadRequest::Readdir { path: "/".into() }).unwrap() {
+    match sh
+        .serve_read(&ReadRequest::Readdir { path: "/".into() })
+        .unwrap()
+    {
         ReadReply::Entries(es) => assert_eq!(es.len(), 3),
         other => panic!("{other:?}"),
     }
-    match sh.serve_read(&ReadRequest::Readlink { path: "/lnk".into() }).unwrap() {
+    match sh
+        .serve_read(&ReadRequest::Readlink {
+            path: "/lnk".into(),
+        })
+        .unwrap()
+    {
         ReadReply::Target(t) => assert_eq!(t, "/served"),
         other => panic!("{other:?}"),
     }
@@ -401,7 +486,9 @@ fn serve_read_answers_pending_reads() {
     }
     // specified errors pass through
     assert_eq!(
-        sh.serve_read(&ReadRequest::Stat { path: "/missing".into() }),
+        sh.serve_read(&ReadRequest::Stat {
+            path: "/missing".into()
+        }),
         Err(FsError::NotFound)
     );
 }
@@ -414,8 +501,15 @@ fn shadow_never_writes_even_under_replay_and_reads() {
         &dev,
         vec![
             FsOp::Mkdir { path: "/x".into() },
-            FsOp::Create { path: "/x/y".into(), flags: rw_create() },
-            FsOp::Write { fd: Fd(3), offset: 0, data: vec![9u8; 10_000] },
+            FsOp::Create {
+                path: "/x/y".into(),
+                flags: rw_create(),
+            },
+            FsOp::Write {
+                fd: Fd(3),
+                offset: 0,
+                data: vec![9u8; 10_000],
+            },
         ],
     );
     let mut sh = load(&dev);
@@ -424,7 +518,11 @@ fn shadow_never_writes_even_under_replay_and_reads() {
         .serve_read(&crate::replay::ReadRequest::Readdir { path: "/x".into() })
         .unwrap();
     let _ = sh.verify_consistency();
-    assert_eq!(dev.snapshot(), before, "device byte-identical after everything");
+    assert_eq!(
+        dev.snapshot(),
+        before,
+        "device byte-identical after everything"
+    );
 }
 
 #[test]
@@ -443,7 +541,10 @@ fn shadow_handles_every_pointer_tier() {
     assert_eq!(sh.op_read(fd, ind, 13).unwrap(), b"indirect tier");
     assert_eq!(sh.op_read(fd, dind, 11).unwrap(), b"double tier");
     // holes between tiers read as zeroes
-    assert_eq!(sh.op_read(fd, 5 * BLOCK_SIZE as u64, 3).unwrap(), vec![0, 0, 0]);
+    assert_eq!(
+        sh.op_read(fd, 5 * BLOCK_SIZE as u64, 3).unwrap(),
+        vec![0, 0, 0]
+    );
     let st = sh.op_fstat(fd).unwrap();
     assert_eq!(st.size, dind + 11);
 
@@ -472,7 +573,11 @@ fn shadow_dir_growth_and_shrink() {
     for i in 0..300 {
         sh.op_unlink(&format!("/big/{:060}", i)).unwrap();
     }
-    assert_eq!(sh.op_stat("/big").unwrap().size, 0, "trailing blocks reclaimed");
+    assert_eq!(
+        sh.op_stat("/big").unwrap().size,
+        0,
+        "trailing blocks reclaimed"
+    );
     sh.op_rmdir("/big").unwrap();
     sh.verify_consistency().unwrap();
 }

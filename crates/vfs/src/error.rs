@@ -93,21 +93,21 @@ impl FsError {
     #[must_use]
     pub fn errno(&self) -> i32 {
         match self {
-            FsError::NotFound => 2,            // ENOENT
-            FsError::IoFailed { .. } => 5,     // EIO
-            FsError::BadFd | FsError::BadAccessMode => 9, // EBADF
-            FsError::Busy => 16,               // EBUSY
-            FsError::Exists => 17,             // EEXIST
-            FsError::NotDir => 20,             // ENOTDIR
-            FsError::IsDir => 21,              // EISDIR
+            FsError::NotFound => 2,                               // ENOENT
+            FsError::IoFailed { .. } => 5,                        // EIO
+            FsError::BadFd | FsError::BadAccessMode => 9,         // EBADF
+            FsError::Busy => 16,                                  // EBUSY
+            FsError::Exists => 17,                                // EEXIST
+            FsError::NotDir => 20,                                // ENOTDIR
+            FsError::IsDir => 21,                                 // EISDIR
             FsError::InvalidArgument | FsError::RenameLoop => 22, // EINVAL
-            FsError::TooManyOpenFiles => 24,   // EMFILE
-            FsError::FileTooBig => 27,         // EFBIG
-            FsError::NoSpace | FsError::NoInodes => 28, // ENOSPC
-            FsError::ReadOnly => 30,           // EROFS
-            FsError::TooManyLinks => 31,       // EMLINK
-            FsError::NameTooLong => 36,        // ENAMETOOLONG
-            FsError::NotEmpty => 39,           // ENOTEMPTY
+            FsError::TooManyOpenFiles => 24,                      // EMFILE
+            FsError::FileTooBig => 27,                            // EFBIG
+            FsError::NoSpace | FsError::NoInodes => 28,           // ENOSPC
+            FsError::ReadOnly => 30,                              // EROFS
+            FsError::TooManyLinks => 31,                          // EMLINK
+            FsError::NameTooLong => 36,                           // ENAMETOOLONG
+            FsError::NotEmpty => 39,                              // ENOTEMPTY
             FsError::Corrupted { .. }
             | FsError::DetectedBug { .. }
             | FsError::CheckFailed { .. }
@@ -206,12 +206,17 @@ mod tests {
         for err in [
             FsError::NotFound,
             FsError::Busy,
-            FsError::Corrupted { detail: "bad magic".into() },
+            FsError::Corrupted {
+                detail: "bad magic".into(),
+            },
             FsError::DetectedBug { bug_id: 1 },
         ] {
             let s = err.to_string();
             assert!(!s.ends_with('.'), "{s:?} ends with punctuation");
-            assert!(s.chars().next().unwrap().is_lowercase(), "{s:?} not lowercase");
+            assert!(
+                s.chars().next().unwrap().is_lowercase(),
+                "{s:?} not lowercase"
+            );
         }
     }
 

@@ -420,7 +420,10 @@ mod tests {
                 offset: 0,
                 data: vec![1, 2, 3],
             },
-            FsOp::Truncate { fd: Fd(3), size: 10 },
+            FsOp::Truncate {
+                fd: Fd(3),
+                size: 10,
+            },
             FsOp::SetAttr {
                 path: "/f".into(),
                 attr: SetAttr {

@@ -115,9 +115,7 @@ impl fmt::Display for FileType {
 
 /// Open flags, modelled as a transparent bit set (see C-BITFLAG; kept
 /// dependency-free rather than pulling in the `bitflags` crate).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub struct OpenFlags(u32);
 
 impl OpenFlags {
@@ -137,8 +135,7 @@ impl OpenFlags {
     pub const APPEND: OpenFlags = OpenFlags(1 << 10);
 
     const ACCESS_MASK: u32 = 0b11;
-    const KNOWN_MASK: u32 =
-        0b11 | (1 << 6) | (1 << 7) | (1 << 9) | (1 << 10);
+    const KNOWN_MASK: u32 = 0b11 | (1 << 6) | (1 << 7) | (1 << 9) | (1 << 10);
 
     /// An empty flag set (equivalent to [`OpenFlags::RDONLY`]).
     #[must_use]

@@ -115,10 +115,7 @@ pub fn dump_tree(fs: &dyn FileSystem) -> FsResult<BTreeMap<String, TreeNode>> {
 
 /// Compare two trees; returns human-readable difference descriptions.
 #[must_use]
-pub fn diff_trees(
-    a: &BTreeMap<String, TreeNode>,
-    b: &BTreeMap<String, TreeNode>,
-) -> Vec<String> {
+pub fn diff_trees(a: &BTreeMap<String, TreeNode>, b: &BTreeMap<String, TreeNode>) -> Vec<String> {
     let mut diffs = Vec::new();
     for (path, node) in a {
         match b.get(path) {
@@ -166,14 +163,18 @@ mod tests {
     fn tree_dump_and_diff() {
         let m1 = ModelFs::new();
         m1.mkdir("/d").unwrap();
-        let fd = m1.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        let fd = m1
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
         m1.write(fd, 0, b"same").unwrap();
         m1.close(fd).unwrap();
         m1.symlink("/d/f", "/s").unwrap();
 
         let m2 = ModelFs::new();
         m2.mkdir("/d").unwrap();
-        let fd = m2.open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        let fd = m2
+            .open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
         m2.write(fd, 0, b"same").unwrap();
         m2.close(fd).unwrap();
         m2.symlink("/d/f", "/s").unwrap();
@@ -197,9 +198,18 @@ mod tests {
     #[test]
     fn tree_dump_captures_sparse_sizes() {
         let m = ModelFs::new();
-        let fd = m.open("/sparse", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+        let fd = m
+            .open("/sparse", OpenFlags::RDWR | OpenFlags::CREATE)
+            .unwrap();
         m.close(fd).unwrap();
-        m.setattr("/sparse", rae_vfs::SetAttr { size: Some(9000), mtime: None }).unwrap();
+        m.setattr(
+            "/sparse",
+            rae_vfs::SetAttr {
+                size: Some(9000),
+                mtime: None,
+            },
+        )
+        .unwrap();
         let t = dump_tree(&m).unwrap();
         match &t["/sparse"] {
             TreeNode::File { content, .. } => assert_eq!(content.len(), 9000),

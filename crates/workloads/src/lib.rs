@@ -23,6 +23,4 @@ mod differential;
 mod script;
 
 pub use differential::{compare_outcomes, diff_trees, dump_tree, Divergence, TreeNode};
-pub use script::{
-    generate_script, run_script, Profile, ScriptOp, ScriptOutcome, StepResult,
-};
+pub use script::{generate_script, run_script, Profile, ScriptOp, ScriptOutcome, StepResult};

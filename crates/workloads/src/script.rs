@@ -1,9 +1,9 @@
 //! Seeded operation scripts.
 
+use rae_vfs::{Fd, FileSystem, FsError, OpenFlags, SetAttr};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rae_vfs::{Fd, FileSystem, FsError, OpenFlags, SetAttr};
 use serde::{Deserialize, Serialize};
 
 /// One scripted step. Descriptor-valued steps refer to *slots* (the
@@ -12,24 +12,68 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[allow(missing_docs)] // field meanings mirror the FileSystem API
 pub enum ScriptOp {
-    Open { path: String, flags_bits: u32 },
-    Close { slot: usize },
-    Write { slot: usize, offset: u64, data: Vec<u8> },
-    Read { slot: usize, offset: u64, len: usize },
-    Truncate { slot: usize, size: u64 },
-    Fsync { slot: usize },
+    Open {
+        path: String,
+        flags_bits: u32,
+    },
+    Close {
+        slot: usize,
+    },
+    Write {
+        slot: usize,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    Read {
+        slot: usize,
+        offset: u64,
+        len: usize,
+    },
+    Truncate {
+        slot: usize,
+        size: u64,
+    },
+    Fsync {
+        slot: usize,
+    },
     Sync,
-    Mkdir { path: String },
-    Rmdir { path: String },
-    Unlink { path: String },
-    Rename { from: String, to: String },
-    Link { existing: String, new: String },
-    Symlink { target: String, linkpath: String },
-    Readlink { path: String },
-    Stat { path: String },
-    Fstat { slot: usize },
-    Readdir { path: String },
-    SetSize { path: String, size: u64 },
+    Mkdir {
+        path: String,
+    },
+    Rmdir {
+        path: String,
+    },
+    Unlink {
+        path: String,
+    },
+    Rename {
+        from: String,
+        to: String,
+    },
+    Link {
+        existing: String,
+        new: String,
+    },
+    Symlink {
+        target: String,
+        linkpath: String,
+    },
+    Readlink {
+        path: String,
+    },
+    Stat {
+        path: String,
+    },
+    Fstat {
+        slot: usize,
+    },
+    Readdir {
+        path: String,
+    },
+    SetSize {
+        path: String,
+        size: u64,
+    },
 }
 
 /// Workload mixes, loosely modelled on the classic filebench personas.
@@ -108,7 +152,10 @@ impl GenState {
     }
 
     fn random_dir(&mut self) -> String {
-        self.dirs.choose(&mut self.rng).cloned().unwrap_or_else(|| "/".into())
+        self.dirs
+            .choose(&mut self.rng)
+            .cloned()
+            .unwrap_or_else(|| "/".into())
     }
 
     fn random_file(&mut self) -> Option<String> {
@@ -148,27 +195,41 @@ pub fn generate_script(profile: Profile, seed: u64, steps: usize) -> Vec<ScriptO
     // fixed prelude per profile
     match profile {
         Profile::WebServer => {
-            out.push(ScriptOp::Mkdir { path: "/site".into() });
+            out.push(ScriptOp::Mkdir {
+                path: "/site".into(),
+            });
             st.dirs.push("/site".into());
             for i in 0..20 {
                 let path = format!("/site/page{i:03}");
-                out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+                out.push(ScriptOp::Open {
+                    path: path.clone(),
+                    flags_bits: rw_create_bits(),
+                });
                 let slot = st.next_slot;
                 st.next_slot += 1;
                 let data = st.payload(8192);
-                out.push(ScriptOp::Write { slot, offset: 0, data });
+                out.push(ScriptOp::Write {
+                    slot,
+                    offset: 0,
+                    data,
+                });
                 out.push(ScriptOp::Close { slot });
                 st.files.push(path);
             }
         }
         Profile::SequentialIo | Profile::RandomIo => {
-            out.push(ScriptOp::Open { path: "/big".into(), flags_bits: rw_create_bits() });
+            out.push(ScriptOp::Open {
+                path: "/big".into(),
+                flags_bits: rw_create_bits(),
+            });
             st.open_slots.push((st.next_slot, true));
             st.next_slot += 1;
             st.files.push("/big".into());
         }
         _ => {
-            out.push(ScriptOp::Mkdir { path: "/work".into() });
+            out.push(ScriptOp::Mkdir {
+                path: "/work".into(),
+            });
             st.dirs.push("/work".into());
         }
     }
@@ -182,7 +243,11 @@ pub fn generate_script(profile: Profile, seed: u64, steps: usize) -> Vec<ScriptO
                 let slot = 0;
                 if step % 3 == 2 {
                     let offset = (step as u64 / 3) * 8192;
-                    out.push(ScriptOp::Read { slot, offset, len: 8192 });
+                    out.push(ScriptOp::Read {
+                        slot,
+                        offset,
+                        len: 8192,
+                    });
                 } else {
                     let offset = (step as u64) * 4096 % (512 * 1024);
                     let data = st.payload(4096);
@@ -193,7 +258,11 @@ pub fn generate_script(profile: Profile, seed: u64, steps: usize) -> Vec<ScriptO
                 let slot = 0;
                 let offset = st.rng.gen_range(0..256u64) * 4096;
                 if st.rng.gen_bool(0.5) {
-                    out.push(ScriptOp::Read { slot, offset, len: 4096 });
+                    out.push(ScriptOp::Read {
+                        slot,
+                        offset,
+                        len: 4096,
+                    });
                 } else {
                     let data = st.payload(4096);
                     out.push(ScriptOp::Write { slot, offset, data });
@@ -216,11 +285,18 @@ fn gen_varmail(st: &mut GenState, out: &mut Vec<ScriptOp>) {
             // deliver: create, append, fsync, close
             let dir = st.random_dir();
             let path = GenState::join(&dir, &st.fresh_name("mail"));
-            out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+            out.push(ScriptOp::Open {
+                path: path.clone(),
+                flags_bits: rw_create_bits(),
+            });
             let slot = st.next_slot;
             st.next_slot += 1;
             let data = st.payload(4096);
-            out.push(ScriptOp::Write { slot, offset: 0, data });
+            out.push(ScriptOp::Write {
+                slot,
+                offset: 0,
+                data,
+            });
             out.push(ScriptOp::Fsync { slot });
             out.push(ScriptOp::Close { slot });
             st.files.push(path);
@@ -228,10 +304,17 @@ fn gen_varmail(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         4..=6 => {
             // read a mailbox
             if let Some(path) = st.random_file() {
-                out.push(ScriptOp::Open { path, flags_bits: OpenFlags::RDONLY.bits() });
+                out.push(ScriptOp::Open {
+                    path,
+                    flags_bits: OpenFlags::RDONLY.bits(),
+                });
                 let slot = st.next_slot;
                 st.next_slot += 1;
-                out.push(ScriptOp::Read { slot, offset: 0, len: 8192 });
+                out.push(ScriptOp::Read {
+                    slot,
+                    offset: 0,
+                    len: 8192,
+                });
                 out.push(ScriptOp::Close { slot });
             }
         }
@@ -258,21 +341,35 @@ fn gen_fileserver(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         0..=2 => {
             let dir = st.random_dir();
             let path = GenState::join(&dir, &st.fresh_name("f"));
-            out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+            out.push(ScriptOp::Open {
+                path: path.clone(),
+                flags_bits: rw_create_bits(),
+            });
             let slot = st.next_slot;
             st.next_slot += 1;
             let data = st.payload(16384);
-            out.push(ScriptOp::Write { slot, offset: 0, data });
+            out.push(ScriptOp::Write {
+                slot,
+                offset: 0,
+                data,
+            });
             out.push(ScriptOp::Close { slot });
             st.files.push(path);
         }
         3..=5 => {
             if let Some(path) = st.random_file() {
-                out.push(ScriptOp::Open { path, flags_bits: OpenFlags::RDONLY.bits() });
+                out.push(ScriptOp::Open {
+                    path,
+                    flags_bits: OpenFlags::RDONLY.bits(),
+                });
                 let slot = st.next_slot;
                 st.next_slot += 1;
                 let offset = st.rng.gen_range(0..4u64) * 4096;
-                out.push(ScriptOp::Read { slot, offset, len: 4096 });
+                out.push(ScriptOp::Read {
+                    slot,
+                    offset,
+                    len: 4096,
+                });
                 out.push(ScriptOp::Close { slot });
             }
         }
@@ -296,7 +393,10 @@ fn gen_fileserver(st: &mut GenState, out: &mut Vec<ScriptOp>) {
             if let Some(from) = st.random_file() {
                 let dir = st.random_dir();
                 let to = GenState::join(&dir, &st.fresh_name("mv"));
-                out.push(ScriptOp::Rename { from: from.clone(), to: to.clone() });
+                out.push(ScriptOp::Rename {
+                    from: from.clone(),
+                    to: to.clone(),
+                });
                 if let Some(pos) = st.files.iter().position(|f| *f == from) {
                     st.files[pos] = to;
                 }
@@ -315,10 +415,17 @@ fn gen_fileserver(st: &mut GenState, out: &mut Vec<ScriptOp>) {
 fn gen_webserver(st: &mut GenState, out: &mut Vec<ScriptOp>) {
     if st.rng.gen_bool(0.9) {
         if let Some(path) = st.random_file() {
-            out.push(ScriptOp::Open { path, flags_bits: OpenFlags::RDONLY.bits() });
+            out.push(ScriptOp::Open {
+                path,
+                flags_bits: OpenFlags::RDONLY.bits(),
+            });
             let slot = st.next_slot;
             st.next_slot += 1;
-            out.push(ScriptOp::Read { slot, offset: 0, len: 8192 });
+            out.push(ScriptOp::Read {
+                slot,
+                offset: 0,
+                len: 8192,
+            });
             out.push(ScriptOp::Close { slot });
         }
     } else {
@@ -330,7 +437,11 @@ fn gen_webserver(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         let slot = st.next_slot;
         st.next_slot += 1;
         let data = st.payload(256);
-        out.push(ScriptOp::Write { slot, offset: 0, data });
+        out.push(ScriptOp::Write {
+            slot,
+            offset: 0,
+            data,
+        });
         out.push(ScriptOp::Close { slot });
         if !st.files.contains(&"/access.log".to_string()) {
             st.files.push("/access.log".into());
@@ -343,7 +454,10 @@ fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         0..=2 => {
             let dir = st.random_dir();
             let path = GenState::join(&dir, &st.fresh_name("c"));
-            out.push(ScriptOp::Open { path: path.clone(), flags_bits: rw_create_bits() });
+            out.push(ScriptOp::Open {
+                path: path.clone(),
+                flags_bits: rw_create_bits(),
+            });
             st.open_slots.push((st.next_slot, true));
             st.next_slot += 1;
             st.files.push(path);
@@ -376,7 +490,10 @@ fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         9 => {
             if !st.open_slots.is_empty() {
                 let (slot, _) = st.open_slots[st.rng.gen_range(0..st.open_slots.len())];
-                out.push(ScriptOp::Truncate { slot, size: st.rng.gen_range(0..20_000) });
+                out.push(ScriptOp::Truncate {
+                    slot,
+                    size: st.rng.gen_range(0..20_000),
+                });
             }
         }
         10 => {
@@ -389,7 +506,9 @@ fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         11 => {
             // sometimes target a nonexistent path on purpose
             if st.rng.gen_bool(0.5) {
-                out.push(ScriptOp::Rmdir { path: "/no/such/dir".into() });
+                out.push(ScriptOp::Rmdir {
+                    path: "/no/such/dir".into(),
+                });
             } else if st.dirs.len() > 1 {
                 let idx = st.rng.gen_range(1..st.dirs.len());
                 let path = st.dirs[idx].clone();
@@ -398,7 +517,9 @@ fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         }
         12 => {
             if st.rng.gen_bool(0.3) {
-                out.push(ScriptOp::Unlink { path: "/phantom".into() });
+                out.push(ScriptOp::Unlink {
+                    path: "/phantom".into(),
+                });
             } else if !st.files.is_empty() {
                 let idx = st.rng.gen_range(0..st.files.len());
                 let path = st.files.swap_remove(idx);
@@ -408,7 +529,10 @@ fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         13 => {
             if let Some(from) = st.random_file() {
                 let to = GenState::join(&st.random_dir(), &st.fresh_name("r"));
-                out.push(ScriptOp::Rename { from: from.clone(), to: to.clone() });
+                out.push(ScriptOp::Rename {
+                    from: from.clone(),
+                    to: to.clone(),
+                });
                 if let Some(pos) = st.files.iter().position(|f| *f == from) {
                     st.files[pos] = to;
                 }
@@ -417,14 +541,20 @@ fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
         14 => {
             if let Some(existing) = st.random_file() {
                 let new = GenState::join(&st.random_dir(), &st.fresh_name("l"));
-                out.push(ScriptOp::Link { existing, new: new.clone() });
+                out.push(ScriptOp::Link {
+                    existing,
+                    new: new.clone(),
+                });
                 st.files.push(new);
             }
         }
         15 => {
             let target = st.random_file().unwrap_or_else(|| "/dangling".into());
             let linkpath = GenState::join(&st.random_dir(), &st.fresh_name("s"));
-            out.push(ScriptOp::Symlink { target, linkpath: linkpath.clone() });
+            out.push(ScriptOp::Symlink {
+                target,
+                linkpath: linkpath.clone(),
+            });
             st.symlinks.push(linkpath);
         }
         16 => {
@@ -442,7 +572,10 @@ fn gen_chaos(st: &mut GenState, out: &mut Vec<ScriptOp>) {
             out.push(ScriptOp::Readdir { path: dir });
             if let Some(path) = st.random_file() {
                 if st.rng.gen_bool(0.3) {
-                    out.push(ScriptOp::SetSize { path, size: st.rng.gen_range(0..10_000) });
+                    out.push(ScriptOp::SetSize {
+                        path,
+                        size: st.rng.gen_range(0..10_000),
+                    });
                 }
             }
         }
@@ -580,7 +713,13 @@ pub fn run_script(fs: &dyn FileSystem, script: &[ScriptOp]) -> ScriptOutcome {
                 StepResult::Listing(listing)
             }),
             ScriptOp::SetSize { path, size } => norm(
-                fs.setattr(path, SetAttr { size: Some(*size), mtime: None }),
+                fs.setattr(
+                    path,
+                    SetAttr {
+                        size: Some(*size),
+                        mtime: None,
+                    },
+                ),
                 |()| StepResult::Ok,
             ),
         };
@@ -661,8 +800,16 @@ mod tests {
     fn profiles_have_distinct_shapes() {
         let varmail = generate_script(Profile::Varmail, 1, 200);
         let web = generate_script(Profile::WebServer, 1, 200);
-        let fsyncs = |s: &[ScriptOp]| s.iter().filter(|o| matches!(o, ScriptOp::Fsync { .. })).count();
-        let reads = |s: &[ScriptOp]| s.iter().filter(|o| matches!(o, ScriptOp::Read { .. })).count();
+        let fsyncs = |s: &[ScriptOp]| {
+            s.iter()
+                .filter(|o| matches!(o, ScriptOp::Fsync { .. }))
+                .count()
+        };
+        let reads = |s: &[ScriptOp]| {
+            s.iter()
+                .filter(|o| matches!(o, ScriptOp::Read { .. }))
+                .count()
+        };
         assert!(fsyncs(&varmail) > fsyncs(&web), "varmail fsyncs heavily");
         assert!(reads(&web) > reads(&varmail), "webserver reads heavily");
     }

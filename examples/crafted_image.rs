@@ -19,7 +19,10 @@ fn main() -> FsResult<()> {
     let pristine = Arc::new(MemDisk::new(4096));
     mkfs(pristine.as_ref(), MkfsParams::default())?;
     {
-        let fs = BaseFs::mount(pristine.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default())?;
+        let fs = BaseFs::mount(
+            pristine.clone() as Arc<dyn BlockDevice>,
+            BaseFsConfig::default(),
+        )?;
         fs.mkdir("/docs")?;
         for i in 0..5 {
             let fd = fs.open(&format!("/docs/f{i}"), OpenFlags::RDWR | OpenFlags::CREATE)?;
@@ -31,7 +34,10 @@ fn main() -> FsResult<()> {
     let baseline = pristine.snapshot();
     let corpus = CraftedImage::standard_corpus(pristine.as_ref())?;
 
-    println!("{:<24} {:<22} validated shadow", "corruption", "unchecked base");
+    println!(
+        "{:<24} {:<22} validated shadow",
+        "corruption", "unchecked base"
+    );
     println!("{}", "-".repeat(70));
     for case in corpus {
         let dev = Arc::new(MemDisk::from_image(&baseline));

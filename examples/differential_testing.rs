@@ -82,7 +82,12 @@ fn main() -> FsResult<()> {
             rae_workloads::StepResult::Data(v) => format!("Data({} bytes)", v.len()),
             other => format!("{other:?}"),
         };
-        println!("  e.g. step {}: spec={} base={}", d.step, kind(&d.a), kind(&d.b));
+        println!(
+            "  e.g. step {}: spec={} base={}",
+            d.step,
+            kind(&d.a),
+            kind(&d.b)
+        );
     }
     for t in tree_diffs.iter().take(3) {
         println!("  e.g. tree: {t}");

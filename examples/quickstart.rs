@@ -65,8 +65,14 @@ fn main() -> FsResult<()> {
 
     // 6. nothing was lost; even the open descriptor still works
     let data = fs.read(fd, 0, 64)?;
-    println!("file content after masked crash: {:?}", String::from_utf8_lossy(&data));
-    println!("new path exists: {}", fs.stat("/home/reports-final.txt").is_ok());
+    println!(
+        "file content after masked crash: {:?}",
+        String::from_utf8_lossy(&data)
+    );
+    println!(
+        "new path exists: {}",
+        fs.stat("/home/reports-final.txt").is_ok()
+    );
 
     let stats = fs.stats();
     println!(

@@ -56,7 +56,13 @@ fn fresh_rae() -> RaeFs {
     RaeFs::mount(dev as Arc<dyn BlockDevice>, RaeConfig::default()).unwrap()
 }
 
-fn assert_conforms(name: &str, script_profile: Profile, seed: u64, steps: usize, fs: &dyn FileSystem) {
+fn assert_conforms(
+    name: &str,
+    script_profile: Profile,
+    seed: u64,
+    steps: usize,
+    fs: &dyn FileSystem,
+) {
     let script = generate_script(script_profile, seed, steps);
     let model = ModelFs::new();
     let expected = run_script(&model, &script);
@@ -148,8 +154,7 @@ fn base_survives_unmount_remount_with_identical_tree() {
         },
     )
     .unwrap();
-    let base =
-        BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+    let base = BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
     let script = generate_script(Profile::FileServer, 21, 500);
     let _ = run_script(&base, &script);
     let before = dump_tree(&base).unwrap();

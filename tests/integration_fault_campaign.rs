@@ -117,7 +117,9 @@ fn per_bug_isolation_campaign() {
             } else {
                 format!("/hotdir/f{i}")
             };
-            let fd = fs.open(&path, rae_vfs::OpenFlags::RDWR | rae_vfs::OpenFlags::CREATE).unwrap();
+            let fd = fs
+                .open(&path, rae_vfs::OpenFlags::RDWR | rae_vfs::OpenFlags::CREATE)
+                .unwrap();
             fs.write(fd, 0, &vec![i as u8; 1500]).unwrap();
             fs.close(fd).unwrap();
             if i % 4 == 0 {
@@ -131,17 +133,12 @@ fn per_bug_isolation_campaign() {
         let _ = fs.rename("/hotdir/victim0.log", "/hotdir/renamed");
 
         if faults.fired(id) > 0 {
-            assert_eq!(
-                fs.stats().recovery_failures,
-                0,
-                "bug {id} broke recovery"
-            );
+            assert_eq!(fs.stats().recovery_failures, 0, "bug {id} broke recovery");
             // detected/panic effects must have produced recoveries;
             // warn/silent effects legitimately do not
             let stats = fs.stats();
             assert!(
-                stats.recoveries > 0
-                    || stats.detected_errors == 0 && stats.panics_caught == 0,
+                stats.recoveries > 0 || stats.detected_errors == 0 && stats.panics_caught == 0,
                 "bug {id}: fired but no recovery and errors were detected: {stats:?}"
             );
         }

@@ -205,7 +205,7 @@ fn append_mode_descriptor_survives_recovery() {
     fs.write(log, 0, b"line1\n").unwrap();
     fs.mkdir("/d1").unwrap(); // alloc 2
     fs.mkdir("/d2").unwrap(); // alloc 3: bug -> recovery
-    // append mode must survive the descriptor reconstruction
+                              // append mode must survive the descriptor reconstruction
     fs.write(log, 0, b"line2\n").unwrap();
     assert_eq!(fs.read(log, 0, 12).unwrap(), b"line1\nline2\n");
     fs.close(log).unwrap();

@@ -1,0 +1,694 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` / `prop_assert*` / `prop_oneof!` macros, `Strategy`
+//! with `prop_map`, range / tuple / `Just` / vec / string-regex
+//! strategies, `any::<T>()`, `ProptestConfig` and `TestCaseError`.
+//!
+//! Semantics differ from the real crate in two deliberate ways:
+//! inputs are sampled from a deterministic per-test-name seed (so
+//! failures reproduce without a persistence file), and there is no
+//! shrinking — a failing case reports the raw inputs' Debug only via
+//! the assertion message.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of sampled values. Unlike real proptest there is no
+    /// value tree: `sample` yields the value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut SmallRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut SmallRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut SmallRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive samples");
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    let unit = (rand::RngCore::next_u64(rng) >> 11) as f64
+                        / (1u64 << 53) as f64;
+                    self.start + (unit as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    let unit = (rand::RngCore::next_u64(rng) >> 11) as f64
+                        / ((1u64 << 53) - 1) as f64;
+                    self.start() + (unit as $t) * (self.end() - self.start())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_float!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Bare string literals act as regex strategies, as in real proptest.
+    impl Strategy for str {
+        type Value = String;
+        fn sample(&self, rng: &mut SmallRng) -> String {
+            crate::string::sample_regex(self, rng)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+        }
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub struct ArbitraryPrim<T>(PhantomData<T>);
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for ArbitraryPrim<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = ArbitraryPrim<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    ArbitraryPrim(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ArbitraryPrim<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut SmallRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = ArbitraryPrim<bool>;
+        fn arbitrary() -> Self::Strategy {
+            ArbitraryPrim(PhantomData)
+        }
+    }
+
+    pub struct ArbitraryTuple<T>(PhantomData<T>);
+
+    macro_rules! impl_arbitrary_tuple {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Arbitrary),+> Strategy for ArbitraryTuple<($($s,)+)> {
+                type Value = ($($s,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($($s::arbitrary().sample(rng),)+)
+                }
+            }
+            impl<$($s: Arbitrary),+> Arbitrary for ($($s,)+) {
+                type Strategy = ArbitraryTuple<($($s,)+)>;
+                fn arbitrary() -> Self::Strategy {
+                    ArbitraryTuple(PhantomData)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_tuple! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// `string_regex` support for the simple patterns used in this
+    /// workspace: literal chars, `.`, character classes with ranges,
+    /// and the quantifiers `{m,n}` / `{n}` / `*` / `+` / `?`.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pattern: String,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn sample(&self, rng: &mut SmallRng) -> String {
+            sample_regex(&self.pattern, rng)
+                .unwrap_or_else(|e| panic!("bad regex strategy {:?}: {e}", self.pattern))
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        // Validate up front so `.expect("regex")` fails eagerly.
+        let mut probe = rand::SeedableRng::seed_from_u64(0);
+        sample_regex(pattern, &mut probe).map_err(Error)?;
+        Ok(RegexGeneratorStrategy {
+            pattern: pattern.to_string(),
+        })
+    }
+
+    enum Atom {
+        Literal(char),
+        AnyChar,
+        Class(Vec<(char, char)>),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut SmallRng) -> char {
+            match self {
+                Atom::Literal(c) => *c,
+                // Printable ASCII, matching `.` closely enough for tests.
+                Atom::AnyChar => (rng.gen_range(0x20u8..0x7f) as char),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+                }
+            }
+        }
+    }
+
+    pub(crate) fn sample_regex(pattern: &str, rng: &mut SmallRng) -> Result<String, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| "unterminated character class".to_string())?
+                        + i
+                        + 1;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    if ranges.is_empty() {
+                        return Err("empty character class".into());
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| "dangling escape".to_string())?;
+                    i += 2;
+                    Atom::Literal(c)
+                }
+                '*' | '+' | '?' | '{' | '}' | ']' | '(' | ')' | '|' => {
+                    return Err(format!("unsupported regex syntax at char {i}"));
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0usize, 8usize)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or_else(|| "unterminated quantifier".to_string())?
+                        + i
+                        + 1;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo: usize = lo.trim().parse().map_err(|e| format!("{e}"))?;
+                        let hi: usize = hi.trim().parse().map_err(|e| format!("{e}"))?;
+                        (lo, hi)
+                    } else {
+                        let n: usize = body.trim().parse().map_err(|e| format!("{e}"))?;
+                        (n, n)
+                    }
+                }
+                _ => (1, 1),
+            };
+
+            let n = if min >= max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        Ok(out)
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Mirror of `proptest::test_runner::Config` for the fields this
+    /// workspace sets. Other fields exist only so `..default()` works.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+        pub max_local_rejects: u32,
+        pub max_global_rejects: u32,
+        pub fork: bool,
+        pub timeout: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 1024,
+                max_local_rejects: 65_536,
+                max_global_rejects: 1024,
+                fork: false,
+                timeout: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Deterministic seed derived from the test name (FNV-1a), so runs
+    /// are reproducible without a failure-persistence file.
+    fn seed_of(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+    where
+        F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = SmallRng::seed_from_u64(seed_of(name));
+        for case_no in 0..config.cases {
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!("proptest {name}: case {} failed: {reason}", case_no + 1)
+                }
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($parm:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run_proptest(&config, stringify!($name), |__rng| {
+                $(let $parm = $crate::strategy::Strategy::sample(&($strategy), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..10, (a, b) in (0u8..4, any::<bool>())) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(a < 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_and_regex(v in collection::vec(any::<u8>(), 2..5), s in "[a-z]{1,4}") {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u32), (10u32..20).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 1 || (20..40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_regex_validates() {
+        assert!(crate::string::string_regex("[a-z0-9._-]{1,24}").is_ok());
+        assert!(crate::string::string_regex(".*").is_ok());
+        assert!(crate::string::string_regex("(bad").is_err());
+    }
+}

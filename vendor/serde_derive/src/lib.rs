@@ -1,0 +1,45 @@
+//! Offline stub of `serde_derive`.
+//!
+//! Emits empty impls of the stub marker traits in the sibling `serde`
+//! stub crate. Works without `syn`/`quote` by scanning the raw token
+//! stream for the type name after `struct`/`enum`. Sufficient because
+//! every derived type in this workspace is non-generic.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Scan the item's tokens for the identifier following `struct` or
+/// `enum`, skipping attributes and visibility tokens.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return Some(s);
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("serde_derive stub: no struct/enum name found");
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input).expect("serde_derive stub: no struct/enum name found");
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
