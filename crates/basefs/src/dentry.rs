@@ -4,92 +4,131 @@
 //! entries are not cached (a deliberate simplification — negative
 //! dentries are a classic bug source the shadow does without, and the
 //! base keeps its cache coherent more easily this way).
+//!
+//! The cache is interior-mutable (`&self` API) and lock-striped so
+//! concurrent *readers* of the filesystem — which populate the cache
+//! during path resolution — never serialize on a single dcache lock.
+//! Coherence against mutations (rename/unlink/rmdir) is provided one
+//! level up: `BaseFs` only mutates directories under its exclusive
+//! `inner` write lock, so an invalidate can never race a stale insert.
 
+use parking_lot::Mutex;
 use rae_vfs::InodeNo;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A capacity-bounded dentry cache with LRU eviction (lazy-queue).
-#[derive(Debug)]
-pub(crate) struct DentryCache {
+/// Stripe count for production-sized caches; small caches collapse to
+/// one shard so LRU eviction order stays exact for tests.
+const DCACHE_SHARDS: usize = 8;
+const SINGLE_SHARD_THRESHOLD: usize = 64;
+
+#[derive(Debug, Default)]
+struct DcShard {
     map: HashMap<(InodeNo, String), (InodeNo, u64)>,
     lru: VecDeque<(InodeNo, String, u64)>,
-    capacity: usize,
-    next_stamp: u64,
-    hits: u64,
-    misses: u64,
+}
+
+/// A capacity-bounded dentry cache with LRU eviction (lazy-queue),
+/// striped across shards keyed by `(parent, name)` hash.
+#[derive(Debug)]
+pub(crate) struct DentryCache {
+    shards: Vec<Mutex<DcShard>>,
+    shard_capacity: usize,
+    next_stamp: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl DentryCache {
     pub(crate) fn new(capacity: usize) -> DentryCache {
+        let capacity = capacity.max(1);
+        let nshards = if capacity < SINGLE_SHARD_THRESHOLD {
+            1
+        } else {
+            DCACHE_SHARDS
+        };
         DentryCache {
-            map: HashMap::new(),
-            lru: VecDeque::new(),
-            capacity: capacity.max(1),
-            next_stamp: 0,
-            hits: 0,
-            misses: 0,
+            shards: (0..nshards)
+                .map(|_| Mutex::new(DcShard::default()))
+                .collect(),
+            shard_capacity: capacity.div_ceil(nshards),
+            next_stamp: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
-    pub(crate) fn lookup(&mut self, parent: InodeNo, name: &str) -> Option<InodeNo> {
-        self.next_stamp += 1;
-        let stamp = self.next_stamp;
-        // borrow dance: compute hit first
-        let hit = self.map.get_mut(&(parent, name.to_string()));
-        match hit {
+    fn shard_for(&self, parent: InodeNo, name: &str) -> &Mutex<DcShard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        parent.0.hash(&mut h);
+        name.hash(&mut h);
+        &self.shards[(h.finish() % self.shards.len() as u64) as usize]
+    }
+
+    pub(crate) fn lookup(&self, parent: InodeNo, name: &str) -> Option<InodeNo> {
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard_for(parent, name).lock();
+        match shard.map.get_mut(&(parent, name.to_string())) {
             Some((ino, s)) => {
                 *s = stamp;
                 let ino = *ino;
-                self.lru.push_back((parent, name.to_string(), stamp));
-                self.hits += 1;
+                shard.lru.push_back((parent, name.to_string(), stamp));
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(ino)
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    pub(crate) fn insert(&mut self, parent: InodeNo, name: &str, child: InodeNo) {
-        self.next_stamp += 1;
-        let stamp = self.next_stamp;
-        self.map.insert((parent, name.to_string()), (child, stamp));
-        self.lru.push_back((parent, name.to_string(), stamp));
-        while self.map.len() > self.capacity {
-            let Some((p, n, s)) = self.lru.pop_front() else {
+    pub(crate) fn insert(&self, parent: InodeNo, name: &str, child: InodeNo) {
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut shard = self.shard_for(parent, name).lock();
+        shard.map.insert((parent, name.to_string()), (child, stamp));
+        shard.lru.push_back((parent, name.to_string(), stamp));
+        while shard.map.len() > self.shard_capacity {
+            let Some((p, n, s)) = shard.lru.pop_front() else {
                 break;
             };
-            if let Some(&(_, cur)) = self.map.get(&(p, n.clone())) {
+            if let Some(&(_, cur)) = shard.map.get(&(p, n.clone())) {
                 if cur == s {
-                    self.map.remove(&(p, n));
+                    shard.map.remove(&(p, n));
                 }
             }
         }
     }
 
     /// Invalidate one entry (unlink/rmdir/rename source or target).
-    pub(crate) fn invalidate(&mut self, parent: InodeNo, name: &str) {
-        self.map.remove(&(parent, name.to_string()));
+    pub(crate) fn invalidate(&self, parent: InodeNo, name: &str) {
+        self.shard_for(parent, name)
+            .lock()
+            .map
+            .remove(&(parent, name.to_string()));
     }
 
     /// Drop everything (contained reboot).
-    pub(crate) fn clear(&mut self) {
-        self.map.clear();
-        self.lru.clear();
+    pub(crate) fn clear(&self) {
+        for stripe in &self.shards {
+            let mut shard = stripe.lock();
+            shard.map.clear();
+            shard.lru.clear();
+        }
     }
 
     pub(crate) fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     pub(crate) fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
     #[cfg(test)]
     fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 }
 
@@ -99,7 +138,7 @@ mod tests {
 
     #[test]
     fn insert_lookup_invalidate() {
-        let mut dc = DentryCache::new(8);
+        let dc = DentryCache::new(8);
         dc.insert(InodeNo(1), "a", InodeNo(2));
         assert_eq!(dc.lookup(InodeNo(1), "a"), Some(InodeNo(2)));
         assert_eq!(dc.lookup(InodeNo(1), "b"), None);
@@ -112,7 +151,7 @@ mod tests {
 
     #[test]
     fn capacity_evicts_lru() {
-        let mut dc = DentryCache::new(2);
+        let dc = DentryCache::new(2);
         dc.insert(InodeNo(1), "a", InodeNo(2));
         dc.insert(InodeNo(1), "b", InodeNo(3));
         let _ = dc.lookup(InodeNo(1), "a"); // touch a
@@ -125,7 +164,7 @@ mod tests {
 
     #[test]
     fn reinsert_updates_value() {
-        let mut dc = DentryCache::new(4);
+        let dc = DentryCache::new(4);
         dc.insert(InodeNo(1), "a", InodeNo(2));
         dc.insert(InodeNo(1), "a", InodeNo(9));
         assert_eq!(dc.lookup(InodeNo(1), "a"), Some(InodeNo(9)));
@@ -133,9 +172,32 @@ mod tests {
 
     #[test]
     fn clear_empties() {
-        let mut dc = DentryCache::new(4);
+        let dc = DentryCache::new(4);
         dc.insert(InodeNo(1), "a", InodeNo(2));
         dc.clear();
         assert_eq!(dc.lookup(InodeNo(1), "a"), None);
+    }
+
+    #[test]
+    fn concurrent_lookups_and_inserts_are_safe() {
+        use std::sync::Arc;
+        use std::thread;
+        let dc = Arc::new(DentryCache::new(256));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let dc = Arc::clone(&dc);
+            handles.push(thread::spawn(move || {
+                for i in 0..200u64 {
+                    let name = format!("f{}", (t * 31 + i) % 64);
+                    if dc.lookup(InodeNo(1), &name).is_none() {
+                        dc.insert(InodeNo(1), &name, InodeNo((100 + (t * 31 + i) % 64) as u32));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dc.lookup(InodeNo(1), "f0"), Some(InodeNo(100)));
     }
 }

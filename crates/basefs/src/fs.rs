@@ -4,9 +4,10 @@
 use crate::alloc::Allocators;
 use crate::dentry::DentryCache;
 use crate::fdtable::FdTable;
+use crate::icache::InodeCache;
 use crate::jmgr::JournalMgr;
 use crate::pagecache::{CacheStats, PageCache, PageClass};
-use parking_lot::Mutex;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rae_blockdev::{BlockDevice, QueueConfig, BLOCK_SIZE};
 use rae_faults::{FaultAction, FaultRegistry, OpContext, Site};
 use rae_fsformat::dirent::DirBlock;
@@ -42,6 +43,12 @@ pub struct BaseFsConfig {
     /// (validate-on-sync: the paper's fault-model assumption that
     /// errors are detected before being persisted to disk).
     pub validate_on_commit: bool,
+    /// Serialize read-only operations behind the exclusive lock (the
+    /// pre-concurrency baseline; benchmarks use this together with
+    /// `cache_shards: Some(1)` for before/after comparisons).
+    pub serial_reads: bool,
+    /// Page-cache shard override (`None` = automatic sizing).
+    pub cache_shards: Option<usize>,
 }
 
 impl Default for BaseFsConfig {
@@ -53,6 +60,8 @@ impl Default for BaseFsConfig {
             faults: FaultRegistry::new(),
             max_dirty_meta: 192,
             validate_on_commit: true,
+            serial_reads: false,
+            cache_shards: None,
         }
     }
 }
@@ -78,13 +87,28 @@ pub struct BaseFsStats {
 
 #[derive(Debug)]
 struct Inner {
-    icache: HashMap<InodeNo, DiskInode>,
-    dcache: DentryCache,
     alloc: Allocators,
     fds: FdTable,
     jmgr: JournalMgr,
     clock: u64,
     mount_count: u32,
+}
+
+/// Guard for read-only operations: shared by default, exclusive when
+/// the `serial_reads` baseline mode reproduces pre-concurrency locking.
+enum ReadGuard<'a> {
+    Shared(RwLockReadGuard<'a, Inner>),
+    Exclusive(RwLockWriteGuard<'a, Inner>),
+}
+
+impl std::ops::Deref for ReadGuard<'_> {
+    type Target = Inner;
+    fn deref(&self) -> &Inner {
+        match self {
+            ReadGuard::Shared(g) => g,
+            ReadGuard::Exclusive(g) => g,
+        }
+    }
 }
 
 /// The performance-oriented base filesystem. See the crate docs for the
@@ -93,7 +117,10 @@ pub struct BaseFs {
     dev: Arc<dyn BlockDevice>,
     geo: Geometry,
     pages: PageCache,
-    inner: Mutex<Inner>,
+    icache: InodeCache,
+    dcache: DentryCache,
+    inner: RwLock<Inner>,
+    serial_reads: bool,
     counters: OpCounters,
     faults: FaultRegistry,
     max_dirty_meta: usize,
@@ -142,15 +169,20 @@ impl BaseFs {
         sb.write_to(dev.as_ref())?;
         dev.flush()?;
 
-        let pages = PageCache::new(Arc::clone(&dev), config.page_cache_blocks, config.queue);
+        let pages = match config.cache_shards {
+            Some(n) => {
+                PageCache::with_shards(Arc::clone(&dev), config.page_cache_blocks, config.queue, n)
+            }
+            None => PageCache::new(Arc::clone(&dev), config.page_cache_blocks, config.queue),
+        };
         let alloc = Allocators::load(geo, &pages)?;
         Ok(BaseFs {
             dev,
             geo,
             pages,
-            inner: Mutex::new(Inner {
-                icache: HashMap::new(),
-                dcache: DentryCache::new(config.dentry_cache_entries),
+            icache: InodeCache::new(),
+            dcache: DentryCache::new(config.dentry_cache_entries),
+            inner: RwLock::new(Inner {
                 alloc,
                 fds: FdTable::new(),
                 jmgr: JournalMgr::new(geo, replay.next_seq),
@@ -161,6 +193,7 @@ impl BaseFs {
             faults,
             max_dirty_meta: config.max_dirty_meta.max(8),
             validate_on_commit: config.validate_on_commit,
+            serial_reads: config.serial_reads,
             cur_seq: AtomicU64::new(0),
             persisted_seq: AtomicU64::new(0),
         })
@@ -173,9 +206,10 @@ impl BaseFs {
     /// Device errors.
     pub fn unmount(self) -> FsResult<()> {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.write();
             self.commit_locked(&mut inner)?;
             inner.jmgr.checkpoint(self.dev.as_ref())?;
+            self.pages.checkpoint_done();
             let sb = Superblock {
                 geometry: self.geo,
                 free_inodes: inner.alloc.free_inodes,
@@ -198,10 +232,12 @@ impl BaseFs {
     ///
     /// Device errors.
     pub fn checkpoint(&self) -> FsResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         self.commit_locked(inner)?;
-        inner.jmgr.checkpoint(self.dev.as_ref())
+        inner.jmgr.checkpoint(self.dev.as_ref())?;
+        self.pages.checkpoint_done();
+        Ok(())
     }
 
     /// Simulate a kernel crash: every in-memory structure vanishes
@@ -227,13 +263,13 @@ impl BaseFs {
     /// [`FsError::Corrupted`] / device errors if the on-disk state
     /// itself cannot be trusted — recovery is then impossible.
     pub fn contained_reboot(&self) -> FsResult<ReplayReport> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         // Quiesce in-flight write-back, then drop every cached page —
         // nothing in memory is trusted after an error.
         self.pages.quiesce()?;
         self.pages.discard_all();
-        inner.icache.clear();
-        inner.dcache.clear();
+        self.icache.clear();
+        self.dcache.clear();
         inner.fds.clear();
 
         let report = journal::replay(self.dev.as_ref(), &self.geo)?;
@@ -251,7 +287,7 @@ impl BaseFs {
     ///
     /// [`FsError::Internal`] on duplicate descriptors; cache errors.
     pub fn absorb_recovery(&self, delta: &RecoveryDelta) -> FsResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         for (bno, img) in &delta.meta_blocks {
             if *bno == 0 {
                 continue; // superblock is rebuilt from the bitmaps below
@@ -261,8 +297,8 @@ impl BaseFs {
         for (bno, img) in &delta.data_blocks {
             self.pages.write(*bno, img.clone(), PageClass::Data)?;
         }
-        inner.icache.clear();
-        inner.dcache.clear();
+        self.icache.clear();
+        self.dcache.clear();
         inner.alloc = Allocators::load(self.geo, &self.pages)?;
         inner.fds.clear();
         for rfd in &delta.fd_entries {
@@ -324,11 +360,11 @@ impl BaseFs {
     /// Performance statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> BaseFsStats {
-        let inner = self.inner.lock();
+        let inner = self.inner.read();
         BaseFsStats {
             cache: self.pages.stats(),
-            dentry_hits: inner.dcache.hits(),
-            dentry_misses: inner.dcache.misses(),
+            dentry_hits: self.dcache.hits(),
+            dentry_misses: self.dcache.misses(),
             journal_commits: inner.jmgr.commits(),
             journal_checkpoints: inner.jmgr.checkpoints(),
             open_fds: inner.fds.len(),
@@ -336,16 +372,41 @@ impl BaseFs {
         }
     }
 
+    /// Number of lock stripes in the page cache (1 in the serial
+    /// baseline configuration).
+    #[must_use]
+    pub fn cache_shard_count(&self) -> usize {
+        self.pages.shard_count()
+    }
+
     /// Snapshot of the open-descriptor table (for the RAE recorder).
     #[must_use]
     pub fn fd_snapshot(&self) -> Vec<(Fd, InodeNo, OpenFlags, String)> {
-        let inner = self.inner.lock();
+        let inner = self.inner.read();
         inner
             .fds
             .entries()
             .into_iter()
             .map(|(fd, e)| (fd, e.ino, e.flags, e.path))
             .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Locking
+    // ------------------------------------------------------------------
+
+    /// Acquire the lock for a read-only operation. Readers share the
+    /// lock: mutations are excluded for their whole critical section,
+    /// so no torn directory or inode state is observable, and the RAE
+    /// recording contract never constrains reads because reads are
+    /// unrecorded. In `serial_reads` baseline mode this degrades to the
+    /// old exclusive lock.
+    fn lock_read(&self) -> ReadGuard<'_> {
+        if self.serial_reads {
+            ReadGuard::Exclusive(self.inner.write())
+        } else {
+            ReadGuard::Shared(self.inner.read())
+        }
     }
 
     // ------------------------------------------------------------------
@@ -416,38 +477,38 @@ impl BaseFs {
     // Inode access
     // ------------------------------------------------------------------
 
-    fn load_inode_opt(&self, inner: &mut Inner, ino: InodeNo) -> FsResult<Option<DiskInode>> {
-        if let Some(i) = inner.icache.get(&ino) {
-            return Ok(Some(*i));
+    fn load_inode_opt(&self, ino: InodeNo) -> FsResult<Option<DiskInode>> {
+        if let Some(i) = self.icache.get(ino) {
+            return Ok(Some(i));
         }
         let (bno, off) = self.geo.inode_location(ino)?;
         let block = self.pages.read(bno, PageClass::Meta)?;
         let decoded = DiskInode::decode(&block[off..off + INODE_SIZE])?;
         if let Some(i) = decoded {
-            inner.icache.insert(ino, i);
+            self.icache.insert(ino, i);
         }
         Ok(decoded)
     }
 
-    fn load_inode(&self, inner: &mut Inner, ino: InodeNo) -> FsResult<DiskInode> {
-        self.load_inode_opt(inner, ino)?.ok_or(FsError::Corrupted {
+    fn load_inode(&self, ino: InodeNo) -> FsResult<DiskInode> {
+        self.load_inode_opt(ino)?.ok_or(FsError::Corrupted {
             detail: format!("{ino} referenced but not allocated"),
         })
     }
 
-    fn store_inode(&self, inner: &mut Inner, ino: InodeNo, inode: &DiskInode) -> FsResult<()> {
+    fn store_inode(&self, ino: InodeNo, inode: &DiskInode) -> FsResult<()> {
         let (bno, off) = self.geo.inode_location(ino)?;
         self.pages
             .update(bno, off, &inode.encode(), PageClass::Meta)?;
-        inner.icache.insert(ino, *inode);
+        self.icache.insert(ino, *inode);
         Ok(())
     }
 
-    fn clear_inode(&self, inner: &mut Inner, ino: InodeNo) -> FsResult<()> {
+    fn clear_inode(&self, ino: InodeNo) -> FsResult<()> {
         let (bno, off) = self.geo.inode_location(ino)?;
         self.pages
             .update(bno, off, &[0u8; INODE_SIZE], PageClass::Meta)?;
-        inner.icache.remove(&ino);
+        self.icache.remove(ino);
         Ok(())
     }
 
@@ -744,20 +805,15 @@ impl BaseFs {
         Ok(out)
     }
 
-    fn dir_lookup(
-        &self,
-        inner: &mut Inner,
-        dir_ino: InodeNo,
-        name: &str,
-    ) -> FsResult<Option<InodeNo>> {
-        if let Some(ino) = inner.dcache.lookup(dir_ino, name) {
+    fn dir_lookup(&self, dir_ino: InodeNo, name: &str) -> FsResult<Option<InodeNo>> {
+        if let Some(ino) = self.dcache.lookup(dir_ino, name) {
             return Ok(Some(ino));
         }
-        let dir = self.load_inode(inner, dir_ino)?;
+        let dir = self.load_inode(dir_ino)?;
         for bno in self.dir_blocks(&dir)? {
             let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
             if let Some(rec) = db.find(name) {
-                inner.dcache.insert(dir_ino, name, rec.ino);
+                self.dcache.insert(dir_ino, name, rec.ino);
                 return Ok(Some(rec.ino));
             }
         }
@@ -766,12 +822,7 @@ impl BaseFs {
 
     /// Whether the directory-entry insert below can succeed without
     /// running out of space.
-    fn dir_insert_precheck(
-        &self,
-        inner: &mut Inner,
-        dir: &DiskInode,
-        name_len: usize,
-    ) -> FsResult<()> {
+    fn dir_insert_precheck(&self, inner: &Inner, dir: &DiskInode, name_len: usize) -> FsResult<()> {
         for bno in self.dir_blocks(dir)? {
             let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
             if db.fits(name_len) {
@@ -799,12 +850,12 @@ impl BaseFs {
         let ctx = OpContext::new(OpKind::Create, Site::DirModify).with_path(name);
         let _ = self.hook(&ctx)?;
 
-        let mut dir = self.load_inode(inner, dir_ino)?;
+        let mut dir = self.load_inode(dir_ino)?;
         for bno in self.dir_blocks(&dir)? {
             let mut db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
             if db.try_insert(name, ino, ftype)? {
                 self.pages.write(bno, db.into_bytes(), PageClass::Meta)?;
-                inner.dcache.insert(dir_ino, name, ino);
+                self.dcache.insert(dir_ino, name, ino);
                 return Ok(());
             }
         }
@@ -818,8 +869,8 @@ impl BaseFs {
         dir.size += BLOCK_SIZE as u64;
         let now = Self::tick(inner);
         dir.mtime = now;
-        self.store_inode(inner, dir_ino, &dir)?;
-        inner.dcache.insert(dir_ino, name, ino);
+        self.store_inode(dir_ino, &dir)?;
+        self.dcache.insert(dir_ino, name, ino);
         Ok(())
     }
 
@@ -829,7 +880,7 @@ impl BaseFs {
         let ctx = OpContext::new(OpKind::Unlink, Site::DirModify).with_path(name);
         let _ = self.hook(&ctx)?;
 
-        let mut dir = self.load_inode(inner, dir_ino)?;
+        let mut dir = self.load_inode(dir_ino)?;
         let blocks = self.dir_blocks(&dir)?;
         let mut found = false;
         for &bno in &blocks {
@@ -843,7 +894,7 @@ impl BaseFs {
         if !found {
             return Ok(false);
         }
-        inner.dcache.invalidate(dir_ino, name);
+        self.dcache.invalidate(dir_ino, name);
         // shrink trailing empty blocks
         let mut nb = dir.size / BLOCK_SIZE as u64;
         let mut changed = false;
@@ -863,7 +914,7 @@ impl BaseFs {
         let now = Self::tick(inner);
         dir.mtime = now;
         let _ = changed;
-        self.store_inode(inner, dir_ino, &dir)?;
+        self.store_inode(dir_ino, &dir)?;
         Ok(true)
     }
 
@@ -880,7 +931,7 @@ impl BaseFs {
     // Path resolution
     // ------------------------------------------------------------------
 
-    fn resolve(&self, inner: &mut Inner, comps: &[&str]) -> FsResult<InodeNo> {
+    fn resolve(&self, comps: &[&str]) -> FsResult<InodeNo> {
         if !comps.is_empty() {
             let joined = comps.join("/");
             let ctx = OpContext::new(OpKind::Stat, Site::PathLookup).with_path(&joined);
@@ -888,11 +939,11 @@ impl BaseFs {
         }
         let mut cur = ROOT_INO;
         for comp in comps {
-            let inode = self.load_inode(inner, cur)?;
+            let inode = self.load_inode(cur)?;
             if inode.ftype != FileType::Directory {
                 return Err(FsError::NotDir);
             }
-            match self.dir_lookup(inner, cur, comp)? {
+            match self.dir_lookup(cur, comp)? {
                 Some(next) => cur = next,
                 None => return Err(FsError::NotFound),
             }
@@ -900,10 +951,10 @@ impl BaseFs {
         Ok(cur)
     }
 
-    fn resolve_parent<'p>(&self, inner: &mut Inner, path: &'p str) -> FsResult<(InodeNo, &'p str)> {
+    fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(InodeNo, &'p str)> {
         let (parent_comps, name) = split_parent(path)?;
-        let parent = self.resolve(inner, &parent_comps)?;
-        let pinode = self.load_inode(inner, parent)?;
+        let parent = self.resolve(&parent_comps)?;
+        let pinode = self.load_inode(parent)?;
         if pinode.ftype != FileType::Directory {
             return Err(FsError::NotDir);
         }
@@ -911,18 +962,13 @@ impl BaseFs {
     }
 
     /// Whether `target` equals `anc` or lies anywhere below it.
-    fn is_self_or_descendant(
-        &self,
-        inner: &mut Inner,
-        anc: InodeNo,
-        target: InodeNo,
-    ) -> FsResult<bool> {
+    fn is_self_or_descendant(&self, anc: InodeNo, target: InodeNo) -> FsResult<bool> {
         if anc == target {
             return Ok(true);
         }
         let mut stack = vec![anc];
         while let Some(cur) = stack.pop() {
-            let inode = self.load_inode(inner, cur)?;
+            let inode = self.load_inode(cur)?;
             if inode.ftype != FileType::Directory {
                 continue;
             }
@@ -990,7 +1036,7 @@ impl BaseFs {
     ) -> FsResult<()> {
         self.truncate_core(inner, inode, 0)?;
         inner.alloc.free_ino(&self.pages, ino)?;
-        self.clear_inode(inner, ino)
+        self.clear_inode(ino)
     }
 }
 
@@ -1009,16 +1055,16 @@ impl BaseFs {
             self.counters.record_error(OpKind::Open);
             return Err(FsError::InvalidArgument);
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
-            let (parent, name) = self.resolve_parent(inner, path)?;
-            match self.dir_lookup(inner, parent, name)? {
+            let (parent, name) = self.resolve_parent(path)?;
+            match self.dir_lookup(parent, name)? {
                 Some(ino) => {
                     if flags.creates() && flags.contains(OpenFlags::EXCL) {
                         return Err(FsError::Exists);
                     }
-                    let mut inode = self.load_inode(inner, ino)?;
+                    let mut inode = self.load_inode(ino)?;
                     match inode.ftype {
                         FileType::Directory => return Err(FsError::IsDir),
                         FileType::Symlink => return Err(FsError::InvalidArgument),
@@ -1029,7 +1075,7 @@ impl BaseFs {
                         let now = Self::tick(inner);
                         inode.mtime = now;
                         inode.ctime = now;
-                        self.store_inode(inner, ino, &inode)?;
+                        self.store_inode(ino, &inode)?;
                     }
                     inner.fds.alloc(ino, flags, path).map(|fd| (fd, ino, false))
                 }
@@ -1039,7 +1085,7 @@ impl BaseFs {
                     }
                     let ctx = OpContext::new(OpKind::Create, Site::Alloc).with_path(path);
                     let _ = self.hook(&ctx)?;
-                    let dir = self.load_inode(inner, parent)?;
+                    let dir = self.load_inode(parent)?;
                     self.dir_insert_precheck(inner, &dir, name.len())?;
                     if inner.alloc.free_inodes == 0 {
                         return Err(FsError::NoInodes);
@@ -1047,11 +1093,11 @@ impl BaseFs {
                     let ino = inner.alloc.alloc_ino(&self.pages)?;
                     let now = Self::tick(inner);
                     let inode = DiskInode::new(FileType::Regular, now);
-                    self.store_inode(inner, ino, &inode)?;
+                    self.store_inode(ino, &inode)?;
                     self.dir_insert(inner, parent, name, ino, FileType::Regular)?;
-                    let mut pdir = self.load_inode(inner, parent)?;
+                    let mut pdir = self.load_inode(parent)?;
                     pdir.mtime = now;
-                    self.store_inode(inner, parent, &pdir)?;
+                    self.store_inode(parent, &pdir)?;
                     match inner.fds.alloc(ino, flags, path) {
                         Ok(fd) => Ok((fd, ino, true)),
                         Err(e) => {
@@ -1082,9 +1128,9 @@ impl BaseFs {
     /// [`FsError::Corrupted`] for a bad inode; [`FsError::Internal`]
     /// for a duplicate descriptor.
     pub fn restore_fd(&self, fd: Fd, ino: InodeNo, flags: OpenFlags, path: &str) -> FsResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
-        let inode = self.load_inode(inner, ino)?;
+        let inode = self.load_inode(ino)?;
         if inode.ftype != FileType::Regular {
             return Err(FsError::Corrupted {
                 detail: format!("descriptor restore aimed at non-file {ino}"),
@@ -1100,7 +1146,7 @@ impl FileSystem for BaseFs {
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let r = inner.fds.close(fd).map(|_| ());
         match &r {
             Ok(()) => self.counters.record(OpKind::Close),
@@ -1110,14 +1156,13 @@ impl FileSystem for BaseFs {
     }
 
     fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
+        let inner = self.lock_read();
         let result = (|| {
             let entry = inner.fds.get(fd)?;
             if !entry.flags.readable() {
                 return Err(FsError::BadAccessMode);
             }
-            let inode = self.load_inode(inner, entry.ino)?;
+            let inode = self.load_inode(entry.ino)?;
             let start = offset.min(inode.size);
             let end = offset.saturating_add(len as u64).min(inode.size);
             let mut out = Vec::with_capacity((end - start) as usize);
@@ -1148,7 +1193,7 @@ impl FileSystem for BaseFs {
     }
 
     fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
             let entry = inner.fds.get(fd)?;
@@ -1171,7 +1216,7 @@ impl FileSystem for BaseFs {
                 data
             };
 
-            let mut inode = self.load_inode(inner, entry.ino)?;
+            let mut inode = self.load_inode(entry.ino)?;
             let at = if entry.flags.contains(OpenFlags::APPEND) {
                 inode.size
             } else {
@@ -1214,7 +1259,7 @@ impl FileSystem for BaseFs {
             let now = Self::tick(inner);
             inode.mtime = now;
             inode.ctime = now;
-            self.store_inode(inner, entry.ino, &inode)?;
+            self.store_inode(entry.ino, &inode)?;
             Ok(data.len())
         })();
         match &result {
@@ -1229,7 +1274,7 @@ impl FileSystem for BaseFs {
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
             let entry = inner.fds.get(fd)?;
@@ -1241,7 +1286,7 @@ impl FileSystem for BaseFs {
             if size > MAX_FILE_SIZE {
                 return Err(FsError::FileTooBig);
             }
-            let mut inode = self.load_inode(inner, entry.ino)?;
+            let mut inode = self.load_inode(entry.ino)?;
             if size < inode.size {
                 self.truncate_core(inner, &mut inode, size)?;
             } else {
@@ -1250,7 +1295,7 @@ impl FileSystem for BaseFs {
             let now = Self::tick(inner);
             inode.mtime = now;
             inode.ctime = now;
-            self.store_inode(inner, entry.ino, &inode)
+            self.store_inode(entry.ino, &inode)
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::Truncate),
@@ -1263,12 +1308,12 @@ impl FileSystem for BaseFs {
     fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::SetAttr, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
             let comps = split_path(path)?;
-            let ino = self.resolve(inner, &comps)?;
-            let mut inode = self.load_inode(inner, ino)?;
+            let ino = self.resolve(&comps)?;
+            let mut inode = self.load_inode(ino)?;
             if let Some(size) = attr.size {
                 match inode.ftype {
                     FileType::Directory => return Err(FsError::IsDir),
@@ -1290,7 +1335,7 @@ impl FileSystem for BaseFs {
             if let Some(mtime) = attr.mtime {
                 inode.mtime = mtime;
             }
-            self.store_inode(inner, ino, &inode)
+            self.store_inode(ino, &inode)
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::SetAttr),
@@ -1301,7 +1346,7 @@ impl FileSystem for BaseFs {
     }
 
     fn fsync(&self, fd: Fd) -> FsResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
             inner.fds.get(fd)?;
@@ -1315,7 +1360,7 @@ impl FileSystem for BaseFs {
     }
 
     fn sync(&self) -> FsResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = self.commit_locked(inner);
         match &result {
@@ -1328,16 +1373,16 @@ impl FileSystem for BaseFs {
     fn mkdir(&self, path: &str) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Mkdir, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
-            let (parent, name) = self.resolve_parent(inner, path)?;
-            if self.dir_lookup(inner, parent, name)?.is_some() {
+            let (parent, name) = self.resolve_parent(path)?;
+            if self.dir_lookup(parent, name)?.is_some() {
                 return Err(FsError::Exists);
             }
             let ctx = OpContext::new(OpKind::Mkdir, Site::Alloc).with_path(path);
             let _ = self.hook(&ctx)?;
-            let pdir = self.load_inode(inner, parent)?;
+            let pdir = self.load_inode(parent)?;
             self.dir_insert_precheck(inner, &pdir, name.len())?;
             if inner.alloc.free_inodes == 0 {
                 return Err(FsError::NoInodes);
@@ -1345,12 +1390,12 @@ impl FileSystem for BaseFs {
             let ino = inner.alloc.alloc_ino(&self.pages)?;
             let now = Self::tick(inner);
             let inode = DiskInode::new(FileType::Directory, now);
-            self.store_inode(inner, ino, &inode)?;
+            self.store_inode(ino, &inode)?;
             self.dir_insert(inner, parent, name, ino, FileType::Directory)?;
-            let mut pdir = self.load_inode(inner, parent)?;
+            let mut pdir = self.load_inode(parent)?;
             pdir.links += 1;
             pdir.mtime = now;
-            self.store_inode(inner, parent, &pdir)
+            self.store_inode(parent, &pdir)
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::Mkdir),
@@ -1363,14 +1408,12 @@ impl FileSystem for BaseFs {
     fn rmdir(&self, path: &str) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Rmdir, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
-            let (parent, name) = self.resolve_parent(inner, path)?;
-            let ino = self
-                .dir_lookup(inner, parent, name)?
-                .ok_or(FsError::NotFound)?;
-            let mut inode = self.load_inode(inner, ino)?;
+            let (parent, name) = self.resolve_parent(path)?;
+            let ino = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+            let mut inode = self.load_inode(ino)?;
             if inode.ftype != FileType::Directory {
                 return Err(FsError::NotDir);
             }
@@ -1380,10 +1423,10 @@ impl FileSystem for BaseFs {
             self.dir_remove(inner, parent, name)?;
             self.destroy_inode(inner, ino, &mut inode)?;
             let now = Self::tick(inner);
-            let mut pdir = self.load_inode(inner, parent)?;
+            let mut pdir = self.load_inode(parent)?;
             pdir.links -= 1;
             pdir.mtime = now;
-            self.store_inode(inner, parent, &pdir)
+            self.store_inode(parent, &pdir)
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::Rmdir),
@@ -1396,14 +1439,12 @@ impl FileSystem for BaseFs {
     fn unlink(&self, path: &str) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Unlink, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
-            let (parent, name) = self.resolve_parent(inner, path)?;
-            let ino = self
-                .dir_lookup(inner, parent, name)?
-                .ok_or(FsError::NotFound)?;
-            let mut inode = self.load_inode(inner, ino)?;
+            let (parent, name) = self.resolve_parent(path)?;
+            let ino = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+            let mut inode = self.load_inode(ino)?;
             match inode.ftype {
                 FileType::Directory => return Err(FsError::IsDir),
                 FileType::Regular => {
@@ -1420,12 +1461,12 @@ impl FileSystem for BaseFs {
             } else {
                 let now = Self::tick(inner);
                 inode.ctime = now;
-                self.store_inode(inner, ino, &inode)?;
+                self.store_inode(ino, &inode)?;
             }
             let now = Self::tick(inner);
-            let mut pdir = self.load_inode(inner, parent)?;
+            let mut pdir = self.load_inode(parent)?;
             pdir.mtime = now;
-            self.store_inode(inner, parent, &pdir)
+            self.store_inode(parent, &pdir)
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::Unlink),
@@ -1440,28 +1481,28 @@ impl FileSystem for BaseFs {
             .with_path(from)
             .with_path2(to);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
-            let (from_parent, from_name) = self.resolve_parent(inner, from)?;
-            let (to_parent, to_name) = self.resolve_parent(inner, to)?;
+            let (from_parent, from_name) = self.resolve_parent(from)?;
+            let (to_parent, to_name) = self.resolve_parent(to)?;
             let src = self
-                .dir_lookup(inner, from_parent, from_name)?
+                .dir_lookup(from_parent, from_name)?
                 .ok_or(FsError::NotFound)?;
             if from_parent == to_parent && from_name == to_name {
                 return Ok(());
             }
-            let src_inode = self.load_inode(inner, src)?;
+            let src_inode = self.load_inode(src)?;
             let src_is_dir = src_inode.ftype == FileType::Directory;
-            if src_is_dir && self.is_self_or_descendant(inner, src, to_parent)? {
+            if src_is_dir && self.is_self_or_descendant(src, to_parent)? {
                 return Err(FsError::RenameLoop);
             }
-            let existing_dst = self.dir_lookup(inner, to_parent, to_name)?;
+            let existing_dst = self.dir_lookup(to_parent, to_name)?;
             if let Some(dst) = existing_dst {
                 if dst == src {
                     return Ok(()); // hard links to the same inode
                 }
-                let mut dst_inode = self.load_inode(inner, dst)?;
+                let mut dst_inode = self.load_inode(dst)?;
                 match (src_is_dir, dst_inode.ftype == FileType::Directory) {
                     (true, true) => {
                         if self.dir_entry_count(&dst_inode)? != 0 {
@@ -1480,20 +1521,20 @@ impl FileSystem for BaseFs {
                 self.dir_remove(inner, to_parent, to_name)?;
                 if dst_inode.ftype == FileType::Directory {
                     self.destroy_inode(inner, dst, &mut dst_inode)?;
-                    let mut tp = self.load_inode(inner, to_parent)?;
+                    let mut tp = self.load_inode(to_parent)?;
                     tp.links -= 1;
-                    self.store_inode(inner, to_parent, &tp)?;
+                    self.store_inode(to_parent, &tp)?;
                 } else {
                     dst_inode.links -= 1;
                     if dst_inode.links == 0 {
                         self.destroy_inode(inner, dst, &mut dst_inode)?;
                     } else {
-                        self.store_inode(inner, dst, &dst_inode)?;
+                        self.store_inode(dst, &dst_inode)?;
                     }
                 }
             } else {
                 // the insert below must not fail halfway: pre-check space
-                let tp = self.load_inode(inner, to_parent)?;
+                let tp = self.load_inode(to_parent)?;
                 self.dir_insert_precheck(inner, &tp, to_name.len())?;
             }
 
@@ -1501,22 +1542,22 @@ impl FileSystem for BaseFs {
             self.dir_insert(inner, to_parent, to_name, src, src_inode.ftype)?;
             let now = Self::tick(inner);
             if src_is_dir && from_parent != to_parent {
-                let mut fp = self.load_inode(inner, from_parent)?;
+                let mut fp = self.load_inode(from_parent)?;
                 fp.links -= 1;
                 fp.mtime = now;
-                self.store_inode(inner, from_parent, &fp)?;
-                let mut tp = self.load_inode(inner, to_parent)?;
+                self.store_inode(from_parent, &fp)?;
+                let mut tp = self.load_inode(to_parent)?;
                 tp.links += 1;
                 tp.mtime = now;
-                self.store_inode(inner, to_parent, &tp)?;
+                self.store_inode(to_parent, &tp)?;
             } else {
-                let mut fp = self.load_inode(inner, from_parent)?;
+                let mut fp = self.load_inode(from_parent)?;
                 fp.mtime = now;
-                self.store_inode(inner, from_parent, &fp)?;
+                self.store_inode(from_parent, &fp)?;
                 if from_parent != to_parent {
-                    let mut tp = self.load_inode(inner, to_parent)?;
+                    let mut tp = self.load_inode(to_parent)?;
                     tp.mtime = now;
-                    self.store_inode(inner, to_parent, &tp)?;
+                    self.store_inode(to_parent, &tp)?;
                 }
             }
             Ok(())
@@ -1534,15 +1575,15 @@ impl FileSystem for BaseFs {
             .with_path(existing)
             .with_path2(new);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
             let comps = split_path(existing)?;
             if comps.is_empty() {
                 return Err(FsError::IsDir);
             }
-            let src = self.resolve(inner, &comps)?;
-            let mut src_inode = self.load_inode(inner, src)?;
+            let src = self.resolve(&comps)?;
+            let mut src_inode = self.load_inode(src)?;
             match src_inode.ftype {
                 FileType::Directory => return Err(FsError::IsDir),
                 FileType::Symlink => return Err(FsError::InvalidArgument),
@@ -1551,20 +1592,20 @@ impl FileSystem for BaseFs {
             if u32::from(src_inode.links) >= MAX_LINKS {
                 return Err(FsError::TooManyLinks);
             }
-            let (new_parent, new_name) = self.resolve_parent(inner, new)?;
-            if self.dir_lookup(inner, new_parent, new_name)?.is_some() {
+            let (new_parent, new_name) = self.resolve_parent(new)?;
+            if self.dir_lookup(new_parent, new_name)?.is_some() {
                 return Err(FsError::Exists);
             }
-            let np = self.load_inode(inner, new_parent)?;
+            let np = self.load_inode(new_parent)?;
             self.dir_insert_precheck(inner, &np, new_name.len())?;
             self.dir_insert(inner, new_parent, new_name, src, FileType::Regular)?;
             let now = Self::tick(inner);
             src_inode.links += 1;
             src_inode.ctime = now;
-            self.store_inode(inner, src, &src_inode)?;
-            let mut np = self.load_inode(inner, new_parent)?;
+            self.store_inode(src, &src_inode)?;
+            let mut np = self.load_inode(new_parent)?;
             np.mtime = now;
-            self.store_inode(inner, new_parent, &np)
+            self.store_inode(new_parent, &np)
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::Link),
@@ -1580,14 +1621,14 @@ impl FileSystem for BaseFs {
         if target.len() > BLOCK_SIZE {
             return Err(FsError::NameTooLong);
         }
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let inner = &mut *inner;
         let result = (|| {
-            let (parent, name) = self.resolve_parent(inner, linkpath)?;
-            if self.dir_lookup(inner, parent, name)?.is_some() {
+            let (parent, name) = self.resolve_parent(linkpath)?;
+            if self.dir_lookup(parent, name)?.is_some() {
                 return Err(FsError::Exists);
             }
-            let pdir = self.load_inode(inner, parent)?;
+            let pdir = self.load_inode(parent)?;
             self.dir_insert_precheck(inner, &pdir, name.len())?;
             if inner.alloc.free_inodes == 0 {
                 return Err(FsError::NoInodes);
@@ -1608,11 +1649,11 @@ impl FileSystem for BaseFs {
                 inode.blocks = 1;
             }
             inode.size = target.len() as u64;
-            self.store_inode(inner, ino, &inode)?;
+            self.store_inode(ino, &inode)?;
             self.dir_insert(inner, parent, name, ino, FileType::Symlink)?;
-            let mut pdir = self.load_inode(inner, parent)?;
+            let mut pdir = self.load_inode(parent)?;
             pdir.mtime = now;
-            self.store_inode(inner, parent, &pdir)
+            self.store_inode(parent, &pdir)
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::Symlink),
@@ -1623,12 +1664,12 @@ impl FileSystem for BaseFs {
     }
 
     fn readlink(&self, path: &str) -> FsResult<String> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
+        // guard held for reader/writer exclusion; body reads via &self
+        let _inner = self.lock_read();
         let result = (|| {
             let comps = split_path(path)?;
-            let ino = self.resolve(inner, &comps)?;
-            let inode = self.load_inode(inner, ino)?;
+            let ino = self.resolve(&comps)?;
+            let inode = self.load_inode(ino)?;
             if inode.ftype != FileType::Symlink {
                 return Err(FsError::InvalidArgument);
             }
@@ -1654,12 +1695,12 @@ impl FileSystem for BaseFs {
     }
 
     fn stat(&self, path: &str) -> FsResult<FileStat> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
+        // guard held for reader/writer exclusion; body reads via &self
+        let _inner = self.lock_read();
         let result = (|| {
             let comps = split_path(path)?;
-            let ino = self.resolve(inner, &comps)?;
-            let inode = self.load_inode(inner, ino)?;
+            let ino = self.resolve(&comps)?;
+            let inode = self.load_inode(ino)?;
             Ok(FileStat {
                 ino,
                 ftype: inode.ftype,
@@ -1678,11 +1719,10 @@ impl FileSystem for BaseFs {
     }
 
     fn fstat(&self, fd: Fd) -> FsResult<FileStat> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
+        let inner = self.lock_read();
         let result = (|| {
             let entry = inner.fds.get(fd)?;
-            let inode = self.load_inode(inner, entry.ino)?;
+            let inode = self.load_inode(entry.ino)?;
             Ok(FileStat {
                 ino: entry.ino,
                 ftype: inode.ftype,
@@ -1703,12 +1743,12 @@ impl FileSystem for BaseFs {
     fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
         let ctx = OpContext::new(OpKind::Readdir, Site::Readdir).with_path(path);
         let corrupt = self.hook(&ctx)?;
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
+        // guard held for reader/writer exclusion; body reads via &self
+        let _inner = self.lock_read();
         let result = (|| {
             let comps = split_path(path)?;
-            let ino = self.resolve(inner, &comps)?;
-            let inode = self.load_inode(inner, ino)?;
+            let ino = self.resolve(&comps)?;
+            let inode = self.load_inode(ino)?;
             if inode.ftype != FileType::Directory {
                 return Err(FsError::NotDir);
             }
@@ -1736,7 +1776,7 @@ impl FileSystem for BaseFs {
     }
 
     fn statfs(&self) -> FsResult<FsGeometryInfo> {
-        let inner = self.inner.lock();
+        let inner = self.lock_read();
         self.counters.record(OpKind::Statfs);
         Ok(FsGeometryInfo {
             block_size: BLOCK_SIZE as u32,

@@ -46,6 +46,7 @@ mod fdtable;
 mod fs;
 #[cfg(test)]
 mod fs_tests;
+mod icache;
 mod jmgr;
 mod pagecache;
 #[cfg(test)]

@@ -9,16 +9,37 @@
 //! * **Meta** pages — dirty metadata is *pinned*: it may only reach the
 //!   disk through the journal (write-ahead rule), so eviction skips it
 //!   and [`PageCache::take_dirty_meta`] hands the images to the journal
-//!   manager at commit time.
+//!   manager at commit time. A committed-but-not-checkpointed meta page
+//!   is clean in the cache while its *home block on the device is still
+//!   stale*; evicting one therefore writes it home through the
+//!   write-back queue first (legal — the image is already durable in
+//!   the journal, so write-ahead is preserved, and replay after a crash
+//!   rewrites the same bytes). [`PageCache::checkpoint_done`] clears
+//!   the stale-home marks once the journal manager has rewritten every
+//!   home location.
 //!
 //! Eviction is LRU via the classic lazy-queue technique (re-stamped
 //! entries are skipped when popped).
+//!
+//! # Sharding
+//!
+//! The cache is lock-striped into N shards (block number modulo N), so
+//! concurrent readers touching different blocks never contend on a
+//! single cache mutex. Each shard owns its map, its LRU queue, and its
+//! in-flight table; capacity is divided evenly across shards, so
+//! eviction decisions are shard-local (the same design trade the kernel
+//! makes with per-memcg/per-node LRU lists). Small caches collapse to a
+//! single shard so capacity-sensitive tests keep exact global LRU
+//! semantics; [`PageCache::with_shards`] pins a count explicitly. The
+//! dirty-metadata population is tracked by a global atomic counter so
+//! the commit-sizing check ([`PageCache::dirty_meta_count`], called on
+//! every mutation) is O(1) instead of a scan of every shard.
 
 use parking_lot::Mutex;
 use rae_blockdev::{BlockDevice, QueueConfig, WritebackQueue, BLOCK_SIZE};
 use rae_vfs::{FsError, FsResult};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The class of a cached page (see module docs).
@@ -35,11 +56,15 @@ struct Page {
     data: Vec<u8>,
     class: PageClass,
     dirty: bool,
+    /// Meta only: the image was handed to the journal (clean here) but
+    /// the home block on the device has not been checkpointed yet, so a
+    /// device re-read would return stale bytes.
+    home_stale: bool,
     stamp: u64,
 }
 
 #[derive(Debug, Default)]
-struct PcInner {
+struct Shard {
     map: HashMap<u64, Page>,
     lru: VecDeque<(u64, u64)>, // (bno, stamp) — stale entries skipped
     /// Evicted dirty pages whose queued write has not passed a barrier
@@ -59,12 +84,23 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+/// Default shard count for production-sized caches.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Caches smaller than this stay single-sharded so global LRU order is
+/// exact (capacity-sensitive unit tests, tiny tools).
+const SINGLE_SHARD_THRESHOLD: usize = 64;
+
 /// The write-back page cache (see module docs).
 pub struct PageCache {
-    inner: Mutex<PcInner>,
+    shards: Vec<Mutex<Shard>>,
     dev: Arc<dyn BlockDevice>,
     queue: WritebackQueue,
-    capacity: usize,
+    /// Per-shard page budget (total capacity / shard count, rounded up).
+    shard_capacity: usize,
+    /// Global dirty-metadata page population (kept exact by every
+    /// clean↔dirty transition so `dirty_meta_count` is O(1)).
+    dirty_meta: AtomicUsize,
     next_stamp: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -74,26 +110,52 @@ pub struct PageCache {
 impl std::fmt::Debug for PageCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PageCache")
-            .field("capacity", &self.capacity)
-            .field("resident", &self.inner.lock().map.len())
+            .field("shards", &self.shards.len())
+            .field("shard_capacity", &self.shard_capacity)
+            .field("resident", &self.resident())
             .finish()
     }
 }
 
 impl PageCache {
     /// Create a cache of `capacity` pages over `dev`, with a write-back
-    /// queue configured by `queue_config`.
+    /// queue configured by `queue_config`. The shard count is picked
+    /// automatically: one shard for small caches, [`DEFAULT_CACHE_SHARDS`]
+    /// otherwise.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn new(dev: Arc<dyn BlockDevice>, capacity: usize, queue_config: QueueConfig) -> PageCache {
+        let nshards = if capacity < SINGLE_SHARD_THRESHOLD {
+            1
+        } else {
+            DEFAULT_CACHE_SHARDS
+        };
+        Self::with_shards(dev, capacity, queue_config, nshards)
+    }
+
+    /// Create a cache with an explicit shard count (`nshards` is clamped
+    /// to at least 1). Total capacity is divided evenly across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_shards(
+        dev: Arc<dyn BlockDevice>,
+        capacity: usize,
+        queue_config: QueueConfig,
+        nshards: usize,
+    ) -> PageCache {
         assert!(capacity > 0);
+        let nshards = nshards.max(1);
+        let shards = (0..nshards).map(|_| Mutex::new(Shard::default())).collect();
         PageCache {
-            inner: Mutex::new(PcInner::default()),
+            shards,
             queue: WritebackQueue::new(Arc::clone(&dev), queue_config),
             dev,
-            capacity,
+            shard_capacity: capacity.div_ceil(nshards),
+            dirty_meta: AtomicUsize::new(0),
             next_stamp: AtomicU64::new(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -101,27 +163,37 @@ impl PageCache {
         }
     }
 
+    /// Number of lock stripes.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, bno: u64) -> &Mutex<Shard> {
+        &self.shards[(bno % self.shards.len() as u64) as usize]
+    }
+
     fn stamp(&self) -> u64 {
         self.next_stamp.fetch_add(1, Ordering::Relaxed)
     }
 
-    fn touch(inner: &mut PcInner, bno: u64, stamp: u64) {
-        if let Some(p) = inner.map.get_mut(&bno) {
+    fn touch(shard: &mut Shard, bno: u64, stamp: u64) {
+        if let Some(p) = shard.map.get_mut(&bno) {
             p.stamp = stamp;
-            inner.lru.push_back((bno, stamp));
+            shard.lru.push_back((bno, stamp));
         }
     }
 
-    /// Evict pages until at most `capacity` resident. Dirty data pages
-    /// are submitted to the write-back queue; dirty meta pages are
-    /// skipped (pinned).
-    fn evict_if_needed(&self, inner: &mut PcInner) -> FsResult<()> {
+    /// Evict pages until at most `shard_capacity` resident in this
+    /// shard. Dirty data pages are submitted to the write-back queue;
+    /// dirty meta pages are skipped (pinned).
+    fn evict_if_needed(&self, shard: &mut Shard) -> FsResult<()> {
         let mut skipped: Vec<(u64, u64)> = Vec::new();
-        while inner.map.len() > self.capacity {
-            let Some((bno, stamp)) = inner.lru.pop_front() else {
+        while shard.map.len() > self.shard_capacity {
+            let Some((bno, stamp)) = shard.lru.pop_front() else {
                 break; // everything left is pinned dirty metadata
             };
-            let evictable = match inner.map.get(&bno) {
+            let evictable = match shard.map.get(&bno) {
                 Some(p) if p.stamp == stamp => !(p.class == PageClass::Meta && p.dirty),
                 _ => continue, // stale queue entry
             };
@@ -129,18 +201,22 @@ impl PageCache {
                 skipped.push((bno, stamp));
                 continue;
             }
-            let page = inner.map.remove(&bno).expect("checked above");
+            let page = shard.map.remove(&bno).expect("checked above");
             self.evictions.fetch_add(1, Ordering::Relaxed);
-            if page.dirty {
+            // A committed-but-not-checkpointed meta page must be written
+            // home before it can be dropped, or the next miss would read
+            // the stale pre-commit image from the device. The write is
+            // legal: the journal already holds the image (write-ahead).
+            if page.dirty || page.home_stale {
                 // keep the content visible until the queued write has
                 // provably landed (cleared at the next barrier)
-                inner.inflight.insert(bno, page.data.clone());
+                shard.inflight.insert(bno, page.data.clone());
                 self.queue.submit(bno, page.data)?;
             }
         }
         // put pinned pages back in LRU order
         for e in skipped.into_iter().rev() {
-            inner.lru.push_front(e);
+            shard.lru.push_front(e);
         }
         Ok(())
     }
@@ -153,14 +229,14 @@ impl PageCache {
     pub fn read(&self, bno: u64, class: PageClass) -> FsResult<Vec<u8>> {
         let stamp = self.stamp();
         {
-            let mut inner = self.inner.lock();
-            if let Some(p) = inner.map.get(&bno) {
+            let mut shard = self.shard_for(bno).lock();
+            if let Some(p) = shard.map.get(&bno) {
                 let data = p.data.clone();
-                Self::touch(&mut inner, bno, stamp);
+                Self::touch(&mut shard, bno, stamp);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(data);
             }
-            if let Some(data) = inner.inflight.get(&bno) {
+            if let Some(data) = shard.inflight.get(&bno) {
                 // evicted but the write-back has not landed: the
                 // in-flight copy is the truth
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -172,29 +248,30 @@ impl PageCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut buf = vec![0u8; BLOCK_SIZE];
         self.dev.read_block(bno, &mut buf)?;
-        let mut inner = self.inner.lock();
-        if let Some(p) = inner.map.get(&bno) {
+        let mut shard = self.shard_for(bno).lock();
+        if let Some(p) = shard.map.get(&bno) {
             // raced with a writer: their copy is newer
             let data = p.data.clone();
-            Self::touch(&mut inner, bno, stamp);
+            Self::touch(&mut shard, bno, stamp);
             return Ok(data);
         }
-        if let Some(data) = inner.inflight.get(&bno) {
+        if let Some(data) = shard.inflight.get(&bno) {
             // raced with an eviction: the in-flight copy is newer than
             // what we just read from the device
             return Ok(data.clone());
         }
-        inner.map.insert(
+        shard.map.insert(
             bno,
             Page {
                 data: buf.clone(),
                 class,
                 dirty: false,
+                home_stale: false,
                 stamp,
             },
         );
-        inner.lru.push_back((bno, stamp));
-        self.evict_if_needed(&mut inner)?;
+        shard.lru.push_back((bno, stamp));
+        self.evict_if_needed(&mut shard)?;
         Ok(buf)
     }
 
@@ -211,18 +288,29 @@ impl PageCache {
             });
         }
         let stamp = self.stamp();
-        let mut inner = self.inner.lock();
-        inner.map.insert(
+        let mut shard = self.shard_for(bno).lock();
+        // carried across rewrites: the home block stays stale until a
+        // checkpoint actually rewrites it
+        let home_stale = shard.map.get(&bno).is_some_and(|p| p.home_stale);
+        let old = shard.map.insert(
             bno,
             Page {
                 data,
                 class,
                 dirty: true,
+                home_stale,
                 stamp,
             },
         );
-        inner.lru.push_back((bno, stamp));
-        self.evict_if_needed(&mut inner)
+        let was_dirty_meta = matches!(old, Some(ref p) if p.class == PageClass::Meta && p.dirty);
+        let is_dirty_meta = class == PageClass::Meta;
+        if is_dirty_meta && !was_dirty_meta {
+            self.dirty_meta.fetch_add(1, Ordering::Relaxed);
+        } else if !is_dirty_meta && was_dirty_meta {
+            self.dirty_meta.fetch_sub(1, Ordering::Relaxed);
+        }
+        shard.lru.push_back((bno, stamp));
+        self.evict_if_needed(&mut shard)
     }
 
     /// Read-modify-write of a byte range within a block.
@@ -247,16 +335,32 @@ impl PageCache {
     /// or the images are lost).
     #[must_use]
     pub fn take_dirty_meta(&self) -> Vec<(u64, Vec<u8>)> {
-        let mut inner = self.inner.lock();
         let mut out: Vec<(u64, Vec<u8>)> = Vec::new();
-        for (&bno, p) in inner.map.iter_mut() {
-            if p.class == PageClass::Meta && p.dirty {
-                out.push((bno, p.data.clone()));
-                p.dirty = false;
+        for stripe in &self.shards {
+            let mut shard = stripe.lock();
+            for (&bno, p) in shard.map.iter_mut() {
+                if p.class == PageClass::Meta && p.dirty {
+                    out.push((bno, p.data.clone()));
+                    p.dirty = false;
+                    p.home_stale = true; // fresh only after checkpoint
+                    self.dirty_meta.fetch_sub(1, Ordering::Relaxed);
+                }
             }
         }
         out.sort_by_key(|(b, _)| *b);
         out
+    }
+
+    /// The journal manager rewrote every committed image at its home
+    /// location: resident meta pages are no longer ahead of the device,
+    /// so eviction may drop them without a write-back.
+    pub fn checkpoint_done(&self) {
+        for stripe in &self.shards {
+            let mut shard = stripe.lock();
+            for p in shard.map.values_mut() {
+                p.home_stale = false;
+            }
+        }
     }
 
     /// Flip one byte of a dirty metadata page (fault-injection support
@@ -264,20 +368,25 @@ impl PageCache {
     /// `prefer_range` are chosen first so tests hit validated
     /// structures deterministically. Returns the scribbled block.
     pub fn scribble_dirty_meta(&self, prefer_range: (u64, u64)) -> Option<u64> {
-        let mut inner = self.inner.lock();
-        let mut candidates: Vec<u64> = inner
-            .map
-            .iter()
-            .filter(|(_, p)| p.class == PageClass::Meta && p.dirty)
-            .map(|(&b, _)| b)
-            .collect();
+        let mut candidates: Vec<u64> = Vec::new();
+        for stripe in &self.shards {
+            let shard = stripe.lock();
+            candidates.extend(
+                shard
+                    .map
+                    .iter()
+                    .filter(|(_, p)| p.class == PageClass::Meta && p.dirty)
+                    .map(|(&b, _)| b),
+            );
+        }
         candidates.sort_unstable();
         let target = candidates
             .iter()
             .copied()
             .find(|b| (prefer_range.0..prefer_range.1).contains(b))
             .or_else(|| candidates.first().copied())?;
-        let page = inner.map.get_mut(&target).expect("listed above");
+        let mut shard = self.shard_for(target).lock();
+        let page = shard.map.get_mut(&target)?;
         // byte 273 = offset 17 of the *second* 256-byte inode slot, so
         // an inode-table scribble damages a real inode (slot 0 is the
         // reserved null inode nothing ever reads)
@@ -286,14 +395,10 @@ impl PageCache {
     }
 
     /// Count of dirty metadata pages (for commit-sizing decisions).
+    /// O(1): maintained by an atomic counter, not a cache scan.
     #[must_use]
     pub fn dirty_meta_count(&self) -> usize {
-        self.inner
-            .lock()
-            .map
-            .values()
-            .filter(|p| p.class == PageClass::Meta && p.dirty)
-            .count()
+        self.dirty_meta.load(Ordering::Relaxed)
     }
 
     /// Submit every dirty data page to the write-back queue and wait
@@ -303,16 +408,16 @@ impl PageCache {
     ///
     /// Asynchronous write errors surfacing at the barrier.
     pub fn flush_data(&self) -> FsResult<()> {
-        {
-            let mut inner = self.inner.lock();
-            let dirty: Vec<u64> = inner
+        for stripe in &self.shards {
+            let mut shard = stripe.lock();
+            let dirty: Vec<u64> = shard
                 .map
                 .iter()
                 .filter(|(_, p)| p.class == PageClass::Data && p.dirty)
                 .map(|(&b, _)| b)
                 .collect();
             for bno in dirty {
-                let p = inner.map.get_mut(&bno).expect("listed above");
+                let p = shard.map.get_mut(&bno).expect("listed above");
                 p.dirty = false;
                 let data = p.data.clone();
                 self.queue.submit(bno, data)?;
@@ -321,7 +426,9 @@ impl PageCache {
         self.queue.barrier()?;
         // every queued write has landed: in-flight copies are now
         // redundant with the device
-        self.inner.lock().inflight.clear();
+        for stripe in &self.shards {
+            stripe.lock().inflight.clear();
+        }
         Ok(())
     }
 
@@ -334,7 +441,9 @@ impl PageCache {
     /// Stale asynchronous write errors surfacing at the barrier.
     pub fn quiesce(&self) -> FsResult<()> {
         self.queue.barrier()?;
-        self.inner.lock().inflight.clear();
+        for stripe in &self.shards {
+            stripe.lock().inflight.clear();
+        }
         Ok(())
     }
 
@@ -342,10 +451,13 @@ impl PageCache {
     /// contained-reboot primitive ("all the states in the base
     /// filesystem's memory are not trusted, so we need to reset them").
     pub fn discard_all(&self) {
-        let mut inner = self.inner.lock();
-        inner.map.clear();
-        inner.lru.clear();
-        inner.inflight.clear();
+        for stripe in &self.shards {
+            let mut shard = stripe.lock();
+            shard.map.clear();
+            shard.lru.clear();
+            shard.inflight.clear();
+        }
+        self.dirty_meta.store(0, Ordering::Relaxed);
     }
 
     /// Cache statistics.
@@ -361,7 +473,19 @@ impl PageCache {
     /// Number of resident pages.
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.inner.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether a page is resident (test observability).
+    #[cfg(test)]
+    fn resident_contains(&self, bno: u64) -> bool {
+        self.shard_for(bno).lock().map.contains_key(&bno)
+    }
+
+    /// Total in-flight (evicted-but-unbarriered) pages (test observability).
+    #[cfg(test)]
+    fn inflight_len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().inflight.len()).sum()
     }
 }
 
@@ -388,6 +512,37 @@ mod tests {
         let s = pc.stats();
         assert_eq!(s.misses, 1);
         assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn small_capacity_collapses_to_one_shard_large_gets_striped() {
+        let dev = Arc::new(MemDisk::new(8));
+        let small = PageCache::new(dev.clone(), 4, QueueConfig::default());
+        assert_eq!(small.shard_count(), 1);
+        let large = PageCache::new(dev.clone(), 2048, QueueConfig::default());
+        assert_eq!(large.shard_count(), DEFAULT_CACHE_SHARDS);
+        let pinned = PageCache::with_shards(dev, 2048, QueueConfig::default(), 3);
+        assert_eq!(pinned.shard_count(), 3);
+    }
+
+    #[test]
+    fn sharded_cache_keeps_contents_and_counters_consistent() {
+        let dev = Arc::new(MemDisk::new(256));
+        let pc = PageCache::with_shards(dev, 128, QueueConfig::default(), 4);
+        for bno in 0..32u64 {
+            pc.write(bno, block(bno as u8), PageClass::Meta).unwrap();
+        }
+        assert_eq!(pc.dirty_meta_count(), 32);
+        for bno in 0..32u64 {
+            assert_eq!(pc.read(bno, PageClass::Meta).unwrap()[0], bno as u8);
+        }
+        let taken = pc.take_dirty_meta();
+        assert_eq!(taken.len(), 32);
+        assert!(
+            taken.windows(2).all(|w| w[0].0 < w[1].0),
+            "globally sorted across shards"
+        );
+        assert_eq!(pc.dirty_meta_count(), 0);
     }
 
     #[test]
@@ -450,6 +605,27 @@ mod tests {
     }
 
     #[test]
+    fn dirty_meta_counter_tracks_transitions() {
+        let (_dev, pc) = cache(16, 8);
+        assert_eq!(pc.dirty_meta_count(), 0);
+        pc.write(1, block(1), PageClass::Meta).unwrap();
+        assert_eq!(pc.dirty_meta_count(), 1);
+        // re-dirtying the same page must not double-count
+        pc.write(1, block(2), PageClass::Meta).unwrap();
+        pc.update(1, 0, &[3], PageClass::Meta).unwrap();
+        assert_eq!(pc.dirty_meta_count(), 1);
+        pc.write(2, block(2), PageClass::Data).unwrap();
+        assert_eq!(pc.dirty_meta_count(), 1, "data pages never counted");
+        let _ = pc.take_dirty_meta();
+        assert_eq!(pc.dirty_meta_count(), 0);
+        // dirty again after handover
+        pc.update(1, 0, &[4], PageClass::Meta).unwrap();
+        assert_eq!(pc.dirty_meta_count(), 1);
+        pc.discard_all();
+        assert_eq!(pc.dirty_meta_count(), 0);
+    }
+
+    #[test]
     fn update_modifies_a_range() {
         let (_dev, pc) = cache(8, 4);
         pc.write(1, block(0), PageClass::Meta).unwrap();
@@ -487,6 +663,45 @@ mod tests {
         assert!(pc.resident() <= 2, "clean meta evicted normally");
     }
 
+    /// Regression test: a committed-but-not-checkpointed meta page must
+    /// survive eviction with its committed content (the home block on
+    /// the device is still stale until checkpoint).
+    #[test]
+    fn committed_meta_evicted_before_checkpoint_rereads_fresh() {
+        let (dev, pc) = cache(16, 2);
+        pc.write(0, block(7), PageClass::Meta).unwrap();
+        let taken = pc.take_dirty_meta(); // journal owns the image now
+        assert_eq!(taken.len(), 1);
+        // evict block 0 with data traffic
+        pc.write(1, block(2), PageClass::Data).unwrap();
+        pc.write(2, block(3), PageClass::Data).unwrap();
+        pc.write(3, block(4), PageClass::Data).unwrap();
+        assert!(pc.resident() <= 2);
+        // re-read must see the committed image, not the stale device
+        assert_eq!(pc.read(0, PageClass::Meta).unwrap()[0], 7);
+        pc.flush_data().unwrap();
+        let mut raw = block(0);
+        dev.read_block(0, &mut raw).unwrap();
+        assert_eq!(raw[0], 7, "eviction wrote the committed image home");
+    }
+
+    /// After a checkpoint the home blocks are fresh, so evicting clean
+    /// meta writes nothing.
+    #[test]
+    fn checkpointed_meta_evicts_without_writeback() {
+        let (dev, pc) = cache(16, 2);
+        pc.write(0, block(7), PageClass::Meta).unwrap();
+        let _ = pc.take_dirty_meta();
+        pc.checkpoint_done(); // home is (notionally) rewritten
+        pc.write(1, block(2), PageClass::Data).unwrap();
+        pc.write(2, block(3), PageClass::Data).unwrap();
+        pc.write(3, block(4), PageClass::Data).unwrap();
+        pc.flush_data().unwrap();
+        let mut raw = block(9);
+        dev.read_block(0, &mut raw).unwrap();
+        assert_eq!(raw[0], 0, "no write-back for checkpointed meta");
+    }
+
     #[test]
     fn lru_order_prefers_cold_pages() {
         let (_dev, pc) = cache(16, 3);
@@ -496,9 +711,38 @@ mod tests {
         // touch 0 so 1 is the coldest
         let _ = pc.read(0, PageClass::Data).unwrap();
         pc.write(3, block(3), PageClass::Data).unwrap();
-        let inner_has = |bno: u64| pc.inner.lock().map.contains_key(&bno);
-        assert!(inner_has(0), "recently touched page survived");
-        assert!(!inner_has(1), "cold page evicted");
+        assert!(pc.resident_contains(0), "recently touched page survived");
+        assert!(!pc.resident_contains(1), "cold page evicted");
+    }
+
+    #[test]
+    fn concurrent_readers_hit_distinct_shards() {
+        use std::thread;
+        let dev = Arc::new(MemDisk::new(512));
+        let pc = Arc::new(PageCache::with_shards(
+            dev,
+            256,
+            QueueConfig::default(),
+            DEFAULT_CACHE_SHARDS,
+        ));
+        for bno in 0..64u64 {
+            pc.write(bno, block(bno as u8), PageClass::Data).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pc = Arc::clone(&pc);
+            handles.push(thread::spawn(move || {
+                for round in 0..200u64 {
+                    let bno = (t * 17 + round) % 64;
+                    let data = pc.read(bno, PageClass::Data).unwrap();
+                    assert_eq!(data[0], bno as u8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(pc.stats().hits >= 4 * 200);
     }
 }
 
@@ -558,6 +802,6 @@ mod writeback_race_tests {
         pc.write(1, vec![2; BLOCK_SIZE], PageClass::Data).unwrap();
         pc.write(2, vec![3; BLOCK_SIZE], PageClass::Data).unwrap();
         pc.flush_data().unwrap();
-        assert!(pc.inner.lock().inflight.is_empty());
+        assert_eq!(pc.inflight_len(), 0);
     }
 }

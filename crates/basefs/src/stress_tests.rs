@@ -219,3 +219,201 @@ fn file_grows_and_shrinks_through_every_pointer_tier() {
     fs.unmount().unwrap();
     assert!(fsck(dev.as_ref()).unwrap().is_clean());
 }
+
+/// Readers race writers and cache eviction on a sharded, read-mostly
+/// locked filesystem; final contents are cross-checked against the
+/// sequential model oracle.
+#[test]
+fn concurrent_readers_race_writers_and_eviction_vs_model_oracle() {
+    const FILES_PER_WRITER: usize = 4;
+    const WRITERS: u64 = 2;
+    const READERS: u64 = 4;
+    const ROUNDS: u8 = 25;
+    const FILE_BLOCKS: usize = 3;
+
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 1024,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    // small sharded cache: constant eviction under the read load
+    let fs = Arc::new(mount(
+        dev.clone(),
+        BaseFsConfig {
+            page_cache_blocks: 20,
+            cache_shards: Some(4),
+            queue: QueueConfig {
+                nr_queues: 2,
+                queue_depth: 4,
+            },
+            ..BaseFsConfig::default()
+        },
+    ));
+    let path = |w: u64, i: usize| format!("/w{w}_f{i}");
+    for w in 0..WRITERS {
+        for i in 0..FILES_PER_WRITER {
+            let fd = fs.open(&path(w, i), rw_create()).unwrap();
+            fs.write(fd, 0, &vec![0u8; FILE_BLOCKS * BLOCK_SIZE])
+                .unwrap();
+            fs.close(fd).unwrap();
+        }
+    }
+    fs.sync().unwrap();
+
+    let mut handles = Vec::new();
+    // writers: each owns a disjoint file set, bumps fill value per round
+    for w in 0..WRITERS {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            for round in 1..=ROUNDS {
+                for i in 0..FILES_PER_WRITER {
+                    let fd = fs.open(&path(w, i), OpenFlags::RDWR).unwrap();
+                    fs.write(fd, 0, &vec![round; FILE_BLOCKS * BLOCK_SIZE])
+                        .unwrap();
+                    fs.close(fd).unwrap();
+                }
+                if round % 5 == 0 {
+                    fs.sync().unwrap();
+                }
+            }
+        }));
+    }
+    // readers: whole-op atomicity means every read observes exactly one
+    // round's uniform fill, and rounds are monotone per file
+    for r in 0..READERS {
+        let fs = Arc::clone(&fs);
+        handles.push(std::thread::spawn(move || {
+            let mut last_seen = [[0u8; FILES_PER_WRITER]; WRITERS as usize];
+            for k in 0..300u64 {
+                let w = (r + k) % WRITERS;
+                let i = ((k * 7) % FILES_PER_WRITER as u64) as usize;
+                let fd = fs.open(&path(w, i), OpenFlags::RDONLY).unwrap();
+                let data = fs.read(fd, 0, FILE_BLOCKS * BLOCK_SIZE).unwrap();
+                fs.close(fd).unwrap();
+                assert_eq!(data.len(), FILE_BLOCKS * BLOCK_SIZE);
+                let v = data[0];
+                assert!(
+                    data.iter().all(|&b| b == v),
+                    "torn read: file /w{w}_f{i} mixes fill values"
+                );
+                assert!(
+                    v >= last_seen[w as usize][i],
+                    "non-monotone read: saw {v} after {}",
+                    last_seen[w as usize][i]
+                );
+                last_seen[w as usize][i] = v;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // oracle: the same final state produced sequentially on the model
+    let model = rae_fsmodel::ModelFs::new();
+    for w in 0..WRITERS {
+        for i in 0..FILES_PER_WRITER {
+            let fd = model.open(&path(w, i), rw_create()).unwrap();
+            model
+                .write(fd, 0, &vec![ROUNDS; FILE_BLOCKS * BLOCK_SIZE])
+                .unwrap();
+            model.close(fd).unwrap();
+        }
+    }
+    for w in 0..WRITERS {
+        for i in 0..FILES_PER_WRITER {
+            let fd = fs.open(&path(w, i), OpenFlags::RDONLY).unwrap();
+            let got = fs.read(fd, 0, FILE_BLOCKS * BLOCK_SIZE).unwrap();
+            fs.close(fd).unwrap();
+            let mfd = model.open(&path(w, i), OpenFlags::RDONLY).unwrap();
+            let want = model.read(mfd, 0, FILE_BLOCKS * BLOCK_SIZE).unwrap();
+            model.close(mfd).unwrap();
+            assert_eq!(
+                got, want,
+                "final content of /w{w}_f{i} diverges from oracle"
+            );
+        }
+    }
+    let stats = fs.stats();
+    assert!(
+        stats.cache.evictions > 0,
+        "cache too large to stress eviction"
+    );
+    assert!(stats.cache.hits > 0 && stats.cache.misses > 0, "{stats:?}");
+
+    let fs = Arc::try_unwrap(fs).expect("all threads joined");
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+/// Concurrent readers during barrier/commit activity must see
+/// post-write content: an evicted-but-unbarriered dirty page is served
+/// from the in-flight table, never stale from the device.
+#[test]
+fn concurrent_readers_during_commit_see_post_write_content() {
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    // depth-1 single queue: submitted write-back lingers, so the
+    // in-flight window between eviction and barrier is wide
+    let fs = Arc::new(mount(
+        dev.clone(),
+        BaseFsConfig {
+            page_cache_blocks: 16,
+            cache_shards: Some(4),
+            queue: QueueConfig {
+                nr_queues: 1,
+                queue_depth: 1,
+            },
+            max_dirty_meta: 1_000_000, // commits only when we say so
+            ..BaseFsConfig::default()
+        },
+    ));
+    let fd = fs.open("/hot", rw_create()).unwrap();
+    fs.write(fd, 0, &vec![0u8; BLOCK_SIZE]).unwrap();
+    fs.sync().unwrap();
+
+    for round in 1..=30u8 {
+        fs.write(fd, 0, &vec![round; BLOCK_SIZE]).unwrap();
+        // flood other files to evict /hot's dirty data page
+        for j in 0..24u64 {
+            let f = fs.open(&format!("/spill{j}"), rw_create()).unwrap();
+            fs.write(f, 0, &vec![0xEE; BLOCK_SIZE]).unwrap();
+            fs.close(f).unwrap();
+        }
+        let mut handles = Vec::new();
+        // one thread drives the barrier/commit
+        {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                fs.sync().unwrap();
+            }));
+        }
+        // readers race the commit; all must see this round's content
+        for _ in 0..3 {
+            let fs = Arc::clone(&fs);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let rfd = fs.open("/hot", OpenFlags::RDONLY).unwrap();
+                    let data = fs.read(rfd, 0, BLOCK_SIZE).unwrap();
+                    fs.close(rfd).unwrap();
+                    assert!(
+                        data.iter().all(|&b| b == round),
+                        "round {round}: reader saw pre-write content during commit"
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    fs.close(fd).unwrap();
+    let fs = Arc::try_unwrap(fs).expect("all threads joined");
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}

@@ -1,0 +1,61 @@
+//! Criterion bench behind experiment E4c: multi-threaded reader
+//! throughput on the base filesystem, concurrent lock split vs the
+//! single-mutex baseline (`serial_reads` + one page-cache shard).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rae_basefs::{BaseFs, BaseFsConfig};
+use rae_bench::harness::fresh_device;
+use rae_blockdev::BlockDevice;
+use rae_workloads::{populate_read_set, run_reader_mix, ReadMix, ReadMixConfig};
+use std::sync::Arc;
+
+fn bench_cfg(mix: ReadMix) -> ReadMixConfig {
+    ReadMixConfig {
+        nfiles: 32,
+        file_size: 16 * 1024,
+        read_size: 1024,
+        ops_per_thread: 500,
+        seed: 0xBE4C,
+        mix,
+    }
+}
+
+fn mount(serial: bool) -> Arc<BaseFs> {
+    Arc::new(
+        BaseFs::mount(
+            fresh_device() as Arc<dyn BlockDevice>,
+            BaseFsConfig {
+                serial_reads: serial,
+                cache_shards: if serial { Some(1) } else { None },
+                ..BaseFsConfig::default()
+            },
+        )
+        .expect("mount base"),
+    )
+}
+
+fn bench_fs_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_concurrency");
+    group.sample_size(10);
+    for mix in [ReadMix::ReadHit, ReadMix::Mixed90R10W] {
+        for (mode, serial) in [("serial", true), ("concurrent", false)] {
+            let cfg = bench_cfg(mix);
+            let fs = mount(serial);
+            populate_read_set(fs.as_ref(), &cfg).expect("populate");
+            for threads in [1usize, 4] {
+                let id = format!("{}/{mode}/{threads}t", mix.label());
+                group.bench_with_input(BenchmarkId::from_parameter(id), &threads, |b, &t| {
+                    b.iter(|| {
+                        let report = run_reader_mix(&fs, &cfg, t).expect("reader mix");
+                        assert!(report.ops > 0);
+                        report.ops
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fs_concurrency);
+criterion_main!(benches);

@@ -29,7 +29,7 @@ fn build_records(dev: &Arc<MemDisk>, files: usize) -> Vec<OpRecord> {
             FsOp::Write {
                 fd: Fd(3),
                 offset: 0,
-                data: vec![k as u8; 2048],
+                data: vec![k as u8; 2048].into(),
             },
             FsOp::Close { fd: Fd(3) },
         ] {

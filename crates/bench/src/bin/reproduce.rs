@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! cargo run --release -p rae-bench --bin reproduce -- [--fast] [targets...]
-//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e5 | e6 | e7
+//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e4c | e5 | e6 | e7
+//!
+//! `e4` runs availability plus the read-scaling sweep (e4c); both
+//! sub-targets can also be requested on their own.
 //! ```
 
 use rae_bench::experiments::{self, Scale};
@@ -30,14 +33,20 @@ fn main() {
             "e2" => experiments::e2_rae_overhead(scale),
             "e3" => experiments::e3_recovery_latency(scale),
             "e3b" => experiments::e3b_warm_recovery(scale),
-            "e4" => experiments::e4_availability(scale),
+            "e4" => {
+                let mut out = experiments::e4_availability(scale);
+                out.push('\n');
+                out.push_str(&experiments::e4c_read_scaling(scale));
+                out
+            }
             "e4b" => experiments::e4b_latency_tail(scale),
+            "e4c" => experiments::e4c_read_scaling(scale),
             "e5" => experiments::e5_check_cost(scale),
             "e6" => experiments::e6_differential(scale),
             "e7" => experiments::e7_crafted_images(),
             "trust" => experiments::trust_accounting(),
             other => {
-                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e7|e3b|e4b)");
+                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e7|e3b|e4b|e4c)");
                 std::process::exit(2);
             }
         };

@@ -9,13 +9,16 @@ use crate::harness::{
     timed,
 };
 use rae::{RaeConfig, RecoveryMode, RecoveryPath, StandbyOpts};
-use rae_basefs::BaseFsConfig;
+use rae_basefs::{BaseFs, BaseFsConfig};
 use rae_blockdev::{BlockDevice, MemDisk};
 use rae_faults::{standard_bug_corpus, BugSpec, Effect, FaultRegistry, Site, Trigger};
 use rae_fsmodel::ModelFs;
 use rae_shadowfs::{ShadowAsPrimary, ShadowFs, ShadowOpts};
 use rae_vfs::{FileSystem, FsOp, OpRecord, OpenFlags};
-use rae_workloads::{compare_outcomes, generate_script, run_script, Profile};
+use rae_workloads::{
+    compare_outcomes, generate_script, populate_read_set, run_reader_mix, run_script, Profile,
+    ReadMix, ReadMixConfig,
+};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
@@ -519,6 +522,177 @@ pub fn e4b_latency_tail(scale: Scale) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// E4c: concurrent read scaling
+// ---------------------------------------------------------------------
+
+const E4C_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Workload shape per mix. The read-miss set (64 × 32 KiB = 512 data
+/// blocks) is sized against a deliberately small page cache so a large
+/// fraction of reads touch the latency-modelled device.
+fn e4c_mix_config(mix: ReadMix, scale: Scale) -> ReadMixConfig {
+    match mix {
+        ReadMix::ReadHit | ReadMix::Mixed90R10W => ReadMixConfig {
+            nfiles: 32,
+            file_size: 16 * 1024,
+            read_size: 1024,
+            ops_per_thread: scale.steps,
+            seed: 0xE4C,
+            mix,
+        },
+        ReadMix::ReadMiss => ReadMixConfig {
+            nfiles: 64,
+            file_size: 32 * 1024,
+            read_size: 4096,
+            ops_per_thread: (scale.steps / 2).max(100),
+            seed: 0xE4C,
+            mix,
+        },
+    }
+}
+
+fn e4c_base_config(serial: bool, mix: ReadMix) -> BaseFsConfig {
+    BaseFsConfig {
+        page_cache_blocks: if matches!(mix, ReadMix::ReadMiss) {
+            256 // half the read-miss working set: forces device reads
+        } else {
+            2048
+        },
+        serial_reads: serial,
+        cache_shards: if serial { Some(1) } else { None },
+        ..BaseFsConfig::default()
+    }
+}
+
+/// One (mix, mode) sweep: mount, populate, then run the thread ladder
+/// on the same warm mount. Returns `(threads, ops/s)` per rung.
+fn e4c_measure(mix: ReadMix, serial: bool, scale: Scale) -> Vec<(usize, f64)> {
+    let cfg = e4c_mix_config(mix, scale);
+    // 50 µs reads: slow enough that misses are genuinely I/O-bound and
+    // their latency overlaps across reader threads (see harness docs)
+    let dev = crate::harness::fresh_custom_latency_device(50_000, 16_000);
+    let fs = Arc::new(
+        BaseFs::mount(dev as Arc<dyn BlockDevice>, e4c_base_config(serial, mix))
+            .expect("mount base"),
+    );
+    populate_read_set(fs.as_ref(), &cfg).expect("populate read set");
+    // untimed warm-up: fill the cache to steady state and spin up the
+    // CPU before the first timed rung
+    let warm = ReadMixConfig {
+        ops_per_thread: cfg.ops_per_thread / 2,
+        ..cfg
+    };
+    let _ = run_reader_mix(&fs, &warm, 2).expect("warm-up");
+    E4C_THREADS
+        .iter()
+        .map(|&threads| {
+            let report = run_reader_mix(&fs, &cfg, threads).unwrap_or_else(|e| {
+                panic!(
+                    "reader mix failed: mix={} serial={serial} threads={threads}: {e:?}",
+                    cfg.mix.label()
+                )
+            });
+            (threads, report.ops_per_sec())
+        })
+        .collect()
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// One E4c sweep: (mix label, mode label, per-thread-count ops/s).
+type E4cRow = (&'static str, &'static str, Vec<(usize, f64)>);
+
+fn e4c_render_json(rows: &[E4cRow]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"e4c_read_scaling\",\n");
+    json.push_str("  \"threads\": [1, 2, 4, 8],\n");
+    let _ = writeln!(json, "  \"host_cpus\": {},", host_cpus());
+    json.push_str("  \"results\": [\n");
+    for (i, (mix, mode, ladder)) in rows.iter().enumerate() {
+        let ops: Vec<String> = ladder.iter().map(|(_, o)| format!("{o:.0}")).collect();
+        let speedup = ladder.last().expect("ladder").1 / ladder[0].1.max(f64::MIN_POSITIVE);
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"mix\": \"{mix}\", \"mode\": \"{mode}\", \"ops_per_sec\": [{}], \"speedup_8t_over_1t\": {speedup:.2}}}{comma}",
+            ops.join(", "),
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// E4c: throughput of 1–8 reader threads against one mounted base, for
+/// cache-resident reads, device-bound reads, and a 90:10 read/write
+/// mix. The pre-concurrency configuration (`serial_reads` plus a
+/// single page-cache shard) runs as the in-tree baseline, so the
+/// before/after comparison is measured live rather than quoted.
+///
+/// Side effect: writes `BENCH_concurrency.json` into the working
+/// directory (the committed artifact at the repo root).
+#[must_use]
+pub fn e4c_read_scaling(scale: Scale) -> String {
+    let mut out = String::new();
+    let shards = BaseFs::mount(
+        fresh_device() as Arc<dyn BlockDevice>,
+        e4c_base_config(false, ReadMix::ReadHit),
+    )
+    .expect("mount base")
+    .cache_shard_count();
+    let _ = writeln!(
+        out,
+        "E4c: concurrent read scaling ({} ops/thread, {shards} cache shards when concurrent, {} host CPUs)",
+        scale.steps,
+        host_cpus()
+    );
+    let _ = writeln!(
+        out,
+        "(cache-resident mixes are CPU-bound: their scaling ceiling is the host CPU count;"
+    );
+    let _ = writeln!(
+        out,
+        " the read-miss mix is I/O-bound and scales with overlapped device latency)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<13} {:<16} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "mix", "mode", "1t", "2t", "4t", "8t", "8t/1t"
+    );
+    let mut rows: Vec<E4cRow> = Vec::new();
+    for mix in [ReadMix::ReadHit, ReadMix::ReadMiss, ReadMix::Mixed90R10W] {
+        for (mode, serial) in [("serial_baseline", true), ("concurrent", false)] {
+            let ladder = e4c_measure(mix, serial, scale);
+            let speedup = ladder.last().expect("ladder").1 / ladder[0].1.max(f64::MIN_POSITIVE);
+            let _ = writeln!(
+                out,
+                "{:<13} {:<16} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>6.2}x",
+                mix.label(),
+                mode,
+                ladder[0].1,
+                ladder[1].1,
+                ladder[2].1,
+                ladder[3].1,
+                speedup
+            );
+            rows.push((mix.label(), mode, ladder));
+        }
+    }
+    let json = e4c_render_json(&rows);
+    match std::fs::write("BENCH_concurrency.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_concurrency.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "(could not write BENCH_concurrency.json: {e})");
+        }
+    }
+    out
+}
+
 /// Build a recorded operation sequence by running ops through an
 /// autonomous shadow (a stand-in for the base's recorder, entirely
 /// in-memory).
@@ -556,7 +730,7 @@ fn build_records(dev: &Arc<MemDisk>, n: usize) -> Vec<OpRecord> {
             FsOp::Write {
                 fd: rae_vfs::Fd(3),
                 offset: 0,
-                data: vec![k as u8; 2048],
+                data: vec![k as u8; 2048].into(),
             },
         );
         push(
@@ -904,6 +1078,7 @@ pub fn run_all(scale: Scale) -> String {
         e3b_warm_recovery(scale),
         e4_availability(scale),
         e4b_latency_tail(scale),
+        e4c_read_scaling(scale),
         e5_check_cost(scale),
         e6_differential(scale),
         e7_crafted_images(),

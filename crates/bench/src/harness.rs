@@ -40,6 +40,21 @@ pub fn fresh_latency_device() -> Arc<FaultyDisk<MemDisk>> {
     Arc::new(FaultyDisk::with_plan(mem, plan))
 }
 
+/// A formatted device with custom per-op latency. The concurrency
+/// experiment (E4c) uses 50 µs reads — a networked/cloud block device —
+/// so the read-miss mix is genuinely I/O-bound and the benefit of
+/// overlapping misses across reader threads is visible rather than
+/// drowned in lock-free CPU work.
+#[must_use]
+pub fn fresh_custom_latency_device(read_ns: u64, write_ns: u64) -> Arc<FaultyDisk<MemDisk>> {
+    let mem = MemDisk::new(16384);
+    mkfs(&mem, experiment_params()).expect("mkfs");
+    let plan = DiskFaultPlan::new()
+        .read_latency_ns(read_ns)
+        .write_latency_ns(write_ns);
+    Arc::new(FaultyDisk::with_plan(mem, plan))
+}
+
 /// Mount a base filesystem with `faults`.
 #[must_use]
 pub fn mount_base(dev: Arc<dyn BlockDevice>, faults: FaultRegistry) -> BaseFs {

@@ -292,6 +292,17 @@ impl<D: BlockDevice> FaultyDisk<D> {
         if ns == 0 {
             return;
         }
+        // Device time is not host CPU time: latencies the OS timer can
+        // resolve are slept, so concurrent requests overlap their
+        // latency exactly as they would against real hardware (the
+        // property the multi-queue write-back path and the concurrent
+        // read path exist to exploit). Sub-timer latencies keep the
+        // precise spin.
+        const SLEEP_THRESHOLD_NS: u64 = 20_000;
+        if ns >= SLEEP_THRESHOLD_NS {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+            return;
+        }
         let start = Instant::now();
         while u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX) < ns {
             std::hint::spin_loop();

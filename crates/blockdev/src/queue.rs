@@ -43,10 +43,15 @@ enum Msg {
 /// Multi-queue asynchronous write-back over a shared [`BlockDevice`].
 ///
 /// Dropping the queue drains and joins all workers.
+///
+/// Error reporting is per-queue (each worker records into its own slot,
+/// first error wins), so a failing queue never contends with healthy
+/// queues — and cache-miss eviction traffic from concurrent readers
+/// never serializes on a global error lock.
 pub struct WritebackQueue {
     senders: Vec<Sender<Msg>>,
     workers: Vec<JoinHandle<()>>,
-    errors: Arc<Mutex<Vec<FsError>>>,
+    errors: Vec<Arc<Mutex<Option<FsError>>>>,
     submitted: AtomicU64,
     completed: Arc<AtomicU64>,
     device: Arc<dyn BlockDevice>,
@@ -71,15 +76,16 @@ impl WritebackQueue {
     #[must_use]
     pub fn new(device: Arc<dyn BlockDevice>, config: QueueConfig) -> WritebackQueue {
         assert!(config.nr_queues > 0 && config.queue_depth > 0);
-        let errors = Arc::new(Mutex::new(Vec::new()));
         let completed = Arc::new(AtomicU64::new(0));
         let mut senders = Vec::with_capacity(config.nr_queues);
         let mut workers = Vec::with_capacity(config.nr_queues);
+        let mut errors = Vec::with_capacity(config.nr_queues);
 
         for qi in 0..config.nr_queues {
             let (tx, rx): (Sender<Msg>, Receiver<Msg>) = bounded(config.queue_depth);
             let dev = Arc::clone(&device);
-            let errs = Arc::clone(&errors);
+            let err_slot: Arc<Mutex<Option<FsError>>> = Arc::new(Mutex::new(None));
+            let errs = Arc::clone(&err_slot);
             let done = Arc::clone(&completed);
             let handle = std::thread::Builder::new()
                 .name(format!("rae-wbq-{qi}"))
@@ -88,7 +94,7 @@ impl WritebackQueue {
                         match msg {
                             Msg::Write { bno, data } => {
                                 if let Err(e) = dev.write_block(bno, &data) {
-                                    errs.lock().push(e);
+                                    errs.lock().get_or_insert(e);
                                 }
                                 done.fetch_add(1, Ordering::Release);
                             }
@@ -101,6 +107,7 @@ impl WritebackQueue {
                 .expect("spawn write-back worker");
             senders.push(tx);
             workers.push(handle);
+            errors.push(err_slot);
         }
 
         WritebackQueue {
@@ -154,9 +161,10 @@ impl WritebackQueue {
         for _ in 0..expected {
             let _ = ack_rx.recv();
         }
-        let queued_error = self.errors.lock().drain(..).next();
-        if let Some(e) = queued_error {
-            return Err(e);
+        for slot in &self.errors {
+            if let Some(e) = slot.lock().take() {
+                return Err(e);
+            }
         }
         self.device.flush()
     }

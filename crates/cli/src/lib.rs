@@ -16,6 +16,7 @@
 //! `rmdir p`, `write p text`, `append p text`, `cat p`, `rm p`,
 //! `mv a b`, `ln a b`, `symlink target link`, `readlink p`, `stat p`,
 //! `statfs`, `sync`, `inject <site> <nth> <effect>`, `stats`, `audit`,
+//! `readers <threads> <ops> <p>` (concurrent read throughput demo),
 //! `help`.
 
 #![forbid(unsafe_code)]

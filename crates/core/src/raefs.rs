@@ -917,7 +917,7 @@ impl FileSystem for RaeFs {
         match self.exec_mutating(FsOp::Write {
             fd,
             offset,
-            data: data.to_vec(),
+            data: data.into(),
         })? {
             Ret::Written(n) => Ok(n),
             other => Err(FsError::Internal {

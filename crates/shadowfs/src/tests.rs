@@ -142,7 +142,7 @@ fn constrained_replay_reproduces_outcomes_exactly() {
             FsOp::Write {
                 fd: Fd(3),
                 offset: 0,
-                data: b"payload".to_vec(),
+                data: b"payload".into(),
             },
             FsOp::Create {
                 path: "/dir/b".into(),
@@ -216,7 +216,7 @@ fn cross_check_flags_base_lies() {
             FsOp::Write {
                 fd: Fd(3),
                 offset: 0,
-                data: b"1234".to_vec(),
+                data: b"1234".into(),
             },
         ],
     );
@@ -287,7 +287,7 @@ fn restore_fd_reestablishes_descriptors() {
         FsOp::Write {
             fd: Fd(3),
             offset: 0,
-            data: b"x".to_vec(),
+            data: b"x".into(),
         },
     );
     w.complete(OpOutcome::Written { n: 1 });
@@ -358,7 +358,7 @@ fn refinement_check_passes_on_clean_replay() {
             FsOp::Write {
                 fd: Fd(3),
                 offset: 10,
-                data: b"sparse".to_vec(),
+                data: b"sparse".into(),
             },
             FsOp::Close { fd: Fd(3) },
         ],
@@ -508,7 +508,7 @@ fn shadow_never_writes_even_under_replay_and_reads() {
             FsOp::Write {
                 fd: Fd(3),
                 offset: 0,
-                data: vec![9u8; 10_000],
+                data: vec![9u8; 10_000].into(),
             },
         ],
     );

@@ -662,7 +662,7 @@ mod tests {
             FsOp::Write {
                 fd: Fd(3),
                 offset: 0,
-                data: b"warm payload".to_vec(),
+                data: b"warm payload".into(),
             },
             FsOp::Create {
                 path: "/dir/b".into(),

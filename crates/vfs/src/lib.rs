@@ -40,7 +40,7 @@ mod types;
 
 pub use error::{FsError, FsResult};
 pub use fs::{split_parent, split_path, FileSystem, FsStatus};
-pub use ops::{FsOp, OpKind, OpOutcome, OpRecord};
+pub use ops::{Bytes, FsOp, OpKind, OpOutcome, OpRecord};
 pub use stats::OpCounters;
 pub use types::{
     DirEntry, Fd, FileStat, FileType, FsGeometryInfo, InodeNo, OpenFlags, SetAttr, FIRST_FD,

@@ -104,6 +104,83 @@ impl fmt::Display for OpKind {
     }
 }
 
+/// An immutable, cheaply-cloneable byte buffer for write payloads.
+///
+/// A write payload lives long past the `write` call that produced it:
+/// the operation log retains it until the persistence barrier, the warm
+/// standby receives its own copy of the record on the publish path, and
+/// cold replay clones the retained records once more. Backing the
+/// payload with an `Arc<[u8]>` makes every one of those copies a
+/// refcount bump on one shared allocation instead of a multi-kilobyte
+/// `memcpy`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bytes(std::sync::Arc<[u8]>);
+
+impl Bytes {
+    /// Length of the payload in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The payload as a plain byte slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v.into())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(std::sync::Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Bytes {
+        Bytes(std::sync::Arc::from(&v[..]))
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.0[..] == other.0[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.0[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
 /// A recordable filesystem operation with owned arguments.
 ///
 /// Only *state-mutating* operations appear in the RAE operation log
@@ -139,7 +216,9 @@ pub enum FsOp {
         /// Byte offset (ignored when the descriptor is in append mode).
         offset: u64,
         /// Payload; retained so the shadow can re-execute the write.
-        data: Vec<u8>,
+        /// Shared ([`Bytes`]) because the log, the standby publish
+        /// path, and replay all hold copies of the same record.
+        data: Bytes,
     },
     /// Truncate (or extend with zeroes) the file behind a descriptor.
     Truncate {
@@ -418,7 +497,7 @@ mod tests {
             FsOp::Write {
                 fd: Fd(3),
                 offset: 0,
-                data: vec![1, 2, 3],
+                data: vec![1, 2, 3].into(),
             },
             FsOp::Truncate {
                 fd: Fd(3),
@@ -480,7 +559,7 @@ mod tests {
         let op = FsOp::Write {
             fd: Fd(9),
             offset: 4,
-            data: vec![],
+            data: Vec::new().into(),
         };
         assert_eq!(op.primary_path(), None);
         assert_eq!(op.target_fd(), Some(Fd(9)));

@@ -89,7 +89,7 @@ proptest! {
     /// Record lifecycle invariants hold for arbitrary writes.
     #[test]
     fn record_lifecycle(seq in any::<u64>(), offset in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..64)) {
-        let op = FsOp::Write { fd: rae_vfs::Fd(3), offset, data };
+        let op = FsOp::Write { fd: rae_vfs::Fd(3), offset, data: data.into() };
         prop_assert!(op.mutates_state());
         prop_assert!(!op.is_sync_family());
         let mut rec = OpRecord::new(seq, op);

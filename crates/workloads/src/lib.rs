@@ -19,8 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod concurrent;
 mod differential;
 mod script;
 
+pub use concurrent::{
+    populate_read_set, read_set_path, run_reader_mix, MixReport, ReadMix, ReadMixConfig,
+};
 pub use differential::{compare_outcomes, diff_trees, dump_tree, Divergence, TreeNode};
 pub use script::{generate_script, run_script, Profile, ScriptOp, ScriptOutcome, StepResult};
