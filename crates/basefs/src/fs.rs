@@ -263,6 +263,10 @@ impl BaseFs {
     /// [`FsError::Corrupted`] / device errors if the on-disk state
     /// itself cannot be trusted — recovery is then impossible.
     pub fn contained_reboot(&self) -> FsResult<ReplayReport> {
+        // recovery-path fault site: tooling can fail while the system
+        // is already degraded (the nested-fault campaign, E8)
+        let ctx = OpContext::new(OpKind::Sync, Site::RecoveryReboot);
+        let _ = self.hook(&ctx)?;
         let mut inner = self.inner.write();
         // Quiesce in-flight write-back, then drop every cached page —
         // nothing in memory is trusted after an error.
@@ -287,6 +291,8 @@ impl BaseFs {
     ///
     /// [`FsError::Internal`] on duplicate descriptors; cache errors.
     pub fn absorb_recovery(&self, delta: &RecoveryDelta) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Sync, Site::RecoveryAbsorb);
+        let _ = self.hook(&ctx)?;
         let mut inner = self.inner.write();
         for (bno, img) in &delta.meta_blocks {
             if *bno == 0 {
@@ -679,6 +685,20 @@ impl BaseFs {
         Ok(need)
     }
 
+    /// Free `bno` and drop any committed-but-not-checkpointed journal
+    /// image of it.
+    ///
+    /// Every block free must come through here: a freed block can be
+    /// reallocated immediately — possibly as a data block, which
+    /// bypasses the journal in ordered mode — and a stale pending
+    /// image left in the journal manager would overwrite the new
+    /// contents at the next checkpoint.
+    fn release_block(&self, inner: &mut Inner, bno: u64) -> FsResult<()> {
+        inner.alloc.free_block(&self.pages, bno)?;
+        inner.jmgr.drop_pending(bno);
+        Ok(())
+    }
+
     /// Free blocks past `new_size`, zero the partial tail, update size
     /// and block count. The caller stores the inode.
     fn truncate_core(
@@ -694,7 +714,7 @@ impl BaseFs {
             match locate_block(idx)? {
                 BlockPtrLoc::Direct(s) => {
                     if inode.direct[s] != 0 {
-                        inner.alloc.free_block(&self.pages, inode.direct[s])?;
+                        self.release_block(inner, inode.direct[s])?;
                         inode.direct[s] = 0;
                         inode.blocks -= 1;
                     }
@@ -703,7 +723,7 @@ impl BaseFs {
                     if inode.indirect != 0 {
                         let ptr = self.read_ptr(inode.indirect, slot)?;
                         if ptr != 0 {
-                            inner.alloc.free_block(&self.pages, ptr)?;
+                            self.release_block(inner, ptr)?;
                             self.write_ptr(inode.indirect, slot, 0)?;
                             inode.blocks -= 1;
                         }
@@ -715,7 +735,7 @@ impl BaseFs {
                         if l1p != 0 {
                             let ptr = self.read_ptr(l1p, l2)?;
                             if ptr != 0 {
-                                inner.alloc.free_block(&self.pages, ptr)?;
+                                self.release_block(inner, ptr)?;
                                 self.write_ptr(l1p, l2, 0)?;
                                 inode.blocks -= 1;
                             }
@@ -727,7 +747,7 @@ impl BaseFs {
 
         // free indirect structures that became entirely unused
         if new_nb <= 12 && inode.indirect != 0 {
-            inner.alloc.free_block(&self.pages, inode.indirect)?;
+            self.release_block(inner, inode.indirect)?;
             inode.indirect = 0;
             inode.blocks -= 1;
         }
@@ -738,12 +758,12 @@ impl BaseFs {
                 for l1 in 0..PTRS_PER_BLOCK {
                     let l1p = self.read_ptr(inode.dindirect, l1)?;
                     if l1p != 0 {
-                        inner.alloc.free_block(&self.pages, l1p)?;
+                        self.release_block(inner, l1p)?;
                         self.write_ptr(inode.dindirect, l1, 0)?;
                         inode.blocks -= 1;
                     }
                 }
-                inner.alloc.free_block(&self.pages, inode.dindirect)?;
+                self.release_block(inner, inode.dindirect)?;
                 inode.dindirect = 0;
                 inode.blocks -= 1;
             } else {
@@ -753,7 +773,7 @@ impl BaseFs {
                 for l1 in first_live_l1..PTRS_PER_BLOCK {
                     let l1p = self.read_ptr(inode.dindirect, l1)?;
                     if l1p != 0 {
-                        inner.alloc.free_block(&self.pages, l1p)?;
+                        self.release_block(inner, l1p)?;
                         self.write_ptr(inode.dindirect, l1, 0)?;
                         inode.blocks -= 1;
                     }

@@ -118,6 +118,63 @@ fn truncate_frees_blocks() {
 }
 
 #[test]
+fn freed_metadata_block_reused_as_data_survives_checkpoint() {
+    // Block-reuse vs checkpoint hazard: a directory block is committed
+    // to the journal (pending, not yet checkpointed), the directory is
+    // removed, and the freed block is reallocated as file data — which
+    // reaches its home location directly in ordered mode. The stale
+    // pending image must not overwrite the file at the next checkpoint.
+    let dev = Arc::new(MemDisk::new(512));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 512,
+            inode_count: 128,
+            journal_blocks: 64,
+        },
+    )
+    .unwrap();
+    let fs = BaseFs::mount(dev.clone() as Arc<dyn BlockDevice>, BaseFsConfig::default()).unwrap();
+
+    fs.mkdir("/d").unwrap();
+    let fd = fs.open("/d/f", rw_create()).unwrap();
+    fs.close(fd).unwrap();
+    fs.sync().unwrap(); // the dir block image is now pending
+
+    fs.unlink("/d/f").unwrap();
+    fs.rmdir("/d").unwrap(); // frees the dir block
+
+    // Fill every remaining free block so the roving allocator wraps
+    // around and reuses the freed one, then checkpoint and reboot so
+    // reads come from disk rather than the page cache.
+    let pattern = |i: u64| vec![(i % 251) as u8 + 1; BLOCK_SIZE];
+    let fd = fs.open("/fill", rw_create()).unwrap();
+    let mut written = 0u64;
+    loop {
+        match fs.write(fd, written * BLOCK_SIZE as u64, &pattern(written)) {
+            Ok(_) => written += 1,
+            Err(FsError::NoSpace) => break,
+            Err(e) => panic!("unexpected error while filling: {e}"),
+        }
+    }
+    assert!(written > 0, "the fill file must allocate blocks");
+    fs.close(fd).unwrap();
+    fs.checkpoint().unwrap();
+    fs.contained_reboot().unwrap();
+
+    let fd = fs.open("/fill", OpenFlags::RDONLY).unwrap();
+    for i in 0..written {
+        let back = fs.read(fd, i * BLOCK_SIZE as u64, BLOCK_SIZE).unwrap();
+        assert_eq!(
+            back,
+            pattern(i),
+            "block {i} of the fill file was overwritten by a stale checkpoint image"
+        );
+    }
+    fs.close(fd).unwrap();
+}
+
+#[test]
 fn directory_tree_operations() {
     let (_dev, fs) = fresh();
     fs.mkdir("/a").unwrap();

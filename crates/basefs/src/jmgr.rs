@@ -137,6 +137,18 @@ impl JournalMgr {
         Ok(())
     }
 
+    /// Forget the committed-but-not-checkpointed image for `bno`.
+    ///
+    /// Must be called when a block is freed. Once a block is back on
+    /// the free list it can be reallocated — possibly as a *data*
+    /// block, whose contents bypass the journal in ordered mode — and a
+    /// stale pending metadata image would silently overwrite the new
+    /// contents at the next checkpoint. Dropping the entry at free time
+    /// closes that reuse hazard.
+    pub(crate) fn drop_pending(&mut self, bno: u64) {
+        self.pending.remove(&bno);
+    }
+
     /// Blocks with committed-but-not-checkpointed images (tests).
     #[cfg(test)]
     pub(crate) fn pending_blocks(&self) -> usize {
@@ -246,6 +258,25 @@ mod tests {
         let (dev, _geo, mut mgr) = setup();
         mgr.commit(&dev, vec![]).unwrap();
         assert_eq!(mgr.commits(), 0);
+    }
+
+    #[test]
+    fn drop_pending_prevents_stale_checkpoint_overwrite() {
+        let (dev, geo, mut mgr) = setup();
+        let target = geo.data_start + 3;
+        mgr.commit(&dev, vec![(target, img(0xEE))]).unwrap();
+        assert_eq!(mgr.pending_blocks(), 1);
+
+        // the block is freed and reused as file data, which reaches its
+        // home location directly (ordered mode)
+        mgr.drop_pending(target);
+        assert_eq!(mgr.pending_blocks(), 0);
+        dev.write_block(target, &img(0x42)).unwrap();
+
+        mgr.checkpoint(&dev).unwrap();
+        let mut raw = img(0);
+        dev.read_block(target, &mut raw).unwrap();
+        assert_eq!(raw[0], 0x42, "checkpoint must not resurrect a freed image");
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! cargo run --release -p rae-bench --bin reproduce -- [--fast] [targets...]
-//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e4c | e5 | e6 | e7
+//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e4c | e5 | e6 | e7 | e8
 //!
 //! `e4` runs availability plus the read-scaling sweep (e4c); both
-//! sub-targets can also be requested on their own.
+//! sub-targets can also be requested on their own. `--smoke` shrinks
+//! the e8 nested-fault campaign to its CI subset.
 //! ```
 
 use rae_bench::experiments::{self, Scale};
@@ -14,6 +15,7 @@ fn main() {
     rae_bench::harness::quiet_injected_panics();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let scale = if fast { Scale::fast() } else { Scale::full() };
     let mut targets: Vec<&str> = args
         .iter()
@@ -44,9 +46,10 @@ fn main() {
             "e5" => experiments::e5_check_cost(scale),
             "e6" => experiments::e6_differential(scale),
             "e7" => experiments::e7_crafted_images(),
+            "e8" => experiments::e8_recovery_resilience(smoke),
             "trust" => experiments::trust_accounting(),
             other => {
-                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e7|e3b|e4b|e4c)");
+                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e8|e3b|e4b|e4c)");
                 std::process::exit(2);
             }
         };

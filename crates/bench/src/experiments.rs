@@ -972,6 +972,390 @@ pub fn e7_crafted_images() -> String {
 }
 
 // ---------------------------------------------------------------------
+// E8: recovery resilience (nested-fault campaign)
+// ---------------------------------------------------------------------
+
+/// One nested-fault scenario: a fault armed to fire *while recovery
+/// itself runs*, either through the registry's recovery sites or as a
+/// phase-scoped device-error plan.
+struct E8Scenario {
+    name: String,
+    /// Fault class: `control`, `detected`, `panic`, `device`.
+    class: &'static str,
+    /// Recovery phase the fault targets: `reboot`, `replay`, `absorb`,
+    /// `device` (phase-global plan), or `-` for the control.
+    phase: &'static str,
+    bug: Option<BugSpec>,
+    plan: Option<rae_blockdev::DiskFaultPlan>,
+}
+
+/// The scenario matrix: fault class × recovery phase × persistence.
+/// One-shot faults are the transient class the retry rung must absorb;
+/// `Always` faults are persistent and must end degraded (when the bare
+/// reboot still works) or offline (when it does not).
+fn e8_scenarios(smoke: bool) -> Vec<E8Scenario> {
+    use rae_blockdev::{DiskFaultPlan, FaultTarget, TriggerMode};
+    let mut scenarios = vec![E8Scenario {
+        name: "control".into(),
+        class: "control",
+        phase: "-",
+        bug: None,
+        plan: None,
+    }];
+    let mut id = 8100;
+    for (site, phase) in [
+        (Site::RecoveryReboot, "reboot"),
+        (Site::RecoveryReplay, "replay"),
+        (Site::RecoveryAbsorb, "absorb"),
+    ] {
+        for (effect, class) in [
+            (Effect::DetectedError, "detected"),
+            (Effect::Panic, "panic"),
+        ] {
+            for (trigger, persistence) in
+                [(Trigger::NthMatch(1), "once"), (Trigger::Always, "always")]
+            {
+                id += 1;
+                if smoke && !(phase == "replay" || (phase == "reboot" && persistence == "once")) {
+                    continue;
+                }
+                scenarios.push(E8Scenario {
+                    name: format!("{class}-{phase}-{persistence}"),
+                    class,
+                    phase,
+                    bug: Some(BugSpec::new(id, "e8-nested", site, trigger.clone(), effect)),
+                    plan: None,
+                });
+            }
+        }
+    }
+    let device_plans: Vec<(&str, DiskFaultPlan)> = vec![
+        (
+            "dev-read-once",
+            DiskFaultPlan::new().fail_reads(FaultTarget::Any, TriggerMode::Nth(1)),
+        ),
+        (
+            "dev-read-twice",
+            DiskFaultPlan::new()
+                .fail_reads(FaultTarget::Any, TriggerMode::Nth(1))
+                .fail_reads(FaultTarget::Any, TriggerMode::Nth(2)),
+        ),
+        (
+            "dev-write-once",
+            DiskFaultPlan::new().fail_writes(FaultTarget::Any, TriggerMode::Nth(1)),
+        ),
+        (
+            "dev-read-always",
+            DiskFaultPlan::new().fail_reads(FaultTarget::Any, TriggerMode::Always),
+        ),
+        (
+            "dev-write-always",
+            DiskFaultPlan::new().fail_writes(FaultTarget::Any, TriggerMode::Always),
+        ),
+    ];
+    for (name, plan) in device_plans {
+        if smoke && !(name == "dev-read-once" || name == "dev-read-always") {
+            continue;
+        }
+        scenarios.push(E8Scenario {
+            name: name.into(),
+            class: "device",
+            phase: "device",
+            bug: None,
+            plan: Some(plan),
+        });
+    }
+    scenarios
+}
+
+/// The workload every E8 scenario runs before the trigger fires: a
+/// durable (synced) tree plus an unsynced tail the cold replay must
+/// reproduce.
+fn e8_workload(fs: &dyn FileSystem) -> Result<(), rae_vfs::FsError> {
+    populate_small_tree(fs)?; // ends with sync -> durable prefix
+    fs.mkdir("/work")?;
+    let fd = fs.open("/work/data", OpenFlags::RDWR | OpenFlags::CREATE)?;
+    fs.write(fd, 0, b"unsynced tail")?;
+    fs.close(fd)?;
+    Ok(())
+}
+
+/// Result of one E8 scenario run.
+struct E8Row {
+    name: String,
+    class: &'static str,
+    phase: &'static str,
+    /// `recovered`, `degraded`, `offline` — or `unexpected` when the
+    /// run violated the ladder contract (panic across the API, wrong
+    /// error, out-of-order rungs, wrong tree).
+    outcome: &'static str,
+    rung: String,
+    failed_rungs: Vec<String>,
+    device_retries: u64,
+    device_faults_absorbed: u64,
+    device_retries_exhausted: u64,
+    tree_ok: bool,
+    note: String,
+}
+
+fn e8_rung_rank(r: rae::LadderRung) -> usize {
+    use rae::LadderRung as L;
+    match r {
+        L::Warm => 0,
+        L::Cold => 1,
+        L::ColdRetry => 2,
+        L::Degraded => 3,
+        L::Offline => 4,
+    }
+}
+
+/// Run one scenario end to end and classify the outcome.
+fn e8_run_scenario(scenario: &E8Scenario) -> E8Row {
+    use rae_blockdev::FaultyDisk;
+    let mem = MemDisk::new(16384);
+    rae_fsformat::mkfs(&mem, crate::harness::experiment_params()).expect("mkfs");
+    let disk = Arc::new(FaultyDisk::new(mem));
+
+    let faults = FaultRegistry::new();
+    // the trigger that pulls recovery: a detected bug on the /boom op
+    faults.arm(BugSpec::new(
+        8000,
+        "e8-trigger",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::DetectedError,
+    ));
+    if let Some(bug) = &scenario.bug {
+        faults.arm(bug.clone());
+    }
+    if let Some(plan) = &scenario.plan {
+        // phase-scoped: arms with fresh counters when recovery enters
+        disk.stage_recovery_plan(plan.clone());
+    }
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults,
+            ..BaseFsConfig::default()
+        },
+        shadow: ShadowOpts {
+            validate_image: false,
+            ..ShadowOpts::default()
+        },
+        retry: rae::RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 100,
+            max_backoff_ns: 10_000,
+            seed: 0,
+        },
+        ..RaeConfig::default()
+    };
+    let fs = mount_rae(Arc::clone(&disk) as Arc<dyn BlockDevice>, config);
+    let model = ModelFs::new();
+    e8_workload(&fs).expect("e8 workload");
+    e8_workload(&model).expect("e8 model workload");
+
+    // the trigger operation: a panic crossing the API boundary here is
+    // a contract violation, so run it under catch_unwind
+    let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fs.mkdir("/boom")));
+
+    let stats = fs.stats();
+    let reports = fs.recovery_reports();
+    let last = reports.last();
+    let rung = last.map_or_else(|| "-".to_string(), |r| r.rung.as_str().to_string());
+    let failed_rungs: Vec<String> = last.map_or_else(Vec::new, |r| {
+        r.failed_rungs
+            .iter()
+            .map(|f| f.rung.as_str().to_string())
+            .collect()
+    });
+
+    // ladder-order invariant: failed rungs strictly ascend and all
+    // precede the final rung
+    let ladder_ordered = last.is_none_or(|r| {
+        let ranks: Vec<usize> = r
+            .failed_rungs
+            .iter()
+            .map(|f| e8_rung_rank(f.rung))
+            .collect();
+        ranks.windows(2).all(|w| w[0] < w[1]) && ranks.iter().all(|&x| x < e8_rung_rank(r.rung))
+    });
+
+    let mut note = String::new();
+    let (outcome, tree_ok) = match (&hit, fs.status()) {
+        (Err(_), _) => {
+            note = "panic escaped the API boundary".into();
+            ("unexpected", false)
+        }
+        (Ok(Ok(())), rae_vfs::FsStatus::Active) => {
+            // full recovery: the tree must equal the model's, /boom
+            // included — never silently wrong
+            model.mkdir("/boom").expect("model boom");
+            let tree = rae_workloads::dump_tree(&fs).expect("dump tree");
+            let model_tree = rae_workloads::dump_tree(&model).expect("model tree");
+            let diffs = rae_workloads::diff_trees(&model_tree, &tree);
+            if diffs.is_empty() {
+                ("recovered", true)
+            } else {
+                note = format!("{} tree diffs after recovery", diffs.len());
+                ("unexpected", false)
+            }
+        }
+        (Ok(Err(rae_vfs::FsError::ReadOnly)), rae_vfs::FsStatus::Degraded) => {
+            // read-only degraded: reads must answer off the durable
+            // (synced) prefix without error — spot-check content
+            let fd = fs.open("/docs/file0", OpenFlags::RDONLY);
+            let ok = match fd {
+                Err(rae_vfs::FsError::ReadOnly) => {
+                    // descriptor allocation counts as a mutation; fall
+                    // back to path reads only
+                    fs.stat("/docs/file0").is_ok()
+                        && fs.readdir("/docs").is_ok()
+                        && fs.readlink("/docs/link").is_ok()
+                }
+                _ => false,
+            };
+            if !ok {
+                note = "degraded base could not serve reads".into();
+            }
+            ("degraded", ok)
+        }
+        (Ok(Err(rae_vfs::FsError::RecoveryFailed { .. })), rae_vfs::FsStatus::Failed) => {
+            ("offline", true) // nothing to read; offline is a valid terminal
+        }
+        (Ok(r), status) => {
+            note = format!("unexpected result {r:?} with status {status:?}");
+            ("unexpected", false)
+        }
+    };
+    let outcome = if ladder_ordered {
+        outcome
+    } else {
+        note = format!("ladder out of order: {failed_rungs:?} then {rung}; {note}");
+        "unexpected"
+    };
+
+    E8Row {
+        name: scenario.name.clone(),
+        class: scenario.class,
+        phase: scenario.phase,
+        outcome,
+        rung,
+        failed_rungs,
+        device_retries: stats.device_retries,
+        device_faults_absorbed: stats.device_faults_absorbed,
+        device_retries_exhausted: stats.device_retries_exhausted,
+        tree_ok,
+        note,
+    }
+}
+
+fn e8_render_json(rows: &[E8Row], smoke: bool) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"experiment\": \"e8_recovery_resilience\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let failed: Vec<String> = r.failed_rungs.iter().map(|f| format!("\"{f}\"")).collect();
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"class\": \"{}\", \"phase\": \"{}\", \"outcome\": \"{}\", \"rung\": \"{}\", \"failed_rungs\": [{}], \"device_retries\": {}, \"device_faults_absorbed\": {}, \"device_retries_exhausted\": {}, \"tree_ok\": {}}}{comma}",
+            r.name,
+            r.class,
+            r.phase,
+            r.outcome,
+            r.rung,
+            failed.join(", "),
+            r.device_retries,
+            r.device_faults_absorbed,
+            r.device_retries_exhausted,
+            r.tree_ok,
+        );
+    }
+    json.push_str("  ],\n");
+    let total = rows.len();
+    let count = |o: &str| rows.iter().filter(|r| r.outcome == o).count();
+    let rate = |n: usize| n as f64 / total.max(1) as f64;
+    let (rec, deg, off, unx) = (
+        count("recovered"),
+        count("degraded"),
+        count("offline"),
+        count("unexpected"),
+    );
+    let _ = writeln!(
+        json,
+        "  \"summary\": {{\"total\": {total}, \"recovered\": {rec}, \"degraded\": {deg}, \"offline\": {off}, \"unexpected\": {unx}, \"survival_rate\": {:.3}, \"degraded_rate\": {:.3}, \"offline_rate\": {:.3}}}",
+        rate(rec),
+        rate(deg),
+        rate(off),
+    );
+    json.push_str("}\n");
+    json
+}
+
+/// E8: the nested-fault campaign — faults that fire *while recovery
+/// itself is running*, swept over fault class (detected error, panic,
+/// transient and persistent device errors) × recovery phase (reboot,
+/// replay, absorb, device-wide) × persistence. Every scenario must end
+/// in one of the ladder's terminal states — recovered, read-only
+/// degraded, or offline — with the rungs tried strictly in order,
+/// no panic crossing the API, and no silently-wrong tree.
+///
+/// Side effect: writes `BENCH_recovery_resilience.json` into the
+/// working directory (the committed artifact at the repo root).
+#[must_use]
+pub fn e8_recovery_resilience(smoke: bool) -> String {
+    let scenarios = e8_scenarios(smoke);
+    let rows: Vec<E8Row> = scenarios.iter().map(e8_run_scenario).collect();
+
+    let mut out = format!(
+        "E8: recovery resilience under nested faults ({} scenarios{})\n\
+         scenario                 class     phase    outcome    rung        failed_rungs         retries absorbed\n",
+        rows.len(),
+        if smoke { ", smoke subset" } else { "" },
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:<9} {:<8} {:<10} {:<11} {:<20} {:>7} {:>8}{}",
+            r.name,
+            r.class,
+            r.phase,
+            r.outcome,
+            r.rung,
+            r.failed_rungs.join(">"),
+            r.device_retries,
+            r.device_faults_absorbed,
+            if r.note.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", r.note)
+            },
+        );
+    }
+    let total = rows.len();
+    let count = |o: &str| rows.iter().filter(|r| r.outcome == o).count();
+    let _ = writeln!(
+        out,
+        "terminal states: {} recovered, {} degraded, {} offline, {} unexpected (of {total})",
+        count("recovered"),
+        count("degraded"),
+        count("offline"),
+        count("unexpected"),
+    );
+    let json = e8_render_json(&rows, smoke);
+    match std::fs::write("BENCH_recovery_resilience.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_recovery_resilience.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "(could not write BENCH_recovery_resilience.json: {e})");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Trusted-code accounting (§4.3: "We expect to quantify the code we
 // trust (i.e., reused)")
 // ---------------------------------------------------------------------
@@ -1082,6 +1466,7 @@ pub fn run_all(scale: Scale) -> String {
         e5_check_cost(scale),
         e6_differential(scale),
         e7_crafted_images(),
+        e8_recovery_resilience(false),
         trust_accounting(),
     ] {
         out.push_str(&section);

@@ -138,3 +138,41 @@ fn e7_shadow_rejects_every_crafted_image() {
         assert!(line.contains("rejected cleanly"), "shadow accepted: {line}");
     }
 }
+
+#[test]
+fn e8_every_scenario_reaches_a_terminal_state() {
+    quiet_panics();
+    let out = experiments::e8_recovery_resilience(true);
+    assert!(out.contains("0 unexpected"), "{out}");
+    // the control recovers on the first (cold) rung
+    let control = out.lines().find(|l| l.starts_with("control")).unwrap();
+    assert!(control.contains("recovered"), "{out}");
+    assert!(control.contains(" cold "), "{out}");
+    // every one-shot (transient) nested fault must be fully absorbed
+    for line in out
+        .lines()
+        .filter(|l| l.contains("-once") || l.contains("dev-read-twice"))
+    {
+        assert!(
+            line.contains("recovered"),
+            "transient fault not absorbed: {line}\n{out}"
+        );
+    }
+    // persistent replay faults sacrifice mutations, not the whole mount
+    let deg = out
+        .lines()
+        .find(|l| l.starts_with("detected-replay-always"))
+        .unwrap();
+    assert!(deg.contains("degraded"), "{out}");
+    assert!(deg.contains("cold>cold_retry"), "ladder order: {out}");
+    // a persistent device fault takes even the degrade reboot down
+    let off = out
+        .lines()
+        .find(|l| l.starts_with("dev-read-always"))
+        .unwrap();
+    assert!(off.contains("offline"), "{out}");
+    assert!(
+        off.contains("cold>cold_retry>degraded"),
+        "ladder order: {out}"
+    );
+}

@@ -15,6 +15,22 @@ pub fn zeroed_block() -> Vec<u8> {
     vec![0u8; BLOCK_SIZE]
 }
 
+/// Coarse execution phase of the mount driving a device.
+///
+/// Real devices ignore phases entirely; fault-injecting wrappers use
+/// them to scope plans to a phase ("fire only while recovery is
+/// running"), which is how the nested-fault campaign injects errors
+/// *into* the recovery path without perturbing the workload that led
+/// up to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoPhase {
+    /// Normal foreground operation.
+    #[default]
+    Normal,
+    /// A recovery (contained reboot, replay, or absorb) is running.
+    Recovery,
+}
+
 /// A synchronous block device with internal synchronization.
 ///
 /// All methods take `&self`; implementations are safe for concurrent use
@@ -52,6 +68,15 @@ pub trait BlockDevice: Send + Sync {
     ///
     /// [`FsError::IoFailed`] if the device cannot guarantee durability.
     fn flush(&self) -> FsResult<()>;
+
+    /// Announce the mount's execution phase.
+    ///
+    /// A no-op for real devices. Wrappers must forward it to the
+    /// wrapped device so the announcement reaches any fault-injecting
+    /// layer below (see [`IoPhase`]).
+    fn set_phase(&self, phase: IoPhase) {
+        let _ = phase;
+    }
 }
 
 /// Validate a buffer length, shared by implementations.
@@ -89,6 +114,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<D> {
     }
     fn flush(&self) -> FsResult<()> {
         (**self).flush()
+    }
+    fn set_phase(&self, phase: IoPhase) {
+        (**self).set_phase(phase);
     }
 }
 

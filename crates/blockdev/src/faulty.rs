@@ -4,10 +4,15 @@
 //! fault classes the paper's fault model covers: explicit I/O errors
 //! (transient or targeted), *silent* read corruption (the "cores that
 //! don't count" / bad-DRAM class the shadow's runtime checks defend
-//! against), per-operation latency (to model slow media), and write
-//! cut-off (crash emulation).
+//! against), failed flush barriers, per-operation latency (to model
+//! slow media), and write cut-off (crash emulation).
+//!
+//! Plans can also be *phase-scoped*: a plan staged with
+//! [`FaultyDisk::stage_recovery_plan`] arms each time the mount
+//! announces [`IoPhase::Recovery`] and disarms when normal operation
+//! resumes, so faults can be aimed at the recovery path itself.
 
-use crate::device::{BlockDevice, BLOCK_SIZE};
+use crate::device::{BlockDevice, IoPhase, BLOCK_SIZE};
 use parking_lot::Mutex;
 use rae_vfs::{FsError, FsResult};
 use rand::rngs::SmallRng;
@@ -96,6 +101,7 @@ pub struct DiskFaultPlan {
     read_errors: Vec<AccessRule>,
     write_errors: Vec<AccessRule>,
     corrupt_reads: Vec<CorruptRule>,
+    flush_errors: Vec<TriggerMode>,
     read_latency_ns: u64,
     write_latency_ns: u64,
     write_cut: Option<(u64, WriteCutMode)>,
@@ -153,6 +159,14 @@ impl DiskFaultPlan {
         self
     }
 
+    /// Fail flush barriers (the sync/durability path). Flushes are
+    /// device-wide, so the rule has a schedule but no block target.
+    #[must_use]
+    pub fn fail_flushes(mut self, mode: TriggerMode) -> DiskFaultPlan {
+        self.flush_errors.push(mode);
+        self
+    }
+
     /// Busy-wait latency per read, in nanoseconds (models media speed).
     #[must_use]
     pub fn read_latency_ns(mut self, ns: u64) -> DiskFaultPlan {
@@ -186,6 +200,22 @@ pub enum FaultEvent {
     CorruptedRead(u64),
     /// A write of `bno` was dropped past the cut-off.
     DroppedWrite(u64),
+    /// A flush barrier was failed.
+    FlushError,
+}
+
+/// Outcome of matching one read against the active plan.
+struct ReadDecision {
+    latency_ns: u64,
+    error: bool,
+    corrupt: Option<(usize, u8)>,
+}
+
+/// Outcome of matching one write against the active plan.
+struct WriteDecision {
+    latency_ns: u64,
+    error: bool,
+    cut: Option<WriteCutMode>,
 }
 
 struct FaultState {
@@ -193,8 +223,8 @@ struct FaultState {
     read_rule_hits: Vec<u64>,
     write_rule_hits: Vec<u64>,
     corrupt_rule_hits: Vec<u64>,
+    flush_rule_hits: Vec<u64>,
     rng: SmallRng,
-    events: Vec<FaultEvent>,
 }
 
 impl FaultState {
@@ -203,8 +233,8 @@ impl FaultState {
             read_rule_hits: vec![0; plan.read_errors.len()],
             write_rule_hits: vec![0; plan.write_errors.len()],
             corrupt_rule_hits: vec![0; plan.corrupt_reads.len()],
+            flush_rule_hits: vec![0; plan.flush_errors.len()],
             rng: SmallRng::seed_from_u64(plan.seed),
-            events: Vec::new(),
             plan,
         }
     }
@@ -217,6 +247,113 @@ impl FaultState {
             TriggerMode::Prob(p) => rng.gen_bool(p.clamp(0.0, 1.0)),
         }
     }
+
+    // The decision methods split-borrow the state (rules iterated in
+    // place, hit counters zipped alongside) so the hot path performs no
+    // per-access clones or allocations while holding the lock.
+
+    fn read_decision(&mut self, bno: u64) -> ReadDecision {
+        let FaultState {
+            plan,
+            read_rule_hits,
+            corrupt_rule_hits,
+            rng,
+            ..
+        } = self;
+
+        let mut error = false;
+        for (rule, hits) in plan.read_errors.iter().zip(read_rule_hits.iter_mut()) {
+            if rule.target.matches(bno) && Self::rule_fires(rule.mode, hits, rng) {
+                error = true;
+                break;
+            }
+        }
+
+        let mut corrupt = None;
+        if !error {
+            for (rule, hits) in plan.corrupt_reads.iter().zip(corrupt_rule_hits.iter_mut()) {
+                if rule.target.matches(bno) && Self::rule_fires(rule.mode, hits, rng) {
+                    corrupt = Some((rule.byte, rule.bit));
+                    break;
+                }
+            }
+        }
+
+        ReadDecision {
+            latency_ns: plan.read_latency_ns,
+            error,
+            corrupt,
+        }
+    }
+
+    fn write_decision(&mut self, bno: u64, writes_done: u64) -> WriteDecision {
+        let FaultState {
+            plan,
+            write_rule_hits,
+            rng,
+            ..
+        } = self;
+
+        let mut error = false;
+        for (rule, hits) in plan.write_errors.iter().zip(write_rule_hits.iter_mut()) {
+            if rule.target.matches(bno) && Self::rule_fires(rule.mode, hits, rng) {
+                error = true;
+                break;
+            }
+        }
+
+        let cut = if error {
+            None
+        } else {
+            match plan.write_cut {
+                Some((n, mode)) if writes_done >= n => Some(mode),
+                _ => None,
+            }
+        };
+
+        WriteDecision {
+            latency_ns: plan.write_latency_ns,
+            error,
+            cut,
+        }
+    }
+
+    fn flush_decision(&mut self) -> bool {
+        let FaultState {
+            plan,
+            flush_rule_hits,
+            rng,
+            ..
+        } = self;
+        for (mode, hits) in plan.flush_errors.iter().zip(flush_rule_hits.iter_mut()) {
+            if Self::rule_fires(*mode, hits, rng) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Lock-protected portion of [`FaultyDisk`]: the normal-phase state,
+/// the optional recovery-scoped state, and the shared event trail.
+struct Shared {
+    normal: FaultState,
+    staged_recovery: Option<DiskFaultPlan>,
+    recovery: Option<FaultState>,
+    phase: IoPhase,
+    events: Vec<FaultEvent>,
+}
+
+impl Shared {
+    /// The state that governs the current access: the armed
+    /// recovery-scoped state while in [`IoPhase::Recovery`], the normal
+    /// state otherwise.
+    fn active(&mut self) -> &mut FaultState {
+        match (self.phase, self.recovery.as_mut()) {
+            (IoPhase::Recovery, Some(r)) => r,
+            _ => &mut self.normal,
+        }
+    }
 }
 
 /// A fault-injecting wrapper around any block device.
@@ -225,7 +362,7 @@ impl FaultState {
 /// injected events are recorded and drainable for assertions.
 pub struct FaultyDisk<D> {
     inner: D,
-    state: Mutex<FaultState>,
+    state: Mutex<Shared>,
     writes_done: AtomicU64,
     injected: AtomicU64,
 }
@@ -251,7 +388,13 @@ impl<D: BlockDevice> FaultyDisk<D> {
     pub fn with_plan(inner: D, plan: DiskFaultPlan) -> FaultyDisk<D> {
         FaultyDisk {
             inner,
-            state: Mutex::new(FaultState::new(plan)),
+            state: Mutex::new(Shared {
+                normal: FaultState::new(plan),
+                staged_recovery: None,
+                recovery: None,
+                phase: IoPhase::Normal,
+                events: Vec::new(),
+            }),
             writes_done: AtomicU64::new(0),
             injected: AtomicU64::new(0),
         }
@@ -259,15 +402,38 @@ impl<D: BlockDevice> FaultyDisk<D> {
 
     /// Replace the active plan (resets per-rule counters, keeps events).
     pub fn set_plan(&self, plan: DiskFaultPlan) {
-        let mut st = self.state.lock();
-        let events = std::mem::take(&mut st.events);
-        *st = FaultState::new(plan);
-        st.events = events;
+        self.state.lock().normal = FaultState::new(plan);
     }
 
     /// Remove all faults.
     pub fn clear_plan(&self) {
         self.set_plan(DiskFaultPlan::new());
+    }
+
+    /// Stage a plan that arms (with fresh rule counters) every time the
+    /// mount announces [`IoPhase::Recovery`] and disarms on return to
+    /// [`IoPhase::Normal`]. The normal-phase plan is untouched; while
+    /// recovery runs, *only* the staged plan is consulted.
+    pub fn stage_recovery_plan(&self, plan: DiskFaultPlan) {
+        let mut sh = self.state.lock();
+        if sh.phase == IoPhase::Recovery {
+            sh.recovery = Some(FaultState::new(plan.clone()));
+        }
+        sh.staged_recovery = Some(plan);
+    }
+
+    /// Remove the staged (and any armed) recovery-scoped plan.
+    pub fn clear_recovery_plan(&self) {
+        let mut sh = self.state.lock();
+        sh.staged_recovery = None;
+        sh.recovery = None;
+    }
+
+    /// The phase most recently announced via
+    /// [`BlockDevice::set_phase`].
+    #[must_use]
+    pub fn phase(&self) -> IoPhase {
+        self.state.lock().phase
     }
 
     /// Total faults injected since construction.
@@ -316,57 +482,26 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     }
 
     fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()> {
-        let (latency, error, corrupt) = {
-            let mut st = self.state.lock();
-            let latency = st.plan.read_latency_ns;
-
-            let mut error = false;
-            for i in 0..st.plan.read_errors.len() {
-                let rule = st.plan.read_errors[i].clone();
-                if rule.target.matches(bno) {
-                    let mut hits = st.read_rule_hits[i];
-                    let fires = FaultState::rule_fires(rule.mode, &mut hits, &mut st.rng);
-                    st.read_rule_hits[i] = hits;
-                    if fires {
-                        error = true;
-                        break;
-                    }
-                }
+        let decision = {
+            let mut sh = self.state.lock();
+            let d = sh.active().read_decision(bno);
+            if d.error {
+                sh.events.push(FaultEvent::ReadError(bno));
+            } else if d.corrupt.is_some() {
+                sh.events.push(FaultEvent::CorruptedRead(bno));
             }
-
-            let mut corrupt = None;
-            if !error {
-                for i in 0..st.plan.corrupt_reads.len() {
-                    let rule = st.plan.corrupt_reads[i].clone();
-                    if rule.target.matches(bno) {
-                        let mut hits = st.corrupt_rule_hits[i];
-                        let fires = FaultState::rule_fires(rule.mode, &mut hits, &mut st.rng);
-                        st.corrupt_rule_hits[i] = hits;
-                        if fires {
-                            corrupt = Some((rule.byte, rule.bit));
-                            break;
-                        }
-                    }
-                }
-            }
-
-            if error {
-                st.events.push(FaultEvent::ReadError(bno));
-            } else if corrupt.is_some() {
-                st.events.push(FaultEvent::CorruptedRead(bno));
-            }
-            (latency, error, corrupt)
+            d
         };
 
-        Self::busy_wait(latency);
-        if error {
+        Self::busy_wait(decision.latency_ns);
+        if decision.error {
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(FsError::IoFailed {
                 detail: format!("injected read error at block {bno}"),
             });
         }
         self.inner.read_block(bno, buf)?;
-        if let Some((byte, bit)) = corrupt {
+        if let Some((byte, bit)) = decision.corrupt {
             self.injected.fetch_add(1, Ordering::Relaxed);
             buf[byte] ^= 1 << bit;
         }
@@ -374,49 +509,26 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     }
 
     fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()> {
-        let (latency, error, cut) = {
-            let mut st = self.state.lock();
-            let latency = st.plan.write_latency_ns;
-
-            let mut error = false;
-            for i in 0..st.plan.write_errors.len() {
-                let rule = st.plan.write_errors[i].clone();
-                if rule.target.matches(bno) {
-                    let mut hits = st.write_rule_hits[i];
-                    let fires = FaultState::rule_fires(rule.mode, &mut hits, &mut st.rng);
-                    st.write_rule_hits[i] = hits;
-                    if fires {
-                        error = true;
-                        break;
-                    }
-                }
+        let decision = {
+            let mut sh = self.state.lock();
+            let writes_done = self.writes_done.load(Ordering::Relaxed);
+            let d = sh.active().write_decision(bno, writes_done);
+            if d.error {
+                sh.events.push(FaultEvent::WriteError(bno));
+            } else if d.cut == Some(WriteCutMode::SilentDrop) {
+                sh.events.push(FaultEvent::DroppedWrite(bno));
             }
-
-            let cut = if error {
-                None
-            } else {
-                match st.plan.write_cut {
-                    Some((n, mode)) if self.writes_done.load(Ordering::Relaxed) >= n => Some(mode),
-                    _ => None,
-                }
-            };
-
-            if error {
-                st.events.push(FaultEvent::WriteError(bno));
-            } else if cut == Some(WriteCutMode::SilentDrop) {
-                st.events.push(FaultEvent::DroppedWrite(bno));
-            }
-            (latency, error, cut)
+            d
         };
 
-        Self::busy_wait(latency);
-        if error {
+        Self::busy_wait(decision.latency_ns);
+        if decision.error {
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(FsError::IoFailed {
                 detail: format!("injected write error at block {bno}"),
             });
         }
-        match cut {
+        match decision.cut {
             Some(WriteCutMode::Error) => {
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 Err(FsError::IoFailed {
@@ -436,7 +548,36 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     }
 
     fn flush(&self) -> FsResult<()> {
+        let fails = {
+            let mut sh = self.state.lock();
+            let fails = sh.active().flush_decision();
+            if fails {
+                sh.events.push(FaultEvent::FlushError);
+            }
+            fails
+        };
+        if fails {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(FsError::IoFailed {
+                detail: "injected flush error".into(),
+            });
+        }
         self.inner.flush()
+    }
+
+    fn set_phase(&self, phase: IoPhase) {
+        {
+            let mut sh = self.state.lock();
+            sh.phase = phase;
+            match phase {
+                IoPhase::Recovery => {
+                    // arm with fresh counters on every recovery entry
+                    sh.recovery = sh.staged_recovery.clone().map(FaultState::new);
+                }
+                IoPhase::Normal => sh.recovery = None,
+            }
+        }
+        self.inner.set_phase(phase);
     }
 }
 
@@ -533,6 +674,67 @@ mod tests {
         d.read_block(1, &mut r).unwrap();
         assert!(r.iter().all(|&b| b == 0), "dropped write never landed");
         assert_eq!(d.take_events(), vec![FaultEvent::DroppedWrite(1)]);
+    }
+
+    #[test]
+    fn flush_faults_fire_and_record() {
+        let plan = DiskFaultPlan::new().fail_flushes(TriggerMode::Nth(2));
+        let d = FaultyDisk::with_plan(MemDisk::new(1), plan);
+        assert!(d.flush().is_ok());
+        assert!(matches!(d.flush(), Err(FsError::IoFailed { .. })));
+        assert!(d.flush().is_ok());
+        assert_eq!(d.injected_faults(), 1);
+        assert_eq!(d.take_events(), vec![FaultEvent::FlushError]);
+    }
+
+    #[test]
+    fn recovery_plan_scoped_to_recovery_phase() {
+        let d = FaultyDisk::new(MemDisk::new(4));
+        d.stage_recovery_plan(
+            DiskFaultPlan::new().fail_reads(FaultTarget::Any, TriggerMode::Always),
+        );
+        let mut r = block(0);
+        assert!(d.read_block(0, &mut r).is_ok(), "normal phase unaffected");
+
+        d.set_phase(IoPhase::Recovery);
+        assert_eq!(d.phase(), IoPhase::Recovery);
+        assert!(d.read_block(0, &mut r).is_err(), "armed during recovery");
+
+        d.set_phase(IoPhase::Normal);
+        assert!(d.read_block(0, &mut r).is_ok(), "disarmed after recovery");
+    }
+
+    #[test]
+    fn recovery_plan_rearms_with_fresh_counters_each_entry() {
+        let d = FaultyDisk::new(MemDisk::new(4));
+        d.stage_recovery_plan(
+            DiskFaultPlan::new().fail_reads(FaultTarget::Any, TriggerMode::Nth(1)),
+        );
+        let mut r = block(0);
+
+        d.set_phase(IoPhase::Recovery);
+        assert!(d.read_block(0, &mut r).is_err(), "first entry fires");
+        assert!(d.read_block(0, &mut r).is_ok(), "Nth(1) spent");
+        d.set_phase(IoPhase::Normal);
+
+        d.set_phase(IoPhase::Recovery);
+        assert!(d.read_block(0, &mut r).is_err(), "re-armed on re-entry");
+        d.set_phase(IoPhase::Normal);
+    }
+
+    #[test]
+    fn normal_plan_suspended_while_recovery_plan_armed() {
+        let plan = DiskFaultPlan::new().fail_writes(FaultTarget::Any, TriggerMode::Always);
+        let d = FaultyDisk::with_plan(MemDisk::new(4), plan);
+        d.stage_recovery_plan(DiskFaultPlan::new());
+        assert!(d.write_block(0, &block(1)).is_err(), "normal plan active");
+        d.set_phase(IoPhase::Recovery);
+        assert!(
+            d.write_block(0, &block(1)).is_ok(),
+            "only the (empty) recovery plan is consulted during recovery"
+        );
+        d.set_phase(IoPhase::Normal);
+        assert!(d.write_block(0, &block(1)).is_err());
     }
 
     #[test]

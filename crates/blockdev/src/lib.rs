@@ -9,8 +9,12 @@
 //!   (the workhorse for tests and benchmarks);
 //! * [`FileDisk`] — a file-backed disk for persistent images;
 //! * [`FaultyDisk`] — a wrapper injecting device-level faults: targeted
-//!   or probabilistic read/write errors, silent bit corruption, per-op
-//!   latency, and write cut-off for crash emulation;
+//!   or probabilistic read/write/flush errors, silent bit corruption,
+//!   per-op latency, write cut-off for crash emulation, and
+//!   phase-scoped plans that arm only while recovery runs;
+//! * [`RetryDisk`] — a wrapper absorbing transient-class errors with a
+//!   deterministic, seeded exponential backoff and a bounded attempt
+//!   budget (the recovery ladder's retry rung);
 //! * [`StatsDisk`] — a transparent I/O accounting wrapper;
 //! * [`TrackedDisk`] — a wrapper recording the written-block set, so
 //!   the warm standby's recovery resync visits only touched blocks;
@@ -43,10 +47,11 @@ mod faulty;
 mod file;
 mod mem;
 mod queue;
+mod retry;
 mod stats;
 mod tracked;
 
-pub use device::{zeroed_block, BlockDevice, BLOCK_SIZE};
+pub use device::{zeroed_block, BlockDevice, IoPhase, BLOCK_SIZE};
 pub use faulty::{
     AccessRule, CorruptRule, DiskFaultPlan, FaultEvent, FaultTarget, FaultyDisk, TriggerMode,
     WriteCutMode,
@@ -54,5 +59,6 @@ pub use faulty::{
 pub use file::FileDisk;
 pub use mem::MemDisk;
 pub use queue::{QueueConfig, WritebackQueue};
+pub use retry::{classify_error, ErrorClass, RetryDisk, RetryPolicy, RetryStats};
 pub use stats::{DiskCounters, StatsDisk};
 pub use tracked::TrackedDisk;

@@ -1,6 +1,6 @@
 //! Transparent I/O accounting.
 
-use crate::device::BlockDevice;
+use crate::device::{BlockDevice, IoPhase};
 use rae_vfs::FsResult;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -119,6 +119,10 @@ impl<D: BlockDevice> BlockDevice for StatsDisk<D> {
                 Err(e)
             }
         }
+    }
+
+    fn set_phase(&self, phase: IoPhase) {
+        self.inner.set_phase(phase);
     }
 }
 

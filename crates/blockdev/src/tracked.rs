@@ -1,6 +1,6 @@
 //! Write-set tracking for warm-standby resynchronization.
 
-use crate::device::BlockDevice;
+use crate::device::{BlockDevice, IoPhase};
 use parking_lot::Mutex;
 use rae_vfs::FsResult;
 use std::collections::HashSet;
@@ -72,6 +72,10 @@ impl BlockDevice for TrackedDisk {
 
     fn flush(&self) -> FsResult<()> {
         self.inner.flush()
+    }
+
+    fn set_phase(&self, phase: IoPhase) {
+        self.inner.set_phase(phase);
     }
 }
 

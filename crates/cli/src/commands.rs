@@ -190,8 +190,9 @@ impl Session {
             "stats" => {
                 let s = self.fs.stats();
                 Ok(format!(
-                    "detected={} panics={} recoveries={} failures={} masked={} \
-                     recovery_time={:.2}ms log_len={} trimmed={}",
+                    "status={:?} detected={} panics={} recoveries={} failures={} masked={} \
+                     recovery_time={:.2}ms log_len={} trimmed={} degraded={}",
+                    self.fs.status(),
                     s.detected_errors,
                     s.panics_caught,
                     s.recoveries,
@@ -199,8 +200,37 @@ impl Session {
                     s.ops_masked,
                     s.recovery_time_ns as f64 / 1e6,
                     s.log_len,
-                    s.log_trimmed
+                    s.log_trimmed,
+                    s.degraded
                 ))
+            }
+            "ladder" => {
+                let s = self.fs.stats();
+                let mut out = format!(
+                    "rungs: warm={} cold={} cold_retry={} degraded={} offline={}\n\
+                     device retry: retries={} absorbed={} exhausted={}\n",
+                    s.ladder_warm,
+                    s.ladder_cold,
+                    s.ladder_cold_retry,
+                    s.ladder_degraded,
+                    s.recovery_failures,
+                    s.device_retries,
+                    s.device_faults_absorbed,
+                    s.device_retries_exhausted
+                );
+                match self.fs.recovery_reports().last() {
+                    Some(r) => {
+                        let failed: Vec<&str> =
+                            r.failed_rungs.iter().map(|f| f.rung.as_str()).collect();
+                        out.push_str(&format!(
+                            "last recovery: rung={} failed_rungs=[{}]",
+                            r.rung.as_str(),
+                            failed.join(">")
+                        ));
+                    }
+                    None => out.push_str("last recovery: none"),
+                }
+                Ok(out)
             }
             "standby" => {
                 let s = self.fs.stats();
@@ -348,7 +378,8 @@ impl Session {
 
     fn inject(&mut self, args: &[&str]) -> Result<String, CommandError> {
         let usage = "inject <site> <nth> <effect>  \
-                     (site: rename|alloc|write|lookup|dirmod|readdir|commit, \
+                     (site: rename|alloc|write|lookup|dirmod|readdir|commit\
+                     |reboot|replay|absorb, nth: 0 = every visit, \
                      effect: error|panic|warn|silent|scribble)";
         if args.len() != 3 {
             return Err(CommandError::Usage(usage.into()));
@@ -361,6 +392,9 @@ impl Session {
             "dirmod" => Site::DirModify,
             "readdir" => Site::Readdir,
             "commit" => Site::JournalCommit,
+            "reboot" => Site::RecoveryReboot,
+            "replay" => Site::RecoveryReplay,
+            "absorb" => Site::RecoveryAbsorb,
             _ => return Err(CommandError::Usage(usage.into())),
         };
         let nth: u64 = args[1]
@@ -376,16 +410,19 @@ impl Session {
         };
         let id = self.next_bug_id;
         self.next_bug_id += 1;
+        let (trigger, when) = if nth == 0 {
+            (Trigger::Always, "fires on every visit".to_string())
+        } else {
+            (Trigger::NthMatch(nth), format!("fires on match {nth}"))
+        };
         self.faults.arm(BugSpec::new(
             id,
             format!("shell-injected-{id}"),
             site,
-            Trigger::NthMatch(nth),
+            trigger,
             effect,
         ));
-        Ok(format!(
-            "armed bug #{id} at {site:?} (fires on match {nth})"
-        ))
+        Ok(format!("armed bug #{id} at {site:?} ({when})"))
     }
 }
 
@@ -416,8 +453,9 @@ const HELP: &str = "commands:
   symlink <target> <link>   create a symlink
   readlink <p> | stat <p>   inspect
   statfs | sync             filesystem-wide
-  inject <site> <n> <eff>   arm a bug (RAE will mask it)
+  inject <site> <n> <eff>   arm a bug (RAE will mask it; n=0 -> always)
   stats | audit             RAE runtime introspection
+  ladder                    recovery-ladder rungs and retry counters
   standby                   warm-standby watermarks and lag
   readers <n> <ops> <p>     concurrent read throughput demo
 ";
@@ -498,6 +536,37 @@ mod tests {
         assert!(stats.contains("recoveries=1"), "{stats}");
         let audit = s.run("audit").unwrap();
         assert!(audit.contains("audit clean"), "{audit}");
+        let ladder = s.run("ladder").unwrap();
+        assert!(ladder.contains("cold=1"), "{ladder}");
+        assert!(ladder.contains("rung=cold failed_rungs=[]"), "{ladder}");
+    }
+
+    #[test]
+    fn ladder_command_reports_degraded_read_only() {
+        let mut s = session();
+        s.run("write /keep data").unwrap();
+        s.run("sync").unwrap();
+        // a replay-site poison kills every shadow-backed rung; the
+        // degrade reboot still works, so the mount lands read-only
+        s.run("inject replay 0 error").unwrap();
+        s.run("inject dirmod 1 error").unwrap();
+        let err = s.run("mkdir /boom").unwrap_err();
+        assert!(err.to_string().contains("errno 30"), "{err}");
+        let stats = s.run("stats").unwrap();
+        assert!(stats.contains("status=Degraded"), "{stats}");
+        assert!(stats.contains("degraded=true"), "{stats}");
+        let ladder = s.run("ladder").unwrap();
+        assert!(ladder.contains("degraded=1"), "{ladder}");
+        assert!(
+            ladder.contains("rung=degraded failed_rungs=[cold>cold_retry]"),
+            "{ladder}"
+        );
+        // path reads still answer (cat would need a descriptor, and
+        // descriptor allocation counts as a mutation); mutations refuse
+        let st = s.run("stat /keep").unwrap();
+        assert!(st.contains("size=4"), "{st}");
+        assert!(s.run("ls /").unwrap().contains("keep"));
+        assert!(s.run("write /nope x").is_err());
     }
 
     #[test]

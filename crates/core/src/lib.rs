@@ -57,6 +57,9 @@ mod raefs_tests;
 mod report;
 
 pub use oplog::OpLog;
+pub use rae_blockdev::{RetryPolicy, RetryStats};
 pub use rae_standby::{LagPolicy, StandbyOpts, StandbyStatus};
 pub use raefs::{DiscrepancyPolicy, RaeConfig, RaeFs, RecoveryMode};
-pub use report::{RaeStats, RecoveryPath, RecoveryReport, RecoveryTrigger};
+pub use report::{
+    LadderRung, RaeStats, RecoveryPath, RecoveryReport, RecoveryTrigger, RungFailure,
+};

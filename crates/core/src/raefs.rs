@@ -2,15 +2,20 @@
 //! errors, and masks them through shadow recovery.
 
 use crate::oplog::OpLog;
-use crate::report::{RaeStats, RecoveryPath, RecoveryReport, RecoveryTrigger};
+use crate::report::{
+    LadderRung, RaeStats, RecoveryPath, RecoveryReport, RecoveryTrigger, RungFailure,
+};
 use parking_lot::{Mutex, RwLock};
 use rae_basefs::{BaseFs, BaseFsConfig};
-use rae_blockdev::{BlockDevice, TrackedDisk};
+use rae_blockdev::{
+    classify_error, BlockDevice, ErrorClass, IoPhase, RetryDisk, RetryPolicy, TrackedDisk,
+};
+use rae_faults::{FaultAction, OpContext, Site};
 use rae_shadowfs::{ReadReply, ReadRequest, ShadowFs, ShadowOpts};
-use rae_standby::{Publish, StandbyOpts, StandbyStatus, WarmStandby};
+use rae_standby::{HandoverState, Publish, StandbyOpts, StandbyStatus, WarmStandby};
 use rae_vfs::{
     DirEntry, Fd, FileStat, FileSystem, FsError, FsGeometryInfo, FsOp, FsResult, FsStatus, InodeNo,
-    OpOutcome, OpenFlags, SetAttr,
+    OpKind, OpOutcome, OpRecord, OpenFlags, SetAttr,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -68,6 +73,10 @@ pub struct RaeConfig {
     /// Warm-standby shadow configuration (default-off: cold replay is
     /// the baseline).
     pub standby: StandbyOpts,
+    /// Retry budget and backoff for the ladder's cold-retry rung
+    /// (transient device errors during recovery are re-issued under
+    /// this policy before the mount degrades to read-only).
+    pub retry: RetryPolicy,
 }
 
 impl Default for RaeConfig {
@@ -81,6 +90,7 @@ impl Default for RaeConfig {
             max_log_records: 10_000,
             max_consecutive_recoveries: 8,
             standby: StandbyOpts::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -119,6 +129,10 @@ pub struct RaeFs {
     /// Completed operations since the last coordinated standby audit.
     ops_since_audit: AtomicU64,
     failed: AtomicBool,
+    /// Read-only degraded: the ladder exhausted its shadow rungs but a
+    /// contained reboot produced a journal-consistent base to serve
+    /// reads from. Mutations are refused with [`FsError::ReadOnly`].
+    degraded: AtomicBool,
     detected_errors: AtomicU64,
     panics_caught: AtomicU64,
     recoveries: AtomicU64,
@@ -126,6 +140,39 @@ pub struct RaeFs {
     ops_masked: AtomicU64,
     recovery_time_ns: AtomicU64,
     consecutive_recoveries: AtomicU64,
+    ladder_warm: AtomicU64,
+    ladder_cold: AtomicU64,
+    ladder_cold_retry: AtomicU64,
+    ladder_degraded: AtomicU64,
+    device_retries: AtomicU64,
+    device_faults_absorbed: AtomicU64,
+    device_retries_exhausted: AtomicU64,
+}
+
+/// Resets the device's I/O phase to `Normal` on drop, so phase-scoped
+/// fault plans disarm on every exit path out of recovery.
+struct PhaseGuard(Arc<dyn BlockDevice>);
+
+impl PhaseGuard {
+    fn arm(dev: Arc<dyn BlockDevice>) -> PhaseGuard {
+        dev.set_phase(IoPhase::Recovery);
+        PhaseGuard(dev)
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        self.0.set_phase(IoPhase::Normal);
+    }
+}
+
+/// The payload of one successful ladder rung, before log bookkeeping.
+struct RungSuccess {
+    outcome: OpOutcome,
+    read_reply: Option<FsResult<ReadReply>>,
+    report: RecoveryReport,
+    standby_fork: Option<ShadowFs>,
+    reissue_sync: bool,
 }
 
 impl std::fmt::Debug for RaeFs {
@@ -193,6 +240,7 @@ impl RaeFs {
             standby_degraded: AtomicBool::new(standby_degraded),
             ops_since_audit: AtomicU64::new(0),
             failed: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
             detected_errors: AtomicU64::new(0),
             panics_caught: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
@@ -200,6 +248,13 @@ impl RaeFs {
             ops_masked: AtomicU64::new(0),
             recovery_time_ns: AtomicU64::new(0),
             consecutive_recoveries: AtomicU64::new(0),
+            ladder_warm: AtomicU64::new(0),
+            ladder_cold: AtomicU64::new(0),
+            ladder_cold_retry: AtomicU64::new(0),
+            ladder_degraded: AtomicU64::new(0),
+            device_retries: AtomicU64::new(0),
+            device_faults_absorbed: AtomicU64::new(0),
+            device_retries_exhausted: AtomicU64::new(0),
         })
     }
 
@@ -239,6 +294,14 @@ impl RaeFs {
             standby_lag: standby.lag,
             standby_audits_run: standby.audits_run,
             standby_divergences: standby.divergences,
+            degraded: self.degraded.load(Ordering::Acquire),
+            ladder_warm: self.ladder_warm.load(Ordering::Relaxed),
+            ladder_cold: self.ladder_cold.load(Ordering::Relaxed),
+            ladder_cold_retry: self.ladder_cold_retry.load(Ordering::Relaxed),
+            ladder_degraded: self.ladder_degraded.load(Ordering::Relaxed),
+            device_retries: self.device_retries.load(Ordering::Relaxed),
+            device_faults_absorbed: self.device_faults_absorbed.load(Ordering::Relaxed),
+            device_retries_exhausted: self.device_retries_exhausted.load(Ordering::Relaxed),
         }
     }
 
@@ -276,7 +339,9 @@ impl RaeFs {
     ///
     /// Sync failures or shadow runtime errors.
     pub fn audit(&self) -> FsResult<rae_shadowfs::ReplayReport> {
-        self.check_online()?;
+        // the audit begins with a checkpoint, a mutation of the device:
+        // refused in read-only degraded mode like any other mutation
+        self.check_writable()?;
         let mut log = self.log.lock();
         {
             let _admitted = self.gate.read();
@@ -357,6 +422,16 @@ impl RaeFs {
         } else {
             Ok(())
         }
+    }
+
+    /// Online *and* not in read-only degraded mode — the gate for every
+    /// mutating entry point.
+    fn check_writable(&self) -> FsResult<()> {
+        self.check_online()?;
+        if self.degraded.load(Ordering::Acquire) {
+            return Err(FsError::ReadOnly);
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -464,7 +539,7 @@ impl RaeFs {
 
     /// Execute a mutating operation with full RAE protection.
     fn exec_mutating(&self, op: FsOp) -> FsResult<Ret> {
-        self.check_online()?;
+        self.check_writable()?;
         let mut log = self.log.lock();
         let seq = log.append(op); // the log owns the operation
         self.base.note_op_seq(seq);
@@ -591,9 +666,21 @@ impl RaeFs {
         })
     }
 
-    /// The RAE recovery procedure (§3.2): quiesce, contained reboot,
-    /// shadow constrained replay, autonomous in-flight execution,
-    /// metadata download, resume.
+    /// The RAE recovery procedure (§3.2) hardened into a degradation
+    /// ladder. Quiesce once, then try rungs in order until one holds:
+    ///
+    /// 1. **Warm** — standby handover, O(in-flight).
+    /// 2. **Cold** — fresh shadow + constrained replay of the log.
+    /// 3. **ColdRetry** — the cold path again, reboot included, with
+    ///    transient device errors absorbed by a [`RetryDisk`].
+    /// 4. **Degraded** — one more contained reboot yields a
+    ///    journal-consistent base; serve reads off it, refuse
+    ///    mutations with `EROFS`.
+    /// 5. **Offline** — last resort; every operation fails.
+    ///
+    /// Every rung runs under `catch_unwind`, so a panic inside the
+    /// recovery machinery itself (nested faults) demotes to the next
+    /// rung instead of crossing the API boundary.
     fn recover(
         &self,
         log: &mut OpLog,
@@ -608,41 +695,271 @@ impl RaeFs {
         // immediately re-triggers another error
         let streak = self.consecutive_recoveries.fetch_add(1, Ordering::Relaxed) + 1;
         if streak > u64::from(self.config.max_consecutive_recoveries) {
-            return self.mark_failed(FsError::Internal {
+            let e = FsError::Internal {
                 detail: format!("recovery storm: {streak} consecutive recoveries without progress"),
-            });
+            };
+            return self.go_offline(trigger, Vec::new(), start, e);
         }
 
-        // 1. contained reboot: discard untrusted memory, replay journal
-        let boot = match self.base.contained_reboot() {
-            Ok(b) => b,
-            Err(e) => return self.mark_failed(e),
-        };
-        let reboot_time = start.elapsed();
+        // everything below runs in the recovery I/O phase: fault plans
+        // scoped to recovery arm now (with fresh counters) and disarm
+        // when the guard drops, on every exit path
+        let _phase = PhaseGuard::arm(self.base.device());
 
-        // 2.+3. obtain a caught-up shadow. Warm path: the standby has
-        // already applied every completed record — the handover only
-        // drains the published-but-unapplied tail (O(in-flight)). Cold
-        // path: fresh shadow load + constrained replay of the whole
-        // retained log (O(retained log)).
         let (completed, pending) = log.for_recovery();
         debug_assert_eq!(
             pending.as_ref().map(|r| r.seq),
             in_flight.as_ref().map(|(s, _)| *s),
             "pending record must be the in-flight operation"
         );
+        let mut failed_rungs: Vec<RungFailure> = Vec::new();
+
+        // Rung 1 — warm handover, when a healthy standby exists. The
+        // handover consumes the standby either way; a failed warm
+        // attempt falls through to cold with the standby gone. (Take
+        // the handle out first: the `if let` must not hold the lock,
+        // finish_recovery re-arms the standby under it.)
         let taken = self.standby.lock().take();
-        let mut t_replay = Instant::now();
-        let warm = taken.and_then(|sb| {
+        if let Some(sb) = taken {
             let lag = sb.lag();
-            let handed = sb.handover();
-            if handed.is_none() {
-                // degraded standby: fall back to cold replay
-                self.standby_degraded.store(true, Ordering::Release);
+            match sb.handover() {
+                Some(handed) => {
+                    match self.attempt(
+                        LadderRung::Warm,
+                        Some((handed, lag)),
+                        None,
+                        &completed,
+                        in_flight,
+                        read_in_flight,
+                        &trigger,
+                    ) {
+                        Ok(s) => {
+                            return self.finish_recovery(
+                                log,
+                                s,
+                                in_flight,
+                                &completed,
+                                start,
+                                failed_rungs,
+                            )
+                        }
+                        Err(e) => {
+                            self.standby_degraded.store(true, Ordering::Release);
+                            failed_rungs.push(RungFailure {
+                                rung: LadderRung::Warm,
+                                error: e.to_string(),
+                            });
+                        }
+                    }
+                }
+                None => self.standby_degraded.store(true, Ordering::Release),
             }
-            handed.map(|h| (h, lag))
-        });
-        let (path, shadow_load_time, shadow, replay, records_replayed) = match warm {
+        }
+
+        // Rung 2 — cold replay over a fresh shadow.
+        match self.attempt(
+            LadderRung::Cold,
+            None,
+            None,
+            &completed,
+            in_flight,
+            read_in_flight,
+            &trigger,
+        ) {
+            Ok(s) => {
+                return self.finish_recovery(log, s, in_flight, &completed, start, failed_rungs)
+            }
+            Err(e) => failed_rungs.push(RungFailure {
+                rung: LadderRung::Cold,
+                error: e.to_string(),
+            }),
+        }
+
+        // Rung 3 — the cold path once more, with the shadow's device
+        // I/O going through a retrying wrapper so one-shot transient
+        // errors cannot kill the attempt.
+        let retry_dev = Arc::new(RetryDisk::with_policy(
+            self.base.device(),
+            self.config.retry,
+        ));
+        let res = self.attempt(
+            LadderRung::ColdRetry,
+            None,
+            Some(Arc::clone(&retry_dev) as Arc<dyn BlockDevice>),
+            &completed,
+            in_flight,
+            read_in_flight,
+            &trigger,
+        );
+        let rs = retry_dev.stats();
+        self.device_retries.fetch_add(rs.retries, Ordering::Relaxed);
+        self.device_faults_absorbed
+            .fetch_add(rs.absorbed, Ordering::Relaxed);
+        self.device_retries_exhausted
+            .fetch_add(rs.exhausted, Ordering::Relaxed);
+        match res {
+            Ok(s) => {
+                return self.finish_recovery(log, s, in_flight, &completed, start, failed_rungs)
+            }
+            Err(e) => failed_rungs.push(RungFailure {
+                rung: LadderRung::ColdRetry,
+                error: e.to_string(),
+            }),
+        }
+
+        // Rung 4 — read-only degraded: the shadow cannot reproduce the
+        // retained log, but a contained reboot still yields the
+        // journal-consistent durable state. Serve reads off that.
+        match catch_unwind(AssertUnwindSafe(|| self.base.contained_reboot())) {
+            Ok(Ok(_boot)) => {
+                self.enter_degraded(log, trigger, failed_rungs, start, in_flight, read_in_flight)
+            }
+            Ok(Err(e)) => {
+                failed_rungs.push(RungFailure {
+                    rung: LadderRung::Degraded,
+                    error: e.to_string(),
+                });
+                self.go_offline(trigger, failed_rungs, start, e)
+            }
+            Err(p) => {
+                let msg = panic_msg(p.as_ref());
+                failed_rungs.push(RungFailure {
+                    rung: LadderRung::Degraded,
+                    error: msg.clone(),
+                });
+                self.go_offline(
+                    trigger,
+                    failed_rungs,
+                    start,
+                    FsError::Internal {
+                        detail: format!("panic during degrade reboot: {msg}"),
+                    },
+                )
+            }
+        }
+    }
+
+    /// Run one ladder rung under `catch_unwind`: a panic anywhere in
+    /// the rung (injected or real) becomes an error that demotes the
+    /// ladder instead of unwinding out of `recover`.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        rung: LadderRung,
+        warm: Option<(HandoverState, u64)>,
+        shadow_dev: Option<Arc<dyn BlockDevice>>,
+        completed: &[OpRecord],
+        in_flight: Option<(u64, &FsOp)>,
+        read_in_flight: Option<&ReadRequest>,
+        trigger: &RecoveryTrigger,
+    ) -> FsResult<RungSuccess> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.run_rung(
+                rung,
+                warm,
+                shadow_dev,
+                completed,
+                in_flight,
+                read_in_flight,
+                trigger,
+            )
+        })) {
+            Ok(r) => r,
+            Err(p) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                Err(FsError::Internal {
+                    detail: format!(
+                        "panic during {} recovery rung: {}",
+                        rung.as_str(),
+                        panic_msg(p.as_ref())
+                    ),
+                })
+            }
+        }
+    }
+
+    /// Fire the [`Site::RecoveryReplay`] fault-injection site: nested
+    /// faults in the shadow phase of recovery (handover resync or
+    /// constrained replay).
+    fn replay_fault_hook(&self) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Sync, Site::RecoveryReplay);
+        match self.base.fault_registry().check(&ctx) {
+            Some(FaultAction::FailDetected { bug_id }) => Err(FsError::DetectedBug { bug_id }),
+            Some(FaultAction::Panic { bug_id }) => {
+                panic!("injected filesystem bug #{bug_id}: panic at recovery replay")
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// One full rung: contained reboot, caught-up shadow (via the warm
+    /// handover state or a cold load + constrained replay over
+    /// `shadow_dev`), autonomous in-flight completion, and metadata
+    /// download into the base. Any error aborts the rung; the caller
+    /// decides what rung comes next.
+    #[allow(clippy::too_many_arguments)]
+    fn run_rung(
+        &self,
+        rung: LadderRung,
+        warm: Option<(HandoverState, u64)>,
+        shadow_dev: Option<Arc<dyn BlockDevice>>,
+        completed: &[OpRecord],
+        in_flight: Option<(u64, &FsOp)>,
+        read_in_flight: Option<&ReadRequest>,
+        trigger: &RecoveryTrigger,
+    ) -> FsResult<RungSuccess> {
+        let t0 = Instant::now();
+
+        // 1. contained reboot: discard untrusted memory, replay the
+        // journal. The reboot reads through the base's own device
+        // handle, below any retry wrapper — on the retry rung, give its
+        // transient failures the same bounded budget by re-issuing the
+        // whole reboot (idempotent over the durable state).
+        let boot = if rung == LadderRung::ColdRetry {
+            let budget = self.config.retry.max_attempts.max(1);
+            let mut att = 0u32;
+            loop {
+                att += 1;
+                match self.base.contained_reboot() {
+                    Ok(b) => {
+                        if att > 1 {
+                            self.device_faults_absorbed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        break b;
+                    }
+                    Err(e) if att < budget && classify_error(&e) == ErrorClass::Transient => {
+                        self.device_retries.fetch_add(1, Ordering::Relaxed);
+                        let shift = (att - 1).min(32);
+                        let step = self
+                            .config
+                            .retry
+                            .base_backoff_ns
+                            .saturating_mul(1u64 << shift)
+                            .min(self.config.retry.max_backoff_ns);
+                        std::thread::sleep(Duration::from_nanos(step));
+                    }
+                    Err(e) => {
+                        if classify_error(&e) == ErrorClass::Transient {
+                            self.device_retries_exhausted
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+        } else {
+            self.base.contained_reboot()?
+        };
+        let reboot_time = t0.elapsed();
+
+        // 2.+3. obtain a caught-up shadow. Warm path: the standby has
+        // already applied every completed record — the handover only
+        // drained the published-but-unapplied tail (O(in-flight)).
+        // Cold path: fresh shadow load + constrained replay of the
+        // whole retained log (O(retained log)).
+        self.replay_fault_hook()?;
+        let mut t_replay = Instant::now();
+        let (path, shadow_load_time, mut shadow, replay, records_replayed) = match warm {
             Some((handed, drained)) => {
                 let mut shadow = *handed.shadow;
                 // quiesced, caught up, and the device just rebooted to
@@ -651,10 +968,7 @@ impl RaeFs {
                 // live image with the shadow's self-consistent one
                 // instead of splicing two block lineages together
                 let written = self.tracker.as_ref().map(|t| t.take_written());
-                if let Err(e) = shadow.resync_against(self.base.device().as_ref(), written.as_ref())
-                {
-                    return self.mark_failed(e);
-                }
+                shadow.resync_against(self.base.device().as_ref(), written.as_ref())?;
                 (
                     RecoveryPath::Warm,
                     Duration::ZERO,
@@ -664,24 +978,18 @@ impl RaeFs {
                 )
             }
             None => {
+                let dev = shadow_dev.unwrap_or_else(|| self.base.device());
                 let t_load = Instant::now();
-                let mut shadow = match ShadowFs::load(self.base.device(), self.config.shadow) {
-                    Ok(s) => s,
-                    Err(e) => return self.mark_failed(e),
-                };
+                let mut shadow = ShadowFs::load(dev, self.config.shadow)?;
                 let load_time = t_load.elapsed();
                 t_replay = Instant::now();
-                let replay = match shadow.replay_constrained(&completed) {
-                    Ok(r) => r,
-                    Err(e) => return self.mark_failed(e),
-                };
+                let replay = shadow.replay_constrained_protected(completed)?;
                 let executed = replay.executed;
                 (RecoveryPath::Cold, load_time, shadow, replay, executed)
             }
         };
-        let mut shadow = shadow;
         if !replay.is_clean() && self.config.on_discrepancy == DiscrepancyPolicy::Abort {
-            return self.mark_failed(FsError::CheckFailed {
+            return Err(FsError::CheckFailed {
                 check: "cross-check".to_string(),
                 detail: format!("{} discrepancies", replay.discrepancies.len()),
             });
@@ -695,39 +1003,34 @@ impl RaeFs {
                 reissue_sync = true;
                 OpOutcome::Unit
             }
-            Some((_, op)) => match shadow.execute_autonomous(op) {
-                Ok(o) => o,
-                Err(e) => return self.mark_failed(e),
-            },
+            Some((_, op)) => shadow.execute_autonomous_protected(op)?,
             None => OpOutcome::Unit,
         };
         let read_reply = match read_in_flight {
-            Some(req) => match shadow.serve_read(req) {
+            Some(req) => match shadow.serve_read_protected(req) {
                 Ok(r) => Some(Ok(r)),
                 Err(e) if e.is_specified() => Some(Err(e)),
-                Err(e) => return self.mark_failed(e),
+                Err(e) => return Err(e),
             },
             None => None,
         };
 
         // fork the warm shadow before the metadata download consumes
-        // it: the copy resumes as the next standby (step 7) without an
+        // it: the copy resumes as the next standby without an
         // O(device) snapshot or a backlog replay
-        let standby_fork = if path == RecoveryPath::Warm {
-            Some(shadow.fork())
-        } else {
-            None
-        };
+        let standby_fork = (path == RecoveryPath::Warm).then(|| shadow.fork());
 
         // 5. metadata download into the rebooted base
         let replay_time = t_replay.elapsed();
         let t_handoff = Instant::now();
         let shadow_checks = shadow.checks_performed();
         let delta = shadow.into_delta();
-        let report = RecoveryReport {
-            trigger,
+        let mut report = RecoveryReport {
+            trigger: trigger.clone(),
             path,
-            duration: start.elapsed(), // refined below
+            rung,
+            failed_rungs: Vec::new(), // filled by finish_recovery
+            duration: t0.elapsed(),   // refined by finish_recovery
             reboot_time,
             shadow_load_time,
             replay_time,
@@ -742,27 +1045,58 @@ impl RaeFs {
             shadow_checks,
             had_in_flight: in_flight.is_some(),
         };
-        if let Err(e) = self.base.absorb_recovery(&delta) {
-            return self.mark_failed(e);
-        }
+        self.base.absorb_recovery(&delta)?;
+        report.handoff_time = t_handoff.elapsed();
+        Ok(RungSuccess {
+            outcome,
+            read_reply,
+            report,
+            standby_fork,
+            reissue_sync,
+        })
+    }
 
-        // 6. bookkeeping: the in-flight record is resolved with the
-        // shadow's outcome; the log stays (S0 has not advanced) unless
-        // a sync is re-issued below
+    /// Post-rung bookkeeping for a successful recovery: resolve the
+    /// in-flight record, re-issue a pending sync, re-arm the warm
+    /// standby, and file the report.
+    fn finish_recovery(
+        &self,
+        log: &mut OpLog,
+        success: RungSuccess,
+        in_flight: Option<(u64, &FsOp)>,
+        completed: &[OpRecord],
+        start: Instant,
+        failed_rungs: Vec<RungFailure>,
+    ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
+        let RungSuccess {
+            outcome,
+            read_reply,
+            mut report,
+            standby_fork,
+            reissue_sync,
+        } = success;
+
+        // the in-flight record is resolved with the shadow's outcome;
+        // the log stays (S0 has not advanced) unless a sync is
+        // re-issued below
         if let Some((seq, _)) = in_flight {
             log.resolve_pending(seq, outcome.clone());
         }
         if reissue_sync {
             if let Err(e) = self.base.sync() {
-                return self.mark_failed(e);
+                // the recovered state re-failed at its first barrier:
+                // the rung's hand-off is untrustworthy and there is no
+                // replayable log below it
+                let trigger = report.trigger.clone();
+                return self.go_offline(trigger, failed_rungs, start, e);
             }
             log.trim(self.base.persisted_seq());
         }
 
-        // 7. re-arm the warm standby so the *next* recovery is warm
-        // too: a warm recovery resumes the forked shadow (it already
-        // holds the exact state the base just absorbed); a cold one
-        // re-spawns from a fresh device snapshot plus the retained log
+        // re-arm the warm standby so the *next* recovery is warm too:
+        // a warm recovery resumes the forked shadow (it already holds
+        // the exact state the base just absorbed); a cold one re-spawns
+        // from a fresh device snapshot plus the retained log
         match standby_fork {
             Some(forked) => {
                 let resume_seq = in_flight
@@ -782,17 +1116,90 @@ impl RaeFs {
 
         let elapsed = start.elapsed();
         self.recoveries.fetch_add(1, Ordering::Relaxed);
+        match report.rung {
+            LadderRung::Warm => &self.ladder_warm,
+            LadderRung::Cold => &self.ladder_cold,
+            _ => &self.ladder_cold_retry,
+        }
+        .fetch_add(1, Ordering::Relaxed);
         self.recovery_time_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
-        let mut report = report;
-        report.handoff_time = t_handoff.elapsed();
         report.duration = elapsed;
+        report.failed_rungs = failed_rungs;
         self.reports.lock().push(report);
         match read_reply {
             Some(Ok(r)) => Ok((outcome, Some(r))),
             Some(Err(e)) => Err(e), // the application's specified answer
             None => Ok((outcome, None)),
         }
+    }
+
+    /// Enter read-only degraded mode (the contained reboot already
+    /// succeeded): the retained log and any in-flight mutation are
+    /// lost, reads are served off the journal-consistent base, and
+    /// every mutating entry point returns [`FsError::ReadOnly`].
+    fn enter_degraded(
+        &self,
+        log: &mut OpLog,
+        trigger: RecoveryTrigger,
+        failed_rungs: Vec<RungFailure>,
+        start: Instant,
+        in_flight: Option<(u64, &FsOp)>,
+        read_in_flight: Option<&ReadRequest>,
+    ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
+        self.degraded.store(true, Ordering::Release);
+        self.ladder_degraded.fetch_add(1, Ordering::Relaxed);
+        // the shadow could not reproduce the retained log: it is
+        // unreplayable and the buffered tail it described is gone
+        log.clear();
+        if self.config.standby.enabled {
+            self.standby_degraded.store(true, Ordering::Release);
+        }
+        let elapsed = start.elapsed();
+        self.recovery_time_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        let mut report =
+            RecoveryReport::terminal(trigger, LadderRung::Degraded, failed_rungs, elapsed);
+        report.had_in_flight = in_flight.is_some() || read_in_flight.is_some();
+        self.reports.lock().push(report);
+
+        // a pending read can still be answered off the now
+        // journal-consistent base; a pending mutation cannot
+        match read_in_flight {
+            Some(req) => match catch_unwind(AssertUnwindSafe(|| self.dispatch_read_base(req))) {
+                Ok(Ok(r)) => Ok((OpOutcome::Unit, Some(r))),
+                Ok(Err(e)) if e.is_specified() => Err(e),
+                Ok(Err(e)) => self.mark_failed(e),
+                Err(p) => self.mark_failed(FsError::Internal {
+                    detail: format!(
+                        "base panicked serving a degraded read: {}",
+                        panic_msg(p.as_ref())
+                    ),
+                }),
+            },
+            None => Err(FsError::ReadOnly),
+        }
+    }
+
+    /// The ladder's last rung: file an offline report and take the
+    /// mount down.
+    fn go_offline(
+        &self,
+        trigger: RecoveryTrigger,
+        failed_rungs: Vec<RungFailure>,
+        start: Instant,
+        e: FsError,
+    ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
+        let elapsed = start.elapsed();
+        self.recovery_time_ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.reports.lock().push(RecoveryReport::terminal(
+            trigger,
+            LadderRung::Offline,
+            failed_rungs,
+            elapsed,
+        ));
+        self.mark_failed(e)
     }
 
     fn dispatch_read_base(&self, op: &ReadRequest) -> FsResult<ReadReply> {
@@ -828,11 +1235,23 @@ impl RaeFs {
             Ok(Err(e)) if e.is_specified() => return Err(e),
             Ok(Err(e)) => {
                 self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                if self.degraded.load(Ordering::Acquire) {
+                    // read-only degraded is the ladder's last serving
+                    // rung: a runtime error on the journal-consistent
+                    // base leaves nothing to recover through
+                    return self.mark_failed(e);
+                }
                 RecoveryTrigger::DetectedError(e)
             }
             Err(p) => {
                 self.panics_caught.fetch_add(1, Ordering::Relaxed);
-                RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref()))
+                let msg = panic_msg(p.as_ref());
+                if self.degraded.load(Ordering::Acquire) {
+                    return self.mark_failed(FsError::Internal {
+                        detail: format!("base panicked while degraded: {msg}"),
+                    });
+                }
+                RecoveryTrigger::CaughtPanic(msg)
             }
         };
         match self.config.mode {
@@ -1045,6 +1464,8 @@ impl FileSystem for RaeFs {
     fn status(&self) -> FsStatus {
         if self.failed.load(Ordering::Acquire) {
             FsStatus::Failed
+        } else if self.degraded.load(Ordering::Acquire) {
+            FsStatus::Degraded
         } else {
             FsStatus::Active
         }

@@ -1,13 +1,17 @@
 //! End-to-end tests of the RAE runtime: error masking, recovery
 //! semantics, baselines.
 
-use crate::{DiscrepancyPolicy, RaeConfig, RaeFs, RecoveryMode, RecoveryTrigger};
+use crate::{
+    DiscrepancyPolicy, LadderRung, RaeConfig, RaeFs, RecoveryMode, RecoveryTrigger, RetryPolicy,
+};
 use rae_basefs::BaseFsConfig;
-use rae_blockdev::{BlockDevice, MemDisk, BLOCK_SIZE};
+use rae_blockdev::{
+    BlockDevice, DiskFaultPlan, FaultTarget, FaultyDisk, MemDisk, TriggerMode, BLOCK_SIZE,
+};
 use rae_faults::{BugSpec, Effect, FaultRegistry, Site, Trigger};
 use rae_fsformat::{fsck, mkfs, MkfsParams};
 use rae_shadowfs::ShadowOpts;
-use rae_vfs::{FileSystem, FsError, FsStatus, OpenFlags};
+use rae_vfs::{Fd, FileSystem, FsError, FsStatus, OpenFlags, SetAttr};
 use std::sync::Arc;
 
 fn rw_create() -> OpenFlags {
@@ -389,18 +393,24 @@ fn unmount_after_recovery_leaves_consistent_image() {
 }
 
 #[test]
-fn recovery_failure_takes_filesystem_offline() {
+fn unrecoverable_shadow_degrades_to_read_only() {
     let faults = FaultRegistry::new();
     faults.arm(BugSpec::new(
         1,
         "bug",
         Site::Alloc,
-        Trigger::NthMatch(1),
+        Trigger::PathContains("/victim".into()),
         Effect::DetectedError,
     ));
     let (dev, fs) = setup(RecoveryMode::Rae, faults);
+    fs.mkdir("/pre").unwrap();
+    // checkpoint so the corruption below lands in the authoritative
+    // home blocks (journal replay must not heal it)
+    fs.base().checkpoint().unwrap();
     // corrupt the on-disk root inode *under* the running filesystem:
-    // the shadow's image validation must refuse to recover from it
+    // the shadow's image validation refuses it on every rung, but the
+    // base's contained reboot still succeeds — the ladder must stop at
+    // read-only degraded, not offline
     let geo = fs.base().geometry();
     let (bno, off) = geo.inode_location(rae_vfs::ROOT_INO).unwrap();
     let mut buf = vec![0u8; BLOCK_SIZE];
@@ -408,12 +418,32 @@ fn recovery_failure_takes_filesystem_offline() {
     buf[off + 9] ^= 0xFF; // inside the root inode's size field
     dev.write_block(bno, &buf).unwrap();
 
-    let err = fs.mkdir("/d").unwrap_err();
-    assert!(matches!(err, FsError::RecoveryFailed { .. }), "{err}");
-    assert_eq!(fs.status(), FsStatus::Failed);
-    assert_eq!(fs.stats().recovery_failures, 1);
-    // all further operations refuse
-    assert!(matches!(fs.stat("/"), Err(FsError::RecoveryFailed { .. })));
+    let err = fs.mkdir("/victim").unwrap_err();
+    assert!(matches!(err, FsError::ReadOnly), "{err}");
+    assert_eq!(fs.status(), FsStatus::Degraded);
+    let stats = fs.stats();
+    assert!(stats.degraded);
+    assert_eq!(stats.ladder_degraded, 1);
+    assert_eq!(stats.recovery_failures, 0, "degraded is not offline");
+    // the ladder was tried in order: cold, then cold-retry, then the
+    // degrade reboot (no standby configured, so no warm rung)
+    let reports = fs.recovery_reports();
+    let last = reports.last().unwrap();
+    assert_eq!(last.rung, LadderRung::Degraded);
+    assert_eq!(
+        last.failed_rungs.iter().map(|f| f.rung).collect::<Vec<_>>(),
+        vec![LadderRung::Cold, LadderRung::ColdRetry]
+    );
+    // mutations refuse with EROFS; reads that avoid the corrupted
+    // inode still serve off the journal-consistent base
+    assert!(matches!(fs.unlink("/pre"), Err(FsError::ReadOnly)));
+    assert!(matches!(fs.sync(), Err(FsError::ReadOnly)));
+    assert!(fs.statfs().is_ok());
+    assert_eq!(
+        fs.status(),
+        FsStatus::Degraded,
+        "reads do not degrade further"
+    );
 }
 
 #[test]
@@ -926,4 +956,311 @@ fn standby_audits_run_on_schedule_and_stay_clean() {
     assert_eq!(stats.standby_divergences, 0);
     assert!(stats.standby_active, "clean audits keep the standby alive");
     assert!(!stats.standby_degraded);
+}
+
+// ----------------------------------------------------------------------
+// Recovery degradation ladder
+// ----------------------------------------------------------------------
+
+/// Assert an operation is refused because the mount is offline.
+macro_rules! assert_offline {
+    ($e:expr) => {{
+        let r = $e;
+        assert!(
+            matches!(r, Err(FsError::RecoveryFailed { .. })),
+            "offline mount accepted an operation: {r:?}"
+        );
+    }};
+}
+
+#[test]
+fn offline_mount_rejects_every_operation() {
+    // a one-recovery storm budget plus an always-firing bug drives the
+    // ladder to its last rung immediately; after that, *every*
+    // FileSystem entry point — reads included — must refuse
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        960,
+        "storm",
+        Site::Alloc,
+        Trigger::Always,
+        Effect::DetectedError,
+    ));
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults,
+            ..BaseFsConfig::default()
+        },
+        max_consecutive_recoveries: 1,
+        ..RaeConfig::default()
+    };
+    let fs = RaeFs::mount(dev as Arc<dyn BlockDevice>, config).unwrap();
+    let mut offline = false;
+    for i in 0..5 {
+        if matches!(
+            fs.mkdir(&format!("/d{i}")),
+            Err(FsError::RecoveryFailed { .. })
+        ) {
+            offline = true;
+            break;
+        }
+    }
+    assert!(offline, "storm guard never engaged: {:?}", fs.stats());
+    assert_eq!(fs.status(), FsStatus::Failed);
+    let reports = fs.recovery_reports();
+    assert_eq!(reports.last().unwrap().rung, LadderRung::Offline);
+    assert!(fs.stats().recovery_failures >= 1);
+
+    assert_offline!(fs.open("/x", rw_create()));
+    assert_offline!(fs.close(Fd(0)));
+    assert_offline!(fs.read(Fd(0), 0, 1));
+    assert_offline!(fs.write(Fd(0), 0, b"x"));
+    assert_offline!(fs.truncate(Fd(0), 0));
+    assert_offline!(fs.setattr(
+        "/x",
+        SetAttr {
+            size: Some(1),
+            mtime: None
+        }
+    ));
+    assert_offline!(fs.fsync(Fd(0)));
+    assert_offline!(fs.sync());
+    assert_offline!(fs.mkdir("/x"));
+    assert_offline!(fs.rmdir("/x"));
+    assert_offline!(fs.unlink("/x"));
+    assert_offline!(fs.rename("/x", "/y"));
+    assert_offline!(fs.link("/x", "/y"));
+    assert_offline!(fs.symlink("/x", "/y"));
+    assert_offline!(fs.readlink("/x"));
+    assert_offline!(fs.stat("/x"));
+    assert_offline!(fs.fstat(Fd(0)));
+    assert_offline!(fs.readdir("/"));
+    assert_offline!(fs.statfs());
+    assert_eq!(fs.status(), FsStatus::Failed);
+}
+
+#[test]
+fn degraded_mount_rejects_exactly_the_mutations() {
+    // a replay-site poison kills the cold and retry rungs; the degrade
+    // reboot still succeeds, so the mount lands read-only — mutations
+    // refuse with EROFS, reads answer off the journal-consistent base
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        970,
+        "boom",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::DetectedError,
+    ));
+    faults.arm(BugSpec::new(
+        971,
+        "replay-poison",
+        Site::RecoveryReplay,
+        Trigger::Always,
+        Effect::DetectedError,
+    ));
+    let (_dev, fs) = setup(RecoveryMode::Rae, faults);
+    fs.mkdir("/pre").unwrap();
+    let fd = fs.open("/pre/f", rw_create()).unwrap();
+    fs.write(fd, 0, b"still readable").unwrap();
+    fs.close(fd).unwrap();
+    fs.symlink("/pre/f", "/ln").unwrap();
+    fs.sync().unwrap();
+
+    // the triggering mutation itself is refused, not masked
+    assert_eq!(fs.mkdir("/boom"), Err(FsError::ReadOnly));
+    assert_eq!(fs.status(), FsStatus::Degraded);
+    let stats = fs.stats();
+    assert!(stats.degraded);
+    assert_eq!(stats.ladder_degraded, 1);
+    assert_eq!(stats.recoveries, 0);
+    assert_eq!(stats.recovery_failures, 0, "degraded is not offline");
+    let reports = fs.recovery_reports();
+    let last = reports.last().unwrap();
+    assert_eq!(last.rung, LadderRung::Degraded);
+    let rungs: Vec<LadderRung> = last.failed_rungs.iter().map(|f| f.rung).collect();
+    assert_eq!(rungs, vec![LadderRung::Cold, LadderRung::ColdRetry]);
+
+    // every mutating entry point refuses with EROFS (open allocates
+    // descriptor-table state, so it counts as a mutation here)
+    assert_eq!(fs.open("/pre/f", OpenFlags::RDONLY), Err(FsError::ReadOnly));
+    assert_eq!(fs.close(Fd(0)), Err(FsError::ReadOnly));
+    assert_eq!(fs.write(Fd(0), 0, b"x"), Err(FsError::ReadOnly));
+    assert_eq!(fs.truncate(Fd(0), 0), Err(FsError::ReadOnly));
+    assert_eq!(
+        fs.setattr(
+            "/pre/f",
+            SetAttr {
+                size: Some(1),
+                mtime: None
+            }
+        ),
+        Err(FsError::ReadOnly)
+    );
+    assert_eq!(fs.fsync(Fd(0)), Err(FsError::ReadOnly));
+    assert_eq!(fs.sync(), Err(FsError::ReadOnly));
+    assert_eq!(fs.mkdir("/x"), Err(FsError::ReadOnly));
+    assert_eq!(fs.rmdir("/pre"), Err(FsError::ReadOnly));
+    assert_eq!(fs.unlink("/ln"), Err(FsError::ReadOnly));
+    assert_eq!(fs.rename("/ln", "/ln2"), Err(FsError::ReadOnly));
+    assert_eq!(fs.link("/pre/f", "/hard"), Err(FsError::ReadOnly));
+    assert_eq!(fs.symlink("/pre/f", "/ln2"), Err(FsError::ReadOnly));
+
+    // while every path-based read still answers
+    assert_eq!(
+        fs.stat("/pre/f").unwrap().size,
+        b"still readable".len() as u64
+    );
+    assert_eq!(fs.readlink("/ln").unwrap(), "/pre/f");
+    assert!(fs.readdir("/").unwrap().iter().any(|e| e.name == "pre"));
+    assert!(fs.statfs().is_ok());
+    // descriptors do not survive the degrade reboot
+    assert_eq!(fs.fstat(fd), Err(FsError::BadFd));
+    assert_eq!(fs.status(), FsStatus::Degraded);
+}
+
+#[test]
+fn ladder_tries_warm_then_cold_then_retry_before_degrading() {
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        975,
+        "boom",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::DetectedError,
+    ));
+    faults.arm(BugSpec::new(
+        976,
+        "replay-poison",
+        Site::RecoveryReplay,
+        Trigger::Always,
+        Effect::DetectedError,
+    ));
+    let dev = Arc::new(MemDisk::new(4096));
+    mkfs(dev.as_ref(), MkfsParams::default()).unwrap();
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults,
+            ..BaseFsConfig::default()
+        },
+        standby: warm_opts(),
+        ..RaeConfig::default()
+    };
+    let fs = RaeFs::mount(dev as Arc<dyn BlockDevice>, config).unwrap();
+    fs.mkdir("/pre").unwrap();
+    wait_caught_up(&fs);
+
+    assert_eq!(fs.mkdir("/boom"), Err(FsError::ReadOnly));
+    let reports = fs.recovery_reports();
+    let last = reports.last().unwrap();
+    assert_eq!(last.rung, LadderRung::Degraded);
+    let rungs: Vec<LadderRung> = last.failed_rungs.iter().map(|f| f.rung).collect();
+    assert_eq!(
+        rungs,
+        vec![LadderRung::Warm, LadderRung::Cold, LadderRung::ColdRetry],
+        "ladder must be tried strictly in order"
+    );
+    let stats = fs.stats();
+    assert!(stats.degraded);
+    assert!(stats.standby_degraded, "handover consumed the standby");
+    assert!(!stats.standby_active);
+}
+
+#[test]
+fn transient_device_faults_during_recovery_are_absorbed() {
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        980,
+        "boom",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::DetectedError,
+    ));
+    let disk = Arc::new(FaultyDisk::new(MemDisk::new(4096)));
+    mkfs(disk.as_ref(), MkfsParams::default()).unwrap();
+    // two one-shot read faults, scoped to the recovery phase: the first
+    // kills the cold rung at its contained reboot; the second fires
+    // somewhere inside the retry rung — reboot re-issue or shadow load
+    // through the retrying wrapper — and is absorbed either way
+    disk.stage_recovery_plan(
+        DiskFaultPlan::new()
+            .fail_reads(FaultTarget::Any, TriggerMode::Nth(1))
+            .fail_reads(FaultTarget::Any, TriggerMode::Nth(2)),
+    );
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults,
+            ..BaseFsConfig::default()
+        },
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ns: 1,
+            max_backoff_ns: 8,
+            seed: 0,
+        },
+        ..RaeConfig::default()
+    };
+    let fs = RaeFs::mount(Arc::clone(&disk) as Arc<dyn BlockDevice>, config).unwrap();
+    fs.mkdir("/pre").unwrap();
+
+    fs.mkdir("/boom").unwrap(); // masked: the retry rung absorbs both transients
+    assert_eq!(fs.status(), FsStatus::Active);
+    let stats = fs.stats();
+    assert_eq!(stats.recoveries, 1, "{stats:?}");
+    assert!(!stats.degraded);
+    assert!(stats.device_retries >= 1, "{stats:?}");
+    assert!(stats.device_faults_absorbed >= 1, "{stats:?}");
+    assert_eq!(stats.device_retries_exhausted, 0, "{stats:?}");
+    let reports = fs.recovery_reports();
+    let last = reports.last().unwrap();
+    assert_eq!(last.rung, LadderRung::ColdRetry);
+    let rungs: Vec<LadderRung> = last.failed_rungs.iter().map(|f| f.rung).collect();
+    assert_eq!(rungs, vec![LadderRung::Cold]);
+    assert!(disk.injected_faults() >= 2);
+
+    // the plan was recovery-scoped: normal operation is untouched after
+    fs.mkdir("/after").unwrap();
+    assert!(fs.stat("/pre").is_ok());
+    assert!(fs.stat("/boom").is_ok());
+    assert!(fs.stat("/after").is_ok());
+}
+
+#[test]
+fn pending_read_is_served_off_the_degraded_base() {
+    // a one-shot readdir bug pulls the trigger with a *read* in flight;
+    // the replay poison walks the ladder down to degraded — and the
+    // pending read must still be answered, off the rebooted base
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        990,
+        "readdir-bug",
+        Site::Readdir,
+        Trigger::NthMatch(1),
+        Effect::DetectedError,
+    ));
+    faults.arm(BugSpec::new(
+        991,
+        "replay-poison",
+        Site::RecoveryReplay,
+        Trigger::Always,
+        Effect::DetectedError,
+    ));
+    let (_dev, fs) = setup(RecoveryMode::Rae, faults);
+    fs.mkdir("/pre").unwrap();
+    let fd = fs.open("/pre/f", rw_create()).unwrap();
+    fs.write(fd, 0, b"payload").unwrap();
+    fs.close(fd).unwrap();
+    fs.sync().unwrap();
+
+    let entries = fs.readdir("/pre").unwrap();
+    assert!(entries.iter().any(|e| e.name == "f"));
+    assert_eq!(fs.status(), FsStatus::Degraded);
+    let last_rung = fs.recovery_reports().last().unwrap().rung;
+    assert_eq!(last_rung, LadderRung::Degraded);
+    assert!(fs.recovery_reports().last().unwrap().had_in_flight);
+    // and later reads keep working while mutations refuse
+    assert_eq!(fs.stat("/pre/f").unwrap().size, 7);
+    assert_eq!(fs.mkdir("/x"), Err(FsError::ReadOnly));
 }

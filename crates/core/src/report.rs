@@ -30,6 +30,49 @@ pub enum RecoveryPath {
     Warm,
 }
 
+/// A rung of the recovery degradation ladder. Recovery tries rungs in
+/// declaration order; each failure drops to the next, and only the last
+/// two sacrifice service (mutations, then everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LadderRung {
+    /// Warm standby handover — O(in-flight).
+    Warm,
+    /// Cold replay of the retained log over a fresh shadow.
+    Cold,
+    /// One full retry of the cold path, with transient device errors
+    /// absorbed by a retrying device wrapper.
+    ColdRetry,
+    /// Read-only degraded: reads served off the journal-consistent
+    /// rebooted base, mutations refused with `EROFS`.
+    Degraded,
+    /// Offline — every rung failed.
+    Offline,
+}
+
+impl LadderRung {
+    /// Stable lower-case name (used in reports and experiment JSON).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LadderRung::Warm => "warm",
+            LadderRung::Cold => "cold",
+            LadderRung::ColdRetry => "cold_retry",
+            LadderRung::Degraded => "degraded",
+            LadderRung::Offline => "offline",
+        }
+    }
+}
+
+/// A ladder rung that was attempted and failed, with the error that
+/// knocked the recovery down to the next rung.
+#[derive(Debug, Clone)]
+pub struct RungFailure {
+    /// The rung that was attempted.
+    pub rung: LadderRung,
+    /// Why it failed (rendered error).
+    pub error: String,
+}
+
 /// Full account of one recovery.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
@@ -37,6 +80,13 @@ pub struct RecoveryReport {
     pub trigger: RecoveryTrigger,
     /// Cold replay or warm standby handover.
     pub path: RecoveryPath,
+    /// The ladder rung that produced the final state. `Warm`, `Cold`,
+    /// and `ColdRetry` recovered full service; `Degraded` left the
+    /// mount read-only; `Offline` gave up.
+    pub rung: LadderRung,
+    /// Rungs attempted before `rung`, each with the error that demoted
+    /// the recovery (empty when the first rung tried succeeded).
+    pub failed_rungs: Vec<RungFailure>,
     /// Wall-clock duration of the entire recovery (contained reboot,
     /// shadow load + replay, hand-off).
     pub duration: Duration,
@@ -66,6 +116,40 @@ pub struct RecoveryReport {
     pub shadow_checks: u64,
     /// Whether an in-flight operation was completed autonomously.
     pub had_in_flight: bool,
+}
+
+impl RecoveryReport {
+    /// A report for a recovery that ended without a successful shadow
+    /// hand-off (`Degraded` or `Offline`): the shadow-phase fields are
+    /// all zero, only the ladder outcome and timings carry meaning.
+    #[must_use]
+    pub fn terminal(
+        trigger: RecoveryTrigger,
+        rung: LadderRung,
+        failed_rungs: Vec<RungFailure>,
+        duration: Duration,
+    ) -> RecoveryReport {
+        RecoveryReport {
+            trigger,
+            path: RecoveryPath::Cold,
+            rung,
+            failed_rungs,
+            duration,
+            reboot_time: Duration::ZERO,
+            shadow_load_time: Duration::ZERO,
+            replay_time: Duration::ZERO,
+            handoff_time: Duration::ZERO,
+            journal_transactions_replayed: 0,
+            records_replayed: 0,
+            records_skipped: 0,
+            discrepancies: Vec::new(),
+            delta_meta_blocks: 0,
+            delta_data_blocks: 0,
+            fds_restored: 0,
+            shadow_checks: 0,
+            had_in_flight: false,
+        }
+    }
 }
 
 /// Snapshot of the RAE runtime counters.
@@ -104,6 +188,24 @@ pub struct RaeStats {
     /// Divergences the standby observed (cross-check discrepancy notes
     /// plus audit failures).
     pub standby_divergences: u64,
+    /// The mount is in read-only degraded mode (mutations refused with
+    /// `EROFS`, reads served off the journal-consistent base).
+    pub degraded: bool,
+    /// Recoveries that ended on the warm rung.
+    pub ladder_warm: u64,
+    /// Recoveries that ended on the cold rung.
+    pub ladder_cold: u64,
+    /// Recoveries that ended on the cold-retry rung.
+    pub ladder_cold_retry: u64,
+    /// Recoveries that ended in read-only degraded mode.
+    pub ladder_degraded: u64,
+    /// Device operations re-issued by the retry rung (reboot re-issues
+    /// included).
+    pub device_retries: u64,
+    /// Transient device faults fully absorbed within the retry budget.
+    pub device_faults_absorbed: u64,
+    /// Retry budgets exhausted (the transient error surfaced anyway).
+    pub device_retries_exhausted: u64,
 }
 
 #[cfg(test)]

@@ -31,11 +31,19 @@ pub enum Site {
     Rename,
     /// On-disk structure parsing at mount time (crafted images).
     MountImage,
+    /// The contained reboot inside RAE recovery (cache reset + journal
+    /// replay). Faults here model recovery tooling failing while the
+    /// system is already degraded.
+    RecoveryReboot,
+    /// The shadow's constrained replay inside RAE recovery.
+    RecoveryReplay,
+    /// The metadata download (absorb) phase inside RAE recovery.
+    RecoveryAbsorb,
 }
 
 impl Site {
     /// All sites, in a stable order.
-    pub const ALL: [Site; 10] = [
+    pub const ALL: [Site; 13] = [
         Site::ApiEntry,
         Site::PathLookup,
         Site::DirModify,
@@ -46,7 +54,20 @@ impl Site {
         Site::Readdir,
         Site::Rename,
         Site::MountImage,
+        Site::RecoveryReboot,
+        Site::RecoveryReplay,
+        Site::RecoveryAbsorb,
     ];
+
+    /// Whether the site sits inside the recovery path itself (fired
+    /// only while a recovery is running, not by foreground operations).
+    #[must_use]
+    pub fn is_recovery_site(self) -> bool {
+        matches!(
+            self,
+            Site::RecoveryReboot | Site::RecoveryReplay | Site::RecoveryAbsorb
+        )
+    }
 }
 
 /// When an armed bug fires.

@@ -12,6 +12,11 @@ pub enum FsStatus {
     Active,
     /// Temporarily refusing operations (e.g. during RAE recovery).
     Quiesced,
+    /// Read-only degraded: reads are served off a journal-consistent
+    /// image, mutations are refused with
+    /// [`crate::FsError::ReadOnly`] (the RAE recovery ladder's
+    /// last rung before going offline).
+    Degraded,
     /// Permanently offline (unrecoverable failure).
     Failed,
 }
