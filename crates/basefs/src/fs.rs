@@ -49,6 +49,9 @@ pub struct BaseFsConfig {
     pub serial_reads: bool,
     /// Page-cache shard override (`None` = automatic sizing).
     pub cache_shards: Option<usize>,
+    /// Telemetry handle shared with the page cache and journal manager
+    /// (journal-commit and cache-fill timings, stale-eviction events).
+    pub telemetry: Option<Arc<rae_telemetry::Telemetry>>,
 }
 
 impl Default for BaseFsConfig {
@@ -62,6 +65,7 @@ impl Default for BaseFsConfig {
             validate_on_commit: true,
             serial_reads: false,
             cache_shards: None,
+            telemetry: None,
         }
     }
 }
@@ -127,6 +131,9 @@ pub struct BaseFs {
     validate_on_commit: bool,
     cur_seq: AtomicU64,
     persisted_seq: AtomicU64,
+    /// Kept so the journal manager rebuilt by a contained reboot can be
+    /// re-attached to the same telemetry stream.
+    telemetry: Option<Arc<rae_telemetry::Telemetry>>,
 }
 
 impl std::fmt::Debug for BaseFs {
@@ -175,6 +182,11 @@ impl BaseFs {
             }
             None => PageCache::new(Arc::clone(&dev), config.page_cache_blocks, config.queue),
         };
+        if let Some(t) = &config.telemetry {
+            pages.set_telemetry(Arc::clone(t));
+        }
+        let mut jmgr = JournalMgr::new(geo, replay.next_seq);
+        jmgr.set_telemetry(config.telemetry.clone());
         let alloc = Allocators::load(geo, &pages)?;
         Ok(BaseFs {
             dev,
@@ -185,7 +197,7 @@ impl BaseFs {
             inner: RwLock::new(Inner {
                 alloc,
                 fds: FdTable::new(),
-                jmgr: JournalMgr::new(geo, replay.next_seq),
+                jmgr,
                 clock: 0,
                 mount_count: sb.mount_count,
             }),
@@ -196,6 +208,7 @@ impl BaseFs {
             serial_reads: config.serial_reads,
             cur_seq: AtomicU64::new(0),
             persisted_seq: AtomicU64::new(0),
+            telemetry: config.telemetry,
         })
     }
 
@@ -279,6 +292,7 @@ impl BaseFs {
         let report = journal::replay(self.dev.as_ref(), &self.geo)?;
         inner.alloc = Allocators::load(self.geo, &self.pages)?;
         inner.jmgr = JournalMgr::new(self.geo, report.next_seq);
+        inner.jmgr.set_telemetry(self.telemetry.clone());
         Ok(report)
     }
 

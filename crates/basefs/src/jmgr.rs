@@ -12,8 +12,10 @@
 use rae_blockdev::BlockDevice;
 use rae_fsformat::journal::{self, TxnTag, MAX_TXN_BLOCKS};
 use rae_fsformat::{crc::crc32c, Geometry};
+use rae_telemetry::Telemetry;
 use rae_vfs::{FsError, FsResult};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Debug)]
 pub(crate) struct JournalMgr {
@@ -26,6 +28,7 @@ pub(crate) struct JournalMgr {
     pending: HashMap<u64, Vec<u8>>,
     commits: u64,
     checkpoints: u64,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl JournalMgr {
@@ -39,7 +42,14 @@ impl JournalMgr {
             pending: HashMap::new(),
             commits: 0,
             checkpoints: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry handle: commits record their wall-clock
+    /// duration (descriptor + data + both flush barriers).
+    pub(crate) fn set_telemetry(&mut self, telemetry: Option<Arc<Telemetry>>) {
+        self.telemetry = telemetry;
     }
 
     fn capacity(&self) -> u64 {
@@ -73,6 +83,19 @@ impl JournalMgr {
         if images.is_empty() {
             return Ok(());
         }
+        let t0 = self.telemetry.as_ref().and_then(|t| t.clock());
+        let result = self.commit_inner(dev, images);
+        if let (Some(t), Some(t0)) = (self.telemetry.as_ref(), t0) {
+            t.record_journal_commit_ns(t0.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn commit_inner<D: BlockDevice + ?Sized>(
+        &mut self,
+        dev: &D,
+        images: Vec<(u64, Vec<u8>)>,
+    ) -> FsResult<()> {
         let chunk_size = self.max_chunk();
         let mut idx = 0;
         while idx < images.len() {

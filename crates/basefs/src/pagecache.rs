@@ -37,10 +37,11 @@
 
 use parking_lot::Mutex;
 use rae_blockdev::{BlockDevice, QueueConfig, WritebackQueue, BLOCK_SIZE};
+use rae_telemetry::{EventKind, Telemetry};
 use rae_vfs::{FsError, FsResult};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The class of a cached page (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,7 @@ pub struct PageCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for PageCache {
@@ -160,7 +162,15 @@ impl PageCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Attach a telemetry handle: miss fills record their latency and
+    /// evictions of stale-at-home meta pages become flight-recorder
+    /// events. First call wins.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// Number of lock stripes.
@@ -208,6 +218,16 @@ impl PageCache {
             // the stale pre-commit image from the device. The write is
             // legal: the journal already holds the image (write-ahead).
             if page.dirty || page.home_stale {
+                if page.home_stale {
+                    if let Some(t) = self.telemetry.get() {
+                        t.event(
+                            EventKind::CacheEvictStale,
+                            bno,
+                            bno % self.shards.len() as u64,
+                            0,
+                        );
+                    }
+                }
                 // keep the content visible until the queued write has
                 // provably landed (cleared at the next barrier)
                 shard.inflight.insert(bno, page.data.clone());
@@ -246,8 +266,12 @@ impl PageCache {
         // Miss: read outside the lock, then insert (double-read on a
         // race is harmless — the block content is identical).
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.telemetry.get().and_then(|t| t.clock());
         let mut buf = vec![0u8; BLOCK_SIZE];
         self.dev.read_block(bno, &mut buf)?;
+        if let (Some(t), Some(t0)) = (self.telemetry.get(), t0) {
+            t.record_cache_fill_ns(t0.elapsed().as_nanos() as u64);
+        }
         let mut shard = self.shard_for(bno).lock();
         if let Some(p) = shard.map.get(&bno) {
             // raced with a writer: their copy is newer

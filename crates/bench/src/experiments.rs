@@ -1356,6 +1356,238 @@ pub fn e8_recovery_resilience(smoke: bool) -> String {
 }
 
 // ---------------------------------------------------------------------
+// E9: observed tail latency under fault (telemetry-instrumented)
+// ---------------------------------------------------------------------
+
+struct E9Window {
+    name: &'static str,
+    count: usize,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
+}
+
+fn e9_window(name: &'static str, mut lat_us: Vec<f64>) -> E9Window {
+    lat_us.sort_by(f64::total_cmp);
+    let pick = |q: f64| {
+        if lat_us.is_empty() {
+            0.0
+        } else {
+            lat_us[(q * (lat_us.len() - 1) as f64) as usize]
+        }
+    };
+    E9Window {
+        name,
+        count: lat_us.len(),
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        p999_us: pick(0.999),
+        max_us: lat_us.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// Telemetry-overhead probe: ns per cache-hit read — the cheapest op
+/// RAE serves, so the worst relative case for always-on instrumentation
+/// — with the telemetry gate on vs off on the same mount. Min of
+/// `rounds` interleaved rounds per setting to shed scheduler noise.
+fn e9_cache_hit_ns_per_op(reads: usize, rounds: usize) -> (f64, f64) {
+    let tele = rae_telemetry::Telemetry::new();
+    let config = RaeConfig {
+        telemetry: Some(Arc::clone(&tele)),
+        ..RaeConfig::default()
+    };
+    let fs = mount_rae(fresh_device() as Arc<dyn BlockDevice>, config);
+    let fd = fs
+        .open("/hot", OpenFlags::RDWR | OpenFlags::CREATE)
+        .expect("create");
+    fs.write(fd, 0, &[42u8; 4096]).expect("write");
+    for _ in 0..reads / 4 {
+        fs.read(fd, 0, 4096).expect("warm-up read");
+    }
+    let mut best = [f64::INFINITY; 2];
+    for _ in 0..rounds {
+        for (slot, on) in [(0usize, true), (1usize, false)] {
+            tele.set_enabled(on);
+            let ((), d) = timed(|| {
+                for _ in 0..reads {
+                    fs.read(fd, 0, 4096).expect("read");
+                }
+            });
+            best[slot] = best[slot].min(d.as_nanos() as f64 / reads as f64);
+        }
+    }
+    tele.set_enabled(true);
+    (best[0], best[1])
+}
+
+/// E9: the latency a client actually observes across a masked fault,
+/// measured through the always-on telemetry layer. One deterministic
+/// bug fires mid-run; the flight recorder's `RecoveryStarted` /
+/// `RecoveryDone` timestamps carve the per-op samples into before /
+/// during / after windows, and the histogram percentiles quantify how
+/// recovery shows up as response-time tail. A second probe gates the
+/// telemetry off to price the instrumentation itself.
+///
+/// Side effect: writes `BENCH_tail_latency.json` into the working
+/// directory (the committed artifact at the repo root).
+#[must_use]
+pub fn e9_tail_latency(scale: Scale, smoke: bool) -> String {
+    use std::time::Instant;
+    const OVERHEAD_BUDGET_PCT: f64 = 15.0;
+    let ops = if smoke {
+        400
+    } else {
+        scale.campaign_steps.min(2000)
+    };
+    let fault_at = ops / 2;
+    let (reads, rounds) = if smoke { (20_000, 2) } else { (100_000, 3) };
+
+    let tele = rae_telemetry::Telemetry::new();
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        9200,
+        "mid-run",
+        Site::DirModify,
+        Trigger::PathContains(format!("f{fault_at:06}")),
+        Effect::DetectedError,
+    ));
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults,
+            ..BaseFsConfig::default()
+        },
+        shadow: ShadowOpts {
+            validate_image: false,
+            ..ShadowOpts::default()
+        },
+        telemetry: Some(Arc::clone(&tele)),
+        ..RaeConfig::default()
+    };
+    let dev = fresh_latency_device();
+    dev.set_telemetry(Arc::clone(&tele));
+    let fs = mount_rae(dev as Arc<dyn BlockDevice>, config);
+
+    // per-op (start_ns, latency_us) through create+write+close
+    // transactions — the e4b workload, now timestamped on the
+    // telemetry clock so samples line up with flight-recorder events
+    let mut samples: Vec<(u64, u64, f64)> = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let start_ns = tele.now_ns();
+        let t0 = Instant::now();
+        let fd = fs
+            .open(&format!("/f{i:06}"), OpenFlags::RDWR | OpenFlags::CREATE)
+            .expect("open");
+        fs.write(fd, 0, &[7u8; 256]).expect("write");
+        fs.close(fd).expect("close");
+        let end_ns = tele.now_ns();
+        samples.push((start_ns, end_ns, t0.elapsed().as_secs_f64() * 1e6));
+    }
+    let stats = fs.stats();
+    assert_eq!(stats.recoveries, 1, "exactly one mid-run recovery");
+
+    let (events, _dropped) = tele.timeline();
+    let rec_start = events
+        .iter()
+        .rev()
+        .find(|e| e.kind == rae_telemetry::EventKind::RecoveryStarted)
+        .map(|e| e.ts_ns)
+        .expect("recovery started event");
+    let rec_done = events
+        .iter()
+        .rev()
+        .find(|e| e.kind == rae_telemetry::EventKind::RecoveryDone)
+        .map(|e| e.ts_ns)
+        .expect("recovery done event");
+    let rung = fs
+        .recovery_reports()
+        .last()
+        .map_or("none", |r| r.rung.as_str());
+
+    let mut before = Vec::new();
+    let mut during = Vec::new();
+    let mut after = Vec::new();
+    for &(s, e, us) in &samples {
+        if e <= rec_start {
+            before.push(us);
+        } else if s >= rec_done {
+            after.push(us);
+        } else {
+            // the op's window overlaps the recovery (the triggering op
+            // itself blocks across the whole incident)
+            during.push(us);
+        }
+    }
+    let windows = [
+        e9_window("before", before),
+        e9_window("during", during),
+        e9_window("after", after),
+    ];
+
+    let (on_ns, off_ns) = e9_cache_hit_ns_per_op(reads, rounds);
+    let overhead_pct = (on_ns - off_ns) / off_ns.max(f64::MIN_POSITIVE) * 100.0;
+    let within_budget = overhead_pct <= OVERHEAD_BUDGET_PCT;
+
+    let mut out = format!(
+        "E9: observed tail latency across a masked mid-run fault ({ops} ops, rung={rung})\n\
+         window     count    p50_us    p99_us   p999_us    max_us\n"
+    );
+    for w in &windows {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>6} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            w.name, w.count, w.p50_us, w.p99_us, w.p999_us, w.max_us
+        );
+    }
+    let _ = writeln!(
+        out,
+        "recovery window: {:.2} ms ({} -> {} on the telemetry clock)",
+        (rec_done - rec_start) as f64 / 1e6,
+        rec_start,
+        rec_done
+    );
+    let _ = writeln!(
+        out,
+        "telemetry overhead on cache-hit reads: on={on_ns:.0} ns/op off={off_ns:.0} ns/op \
+         ({overhead_pct:+.1}%, budget {OVERHEAD_BUDGET_PCT:.0}%, within={within_budget})"
+    );
+
+    let mut json = String::from("{\n  \"experiment\": \"e9_tail_latency\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"ops\": {ops},");
+    let _ = writeln!(json, "  \"fault_op_index\": {fault_at},");
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"rung\": \"{rung}\", \"start_ns\": {rec_start}, \"done_ns\": {rec_done}, \"duration_ms\": {:.3}}},",
+        (rec_done - rec_start) as f64 / 1e6
+    );
+    json.push_str("  \"windows\": [\n");
+    for (i, w) in windows.iter().enumerate() {
+        let comma = if i + 1 < windows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"window\": \"{}\", \"count\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}}}{comma}",
+            w.name, w.count, w.p50_us, w.p99_us, w.p999_us, w.max_us
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"overhead\": {{\"telemetry_on_ns_per_op\": {on_ns:.0}, \"telemetry_off_ns_per_op\": {off_ns:.0}, \"overhead_pct\": {overhead_pct:.2}, \"budget_pct\": {OVERHEAD_BUDGET_PCT:.1}, \"within_budget\": {within_budget}}}"
+    );
+    json.push_str("}\n");
+    match std::fs::write("BENCH_tail_latency.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_tail_latency.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "(could not write BENCH_tail_latency.json: {e})");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Trusted-code accounting (§4.3: "We expect to quantify the code we
 // trust (i.e., reused)")
 // ---------------------------------------------------------------------
@@ -1467,6 +1699,7 @@ pub fn run_all(scale: Scale) -> String {
         e6_differential(scale),
         e7_crafted_images(),
         e8_recovery_resilience(false),
+        e9_tail_latency(scale, false),
         trust_accounting(),
     ] {
         out.push_str(&section);

@@ -176,3 +176,35 @@ fn e8_every_scenario_reaches_a_terminal_state() {
         "ladder order: {out}"
     );
 }
+
+#[test]
+fn e9_windows_split_around_the_recovery() {
+    quiet_panics();
+    let out = experiments::e9_tail_latency(Scale::fast(), true);
+    assert!(out.contains("rung=cold"), "{out}");
+    let field = |window: &str, idx: usize| -> f64 {
+        out.lines()
+            .find(|l| l.starts_with(window))
+            .and_then(|l| l.split_whitespace().nth(idx))
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("missing {window} row: {out}"))
+    };
+    // the triggering op pays the recovery; the quiet windows do not
+    assert!(field("during", 1) >= 1.0, "{out}");
+    assert!(field("during", 5) > field("before", 5), "{out}");
+    assert!(
+        field("before", 1) > 100.0 && field("after", 1) > 100.0,
+        "{out}"
+    );
+    assert!(out.contains("wrote BENCH_tail_latency.json"), "{out}");
+    let json = std::fs::read_to_string("BENCH_tail_latency.json").unwrap();
+    for key in [
+        "\"experiment\": \"e9_tail_latency\"",
+        "\"windows\"",
+        "\"p999_us\"",
+        "\"overhead\"",
+        "\"within_budget\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+}

@@ -14,11 +14,23 @@
 
 use crate::device::{BlockDevice, IoPhase, BLOCK_SIZE};
 use parking_lot::Mutex;
+use rae_telemetry::{DevOp, EventKind, Telemetry};
 use rae_vfs::{FsError, FsResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Telemetry wire codes for the injected fault classes
+/// (`rae_telemetry::fault_class_name` renders them).
+mod fault_class {
+    pub const READ_FAIL: u64 = 0;
+    pub const WRITE_FAIL: u64 = 1;
+    pub const FLUSH_FAIL: u64 = 2;
+    pub const CORRUPT_READ: u64 = 3;
+    pub const WRITE_CUT: u64 = 4;
+}
 
 /// Which blocks a fault rule applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -365,6 +377,7 @@ pub struct FaultyDisk<D> {
     state: Mutex<Shared>,
     writes_done: AtomicU64,
     injected: AtomicU64,
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl<D: std::fmt::Debug> std::fmt::Debug for FaultyDisk<D> {
@@ -397,6 +410,25 @@ impl<D: BlockDevice> FaultyDisk<D> {
             }),
             writes_done: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
+        }
+    }
+
+    /// Attach a telemetry handle: injected faults become
+    /// [`EventKind::FaultInjected`] flight-recorder events and every
+    /// I/O records its latency (including modeled media latency) into
+    /// the per-phase device histograms. First call wins.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    fn tele(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.get()
+    }
+
+    fn fault_event(&self, class: u64, bno: u64, recovery: bool) {
+        if let Some(t) = self.tele() {
+            t.event(EventKind::FaultInjected, class, bno, u64::from(recovery));
         }
     }
 
@@ -482,7 +514,8 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
     }
 
     fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()> {
-        let decision = {
+        let t0 = self.tele().and_then(|t| t.clock());
+        let (decision, recovery) = {
             let mut sh = self.state.lock();
             let d = sh.active().read_decision(bno);
             if d.error {
@@ -490,26 +523,36 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
             } else if d.corrupt.is_some() {
                 sh.events.push(FaultEvent::CorruptedRead(bno));
             }
-            d
+            (d, sh.phase == IoPhase::Recovery)
         };
 
         Self::busy_wait(decision.latency_ns);
-        if decision.error {
+        let result = if decision.error {
             self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(FsError::IoFailed {
+            self.fault_event(fault_class::READ_FAIL, bno, recovery);
+            Err(FsError::IoFailed {
                 detail: format!("injected read error at block {bno}"),
-            });
+            })
+        } else {
+            let r = self.inner.read_block(bno, buf);
+            if r.is_ok() {
+                if let Some((byte, bit)) = decision.corrupt {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    self.fault_event(fault_class::CORRUPT_READ, bno, recovery);
+                    buf[byte] ^= 1 << bit;
+                }
+            }
+            r
+        };
+        if let Some(t) = self.tele() {
+            t.dev_observed(DevOp::Read, recovery, t0);
         }
-        self.inner.read_block(bno, buf)?;
-        if let Some((byte, bit)) = decision.corrupt {
-            self.injected.fetch_add(1, Ordering::Relaxed);
-            buf[byte] ^= 1 << bit;
-        }
-        Ok(())
+        result
     }
 
     fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()> {
-        let decision = {
+        let t0 = self.tele().and_then(|t| t.clock());
+        let (decision, recovery) = {
             let mut sh = self.state.lock();
             let writes_done = self.writes_done.load(Ordering::Relaxed);
             let d = sh.active().write_decision(bno, writes_done);
@@ -518,51 +561,64 @@ impl<D: BlockDevice> BlockDevice for FaultyDisk<D> {
             } else if d.cut == Some(WriteCutMode::SilentDrop) {
                 sh.events.push(FaultEvent::DroppedWrite(bno));
             }
-            d
+            (d, sh.phase == IoPhase::Recovery)
         };
 
         Self::busy_wait(decision.latency_ns);
-        if decision.error {
+        let result = if decision.error {
             self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(FsError::IoFailed {
+            self.fault_event(fault_class::WRITE_FAIL, bno, recovery);
+            Err(FsError::IoFailed {
                 detail: format!("injected write error at block {bno}"),
-            });
+            })
+        } else {
+            match decision.cut {
+                Some(WriteCutMode::Error) => {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    self.fault_event(fault_class::WRITE_CUT, bno, recovery);
+                    Err(FsError::IoFailed {
+                        detail: format!("write cut-off reached at block {bno}"),
+                    })
+                }
+                Some(WriteCutMode::SilentDrop) => {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    self.fault_event(fault_class::WRITE_CUT, bno, recovery);
+                    Ok(()) // swallowed
+                }
+                None => self.inner.write_block(bno, buf).map(|()| {
+                    self.writes_done.fetch_add(1, Ordering::Relaxed);
+                }),
+            }
+        };
+        if let Some(t) = self.tele() {
+            t.dev_observed(DevOp::Write, recovery, t0);
         }
-        match decision.cut {
-            Some(WriteCutMode::Error) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                Err(FsError::IoFailed {
-                    detail: format!("write cut-off reached at block {bno}"),
-                })
-            }
-            Some(WriteCutMode::SilentDrop) => {
-                self.injected.fetch_add(1, Ordering::Relaxed);
-                Ok(()) // swallowed
-            }
-            None => {
-                self.inner.write_block(bno, buf)?;
-                self.writes_done.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-        }
+        result
     }
 
     fn flush(&self) -> FsResult<()> {
-        let fails = {
+        let t0 = self.tele().and_then(|t| t.clock());
+        let (fails, recovery) = {
             let mut sh = self.state.lock();
             let fails = sh.active().flush_decision();
             if fails {
                 sh.events.push(FaultEvent::FlushError);
             }
-            fails
+            (fails, sh.phase == IoPhase::Recovery)
         };
-        if fails {
+        let result = if fails {
             self.injected.fetch_add(1, Ordering::Relaxed);
-            return Err(FsError::IoFailed {
+            self.fault_event(fault_class::FLUSH_FAIL, 0, recovery);
+            Err(FsError::IoFailed {
                 detail: "injected flush error".into(),
-            });
+            })
+        } else {
+            self.inner.flush()
+        };
+        if let Some(t) = self.tele() {
+            t.dev_observed(DevOp::Flush, recovery, t0);
         }
-        self.inner.flush()
+        result
     }
 
     fn set_phase(&self, phase: IoPhase) {

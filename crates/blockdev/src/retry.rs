@@ -15,10 +15,12 @@
 //! which keeps the fault campaigns reproducible.
 
 use crate::device::{BlockDevice, IoPhase};
+use rae_telemetry::{DevOp, EventKind, Telemetry};
 use rae_vfs::{FsError, FsResult};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Retry-relevant classification of a device error.
@@ -98,6 +100,7 @@ pub struct RetryDisk<D> {
     absorbed: AtomicU64,
     exhausted: AtomicU64,
     permanent: AtomicU64,
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl<D: std::fmt::Debug> std::fmt::Debug for RetryDisk<D> {
@@ -128,7 +131,14 @@ impl<D: BlockDevice> RetryDisk<D> {
             absorbed: AtomicU64::new(0),
             exhausted: AtomicU64::new(0),
             permanent: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         }
+    }
+
+    /// Attach a telemetry handle: absorbed and exhausted retry budgets
+    /// become flight-recorder events. First call wins.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// Current counter values.
@@ -189,7 +199,7 @@ impl<D: BlockDevice> RetryDisk<D> {
         }
     }
 
-    fn with_retries<T>(&self, mut op: impl FnMut() -> FsResult<T>) -> FsResult<T> {
+    fn with_retries<T>(&self, dev_op: DevOp, mut op: impl FnMut() -> FsResult<T>) -> FsResult<T> {
         let budget = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
@@ -198,6 +208,14 @@ impl<D: BlockDevice> RetryDisk<D> {
                 Ok(v) => {
                     if attempt > 1 {
                         self.absorbed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(t) = self.telemetry.get() {
+                            t.event(
+                                EventKind::RetryAbsorbed,
+                                u64::from(attempt),
+                                dev_op.code(),
+                                0,
+                            );
+                        }
                     }
                     return Ok(v);
                 }
@@ -207,6 +225,14 @@ impl<D: BlockDevice> RetryDisk<D> {
                 }
                 Err(e) if attempt >= budget => {
                     self.exhausted.fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = self.telemetry.get() {
+                        t.event(
+                            EventKind::RetryExhausted,
+                            u64::from(attempt),
+                            dev_op.code(),
+                            0,
+                        );
+                    }
                     return Err(e);
                 }
                 Err(_) => {
@@ -224,15 +250,15 @@ impl<D: BlockDevice> BlockDevice for RetryDisk<D> {
     }
 
     fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()> {
-        self.with_retries(|| self.inner.read_block(bno, buf))
+        self.with_retries(DevOp::Read, || self.inner.read_block(bno, buf))
     }
 
     fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()> {
-        self.with_retries(|| self.inner.write_block(bno, buf))
+        self.with_retries(DevOp::Write, || self.inner.write_block(bno, buf))
     }
 
     fn flush(&self) -> FsResult<()> {
-        self.with_retries(|| self.inner.flush())
+        self.with_retries(DevOp::Flush, || self.inner.flush())
     }
 
     fn set_phase(&self, phase: IoPhase) {

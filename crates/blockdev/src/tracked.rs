@@ -2,9 +2,11 @@
 
 use crate::device::{BlockDevice, IoPhase};
 use parking_lot::Mutex;
+use rae_telemetry::{DevOp, Telemetry};
 use rae_vfs::FsResult;
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// A wrapper recording which blocks have been written since the last
 /// [`TrackedDisk::take_written`].
@@ -21,6 +23,8 @@ use std::sync::Arc;
 pub struct TrackedDisk {
     inner: Arc<dyn BlockDevice>,
     written: Mutex<HashSet<u64>>,
+    telemetry: OnceLock<Arc<Telemetry>>,
+    recovery_phase: AtomicBool,
 }
 
 impl std::fmt::Debug for TrackedDisk {
@@ -38,7 +42,27 @@ impl TrackedDisk {
         TrackedDisk {
             inner,
             written: Mutex::new(HashSet::new()),
+            telemetry: OnceLock::new(),
+            recovery_phase: AtomicBool::new(false),
         }
+    }
+
+    /// Attach a telemetry handle: every forwarded I/O records its
+    /// latency into the per-phase device histograms. First call wins.
+    /// (The RAE runtime attaches here because this wrapper is the one
+    /// layer guaranteed to sit directly on the device when the standby
+    /// is enabled — it sees all base traffic.)
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    fn timed<T>(&self, op: DevOp, f: impl FnOnce() -> FsResult<T>) -> FsResult<T> {
+        let t0 = self.telemetry.get().and_then(|t| t.clock());
+        let result = f();
+        if let Some(t) = self.telemetry.get() {
+            t.dev_observed(op, self.recovery_phase.load(Ordering::Relaxed), t0);
+        }
+        result
     }
 
     /// Drain and return the set of blocks written since the previous
@@ -61,20 +85,24 @@ impl BlockDevice for TrackedDisk {
     }
 
     fn read_block(&self, bno: u64, buf: &mut [u8]) -> FsResult<()> {
-        self.inner.read_block(bno, buf)
+        self.timed(DevOp::Read, || self.inner.read_block(bno, buf))
     }
 
     fn write_block(&self, bno: u64, buf: &[u8]) -> FsResult<()> {
-        self.inner.write_block(bno, buf)?;
-        self.written.lock().insert(bno);
-        Ok(())
+        self.timed(DevOp::Write, || {
+            self.inner.write_block(bno, buf)?;
+            self.written.lock().insert(bno);
+            Ok(())
+        })
     }
 
     fn flush(&self) -> FsResult<()> {
-        self.inner.flush()
+        self.timed(DevOp::Flush, || self.inner.flush())
     }
 
     fn set_phase(&self, phase: IoPhase) {
+        self.recovery_phase
+            .store(phase == IoPhase::Recovery, Ordering::Relaxed);
         self.inner.set_phase(phase);
     }
 }

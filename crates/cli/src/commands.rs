@@ -188,6 +188,9 @@ impl Session {
             }
             "inject" => self.inject(&args),
             "stats" => {
+                if args.first() == Some(&"--json") {
+                    return Ok(self.stats_json());
+                }
                 let s = self.fs.stats();
                 Ok(format!(
                     "status={:?} detected={} panics={} recoveries={} failures={} masked={} \
@@ -208,30 +211,53 @@ impl Session {
                 let s = self.fs.stats();
                 let mut out = format!(
                     "rungs: warm={} cold={} cold_retry={} degraded={} offline={}\n\
+                     rung time: warm={:.2}ms cold={:.2}ms cold_retry={:.2}ms degraded={:.2}ms\n\
                      device retry: retries={} absorbed={} exhausted={}\n",
                     s.ladder_warm,
                     s.ladder_cold,
                     s.ladder_cold_retry,
                     s.ladder_degraded,
                     s.recovery_failures,
+                    s.rung_warm_time_ns as f64 / 1e6,
+                    s.rung_cold_time_ns as f64 / 1e6,
+                    s.rung_cold_retry_time_ns as f64 / 1e6,
+                    s.rung_degraded_time_ns as f64 / 1e6,
                     s.device_retries,
                     s.device_faults_absorbed,
                     s.device_retries_exhausted
                 );
                 match self.fs.recovery_reports().last() {
                     Some(r) => {
-                        let failed: Vec<&str> =
-                            r.failed_rungs.iter().map(|f| f.rung.as_str()).collect();
+                        let failed: Vec<String> = r
+                            .failed_rungs
+                            .iter()
+                            .map(|f| f.rung.as_str().to_string())
+                            .collect();
                         out.push_str(&format!(
-                            "last recovery: rung={} failed_rungs=[{}]",
+                            "last recovery: rung={} failed_rungs=[{}] rung_time={:.2}ms total={:.2}ms",
                             r.rung.as_str(),
-                            failed.join(">")
+                            failed.join(">"),
+                            r.rung_time.as_secs_f64() * 1e3,
+                            r.duration.as_secs_f64() * 1e3
                         ));
+                        for f in &r.failed_rungs {
+                            out.push_str(&format!(
+                                "\n  failed {}: {:.2}ms ({})",
+                                f.rung.as_str(),
+                                f.duration.as_secs_f64() * 1e3,
+                                f.error
+                            ));
+                        }
                     }
                     None => out.push_str("last recovery: none"),
                 }
                 Ok(out)
             }
+            "timeline" => {
+                let (events, dropped) = self.fs.telemetry().timeline();
+                Ok(rae_telemetry::render_timeline(&events, dropped))
+            }
+            "top" => Ok(self.fs.telemetry().snapshot().render_table()),
             "standby" => {
                 let s = self.fs.stats();
                 Ok(format!(
@@ -288,6 +314,50 @@ impl Session {
                 "unknown command '{other}' (try 'help')"
             ))),
         }
+    }
+
+    /// `stats --json`: the full runtime counter set, hand-rendered (the
+    /// workspace vendors a stub serde) for scripts and dashboards.
+    fn stats_json(&self) -> String {
+        let s = self.fs.stats();
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"status\": \"{:?}\",\n", self.fs.status()));
+        let fields: [(&str, u64); 18] = [
+            ("detected_errors", s.detected_errors),
+            ("panics_caught", s.panics_caught),
+            ("recoveries", s.recoveries),
+            ("recovery_failures", s.recovery_failures),
+            ("ops_masked", s.ops_masked),
+            ("recovery_time_ns", s.recovery_time_ns),
+            ("rung_warm_time_ns", s.rung_warm_time_ns),
+            ("rung_cold_time_ns", s.rung_cold_time_ns),
+            ("rung_cold_retry_time_ns", s.rung_cold_retry_time_ns),
+            ("rung_degraded_time_ns", s.rung_degraded_time_ns),
+            ("log_len", s.log_len as u64),
+            ("log_trimmed", s.log_trimmed),
+            ("ladder_warm", s.ladder_warm),
+            ("ladder_cold", s.ladder_cold),
+            ("ladder_cold_retry", s.ladder_cold_retry),
+            ("ladder_degraded", s.ladder_degraded),
+            ("device_retries", s.device_retries),
+            ("device_faults_absorbed", s.device_faults_absorbed),
+        ];
+        for (name, value) in fields {
+            out.push_str(&format!("  \"{name}\": {value},\n"));
+        }
+        out.push_str(&format!(
+            "  \"standby\": {{\"active\": {}, \"degraded\": {}, \"completed_seq\": {}, \
+             \"applied_seq\": {}, \"lag\": {}, \"audits_run\": {}, \"divergences\": {}}},\n",
+            s.standby_active,
+            s.standby_degraded,
+            s.standby_completed_seq,
+            s.standby_applied_seq,
+            s.standby_lag,
+            s.standby_audits_run,
+            s.standby_divergences
+        ));
+        out.push_str(&format!("  \"degraded\": {}\n}}", s.degraded));
+        out
     }
 
     /// `readers <threads> <ops> <path>`: hammer one file with N
@@ -454,9 +524,12 @@ const HELP: &str = "commands:
   readlink <p> | stat <p>   inspect
   statfs | sync             filesystem-wide
   inject <site> <n> <eff>   arm a bug (RAE will mask it; n=0 -> always)
-  stats | audit             RAE runtime introspection
-  ladder                    recovery-ladder rungs and retry counters
+  stats [--json]            RAE runtime introspection (--json for scripts)
+  audit                     coordinated shadow cross-check
+  ladder                    recovery-ladder rungs, per-rung timings, retries
   standby                   warm-standby watermarks and lag
+  timeline                  flight-recorder dump of the last incident
+  top                       latency histograms per op class and I/O phase
   readers <n> <ops> <p>     concurrent read throughput demo
 ";
 
@@ -628,6 +701,52 @@ mod tests {
         let out = s.run("standby").unwrap();
         assert!(out.contains("active=false"), "{out}");
         assert!(s.run("help").unwrap().contains("standby"));
+    }
+
+    #[test]
+    fn stats_json_renders_full_counter_set() {
+        let mut s = session();
+        s.run("mkdir /d").unwrap();
+        let out = s.run("stats --json").unwrap();
+        assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
+        for key in [
+            "\"status\"",
+            "\"recoveries\"",
+            "\"rung_cold_time_ns\"",
+            "\"standby\"",
+            "\"degraded\"",
+        ] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // balanced braces is a cheap well-formedness check with the
+        // vendored serde stubbed out
+        let opens = out.matches('{').count();
+        assert_eq!(opens, out.matches('}').count(), "{out}");
+    }
+
+    #[test]
+    fn timeline_and_top_after_masked_fault() {
+        let mut s = session();
+        let out = s.run("timeline").unwrap();
+        assert!(out.contains("flight recorder empty"), "{out}");
+
+        s.run("write /f data").unwrap();
+        s.run("inject rename 1 error").unwrap();
+        s.run("mv /f /g").unwrap();
+        let out = s.run("timeline").unwrap();
+        assert!(out.contains("error detected"), "{out}");
+        assert!(out.contains("recovery started"), "{out}");
+        assert!(out.contains("recovery done"), "{out}");
+
+        let top = s.run("top").unwrap();
+        assert!(top.contains("telemetry on"), "{top}");
+        assert!(top.contains("op/create"), "{top}");
+        assert!(top.contains("p99_us"), "{top}");
+
+        // the ladder view now carries the per-rung time breakdown
+        let ladder = s.run("ladder").unwrap();
+        assert!(ladder.contains("rung time:"), "{ladder}");
+        assert!(ladder.contains("rung_time="), "{ladder}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rae_blockdev::{
 use rae_faults::{FaultAction, OpContext, Site};
 use rae_shadowfs::{ReadReply, ReadRequest, ShadowFs, ShadowOpts};
 use rae_standby::{HandoverState, Publish, StandbyOpts, StandbyStatus, WarmStandby};
+use rae_telemetry::{EventKind, OpClass, Telemetry};
 use rae_vfs::{
     DirEntry, Fd, FileStat, FileSystem, FsError, FsGeometryInfo, FsOp, FsResult, FsStatus, InodeNo,
     OpKind, OpOutcome, OpRecord, OpenFlags, SetAttr,
@@ -77,6 +78,10 @@ pub struct RaeConfig {
     /// (transient device errors during recovery are re-issued under
     /// this policy before the mount degrades to read-only).
     pub retry: RetryPolicy,
+    /// Telemetry handle shared across the whole stack (histograms +
+    /// flight recorder). `None` means the mount creates its own; pass
+    /// one in to share a stream with harness-owned device wrappers.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Default for RaeConfig {
@@ -91,6 +96,7 @@ impl Default for RaeConfig {
             max_consecutive_recoveries: 8,
             standby: StandbyOpts::default(),
             retry: RetryPolicy::default(),
+            telemetry: None,
         }
     }
 }
@@ -147,6 +153,18 @@ pub struct RaeFs {
     device_retries: AtomicU64,
     device_faults_absorbed: AtomicU64,
     device_retries_exhausted: AtomicU64,
+    /// Cumulative time spent attempting each rung (failures included).
+    rung_warm_time_ns: AtomicU64,
+    rung_cold_time_ns: AtomicU64,
+    rung_cold_retry_time_ns: AtomicU64,
+    rung_degraded_time_ns: AtomicU64,
+    /// Audit/divergence counts carried over from standbys that have
+    /// been torn down or handed over. A live standby's counters are
+    /// added on top in `stats`; without this accumulation every
+    /// teardown would silently zero the totals.
+    standby_audits_acc: AtomicU64,
+    standby_divergences_acc: AtomicU64,
+    telemetry: Arc<Telemetry>,
 }
 
 /// Resets the device's I/O phase to `Normal` on drop, so phase-scoped
@@ -193,11 +211,17 @@ impl RaeFs {
     /// A panic during mount (crafted-image class) is caught and
     /// reported as [`FsError::Internal`].
     pub fn mount(dev: Arc<dyn BlockDevice>, config: RaeConfig) -> FsResult<RaeFs> {
-        let base_cfg = config.base.clone();
+        let telemetry = config
+            .telemetry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Telemetry::default()));
+        let mut base_cfg = config.base.clone();
+        base_cfg.telemetry = Some(Arc::clone(&telemetry));
         // interpose the write tracker below the base so warm recovery
         // knows which blocks to reconcile against the standby snapshot
         let (dev, tracker) = if config.standby.enabled && config.mode == RecoveryMode::Rae {
             let t = Arc::new(TrackedDisk::new(dev));
+            t.set_telemetry(Arc::clone(&telemetry));
             (Arc::clone(&t) as Arc<dyn BlockDevice>, Some(t))
         } else {
             (dev, None)
@@ -223,7 +247,10 @@ impl RaeFs {
                     let _ = t.take_written();
                 }
                 match WarmStandby::spawn(base.device(), config.shadow, config.standby, Vec::new()) {
-                    Ok(sb) => (Some(sb), false),
+                    Ok(sb) => {
+                        sb.set_telemetry(Arc::clone(&telemetry));
+                        (Some(sb), false)
+                    }
                     Err(_) => (None, true), // shadow refused the image: run cold
                 }
             } else {
@@ -255,7 +282,21 @@ impl RaeFs {
             device_retries: AtomicU64::new(0),
             device_faults_absorbed: AtomicU64::new(0),
             device_retries_exhausted: AtomicU64::new(0),
+            rung_warm_time_ns: AtomicU64::new(0),
+            rung_cold_time_ns: AtomicU64::new(0),
+            rung_cold_retry_time_ns: AtomicU64::new(0),
+            rung_degraded_time_ns: AtomicU64::new(0),
+            standby_audits_acc: AtomicU64::new(0),
+            standby_divergences_acc: AtomicU64::new(0),
+            telemetry,
         })
+    }
+
+    /// The telemetry handle shared across the stack: per-class latency
+    /// histograms, per-phase device timings, and the flight recorder.
+    #[must_use]
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
     }
 
     /// Cleanly unmount (commit + checkpoint + clean superblock).
@@ -285,6 +326,10 @@ impl RaeFs {
             recovery_failures: self.recovery_failures.load(Ordering::Relaxed),
             ops_masked: self.ops_masked.load(Ordering::Relaxed),
             recovery_time_ns: self.recovery_time_ns.load(Ordering::Relaxed),
+            rung_warm_time_ns: self.rung_warm_time_ns.load(Ordering::Relaxed),
+            rung_cold_time_ns: self.rung_cold_time_ns.load(Ordering::Relaxed),
+            rung_cold_retry_time_ns: self.rung_cold_retry_time_ns.load(Ordering::Relaxed),
+            rung_degraded_time_ns: self.rung_degraded_time_ns.load(Ordering::Relaxed),
             log_len: log.len(),
             log_trimmed: log.trimmed_total(),
             standby_active: standby.active,
@@ -292,8 +337,12 @@ impl RaeFs {
             standby_completed_seq: standby.completed_seq,
             standby_applied_seq: standby.applied_seq,
             standby_lag: standby.lag,
-            standby_audits_run: standby.audits_run,
-            standby_divergences: standby.divergences,
+            // totals survive standby teardown: retired handles fold
+            // their final counts into the accumulators
+            standby_audits_run: self.standby_audits_acc.load(Ordering::Relaxed)
+                + standby.audits_run,
+            standby_divergences: self.standby_divergences_acc.load(Ordering::Relaxed)
+                + standby.divergences,
             degraded: self.degraded.load(Ordering::Acquire),
             ladder_warm: self.ladder_warm.load(Ordering::Relaxed),
             ladder_cold: self.ladder_cold.load(Ordering::Relaxed),
@@ -438,6 +487,19 @@ impl RaeFs {
     // Warm standby
     // ------------------------------------------------------------------
 
+    /// Fold a standby handle's final counters into the runtime-owned
+    /// accumulators before it is dropped or handed over, so audit and
+    /// divergence totals survive the teardown. Every site that removes
+    /// a handle from `self.standby` (or consumes a taken one) must
+    /// route through here.
+    fn retire_standby(&self, sb: &WarmStandby) {
+        let st = sb.status();
+        self.standby_audits_acc
+            .fetch_add(st.audits_run, Ordering::Relaxed);
+        self.standby_divergences_acc
+            .fetch_add(st.divergences, Ordering::Relaxed);
+    }
+
     /// Publish the just-completed record `seq` to the warm standby.
     /// Callers hold the op-log lock, which serializes completion — so
     /// publish order is completion order and nothing publishes while
@@ -446,6 +508,7 @@ impl RaeFs {
         let mut guard = self.standby.lock();
         let Some(sb) = guard.as_ref() else { return };
         if sb.publish(log.record_of(seq).clone()) == Publish::Degraded {
+            self.retire_standby(sb);
             *guard = None; // drops the handle and joins the apply thread
             self.standby_degraded.store(true, Ordering::Release);
         }
@@ -476,11 +539,19 @@ impl RaeFs {
             Ok(Ok(())) => {}
             Ok(Err(e)) => {
                 self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.event(
+                    EventKind::ErrorDetected,
+                    OpClass::Fsync.code(),
+                    Self::error_code(&e),
+                    0,
+                );
                 self.recover(log, None, None, RecoveryTrigger::DetectedError(e))?;
                 return Ok(()); // recovery respawned the standby; audit next round
             }
             Err(p) => {
                 self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.telemetry
+                    .event(EventKind::PanicCaught, OpClass::Fsync.code(), 0, 0);
                 self.recover(
                     log,
                     None,
@@ -501,6 +572,7 @@ impl RaeFs {
                     let _ = t.take_written();
                 }
             } else {
+                self.retire_standby(sb);
                 *guard = None;
                 self.standby_degraded.store(true, Ordering::Release);
             }
@@ -528,6 +600,7 @@ impl RaeFs {
             backlog,
         ) {
             Ok(sb) => {
+                sb.set_telemetry(Arc::clone(&self.telemetry));
                 *self.standby.lock() = Some(sb);
                 self.standby_degraded.store(false, Ordering::Release);
             }
@@ -537,8 +610,83 @@ impl RaeFs {
         }
     }
 
-    /// Execute a mutating operation with full RAE protection.
+    /// Map an operation to its telemetry class (API-boundary
+    /// histograms).
+    fn class_of_op(op: &FsOp) -> OpClass {
+        match op {
+            FsOp::Create { .. } | FsOp::RestoreFd { .. } => OpClass::Create,
+            FsOp::Mkdir { .. } | FsOp::Rename { .. } | FsOp::Link { .. } | FsOp::Symlink { .. } => {
+                OpClass::Create
+            }
+            FsOp::Write { .. } | FsOp::Truncate { .. } => OpClass::Write,
+            FsOp::Unlink { .. } | FsOp::Rmdir { .. } => OpClass::Unlink,
+            FsOp::Fsync { .. } | FsOp::Sync => OpClass::Fsync,
+            FsOp::Open { .. } | FsOp::Close { .. } | FsOp::SetAttr { .. } => OpClass::Other,
+        }
+    }
+
+    fn class_of_read(op: &ReadRequest) -> OpClass {
+        match op {
+            ReadRequest::Read { .. } => OpClass::Read,
+            ReadRequest::Readdir { .. } => OpClass::Readdir,
+            ReadRequest::Stat { .. }
+            | ReadRequest::Fstat { .. }
+            | ReadRequest::Readlink { .. }
+            | ReadRequest::Statfs => OpClass::Stat,
+        }
+    }
+
+    /// Stable small code for an error (the `errno`-ish payload word of
+    /// `ErrorDetected` events): the variant's position in the `FsError`
+    /// declaration.
+    fn error_code(e: &FsError) -> u64 {
+        match e {
+            FsError::NotFound => 1,
+            FsError::Exists => 2,
+            FsError::NotDir => 3,
+            FsError::IsDir => 4,
+            FsError::NotEmpty => 5,
+            FsError::NoSpace => 6,
+            FsError::NoInodes => 7,
+            FsError::InvalidArgument => 8,
+            FsError::NameTooLong => 9,
+            FsError::TooManyOpenFiles => 10,
+            FsError::BadFd => 11,
+            FsError::BadAccessMode => 12,
+            FsError::TooManyLinks => 13,
+            FsError::FileTooBig => 14,
+            FsError::ReadOnly => 15,
+            FsError::Busy => 16,
+            FsError::RenameLoop => 17,
+            FsError::IoFailed { .. } => 18,
+            FsError::Corrupted { .. } => 19,
+            FsError::DetectedBug { .. } => 20,
+            FsError::CheckFailed { .. } => 21,
+            FsError::Internal { .. } => 22,
+            FsError::RecoveryFailed { .. } => 23,
+        }
+    }
+
+    fn trigger_code(trigger: &RecoveryTrigger) -> u64 {
+        match trigger {
+            RecoveryTrigger::DetectedError(_) => 0,
+            RecoveryTrigger::CaughtPanic(_) => 1,
+            RecoveryTrigger::WarnPolicy => 2,
+        }
+    }
+
+    /// Execute a mutating operation with full RAE protection, timing
+    /// the whole call (recoveries included — the application-visible
+    /// latency) into the per-class histogram.
     fn exec_mutating(&self, op: FsOp) -> FsResult<Ret> {
+        let class = Self::class_of_op(&op);
+        let t0 = self.telemetry.op_clock();
+        let result = self.exec_mutating_inner(op, class);
+        self.telemetry.op_observed(class, t0);
+        result
+    }
+
+    fn exec_mutating_inner(&self, op: FsOp, class: OpClass) -> FsResult<Ret> {
         self.check_writable()?;
         let mut log = self.log.lock();
         let seq = log.append(op); // the log owns the operation
@@ -559,6 +707,8 @@ impl RaeFs {
                     && !self.base.fault_registry().take_warnings().is_empty()
                 {
                     self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry
+                        .event(EventKind::ErrorDetected, class.code(), 0, 0);
                     self.recover(&mut log, None, None, RecoveryTrigger::WarnPolicy)?;
                 }
                 log.trim(self.base.persisted_seq());
@@ -574,10 +724,22 @@ impl RaeFs {
                         Ok(Ok(())) => log.trim(self.base.persisted_seq()),
                         Ok(Err(e)) => {
                             self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.event(
+                                EventKind::ErrorDetected,
+                                OpClass::Fsync.code(),
+                                Self::error_code(&e),
+                                0,
+                            );
                             self.recover(&mut log, None, None, RecoveryTrigger::DetectedError(e))?;
                         }
                         Err(p) => {
                             self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry.event(
+                                EventKind::PanicCaught,
+                                OpClass::Fsync.code(),
+                                0,
+                                0,
+                            );
                             self.recover(
                                 &mut log,
                                 None,
@@ -601,11 +763,19 @@ impl RaeFs {
             }
             Ok(Err(e)) => {
                 self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.event(
+                    EventKind::ErrorDetected,
+                    class.code(),
+                    Self::error_code(&e),
+                    0,
+                );
                 let op = log.op_of(seq).clone(); // error path only
                 self.handle_runtime_error(&mut log, seq, &op, RecoveryTrigger::DetectedError(e))
             }
             Err(p) => {
                 self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.telemetry
+                    .event(EventKind::PanicCaught, class.code(), 0, 0);
                 let op = log.op_of(seq).clone();
                 self.handle_runtime_error(
                     &mut log,
@@ -690,6 +860,12 @@ impl RaeFs {
     ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
         let _quiesced = self.gate.write();
         let start = Instant::now();
+        self.telemetry.event(
+            EventKind::RecoveryStarted,
+            Self::trigger_code(&trigger),
+            log.len() as u64,
+            0,
+        );
 
         // recovery-storm guard: masking is pointless if every recovery
         // immediately re-triggers another error
@@ -721,7 +897,11 @@ impl RaeFs {
         // finish_recovery re-arms the standby under it.)
         let taken = self.standby.lock().take();
         if let Some(sb) = taken {
+            // the handover consumes the handle: bank its counters now
+            self.retire_standby(&sb);
             let lag = sb.lag();
+            let rung_t0 = Instant::now();
+            self.rung_event(EventKind::RungEntered, LadderRung::Warm, 0);
             match sb.handover() {
                 Some(handed) => {
                     match self.attempt(
@@ -740,23 +920,38 @@ impl RaeFs {
                                 in_flight,
                                 &completed,
                                 start,
+                                rung_t0.elapsed(),
                                 failed_rungs,
                             )
                         }
                         Err(e) => {
                             self.standby_degraded.store(true, Ordering::Release);
-                            failed_rungs.push(RungFailure {
-                                rung: LadderRung::Warm,
-                                error: e.to_string(),
-                            });
+                            failed_rungs.push(self.rung_failed(
+                                LadderRung::Warm,
+                                &e,
+                                rung_t0.elapsed(),
+                            ));
                         }
                     }
                 }
-                None => self.standby_degraded.store(true, Ordering::Release),
+                None => {
+                    // no attempt ran (the standby refused up front):
+                    // record the event but keep `failed_rungs` to
+                    // genuinely attempted rungs
+                    self.standby_degraded.store(true, Ordering::Release);
+                    self.rung_event(
+                        EventKind::RungFailed,
+                        LadderRung::Warm,
+                        rung_t0.elapsed().as_nanos() as u64,
+                    );
+                    self.add_rung_time(LadderRung::Warm, rung_t0.elapsed());
+                }
             }
         }
 
         // Rung 2 — cold replay over a fresh shadow.
+        let rung_t0 = Instant::now();
+        self.rung_event(EventKind::RungEntered, LadderRung::Cold, 0);
         match self.attempt(
             LadderRung::Cold,
             None,
@@ -767,12 +962,19 @@ impl RaeFs {
             &trigger,
         ) {
             Ok(s) => {
-                return self.finish_recovery(log, s, in_flight, &completed, start, failed_rungs)
+                return self.finish_recovery(
+                    log,
+                    s,
+                    in_flight,
+                    &completed,
+                    start,
+                    rung_t0.elapsed(),
+                    failed_rungs,
+                )
             }
-            Err(e) => failed_rungs.push(RungFailure {
-                rung: LadderRung::Cold,
-                error: e.to_string(),
-            }),
+            Err(e) => {
+                failed_rungs.push(self.rung_failed(LadderRung::Cold, &e, rung_t0.elapsed()));
+            }
         }
 
         // Rung 3 — the cold path once more, with the shadow's device
@@ -782,6 +984,9 @@ impl RaeFs {
             self.base.device(),
             self.config.retry,
         ));
+        retry_dev.set_telemetry(Arc::clone(&self.telemetry));
+        let rung_t0 = Instant::now();
+        self.rung_event(EventKind::RungEntered, LadderRung::ColdRetry, 0);
         let res = self.attempt(
             LadderRung::ColdRetry,
             None,
@@ -799,33 +1004,53 @@ impl RaeFs {
             .fetch_add(rs.exhausted, Ordering::Relaxed);
         match res {
             Ok(s) => {
-                return self.finish_recovery(log, s, in_flight, &completed, start, failed_rungs)
+                return self.finish_recovery(
+                    log,
+                    s,
+                    in_flight,
+                    &completed,
+                    start,
+                    rung_t0.elapsed(),
+                    failed_rungs,
+                )
             }
-            Err(e) => failed_rungs.push(RungFailure {
-                rung: LadderRung::ColdRetry,
-                error: e.to_string(),
-            }),
+            Err(e) => {
+                failed_rungs.push(self.rung_failed(LadderRung::ColdRetry, &e, rung_t0.elapsed()));
+            }
         }
 
         // Rung 4 — read-only degraded: the shadow cannot reproduce the
         // retained log, but a contained reboot still yields the
         // journal-consistent durable state. Serve reads off that.
+        let rung_t0 = Instant::now();
+        self.rung_event(EventKind::RungEntered, LadderRung::Degraded, 0);
         match catch_unwind(AssertUnwindSafe(|| self.base.contained_reboot())) {
-            Ok(Ok(_boot)) => {
-                self.enter_degraded(log, trigger, failed_rungs, start, in_flight, read_in_flight)
-            }
+            Ok(Ok(_boot)) => self.enter_degraded(
+                log,
+                trigger,
+                failed_rungs,
+                start,
+                rung_t0.elapsed(),
+                in_flight,
+                read_in_flight,
+            ),
             Ok(Err(e)) => {
-                failed_rungs.push(RungFailure {
-                    rung: LadderRung::Degraded,
-                    error: e.to_string(),
-                });
+                failed_rungs.push(self.rung_failed(LadderRung::Degraded, &e, rung_t0.elapsed()));
                 self.go_offline(trigger, failed_rungs, start, e)
             }
             Err(p) => {
                 let msg = panic_msg(p.as_ref());
+                let elapsed = rung_t0.elapsed();
+                self.add_rung_time(LadderRung::Degraded, elapsed);
+                self.rung_event(
+                    EventKind::RungFailed,
+                    LadderRung::Degraded,
+                    elapsed.as_nanos() as u64,
+                );
                 failed_rungs.push(RungFailure {
                     rung: LadderRung::Degraded,
                     error: msg.clone(),
+                    duration: elapsed,
                 });
                 self.go_offline(
                     trigger,
@@ -836,6 +1061,35 @@ impl RaeFs {
                     },
                 )
             }
+        }
+    }
+
+    /// Flight-recorder shorthand for rung lifecycle events.
+    fn rung_event(&self, kind: EventKind, rung: LadderRung, b: u64) {
+        self.telemetry.event(kind, rung.code(), b, 0);
+    }
+
+    /// Accumulate time spent attempting `rung` into the per-rung stats.
+    fn add_rung_time(&self, rung: LadderRung, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as u64;
+        match rung {
+            LadderRung::Warm => &self.rung_warm_time_ns,
+            LadderRung::Cold => &self.rung_cold_time_ns,
+            LadderRung::ColdRetry => &self.rung_cold_retry_time_ns,
+            LadderRung::Degraded | LadderRung::Offline => &self.rung_degraded_time_ns,
+        }
+        .fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Bookkeeping for one failed rung attempt: per-rung time, the
+    /// `RungFailed` flight-recorder event, and the report entry.
+    fn rung_failed(&self, rung: LadderRung, e: &FsError, elapsed: Duration) -> RungFailure {
+        self.add_rung_time(rung, elapsed);
+        self.rung_event(EventKind::RungFailed, rung, elapsed.as_nanos() as u64);
+        RungFailure {
+            rung,
+            error: e.to_string(),
+            duration: elapsed,
         }
     }
 
@@ -1031,6 +1285,7 @@ impl RaeFs {
             rung,
             failed_rungs: Vec::new(), // filled by finish_recovery
             duration: t0.elapsed(),   // refined by finish_recovery
+            rung_time: t0.elapsed(),  // refined by finish_recovery
             reboot_time,
             shadow_load_time,
             replay_time,
@@ -1059,6 +1314,7 @@ impl RaeFs {
     /// Post-rung bookkeeping for a successful recovery: resolve the
     /// in-flight record, re-issue a pending sync, re-arm the warm
     /// standby, and file the report.
+    #[allow(clippy::too_many_arguments)]
     fn finish_recovery(
         &self,
         log: &mut OpLog,
@@ -1066,6 +1322,7 @@ impl RaeFs {
         in_flight: Option<(u64, &FsOp)>,
         completed: &[OpRecord],
         start: Instant,
+        rung_elapsed: Duration,
         failed_rungs: Vec<RungFailure>,
     ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
         let RungSuccess {
@@ -1103,12 +1360,14 @@ impl RaeFs {
                     .map(|(s, _)| s)
                     .or_else(|| completed.last().map(|r| r.seq))
                     .unwrap_or(0);
-                *self.standby.lock() = Some(WarmStandby::resume(
+                let resumed = WarmStandby::resume(
                     forked,
                     self.config.standby,
                     self.base.device(),
                     resume_seq,
-                ));
+                );
+                resumed.set_telemetry(Arc::clone(&self.telemetry));
+                *self.standby.lock() = Some(resumed);
                 self.standby_degraded.store(false, Ordering::Release);
             }
             None => self.respawn_standby(log),
@@ -1122,10 +1381,18 @@ impl RaeFs {
             _ => &self.ladder_cold_retry,
         }
         .fetch_add(1, Ordering::Relaxed);
+        self.add_rung_time(report.rung, rung_elapsed);
         self.recovery_time_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         report.duration = elapsed;
+        report.rung_time = rung_elapsed;
         report.failed_rungs = failed_rungs;
+        self.telemetry.event(
+            EventKind::RecoveryDone,
+            report.rung.code(),
+            elapsed.as_nanos() as u64,
+            report.records_replayed,
+        );
         self.reports.lock().push(report);
         match read_reply {
             Some(Ok(r)) => Ok((outcome, Some(r))),
@@ -1138,17 +1405,20 @@ impl RaeFs {
     /// succeeded): the retained log and any in-flight mutation are
     /// lost, reads are served off the journal-consistent base, and
     /// every mutating entry point returns [`FsError::ReadOnly`].
+    #[allow(clippy::too_many_arguments)]
     fn enter_degraded(
         &self,
         log: &mut OpLog,
         trigger: RecoveryTrigger,
         failed_rungs: Vec<RungFailure>,
         start: Instant,
+        rung_elapsed: Duration,
         in_flight: Option<(u64, &FsOp)>,
         read_in_flight: Option<&ReadRequest>,
     ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
         self.degraded.store(true, Ordering::Release);
         self.ladder_degraded.fetch_add(1, Ordering::Relaxed);
+        self.add_rung_time(LadderRung::Degraded, rung_elapsed);
         // the shadow could not reproduce the retained log: it is
         // unreplayable and the buffered tail it described is gone
         log.clear();
@@ -1160,7 +1430,15 @@ impl RaeFs {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
         let mut report =
             RecoveryReport::terminal(trigger, LadderRung::Degraded, failed_rungs, elapsed);
+        report.rung_time = rung_elapsed;
         report.had_in_flight = in_flight.is_some() || read_in_flight.is_some();
+        self.telemetry.event(EventKind::Degraded, 0, 0, 0);
+        self.telemetry.event(
+            EventKind::RecoveryDone,
+            LadderRung::Degraded.code(),
+            elapsed.as_nanos() as u64,
+            0,
+        );
         self.reports.lock().push(report);
 
         // a pending read can still be answered off the now
@@ -1193,6 +1471,13 @@ impl RaeFs {
         let elapsed = start.elapsed();
         self.recovery_time_ns
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.telemetry.event(EventKind::Offline, 0, 0, 0);
+        self.telemetry.event(
+            EventKind::RecoveryDone,
+            LadderRung::Offline.code(),
+            elapsed.as_nanos() as u64,
+            0,
+        );
         self.reports.lock().push(RecoveryReport::terminal(
             trigger,
             LadderRung::Offline,
@@ -1222,6 +1507,14 @@ impl RaeFs {
     /// mutation would (§3.2). Retrying on the base instead would loop
     /// forever on a deterministic read-path bug.
     fn exec_read(&self, op: &ReadRequest) -> FsResult<ReadReply> {
+        let class = Self::class_of_read(op);
+        let t0 = self.telemetry.op_clock();
+        let result = self.exec_read_inner(op, class);
+        self.telemetry.op_observed(class, t0);
+        result
+    }
+
+    fn exec_read_inner(&self, op: &ReadRequest, class: OpClass) -> FsResult<ReadReply> {
         self.check_online()?;
         let first = {
             let _admitted = self.gate.read();
@@ -1235,6 +1528,12 @@ impl RaeFs {
             Ok(Err(e)) if e.is_specified() => return Err(e),
             Ok(Err(e)) => {
                 self.detected_errors.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.event(
+                    EventKind::ErrorDetected,
+                    class.code(),
+                    Self::error_code(&e),
+                    0,
+                );
                 if self.degraded.load(Ordering::Acquire) {
                     // read-only degraded is the ladder's last serving
                     // rung: a runtime error on the journal-consistent
@@ -1245,6 +1544,8 @@ impl RaeFs {
             }
             Err(p) => {
                 self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                self.telemetry
+                    .event(EventKind::PanicCaught, class.code(), 0, 0);
                 let msg = panic_msg(p.as_ref());
                 if self.degraded.load(Ordering::Acquire) {
                     return self.mark_failed(FsError::Internal {

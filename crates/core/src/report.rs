@@ -61,6 +61,18 @@ impl LadderRung {
             LadderRung::Offline => "offline",
         }
     }
+
+    /// Stable wire code (shared with the telemetry event vocabulary).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            LadderRung::Warm => 0,
+            LadderRung::Cold => 1,
+            LadderRung::ColdRetry => 2,
+            LadderRung::Degraded => 3,
+            LadderRung::Offline => 4,
+        }
+    }
 }
 
 /// A ladder rung that was attempted and failed, with the error that
@@ -71,6 +83,8 @@ pub struct RungFailure {
     pub rung: LadderRung,
     /// Why it failed (rendered error).
     pub error: String,
+    /// Wall-clock time spent inside the failed attempt.
+    pub duration: Duration,
 }
 
 /// Full account of one recovery.
@@ -88,8 +102,12 @@ pub struct RecoveryReport {
     /// the recovery (empty when the first rung tried succeeded).
     pub failed_rungs: Vec<RungFailure>,
     /// Wall-clock duration of the entire recovery (contained reboot,
-    /// shadow load + replay, hand-off).
+    /// shadow load + replay, hand-off), failed rungs included — the sum
+    /// of every rung attempt plus ladder bookkeeping.
     pub duration: Duration,
+    /// Wall-clock time spent inside the final rung itself (the earlier
+    /// failed attempts each carry their own [`RungFailure::duration`]).
+    pub rung_time: Duration,
     /// Phase 1: contained reboot (cache reset + journal replay).
     pub reboot_time: Duration,
     /// Phase 2: shadow load (including image validation when enabled).
@@ -135,6 +153,7 @@ impl RecoveryReport {
             rung,
             failed_rungs,
             duration,
+            rung_time: Duration::ZERO,
             reboot_time: Duration::ZERO,
             shadow_load_time: Duration::ZERO,
             replay_time: Duration::ZERO,
@@ -166,8 +185,18 @@ pub struct RaeStats {
     /// Operations whose result was produced by the shadow (masked
     /// from the application).
     pub ops_masked: u64,
-    /// Total wall-clock nanoseconds spent in recovery.
+    /// Total wall-clock nanoseconds spent in recovery — kept as the
+    /// sum over the per-rung breakdown below plus ladder bookkeeping.
     pub recovery_time_ns: u64,
+    /// Nanoseconds spent in warm-rung attempts (failed ones included).
+    pub rung_warm_time_ns: u64,
+    /// Nanoseconds spent in cold-rung attempts.
+    pub rung_cold_time_ns: u64,
+    /// Nanoseconds spent in cold-retry-rung attempts.
+    pub rung_cold_retry_time_ns: u64,
+    /// Nanoseconds spent in degrade-rung attempts (the final contained
+    /// reboot before read-only mode).
+    pub rung_degraded_time_ns: u64,
     /// Records currently retained in the operation log.
     pub log_len: usize,
     /// Records discarded at persistence barriers so far.

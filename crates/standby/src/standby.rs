@@ -57,10 +57,11 @@
 use crossbeam::channel::{self, Receiver, Sender};
 use rae_blockdev::{BlockDevice, MemDisk};
 use rae_shadowfs::{ReplayReport, ShadowFs, ShadowOpts};
+use rae_telemetry::{EventKind, Telemetry};
 use rae_vfs::{FileSystem, FileType, FsResult, OpRecord, OpenFlags};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 /// What the publisher does when the standby channel is full.
@@ -165,6 +166,9 @@ struct Shared {
     applied_records: AtomicU64,
     audits_run: AtomicU64,
     divergences: AtomicU64,
+    /// Highest lag (published − applied) seen so far, for the
+    /// telemetry high-water event.
+    lag_high_water: AtomicU64,
     health: AtomicU8,
 }
 
@@ -197,6 +201,7 @@ pub struct WarmStandby {
     shared: Arc<Shared>,
     opts: StandbyOpts,
     handle: Option<JoinHandle<()>>,
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl WarmStandby {
@@ -242,7 +247,15 @@ impl WarmStandby {
             shared,
             opts,
             handle: Some(handle),
+            telemetry: OnceLock::new(),
         })
+    }
+
+    /// Attach a telemetry handle: publish-side lag high-water marks and
+    /// coordinated-audit outcomes become flight-recorder events. First
+    /// call wins.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// Resume a standby from an already-caught-up shadow — the
@@ -275,6 +288,7 @@ impl WarmStandby {
             shared,
             opts,
             handle: Some(handle),
+            telemetry: OnceLock::new(),
         }
     }
 
@@ -286,7 +300,13 @@ impl WarmStandby {
             return Publish::Degraded;
         }
         self.shared.completed_seq.store(rec.seq, Ordering::Release);
-        self.shared.published_records.fetch_add(1, Ordering::AcqRel);
+        let published = self.shared.published_records.fetch_add(1, Ordering::AcqRel) + 1;
+        let lag = published.saturating_sub(self.shared.applied_records.load(Ordering::Acquire));
+        if lag > self.shared.lag_high_water.fetch_max(lag, Ordering::AcqRel) {
+            if let Some(t) = self.telemetry.get() {
+                t.event(EventKind::StandbyLag, lag, rec.seq, 0);
+            }
+        }
         let sent = match self.opts.lag_policy {
             LagPolicy::Block => self.tx.send(Msg::Record(rec)).is_ok(),
             LagPolicy::DropToColdReplay => self.tx.try_send(Msg::Record(rec)).is_ok(),
@@ -338,13 +358,25 @@ impl WarmStandby {
         let (reply_tx, reply_rx) = channel::bounded(1);
         if self.tx.send(Msg::Audit(reply_tx)).is_err() {
             self.shared.degrade();
+            self.audit_event(Err(&"apply thread gone".to_string()));
             return Err("standby apply thread is gone".into());
         }
-        match reply_rx.recv() {
+        let outcome = match reply_rx.recv() {
             Ok(outcome) => outcome,
             Err(_) => {
                 self.shared.degrade();
                 Err("standby apply thread exited during audit".into())
+            }
+        };
+        self.audit_event(outcome.as_ref());
+        outcome
+    }
+
+    fn audit_event(&self, outcome: Result<&AuditOutcome, &String>) {
+        if let Some(t) = self.telemetry.get() {
+            match outcome {
+                Ok(o) => t.event(EventKind::StandbyAudit, 0, o.compacted_blocks as u64, 0),
+                Err(_) => t.event(EventKind::StandbyAudit, 1, 0, 0),
             }
         }
     }

@@ -1,0 +1,340 @@
+//! The flight-recorder event vocabulary.
+//!
+//! Events are recorded as six `u64` words (see [`crate::ring`]); this
+//! module gives the words meaning: an [`EventKind`] code plus three
+//! kind-specific payload words, and the decoding/rendering used by the
+//! post-incident timeline.
+
+use crate::ring::RawEvent;
+use std::fmt::Write as _;
+
+/// What happened. Payload word meaning per kind:
+///
+/// | kind | `a` | `b` | `c` |
+/// |---|---|---|---|
+/// | `FaultInjected` | fault class (see [`fault_class_name`]) | block number | phase (0 normal, 1 recovery) |
+/// | `ErrorDetected` | op class code | errno | 0 |
+/// | `PanicCaught` | op class code | 0 | 0 |
+/// | `RecoveryStarted` | trigger (see [`trigger_name`]) | retained log length | 0 |
+/// | `RungEntered` | rung code (see [`rung_name`]) | 0 | 0 |
+/// | `RungFailed` | rung code | duration ns | 0 |
+/// | `RecoveryDone` | final rung code | duration ns | records replayed |
+/// | `StandbyLag` | lag high-water (records) | completed seq | 0 |
+/// | `StandbyAudit` | outcome (0 ok, 1 failed) | compacted/divergent blocks | 0 |
+/// | `Degraded` | 0 | 0 | 0 |
+/// | `Offline` | 0 | 0 | 0 |
+/// | `RetryAbsorbed` | attempts used | device op (0 r, 1 w, 2 flush) | 0 |
+/// | `RetryExhausted` | attempts used | device op | 0 |
+/// | `CacheEvictStale` | block number | shard index | 0 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A device-level fault fired (injected by the fault harness).
+    FaultInjected,
+    /// The RAE boundary saw a runtime error come back from the base.
+    ErrorDetected,
+    /// The RAE boundary caught a panic unwinding out of the base.
+    PanicCaught,
+    /// Recovery began.
+    RecoveryStarted,
+    /// A ladder rung was entered.
+    RungEntered,
+    /// A ladder rung failed (recovery demoted to the next rung).
+    RungFailed,
+    /// Recovery reached a terminal state.
+    RecoveryDone,
+    /// The standby apply-loop lag reached a new high-water mark.
+    StandbyLag,
+    /// A coordinated standby audit finished.
+    StandbyAudit,
+    /// The mount entered read-only degraded mode.
+    Degraded,
+    /// The mount went offline.
+    Offline,
+    /// The retrying device absorbed a transient fault.
+    RetryAbsorbed,
+    /// The retrying device exhausted its budget.
+    RetryExhausted,
+    /// The page cache evicted a page whose home location was stale.
+    CacheEvictStale,
+}
+
+impl EventKind {
+    /// All kinds, in code order.
+    pub const ALL: [EventKind; 14] = [
+        EventKind::FaultInjected,
+        EventKind::ErrorDetected,
+        EventKind::PanicCaught,
+        EventKind::RecoveryStarted,
+        EventKind::RungEntered,
+        EventKind::RungFailed,
+        EventKind::RecoveryDone,
+        EventKind::StandbyLag,
+        EventKind::StandbyAudit,
+        EventKind::Degraded,
+        EventKind::Offline,
+        EventKind::RetryAbsorbed,
+        EventKind::RetryExhausted,
+        EventKind::CacheEvictStale,
+    ];
+
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        Self::ALL.iter().position(|&k| k == self).unwrap_or(0) as u64
+    }
+
+    /// Decode a wire code (`None` for unknown codes, e.g. from a
+    /// torn-then-accepted slot — callers skip those).
+    #[must_use]
+    pub fn from_code(code: u64) -> Option<EventKind> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// Stable snake-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::ErrorDetected => "error_detected",
+            EventKind::PanicCaught => "panic_caught",
+            EventKind::RecoveryStarted => "recovery_started",
+            EventKind::RungEntered => "rung_entered",
+            EventKind::RungFailed => "rung_failed",
+            EventKind::RecoveryDone => "recovery_done",
+            EventKind::StandbyLag => "standby_lag",
+            EventKind::StandbyAudit => "standby_audit",
+            EventKind::Degraded => "degraded",
+            EventKind::Offline => "offline",
+            EventKind::RetryAbsorbed => "retry_absorbed",
+            EventKind::RetryExhausted => "retry_exhausted",
+            EventKind::CacheEvictStale => "cache_evict_stale",
+        }
+    }
+}
+
+/// Ladder rung wire codes (shared with the core's `LadderRung` order).
+#[must_use]
+pub fn rung_name(code: u64) -> &'static str {
+    match code {
+        0 => "warm",
+        1 => "cold",
+        2 => "cold_retry",
+        3 => "degraded",
+        4 => "offline",
+        _ => "?",
+    }
+}
+
+/// Recovery trigger wire codes.
+#[must_use]
+pub fn trigger_name(code: u64) -> &'static str {
+    match code {
+        0 => "detected_error",
+        1 => "caught_panic",
+        2 => "warn_policy",
+        _ => "?",
+    }
+}
+
+/// Device-level fault class wire codes (from the faulty-disk wrapper).
+#[must_use]
+pub fn fault_class_name(code: u64) -> &'static str {
+    match code {
+        0 => "read_fail",
+        1 => "write_fail",
+        2 => "flush_fail",
+        3 => "corrupt_read",
+        4 => "write_cut",
+        _ => "?",
+    }
+}
+
+/// Device op wire codes (for retry and I/O-latency events).
+#[must_use]
+pub fn dev_op_name(code: u64) -> &'static str {
+    match code {
+        0 => "read",
+        1 => "write",
+        2 => "flush",
+        _ => "?",
+    }
+}
+
+/// A decoded flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Record-time ticket (total order across all events).
+    pub ticket: u64,
+    /// Nanoseconds since the telemetry anchor (monotonic).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (kind-specific, see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+impl Event {
+    /// Decode a raw ring entry (`None` for unknown kind codes).
+    #[must_use]
+    pub fn decode(raw: &RawEvent) -> Option<Event> {
+        Some(Event {
+            ticket: raw.ticket,
+            ts_ns: raw.ts_ns,
+            kind: EventKind::from_code(raw.code)?,
+            a: raw.a,
+            b: raw.b,
+            c: raw.c,
+        })
+    }
+
+    /// One human line describing the event (without the timestamp).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let (a, b, c) = (self.a, self.b, self.c);
+        match self.kind {
+            EventKind::FaultInjected => format!(
+                "fault injected: {} block={} phase={}",
+                fault_class_name(a),
+                b,
+                if c == 1 { "recovery" } else { "normal" }
+            ),
+            EventKind::ErrorDetected => {
+                format!(
+                    "error detected: op={} errno={b}",
+                    crate::OpClass::name_of(a)
+                )
+            }
+            EventKind::PanicCaught => {
+                format!("panic caught: op={}", crate::OpClass::name_of(a))
+            }
+            EventKind::RecoveryStarted => {
+                format!("recovery started: trigger={} log_len={b}", trigger_name(a))
+            }
+            EventKind::RungEntered => format!("rung entered: {}", rung_name(a)),
+            EventKind::RungFailed => format!(
+                "rung failed: {} after {:.2}ms",
+                rung_name(a),
+                b as f64 / 1e6
+            ),
+            EventKind::RecoveryDone => format!(
+                "recovery done: rung={} total={:.2}ms replayed={c}",
+                rung_name(a),
+                b as f64 / 1e6
+            ),
+            EventKind::StandbyLag => format!("standby lag high-water: {a} (completed_seq={b})"),
+            EventKind::StandbyAudit => format!(
+                "standby audit: {} ({} blocks)",
+                if a == 0 { "ok" } else { "FAILED" },
+                b
+            ),
+            EventKind::Degraded => "entered read-only degraded mode".to_string(),
+            EventKind::Offline => "went offline".to_string(),
+            EventKind::RetryAbsorbed => format!(
+                "transient fault absorbed: {} after {a} attempts",
+                dev_op_name(b)
+            ),
+            EventKind::RetryExhausted => format!(
+                "retry budget exhausted: {} after {a} attempts",
+                dev_op_name(b)
+            ),
+            EventKind::CacheEvictStale => {
+                format!("cache evicted stale-at-home page: block={a} shard={b}")
+            }
+        }
+    }
+}
+
+/// Render a drained timeline, focused on the last incident: output
+/// starts a few events before the last recovery trigger (fault, error,
+/// or panic preceding the last `RecoveryStarted`) when one exists,
+/// otherwise shows everything retained. Timestamps are relative to the
+/// first rendered event.
+#[must_use]
+pub fn render_timeline(events: &[Event], dropped: u64) -> String {
+    if events.is_empty() {
+        return "flight recorder empty\n".to_string();
+    }
+    let last_start = events
+        .iter()
+        .rposition(|e| e.kind == EventKind::RecoveryStarted);
+    let from = last_start.map_or(0, |idx| {
+        // back up to the trigger evidence just before the recovery
+        events[..idx]
+            .iter()
+            .rposition(|e| {
+                !matches!(
+                    e.kind,
+                    EventKind::FaultInjected
+                        | EventKind::ErrorDetected
+                        | EventKind::PanicCaught
+                        | EventKind::RetryAbsorbed
+                )
+            })
+            .map_or(0, |boundary| boundary + 1)
+    });
+    let window = &events[from..];
+    let t0 = window[0].ts_ns;
+    let mut out = format!(
+        "flight recorder: {} event(s){}{}\n",
+        window.len(),
+        if from > 0 {
+            format!(" (showing last incident; {from} earlier retained)")
+        } else {
+            String::new()
+        },
+        if dropped > 0 {
+            format!(", {dropped} lost to wraparound")
+        } else {
+            String::new()
+        },
+    );
+    for e in window {
+        let _ = writeln!(
+            out,
+            "{:>12.3}ms  {}",
+            (e.ts_ns - t0) as f64 / 1e6,
+            e.describe()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(999), None);
+    }
+
+    #[test]
+    fn timeline_focuses_on_last_incident() {
+        let mk = |ticket: u64, ts: u64, kind: EventKind| Event {
+            ticket,
+            ts_ns: ts,
+            kind,
+            a: 1,
+            b: 0,
+            c: 0,
+        };
+        let events = vec![
+            mk(0, 0, EventKind::StandbyLag),
+            mk(1, 10, EventKind::FaultInjected),
+            mk(2, 20, EventKind::RecoveryStarted),
+            mk(3, 30, EventKind::RecoveryDone),
+        ];
+        let out = render_timeline(&events, 0);
+        assert!(out.contains("fault injected"), "{out}");
+        assert!(out.contains("recovery started"), "{out}");
+        assert!(!out.contains("standby lag"), "{out}");
+        assert!(out.contains("1 earlier retained"), "{out}");
+    }
+}

@@ -1,0 +1,417 @@
+//! `rae-telemetry`: always-on-cheap observability for the RAE stack.
+//!
+//! Two primitives, both lock-free and allocation-free on the record
+//! path:
+//!
+//! - [`LatencyHistogram`]: log-bucketed (HDR-style) atomic histograms,
+//!   kept per VFS op class, per device-I/O phase, and for a few
+//!   internal phases (journal commit, page-cache miss fill).
+//! - [`EventRing`]: a fixed-capacity concurrent ring of structured,
+//!   monotonically-timestamped events — the flight recorder drained as
+//!   a post-incident timeline.
+//!
+//! A single [`Telemetry`] handle owns both and is shared (`Arc`) by
+//! every layer. Recording is gated by one relaxed [`AtomicBool`] so
+//! the whole subsystem can be switched off at runtime to measure its
+//! own overhead; when disabled the hot-path cost is that single load.
+//!
+//! The crate has zero dependencies (not even on the other `rae-*`
+//! crates) so any layer can use it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+mod ring;
+mod snapshot;
+
+pub use event::{
+    dev_op_name, fault_class_name, render_timeline, rung_name, trigger_name, Event, EventKind,
+};
+pub use hist::{HistogramSummary, LatencyHistogram, NUM_BUCKETS};
+pub use ring::{EventRing, RawEvent};
+pub use snapshot::TelemetrySnapshot;
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// VFS operation classes tracked with per-class latency histograms at
+/// the RAE API boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Data reads.
+    Read,
+    /// Data writes (write, append, truncate).
+    Write,
+    /// Namespace creation (create, mkdir, link, symlink, rename).
+    Create,
+    /// Namespace removal (unlink, rmdir).
+    Unlink,
+    /// Directory listing.
+    Readdir,
+    /// Attribute reads (stat, statfs, readlink).
+    Stat,
+    /// Durability (fsync, sync).
+    Fsync,
+    /// Everything else (open, close, setattr, …).
+    Other,
+}
+
+impl OpClass {
+    /// All classes, in code order.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::Read,
+        OpClass::Write,
+        OpClass::Create,
+        OpClass::Unlink,
+        OpClass::Readdir,
+        OpClass::Stat,
+        OpClass::Fsync,
+        OpClass::Other,
+    ];
+
+    /// Stable wire code (index into [`OpClass::ALL`]).
+    #[must_use]
+    pub fn code(self) -> u64 {
+        Self::ALL.iter().position(|&k| k == self).unwrap_or(7) as u64
+    }
+
+    /// Stable lower-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::Read => "read",
+            OpClass::Write => "write",
+            OpClass::Create => "create",
+            OpClass::Unlink => "unlink",
+            OpClass::Readdir => "readdir",
+            OpClass::Stat => "stat",
+            OpClass::Fsync => "fsync",
+            OpClass::Other => "other",
+        }
+    }
+
+    /// Name for a wire code (used by event rendering).
+    #[must_use]
+    pub fn name_of(code: u64) -> &'static str {
+        Self::ALL.get(code as usize).map_or("?", |c| c.name())
+    }
+}
+
+/// Device I/O operations timed per phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DevOp {
+    /// Block read.
+    Read,
+    /// Block write.
+    Write,
+    /// Flush.
+    Flush,
+}
+
+impl DevOp {
+    /// All device ops, in code order.
+    pub const ALL: [DevOp; 3] = [DevOp::Read, DevOp::Write, DevOp::Flush];
+
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        Self::ALL.iter().position(|&k| k == self).unwrap_or(0) as u64
+    }
+
+    /// Stable lower-case name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DevOp::Read => "read",
+            DevOp::Write => "write",
+            DevOp::Flush => "flush",
+        }
+    }
+}
+
+/// Default flight-recorder capacity.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// Latency-sampling rate for API-boundary ops: [`Telemetry::op_clock`]
+/// times one op in this many per thread (must be a power of two).
+pub const OP_SAMPLE: u64 = 8;
+
+thread_local! {
+    /// Per-thread op tick driving the 1-in-[`OP_SAMPLE`] latency
+    /// sampling — thread-local so the hot path pays no shared
+    /// read-modify-write for the sampling decision itself.
+    static OP_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The shared telemetry handle: one per mount, `Arc`-cloned into every
+/// layer that records.
+pub struct Telemetry {
+    enabled: AtomicBool,
+    anchor: Instant,
+    op_hist: [LatencyHistogram; 8],
+    /// Device I/O histograms: `[dev_op][phase]` with phase 0 = normal,
+    /// 1 = recovery.
+    dev_hist: [[LatencyHistogram; 2]; 3],
+    journal_commit: LatencyHistogram,
+    cache_fill: LatencyHistogram,
+    ring: EventRing,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .field("events_recorded", &self.ring.recorded())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// A fresh enabled handle with the default ring capacity.
+    #[must_use]
+    pub fn new() -> Arc<Telemetry> {
+        Arc::new(Telemetry::default())
+    }
+
+    /// A fresh enabled handle with a custom ring capacity.
+    #[must_use]
+    pub fn with_capacity(ring_capacity: usize) -> Telemetry {
+        Telemetry {
+            enabled: AtomicBool::new(true),
+            anchor: Instant::now(),
+            op_hist: std::array::from_fn(|_| LatencyHistogram::new()),
+            dev_hist: std::array::from_fn(|_| std::array::from_fn(|_| LatencyHistogram::new())),
+            journal_commit: LatencyHistogram::new(),
+            cache_fill: LatencyHistogram::new(),
+            ring: EventRing::new(ring_capacity),
+        }
+    }
+
+    /// Whether recording is on (one relaxed load — the entire hot-path
+    /// cost when telemetry is switched off).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Switch recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// Monotonic nanoseconds since this handle was created.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.anchor.elapsed().as_nanos() as u64
+    }
+
+    /// Start a latency measurement: `Some(Instant)` when recording is
+    /// on, `None` (free) when off. Pair with one of the `*_observed`
+    /// methods.
+    #[must_use]
+    pub fn clock(&self) -> Option<Instant> {
+        if self.enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Start a *sampled* API-boundary op measurement: times one op in
+    /// [`OP_SAMPLE`] per thread and returns `None` for the rest (the
+    /// matching [`Telemetry::op_observed`] still counts those exactly).
+    /// Sub-microsecond cache-hit ops can't afford two clock reads each;
+    /// quantiles from a 1-in-8 subset are statistically equivalent
+    /// while the amortized cost drops below the op itself.
+    #[must_use]
+    pub fn op_clock(&self) -> Option<Instant> {
+        if !self.enabled() {
+            return None;
+        }
+        OP_TICK
+            .with(|t| {
+                let v = t.get().wrapping_add(1);
+                t.set(v);
+                v & (OP_SAMPLE - 1) == 0
+            })
+            .then(Instant::now)
+    }
+
+    /// Record an API-boundary op latency sample in nanoseconds.
+    pub fn record_op_ns(&self, class: OpClass, ns: u64) {
+        if self.enabled() {
+            self.op_hist[class.code() as usize].record(ns);
+        }
+    }
+
+    /// Finish an op measurement started with [`Telemetry::op_clock`]:
+    /// a timed sample lands in the histogram buckets, an unsampled op
+    /// still bumps the exact per-class count.
+    pub fn op_observed(&self, class: OpClass, started: Option<Instant>) {
+        if !self.enabled() {
+            return;
+        }
+        let h = &self.op_hist[class.code() as usize];
+        match started {
+            Some(t0) => h.record(t0.elapsed().as_nanos() as u64),
+            None => h.note(),
+        }
+    }
+
+    /// Record a device-I/O latency sample in nanoseconds.
+    pub fn record_dev_ns(&self, op: DevOp, recovery_phase: bool, ns: u64) {
+        if self.enabled() {
+            self.dev_hist[op.code() as usize][usize::from(recovery_phase)].record(ns);
+        }
+    }
+
+    /// Finish a device-I/O measurement started with [`Telemetry::clock`].
+    pub fn dev_observed(&self, op: DevOp, recovery_phase: bool, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.record_dev_ns(op, recovery_phase, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Record a journal-commit duration in nanoseconds.
+    pub fn record_journal_commit_ns(&self, ns: u64) {
+        if self.enabled() {
+            self.journal_commit.record(ns);
+        }
+    }
+
+    /// Record a page-cache miss fill (device read under a miss) in
+    /// nanoseconds.
+    pub fn record_cache_fill_ns(&self, ns: u64) {
+        if self.enabled() {
+            self.cache_fill.record(ns);
+        }
+    }
+
+    /// Record a flight-recorder event (timestamped now).
+    pub fn event(&self, kind: EventKind, a: u64, b: u64, c: u64) {
+        if self.enabled() {
+            self.ring.record(self.now_ns(), kind.code(), a, b, c);
+        }
+    }
+
+    /// Drain the flight recorder: decoded events oldest-first plus the
+    /// wraparound loss count. Non-destructive.
+    #[must_use]
+    pub fn timeline(&self) -> (Vec<Event>, u64) {
+        let (raw, dropped) = self.ring.snapshot();
+        (raw.iter().filter_map(Event::decode).collect(), dropped)
+    }
+
+    /// Histogram for one op class (for merging or direct inspection).
+    #[must_use]
+    pub fn op_histogram(&self, class: OpClass) -> &LatencyHistogram {
+        &self.op_hist[class.code() as usize]
+    }
+
+    /// Histogram for one device op + phase.
+    #[must_use]
+    pub fn dev_histogram(&self, op: DevOp, recovery_phase: bool) -> &LatencyHistogram {
+        &self.dev_hist[op.code() as usize][usize::from(recovery_phase)]
+    }
+
+    /// Point-in-time summary of every histogram plus flight-recorder
+    /// totals.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            enabled: self.enabled(),
+            ops: OpClass::ALL
+                .iter()
+                .map(|&c| (c.name(), self.op_histogram(c).summary()))
+                .collect(),
+            device: DevOp::ALL
+                .iter()
+                .flat_map(|&op| {
+                    [(false, "normal"), (true, "recovery")]
+                        .into_iter()
+                        .map(move |(rec, phase)| {
+                            (
+                                format!("{}/{}", op.name(), phase),
+                                self.dev_histogram(op, rec).summary(),
+                            )
+                        })
+                })
+                .collect(),
+            journal_commit: self.journal_commit.summary(),
+            cache_fill: self.cache_fill.summary(),
+            events_recorded: self.ring.recorded(),
+            events_dropped: self.ring.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::new();
+        t.set_enabled(false);
+        t.record_op_ns(OpClass::Read, 100);
+        t.event(EventKind::Degraded, 0, 0, 0);
+        assert!(t.clock().is_none());
+        assert_eq!(t.op_histogram(OpClass::Read).count(), 0);
+        assert_eq!(t.timeline().0.len(), 0);
+        t.set_enabled(true);
+        t.record_op_ns(OpClass::Read, 100);
+        assert_eq!(t.op_histogram(OpClass::Read).count(), 1);
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let t = Telemetry::new();
+        t.event(EventKind::RecoveryStarted, 0, 0, 0);
+        t.event(EventKind::RecoveryDone, 1, 0, 0);
+        let (events, _) = t.timeline();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].ts_ns <= events[1].ts_ns);
+        assert!(events[0].ticket < events[1].ticket);
+    }
+
+    #[test]
+    fn snapshot_covers_all_tables() {
+        let t = Telemetry::new();
+        t.record_op_ns(OpClass::Fsync, 5_000);
+        t.record_dev_ns(DevOp::Write, true, 9_000);
+        t.record_journal_commit_ns(20_000);
+        t.record_cache_fill_ns(8_000);
+        let snap = t.snapshot();
+        assert_eq!(snap.ops.len(), 8);
+        assert_eq!(snap.device.len(), 6);
+        assert_eq!(
+            snap.ops
+                .iter()
+                .find(|(n, _)| *n == "fsync")
+                .unwrap()
+                .1
+                .count,
+            1
+        );
+        assert_eq!(
+            snap.device
+                .iter()
+                .find(|(n, _)| n == "write/recovery")
+                .unwrap()
+                .1
+                .count,
+            1
+        );
+        assert_eq!(snap.journal_commit.count, 1);
+        assert_eq!(snap.cache_fill.count, 1);
+    }
+}

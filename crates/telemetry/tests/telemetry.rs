@@ -1,0 +1,259 @@
+//! Telemetry primitive tests: concurrent histogram recording with
+//! exact-count invariants, quantile correctness against a sorted
+//! reference, and ring-buffer wraparound/drain-order under concurrent
+//! writers.
+
+use rae_telemetry::{EventKind, EventRing, LatencyHistogram, Telemetry};
+use std::sync::Arc;
+use std::thread;
+
+/// Deterministic xorshift64* — the crate has no dependencies, so the
+/// tests roll their own randomness.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let hist = Arc::new(LatencyHistogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                let mut rng = XorShift(t + 1);
+                let mut sum = 0u64;
+                let mut max = 0u64;
+                for _ in 0..PER_THREAD {
+                    let v = rng.next() % 1_000_000;
+                    hist.record(v);
+                    sum += v;
+                    max = max.max(v);
+                }
+                (sum, max)
+            })
+        })
+        .collect();
+    let mut expect_sum = 0u64;
+    let mut expect_max = 0u64;
+    for h in handles {
+        let (sum, max) = h.join().expect("recorder thread");
+        expect_sum += sum;
+        expect_max = expect_max.max(max);
+    }
+    // exact-count invariants: no sample lost or double-counted
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    assert_eq!(hist.sum(), expect_sum);
+    assert_eq!(hist.max(), expect_max);
+    let s = hist.summary();
+    assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+}
+
+#[test]
+fn quantiles_match_sorted_reference() {
+    let mut rng = XorShift(42);
+    let mut samples: Vec<u64> = Vec::with_capacity(50_000);
+    let hist = LatencyHistogram::new();
+    for _ in 0..50_000 {
+        // mixed magnitudes: exercise exact buckets and high octaves
+        let v = match rng.next() % 4 {
+            0 => rng.next() % 32,
+            1 => rng.next() % 10_000,
+            2 => rng.next() % 10_000_000,
+            _ => rng.next() % 10_000_000_000,
+        };
+        hist.record(v);
+        samples.push(v);
+    }
+    samples.sort_unstable();
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let reference = samples[rank - 1];
+        let got = hist.quantile(q);
+        // the histogram reports the bucket's lower bound: never above
+        // the reference, and within one sub-bucket (1/32) below it
+        assert!(got <= reference, "q={q}: got {got} > reference {reference}");
+        let tolerance = reference / 32 + 1;
+        assert!(
+            reference - got <= tolerance,
+            "q={q}: got {got}, reference {reference}, tolerance {tolerance}"
+        );
+    }
+    assert_eq!(hist.max(), *samples.last().unwrap());
+}
+
+#[test]
+fn ring_wraparound_and_order_under_concurrent_writers() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    const CAP: usize = 512;
+    let ring = Arc::new(EventRing::new(CAP));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // self-checking payload: c must equal a ^ b
+                    ring.record(i, 0, t, i, t ^ i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    let total = THREADS * PER_THREAD;
+    assert_eq!(ring.recorded(), total);
+    // wraparound losses are exact; collisions (a writer stalled a whole
+    // lap) only add to the count
+    assert!(ring.dropped() >= total - CAP as u64, "{}", ring.dropped());
+    let (events, dropped) = ring.snapshot();
+    assert_eq!(dropped, ring.dropped());
+    // quiescent ring: every slot holds a fully-published event
+    assert_eq!(events.len(), CAP);
+    for pair in events.windows(2) {
+        assert!(pair[0].ticket < pair[1].ticket, "drain order broken");
+    }
+    // Nearly every surviving ticket is from the newest lap: a slot can
+    // keep an older one only when a stalled writer held its lock at the
+    // exact moment the final lap's claim arrived, and at most
+    // THREADS - 1 writers can be stalled at once.
+    let newest = events
+        .iter()
+        .filter(|e| e.ticket >= total - CAP as u64)
+        .count();
+    assert!(newest >= CAP - THREADS as usize, "{newest}/{CAP}");
+    for e in &events {
+        assert_eq!(e.c, e.a ^ e.b, "torn payload surfaced: {e:?}");
+    }
+}
+
+#[test]
+fn colliding_writers_never_tear_a_slot() {
+    // A 2-slot ring hammered by 4 threads makes same-slot collisions
+    // the common case instead of a once-in-a-blue-moon stall: every
+    // record() is a potential lap-apart conflict. The ring must drop
+    // the losers (counted) rather than ever publish interleaved words.
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 20_000;
+    let ring = Arc::new(EventRing::new(2));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    ring.record(i, 0, t, i, t ^ i);
+                    let (events, _) = ring.snapshot();
+                    for e in events {
+                        assert_eq!(e.c, e.a ^ e.b, "torn mid-flight: {e:?}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("writer thread");
+    }
+    assert_eq!(ring.recorded(), THREADS * PER_THREAD);
+    let (events, _) = ring.snapshot();
+    assert!(!events.is_empty() && events.len() <= 2);
+    for e in &events {
+        assert_eq!(e.c, e.a ^ e.b, "torn at quiescence: {e:?}");
+    }
+}
+
+#[test]
+fn ring_snapshot_tolerates_live_writers() {
+    let ring = Arc::new(EventRing::new(64));
+    let writers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..10_000 {
+                    ring.record(i, 0, t, i, t ^ i);
+                }
+            })
+        })
+        .collect();
+    // drain repeatedly while writes are in flight: accepted slots must
+    // never be torn, and tickets must stay strictly ordered
+    for _ in 0..200 {
+        let (events, _) = ring.snapshot();
+        for pair in events.windows(2) {
+            assert!(pair[0].ticket < pair[1].ticket);
+        }
+        for e in &events {
+            assert_eq!(e.c, e.a ^ e.b, "torn payload under live writers: {e:?}");
+        }
+    }
+    for h in writers {
+        h.join().expect("writer thread");
+    }
+}
+
+#[test]
+fn telemetry_handle_end_to_end() {
+    let t = Telemetry::new();
+    t.event(EventKind::FaultInjected, 0, 7, 0);
+    t.event(EventKind::RecoveryStarted, 0, 3, 0);
+    t.event(EventKind::RungEntered, 1, 0, 0);
+    t.event(EventKind::RecoveryDone, 1, 1_000_000, 3);
+    let (events, dropped) = t.timeline();
+    let rendered = rae_telemetry::render_timeline(&events, dropped);
+    assert!(rendered.contains("fault injected"), "{rendered}");
+    assert!(rendered.contains("recovery started"), "{rendered}");
+    assert!(rendered.contains("rung entered: cold"), "{rendered}");
+    assert!(rendered.contains("recovery done"), "{rendered}");
+    // the incident ordering is coherent: fault before start before done
+    let pos = |needle: &str| rendered.find(needle).unwrap();
+    assert!(pos("fault injected") < pos("recovery started"));
+    assert!(pos("recovery started") < pos("rung entered"));
+    assert!(pos("rung entered") < pos("recovery done"));
+}
+
+#[test]
+fn sampled_op_timing_keeps_counts_exact() {
+    use rae_telemetry::{OpClass, OP_SAMPLE};
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 8_000;
+    let tele = Telemetry::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let tele = Arc::clone(&tele);
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let t0 = tele.op_clock();
+                    tele.op_observed(OpClass::Read, t0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let h = tele.op_histogram(OpClass::Read);
+    // every op is counted exactly, even though only 1-in-OP_SAMPLE
+    // paid for a timing sample
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+    assert_eq!(h.samples(), THREADS * (PER_THREAD / OP_SAMPLE));
+    let s = h.summary();
+    assert_eq!(s.count, THREADS * PER_THREAD);
+    assert_eq!(s.samples, THREADS * (PER_THREAD / OP_SAMPLE));
+
+    // gated off, neither the clock nor the count fires
+    tele.set_enabled(false);
+    let t0 = tele.op_clock();
+    assert!(t0.is_none());
+    tele.op_observed(OpClass::Read, t0);
+    assert_eq!(h.count(), THREADS * PER_THREAD);
+}

@@ -1,0 +1,255 @@
+//! End-to-end telemetry: flight-recorder timelines, per-class latency
+//! histograms, per-rung recovery timing, and the counter-visibility
+//! guarantees (stats bumped inside a failing rung must survive the
+//! unwind; standby audit totals must survive standby teardown).
+
+use rae::{LadderRung, RaeConfig, RaeFs, StandbyOpts};
+use rae_basefs::BaseFsConfig;
+use rae_blockdev::{BlockDevice, MemDisk};
+use rae_faults::{BugSpec, Effect, FaultRegistry, Site, Trigger};
+use rae_fsformat::{mkfs, MkfsParams};
+use rae_telemetry::{EventKind, OpClass};
+use rae_vfs::{FileSystem, OpenFlags};
+use std::sync::Arc;
+
+fn quiet_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected filesystem bug"));
+            if !is_injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+fn setup_with(faults: FaultRegistry, standby: StandbyOpts) -> RaeFs {
+    quiet_panics();
+    let dev = Arc::new(MemDisk::new(8192));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 8192,
+            inode_count: 2048,
+            journal_blocks: 256,
+        },
+    )
+    .unwrap();
+    let config = RaeConfig {
+        base: BaseFsConfig {
+            faults,
+            ..BaseFsConfig::default()
+        },
+        standby,
+        ..RaeConfig::default()
+    };
+    RaeFs::mount(dev as Arc<dyn BlockDevice>, config).unwrap()
+}
+
+fn setup(faults: FaultRegistry) -> RaeFs {
+    setup_with(faults, StandbyOpts::default())
+}
+
+#[test]
+fn timeline_renders_a_coherent_incident() {
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        7,
+        "boom-panic",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::Panic,
+    ));
+    let fs = setup(faults);
+
+    fs.mkdir("/fine").unwrap();
+    fs.mkdir("/boom").unwrap(); // panic → masked by recovery
+    assert!(fs.stat("/boom").is_ok());
+
+    let tele = fs.telemetry();
+    let (events, dropped) = tele.timeline();
+    assert_eq!(dropped, 0);
+    let pos = |kind: EventKind| events.iter().position(|e| e.kind == kind);
+    let panic_at = pos(EventKind::PanicCaught).expect("panic event");
+    let start_at = pos(EventKind::RecoveryStarted).expect("start event");
+    let rung_at = pos(EventKind::RungEntered).expect("rung event");
+    let done_at = pos(EventKind::RecoveryDone).expect("done event");
+    assert!(
+        panic_at < start_at && start_at < rung_at && rung_at < done_at,
+        "incident order: panic → start → rung → done"
+    );
+    // monotone timestamps and a cold-rung terminal code
+    assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    assert_eq!(events[done_at].a, LadderRung::Cold.code());
+
+    let rendered = rae_telemetry::render_timeline(&events, dropped);
+    assert!(rendered.contains("panic caught"), "{rendered}");
+    assert!(rendered.contains("recovery started"), "{rendered}");
+    assert!(rendered.contains("rung entered: cold"), "{rendered}");
+    assert!(rendered.contains("recovery done"), "{rendered}");
+}
+
+#[test]
+fn api_boundary_histograms_count_per_class() {
+    let fs = setup(FaultRegistry::new());
+    fs.mkdir("/d").unwrap();
+    let fd = fs
+        .open("/d/f", OpenFlags::RDWR | OpenFlags::CREATE)
+        .unwrap();
+    fs.write(fd, 0, b"hello").unwrap();
+    fs.read(fd, 0, 5).unwrap();
+    fs.read(fd, 0, 5).unwrap();
+    fs.stat("/d/f").unwrap();
+    fs.readdir("/d").unwrap();
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+    fs.unlink("/d/f").unwrap();
+
+    let tele = fs.telemetry();
+    assert_eq!(tele.op_histogram(OpClass::Read).count(), 2);
+    assert_eq!(tele.op_histogram(OpClass::Write).count(), 1);
+    assert_eq!(tele.op_histogram(OpClass::Create).count(), 2); // mkdir + create
+    assert_eq!(tele.op_histogram(OpClass::Unlink).count(), 1);
+    assert_eq!(tele.op_histogram(OpClass::Readdir).count(), 1);
+    assert_eq!(tele.op_histogram(OpClass::Fsync).count(), 1);
+    assert!(tele.op_histogram(OpClass::Stat).count() >= 1);
+    // journal commits happened (mkdir/create paths force them eventually)
+    let snap = tele.snapshot();
+    assert!(snap.ops.iter().any(|(_, s)| s.count > 0));
+}
+
+#[test]
+fn per_rung_durations_reported_and_failed_rungs_timed() {
+    // first (cold) shadow replay fails once; the cold-retry rung lands
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        11,
+        "dir-bug",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::DetectedError,
+    ));
+    faults.arm(BugSpec::new(
+        12,
+        "replay-bug-once",
+        Site::RecoveryReplay,
+        Trigger::NthMatch(1),
+        Effect::DetectedError,
+    ));
+    let fs = setup(faults);
+
+    fs.mkdir("/ok").unwrap();
+    fs.mkdir("/boom").unwrap(); // recovery: cold fails, cold_retry lands
+
+    let reports = fs.recovery_reports();
+    assert_eq!(reports.len(), 1);
+    let r = &reports[0];
+    assert_eq!(r.rung, LadderRung::ColdRetry);
+    assert_eq!(r.failed_rungs.len(), 1);
+    assert_eq!(r.failed_rungs[0].rung, LadderRung::Cold);
+    assert!(r.failed_rungs[0].duration.as_nanos() > 0);
+    assert!(r.rung_time.as_nanos() > 0);
+    assert!(r.duration >= r.rung_time);
+
+    let stats = fs.stats();
+    assert!(stats.rung_cold_time_ns > 0);
+    assert!(stats.rung_cold_retry_time_ns > 0);
+    assert_eq!(stats.rung_warm_time_ns, 0);
+    // the lump field is kept and covers at least the rung breakdown
+    assert!(stats.recovery_time_ns >= stats.rung_cold_time_ns + stats.rung_cold_retry_time_ns);
+}
+
+#[test]
+fn counters_bumped_inside_failing_rungs_stay_visible() {
+    // every rung panics: the ladder runs all the way to degraded, and
+    // every panic caught inside a failed rung must still be counted
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        21,
+        "dir-bug",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::DetectedError,
+    ));
+    faults.arm(BugSpec::new(
+        22,
+        "replay-panics-always",
+        Site::RecoveryReplay,
+        Trigger::Always,
+        Effect::Panic,
+    ));
+    let fs = setup(faults);
+
+    fs.mkdir("/ok").unwrap();
+    let _ = fs.mkdir("/boom"); // ladder: cold panics, cold_retry panics, degrade
+
+    let stats = fs.stats();
+    assert_eq!(stats.detected_errors, 1);
+    assert!(
+        stats.panics_caught >= 2,
+        "panics inside failed rungs must stay counted: {}",
+        stats.panics_caught
+    );
+    assert!(stats.degraded);
+    assert_eq!(stats.ladder_degraded, 1);
+    let reports = fs.recovery_reports();
+    let r = reports.last().unwrap();
+    assert_eq!(r.rung, LadderRung::Degraded);
+    assert!(r.failed_rungs.iter().all(|f| f.duration.as_nanos() > 0));
+
+    let (events, _) = fs.telemetry().timeline();
+    let failed: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::RungFailed)
+        .collect();
+    assert!(failed.len() >= 2, "both shadow rungs recorded failures");
+    assert!(events.iter().any(|e| e.kind == EventKind::Degraded));
+}
+
+#[test]
+fn standby_audit_totals_survive_teardown() {
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        31,
+        "late-bug",
+        Site::DirModify,
+        Trigger::PathContains("boom".into()),
+        Effect::DetectedError,
+    ));
+    let fs = setup_with(
+        faults,
+        StandbyOpts {
+            enabled: true,
+            audit_interval_ops: 4,
+            ..StandbyOpts::default()
+        },
+    );
+
+    for i in 0..9 {
+        fs.mkdir(&format!("/d{i}")).unwrap();
+    }
+    let before = fs.stats();
+    assert!(
+        before.standby_audits_run >= 2,
+        "audits ran: {}",
+        before.standby_audits_run
+    );
+
+    // recovery consumes the standby handle (handover) and re-arms a
+    // fresh one whose own counters start at zero — the totals must not
+    // reset with it
+    fs.mkdir("/boom").unwrap();
+    let after = fs.stats();
+    assert!(
+        after.standby_audits_run >= before.standby_audits_run,
+        "audit totals survive standby teardown: {} -> {}",
+        before.standby_audits_run,
+        after.standby_audits_run
+    );
+    assert!(after.standby_active, "standby re-armed after recovery");
+}
