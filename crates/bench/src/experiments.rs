@@ -1588,6 +1588,276 @@ pub fn e9_tail_latency(scale: Scale, smoke: bool) -> String {
 }
 
 // ---------------------------------------------------------------------
+// E10: multi-tenant server under fault (the server subsystem end to
+// end — real sockets, Zipfian tenants, faults injected mid-traffic)
+// ---------------------------------------------------------------------
+
+/// E10: run the fault ladder against a *live* multi-tenant server.
+///
+/// Four volumes behind one `rae-server` on a loopback socket, hundreds
+/// of logical clients multiplexed over real TCP connections with
+/// Zipf-skewed file popularity, one tenant on a deliberately tight op
+/// quota. At ~30% progress two fault classes land mid-traffic — a
+/// panic in vol0's path-lookup and a detected error in vol1's write
+/// path. RAE must mask both while traffic continues; the interesting
+/// numbers are the per-tenant tail latencies and the *client-observed
+/// unavailability window* around each fault (gap between the last
+/// success before and the first success after, as seen from the
+/// socket side).
+///
+/// Side effect: writes `BENCH_server_traffic.json` into the working
+/// directory (the committed artifact at the repo root).
+///
+/// # Panics
+///
+/// Panics if the server cannot bind, a connection drops, a fault
+/// escapes masking, or a volume ends the run wedged (neither Active
+/// nor Degraded).
+#[must_use]
+pub fn e10_server_traffic(smoke: bool) -> String {
+    use rae_server::{Client, Server, ServerConfig, VolumeManager};
+    use rae_workloads::{populate_volumes, start_load, unavailability_window, LoadGenConfig};
+    use std::time::Instant;
+
+    // wire codes: Site::ALL index / effect table index
+    const SITE_PATH_LOOKUP: u8 = 1;
+    const SITE_WRITE: u8 = 4;
+    const EFFECT_DETECTED_ERROR: u8 = 0;
+    const EFFECT_PANIC: u8 = 1;
+
+    let (connections, clients_per_connection, ops_per_client) =
+        if smoke { (16, 4, 80) } else { (64, 16, 40) };
+    let volumes_wanted = 4usize;
+    let files_per_volume = 32usize;
+    let file_size = 16 * 1024usize;
+
+    // populate cost per volume: mkdir + per-file (open + 2 chunked
+    // writes) + sync — the quota must leave room for it
+    let populate_ops = 2 + files_per_volume as u64 * 3;
+    let traffic_per_volume =
+        (connections * clients_per_connection * ops_per_client / volumes_wanted) as u64;
+    // the metered tenant gets half its fair share of traffic
+    let metered_quota = populate_ops + traffic_per_volume / 2;
+
+    let manager = Arc::new(VolumeManager::new());
+    let config = ServerConfig {
+        // connection-per-worker: every loadgen connection plus the
+        // admin/populate clients need a slot, with headroom
+        workers: connections + 8,
+        queue: connections + 8,
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&manager), &config).expect("bind server");
+    let addr = server.local_addr().to_string();
+
+    let mut admin = Client::connect(addr.as_str()).expect("admin connect");
+    let mut volume_ids = Vec::new();
+    for i in 0..volumes_wanted {
+        let quota = if i == 3 { metered_quota } else { 0 };
+        let id = admin
+            .create_volume(&format!("vol{i}"), 4096, 1024, 256, quota, 0)
+            .expect("create volume");
+        volume_ids.push(id);
+    }
+    drop(admin);
+    // volume creation also works from the manager side; assert the two
+    // views agree before traffic starts
+    assert_eq!(manager.len(), volumes_wanted);
+
+    let cfg = LoadGenConfig {
+        addr: addr.clone(),
+        volumes: volume_ids.clone(),
+        connections,
+        clients_per_connection,
+        ops_per_client,
+        write_pct: 30,
+        zipf_exponent: 0.99,
+        files_per_volume,
+        file_size,
+        read_size: 1024,
+        seed: 0xE10,
+    };
+    let fds = populate_volumes(&cfg).expect("populate volumes");
+
+    let epoch = Instant::now();
+    let run = start_load(&cfg, &fds, epoch).expect("start load");
+    while run.progress() < 0.3 {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    // two fault classes, two different tenants, mid-traffic
+    let mut admin = Client::connect(addr.as_str()).expect("admin reconnect");
+    let fault_a_ns = run.now_ns();
+    admin
+        .inject_fault(volume_ids[0], SITE_PATH_LOOKUP, EFFECT_PANIC, 1)
+        .expect("inject panic fault");
+    let fault_b_ns = run.now_ns();
+    admin
+        .inject_fault(volume_ids[1], SITE_WRITE, EFFECT_DETECTED_ERROR, 1)
+        .expect("inject detected-error fault");
+    let injected_at = run.progress();
+    let report = run.join();
+
+    assert_eq!(
+        report.total_ops,
+        (connections * clients_per_connection * ops_per_client) as u64
+    );
+    assert_eq!(report.total_io_errors, 0, "no connection may drop");
+    assert_eq!(report.total_errors, 0, "every fault must be masked");
+    assert!(
+        report.per_volume[3].refusals > 0,
+        "the metered tenant must hit its quota"
+    );
+
+    let faults = [
+        ("vol0", volume_ids[0], "path_lookup", "panic", fault_a_ns),
+        ("vol1", volume_ids[1], "write", "detected_error", fault_b_ns),
+    ];
+    let windows: Vec<(&str, u32, &str, &str, f64)> = faults
+        .iter()
+        .map(|&(name, id, site, effect, at_ns)| {
+            let vol = report
+                .per_volume
+                .iter()
+                .find(|v| v.volume == id)
+                .expect("faulted volume in report");
+            let w = unavailability_window(&vol.timeline, at_ns)
+                .expect("faulted volume must serve successes on both sides of the fault");
+            (name, id, site, effect, w as f64 / 1e6)
+        })
+        .collect();
+
+    // server-side ground truth: both faulted volumes recovered, and
+    // every volume ends Active or Degraded — never wedged
+    let mut recoveries = 0u64;
+    let mut statuses = Vec::new();
+    for (i, &id) in volume_ids.iter().enumerate() {
+        let vol = manager.get(id).expect("volume still mounted");
+        let stats = vol.fs().stats();
+        if i < 2 {
+            recoveries += stats.recoveries;
+        }
+        statuses.push(format!("{:?}", vol.fs().status()));
+        assert!(
+            matches!(
+                vol.fs().status(),
+                rae_vfs::FsStatus::Active | rae_vfs::FsStatus::Degraded
+            ),
+            "vol{i} ended {:?}",
+            vol.fs().status()
+        );
+    }
+    assert!(recoveries >= 2, "both injected faults must recover");
+
+    let quota_rejections = manager
+        .get(volume_ids[3])
+        .map_or(0, |v| v.quota_rejections());
+
+    let shutdown = server.shutdown().expect("graceful shutdown");
+    assert_eq!(shutdown.volumes_unmounted, volumes_wanted);
+    assert!(shutdown.all_clean, "all volumes must unmount cleanly");
+
+    let mut out = format!(
+        "E10: multi-tenant server under fault ({} volumes, {} connections x {} clients, \
+         {} ops, {:.0} ops/s, faults at {:.0}% progress)\n\
+         tenant   ops      p50_us   p99_us  p999_us   max_us  refused\n",
+        volumes_wanted,
+        connections,
+        clients_per_connection,
+        report.total_ops,
+        report.ops_per_sec(),
+        injected_at * 100.0
+    );
+    for (i, v) in report.per_volume.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "vol{i}   {:>6}  {:>8.1} {:>8.1} {:>8.1} {:>8.1}  {:>6}",
+            v.ops,
+            v.p50_ns as f64 / 1e3,
+            v.p99_ns as f64 / 1e3,
+            v.p999_ns as f64 / 1e3,
+            v.max_ns as f64 / 1e3,
+            v.refusals
+        );
+    }
+    for &(name, _, site, effect, ms) in &windows {
+        let _ = writeln!(
+            out,
+            "{name}: {effect}@{site} masked; client-observed unavailability {ms:.2} ms"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "statuses: [{}]; recoveries(faulted)={recoveries}; quota rejections={quota_rejections}; \
+         shutdown: {} requests / {} connections, clean={}",
+        statuses.join(", "),
+        shutdown.requests,
+        shutdown.connections,
+        shutdown.all_clean
+    );
+
+    let mut json = String::from("{\n  \"experiment\": \"e10_server_traffic\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"load\": {{\"volumes\": {volumes_wanted}, \"connections\": {connections}, \
+         \"clients_per_connection\": {clients_per_connection}, \"ops\": {}, \
+         \"ops_per_sec\": {:.0}, \"write_pct\": 30, \"zipf_exponent\": 0.99}},",
+        report.total_ops,
+        report.ops_per_sec()
+    );
+    json.push_str("  \"tenants\": [\n");
+    for (i, v) in report.per_volume.iter().enumerate() {
+        let comma = if i + 1 < report.per_volume.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"tenant\": \"vol{i}\", \"ops\": {}, \"errors\": {}, \"refusals\": {}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}, \
+             \"status\": \"{}\"}}{comma}",
+            v.ops,
+            v.errors,
+            v.refusals,
+            v.p50_ns as f64 / 1e3,
+            v.p99_ns as f64 / 1e3,
+            v.p999_ns as f64 / 1e3,
+            v.max_ns as f64 / 1e3,
+            statuses[i]
+        );
+    }
+    json.push_str("  ],\n  \"faults\": [\n");
+    for (i, &(name, _, site, effect, ms)) in windows.iter().enumerate() {
+        let comma = if i + 1 < windows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"tenant\": \"{name}\", \"site\": \"{site}\", \"effect\": \"{effect}\", \
+             \"masked\": true, \"unavailability_ms\": {ms:.3}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"quota\": {{\"tenant\": \"vol3\", \"max_ops\": {metered_quota}, \"rejections\": {quota_rejections}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"shutdown\": {{\"requests\": {}, \"connections\": {}, \"volumes_unmounted\": {}, \"all_clean\": {}}}",
+        shutdown.requests, shutdown.connections, shutdown.volumes_unmounted, shutdown.all_clean
+    );
+    json.push_str("}\n");
+    match std::fs::write("BENCH_server_traffic.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_server_traffic.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "(could not write BENCH_server_traffic.json: {e})");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Trusted-code accounting (§4.3: "We expect to quantify the code we
 // trust (i.e., reused)")
 // ---------------------------------------------------------------------
@@ -1700,6 +1970,7 @@ pub fn run_all(scale: Scale) -> String {
         e7_crafted_images(),
         e8_recovery_resilience(false),
         e9_tail_latency(scale, false),
+        e10_server_traffic(false),
         trust_accounting(),
     ] {
         out.push_str(&section);

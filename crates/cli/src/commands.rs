@@ -316,48 +316,12 @@ impl Session {
         }
     }
 
-    /// `stats --json`: the full runtime counter set, hand-rendered (the
-    /// workspace vendors a stub serde) for scripts and dashboards.
+    /// `stats --json`: the full runtime counter set, rendered in the
+    /// same volume-keyed shape as the server's `ServerStats` admin op
+    /// so dashboards parse one format. A shell session has exactly one
+    /// (implicit) volume, keyed `"default"`.
     fn stats_json(&self) -> String {
-        let s = self.fs.stats();
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"status\": \"{:?}\",\n", self.fs.status()));
-        let fields: [(&str, u64); 18] = [
-            ("detected_errors", s.detected_errors),
-            ("panics_caught", s.panics_caught),
-            ("recoveries", s.recoveries),
-            ("recovery_failures", s.recovery_failures),
-            ("ops_masked", s.ops_masked),
-            ("recovery_time_ns", s.recovery_time_ns),
-            ("rung_warm_time_ns", s.rung_warm_time_ns),
-            ("rung_cold_time_ns", s.rung_cold_time_ns),
-            ("rung_cold_retry_time_ns", s.rung_cold_retry_time_ns),
-            ("rung_degraded_time_ns", s.rung_degraded_time_ns),
-            ("log_len", s.log_len as u64),
-            ("log_trimmed", s.log_trimmed),
-            ("ladder_warm", s.ladder_warm),
-            ("ladder_cold", s.ladder_cold),
-            ("ladder_cold_retry", s.ladder_cold_retry),
-            ("ladder_degraded", s.ladder_degraded),
-            ("device_retries", s.device_retries),
-            ("device_faults_absorbed", s.device_faults_absorbed),
-        ];
-        for (name, value) in fields {
-            out.push_str(&format!("  \"{name}\": {value},\n"));
-        }
-        out.push_str(&format!(
-            "  \"standby\": {{\"active\": {}, \"degraded\": {}, \"completed_seq\": {}, \
-             \"applied_seq\": {}, \"lag\": {}, \"audits_run\": {}, \"divergences\": {}}},\n",
-            s.standby_active,
-            s.standby_degraded,
-            s.standby_completed_seq,
-            s.standby_applied_seq,
-            s.standby_lag,
-            s.standby_audits_run,
-            s.standby_divergences
-        ));
-        out.push_str(&format!("  \"degraded\": {}\n}}", s.degraded));
-        out
+        rae_server::volumes_stats_json(&[("default", &self.fs)])
     }
 
     /// `readers <threads> <ops> <path>`: hammer one file with N
@@ -710,6 +674,8 @@ mod tests {
         let out = s.run("stats --json").unwrap();
         assert!(out.starts_with('{') && out.ends_with('}'), "{out}");
         for key in [
+            "\"volumes\"",
+            "\"default\"",
             "\"status\"",
             "\"recoveries\"",
             "\"rung_cold_time_ns\"",

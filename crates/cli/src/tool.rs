@@ -42,7 +42,9 @@ const USAGE: &str = "raefs <command> ...
   info <image>
   corrupt <image> <case|list>
   exec <image> '<cmd>; <cmd>; ...'
-  standby <image> ['<cmd>; ...']";
+  standby <image> ['<cmd>; ...']
+  serve <addr> [--volumes N] [--blocks N] [--workers N] [--duration SECS]
+  loadgen <addr> [--connections N] [--clients N] [--ops N] [--write-pct N] [--inject-fault]";
 
 fn parse_flag(args: &[String], name: &str, default: u64) -> Result<u64, ToolError> {
     match args.iter().position(|a| a == name) {
@@ -204,10 +206,160 @@ pub fn run_tool(args: &[String]) -> Result<String, ToolError> {
             session.unmount()?;
             Ok(out)
         }
+        "serve" => run_serve(image, args),
+        "loadgen" => run_loadgen(image, args),
         other => Err(ToolError::Usage(format!(
             "unknown command '{other}'\n{USAGE}"
         ))),
     }
+}
+
+/// `serve <addr>`: host a multi-tenant storage server until SIGINT
+/// (or `--duration` seconds, for scripted runs), then drain and
+/// unmount every volume. Volumes are in-memory and named `vol0..N`.
+fn run_serve(addr: &str, args: &[String]) -> Result<String, ToolError> {
+    let volumes = parse_flag(args, "--volumes", 4)?;
+    let blocks = parse_flag(args, "--blocks", 4096)?;
+    let workers = parse_flag(args, "--workers", 16)?;
+    let duration = parse_flag(args, "--duration", 0)?;
+
+    rae_server::quiet_injected_panics();
+    let manager = Arc::new(rae_server::VolumeManager::new());
+    for i in 0..volumes {
+        let spec = rae_server::VolumeSpec {
+            name: format!("vol{i}"),
+            blocks: u32::try_from(blocks)
+                .map_err(|_| ToolError::Usage("--blocks too large".into()))?,
+            ..rae_server::VolumeSpec::default()
+        };
+        manager.create(&spec)?;
+    }
+    let config = rae_server::ServerConfig {
+        workers: workers.clamp(1, 256) as usize,
+        queue: (workers.clamp(1, 256) as usize) * 2,
+    };
+    let server = rae_server::Server::bind(addr, Arc::clone(&manager), &config)
+        .map_err(|e| ToolError::Usage(format!("bind {addr}: {e}")))?;
+    let local = server.local_addr();
+    let sigint = rae_server::sigint_installed();
+    eprintln!(
+        "raefs-server listening on {local} ({volumes} volumes, {} workers){}",
+        config.workers,
+        if sigint { ", ^C to stop" } else { "" }
+    );
+
+    let deadline = (duration > 0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_secs(duration));
+    loop {
+        if rae_server::sigint_triggered() {
+            eprintln!("raefs-server: SIGINT, draining");
+            break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let report = server.shutdown()?;
+    Ok(format!(
+        "served {} requests over {} connections; unmounted {} volumes ({})",
+        report.requests,
+        report.connections,
+        report.volumes_unmounted,
+        if report.all_clean { "clean" } else { "dirty" }
+    ))
+}
+
+/// `loadgen <addr>`: hammer a running server with Zipf-skewed
+/// multi-tenant traffic over every volume it exports and print the
+/// per-tenant latency/error breakdown. With `--inject-fault`, a panic
+/// is armed in the first volume's path-lookup at ~30% progress and
+/// the client-observed unavailability window is reported — the E10
+/// mechanism as a shell one-liner.
+fn run_loadgen(addr: &str, args: &[String]) -> Result<String, ToolError> {
+    let connections = parse_flag(args, "--connections", 8)?;
+    let clients = parse_flag(args, "--clients", 16)?;
+    let ops = parse_flag(args, "--ops", 50)?;
+    let write_pct = parse_flag(args, "--write-pct", 30)?;
+    let inject = args.iter().any(|a| a == "--inject-fault");
+
+    let to_usage = |e: rae_server::ClientError| ToolError::Usage(format!("{addr}: {e}"));
+    let mut admin = rae_server::Client::connect(addr)
+        .map_err(|e| ToolError::Usage(format!("connect {addr}: {e}")))?;
+    let listed = admin.list_volumes().map_err(to_usage)?;
+    if listed.is_empty() {
+        return Err(ToolError::Usage(format!(
+            "{addr} exports no volumes (start the server with --volumes N)"
+        )));
+    }
+    let cfg = rae_workloads::LoadGenConfig {
+        addr: addr.to_string(),
+        volumes: listed.iter().map(|v| v.id).collect(),
+        connections: connections.clamp(1, 1024) as usize,
+        clients_per_connection: clients.clamp(1, 1024) as usize,
+        ops_per_client: ops.clamp(1, 1_000_000) as usize,
+        write_pct: write_pct.min(100) as u32,
+        ..rae_workloads::LoadGenConfig::default()
+    };
+    let fds = rae_workloads::populate_volumes(&cfg).map_err(to_usage)?;
+    let run = rae_workloads::start_load(&cfg, &fds, std::time::Instant::now()).map_err(to_usage)?;
+
+    // wire codes: Site::ALL[1] = PathLookup, effect 1 = Panic
+    let mut fault_ns = None;
+    if inject {
+        while run.progress() < 0.3 {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        let at = run.now_ns();
+        admin
+            .inject_fault(cfg.volumes[0], 1, 1, 1)
+            .map_err(to_usage)?;
+        fault_ns = Some(at);
+    }
+    let report = run.join();
+
+    let mut out = format!(
+        "{} ops in {:.2}s ({:.0} ops/s), {} errors, {} refusals, {} transport errors\n",
+        report.total_ops,
+        report.elapsed.as_secs_f64(),
+        report.ops_per_sec(),
+        report.total_errors,
+        report.total_refusals,
+        report.total_io_errors,
+    );
+    for (v, info) in report.per_volume.iter().zip(&listed) {
+        out.push_str(&format!(
+            "  {:<8} ops {:>7}  p50 {:>7}us  p99 {:>7}us  p999 {:>7}us  max {:>7}us  err {} refused {}\n",
+            info.name,
+            v.ops,
+            v.p50_ns / 1000,
+            v.p99_ns / 1000,
+            v.p999_ns / 1000,
+            v.max_ns / 1000,
+            v.errors,
+            v.refusals,
+        ));
+    }
+    if let Some(at) = fault_ns {
+        let faulted = &report.per_volume[0];
+        match rae_workloads::unavailability_window(&faulted.timeline, at) {
+            Some(w) if report.total_errors == 0 => {
+                out.push_str(&format!(
+                    "injected panic@path_lookup on {} masked; client-observed \
+                     unavailability {:.2} ms\n",
+                    listed[0].name,
+                    w as f64 / 1e6
+                ));
+            }
+            _ => {
+                return Err(ToolError::Dirty(format!(
+                    "injected fault was NOT masked ({} errors)\n{out}",
+                    report.total_errors
+                )));
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -302,5 +454,79 @@ mod tests {
         assert!(matches!(run(&[]), Err(ToolError::Usage(_))));
         assert!(matches!(run(&["mkfs"]), Err(ToolError::Usage(_))));
         assert!(matches!(run(&["bogus", "x"]), Err(ToolError::Usage(_))));
+        assert!(matches!(
+            run(&["loadgen", "127.0.0.1:1"]),
+            Err(ToolError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_then_loadgen_round_trip() {
+        // fixed port derived from the pid: unique enough for CI, and
+        // `serve` must know its address before binding
+        let port = 21000 + (std::process::id() % 20000) as u16;
+        let addr = format!("127.0.0.1:{port}");
+        let serve_addr = addr.clone();
+        let server = std::thread::spawn(move || {
+            run(&[
+                "serve",
+                &serve_addr,
+                "--volumes",
+                "2",
+                "--blocks",
+                "2048",
+                "--workers",
+                "4",
+                "--duration",
+                "6",
+            ])
+        });
+        // wait until the listener answers
+        let mut up = false;
+        for _ in 0..200 {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(up, "server never came up on {addr}");
+
+        let out = run(&[
+            "loadgen",
+            &addr,
+            "--connections",
+            "2",
+            "--clients",
+            "4",
+            "--ops",
+            "20",
+            "--write-pct",
+            "25",
+        ])
+        .unwrap();
+        assert!(out.contains("ops/s"), "{out}");
+        assert!(out.contains("0 errors"), "{out}");
+        assert!(out.contains("vol0") && out.contains("vol1"), "{out}");
+
+        // second run re-populates the same working set and injects a
+        // panic mid-traffic; the server must mask it
+        let out = run(&[
+            "loadgen",
+            &addr,
+            "--connections",
+            "2",
+            "--clients",
+            "4",
+            "--ops",
+            "40",
+            "--inject-fault",
+        ])
+        .unwrap();
+        assert!(out.contains("masked"), "{out}");
+        assert!(out.contains("unavailability"), "{out}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("unmounted 2 volumes (clean)"), "{summary}");
     }
 }

@@ -1,0 +1,60 @@
+//! The RAE network storage service: many independent [`rae::RaeFs`]
+//! volumes behind one TCP endpoint.
+//!
+//! The paper's pitch is that RAE recovery keeps a filesystem *serving*
+//! through runtime errors; this crate is where that claim meets
+//! clients. A [`server::Server`] owns a [`volume::VolumeManager`]
+//! (one device + RaeFs + fault registry + quota per tenant) and speaks
+//! a bespoke length-prefixed binary protocol ([`wire`]) over
+//! `std::net` with a bounded worker thread pool — no async runtime,
+//! no external protocol dependencies.
+//!
+//! Layering:
+//!
+//! * [`wire`] — frame codec: requests, replies, and the exhaustive
+//!   `FsError` ↔ wire-errno table.
+//! * [`volume`] — the multi-tenant volume manager with per-tenant
+//!   op/byte quotas and per-op-class request histograms.
+//! * [`server`] — listener, worker pool, graceful shutdown.
+//! * [`client`] — a blocking typed client (used by the load generator
+//!   in `rae-workloads` and the `raefs loadgen` CLI).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod volume;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{sigint_installed, sigint_triggered, Server, ServerConfig, ShutdownReport};
+pub use volume::{volumes_stats_json, QuotaSpec, Volume, VolumeManager, VolumeSpec};
+pub use wire::{
+    effect_from_code, site_from_code, status_code, status_name, AdminOp, DecodeError, FsOp, Reply,
+    Request, Response, ServerError, VolumeInfo, MAX_FRAME_LEN,
+};
+
+/// Keep the default panic hook from printing a backtrace for every
+/// *injected* bug that fires as a panic — the server catches those and
+/// recovers, so the spew is pure noise. Anything else still reaches
+/// the previous hook. Call once per process before injecting faults
+/// (the `serve` CLI and fault-campaign harnesses do).
+pub fn quiet_injected_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+            });
+        if msg.is_some_and(|m| m.contains("injected filesystem bug")) {
+            return;
+        }
+        default_hook(info);
+    }));
+}

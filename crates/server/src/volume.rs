@@ -1,0 +1,739 @@
+//! The multi-tenant volume manager.
+//!
+//! Each volume is a fully independent stack: its own in-memory device,
+//! its own [`RaeFs`] (with recovery ladder, warm standby options, and
+//! fault registry), its own [`Telemetry`] handle, and its own quota
+//! accounting. Tenants cannot observe each other's faults: a panic
+//! injected into volume 0 recovers there while volumes 1..n keep
+//! serving — that isolation is what E10 measures.
+//!
+//! Descriptor tables are **per volume**, not per connection: an `Fd`
+//! minted over one connection is valid on any connection addressing
+//! the same volume. That mirrors how the RAE runtime reconstructs
+//! descriptor tables across recoveries (descriptors are
+//! volume-scoped application state, not transport state).
+
+use crate::wire::{status_code, Reply, ServerError, VolumeInfo};
+use parking_lot::RwLock;
+use rae::{RaeConfig, RaeFs};
+use rae_basefs::BaseFsConfig;
+use rae_blockdev::MemDisk;
+use rae_faults::{BugSpec, Effect, FaultRegistry, Site, Trigger};
+use rae_fsformat::{mkfs, MkfsParams};
+use rae_telemetry::{EventKind, LatencyHistogram, OpClass, Telemetry};
+use rae_vfs::{FileSystem, FsError, FsResult, FsStatus, OpenFlags};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-tenant request budget. Zero means unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QuotaSpec {
+    /// Maximum operations over the volume's lifetime.
+    pub max_ops: u64,
+    /// Maximum data bytes moved (read lengths + write payloads).
+    pub max_bytes: u64,
+}
+
+/// Everything needed to create one volume.
+#[derive(Debug, Clone)]
+pub struct VolumeSpec {
+    /// Tenant-visible name.
+    pub name: String,
+    /// Device size in 4 KiB blocks.
+    pub blocks: u32,
+    /// Inode count.
+    pub inodes: u32,
+    /// Journal size in blocks.
+    pub journal: u32,
+    /// Request budget.
+    pub quota: QuotaSpec,
+}
+
+impl Default for VolumeSpec {
+    fn default() -> VolumeSpec {
+        VolumeSpec {
+            name: "vol".to_string(),
+            blocks: 4096,
+            inodes: 1024,
+            journal: 256,
+            quota: QuotaSpec::default(),
+        }
+    }
+}
+
+/// One mounted tenant volume.
+pub struct Volume {
+    /// Wire id.
+    pub id: u32,
+    /// Tenant-visible name.
+    pub name: String,
+    fs: RaeFs,
+    faults: FaultRegistry,
+    quota: QuotaSpec,
+    ops_used: AtomicU64,
+    bytes_used: AtomicU64,
+    quota_rejections: AtomicU64,
+    next_bug_id: AtomicU32,
+    /// Server-side request latency per op class (socket-to-socket time
+    /// minus transport, i.e. dispatch + filesystem). Distinct from the
+    /// volume's own [`Telemetry`] op histograms, which time the RAE
+    /// API boundary only.
+    request_hist: [LatencyHistogram; 8],
+}
+
+impl Volume {
+    /// The volume's filesystem.
+    #[must_use]
+    pub fn fs(&self) -> &RaeFs {
+        &self.fs
+    }
+
+    /// The volume's fault registry (E10 injects through this).
+    #[must_use]
+    pub fn faults(&self) -> &FaultRegistry {
+        &self.faults
+    }
+
+    /// Operations charged so far.
+    #[must_use]
+    pub fn ops_used(&self) -> u64 {
+        self.ops_used.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused over quota.
+    #[must_use]
+    pub fn quota_rejections(&self) -> u64 {
+        self.quota_rejections.load(Ordering::Relaxed)
+    }
+
+    /// Charge one request (plus its data bytes) against the quota.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::QuotaExceeded`] once either budget is exhausted;
+    /// the operation must not reach the filesystem.
+    pub fn charge(&self, bytes: u64) -> Result<(), ServerError> {
+        let ops = self.ops_used.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.bytes_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let over_ops = self.quota.max_ops != 0 && ops > self.quota.max_ops;
+        let over_bytes = self.quota.max_bytes != 0 && total > self.quota.max_bytes;
+        if over_ops || over_bytes {
+            self.quota_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(ServerError::QuotaExceeded { volume: self.id });
+        }
+        Ok(())
+    }
+
+    /// Record one served request's latency under `class`.
+    pub fn observe_request(&self, class: OpClass, ns: u64) {
+        self.request_hist[class.code() as usize].record(ns);
+    }
+
+    /// The server-side request histogram for one op class.
+    #[must_use]
+    pub fn request_histogram(&self, class: OpClass) -> &LatencyHistogram {
+        &self.request_hist[class.code() as usize]
+    }
+
+    /// Allocate the next injected-bug id on this volume.
+    #[must_use]
+    pub fn next_bug_id(&self) -> u32 {
+        self.next_bug_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Arm a one-shot detected error and poke the volume so the RAE
+    /// ladder runs now (the admin `ForceRecover` op). Returns the
+    /// post-recovery status.
+    #[must_use]
+    pub fn force_recover(&self) -> FsStatus {
+        let id = self.next_bug_id();
+        self.faults.arm(BugSpec::new(
+            id,
+            format!("force-recover-{id}"),
+            Site::PathLookup,
+            Trigger::NthMatch(1),
+            Effect::DetectedError,
+        ));
+        // any path op visits PathLookup; the result is irrelevant —
+        // RAE masks the injected error and runs its ladder
+        let _ = self.fs.stat("/__rae_force_recover__");
+        self.fs.status()
+    }
+
+    /// Per-volume stats JSON: RAE counters plus the server-side
+    /// request histograms and quota accounting.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&render_volume_body(&self.name, &self.fs, "  "));
+        out.push_str(",\n  \"server\": {\n");
+        out.push_str(&format!(
+            "    \"ops_used\": {},\n    \"bytes_used\": {},\n    \"quota_rejections\": {},\n",
+            self.ops_used.load(Ordering::Relaxed),
+            self.bytes_used.load(Ordering::Relaxed),
+            self.quota_rejections.load(Ordering::Relaxed),
+        ));
+        out.push_str("    \"request_latency\": {\n");
+        for (i, class) in OpClass::ALL.iter().enumerate() {
+            let s = self.request_hist[i].summary();
+            let comma = if i + 1 < OpClass::ALL.len() { "," } else { "" };
+            out.push_str(&format!(
+                "      \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}{comma}\n",
+                class.name(),
+                s.count,
+                s.p50,
+                s.p99,
+                s.p999,
+                s.max
+            ));
+        }
+        out.push_str("    }\n  }\n}\n");
+        out
+    }
+
+    /// Dispatch one decoded filesystem operation.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the filesystem returns; runtime errors have already
+    /// been masked by RAE recovery by the time they would surface
+    /// here (unless the ladder itself failed).
+    pub fn apply(&self, op: &crate::wire::FsOp) -> Result<Reply, FsError> {
+        use crate::wire::FsOp;
+        let fs = &self.fs;
+        Ok(match op {
+            FsOp::Open { path, flags } => Reply::Fd(fs.open(path, *flags)?.0),
+            FsOp::Close { fd } => {
+                fs.close(*fd)?;
+                Reply::Unit
+            }
+            FsOp::Read { fd, offset, len } => Reply::Data(fs.read(*fd, *offset, *len as usize)?),
+            FsOp::Write { fd, offset, data } => {
+                Reply::Written(fs.write(*fd, *offset, data)? as u32)
+            }
+            FsOp::Truncate { fd, size } => {
+                fs.truncate(*fd, *size)?;
+                Reply::Unit
+            }
+            FsOp::SetAttr { path, attr } => {
+                fs.setattr(path, *attr)?;
+                Reply::Unit
+            }
+            FsOp::Fsync { fd } => {
+                fs.fsync(*fd)?;
+                Reply::Unit
+            }
+            FsOp::Sync => {
+                fs.sync()?;
+                Reply::Unit
+            }
+            FsOp::Mkdir { path } => {
+                fs.mkdir(path)?;
+                Reply::Unit
+            }
+            FsOp::Rmdir { path } => {
+                fs.rmdir(path)?;
+                Reply::Unit
+            }
+            FsOp::Unlink { path } => {
+                fs.unlink(path)?;
+                Reply::Unit
+            }
+            FsOp::Rename { from, to } => {
+                fs.rename(from, to)?;
+                Reply::Unit
+            }
+            FsOp::Link { existing, new } => {
+                fs.link(existing, new)?;
+                Reply::Unit
+            }
+            FsOp::Symlink { target, linkpath } => {
+                fs.symlink(target, linkpath)?;
+                Reply::Unit
+            }
+            FsOp::Readlink { path } => Reply::Str(fs.readlink(path)?),
+            FsOp::Stat { path } => Reply::Stat(fs.stat(path)?),
+            FsOp::Fstat { fd } => Reply::Stat(fs.fstat(*fd)?),
+            FsOp::Readdir { path } => Reply::Entries(fs.readdir(path)?),
+            FsOp::Statfs => Reply::Geometry(fs.statfs()?),
+        })
+    }
+
+    /// The op class a wire operation is charged under.
+    #[must_use]
+    pub fn class_of(op: &crate::wire::FsOp) -> OpClass {
+        use crate::wire::FsOp;
+        match op {
+            FsOp::Read { .. } => OpClass::Read,
+            FsOp::Write { .. } | FsOp::Truncate { .. } => OpClass::Write,
+            FsOp::Mkdir { .. } | FsOp::Rename { .. } | FsOp::Link { .. } | FsOp::Symlink { .. } => {
+                OpClass::Create
+            }
+            FsOp::Unlink { .. } | FsOp::Rmdir { .. } => OpClass::Unlink,
+            FsOp::Readdir { .. } => OpClass::Readdir,
+            FsOp::Stat { .. } | FsOp::Fstat { .. } | FsOp::Statfs | FsOp::Readlink { .. } => {
+                OpClass::Stat
+            }
+            FsOp::Fsync { .. } | FsOp::Sync => OpClass::Fsync,
+            FsOp::Open { .. } | FsOp::Close { .. } | FsOp::SetAttr { .. } => OpClass::Other,
+        }
+    }
+
+    /// The data bytes a wire operation moves (for the byte quota).
+    #[must_use]
+    pub fn bytes_of(op: &crate::wire::FsOp) -> u64 {
+        use crate::wire::FsOp;
+        match op {
+            FsOp::Read { len, .. } => u64::from(*len),
+            FsOp::Write { data, .. } => data.len() as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Creates, tracks, and unmounts volumes; owns the server-wide
+/// flight-recorder [`Telemetry`] handle.
+pub struct VolumeManager {
+    volumes: RwLock<HashMap<u32, Arc<Volume>>>,
+    next_id: AtomicU32,
+    telemetry: Arc<Telemetry>,
+}
+
+impl Default for VolumeManager {
+    fn default() -> VolumeManager {
+        VolumeManager::new()
+    }
+}
+
+impl VolumeManager {
+    /// An empty manager.
+    #[must_use]
+    pub fn new() -> VolumeManager {
+        VolumeManager {
+            volumes: RwLock::new(HashMap::new()),
+            next_id: AtomicU32::new(0),
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// The server-wide telemetry handle (connection/quota/shutdown
+    /// events land here; per-volume filesystem events land on each
+    /// volume's own handle).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Create, format, and mount a volume; returns its wire id.
+    ///
+    /// # Errors
+    ///
+    /// Format or mount failures.
+    pub fn create(&self, spec: &VolumeSpec) -> FsResult<u32> {
+        let dev = Arc::new(MemDisk::new(spec.blocks as u64));
+        mkfs(
+            dev.as_ref(),
+            MkfsParams {
+                total_blocks: spec.blocks as u64,
+                inode_count: spec.inodes,
+                journal_blocks: spec.journal as u64,
+            },
+        )?;
+        let faults = FaultRegistry::new();
+        let config = RaeConfig {
+            base: BaseFsConfig {
+                faults: faults.clone(),
+                ..BaseFsConfig::default()
+            },
+            ..RaeConfig::default()
+        };
+        let fs = RaeFs::mount(dev, config)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let volume = Arc::new(Volume {
+            id,
+            name: spec.name.clone(),
+            fs,
+            faults,
+            quota: spec.quota,
+            ops_used: AtomicU64::new(0),
+            bytes_used: AtomicU64::new(0),
+            quota_rejections: AtomicU64::new(0),
+            next_bug_id: AtomicU32::new(1),
+            request_hist: Default::default(),
+        });
+        self.volumes.write().insert(id, volume);
+        self.telemetry
+            .event(EventKind::VolumeMounted, u64::from(id), 0, 0);
+        Ok(id)
+    }
+
+    /// Look up a volume by wire id.
+    #[must_use]
+    pub fn get(&self, id: u32) -> Option<Arc<Volume>> {
+        self.volumes.read().get(&id).cloned()
+    }
+
+    /// All mounted volumes, ordered by id.
+    #[must_use]
+    pub fn list(&self) -> Vec<VolumeInfo> {
+        let mut out: Vec<VolumeInfo> = self
+            .volumes
+            .read()
+            .values()
+            .map(|v| VolumeInfo {
+                id: v.id,
+                name: v.name.clone(),
+                status: status_code(v.fs.status()),
+            })
+            .collect();
+        out.sort_by_key(|v| v.id);
+        out
+    }
+
+    /// Number of mounted volumes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.volumes.read().len()
+    }
+
+    /// Whether no volumes are mounted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.volumes.read().is_empty()
+    }
+
+    /// Flush and unmount one volume. Returns `true` if the unmount was
+    /// clean (sole owner, `RaeFs::unmount` ran); `false` if another
+    /// in-flight request still held the volume and we fell back to a
+    /// `sync`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown ids; flush failures.
+    pub fn unmount(&self, id: u32) -> FsResult<bool> {
+        let Some(volume) = self.volumes.write().remove(&id) else {
+            return Err(FsError::NotFound);
+        };
+        let clean = Self::retire(volume)?;
+        self.telemetry.event(
+            EventKind::VolumeUnmounted,
+            u64::from(id),
+            u64::from(clean),
+            0,
+        );
+        Ok(clean)
+    }
+
+    /// Flush and unmount everything (shutdown path). Returns
+    /// `(volumes, all_clean)`.
+    ///
+    /// # Errors
+    ///
+    /// The first flush failure (remaining volumes are still retired).
+    pub fn unmount_all(&self) -> FsResult<(usize, bool)> {
+        let drained: Vec<Arc<Volume>> = {
+            let mut map = self.volumes.write();
+            let mut vols: Vec<Arc<Volume>> = map.drain().map(|(_, v)| v).collect();
+            vols.sort_by_key(|v| v.id);
+            vols
+        };
+        let mut all_clean = true;
+        let mut first_err = None;
+        let n = drained.len();
+        for volume in drained {
+            let id = volume.id;
+            match Self::retire(volume) {
+                Ok(clean) => {
+                    all_clean &= clean;
+                    self.telemetry.event(
+                        EventKind::VolumeUnmounted,
+                        u64::from(id),
+                        u64::from(clean),
+                        0,
+                    );
+                }
+                Err(e) => {
+                    all_clean = false;
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((n, all_clean)),
+        }
+    }
+
+    /// Take sole ownership of the volume (waiting briefly for in-flight
+    /// requests to drop their `Arc`) and unmount; fall back to `sync`
+    /// if another holder persists.
+    fn retire(mut volume: Arc<Volume>) -> FsResult<bool> {
+        for _ in 0..200 {
+            match Arc::try_unwrap(volume) {
+                Ok(owned) => {
+                    owned.fs.unmount()?;
+                    return Ok(true);
+                }
+                Err(shared) => {
+                    volume = shared;
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+        volume.fs.sync()?;
+        Ok(false)
+    }
+}
+
+/// Render the volume-keyed stats JSON shared by `raefs stats --json`
+/// (single implicit volume) and the server's `ServerStats` admin op
+/// (all tenants). Shape:
+///
+/// ```json
+/// {"volumes": {"<name>": {"status": …, counters…, "standby": {…}, "degraded": …}}}
+/// ```
+#[must_use]
+pub fn volumes_stats_json(volumes: &[(&str, &RaeFs)]) -> String {
+    let mut out = String::from("{\n  \"volumes\": {\n");
+    for (i, (name, fs)) in volumes.iter().enumerate() {
+        out.push_str(&format!("    \"{name}\": {{\n"));
+        out.push_str(&render_volume_body_inner(fs, "      "));
+        out.push_str("    }");
+        out.push_str(if i + 1 < volumes.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}");
+    out
+}
+
+/// `"name": value` body lines for one volume (name line + counters).
+fn render_volume_body(name: &str, fs: &RaeFs, indent: &str) -> String {
+    let mut out = format!("{indent}\"name\": \"{name}\",\n");
+    out.push_str(&render_volume_body_inner(fs, indent));
+    // drop the trailing newline so callers can append a comma
+    out.truncate(out.trim_end().len());
+    out
+}
+
+fn render_volume_body_inner(fs: &RaeFs, indent: &str) -> String {
+    let s = fs.stats();
+    let mut out = String::new();
+    out.push_str(&format!("{indent}\"status\": \"{:?}\",\n", fs.status()));
+    let fields: [(&str, u64); 18] = [
+        ("detected_errors", s.detected_errors),
+        ("panics_caught", s.panics_caught),
+        ("recoveries", s.recoveries),
+        ("recovery_failures", s.recovery_failures),
+        ("ops_masked", s.ops_masked),
+        ("recovery_time_ns", s.recovery_time_ns),
+        ("rung_warm_time_ns", s.rung_warm_time_ns),
+        ("rung_cold_time_ns", s.rung_cold_time_ns),
+        ("rung_cold_retry_time_ns", s.rung_cold_retry_time_ns),
+        ("rung_degraded_time_ns", s.rung_degraded_time_ns),
+        ("log_len", s.log_len as u64),
+        ("log_trimmed", s.log_trimmed),
+        ("ladder_warm", s.ladder_warm),
+        ("ladder_cold", s.ladder_cold),
+        ("ladder_cold_retry", s.ladder_cold_retry),
+        ("ladder_degraded", s.ladder_degraded),
+        ("device_retries", s.device_retries),
+        ("device_faults_absorbed", s.device_faults_absorbed),
+    ];
+    for (name, value) in fields {
+        out.push_str(&format!("{indent}\"{name}\": {value},\n"));
+    }
+    out.push_str(&format!(
+        "{indent}\"standby\": {{\"active\": {}, \"degraded\": {}, \"completed_seq\": {}, \
+         \"applied_seq\": {}, \"lag\": {}, \"audits_run\": {}, \"divergences\": {}}},\n",
+        s.standby_active,
+        s.standby_degraded,
+        s.standby_completed_seq,
+        s.standby_applied_seq,
+        s.standby_lag,
+        s.standby_audits_run,
+        s.standby_divergences
+    ));
+    out.push_str(&format!("{indent}\"degraded\": {}\n", s.degraded));
+    out
+}
+
+/// Populate a volume with `files` fixed-size files under `/data` so
+/// load generators have a working set (shared by E10 and the CLI
+/// `serve` command).
+///
+/// # Errors
+///
+/// Filesystem errors.
+pub fn populate_volume(fs: &dyn FileSystem, files: usize, file_size: usize) -> FsResult<()> {
+    fs.mkdir("/data")?;
+    let payload: Vec<u8> = (0..file_size).map(|i| (i % 251) as u8).collect();
+    for i in 0..files {
+        let fd = fs.open(
+            &format!("/data/f{i:04}"),
+            OpenFlags::RDWR | OpenFlags::CREATE,
+        )?;
+        fs.write(fd, 0, &payload)?;
+        fs.close(fd)?;
+    }
+    fs.sync()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager_with_volume(quota: QuotaSpec) -> (VolumeManager, u32) {
+        let mgr = VolumeManager::new();
+        let id = mgr
+            .create(&VolumeSpec {
+                name: "t0".into(),
+                quota,
+                ..VolumeSpec::default()
+            })
+            .expect("create");
+        (mgr, id)
+    }
+
+    #[test]
+    fn create_list_get_unmount() {
+        let (mgr, id) = manager_with_volume(QuotaSpec::default());
+        assert_eq!(mgr.len(), 1);
+        let listed = mgr.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "t0");
+        assert_eq!(listed[0].status, 0, "active");
+        let vol = mgr.get(id).expect("get");
+        vol.fs().mkdir("/d").unwrap();
+        drop(vol);
+        assert!(mgr.unmount(id).expect("unmount"), "clean unmount");
+        assert!(mgr.is_empty());
+        assert_eq!(mgr.unmount(id), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn volumes_are_isolated() {
+        let mgr = VolumeManager::new();
+        let a = mgr.create(&VolumeSpec::default()).unwrap();
+        let b = mgr.create(&VolumeSpec::default()).unwrap();
+        let va = mgr.get(a).unwrap();
+        let vb = mgr.get(b).unwrap();
+        va.fs().mkdir("/only-in-a").unwrap();
+        assert_eq!(vb.fs().stat("/only-in-a"), Err(FsError::NotFound));
+        // a masked fault on A leaves B untouched
+        let id = va.next_bug_id();
+        va.faults().arm(BugSpec::new(
+            id,
+            "iso",
+            Site::DirModify,
+            Trigger::NthMatch(1),
+            Effect::DetectedError,
+        ));
+        va.fs().mkdir("/masked").unwrap();
+        assert_eq!(va.fs().stats().recoveries, 1);
+        assert_eq!(vb.fs().stats().recoveries, 0);
+    }
+
+    #[test]
+    fn op_quota_trips_and_counts() {
+        let (mgr, id) = manager_with_volume(QuotaSpec {
+            max_ops: 3,
+            max_bytes: 0,
+        });
+        let vol = mgr.get(id).unwrap();
+        for _ in 0..3 {
+            vol.charge(0).expect("under quota");
+        }
+        assert_eq!(
+            vol.charge(0),
+            Err(ServerError::QuotaExceeded { volume: id })
+        );
+        assert_eq!(vol.quota_rejections(), 1);
+    }
+
+    #[test]
+    fn byte_quota_trips() {
+        let (mgr, id) = manager_with_volume(QuotaSpec {
+            max_ops: 0,
+            max_bytes: 100,
+        });
+        let vol = mgr.get(id).unwrap();
+        vol.charge(60).expect("under");
+        assert_eq!(
+            vol.charge(60),
+            Err(ServerError::QuotaExceeded { volume: id })
+        );
+    }
+
+    #[test]
+    fn force_recover_runs_the_ladder() {
+        let (mgr, id) = manager_with_volume(QuotaSpec::default());
+        let vol = mgr.get(id).unwrap();
+        let status = vol.force_recover();
+        assert_eq!(status, FsStatus::Active);
+        assert_eq!(vol.fs().stats().recoveries, 1);
+    }
+
+    #[test]
+    fn volume_stats_json_is_balanced_and_keyed() {
+        let (mgr, id) = manager_with_volume(QuotaSpec::default());
+        let vol = mgr.get(id).unwrap();
+        vol.observe_request(OpClass::Read, 1000);
+        let json = vol.stats_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in ["\"name\"", "\"recoveries\"", "\"ops_used\"", "\"read\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn volumes_stats_json_keys_by_name() {
+        let mgr = VolumeManager::new();
+        let a = mgr
+            .create(&VolumeSpec {
+                name: "alpha".into(),
+                ..VolumeSpec::default()
+            })
+            .unwrap();
+        let b = mgr
+            .create(&VolumeSpec {
+                name: "beta".into(),
+                ..VolumeSpec::default()
+            })
+            .unwrap();
+        let va = mgr.get(a).unwrap();
+        let vb = mgr.get(b).unwrap();
+        let json = volumes_stats_json(&[("alpha", va.fs()), ("beta", vb.fs())]);
+        assert!(json.contains("\"volumes\""), "{json}");
+        assert!(json.contains("\"alpha\""), "{json}");
+        assert!(json.contains("\"beta\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn unmount_all_reports_clean() {
+        let mgr = VolumeManager::new();
+        for i in 0..3 {
+            mgr.create(&VolumeSpec {
+                name: format!("v{i}"),
+                ..VolumeSpec::default()
+            })
+            .unwrap();
+        }
+        let (n, clean) = mgr.unmount_all().expect("unmount_all");
+        assert_eq!(n, 3);
+        assert!(clean);
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn populate_gives_loadable_working_set() {
+        let (mgr, id) = manager_with_volume(QuotaSpec::default());
+        let vol = mgr.get(id).unwrap();
+        populate_volume(vol.fs(), 8, 512).expect("populate");
+        assert_eq!(vol.fs().readdir("/data").unwrap().len(), 8);
+        assert_eq!(vol.fs().stat("/data/f0007").unwrap().size, 512);
+    }
+}

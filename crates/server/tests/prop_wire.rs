@@ -1,0 +1,220 @@
+//! Property tests of the wire codec: encode/decode is the identity
+//! for every frame type, and the decoders are total (no panic, no
+//! wedge) on arbitrary and on deliberately corrupted bytes.
+
+use proptest::prelude::*;
+use rae_server::wire::{FsOp, Reply, Request, Response, ServerError};
+use rae_vfs::{DirEntry, Fd, FileStat, FileType, FsError, InodeNo, OpenFlags, SetAttr};
+
+fn any_flags() -> impl Strategy<Value = OpenFlags> {
+    (0u32..3, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(access, creat, trunc, append)| {
+            let mut f = match access {
+                0 => OpenFlags::RDONLY,
+                1 => OpenFlags::WRONLY,
+                _ => OpenFlags::RDWR,
+            };
+            if creat {
+                f |= OpenFlags::CREATE;
+            }
+            if trunc {
+                f |= OpenFlags::TRUNC;
+            }
+            if append {
+                f |= OpenFlags::APPEND;
+            }
+            f
+        },
+    )
+}
+
+fn any_fs_op() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        ("/[a-z]{1,12}", any_flags()).prop_map(|(path, flags)| FsOp::Open { path, flags }),
+        (0u32..2000).prop_map(|fd| FsOp::Close { fd: Fd(fd) }),
+        (0u32..2000, 0u64..1 << 30, 0u32..65536).prop_map(|(fd, offset, len)| FsOp::Read {
+            fd: Fd(fd),
+            offset,
+            len
+        }),
+        (
+            0u32..2000,
+            0u64..1 << 30,
+            proptest::collection::vec(any::<u8>(), 0..256)
+        )
+            .prop_map(|(fd, offset, data)| FsOp::Write {
+                fd: Fd(fd),
+                offset,
+                data
+            }),
+        (0u32..2000, 0u64..1 << 40).prop_map(|(fd, size)| FsOp::Truncate { fd: Fd(fd), size }),
+        (
+            "/[a-z]{1,12}",
+            any::<bool>(),
+            0u64..1 << 30,
+            any::<bool>(),
+            0u64..1 << 30
+        )
+            .prop_map(|(path, has_size, size, has_mtime, mtime)| FsOp::SetAttr {
+                path,
+                attr: SetAttr {
+                    size: has_size.then_some(size),
+                    mtime: has_mtime.then_some(mtime),
+                },
+            }),
+        (0u32..2000).prop_map(|fd| FsOp::Fsync { fd: Fd(fd) }),
+        Just(FsOp::Sync),
+        "/[a-z]{1,12}".prop_map(|path| FsOp::Mkdir { path }),
+        "/[a-z]{1,12}".prop_map(|path| FsOp::Rmdir { path }),
+        "/[a-z]{1,12}".prop_map(|path| FsOp::Unlink { path }),
+        ("/[a-z]{1,12}", "/[a-z]{1,12}").prop_map(|(from, to)| FsOp::Rename { from, to }),
+        ("/[a-z]{1,12}", "/[a-z]{1,12}").prop_map(|(existing, new)| FsOp::Link { existing, new }),
+        ("/[a-z]{1,12}", "/[a-z]{1,12}")
+            .prop_map(|(target, linkpath)| FsOp::Symlink { target, linkpath }),
+        "/[a-z]{1,12}".prop_map(|path| FsOp::Readlink { path }),
+        "/[a-z]{1,12}".prop_map(|path| FsOp::Stat { path }),
+        (0u32..2000).prop_map(|fd| FsOp::Fstat { fd: Fd(fd) }),
+        "/[a-z]{1,12}".prop_map(|path| FsOp::Readdir { path }),
+        Just(FsOp::Statfs),
+    ]
+}
+
+fn any_fs_error() -> impl Strategy<Value = FsError> {
+    prop_oneof![
+        Just(FsError::NotFound),
+        Just(FsError::Exists),
+        Just(FsError::NotDir),
+        Just(FsError::IsDir),
+        Just(FsError::NotEmpty),
+        Just(FsError::NoSpace),
+        Just(FsError::NoInodes),
+        Just(FsError::InvalidArgument),
+        Just(FsError::NameTooLong),
+        Just(FsError::TooManyOpenFiles),
+        Just(FsError::BadFd),
+        Just(FsError::BadAccessMode),
+        Just(FsError::TooManyLinks),
+        Just(FsError::FileTooBig),
+        Just(FsError::ReadOnly),
+        Just(FsError::Busy),
+        Just(FsError::RenameLoop),
+        "[ -~]{0,40}".prop_map(|detail| FsError::IoFailed { detail }),
+        "[ -~]{0,40}".prop_map(|detail| FsError::Corrupted { detail }),
+        (0u32..100_000).prop_map(|bug_id| FsError::DetectedBug { bug_id }),
+        ("[a-z._]{1,30}", "[ -~]{0,40}")
+            .prop_map(|(check, detail)| FsError::CheckFailed { check, detail }),
+        "[ -~]{0,40}".prop_map(|detail| FsError::Internal { detail }),
+        "[ -~]{0,40}".prop_map(|detail| FsError::RecoveryFailed { detail }),
+    ]
+}
+
+fn any_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        Just(Reply::Unit),
+        Just(Reply::Pong),
+        (0u32..5000).prop_map(Reply::Fd),
+        proptest::collection::vec(any::<u8>(), 0..512).prop_map(Reply::Data),
+        (0u32..1 << 20).prop_map(Reply::Written),
+        "[ -~]{0,60}".prop_map(Reply::Str),
+        (
+            1u32..5000,
+            0u64..1 << 40,
+            1u32..100,
+            0u64..4096,
+            0u64..1 << 30
+        )
+            .prop_map(|(ino, size, nlink, blocks, mtime)| Reply::Stat(FileStat {
+                ino: InodeNo(ino),
+                ftype: FileType::Regular,
+                size,
+                nlink,
+                blocks,
+                mtime,
+                ctime: mtime,
+            })),
+        proptest::collection::vec(("[a-z]{1,12}", 1u32..5000), 0..16).prop_map(|entries| {
+            Reply::Entries(
+                entries
+                    .into_iter()
+                    .map(|(name, ino)| DirEntry {
+                        ino: InodeNo(ino),
+                        ftype: FileType::Regular,
+                        name,
+                    })
+                    .collect(),
+            )
+        }),
+        (0u32..64).prop_map(Reply::VolumeId),
+        (0u32..100_000).prop_map(Reply::BugId),
+        (0u8..4).prop_map(Reply::Status),
+    ]
+}
+
+proptest! {
+    /// Every filesystem request round-trips bit-exactly.
+    #[test]
+    fn fs_request_round_trip(volume in 0u32..64, op in any_fs_op()) {
+        let req = Request::Fs { volume, op };
+        prop_assert_eq!(Request::decode(&req.encode()), Ok(req));
+    }
+
+    /// Every success reply round-trips bit-exactly.
+    #[test]
+    fn reply_round_trip(reply in any_reply()) {
+        let resp = Response::Ok(reply);
+        prop_assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+    }
+
+    /// Every error response round-trips bit-exactly.
+    #[test]
+    fn fs_error_round_trip(e in any_fs_error()) {
+        let resp = Response::Err(e);
+        prop_assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+    }
+
+    /// The request decoder is total on arbitrary bytes: anything it
+    /// accepts must re-encode to an equivalent frame, and everything
+    /// else is a clean `DecodeError` (no panic).
+    #[test]
+    fn request_decoder_is_total(body in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(req) = Request::decode(&body) {
+            prop_assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
+    }
+
+    /// Same for the response decoder.
+    #[test]
+    fn response_decoder_is_total(body in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok(resp) = Response::decode(&body) {
+            prop_assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+        }
+    }
+
+    /// Truncating a valid frame anywhere never decodes to a *different*
+    /// valid request — prefix corruption is detected, not misread.
+    #[test]
+    fn truncated_requests_do_not_alias(volume in 0u32..8, op in any_fs_op(), cut in 0usize..64) {
+        let req = Request::Fs { volume, op };
+        let body = req.encode();
+        if cut < body.len() {
+            if let Ok(decoded) = Request::decode(&body[..cut]) {
+                prop_assert_ne!(decoded, req, "truncation produced the original");
+            }
+        }
+    }
+
+    /// Server errors round-trip.
+    #[test]
+    fn server_error_round_trip(volume in 0u32..64, which in 0u8..6) {
+        let e = match which {
+            0 => ServerError::QuotaExceeded { volume },
+            1 => ServerError::ShuttingDown,
+            2 => ServerError::NoSuchVolume { volume },
+            3 => ServerError::BadFrame { reason: "f".to_string() },
+            4 => ServerError::Unsupported { opcode: 20 },
+            _ => ServerError::Busy,
+        };
+        let resp = Response::ServerErr(e);
+        prop_assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+    }
+}

@@ -26,6 +26,12 @@ use std::fmt::Write as _;
 /// | `RetryAbsorbed` | attempts used | device op (0 r, 1 w, 2 flush) | 0 |
 /// | `RetryExhausted` | attempts used | device op | 0 |
 /// | `CacheEvictStale` | block number | shard index | 0 |
+/// | `ClientConnected` | connection id | 0 | 0 |
+/// | `ClientDisconnected` | connection id | requests served | 0 |
+/// | `QuotaExceeded` | volume id | op class code | 0 |
+/// | `VolumeMounted` | volume id | 0 | 0 |
+/// | `VolumeUnmounted` | volume id | clean (1) / dirty (0) | 0 |
+/// | `ServerShutdown` | connections drained | volumes unmounted | 0 |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// A device-level fault fired (injected by the fault harness).
@@ -56,11 +62,23 @@ pub enum EventKind {
     RetryExhausted,
     /// The page cache evicted a page whose home location was stale.
     CacheEvictStale,
+    /// A network client connected to the storage server.
+    ClientConnected,
+    /// A network client disconnected (or was dropped).
+    ClientDisconnected,
+    /// A request was refused because the tenant exceeded its quota.
+    QuotaExceeded,
+    /// The volume manager mounted a volume.
+    VolumeMounted,
+    /// The volume manager unmounted a volume.
+    VolumeUnmounted,
+    /// The server completed a graceful shutdown.
+    ServerShutdown,
 }
 
 impl EventKind {
     /// All kinds, in code order.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::FaultInjected,
         EventKind::ErrorDetected,
         EventKind::PanicCaught,
@@ -75,6 +93,12 @@ impl EventKind {
         EventKind::RetryAbsorbed,
         EventKind::RetryExhausted,
         EventKind::CacheEvictStale,
+        EventKind::ClientConnected,
+        EventKind::ClientDisconnected,
+        EventKind::QuotaExceeded,
+        EventKind::VolumeMounted,
+        EventKind::VolumeUnmounted,
+        EventKind::ServerShutdown,
     ];
 
     /// Stable wire code.
@@ -108,6 +132,12 @@ impl EventKind {
             EventKind::RetryAbsorbed => "retry_absorbed",
             EventKind::RetryExhausted => "retry_exhausted",
             EventKind::CacheEvictStale => "cache_evict_stale",
+            EventKind::ClientConnected => "client_connected",
+            EventKind::ClientDisconnected => "client_disconnected",
+            EventKind::QuotaExceeded => "quota_exceeded",
+            EventKind::VolumeMounted => "volume_mounted",
+            EventKind::VolumeUnmounted => "volume_unmounted",
+            EventKind::ServerShutdown => "server_shutdown",
         }
     }
 }
@@ -243,6 +273,22 @@ impl Event {
             ),
             EventKind::CacheEvictStale => {
                 format!("cache evicted stale-at-home page: block={a} shard={b}")
+            }
+            EventKind::ClientConnected => format!("client connected: conn={a}"),
+            EventKind::ClientDisconnected => {
+                format!("client disconnected: conn={a} requests={b}")
+            }
+            EventKind::QuotaExceeded => format!(
+                "quota exceeded: volume={a} op={}",
+                crate::OpClass::name_of(b)
+            ),
+            EventKind::VolumeMounted => format!("volume mounted: volume={a}"),
+            EventKind::VolumeUnmounted => format!(
+                "volume unmounted: volume={a} ({})",
+                if b == 1 { "clean" } else { "dirty" }
+            ),
+            EventKind::ServerShutdown => {
+                format!("server shut down: drained {a} connection(s), unmounted {b} volume(s)")
             }
         }
     }

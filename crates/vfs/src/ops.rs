@@ -68,6 +68,20 @@ impl OpKind {
         OpKind::RestoreFd,
     ];
 
+    /// Stable wire code (index into [`OpKind::ALL`]) — the opcode
+    /// vocabulary of the `rae-server` network protocol.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&k| k == self).unwrap_or(0) as u8
+    }
+
+    /// Decode a wire code (`None` for unknown opcodes, so servers can
+    /// reject malformed frames instead of panicking).
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<OpKind> {
+        Self::ALL.get(code as usize).copied()
+    }
+
     /// Stable lowercase name (used in reports and trigger specs).
     #[must_use]
     pub fn name(self) -> &'static str {
@@ -538,6 +552,15 @@ mod tests {
         for k in OpKind::ALL {
             assert!(!k.name().is_empty());
         }
+    }
+
+    #[test]
+    fn wire_codes_round_trip() {
+        for kind in OpKind::ALL {
+            assert_eq!(OpKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(OpKind::from_code(OpKind::ALL.len() as u8), None);
+        assert_eq!(OpKind::from_code(255), None);
     }
 
     #[test]

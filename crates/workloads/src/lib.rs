@@ -21,10 +21,15 @@
 
 mod concurrent;
 mod differential;
+mod loadgen;
 mod script;
 
 pub use concurrent::{
     populate_read_set, read_set_path, run_reader_mix, MixReport, ReadMix, ReadMixConfig,
 };
 pub use differential::{compare_outcomes, diff_trees, dump_tree, Divergence, TreeNode};
+pub use loadgen::{
+    percentile, populate_volumes, run_load, start_load, unavailability_window, volume_file_path,
+    LoadGenConfig, LoadReport, LoadRun, VolumeLoad, Zipf,
+};
 pub use script::{generate_script, run_script, Profile, ScriptOp, ScriptOutcome, StepResult};

@@ -345,7 +345,7 @@ pub mod string {
             match self {
                 Atom::Literal(c) => *c,
                 // Printable ASCII, matching `.` closely enough for tests.
-                Atom::AnyChar => (rng.gen_range(0x20u8..0x7f) as char),
+                Atom::AnyChar => rng.gen_range(0x20u8..0x7f) as char,
                 Atom::Class(ranges) => {
                     let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
                     char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
