@@ -20,6 +20,11 @@ pub(crate) struct Allocators {
     blk_hint: u64,
     pub(crate) free_inodes: u32,
     pub(crate) free_blocks: u64,
+    /// Blocks promised to in-flight mutations but not yet allocated.
+    /// Concurrent ops reserve their worst-case block need up front so a
+    /// mutation that passed its space precheck can never hit a surprise
+    /// mid-op `NoSpace` because a sibling consumed the freelist.
+    pub(crate) reserved_blocks: u64,
 }
 
 impl Allocators {
@@ -53,7 +58,31 @@ impl Allocators {
             blk_hint: 0,
             free_inodes,
             free_blocks,
+            reserved_blocks: 0,
         })
+    }
+
+    /// Free blocks not already promised to an in-flight mutation.
+    /// Reservations are conservative (worst case), so this saturates
+    /// rather than underflows when reservers consume their promise.
+    pub(crate) fn effective_free_blocks(&self) -> u64 {
+        self.free_blocks.saturating_sub(self.reserved_blocks)
+    }
+
+    /// Reserve `n` blocks for an in-flight mutation. The caller must
+    /// release the same `n` when the op finishes (whatever it actually
+    /// consumed — the reservation is a promise, not a ledger).
+    pub(crate) fn reserve_blocks(&mut self, n: u64) -> FsResult<()> {
+        if self.effective_free_blocks() < n {
+            return Err(FsError::NoSpace);
+        }
+        self.reserved_blocks += n;
+        Ok(())
+    }
+
+    /// Return a reservation taken with [`Allocators::reserve_blocks`].
+    pub(crate) fn release_reservation(&mut self, n: u64) {
+        self.reserved_blocks = self.reserved_blocks.saturating_sub(n);
     }
 
     fn flush_ibm_block(&self, pages: &PageCache, bit: u64) -> FsResult<()> {
@@ -201,6 +230,24 @@ mod tests {
         // reloading from the cache sees the allocation
         let alloc2 = Allocators::load(geo, &pages).unwrap();
         assert_eq!(alloc2.free_blocks, geo.data_blocks - 1);
+    }
+
+    #[test]
+    fn reservations_gate_effective_free() {
+        let (geo, pages) = setup();
+        let mut alloc = Allocators::load(geo, &pages).unwrap();
+        assert_eq!(alloc.effective_free_blocks(), geo.data_blocks);
+        alloc.reserve_blocks(geo.data_blocks - 1).unwrap();
+        assert_eq!(alloc.effective_free_blocks(), 1);
+        assert_eq!(alloc.reserve_blocks(2), Err(FsError::NoSpace));
+        alloc.reserve_blocks(1).unwrap();
+        assert_eq!(alloc.effective_free_blocks(), 0);
+        // the reserver consuming its promise leaves effective free
+        // saturated at zero, not underflowed
+        let _ = alloc.alloc_block(&pages).unwrap();
+        assert_eq!(alloc.effective_free_blocks(), 0);
+        alloc.release_reservation(geo.data_blocks);
+        assert_eq!(alloc.effective_free_blocks(), geo.data_blocks - 1);
     }
 
     #[test]

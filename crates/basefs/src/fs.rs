@@ -1,13 +1,47 @@
 //! The `BaseFs` type: lifecycle, internal machinery, and the
 //! [`FileSystem`] implementation.
+//!
+//! # Locking protocol (§4g of DESIGN.md)
+//!
+//! The write path is sharded. A mutation takes, in order:
+//!
+//! 1. `fence` (shared) — a global rename fence. `rename` is the one
+//!    operation that rewrites the namespace *between* directories, so
+//!    it takes `fence` exclusively and runs alone; every other
+//!    operation (mutating or reading) takes it shared and never sees a
+//!    rename in flight.
+//! 2. `txn` (shared) — the journal-transaction lock. Mutations hold it
+//!    shared for their whole critical section; the group-commit leader
+//!    takes it exclusively, so a commit sees no half-finished
+//!    mutation. `serial_writes` baseline mode makes every mutation
+//!    take it exclusively (the pre-sharding behaviour).
+//! 3. The **inode stripe locks** for the op's write set, acquired in
+//!    ascending stripe order (deadlock-free). Each op declares the
+//!    inodes it mutates (e.g. `unlink` = {parent, victim}) and holds
+//!    their stripes exclusively.
+//! 4. Leaf mutexes (`fds`, `alloc`, `jmgr`, `commit_state`) — short
+//!    capture/release holds only, never nested with one another.
+//!
+//! Because path resolution runs before the write-set is known, every
+//! mutation resolves optimistically, locks its stripes, then
+//! *revalidates* (the resolved entry must still be there) and retries
+//! from scratch on a miss. Readers take one stripe shared at a time
+//! while walking and retry a bounded number of times on `Corrupted`
+//! (a benign race with a concurrent unlink reads as transient
+//! corruption; real corruption persists across retries).
+//!
+//! Known relaxation: an unlocked path walk can race inode reuse and
+//! return a just-reallocated inode's data. Reads are unrecorded, and
+//! the next-fit allocation hint makes immediate reuse rare; the
+//! recorded mutation history is unaffected.
 
 use crate::alloc::Allocators;
 use crate::dentry::DentryCache;
-use crate::fdtable::FdTable;
+use crate::fdtable::{FdEntry, FdTable};
 use crate::icache::InodeCache;
 use crate::jmgr::JournalMgr;
 use crate::pagecache::{CacheStats, PageCache, PageClass};
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use rae_blockdev::{BlockDevice, QueueConfig, BLOCK_SIZE};
 use rae_faults::{FaultAction, FaultRegistry, OpContext, Site};
 use rae_fsformat::dirent::DirBlock;
@@ -18,12 +52,37 @@ use rae_fsformat::journal::{self, ReplayReport};
 use rae_fsformat::{Geometry, MountState, RecoveryDelta, Superblock};
 use rae_vfs::{
     split_parent, split_path, DirEntry, Fd, FileStat, FileSystem, FileType, FsError,
-    FsGeometryInfo, FsResult, InodeNo, OpCounters, OpKind, OpenFlags, SetAttr, MAX_FILE_SIZE,
-    MAX_LINKS, ROOT_INO,
+    FsGeometryInfo, FsResult, InodeNo, OpCounters, OpKind, OpOutcome, OpenFlags, SetAttr,
+    MAX_FILE_SIZE, MAX_LINKS, ROOT_INO,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of inode lock stripes. Inode `i` maps to stripe
+/// `i % ILOCK_STRIPES`; two files contend only on a stripe collision.
+const ILOCK_STRIPES: usize = 1024;
+/// Optimistic-resolution retries before a mutation gives up with
+/// [`FsError::Busy`]. A retry needs a concurrent racing rename/unlink
+/// of the same entry, so in practice one retry is already rare.
+const MUT_RETRIES: usize = 64;
+/// Reader retries on [`FsError::Corrupted`] (transient under races
+/// with unlink; persistent when the metadata really is damaged).
+const READ_RETRIES: usize = 3;
+/// Group-commit results kept for late-waking followers.
+const RESULTS_KEPT: usize = 64;
+
+/// Assigns completed mutations their position in a global operation
+/// log. Installed by the RAE runtime via [`BaseFs::set_sequencer`]; the
+/// base filesystem calls it at each operation's *sequence point* —
+/// inside the op's locks, at the moment the mutation's effects become
+/// observable to concurrent operations — so log order equals
+/// observation order and a replay of the log reproduces the tree.
+pub trait OpSequencer: Send + Sync {
+    /// Record `outcome` and return its sequence number, or `None` when
+    /// the operation should not be logged (e.g. recovery-path calls).
+    fn sequenced(&self, outcome: &OpOutcome) -> Option<u64>;
+}
 
 /// Configuration of a [`BaseFs`] instance.
 #[derive(Debug, Clone)]
@@ -52,6 +111,17 @@ pub struct BaseFsConfig {
     /// Telemetry handle shared with the page cache and journal manager
     /// (journal-commit and cache-fill timings, stale-eviction events).
     pub telemetry: Option<Arc<rae_telemetry::Telemetry>>,
+    /// Serialize mutations behind one exclusive transaction lock (the
+    /// pre-sharding write path, kept live as the E11 baseline). Group
+    /// commit still runs, but mutations never overlap so batches stay
+    /// at one.
+    pub serial_writes: bool,
+    /// Microseconds a group-commit leader waits before sealing its
+    /// batch, giving concurrent committers time to join. Zero (the
+    /// default) seals immediately; contention alone still forms
+    /// batches because joiners accumulate while the leader waits for
+    /// the exclusive transaction lock.
+    pub group_commit_leader_wait_us: u64,
 }
 
 impl Default for BaseFsConfig {
@@ -66,6 +136,8 @@ impl Default for BaseFsConfig {
             serial_reads: false,
             cache_shards: None,
             telemetry: None,
+            serial_writes: false,
+            group_commit_leader_wait_us: 0,
         }
     }
 }
@@ -89,48 +161,104 @@ pub struct BaseFsStats {
     pub resident_pages: usize,
 }
 
-#[derive(Debug)]
-struct Inner {
-    alloc: Allocators,
-    fds: FdTable,
-    jmgr: JournalMgr,
-    clock: u64,
-    mount_count: u32,
+/// Group-commit coordination state (under its own mutex, paired with
+/// [`BaseFs::commit_cv`]).
+#[derive(Debug, Default)]
+struct CommitState {
+    /// A leader is driving a commit right now.
+    leader_running: bool,
+    /// The running leader's batch is still accepting joiners (it flips
+    /// closed when the leader acquires the transaction lock).
+    batch_open: bool,
+    /// Callers folded into the forming batch (leader included).
+    joined: u64,
+    /// Generation counter of the latest batch to start.
+    gen_started: u64,
+    /// Generation counter of the latest batch to finish.
+    gen_completed: u64,
+    /// Recent `(generation, result)` pairs for waking followers.
+    results: VecDeque<(u64, FsResult<()>)>,
 }
 
-/// Guard for read-only operations: shared by default, exclusive when
-/// the `serial_reads` baseline mode reproduces pre-concurrency locking.
-enum ReadGuard<'a> {
-    Shared(RwLockReadGuard<'a, Inner>),
-    Exclusive(RwLockWriteGuard<'a, Inner>),
+/// Blocks and inodes freed by an operation, applied in one batch at
+/// the op's end (after its sequence point, locks still held). Deferring
+/// the frees keeps the free→reuse ordering hazard out of the sharded
+/// critical sections: a free drops the journal's pending image *before*
+/// the allocator can hand the block to anyone else.
+#[derive(Debug, Default)]
+struct Frees {
+    blocks: Vec<u64>,
+    inos: Vec<InodeNo>,
 }
 
-impl std::ops::Deref for ReadGuard<'_> {
-    type Target = Inner;
-    fn deref(&self) -> &Inner {
-        match self {
-            ReadGuard::Shared(g) => g,
-            ReadGuard::Exclusive(g) => g,
+impl Frees {
+    fn is_empty(&self) -> bool {
+        self.blocks.is_empty() && self.inos.is_empty()
+    }
+}
+
+/// Guard for the journal-transaction lock: shared for normal sharded
+/// mutations, exclusive in the `serial_writes` baseline.
+enum TxnGuard<'a> {
+    Shared(#[allow(dead_code)] RwLockReadGuard<'a, ()>),
+    Exclusive(#[allow(dead_code)] RwLockWriteGuard<'a, ()>),
+}
+
+/// Outcome of revalidating an optimistic resolution under locks.
+enum Reval {
+    /// The resolution still holds; proceed.
+    Ok,
+    /// A concurrent mutation invalidated it; drop the locks and retry.
+    Retry,
+}
+
+/// A worst-case block reservation, returned to the allocator on drop.
+struct ResGuard<'a> {
+    fs: &'a BaseFs,
+    n: u64,
+}
+
+impl Drop for ResGuard<'_> {
+    fn drop(&mut self) {
+        if self.n > 0 {
+            self.fs.alloc.lock().release_reservation(self.n);
         }
     }
 }
 
 /// The performance-oriented base filesystem. See the crate docs for the
-/// architecture and the RAE integration surface.
+/// architecture and the RAE integration surface, and the module docs
+/// for the locking protocol.
 pub struct BaseFs {
     dev: Arc<dyn BlockDevice>,
     geo: Geometry,
     pages: PageCache,
     icache: InodeCache,
     dcache: DentryCache,
-    inner: RwLock<Inner>,
+    fds: Mutex<FdTable>,
+    alloc: Mutex<Allocators>,
+    jmgr: Mutex<JournalMgr>,
+    commit_state: Mutex<CommitState>,
+    commit_cv: Condvar,
+    /// Journal-transaction lock: shared by mutations, exclusive for
+    /// commit leaders (and the `serial_writes`/`serial_reads` modes).
+    txn: RwLock<()>,
+    /// Global rename fence: exclusive for `rename`, shared otherwise.
+    fence: RwLock<()>,
+    /// Per-inode stripe locks (see the module docs).
+    ilocks: Box<[RwLock<()>]>,
+    clock: AtomicU64,
+    mount_count: u32,
     serial_reads: bool,
+    serial_writes: bool,
+    leader_wait_us: u64,
     counters: OpCounters,
     faults: FaultRegistry,
     max_dirty_meta: usize,
     validate_on_commit: bool,
     cur_seq: AtomicU64,
     persisted_seq: AtomicU64,
+    sequencer: RwLock<Option<Arc<dyn OpSequencer>>>,
     /// Kept so the journal manager rebuilt by a contained reboot can be
     /// re-attached to the same telemetry stream.
     telemetry: Option<Arc<rae_telemetry::Telemetry>>,
@@ -188,26 +316,33 @@ impl BaseFs {
         let mut jmgr = JournalMgr::new(geo, replay.next_seq);
         jmgr.set_telemetry(config.telemetry.clone());
         let alloc = Allocators::load(geo, &pages)?;
+        let ilocks: Vec<RwLock<()>> = (0..ILOCK_STRIPES).map(|_| RwLock::new(())).collect();
         Ok(BaseFs {
             dev,
             geo,
             pages,
             icache: InodeCache::new(),
             dcache: DentryCache::new(config.dentry_cache_entries),
-            inner: RwLock::new(Inner {
-                alloc,
-                fds: FdTable::new(),
-                jmgr,
-                clock: 0,
-                mount_count: sb.mount_count,
-            }),
+            fds: Mutex::new(FdTable::new()),
+            alloc: Mutex::new(alloc),
+            jmgr: Mutex::new(jmgr),
+            commit_state: Mutex::new(CommitState::default()),
+            commit_cv: Condvar::new(),
+            txn: RwLock::new(()),
+            fence: RwLock::new(()),
+            ilocks: ilocks.into_boxed_slice(),
+            clock: AtomicU64::new(0),
+            mount_count: sb.mount_count,
+            serial_reads: config.serial_reads,
+            serial_writes: config.serial_writes,
+            leader_wait_us: config.group_commit_leader_wait_us,
             counters: OpCounters::new(),
             faults,
             max_dirty_meta: config.max_dirty_meta.max(8),
             validate_on_commit: config.validate_on_commit,
-            serial_reads: config.serial_reads,
             cur_seq: AtomicU64::new(0),
             persisted_seq: AtomicU64::new(0),
+            sequencer: RwLock::new(None),
             telemetry: config.telemetry,
         })
     }
@@ -218,21 +353,23 @@ impl BaseFs {
     ///
     /// Device errors.
     pub fn unmount(self) -> FsResult<()> {
-        {
-            let mut inner = self.inner.write();
-            self.commit_locked(&mut inner)?;
-            inner.jmgr.checkpoint(self.dev.as_ref())?;
-            self.pages.checkpoint_done();
-            let sb = Superblock {
-                geometry: self.geo,
-                free_inodes: inner.alloc.free_inodes,
-                free_blocks: inner.alloc.free_blocks,
-                mount_state: MountState::Clean,
-                mount_count: inner.mount_count,
-            };
-            sb.write_to(self.dev.as_ref())?;
-            self.dev.flush()?;
-        }
+        let _txn = self.txn.write();
+        self.commit_with_txn_held()?;
+        self.jmgr.lock().checkpoint(self.dev.as_ref())?;
+        self.pages.checkpoint_done();
+        let (free_inodes, free_blocks) = {
+            let alloc = self.alloc.lock();
+            (alloc.free_inodes, alloc.free_blocks)
+        };
+        let sb = Superblock {
+            geometry: self.geo,
+            free_inodes,
+            free_blocks,
+            mount_state: MountState::Clean,
+            mount_count: self.mount_count,
+        };
+        sb.write_to(self.dev.as_ref())?;
+        self.dev.flush()?;
         Ok(())
     }
 
@@ -245,10 +382,9 @@ impl BaseFs {
     ///
     /// Device errors.
     pub fn checkpoint(&self) -> FsResult<()> {
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        self.commit_locked(inner)?;
-        inner.jmgr.checkpoint(self.dev.as_ref())?;
+        let _txn = self.txn.write();
+        self.commit_with_txn_held()?;
+        self.jmgr.lock().checkpoint(self.dev.as_ref())?;
         self.pages.checkpoint_done();
         Ok(())
     }
@@ -280,19 +416,21 @@ impl BaseFs {
         // is already degraded (the nested-fault campaign, E8)
         let ctx = OpContext::new(OpKind::Sync, Site::RecoveryReboot);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
+        let _fence = self.fence.write();
+        let _txn = self.txn.write();
         // Quiesce in-flight write-back, then drop every cached page —
         // nothing in memory is trusted after an error.
         self.pages.quiesce()?;
         self.pages.discard_all();
         self.icache.clear();
         self.dcache.clear();
-        inner.fds.clear();
+        self.fds.lock().clear();
 
         let report = journal::replay(self.dev.as_ref(), &self.geo)?;
-        inner.alloc = Allocators::load(self.geo, &self.pages)?;
-        inner.jmgr = JournalMgr::new(self.geo, report.next_seq);
-        inner.jmgr.set_telemetry(self.telemetry.clone());
+        *self.alloc.lock() = Allocators::load(self.geo, &self.pages)?;
+        let mut jmgr = JournalMgr::new(self.geo, report.next_seq);
+        jmgr.set_telemetry(self.telemetry.clone());
+        *self.jmgr.lock() = jmgr;
         Ok(report)
     }
 
@@ -307,7 +445,8 @@ impl BaseFs {
     pub fn absorb_recovery(&self, delta: &RecoveryDelta) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Sync, Site::RecoveryAbsorb);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
+        let _fence = self.fence.write();
+        let _txn = self.txn.write();
         for (bno, img) in &delta.meta_blocks {
             if *bno == 0 {
                 continue; // superblock is rebuilt from the bitmaps below
@@ -319,18 +458,22 @@ impl BaseFs {
         }
         self.icache.clear();
         self.dcache.clear();
-        inner.alloc = Allocators::load(self.geo, &self.pages)?;
-        inner.fds.clear();
-        for rfd in &delta.fd_entries {
-            if !inner.alloc.ino_allocated(rfd.ino)? {
-                return Err(FsError::Internal {
-                    detail: format!(
-                        "recovery delta restores {} on unallocated {}",
-                        rfd.fd, rfd.ino
-                    ),
-                });
+        {
+            let mut alloc = self.alloc.lock();
+            *alloc = Allocators::load(self.geo, &self.pages)?;
+            let mut fds = self.fds.lock();
+            fds.clear();
+            for rfd in &delta.fd_entries {
+                if !alloc.ino_allocated(rfd.ino)? {
+                    return Err(FsError::Internal {
+                        detail: format!(
+                            "recovery delta restores {} on unallocated {}",
+                            rfd.fd, rfd.ino
+                        ),
+                    });
+                }
+                fds.install(rfd.fd, rfd.ino, rfd.flags, &rfd.path)?;
             }
-            inner.fds.install(rfd.fd, rfd.ino, rfd.flags, &rfd.path)?;
         }
         Ok(())
     }
@@ -338,7 +481,13 @@ impl BaseFs {
     /// Record the sequence number of the operation about to execute
     /// (called by the RAE runtime before each logged operation).
     pub fn note_op_seq(&self, seq: u64) {
-        self.cur_seq.store(seq, Ordering::Relaxed);
+        self.cur_seq.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// Install (or clear) the operation sequencer consulted at each
+    /// mutation's sequence point.
+    pub fn set_sequencer(&self, sequencer: Option<Arc<dyn OpSequencer>>) {
+        *self.sequencer.write() = sequencer;
     }
 
     /// The persistence barrier: every logged operation with a sequence
@@ -380,14 +529,17 @@ impl BaseFs {
     /// Performance statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> BaseFsStats {
-        let inner = self.inner.read();
+        let (journal_commits, journal_checkpoints) = {
+            let jm = self.jmgr.lock();
+            (jm.commits(), jm.checkpoints())
+        };
         BaseFsStats {
             cache: self.pages.stats(),
             dentry_hits: self.dcache.hits(),
             dentry_misses: self.dcache.misses(),
-            journal_commits: inner.jmgr.commits(),
-            journal_checkpoints: inner.jmgr.checkpoints(),
-            open_fds: inner.fds.len(),
+            journal_commits,
+            journal_checkpoints,
+            open_fds: self.fds.lock().len(),
             resident_pages: self.pages.resident(),
         }
     }
@@ -402,9 +554,8 @@ impl BaseFs {
     /// Snapshot of the open-descriptor table (for the RAE recorder).
     #[must_use]
     pub fn fd_snapshot(&self) -> Vec<(Fd, InodeNo, OpenFlags, String)> {
-        let inner = self.inner.read();
-        inner
-            .fds
+        self.fds
+            .lock()
             .entries()
             .into_iter()
             .map(|(fd, e)| (fd, e.ino, e.flags, e.path))
@@ -415,18 +566,78 @@ impl BaseFs {
     // Locking
     // ------------------------------------------------------------------
 
-    /// Acquire the lock for a read-only operation. Readers share the
-    /// lock: mutations are excluded for their whole critical section,
-    /// so no torn directory or inode state is observable, and the RAE
-    /// recording contract never constrains reads because reads are
-    /// unrecorded. In `serial_reads` baseline mode this degrades to the
-    /// old exclusive lock.
-    fn lock_read(&self) -> ReadGuard<'_> {
-        if self.serial_reads {
-            ReadGuard::Exclusive(self.inner.write())
+    /// The stripe lock covering `ino`.
+    fn stripe(&self, ino: InodeNo) -> &RwLock<()> {
+        &self.ilocks[ino.0 as usize % ILOCK_STRIPES]
+    }
+
+    /// Exclusively lock the stripes covering a mutation's write set.
+    /// Stripes are acquired in ascending index order after dedup, so
+    /// concurrent mutations can never deadlock on each other.
+    fn lock_stripes(&self, inos: &[InodeNo]) -> Vec<RwLockWriteGuard<'_, ()>> {
+        let mut idx: Vec<usize> = inos.iter().map(|i| i.0 as usize % ILOCK_STRIPES).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        idx.into_iter().map(|i| self.ilocks[i].write()).collect()
+    }
+
+    /// Take the transaction lock for a mutation: shared normally,
+    /// exclusive in the `serial_writes` baseline.
+    fn txn_shared(&self) -> TxnGuard<'_> {
+        if self.serial_writes {
+            TxnGuard::Exclusive(self.txn.write())
         } else {
-            ReadGuard::Shared(self.inner.read())
+            TxnGuard::Shared(self.txn.read())
         }
+    }
+
+    /// In `serial_reads` baseline mode, readers exclude all mutations
+    /// by taking the transaction lock exclusively; otherwise readers
+    /// take no transaction-level lock at all.
+    fn read_excl(&self) -> Option<RwLockWriteGuard<'_, ()>> {
+        if self.serial_reads {
+            Some(self.txn.write())
+        } else {
+            None
+        }
+    }
+
+    /// Run a read-only closure, retrying a bounded number of times on
+    /// [`FsError::Corrupted`]: a reader racing an unlink can observe a
+    /// half-removed file as transient corruption, and the retry sees
+    /// the settled state (`NotFound`/`BadFd`). Persistent corruption
+    /// still surfaces after the retries are spent.
+    fn with_read_retries<T>(&self, f: impl Fn() -> FsResult<T>) -> FsResult<T> {
+        let mut last = f();
+        for _ in 1..READ_RETRIES {
+            match last {
+                Err(FsError::Corrupted { .. }) => last = f(),
+                r => return r,
+            }
+        }
+        last
+    }
+
+    // ------------------------------------------------------------------
+    // Sequencing
+    // ------------------------------------------------------------------
+
+    /// An operation's sequence point: hand the outcome to the installed
+    /// sequencer (if any) at the moment the mutation becomes observable
+    /// to concurrent operations, while the op's locks are still held.
+    fn sequence(&self, outcome: &OpOutcome) {
+        let assigned = {
+            let g = self.sequencer.read();
+            g.as_ref().and_then(|s| s.sequenced(outcome))
+        };
+        if let Some(seq) = assigned {
+            self.cur_seq.fetch_max(seq, Ordering::Relaxed);
+        }
+    }
+
+    /// The logical-mtime clock tick.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     // ------------------------------------------------------------------
@@ -516,6 +727,18 @@ impl BaseFs {
         })
     }
 
+    /// Cache-quiet inode load for revalidation: consults the caches
+    /// but never populates them (a revalidation probe must not plant
+    /// state that the retry then trusts).
+    fn load_inode_nofill(&self, ino: InodeNo) -> FsResult<Option<DiskInode>> {
+        if let Some(i) = self.icache.get(ino) {
+            return Ok(Some(i));
+        }
+        let (bno, off) = self.geo.inode_location(ino)?;
+        let block = self.pages.read(bno, PageClass::Meta)?;
+        DiskInode::decode(&block[off..off + INODE_SIZE])
+    }
+
     fn store_inode(&self, ino: InodeNo, inode: &DiskInode) -> FsResult<()> {
         let (bno, off) = self.geo.inode_location(ino)?;
         self.pages
@@ -530,11 +753,6 @@ impl BaseFs {
             .update(bno, off, &[0u8; INODE_SIZE], PageClass::Meta)?;
         self.icache.remove(ino);
         Ok(())
-    }
-
-    fn tick(inner: &mut Inner) -> u64 {
-        inner.clock += 1;
-        inner.clock
     }
 
     // ------------------------------------------------------------------
@@ -578,8 +796,8 @@ impl BaseFs {
         }
     }
 
-    fn alloc_data_block(&self, inner: &mut Inner, class: PageClass) -> FsResult<u64> {
-        let bno = inner.alloc.alloc_block(&self.pages)?;
+    fn alloc_data_block(&self, class: PageClass) -> FsResult<u64> {
+        let bno = self.alloc.lock().alloc_block(&self.pages)?;
         self.pages.write(bno, vec![0u8; BLOCK_SIZE], class)?;
         Ok(bno)
     }
@@ -587,28 +805,23 @@ impl BaseFs {
     /// Get-or-allocate the data block backing file-block `idx`,
     /// updating the inode's pointers and block count in place. The
     /// caller must store the inode afterwards.
-    fn ensure_file_block(
-        &self,
-        inner: &mut Inner,
-        inode: &mut DiskInode,
-        idx: u64,
-    ) -> FsResult<u64> {
+    fn ensure_file_block(&self, inode: &mut DiskInode, idx: u64) -> FsResult<u64> {
         match locate_block(idx)? {
             BlockPtrLoc::Direct(s) => {
                 if inode.direct[s] == 0 {
-                    inode.direct[s] = self.alloc_data_block(inner, PageClass::Data)?;
+                    inode.direct[s] = self.alloc_data_block(PageClass::Data)?;
                     inode.blocks += 1;
                 }
                 Ok(inode.direct[s])
             }
             BlockPtrLoc::Indirect { slot } => {
                 if inode.indirect == 0 {
-                    inode.indirect = self.alloc_data_block(inner, PageClass::Meta)?;
+                    inode.indirect = self.alloc_data_block(PageClass::Meta)?;
                     inode.blocks += 1;
                 }
                 let mut ptr = self.read_ptr(inode.indirect, slot)?;
                 if ptr == 0 {
-                    ptr = self.alloc_data_block(inner, PageClass::Data)?;
+                    ptr = self.alloc_data_block(PageClass::Data)?;
                     inode.blocks += 1;
                     self.write_ptr(inode.indirect, slot, ptr)?;
                 }
@@ -616,18 +829,18 @@ impl BaseFs {
             }
             BlockPtrLoc::DoubleIndirect { l1, l2 } => {
                 if inode.dindirect == 0 {
-                    inode.dindirect = self.alloc_data_block(inner, PageClass::Meta)?;
+                    inode.dindirect = self.alloc_data_block(PageClass::Meta)?;
                     inode.blocks += 1;
                 }
                 let mut l1p = self.read_ptr(inode.dindirect, l1)?;
                 if l1p == 0 {
-                    l1p = self.alloc_data_block(inner, PageClass::Meta)?;
+                    l1p = self.alloc_data_block(PageClass::Meta)?;
                     inode.blocks += 1;
                     self.write_ptr(inode.dindirect, l1, l1p)?;
                 }
                 let mut ptr = self.read_ptr(l1p, l2)?;
                 if ptr == 0 {
-                    ptr = self.alloc_data_block(inner, PageClass::Data)?;
+                    ptr = self.alloc_data_block(PageClass::Data)?;
                     inode.blocks += 1;
                     self.write_ptr(l1p, l2, ptr)?;
                 }
@@ -638,7 +851,7 @@ impl BaseFs {
 
     /// Blocks (data + new indirect blocks) a write to file-blocks
     /// `[start_idx, end_idx)` would have to allocate. Used for the
-    /// all-or-nothing `NoSpace` pre-check.
+    /// all-or-nothing `NoSpace` reservation.
     fn count_missing_blocks(
         &self,
         inode: &DiskInode,
@@ -699,27 +912,78 @@ impl BaseFs {
         Ok(need)
     }
 
-    /// Free `bno` and drop any committed-but-not-checkpointed journal
-    /// image of it.
+    // ------------------------------------------------------------------
+    // Reservations and deferred frees
+    // ------------------------------------------------------------------
+
+    /// Reserve `n` blocks for the running mutation; the reservation is
+    /// returned to the allocator when the guard drops.
     ///
-    /// Every block free must come through here: a freed block can be
+    /// All-or-nothing space prechecks are reservations under sharding:
+    /// a raw free-count check would let two concurrent mutations both
+    /// pass and then collide mid-op in `alloc_block`, failing *after*
+    /// partial mutation.
+    fn reserve(&self, n: u64) -> FsResult<ResGuard<'_>> {
+        if n > 0 {
+            self.alloc.lock().reserve_blocks(n)?;
+        }
+        Ok(ResGuard { fs: self, n })
+    }
+
+    /// Reserve the worst-case block need of inserting a `name_len`
+    /// entry into `dir` (zero when an existing block has room).
+    fn reserve_dir_insert(&self, dir: &DiskInode, name_len: usize) -> FsResult<ResGuard<'_>> {
+        for bno in self.dir_blocks(dir)? {
+            let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+            if db.fits(name_len) {
+                return Ok(ResGuard { fs: self, n: 0 });
+            }
+        }
+        let nb = dir.size / BLOCK_SIZE as u64;
+        let need = self.count_missing_blocks(dir, nb, nb + 1)?;
+        self.reserve(need)
+    }
+
+    /// Apply an operation's deferred frees, in hazard order: drop the
+    /// journal's pending images first (a freed block can be
     /// reallocated immediately — possibly as a data block, which
     /// bypasses the journal in ordered mode — and a stale pending
-    /// image left in the journal manager would overwrite the new
-    /// contents at the next checkpoint.
-    fn release_block(&self, inner: &mut Inner, bno: u64) -> FsResult<()> {
-        inner.alloc.free_block(&self.pages, bno)?;
-        inner.jmgr.drop_pending(bno);
+    /// image would overwrite the new contents at the next checkpoint),
+    /// then discard the freed blocks' cached metadata pages (a
+    /// still-dirty page would be re-journaled by the *next* commit,
+    /// recreating the same hazard), then return everything to the
+    /// allocator.
+    fn apply_frees(&self, frees: &Frees) -> FsResult<()> {
+        if frees.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut jm = self.jmgr.lock();
+            for &b in &frees.blocks {
+                jm.drop_pending(b);
+            }
+        }
+        for &b in &frees.blocks {
+            self.pages.discard_meta(b);
+        }
+        let mut alloc = self.alloc.lock();
+        for &b in &frees.blocks {
+            alloc.free_block(&self.pages, b)?;
+        }
+        for &i in &frees.inos {
+            alloc.free_ino(&self.pages, i)?;
+        }
         Ok(())
     }
 
-    /// Free blocks past `new_size`, zero the partial tail, update size
-    /// and block count. The caller stores the inode.
+    /// Free blocks past `new_size` into `frees`, zero the partial
+    /// tail, update size and block count. The caller stores the inode
+    /// and applies the frees.
     fn truncate_core(
         &self,
-        inner: &mut Inner,
         inode: &mut DiskInode,
         new_size: u64,
+        frees: &mut Frees,
     ) -> FsResult<()> {
         let old_nb = inode.size.div_ceil(BLOCK_SIZE as u64);
         let new_nb = new_size.div_ceil(BLOCK_SIZE as u64);
@@ -728,7 +992,7 @@ impl BaseFs {
             match locate_block(idx)? {
                 BlockPtrLoc::Direct(s) => {
                     if inode.direct[s] != 0 {
-                        self.release_block(inner, inode.direct[s])?;
+                        frees.blocks.push(inode.direct[s]);
                         inode.direct[s] = 0;
                         inode.blocks -= 1;
                     }
@@ -737,7 +1001,7 @@ impl BaseFs {
                     if inode.indirect != 0 {
                         let ptr = self.read_ptr(inode.indirect, slot)?;
                         if ptr != 0 {
-                            self.release_block(inner, ptr)?;
+                            frees.blocks.push(ptr);
                             self.write_ptr(inode.indirect, slot, 0)?;
                             inode.blocks -= 1;
                         }
@@ -749,7 +1013,7 @@ impl BaseFs {
                         if l1p != 0 {
                             let ptr = self.read_ptr(l1p, l2)?;
                             if ptr != 0 {
-                                self.release_block(inner, ptr)?;
+                                frees.blocks.push(ptr);
                                 self.write_ptr(l1p, l2, 0)?;
                                 inode.blocks -= 1;
                             }
@@ -761,7 +1025,7 @@ impl BaseFs {
 
         // free indirect structures that became entirely unused
         if new_nb <= 12 && inode.indirect != 0 {
-            self.release_block(inner, inode.indirect)?;
+            frees.blocks.push(inode.indirect);
             inode.indirect = 0;
             inode.blocks -= 1;
         }
@@ -772,12 +1036,12 @@ impl BaseFs {
                 for l1 in 0..PTRS_PER_BLOCK {
                     let l1p = self.read_ptr(inode.dindirect, l1)?;
                     if l1p != 0 {
-                        self.release_block(inner, l1p)?;
+                        frees.blocks.push(l1p);
                         self.write_ptr(inode.dindirect, l1, 0)?;
                         inode.blocks -= 1;
                     }
                 }
-                self.release_block(inner, inode.dindirect)?;
+                frees.blocks.push(inode.dindirect);
                 inode.dindirect = 0;
                 inode.blocks -= 1;
             } else {
@@ -787,7 +1051,7 @@ impl BaseFs {
                 for l1 in first_live_l1..PTRS_PER_BLOCK {
                     let l1p = self.read_ptr(inode.dindirect, l1)?;
                     if l1p != 0 {
-                        self.release_block(inner, l1p)?;
+                        frees.blocks.push(l1p);
                         self.write_ptr(inode.dindirect, l1, 0)?;
                         inode.blocks -= 1;
                     }
@@ -807,6 +1071,19 @@ impl BaseFs {
         }
         inode.size = new_size;
         Ok(())
+    }
+
+    /// Free every block of a file/symlink inode and the inode itself
+    /// (into `frees`; the entry must already be unpublished).
+    fn destroy_inode(
+        &self,
+        ino: InodeNo,
+        inode: &mut DiskInode,
+        frees: &mut Frees,
+    ) -> FsResult<()> {
+        self.truncate_core(inode, 0, frees)?;
+        frees.inos.push(ino);
+        self.clear_inode(ino)
     }
 
     // ------------------------------------------------------------------
@@ -854,28 +1131,31 @@ impl BaseFs {
         Ok(None)
     }
 
-    /// Whether the directory-entry insert below can succeed without
-    /// running out of space.
-    fn dir_insert_precheck(&self, inner: &Inner, dir: &DiskInode, name_len: usize) -> FsResult<()> {
-        for bno in self.dir_blocks(dir)? {
+    /// Cache-quiet directory lookup for revalidation (no cache fills).
+    fn lookup_nofill(&self, dir_ino: InodeNo, name: &str) -> FsResult<Option<InodeNo>> {
+        if let Some(ino) = self.dcache.lookup(dir_ino, name) {
+            return Ok(Some(ino));
+        }
+        let dir = self.load_inode_nofill(dir_ino)?.ok_or(FsError::Corrupted {
+            detail: format!("{dir_ino} referenced but not allocated"),
+        })?;
+        if dir.ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        for bno in self.dir_blocks(&dir)? {
             let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
-            if db.fits(name_len) {
-                return Ok(());
+            if let Some(rec) = db.find(name) {
+                return Ok(Some(rec.ino));
             }
         }
-        let nb = dir.size / BLOCK_SIZE as u64;
-        let need = self.count_missing_blocks(dir, nb, nb + 1)?;
-        if inner.alloc.free_blocks < need {
-            return Err(FsError::NoSpace);
-        }
-        Ok(())
+        Ok(None)
     }
 
-    /// Insert an entry; the caller has checked for duplicates and run
-    /// the pre-check. Stores the directory inode if it grows.
+    /// Insert an entry; the caller has checked for duplicates and holds
+    /// a reservation covering a possible grow. Stores the directory
+    /// inode if it grows.
     fn dir_insert(
         &self,
-        inner: &mut Inner,
         dir_ino: InodeNo,
         name: &str,
         ino: InodeNo,
@@ -895,13 +1175,13 @@ impl BaseFs {
         }
         // grow the directory by one block
         let nb = dir.size / BLOCK_SIZE as u64;
-        let bno = self.ensure_file_block(inner, &mut dir, nb)?;
+        let bno = self.ensure_file_block(&mut dir, nb)?;
         let mut db = DirBlock::empty();
         let inserted = db.try_insert(name, ino, ftype)?;
         debug_assert!(inserted);
         self.pages.write(bno, db.into_bytes(), PageClass::Meta)?;
         dir.size += BLOCK_SIZE as u64;
-        let now = Self::tick(inner);
+        let now = self.tick();
         dir.mtime = now;
         self.store_inode(dir_ino, &dir)?;
         self.dcache.insert(dir_ino, name, ino);
@@ -909,8 +1189,8 @@ impl BaseFs {
     }
 
     /// Remove an entry; `Ok(true)` if found. Shrinks trailing empty
-    /// blocks.
-    fn dir_remove(&self, inner: &mut Inner, dir_ino: InodeNo, name: &str) -> FsResult<bool> {
+    /// blocks (freed into `frees`).
+    fn dir_remove(&self, dir_ino: InodeNo, name: &str, frees: &mut Frees) -> FsResult<bool> {
         let ctx = OpContext::new(OpKind::Unlink, Site::DirModify).with_path(name);
         let _ = self.hook(&ctx)?;
 
@@ -931,7 +1211,6 @@ impl BaseFs {
         self.dcache.invalidate(dir_ino, name);
         // shrink trailing empty blocks
         let mut nb = dir.size / BLOCK_SIZE as u64;
-        let mut changed = false;
         while nb > 0 {
             let last = self.get_file_block(&dir, nb - 1)?;
             if last == 0 {
@@ -941,13 +1220,11 @@ impl BaseFs {
             if !db.is_empty() {
                 break;
             }
-            self.truncate_core(inner, &mut dir, (nb - 1) * BLOCK_SIZE as u64)?;
+            self.truncate_core(&mut dir, (nb - 1) * BLOCK_SIZE as u64, frees)?;
             nb -= 1;
-            changed = true;
         }
-        let now = Self::tick(inner);
+        let now = self.tick();
         dir.mtime = now;
-        let _ = changed;
         self.store_inode(dir_ino, &dir)?;
         Ok(true)
     }
@@ -965,14 +1242,18 @@ impl BaseFs {
     // Path resolution
     // ------------------------------------------------------------------
 
-    fn resolve(&self, comps: &[&str]) -> FsResult<InodeNo> {
-        if !comps.is_empty() {
+    /// Resolve a path, taking each directory's stripe shared for the
+    /// single step that reads it (one stripe at a time — never two, so
+    /// walks cannot deadlock with write-set holders).
+    fn resolve_locked(&self, comps: &[&str], fire_hook: bool) -> FsResult<InodeNo> {
+        if fire_hook && !comps.is_empty() {
             let joined = comps.join("/");
             let ctx = OpContext::new(OpKind::Stat, Site::PathLookup).with_path(&joined);
             let _ = self.hook(&ctx)?;
         }
         let mut cur = ROOT_INO;
         for comp in comps {
+            let _g = self.stripe(cur).read();
             let inode = self.load_inode(cur)?;
             if inode.ftype != FileType::Directory {
                 return Err(FsError::NotDir);
@@ -985,17 +1266,60 @@ impl BaseFs {
         Ok(cur)
     }
 
-    fn resolve_parent<'p>(&self, path: &'p str) -> FsResult<(InodeNo, &'p str)> {
-        let (parent_comps, name) = split_parent(path)?;
-        let parent = self.resolve(&parent_comps)?;
-        let pinode = self.load_inode(parent)?;
-        if pinode.ftype != FileType::Directory {
+    /// Resolve a path that must be a directory (the parent side of a
+    /// mutation).
+    fn resolve_dir(&self, comps: &[&str], fire_hook: bool) -> FsResult<InodeNo> {
+        let ino = self.resolve_locked(comps, fire_hook)?;
+        let _g = self.stripe(ino).read();
+        let inode = self.load_inode(ino)?;
+        if inode.ftype != FileType::Directory {
             return Err(FsError::NotDir);
         }
-        Ok((parent, name))
+        Ok(ino)
     }
 
-    /// Whether `target` equals `anc` or lies anywhere below it.
+    /// Lock-free, cache-quiet resolution used only to revalidate an
+    /// optimistic walk after the write-set stripes are held.
+    fn resolve_quiet(&self, comps: &[&str]) -> FsResult<InodeNo> {
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            cur = self.lookup_nofill(cur, comp)?.ok_or(FsError::NotFound)?;
+        }
+        Ok(cur)
+    }
+
+    /// Revalidate that `comps` still resolves to `parent` now that the
+    /// op's stripes are held. The rename fence (held shared by every
+    /// non-rename op) guarantees no cross-directory move can interleave
+    /// with the probe, so a stable mismatch means a genuine concurrent
+    /// create/unlink — retry from the top.
+    fn revalidate_parent(&self, comps: &[&str], parent: InodeNo) -> FsResult<Reval> {
+        match self.resolve_quiet(comps) {
+            Ok(ino) if ino == parent => Ok(Reval::Ok),
+            Ok(_) => Ok(Reval::Retry),
+            Err(FsError::NotFound | FsError::NotDir | FsError::Corrupted { .. }) => {
+                Ok(Reval::Retry)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Revalidate that `parent` still maps `name` to `child`. Holding
+    /// `child`'s stripe exclusively makes the answer stable: removing
+    /// that entry (unlink/rmdir) requires the same stripe, and renames
+    /// are fenced out entirely.
+    fn revalidate_entry(&self, parent: InodeNo, name: &str, child: InodeNo) -> FsResult<Reval> {
+        match self.lookup_nofill(parent, name) {
+            Ok(Some(ino)) if ino == child => Ok(Reval::Ok),
+            Ok(_) => Ok(Reval::Retry),
+            Err(FsError::NotDir | FsError::Corrupted { .. }) => Ok(Reval::Retry),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether `target` equals `anc` or lies anywhere below it. Only
+    /// called under the exclusive rename fence, so the subtree cannot
+    /// change mid-walk.
     fn is_self_or_descendant(&self, anc: InodeNo, target: InodeNo) -> FsResult<bool> {
         if anc == target {
             return Ok(true);
@@ -1022,10 +1346,107 @@ impl BaseFs {
     }
 
     // ------------------------------------------------------------------
-    // Journal commit
+    // Journal group commit
     // ------------------------------------------------------------------
 
-    fn commit_locked(&self, inner: &mut Inner) -> FsResult<()> {
+    /// Commit the running transaction, batching with concurrent
+    /// committers: the first caller becomes the *leader*, later callers
+    /// *join* its batch and park until the leader publishes the shared
+    /// result. One journal write persists every batched caller's
+    /// metadata at once.
+    fn commit_coordinated(&self) -> FsResult<()> {
+        let t0 = self.telemetry.as_ref().and_then(|t| t.clock());
+        let r = self.commit_coordinated_inner();
+        if let (Some(t), Some(t0)) = (self.telemetry.as_ref(), t0) {
+            t.record_commit_stall_ns(t0.elapsed().as_nanos() as u64);
+        }
+        r
+    }
+
+    fn commit_coordinated_inner(&self) -> FsResult<()> {
+        let my_gen;
+        {
+            let mut st = self.commit_state.lock();
+            loop {
+                if st.leader_running && st.batch_open {
+                    // join the forming batch and wait for its result
+                    let gen = st.gen_started;
+                    st.joined += 1;
+                    while st.gen_completed < gen {
+                        self.commit_cv.wait(&mut st);
+                    }
+                    let res = st
+                        .results
+                        .iter()
+                        .find(|(g, _)| *g == gen)
+                        .map(|(_, r)| r.clone());
+                    debug_assert!(res.is_some(), "group-commit result expired early");
+                    return res.unwrap_or(Ok(()));
+                }
+                if st.leader_running {
+                    // batch already sealed: wait for the next opening
+                    self.commit_cv.wait(&mut st);
+                    continue;
+                }
+                st.leader_running = true;
+                // the serial_writes baseline commits one caller at a
+                // time: the batch never opens, so concurrent fsyncs
+                // serialize exactly as before group commit existed
+                st.batch_open = !self.serial_writes;
+                st.gen_started += 1;
+                st.joined = 1;
+                my_gen = st.gen_started;
+                break;
+            }
+        }
+        // Leader. Optionally linger to let more committers join, then
+        // drain in-flight mutations by taking the transaction lock
+        // exclusively (joiners keep accumulating while we wait).
+        if self.leader_wait_us > 0 && !self.serial_writes {
+            std::thread::sleep(std::time::Duration::from_micros(self.leader_wait_us));
+        }
+        let txn = self.txn.write();
+        let batch = {
+            let mut st = self.commit_state.lock();
+            st.batch_open = false;
+            st.joined
+        };
+        // The commit itself can panic (injected `Panic` faults at the
+        // JournalCommit site). Followers must still be woken with a
+        // result, or they would park forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _txn = txn;
+            self.commit_with_txn_held()
+        }));
+        if let Some(t) = self.telemetry.as_ref() {
+            t.record_commit_batch(batch);
+        }
+        let publish = match &result {
+            Ok(r) => r.clone(),
+            Err(_) => Err(FsError::Internal {
+                detail: "journal commit leader panicked".to_string(),
+            }),
+        };
+        {
+            let mut st = self.commit_state.lock();
+            st.gen_completed = my_gen;
+            st.leader_running = false;
+            st.results.push_back((my_gen, publish));
+            while st.results.len() > RESULTS_KEPT {
+                st.results.pop_front();
+            }
+        }
+        self.commit_cv.notify_all();
+        match result {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    /// The commit body. The caller holds the transaction lock
+    /// exclusively, so no mutation is mid-flight: the dirty metadata
+    /// set is a consistent cut and `cur_seq` is a true high-water mark.
+    fn commit_with_txn_held(&self) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Sync, Site::JournalCommit);
         let _ = self.hook(&ctx)?;
 
@@ -1036,41 +1457,35 @@ impl BaseFs {
         if images.is_empty() {
             return Ok(());
         }
+        let (free_inodes, free_blocks) = {
+            let alloc = self.alloc.lock();
+            (alloc.free_inodes, alloc.free_blocks)
+        };
         let sb = Superblock {
             geometry: self.geo,
-            free_inodes: inner.alloc.free_inodes,
-            free_blocks: inner.alloc.free_blocks,
+            free_inodes,
+            free_blocks,
             mount_state: MountState::Dirty,
-            mount_count: inner.mount_count,
+            mount_count: self.mount_count,
         };
         images.push((0, sb.encode()));
         if self.validate_on_commit {
             self.validate_commit_images(&images)?;
         }
-        inner.jmgr.commit(self.dev.as_ref(), images)?;
+        self.jmgr.lock().commit(self.dev.as_ref(), images)?;
         self.persisted_seq
-            .store(self.cur_seq.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_max(self.cur_seq.load(Ordering::Relaxed), Ordering::Relaxed);
         Ok(())
     }
 
     /// Commit if the running transaction has grown past the bound.
-    fn maybe_autocommit(&self, inner: &mut Inner) -> FsResult<()> {
+    /// Callers must have dropped every op-level lock first (the leader
+    /// path takes the transaction lock exclusively).
+    fn maybe_autocommit(&self) -> FsResult<()> {
         if self.pages.dirty_meta_count() >= self.max_dirty_meta {
-            self.commit_locked(inner)?;
+            self.commit_coordinated()?;
         }
         Ok(())
-    }
-
-    /// Free every block of a file/symlink inode and the inode itself.
-    fn destroy_inode(
-        &self,
-        inner: &mut Inner,
-        ino: InodeNo,
-        inode: &mut DiskInode,
-    ) -> FsResult<()> {
-        self.truncate_core(inner, inode, 0)?;
-        inner.alloc.free_ino(&self.pages, ino)?;
-        self.clear_inode(ino)
     }
 }
 
@@ -1089,68 +1504,144 @@ impl BaseFs {
             self.counters.record_error(OpKind::Open);
             return Err(FsError::InvalidArgument);
         }
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let (parent, name) = self.resolve_parent(path)?;
-            match self.dir_lookup(parent, name)? {
-                Some(ino) => {
-                    if flags.creates() && flags.contains(OpenFlags::EXCL) {
-                        return Err(FsError::Exists);
-                    }
-                    let mut inode = self.load_inode(ino)?;
-                    match inode.ftype {
-                        FileType::Directory => return Err(FsError::IsDir),
-                        FileType::Symlink => return Err(FsError::InvalidArgument),
-                        FileType::Regular => {}
-                    }
-                    if flags.contains(OpenFlags::TRUNC) && flags.writable() {
-                        self.truncate_core(inner, &mut inode, 0)?;
-                        let now = Self::tick(inner);
-                        inode.mtime = now;
-                        inode.ctime = now;
-                        self.store_inode(ino, &inode)?;
-                    }
-                    inner.fds.alloc(ino, flags, path).map(|fd| (fd, ino, false))
-                }
-                None => {
-                    if !flags.creates() {
-                        return Err(FsError::NotFound);
-                    }
-                    let ctx = OpContext::new(OpKind::Create, Site::Alloc).with_path(path);
-                    let _ = self.hook(&ctx)?;
-                    let dir = self.load_inode(parent)?;
-                    self.dir_insert_precheck(inner, &dir, name.len())?;
-                    if inner.alloc.free_inodes == 0 {
-                        return Err(FsError::NoInodes);
-                    }
-                    let ino = inner.alloc.alloc_ino(&self.pages)?;
-                    let now = Self::tick(inner);
-                    let inode = DiskInode::new(FileType::Regular, now);
-                    self.store_inode(ino, &inode)?;
-                    self.dir_insert(inner, parent, name, ino, FileType::Regular)?;
-                    let mut pdir = self.load_inode(parent)?;
-                    pdir.mtime = now;
-                    self.store_inode(parent, &pdir)?;
-                    match inner.fds.alloc(ino, flags, path) {
-                        Ok(fd) => Ok((fd, ino, true)),
-                        Err(e) => {
-                            // roll back the creation on fd exhaustion
-                            self.dir_remove(inner, parent, name)?;
-                            let mut dead = inode;
-                            self.destroy_inode(inner, ino, &mut dead)?;
-                            Err(e)
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                let (parent_comps, name) = split_parent(path)?;
+                for _ in 0..MUT_RETRIES {
+                    let parent = self.resolve_dir(&parent_comps, true)?;
+                    let existing = {
+                        let _g = self.stripe(parent).read();
+                        self.dir_lookup(parent, name)?
+                    };
+                    if let Some(ino) = existing {
+                        let _w = self.lock_stripes(&[ino]);
+                        match self.revalidate_entry(parent, name, ino)? {
+                            Reval::Ok => {}
+                            Reval::Retry => continue,
                         }
+                        return self.open_existing_body(path, flags, ino);
                     }
+                    let _w = self.lock_stripes(&[parent]);
+                    match self.revalidate_parent(&parent_comps, parent)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    if self.dir_lookup(parent, name)?.is_some() {
+                        continue; // created meanwhile — retake as existing
+                    }
+                    return self.open_create_body(path, flags, parent, name);
                 }
-            }
-        })();
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(_) => self.counters.record(OpKind::Open),
             Err(_) => self.counters.record_error(OpKind::Open),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
+    }
+
+    /// Open of an existing file, under `W{ino}`.
+    fn open_existing_body(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        ino: InodeNo,
+    ) -> FsResult<(Fd, InodeNo, bool)> {
+        if flags.creates() && flags.contains(OpenFlags::EXCL) {
+            return Err(FsError::Exists);
+        }
+        let mut inode = self.load_inode(ino)?;
+        match inode.ftype {
+            FileType::Directory => return Err(FsError::IsDir),
+            FileType::Symlink => return Err(FsError::InvalidArgument),
+            FileType::Regular => {}
+        }
+        let mut frees = Frees::default();
+        if flags.contains(OpenFlags::TRUNC) && flags.writable() {
+            self.truncate_core(&mut inode, 0, &mut frees)?;
+            let now = self.tick();
+            inode.mtime = now;
+            inode.ctime = now;
+            self.store_inode(ino, &inode)?;
+        }
+        // sequence inside the descriptor-table hold: the table mutation
+        // order must equal log order for the shadow's lowest-free fd
+        // allocation to reproduce the same numbering
+        let r = {
+            let mut fds = self.fds.lock();
+            let r = fds.alloc(ino, flags, path);
+            if let Ok(fd) = r {
+                self.sequence(&OpOutcome::Opened {
+                    fd,
+                    ino,
+                    created: false,
+                });
+            }
+            r
+        };
+        self.apply_frees(&frees)?;
+        r.map(|fd| (fd, ino, false))
+    }
+
+    /// Open-with-create of a missing file, under `W{parent}`. The new
+    /// inode is sequenced *before* it is published in the directory, so
+    /// no concurrent operation can observe (and sequence after) an
+    /// entry that the log has not assigned yet.
+    fn open_create_body(
+        &self,
+        path: &str,
+        flags: OpenFlags,
+        parent: InodeNo,
+        name: &str,
+    ) -> FsResult<(Fd, InodeNo, bool)> {
+        if !flags.creates() {
+            return Err(FsError::NotFound);
+        }
+        let ctx = OpContext::new(OpKind::Create, Site::Alloc).with_path(path);
+        let _ = self.hook(&ctx)?;
+        let dir = self.load_inode(parent)?;
+        let _res = self.reserve_dir_insert(&dir, name.len())?;
+        let ino = {
+            let mut alloc = self.alloc.lock();
+            if alloc.free_inodes == 0 {
+                return Err(FsError::NoInodes);
+            }
+            alloc.alloc_ino(&self.pages)?
+        };
+        let now = self.tick();
+        let inode = DiskInode::new(FileType::Regular, now);
+        self.store_inode(ino, &inode)?;
+        let fd = {
+            let mut fds = self.fds.lock();
+            match fds.alloc(ino, flags, path) {
+                Ok(fd) => {
+                    self.sequence(&OpOutcome::Opened {
+                        fd,
+                        ino,
+                        created: true,
+                    });
+                    fd
+                }
+                Err(e) => {
+                    drop(fds);
+                    // roll back the unpublished inode on fd exhaustion
+                    let mut frees = Frees::default();
+                    let mut dead = inode;
+                    self.destroy_inode(ino, &mut dead, &mut frees)?;
+                    self.apply_frees(&frees)?;
+                    return Err(e);
+                }
+            }
+        };
+        self.dir_insert(parent, name, ino, FileType::Regular)?;
+        let mut pdir = self.load_inode(parent)?;
+        pdir.mtime = now;
+        self.store_inode(parent, &pdir)?;
+        Ok((fd, ino, true))
     }
 
     /// Restore a descriptor by inode (the recovery path's `RestoreFd`;
@@ -1162,15 +1653,402 @@ impl BaseFs {
     /// [`FsError::Corrupted`] for a bad inode; [`FsError::Internal`]
     /// for a duplicate descriptor.
     pub fn restore_fd(&self, fd: Fd, ino: InodeNo, flags: OpenFlags, path: &str) -> FsResult<()> {
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
+        let _fence = self.fence.read();
+        let _txn = self.txn_shared();
+        let _w = self.lock_stripes(&[ino]);
         let inode = self.load_inode(ino)?;
         if inode.ftype != FileType::Regular {
             return Err(FsError::Corrupted {
                 detail: format!("descriptor restore aimed at non-file {ino}"),
             });
         }
-        inner.fds.install(fd, ino, flags, path)
+        let mut fds = self.fds.lock();
+        fds.install(fd, ino, flags, path)?;
+        self.sequence(&OpOutcome::Opened {
+            fd,
+            ino,
+            created: false,
+        });
+        Ok(())
+    }
+
+    /// The write body, under `W{entry.ino}`.
+    fn write_body(&self, entry: &FdEntry, offset: u64, data: &[u8]) -> FsResult<usize> {
+        let ctx = OpContext::new(OpKind::Write, Site::Write)
+            .with_path(&entry.path)
+            .with_io(offset, data.len());
+        let corrupt = self.hook(&ctx)?;
+        let mut payload; // only materialized when corrupting
+        let data: &[u8] = if corrupt {
+            payload = data.to_vec();
+            payload[0] ^= 0x01; // the silent wrong result
+            &payload
+        } else {
+            data
+        };
+
+        let mut inode = self.load_inode(entry.ino)?;
+        let at = if entry.flags.contains(OpenFlags::APPEND) {
+            inode.size
+        } else {
+            offset
+        };
+        let end = at
+            .checked_add(data.len() as u64)
+            .ok_or(FsError::FileTooBig)?;
+        if end > MAX_FILE_SIZE {
+            return Err(FsError::FileTooBig);
+        }
+        // all-or-nothing space reservation
+        let start_idx = at / BLOCK_SIZE as u64;
+        let end_idx = end.div_ceil(BLOCK_SIZE as u64);
+        let need = self.count_missing_blocks(&inode, start_idx, end_idx)?;
+        let _res = self.reserve(need)?;
+
+        let mut pos = at;
+        let mut src = 0usize;
+        while pos < end {
+            let idx = pos / BLOCK_SIZE as u64;
+            let in_blk = (pos % BLOCK_SIZE as u64) as usize;
+            let take = ((BLOCK_SIZE - in_blk) as u64).min(end - pos) as usize;
+            let bno = self.ensure_file_block(&mut inode, idx)?;
+            if take == BLOCK_SIZE {
+                self.pages
+                    .write(bno, data[src..src + take].to_vec(), PageClass::Data)?;
+            } else {
+                self.pages
+                    .update(bno, in_blk, &data[src..src + take], PageClass::Data)?;
+            }
+            pos += take as u64;
+            src += take;
+        }
+        if end > inode.size {
+            inode.size = end;
+        }
+        let now = self.tick();
+        inode.mtime = now;
+        inode.ctime = now;
+        self.store_inode(entry.ino, &inode)?;
+        self.sequence(&OpOutcome::Written { n: data.len() });
+        Ok(data.len())
+    }
+
+    /// The fd-truncate body, under `W{entry.ino}`.
+    fn truncate_body(&self, entry: &FdEntry, size: u64) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Truncate, Site::Truncate).with_path(&entry.path);
+        let _ = self.hook(&ctx)?;
+        if size > MAX_FILE_SIZE {
+            return Err(FsError::FileTooBig);
+        }
+        let mut frees = Frees::default();
+        let mut inode = self.load_inode(entry.ino)?;
+        if size < inode.size {
+            self.truncate_core(&mut inode, size, &mut frees)?;
+        } else {
+            inode.size = size; // extension is sparse
+        }
+        let now = self.tick();
+        inode.mtime = now;
+        inode.ctime = now;
+        self.store_inode(entry.ino, &inode)?;
+        self.sequence(&OpOutcome::Unit);
+        self.apply_frees(&frees)
+    }
+
+    /// The setattr body, under `W{ino}`.
+    fn setattr_body(&self, ino: InodeNo, attr: &SetAttr) -> FsResult<()> {
+        let mut frees = Frees::default();
+        let mut inode = self.load_inode(ino)?;
+        if let Some(size) = attr.size {
+            match inode.ftype {
+                FileType::Directory => return Err(FsError::IsDir),
+                FileType::Symlink => return Err(FsError::InvalidArgument),
+                FileType::Regular => {}
+            }
+            if size > MAX_FILE_SIZE {
+                return Err(FsError::FileTooBig);
+            }
+            if size < inode.size {
+                self.truncate_core(&mut inode, size, &mut frees)?;
+            } else {
+                inode.size = size;
+            }
+            let now = self.tick();
+            inode.mtime = now;
+            inode.ctime = now;
+        }
+        if let Some(mtime) = attr.mtime {
+            inode.mtime = mtime;
+        }
+        self.store_inode(ino, &inode)?;
+        self.sequence(&OpOutcome::Unit);
+        self.apply_frees(&frees)
+    }
+
+    /// The file-read body, under `R{entry.ino}`.
+    fn read_body(&self, entry: &FdEntry, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let inode = self.load_inode(entry.ino)?;
+        let start = offset.min(inode.size);
+        let end = offset.saturating_add(len as u64).min(inode.size);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        let mut pos = start;
+        while pos < end {
+            let idx = pos / BLOCK_SIZE as u64;
+            let in_blk = (pos % BLOCK_SIZE as u64) as usize;
+            let take = ((BLOCK_SIZE - in_blk) as u64).min(end - pos) as usize;
+            let bno = self.get_file_block(&inode, idx)?;
+            if bno == 0 {
+                out.extend(std::iter::repeat_n(0u8, take));
+            } else {
+                let blk = self.pages.read(bno, PageClass::Data)?;
+                out.extend_from_slice(&blk[in_blk..in_blk + take]);
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// The mkdir body, under `W{parent}` (duplicate check done).
+    fn mkdir_body(&self, path: &str, parent: InodeNo, name: &str) -> FsResult<()> {
+        let ctx = OpContext::new(OpKind::Mkdir, Site::Alloc).with_path(path);
+        let _ = self.hook(&ctx)?;
+        let pdir = self.load_inode(parent)?;
+        let _res = self.reserve_dir_insert(&pdir, name.len())?;
+        let ino = {
+            let mut alloc = self.alloc.lock();
+            if alloc.free_inodes == 0 {
+                return Err(FsError::NoInodes);
+            }
+            alloc.alloc_ino(&self.pages)?
+        };
+        let now = self.tick();
+        let inode = DiskInode::new(FileType::Directory, now);
+        self.store_inode(ino, &inode)?;
+        // sequence before publication: a concurrent op inside the new
+        // directory must not reach the log first
+        self.sequence(&OpOutcome::Unit);
+        self.dir_insert(parent, name, ino, FileType::Directory)?;
+        let mut pdir = self.load_inode(parent)?;
+        pdir.links += 1;
+        pdir.mtime = now;
+        self.store_inode(parent, &pdir)?;
+        Ok(())
+    }
+
+    /// The rmdir body, under `W{parent, child}` (entry revalidated).
+    fn rmdir_body(&self, parent: InodeNo, name: &str, child: InodeNo) -> FsResult<()> {
+        let mut frees = Frees::default();
+        let mut inode = self.load_inode(child)?;
+        if inode.ftype != FileType::Directory {
+            return Err(FsError::NotDir);
+        }
+        if self.dir_entry_count(&inode)? != 0 {
+            return Err(FsError::NotEmpty);
+        }
+        self.dir_remove(parent, name, &mut frees)?;
+        self.destroy_inode(child, &mut inode, &mut frees)?;
+        let now = self.tick();
+        let mut pdir = self.load_inode(parent)?;
+        pdir.links -= 1;
+        pdir.mtime = now;
+        self.store_inode(parent, &pdir)?;
+        self.sequence(&OpOutcome::Unit);
+        self.apply_frees(&frees)
+    }
+
+    /// The unlink body, under `W{parent, child}` (entry revalidated).
+    fn unlink_body(&self, parent: InodeNo, name: &str, child: InodeNo) -> FsResult<()> {
+        let mut frees = Frees::default();
+        let mut inode = self.load_inode(child)?;
+        match inode.ftype {
+            FileType::Directory => return Err(FsError::IsDir),
+            FileType::Regular => {
+                if self.fds.lock().has_open(child) {
+                    return Err(FsError::Busy);
+                }
+            }
+            FileType::Symlink => {}
+        }
+        self.dir_remove(parent, name, &mut frees)?;
+        inode.links -= 1;
+        if inode.links == 0 {
+            self.destroy_inode(child, &mut inode, &mut frees)?;
+        } else {
+            let now = self.tick();
+            inode.ctime = now;
+            self.store_inode(child, &inode)?;
+        }
+        let now = self.tick();
+        let mut pdir = self.load_inode(parent)?;
+        pdir.mtime = now;
+        self.store_inode(parent, &pdir)?;
+        self.sequence(&OpOutcome::Unit);
+        self.apply_frees(&frees)
+    }
+
+    /// The symlink body, under `W{parent}` (duplicate check done).
+    fn symlink_body(&self, target: &str, parent: InodeNo, name: &str) -> FsResult<()> {
+        let pdir = self.load_inode(parent)?;
+        let _res = self.reserve_dir_insert(&pdir, name.len())?;
+        {
+            let alloc = self.alloc.lock();
+            if alloc.free_inodes == 0 {
+                return Err(FsError::NoInodes);
+            }
+        }
+        let target_blocks = if target.is_empty() { 0 } else { 1 };
+        let _res2 = self.reserve(target_blocks)?;
+        let ino = {
+            let mut alloc = self.alloc.lock();
+            if alloc.free_inodes == 0 {
+                return Err(FsError::NoInodes);
+            }
+            alloc.alloc_ino(&self.pages)?
+        };
+        let now = self.tick();
+        let mut inode = DiskInode::new(FileType::Symlink, now);
+        if !target.is_empty() {
+            let bno = self.alloc_data_block(PageClass::Data)?;
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            blk[..target.len()].copy_from_slice(target.as_bytes());
+            self.pages.write(bno, blk, PageClass::Data)?;
+            inode.direct[0] = bno;
+            inode.blocks = 1;
+        }
+        inode.size = target.len() as u64;
+        self.store_inode(ino, &inode)?;
+        // sequence before publication (see mkdir_body)
+        self.sequence(&OpOutcome::Unit);
+        self.dir_insert(parent, name, ino, FileType::Symlink)?;
+        let mut pdir = self.load_inode(parent)?;
+        pdir.mtime = now;
+        self.store_inode(parent, &pdir)?;
+        Ok(())
+    }
+
+    /// The link body, under `W{new_parent, src}` (revalidated, duplicate
+    /// check done). Sequencing at the end is safe here: any operation
+    /// that could observe the new entry (open/unlink of the new name)
+    /// needs `W{src}`, which this op holds.
+    fn link_body(&self, src: InodeNo, new_parent: InodeNo, new_name: &str) -> FsResult<()> {
+        let mut src_inode = self.load_inode(src)?;
+        match src_inode.ftype {
+            FileType::Directory => return Err(FsError::IsDir),
+            FileType::Symlink => return Err(FsError::InvalidArgument),
+            FileType::Regular => {}
+        }
+        if u32::from(src_inode.links) >= MAX_LINKS {
+            return Err(FsError::TooManyLinks);
+        }
+        let np = self.load_inode(new_parent)?;
+        let _res = self.reserve_dir_insert(&np, new_name.len())?;
+        self.dir_insert(new_parent, new_name, src, FileType::Regular)?;
+        let now = self.tick();
+        src_inode.links += 1;
+        src_inode.ctime = now;
+        self.store_inode(src, &src_inode)?;
+        let mut np = self.load_inode(new_parent)?;
+        np.mtime = now;
+        self.store_inode(new_parent, &np)?;
+        self.sequence(&OpOutcome::Unit);
+        Ok(())
+    }
+
+    /// The rename body, under the exclusive fence (no stripes, no
+    /// revalidation: nothing else runs). Frees are applied eagerly —
+    /// exactly where the pre-sharding code freed — because the only
+    /// allocation point (`dir_insert` growing the target directory)
+    /// must be able to reuse blocks vacated by the removals on a full
+    /// disk.
+    fn rename_body(&self, from: &str, to: &str) -> FsResult<()> {
+        let (from_parent, from_name) = {
+            let (comps, name) = split_parent(from)?;
+            (self.resolve_dir(&comps, true)?, name)
+        };
+        let (to_parent, to_name) = {
+            let (comps, name) = split_parent(to)?;
+            (self.resolve_dir(&comps, true)?, name)
+        };
+        let src = self
+            .dir_lookup(from_parent, from_name)?
+            .ok_or(FsError::NotFound)?;
+        if from_parent == to_parent && from_name == to_name {
+            return Ok(());
+        }
+        let src_inode = self.load_inode(src)?;
+        let src_is_dir = src_inode.ftype == FileType::Directory;
+        if src_is_dir && self.is_self_or_descendant(src, to_parent)? {
+            return Err(FsError::RenameLoop);
+        }
+        let mut frees = Frees::default();
+        let mut res_guard = None;
+        let existing_dst = self.dir_lookup(to_parent, to_name)?;
+        if let Some(dst) = existing_dst {
+            if dst == src {
+                return Ok(()); // hard links to the same inode
+            }
+            let mut dst_inode = self.load_inode(dst)?;
+            match (src_is_dir, dst_inode.ftype == FileType::Directory) {
+                (true, true) => {
+                    if self.dir_entry_count(&dst_inode)? != 0 {
+                        return Err(FsError::NotEmpty);
+                    }
+                }
+                (true, false) => return Err(FsError::NotDir),
+                (false, true) => return Err(FsError::IsDir),
+                (false, false) => {
+                    if dst_inode.ftype == FileType::Regular && self.fds.lock().has_open(dst) {
+                        return Err(FsError::Busy);
+                    }
+                }
+            }
+            // remove and destroy (or unlink) the replaced target
+            self.dir_remove(to_parent, to_name, &mut frees)?;
+            if dst_inode.ftype == FileType::Directory {
+                self.destroy_inode(dst, &mut dst_inode, &mut frees)?;
+                let mut tp = self.load_inode(to_parent)?;
+                tp.links -= 1;
+                self.store_inode(to_parent, &tp)?;
+            } else {
+                dst_inode.links -= 1;
+                if dst_inode.links == 0 {
+                    self.destroy_inode(dst, &mut dst_inode, &mut frees)?;
+                } else {
+                    self.store_inode(dst, &dst_inode)?;
+                }
+            }
+        } else {
+            // the insert below must not fail halfway: reserve space
+            let tp = self.load_inode(to_parent)?;
+            res_guard = Some(self.reserve_dir_insert(&tp, to_name.len())?);
+        }
+
+        self.dir_remove(from_parent, from_name, &mut frees)?;
+        // make the vacated blocks reusable before the insert allocates
+        self.apply_frees(&frees)?;
+        self.dir_insert(to_parent, to_name, src, src_inode.ftype)?;
+        drop(res_guard);
+        let now = self.tick();
+        if src_is_dir && from_parent != to_parent {
+            let mut fp = self.load_inode(from_parent)?;
+            fp.links -= 1;
+            fp.mtime = now;
+            self.store_inode(from_parent, &fp)?;
+            let mut tp = self.load_inode(to_parent)?;
+            tp.links += 1;
+            tp.mtime = now;
+            self.store_inode(to_parent, &tp)?;
+        } else {
+            let mut fp = self.load_inode(from_parent)?;
+            fp.mtime = now;
+            self.store_inode(from_parent, &fp)?;
+            if from_parent != to_parent {
+                let mut tp = self.load_inode(to_parent)?;
+                tp.mtime = now;
+                self.store_inode(to_parent, &tp)?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -1180,8 +2058,31 @@ impl FileSystem for BaseFs {
     }
 
     fn close(&self, fd: Fd) -> FsResult<()> {
-        let mut inner = self.inner.write();
-        let r = inner.fds.close(fd).map(|_| ());
+        let r = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                for _ in 0..MUT_RETRIES {
+                    // Take the file's stripe before sequencing so a close
+                    // can never reach the log ahead of an in-flight write
+                    // on the same inode; re-check the binding under the
+                    // stripe (the fd could have been closed and reused).
+                    let ino = self.fds.lock().get(fd)?.ino;
+                    let _w = self.lock_stripes(&[ino]);
+                    let mut fds = self.fds.lock();
+                    match fds.get(fd) {
+                        Ok(cur) if cur.ino == ino => {
+                            fds.close(fd)?;
+                            self.sequence(&OpOutcome::Unit);
+                            return Ok(());
+                        }
+                        Ok(_) => continue, // rebound to another file: retry
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(FsError::Busy)
+            })()
+        };
         match &r {
             Ok(()) => self.counters.record(OpKind::Close),
             Err(_) => self.counters.record_error(OpKind::Close),
@@ -1190,32 +2091,18 @@ impl FileSystem for BaseFs {
     }
 
     fn read(&self, fd: Fd, offset: u64, len: usize) -> FsResult<Vec<u8>> {
-        let inner = self.lock_read();
-        let result = (|| {
-            let entry = inner.fds.get(fd)?;
-            if !entry.flags.readable() {
-                return Err(FsError::BadAccessMode);
-            }
-            let inode = self.load_inode(entry.ino)?;
-            let start = offset.min(inode.size);
-            let end = offset.saturating_add(len as u64).min(inode.size);
-            let mut out = Vec::with_capacity((end - start) as usize);
-            let mut pos = start;
-            while pos < end {
-                let idx = pos / BLOCK_SIZE as u64;
-                let in_blk = (pos % BLOCK_SIZE as u64) as usize;
-                let take = ((BLOCK_SIZE - in_blk) as u64).min(end - pos) as usize;
-                let bno = self.get_file_block(&inode, idx)?;
-                if bno == 0 {
-                    out.extend(std::iter::repeat_n(0u8, take));
-                } else {
-                    let blk = self.pages.read(bno, PageClass::Data)?;
-                    out.extend_from_slice(&blk[in_blk..in_blk + take]);
+        let result = {
+            let _fence = self.fence.read();
+            let _excl = self.read_excl();
+            self.with_read_retries(|| {
+                let entry = self.fds.lock().get(fd)?;
+                if !entry.flags.readable() {
+                    return Err(FsError::BadAccessMode);
                 }
-                pos += take as u64;
-            }
-            Ok(out)
-        })();
+                let _g = self.stripe(entry.ino).read();
+                self.read_body(&entry, offset, len)
+            })
+        };
         match &result {
             Ok(data) => {
                 self.counters.record(OpKind::Read);
@@ -1227,75 +2114,31 @@ impl FileSystem for BaseFs {
     }
 
     fn write(&self, fd: Fd, offset: u64, data: &[u8]) -> FsResult<usize> {
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let entry = inner.fds.get(fd)?;
-            if !entry.flags.writable() {
-                return Err(FsError::BadAccessMode);
-            }
-            if data.is_empty() {
-                return Ok(0);
-            }
-            let ctx = OpContext::new(OpKind::Write, Site::Write)
-                .with_path(&entry.path)
-                .with_io(offset, data.len());
-            let corrupt = self.hook(&ctx)?;
-            let mut payload; // only materialized when corrupting
-            let data: &[u8] = if corrupt {
-                payload = data.to_vec();
-                payload[0] ^= 0x01; // the silent wrong result
-                &payload
-            } else {
-                data
-            };
-
-            let mut inode = self.load_inode(entry.ino)?;
-            let at = if entry.flags.contains(OpenFlags::APPEND) {
-                inode.size
-            } else {
-                offset
-            };
-            let end = at
-                .checked_add(data.len() as u64)
-                .ok_or(FsError::FileTooBig)?;
-            if end > MAX_FILE_SIZE {
-                return Err(FsError::FileTooBig);
-            }
-            // all-or-nothing space pre-check
-            let start_idx = at / BLOCK_SIZE as u64;
-            let end_idx = end.div_ceil(BLOCK_SIZE as u64);
-            let need = self.count_missing_blocks(&inode, start_idx, end_idx)?;
-            if need > inner.alloc.free_blocks {
-                return Err(FsError::NoSpace);
-            }
-
-            let mut pos = at;
-            let mut src = 0usize;
-            while pos < end {
-                let idx = pos / BLOCK_SIZE as u64;
-                let in_blk = (pos % BLOCK_SIZE as u64) as usize;
-                let take = ((BLOCK_SIZE - in_blk) as u64).min(end - pos) as usize;
-                let bno = self.ensure_file_block(inner, &mut inode, idx)?;
-                if take == BLOCK_SIZE {
-                    self.pages
-                        .write(bno, data[src..src + take].to_vec(), PageClass::Data)?;
-                } else {
-                    self.pages
-                        .update(bno, in_blk, &data[src..src + take], PageClass::Data)?;
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                for _ in 0..MUT_RETRIES {
+                    let entry = self.fds.lock().get(fd)?;
+                    if !entry.flags.writable() {
+                        return Err(FsError::BadAccessMode);
+                    }
+                    if data.is_empty() {
+                        return Ok(0);
+                    }
+                    let _w = self.lock_stripes(&[entry.ino]);
+                    // revalidate the fd→inode binding under the stripe
+                    // (a concurrent close/open may have rebound it)
+                    match self.fds.lock().get(fd) {
+                        Ok(cur) if cur.ino == entry.ino => {}
+                        Ok(_) => continue,
+                        Err(e) => return Err(e),
+                    }
+                    return self.write_body(&entry, offset, data);
                 }
-                pos += take as u64;
-                src += take;
-            }
-            if end > inode.size {
-                inode.size = end;
-            }
-            let now = Self::tick(inner);
-            inode.mtime = now;
-            inode.ctime = now;
-            self.store_inode(entry.ino, &inode)?;
-            Ok(data.len())
-        })();
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(n) => {
                 self.counters.record(OpKind::Write);
@@ -1303,88 +2146,83 @@ impl FileSystem for BaseFs {
             }
             Err(_) => self.counters.record_error(OpKind::Write),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
     fn truncate(&self, fd: Fd, size: u64) -> FsResult<()> {
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let entry = inner.fds.get(fd)?;
-            if !entry.flags.writable() {
-                return Err(FsError::BadAccessMode);
-            }
-            let ctx = OpContext::new(OpKind::Truncate, Site::Truncate).with_path(&entry.path);
-            let _ = self.hook(&ctx)?;
-            if size > MAX_FILE_SIZE {
-                return Err(FsError::FileTooBig);
-            }
-            let mut inode = self.load_inode(entry.ino)?;
-            if size < inode.size {
-                self.truncate_core(inner, &mut inode, size)?;
-            } else {
-                inode.size = size; // extension is sparse
-            }
-            let now = Self::tick(inner);
-            inode.mtime = now;
-            inode.ctime = now;
-            self.store_inode(entry.ino, &inode)
-        })();
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                for _ in 0..MUT_RETRIES {
+                    let entry = self.fds.lock().get(fd)?;
+                    if !entry.flags.writable() {
+                        return Err(FsError::BadAccessMode);
+                    }
+                    let _w = self.lock_stripes(&[entry.ino]);
+                    match self.fds.lock().get(fd) {
+                        Ok(cur) if cur.ino == entry.ino => {}
+                        Ok(_) => continue,
+                        Err(e) => return Err(e),
+                    }
+                    return self.truncate_body(&entry, size);
+                }
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::Truncate),
             Err(_) => self.counters.record_error(OpKind::Truncate),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
     fn setattr(&self, path: &str, attr: SetAttr) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::SetAttr, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let comps = split_path(path)?;
-            let ino = self.resolve(&comps)?;
-            let mut inode = self.load_inode(ino)?;
-            if let Some(size) = attr.size {
-                match inode.ftype {
-                    FileType::Directory => return Err(FsError::IsDir),
-                    FileType::Symlink => return Err(FsError::InvalidArgument),
-                    FileType::Regular => {}
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                let comps = split_path(path)?;
+                if comps.is_empty() {
+                    let _w = self.lock_stripes(&[ROOT_INO]);
+                    return self.setattr_body(ROOT_INO, &attr);
                 }
-                if size > MAX_FILE_SIZE {
-                    return Err(FsError::FileTooBig);
+                let (pcomps, name) = (&comps[..comps.len() - 1], comps[comps.len() - 1]);
+                for _ in 0..MUT_RETRIES {
+                    let ino = self.resolve_locked(&comps, true)?;
+                    let _w = self.lock_stripes(&[ino]);
+                    let parent = match self.resolve_quiet(pcomps) {
+                        Ok(p) => p,
+                        Err(FsError::NotFound | FsError::NotDir | FsError::Corrupted { .. }) => {
+                            continue
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    match self.revalidate_entry(parent, name, ino)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    return self.setattr_body(ino, &attr);
                 }
-                if size < inode.size {
-                    self.truncate_core(inner, &mut inode, size)?;
-                } else {
-                    inode.size = size;
-                }
-                let now = Self::tick(inner);
-                inode.mtime = now;
-                inode.ctime = now;
-            }
-            if let Some(mtime) = attr.mtime {
-                inode.mtime = mtime;
-            }
-            self.store_inode(ino, &inode)
-        })();
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::SetAttr),
             Err(_) => self.counters.record_error(OpKind::SetAttr),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
     fn fsync(&self, fd: Fd) -> FsResult<()> {
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
         let result = (|| {
-            inner.fds.get(fd)?;
-            self.commit_locked(inner)
+            self.fds.lock().get(fd)?;
+            self.commit_coordinated()
         })();
         match &result {
             Ok(()) => self.counters.record(OpKind::Fsync),
@@ -1394,9 +2232,7 @@ impl FileSystem for BaseFs {
     }
 
     fn sync(&self) -> FsResult<()> {
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = self.commit_locked(inner);
+        let result = self.commit_coordinated();
         match &result {
             Ok(()) => self.counters.record(OpKind::Sync),
             Err(_) => self.counters.record_error(OpKind::Sync),
@@ -1407,106 +2243,97 @@ impl FileSystem for BaseFs {
     fn mkdir(&self, path: &str) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Mkdir, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let (parent, name) = self.resolve_parent(path)?;
-            if self.dir_lookup(parent, name)?.is_some() {
-                return Err(FsError::Exists);
-            }
-            let ctx = OpContext::new(OpKind::Mkdir, Site::Alloc).with_path(path);
-            let _ = self.hook(&ctx)?;
-            let pdir = self.load_inode(parent)?;
-            self.dir_insert_precheck(inner, &pdir, name.len())?;
-            if inner.alloc.free_inodes == 0 {
-                return Err(FsError::NoInodes);
-            }
-            let ino = inner.alloc.alloc_ino(&self.pages)?;
-            let now = Self::tick(inner);
-            let inode = DiskInode::new(FileType::Directory, now);
-            self.store_inode(ino, &inode)?;
-            self.dir_insert(inner, parent, name, ino, FileType::Directory)?;
-            let mut pdir = self.load_inode(parent)?;
-            pdir.links += 1;
-            pdir.mtime = now;
-            self.store_inode(parent, &pdir)
-        })();
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                let (parent_comps, name) = split_parent(path)?;
+                for _ in 0..MUT_RETRIES {
+                    let parent = self.resolve_dir(&parent_comps, true)?;
+                    let _w = self.lock_stripes(&[parent]);
+                    match self.revalidate_parent(&parent_comps, parent)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    if self.dir_lookup(parent, name)?.is_some() {
+                        return Err(FsError::Exists);
+                    }
+                    return self.mkdir_body(path, parent, name);
+                }
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::Mkdir),
             Err(_) => self.counters.record_error(OpKind::Mkdir),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
     fn rmdir(&self, path: &str) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Rmdir, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let (parent, name) = self.resolve_parent(path)?;
-            let ino = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
-            let mut inode = self.load_inode(ino)?;
-            if inode.ftype != FileType::Directory {
-                return Err(FsError::NotDir);
-            }
-            if self.dir_entry_count(&inode)? != 0 {
-                return Err(FsError::NotEmpty);
-            }
-            self.dir_remove(inner, parent, name)?;
-            self.destroy_inode(inner, ino, &mut inode)?;
-            let now = Self::tick(inner);
-            let mut pdir = self.load_inode(parent)?;
-            pdir.links -= 1;
-            pdir.mtime = now;
-            self.store_inode(parent, &pdir)
-        })();
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                let (parent_comps, name) = split_parent(path)?;
+                for _ in 0..MUT_RETRIES {
+                    let parent = self.resolve_dir(&parent_comps, true)?;
+                    let child = {
+                        let _g = self.stripe(parent).read();
+                        self.dir_lookup(parent, name)?
+                    }
+                    .ok_or(FsError::NotFound)?;
+                    let _w = self.lock_stripes(&[parent, child]);
+                    match self.revalidate_entry(parent, name, child)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    return self.rmdir_body(parent, name, child);
+                }
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::Rmdir),
             Err(_) => self.counters.record_error(OpKind::Rmdir),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
     fn unlink(&self, path: &str) -> FsResult<()> {
         let ctx = OpContext::new(OpKind::Unlink, Site::ApiEntry).with_path(path);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let (parent, name) = self.resolve_parent(path)?;
-            let ino = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
-            let mut inode = self.load_inode(ino)?;
-            match inode.ftype {
-                FileType::Directory => return Err(FsError::IsDir),
-                FileType::Regular => {
-                    if inner.fds.has_open(ino) {
-                        return Err(FsError::Busy);
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                let (parent_comps, name) = split_parent(path)?;
+                for _ in 0..MUT_RETRIES {
+                    let parent = self.resolve_dir(&parent_comps, true)?;
+                    let child = {
+                        let _g = self.stripe(parent).read();
+                        self.dir_lookup(parent, name)?
                     }
+                    .ok_or(FsError::NotFound)?;
+                    let _w = self.lock_stripes(&[parent, child]);
+                    match self.revalidate_entry(parent, name, child)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    return self.unlink_body(parent, name, child);
                 }
-                FileType::Symlink => {}
-            }
-            self.dir_remove(inner, parent, name)?;
-            inode.links -= 1;
-            if inode.links == 0 {
-                self.destroy_inode(inner, ino, &mut inode)?;
-            } else {
-                let now = Self::tick(inner);
-                inode.ctime = now;
-                self.store_inode(ino, &inode)?;
-            }
-            let now = Self::tick(inner);
-            let mut pdir = self.load_inode(parent)?;
-            pdir.mtime = now;
-            self.store_inode(parent, &pdir)
-        })();
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::Unlink),
             Err(_) => self.counters.record_error(OpKind::Unlink),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
@@ -1515,92 +2342,23 @@ impl FileSystem for BaseFs {
             .with_path(from)
             .with_path2(to);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let (from_parent, from_name) = self.resolve_parent(from)?;
-            let (to_parent, to_name) = self.resolve_parent(to)?;
-            let src = self
-                .dir_lookup(from_parent, from_name)?
-                .ok_or(FsError::NotFound)?;
-            if from_parent == to_parent && from_name == to_name {
-                return Ok(());
+        let result = {
+            // rename is the one operation that takes the fence
+            // exclusively: it runs with no concurrent ops at all, so
+            // the body needs no stripes and no revalidation
+            let _fence = self.fence.write();
+            let _txn = self.txn_shared();
+            let r = self.rename_body(from, to);
+            if r.is_ok() {
+                self.sequence(&OpOutcome::Unit);
             }
-            let src_inode = self.load_inode(src)?;
-            let src_is_dir = src_inode.ftype == FileType::Directory;
-            if src_is_dir && self.is_self_or_descendant(src, to_parent)? {
-                return Err(FsError::RenameLoop);
-            }
-            let existing_dst = self.dir_lookup(to_parent, to_name)?;
-            if let Some(dst) = existing_dst {
-                if dst == src {
-                    return Ok(()); // hard links to the same inode
-                }
-                let mut dst_inode = self.load_inode(dst)?;
-                match (src_is_dir, dst_inode.ftype == FileType::Directory) {
-                    (true, true) => {
-                        if self.dir_entry_count(&dst_inode)? != 0 {
-                            return Err(FsError::NotEmpty);
-                        }
-                    }
-                    (true, false) => return Err(FsError::NotDir),
-                    (false, true) => return Err(FsError::IsDir),
-                    (false, false) => {
-                        if dst_inode.ftype == FileType::Regular && inner.fds.has_open(dst) {
-                            return Err(FsError::Busy);
-                        }
-                    }
-                }
-                // remove and destroy (or unlink) the replaced target
-                self.dir_remove(inner, to_parent, to_name)?;
-                if dst_inode.ftype == FileType::Directory {
-                    self.destroy_inode(inner, dst, &mut dst_inode)?;
-                    let mut tp = self.load_inode(to_parent)?;
-                    tp.links -= 1;
-                    self.store_inode(to_parent, &tp)?;
-                } else {
-                    dst_inode.links -= 1;
-                    if dst_inode.links == 0 {
-                        self.destroy_inode(inner, dst, &mut dst_inode)?;
-                    } else {
-                        self.store_inode(dst, &dst_inode)?;
-                    }
-                }
-            } else {
-                // the insert below must not fail halfway: pre-check space
-                let tp = self.load_inode(to_parent)?;
-                self.dir_insert_precheck(inner, &tp, to_name.len())?;
-            }
-
-            self.dir_remove(inner, from_parent, from_name)?;
-            self.dir_insert(inner, to_parent, to_name, src, src_inode.ftype)?;
-            let now = Self::tick(inner);
-            if src_is_dir && from_parent != to_parent {
-                let mut fp = self.load_inode(from_parent)?;
-                fp.links -= 1;
-                fp.mtime = now;
-                self.store_inode(from_parent, &fp)?;
-                let mut tp = self.load_inode(to_parent)?;
-                tp.links += 1;
-                tp.mtime = now;
-                self.store_inode(to_parent, &tp)?;
-            } else {
-                let mut fp = self.load_inode(from_parent)?;
-                fp.mtime = now;
-                self.store_inode(from_parent, &fp)?;
-                if from_parent != to_parent {
-                    let mut tp = self.load_inode(to_parent)?;
-                    tp.mtime = now;
-                    self.store_inode(to_parent, &tp)?;
-                }
-            }
-            Ok(())
-        })();
+            r
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::Rename),
             Err(_) => self.counters.record_error(OpKind::Rename),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
@@ -1609,43 +2367,63 @@ impl FileSystem for BaseFs {
             .with_path(existing)
             .with_path2(new);
         let _ = self.hook(&ctx)?;
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let comps = split_path(existing)?;
-            if comps.is_empty() {
-                return Err(FsError::IsDir);
-            }
-            let src = self.resolve(&comps)?;
-            let mut src_inode = self.load_inode(src)?;
-            match src_inode.ftype {
-                FileType::Directory => return Err(FsError::IsDir),
-                FileType::Symlink => return Err(FsError::InvalidArgument),
-                FileType::Regular => {}
-            }
-            if u32::from(src_inode.links) >= MAX_LINKS {
-                return Err(FsError::TooManyLinks);
-            }
-            let (new_parent, new_name) = self.resolve_parent(new)?;
-            if self.dir_lookup(new_parent, new_name)?.is_some() {
-                return Err(FsError::Exists);
-            }
-            let np = self.load_inode(new_parent)?;
-            self.dir_insert_precheck(inner, &np, new_name.len())?;
-            self.dir_insert(inner, new_parent, new_name, src, FileType::Regular)?;
-            let now = Self::tick(inner);
-            src_inode.links += 1;
-            src_inode.ctime = now;
-            self.store_inode(src, &src_inode)?;
-            let mut np = self.load_inode(new_parent)?;
-            np.mtime = now;
-            self.store_inode(new_parent, &np)
-        })();
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                let ecomps = split_path(existing)?;
+                if ecomps.is_empty() {
+                    return Err(FsError::IsDir);
+                }
+                let (esrc_parent, ename) = (&ecomps[..ecomps.len() - 1], ecomps[ecomps.len() - 1]);
+                let (ncomps, nname) = split_parent(new)?;
+                for _ in 0..MUT_RETRIES {
+                    let src = self.resolve_locked(&ecomps, true)?;
+                    // optimistic type/link-count checks, preserving the
+                    // error precedence of the serial implementation
+                    // (source checks come before the new-path resolve)
+                    {
+                        let _g = self.stripe(src).read();
+                        let src_inode = self.load_inode(src)?;
+                        match src_inode.ftype {
+                            FileType::Directory => return Err(FsError::IsDir),
+                            FileType::Symlink => return Err(FsError::InvalidArgument),
+                            FileType::Regular => {}
+                        }
+                        if u32::from(src_inode.links) >= MAX_LINKS {
+                            return Err(FsError::TooManyLinks);
+                        }
+                    }
+                    let new_parent = self.resolve_dir(&ncomps, true)?;
+                    let src_parent = match self.resolve_quiet(esrc_parent) {
+                        Ok(p) => p,
+                        Err(FsError::NotFound | FsError::NotDir | FsError::Corrupted { .. }) => {
+                            continue
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    let _w = self.lock_stripes(&[new_parent, src]);
+                    match self.revalidate_entry(src_parent, ename, src)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    match self.revalidate_parent(&ncomps, new_parent)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    if self.dir_lookup(new_parent, nname)?.is_some() {
+                        return Err(FsError::Exists);
+                    }
+                    return self.link_body(src, new_parent, nname);
+                }
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::Link),
             Err(_) => self.counters.record_error(OpKind::Link),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
@@ -1655,72 +2433,63 @@ impl FileSystem for BaseFs {
         if target.len() > BLOCK_SIZE {
             return Err(FsError::NameTooLong);
         }
-        let mut inner = self.inner.write();
-        let inner = &mut *inner;
-        let result = (|| {
-            let (parent, name) = self.resolve_parent(linkpath)?;
-            if self.dir_lookup(parent, name)?.is_some() {
-                return Err(FsError::Exists);
-            }
-            let pdir = self.load_inode(parent)?;
-            self.dir_insert_precheck(inner, &pdir, name.len())?;
-            if inner.alloc.free_inodes == 0 {
-                return Err(FsError::NoInodes);
-            }
-            let target_blocks = if target.is_empty() { 0 } else { 1 };
-            if inner.alloc.free_blocks < target_blocks {
-                return Err(FsError::NoSpace);
-            }
-            let ino = inner.alloc.alloc_ino(&self.pages)?;
-            let now = Self::tick(inner);
-            let mut inode = DiskInode::new(FileType::Symlink, now);
-            if !target.is_empty() {
-                let bno = self.alloc_data_block(inner, PageClass::Data)?;
-                let mut blk = vec![0u8; BLOCK_SIZE];
-                blk[..target.len()].copy_from_slice(target.as_bytes());
-                self.pages.write(bno, blk, PageClass::Data)?;
-                inode.direct[0] = bno;
-                inode.blocks = 1;
-            }
-            inode.size = target.len() as u64;
-            self.store_inode(ino, &inode)?;
-            self.dir_insert(inner, parent, name, ino, FileType::Symlink)?;
-            let mut pdir = self.load_inode(parent)?;
-            pdir.mtime = now;
-            self.store_inode(parent, &pdir)
-        })();
+        let result = {
+            let _fence = self.fence.read();
+            let _txn = self.txn_shared();
+            (|| {
+                let (parent_comps, name) = split_parent(linkpath)?;
+                for _ in 0..MUT_RETRIES {
+                    let parent = self.resolve_dir(&parent_comps, true)?;
+                    let _w = self.lock_stripes(&[parent]);
+                    match self.revalidate_parent(&parent_comps, parent)? {
+                        Reval::Ok => {}
+                        Reval::Retry => continue,
+                    }
+                    if self.dir_lookup(parent, name)?.is_some() {
+                        return Err(FsError::Exists);
+                    }
+                    return self.symlink_body(target, parent, name);
+                }
+                Err(FsError::Busy)
+            })()
+        };
         match &result {
             Ok(()) => self.counters.record(OpKind::Symlink),
             Err(_) => self.counters.record_error(OpKind::Symlink),
         }
-        self.maybe_autocommit(inner)?;
+        self.maybe_autocommit()?;
         result
     }
 
     fn readlink(&self, path: &str) -> FsResult<String> {
-        // guard held for reader/writer exclusion; body reads via &self
-        let _inner = self.lock_read();
-        let result = (|| {
-            let comps = split_path(path)?;
-            let ino = self.resolve(&comps)?;
-            let inode = self.load_inode(ino)?;
-            if inode.ftype != FileType::Symlink {
-                return Err(FsError::InvalidArgument);
-            }
-            if inode.size == 0 {
-                return Ok(String::new());
-            }
-            let bno = inode.direct[0];
-            if bno == 0 || inode.size > BLOCK_SIZE as u64 {
-                return Err(FsError::Corrupted {
-                    detail: format!("symlink {ino} has inconsistent target storage"),
-                });
-            }
-            let blk = self.pages.read(bno, PageClass::Data)?;
-            String::from_utf8(blk[..inode.size as usize].to_vec()).map_err(|_| FsError::Corrupted {
-                detail: format!("symlink {ino} target is not UTF-8"),
+        let result = {
+            let _fence = self.fence.read();
+            let _excl = self.read_excl();
+            self.with_read_retries(|| {
+                let comps = split_path(path)?;
+                let ino = self.resolve_locked(&comps, true)?;
+                let _g = self.stripe(ino).read();
+                let inode = self.load_inode(ino)?;
+                if inode.ftype != FileType::Symlink {
+                    return Err(FsError::InvalidArgument);
+                }
+                if inode.size == 0 {
+                    return Ok(String::new());
+                }
+                let bno = inode.direct[0];
+                if bno == 0 || inode.size > BLOCK_SIZE as u64 {
+                    return Err(FsError::Corrupted {
+                        detail: format!("symlink {ino} has inconsistent target storage"),
+                    });
+                }
+                let blk = self.pages.read(bno, PageClass::Data)?;
+                String::from_utf8(blk[..inode.size as usize].to_vec()).map_err(|_| {
+                    FsError::Corrupted {
+                        detail: format!("symlink {ino} target is not UTF-8"),
+                    }
+                })
             })
-        })();
+        };
         match &result {
             Ok(_) => self.counters.record(OpKind::Readlink),
             Err(_) => self.counters.record_error(OpKind::Readlink),
@@ -1729,22 +2498,25 @@ impl FileSystem for BaseFs {
     }
 
     fn stat(&self, path: &str) -> FsResult<FileStat> {
-        // guard held for reader/writer exclusion; body reads via &self
-        let _inner = self.lock_read();
-        let result = (|| {
-            let comps = split_path(path)?;
-            let ino = self.resolve(&comps)?;
-            let inode = self.load_inode(ino)?;
-            Ok(FileStat {
-                ino,
-                ftype: inode.ftype,
-                size: inode.size,
-                nlink: u32::from(inode.links),
-                blocks: u64::from(inode.blocks),
-                mtime: inode.mtime,
-                ctime: inode.ctime,
+        let result = {
+            let _fence = self.fence.read();
+            let _excl = self.read_excl();
+            self.with_read_retries(|| {
+                let comps = split_path(path)?;
+                let ino = self.resolve_locked(&comps, true)?;
+                let _g = self.stripe(ino).read();
+                let inode = self.load_inode(ino)?;
+                Ok(FileStat {
+                    ino,
+                    ftype: inode.ftype,
+                    size: inode.size,
+                    nlink: u32::from(inode.links),
+                    blocks: u64::from(inode.blocks),
+                    mtime: inode.mtime,
+                    ctime: inode.ctime,
+                })
             })
-        })();
+        };
         match &result {
             Ok(_) => self.counters.record(OpKind::Stat),
             Err(_) => self.counters.record_error(OpKind::Stat),
@@ -1753,20 +2525,24 @@ impl FileSystem for BaseFs {
     }
 
     fn fstat(&self, fd: Fd) -> FsResult<FileStat> {
-        let inner = self.lock_read();
-        let result = (|| {
-            let entry = inner.fds.get(fd)?;
-            let inode = self.load_inode(entry.ino)?;
-            Ok(FileStat {
-                ino: entry.ino,
-                ftype: inode.ftype,
-                size: inode.size,
-                nlink: u32::from(inode.links),
-                blocks: u64::from(inode.blocks),
-                mtime: inode.mtime,
-                ctime: inode.ctime,
+        let result = {
+            let _fence = self.fence.read();
+            let _excl = self.read_excl();
+            self.with_read_retries(|| {
+                let entry = self.fds.lock().get(fd)?;
+                let _g = self.stripe(entry.ino).read();
+                let inode = self.load_inode(entry.ino)?;
+                Ok(FileStat {
+                    ino: entry.ino,
+                    ftype: inode.ftype,
+                    size: inode.size,
+                    nlink: u32::from(inode.links),
+                    blocks: u64::from(inode.blocks),
+                    mtime: inode.mtime,
+                    ctime: inode.ctime,
+                })
             })
-        })();
+        };
         match &result {
             Ok(_) => self.counters.record(OpKind::Fstat),
             Err(_) => self.counters.record_error(OpKind::Fstat),
@@ -1777,31 +2553,34 @@ impl FileSystem for BaseFs {
     fn readdir(&self, path: &str) -> FsResult<Vec<DirEntry>> {
         let ctx = OpContext::new(OpKind::Readdir, Site::Readdir).with_path(path);
         let corrupt = self.hook(&ctx)?;
-        // guard held for reader/writer exclusion; body reads via &self
-        let _inner = self.lock_read();
-        let result = (|| {
-            let comps = split_path(path)?;
-            let ino = self.resolve(&comps)?;
-            let inode = self.load_inode(ino)?;
-            if inode.ftype != FileType::Directory {
-                return Err(FsError::NotDir);
-            }
-            let mut out = Vec::new();
-            for bno in self.dir_blocks(&inode)? {
-                let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
-                for rec in db.records() {
-                    out.push(DirEntry {
-                        ino: rec.ino,
-                        ftype: rec.ftype,
-                        name: rec.name,
-                    });
+        let result = {
+            let _fence = self.fence.read();
+            let _excl = self.read_excl();
+            self.with_read_retries(|| {
+                let comps = split_path(path)?;
+                let ino = self.resolve_locked(&comps, true)?;
+                let _g = self.stripe(ino).read();
+                let inode = self.load_inode(ino)?;
+                if inode.ftype != FileType::Directory {
+                    return Err(FsError::NotDir);
                 }
-            }
-            if corrupt {
-                out.pop(); // the silent wrong result: one entry vanishes
-            }
-            Ok(out)
-        })();
+                let mut out = Vec::new();
+                for bno in self.dir_blocks(&inode)? {
+                    let db = DirBlock::from_bytes(self.pages.read(bno, PageClass::Meta)?)?;
+                    for rec in db.records() {
+                        out.push(DirEntry {
+                            ino: rec.ino,
+                            ftype: rec.ftype,
+                            name: rec.name,
+                        });
+                    }
+                }
+                if corrupt {
+                    out.pop(); // the silent wrong result: one entry vanishes
+                }
+                Ok(out)
+            })
+        };
         match &result {
             Ok(_) => self.counters.record(OpKind::Readdir),
             Err(_) => self.counters.record_error(OpKind::Readdir),
@@ -1810,14 +2589,19 @@ impl FileSystem for BaseFs {
     }
 
     fn statfs(&self) -> FsResult<FsGeometryInfo> {
-        let inner = self.lock_read();
+        let _fence = self.fence.read();
+        let _excl = self.read_excl();
+        let (free_blocks, free_inodes) = {
+            let alloc = self.alloc.lock();
+            (alloc.free_blocks, u64::from(alloc.free_inodes))
+        };
         self.counters.record(OpKind::Statfs);
         Ok(FsGeometryInfo {
             block_size: BLOCK_SIZE as u32,
             total_blocks: self.geo.data_blocks,
-            free_blocks: inner.alloc.free_blocks,
+            free_blocks,
             total_inodes: u64::from(self.geo.inode_count) - 2,
-            free_inodes: u64::from(inner.alloc.free_inodes),
+            free_inodes,
         })
     }
 }

@@ -52,5 +52,5 @@ mod pagecache;
 #[cfg(test)]
 mod stress_tests;
 
-pub use fs::{BaseFs, BaseFsConfig, BaseFsStats};
+pub use fs::{BaseFs, BaseFsConfig, BaseFsStats, OpSequencer};
 pub use pagecache::PageClass;

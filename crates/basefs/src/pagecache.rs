@@ -337,7 +337,63 @@ impl PageCache {
         self.evict_if_needed(&mut shard)
     }
 
-    /// Read-modify-write of a byte range within a block.
+    /// Patch a byte range into the cached copy of `bno` if one exists
+    /// (resident or in-flight), entirely under the caller's shard lock.
+    /// Returns `None` on a true miss (nothing cached to patch).
+    fn patch_locked(
+        &self,
+        shard: &mut Shard,
+        bno: u64,
+        offset: usize,
+        bytes: &[u8],
+        class: PageClass,
+        stamp: u64,
+    ) -> Option<FsResult<()>> {
+        if let Some(p) = shard.map.get_mut(&bno) {
+            p.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+            let was_dirty_meta = p.class == PageClass::Meta && p.dirty;
+            p.class = class;
+            p.dirty = true;
+            p.stamp = stamp;
+            let is_dirty_meta = class == PageClass::Meta;
+            if is_dirty_meta && !was_dirty_meta {
+                self.dirty_meta.fetch_add(1, Ordering::Relaxed);
+            } else if !is_dirty_meta && was_dirty_meta {
+                self.dirty_meta.fetch_sub(1, Ordering::Relaxed);
+            }
+            shard.lru.push_back((bno, stamp));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(self.evict_if_needed(shard));
+        }
+        if let Some(data) = shard.inflight.get(&bno) {
+            // evicted but the write-back has not landed: the in-flight
+            // copy is the truth — patch it and reinstall as dirty
+            let mut data = data.clone();
+            data[offset..offset + bytes.len()].copy_from_slice(bytes);
+            shard.map.insert(
+                bno,
+                Page {
+                    data,
+                    class,
+                    dirty: true,
+                    home_stale: false,
+                    stamp,
+                },
+            );
+            if class == PageClass::Meta {
+                self.dirty_meta.fetch_add(1, Ordering::Relaxed);
+            }
+            shard.lru.push_back((bno, stamp));
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(self.evict_if_needed(shard));
+        }
+        None
+    }
+
+    /// Read-modify-write of a byte range within a block. The patch is
+    /// applied under a single shard-lock hold, so concurrent updates to
+    /// *different* ranges of the same block (e.g. two inodes sharing an
+    /// inode-table block) both survive.
     ///
     /// # Errors
     ///
@@ -349,9 +405,63 @@ impl PageCache {
                 detail: "page update crosses block boundary".to_string(),
             });
         }
-        let mut cur = self.read(bno, class)?;
-        cur[offset..offset + bytes.len()].copy_from_slice(bytes);
-        self.write(bno, cur, class)
+        let stamp = self.stamp();
+        {
+            let mut shard = self.shard_for(bno).lock();
+            if let Some(res) = self.patch_locked(&mut shard, bno, offset, bytes, class, stamp) {
+                return res;
+            }
+        }
+        // Miss: fill from the device outside the lock, then re-check
+        // for a racing writer/eviction before installing the patched
+        // image (their copy would be newer than our device read).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t0 = self.telemetry.get().and_then(|t| t.clock());
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        self.dev.read_block(bno, &mut buf)?;
+        if let (Some(t), Some(t0)) = (self.telemetry.get(), t0) {
+            t.record_cache_fill_ns(t0.elapsed().as_nanos() as u64);
+        }
+        let mut shard = self.shard_for(bno).lock();
+        if let Some(res) = self.patch_locked(&mut shard, bno, offset, bytes, class, stamp) {
+            return res;
+        }
+        buf[offset..offset + bytes.len()].copy_from_slice(bytes);
+        shard.map.insert(
+            bno,
+            Page {
+                data: buf,
+                class,
+                dirty: true,
+                home_stale: false,
+                stamp,
+            },
+        );
+        if class == PageClass::Meta {
+            self.dirty_meta.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.lru.push_back((bno, stamp));
+        self.evict_if_needed(&mut shard)
+    }
+
+    /// Drop the cached copy of a *freed* metadata block.
+    ///
+    /// A freed block's still-dirty page must not survive to the next
+    /// journal commit: the commit would journal a stale image of a
+    /// block that may since have been reallocated (possibly as data),
+    /// and checkpoint/replay would clobber the new content. Meta pages
+    /// are never in the write-back queue and freed blocks are always
+    /// fully rewritten before reuse, so dropping the page outright is
+    /// safe. Data-class or absent entries are left untouched.
+    pub fn discard_meta(&self, bno: u64) {
+        let mut shard = self.shard_for(bno).lock();
+        let is_meta = matches!(shard.map.get(&bno), Some(p) if p.class == PageClass::Meta);
+        if is_meta {
+            let page = shard.map.remove(&bno).expect("checked above");
+            if page.dirty {
+                self.dirty_meta.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Snapshot all dirty metadata pages and mark them clean (the
@@ -737,6 +847,44 @@ mod tests {
         pc.write(3, block(3), PageClass::Data).unwrap();
         assert!(pc.resident_contains(0), "recently touched page survived");
         assert!(!pc.resident_contains(1), "cold page evicted");
+    }
+
+    /// Regression test: `update` must be an atomic read-modify-write.
+    /// Two mutators patching *different* byte ranges of the same block
+    /// (two inodes sharing an inode-table block) must both survive —
+    /// the old read-then-write implementation could lose one.
+    #[test]
+    fn concurrent_subblock_updates_do_not_lose_writes() {
+        use std::thread;
+        let dev = Arc::new(MemDisk::new(64));
+        let pc = Arc::new(PageCache::with_shards(dev, 128, QueueConfig::default(), 4));
+        pc.write(0, block(0), PageClass::Meta).unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let pc = Arc::clone(&pc);
+            handles.push(thread::spawn(move || {
+                for round in 1..=200u64 {
+                    let fill = [(t as u8 + 1) * 10 + (round % 10) as u8; 16];
+                    pc.update(0, t * 16, &fill, PageClass::Meta).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let data = pc.read(0, PageClass::Meta).unwrap();
+        for t in 0..8usize {
+            let expect = (t as u8 + 1) * 10; // round 200 → round % 10 == 0
+            assert!(
+                data[t * 16..(t + 1) * 16].iter().all(|&b| b == expect),
+                "thread {t}'s final update was lost"
+            );
+        }
+        assert_eq!(
+            pc.dirty_meta_count(),
+            1,
+            "one dirty meta page, counted once"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::fs::{BaseFs, BaseFsConfig};
 use rae_blockdev::{BlockDevice, MemDisk, QueueConfig, BLOCK_SIZE};
 use rae_fsformat::{fsck, mkfs, MkfsParams};
-use rae_vfs::{FileSystem, FsError, OpenFlags};
+use rae_vfs::{FileSystem, FileType, FsError, OpenFlags};
 use std::sync::Arc;
 
 fn rw_create() -> OpenFlags {
@@ -347,6 +347,211 @@ fn concurrent_readers_race_writers_and_eviction_vs_model_oracle() {
     assert!(stats.cache.hits > 0 && stats.cache.misses > 0, "{stats:?}");
 
     let fs = Arc::try_unwrap(fs).expect("all threads joined");
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+/// Recursive `(path, size, content)` listing, directories first as
+/// `(path, 0, [])`, sorted by the traversal — comparable across
+/// filesystems because both sides sort entries by name.
+fn tree_of(fs: &dyn FileSystem, dir: &str, out: &mut Vec<(String, u64, Vec<u8>)>) {
+    let mut entries = fs.readdir(dir).unwrap();
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    for e in entries {
+        let p = if dir == "/" {
+            format!("/{}", e.name)
+        } else {
+            format!("{dir}/{}", e.name)
+        };
+        if e.ftype == FileType::Directory {
+            out.push((p.clone(), 0, Vec::new()));
+            tree_of(fs, &p, out);
+        } else {
+            let st = fs.stat(&p).unwrap();
+            let fd = fs.open(&p, OpenFlags::RDONLY).unwrap();
+            let data = fs.read(fd, 0, st.size as usize).unwrap();
+            fs.close(fd).unwrap();
+            out.push((p, st.size, data));
+        }
+    }
+}
+
+/// Sibling races (every thread mutating the same parent directory) and
+/// nested-subtree races (threads mutating different levels of one
+/// directory chain, so lookups race ancestor mutations) under the
+/// sharded mutation path. Thread programs are deterministic and
+/// name-disjoint, so any serialization of the interleaving must reach
+/// the same final tree — cross-checked against the sequential model
+/// oracle running the identical programs.
+#[test]
+fn concurrent_mutators_sibling_and_nested_races_vs_model_oracle() {
+    const THREADS: u64 = 4;
+    const ROUNDS: usize = 30;
+
+    fn churn(fs: &dyn FileSystem, t: u64) {
+        let level = ["/tree", "/tree/a", "/tree/a/b"][(t % 3) as usize];
+        for i in 0..ROUNDS {
+            // sibling race: all threads churn /shared concurrently
+            let f = format!("/shared/t{t}_f{i}");
+            let fd = fs.open(&f, rw_create()).unwrap();
+            fs.write(fd, 0, &vec![(t as u8) << 5 | (i as u8); 600])
+                .unwrap();
+            fs.close(fd).unwrap();
+            if i % 3 == 0 {
+                fs.rename(&f, &format!("/shared/t{t}_r{i}")).unwrap();
+            }
+            if i % 4 == 0 {
+                let cur = if i % 12 == 0 {
+                    format!("/shared/t{t}_r{i}")
+                } else {
+                    f.clone()
+                };
+                fs.unlink(&cur).unwrap();
+            }
+            // nested race: each thread owns one depth of the chain
+            let n = format!("{level}/t{t}_n{i}");
+            let fd = fs.open(&n, rw_create()).unwrap();
+            fs.write(fd, 0, &vec![0xA0 | (t as u8); 300]).unwrap();
+            fs.close(fd).unwrap();
+            if i % 2 == 0 {
+                fs.unlink(&n).unwrap();
+            }
+        }
+    }
+
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 1024,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    let fs = Arc::new(mount(dev.clone(), BaseFsConfig::default()));
+    for d in ["/shared", "/tree", "/tree/a", "/tree/a/b"] {
+        fs.mkdir(d).unwrap();
+    }
+    fs.sync().unwrap();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let fs = Arc::clone(&fs);
+            std::thread::spawn(move || churn(fs.as_ref(), t))
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // oracle: identical programs, applied sequentially to the model
+    let model = rae_fsmodel::ModelFs::new();
+    for d in ["/shared", "/tree", "/tree/a", "/tree/a/b"] {
+        model.mkdir(d).unwrap();
+    }
+    for t in 0..THREADS {
+        churn(&model, t);
+    }
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    tree_of(fs.as_ref(), "/", &mut got);
+    tree_of(&model, "/", &mut want);
+    assert_eq!(got, want, "concurrent final tree diverges from oracle");
+
+    let fs = Arc::try_unwrap(fs).expect("all threads joined");
+    fs.unmount().unwrap();
+    assert!(fsck(dev.as_ref()).unwrap().is_clean());
+}
+
+/// Concurrent writers fsync in lockstep so the journal group-commits
+/// their mutations in shared batches; a crash (all in-memory state
+/// lost) must replay the journal to a batch-atomic state equal to the
+/// model tree of everything acknowledged before the crash.
+#[test]
+fn crash_after_group_commits_replays_to_model_tree() {
+    const THREADS: usize = 4;
+    const ROUNDS: u8 = 12;
+    const FILE_BLOCKS: usize = 2;
+
+    let dev = Arc::new(MemDisk::new(16384));
+    mkfs(
+        dev.as_ref(),
+        MkfsParams {
+            total_blocks: 16384,
+            inode_count: 256,
+            journal_blocks: 512,
+        },
+    )
+    .unwrap();
+    let fs = Arc::new(mount(
+        dev.clone(),
+        BaseFsConfig {
+            // generous leader wait: concurrent fsyncs must coalesce
+            group_commit_leader_wait_us: 200,
+            ..BaseFsConfig::default()
+        },
+    ));
+    for t in 0..THREADS {
+        let fd = fs.open(&format!("/gc{t}"), rw_create()).unwrap();
+        fs.write(fd, 0, &vec![0u8; FILE_BLOCKS * BLOCK_SIZE])
+            .unwrap();
+        fs.close(fd).unwrap();
+    }
+    fs.sync().unwrap();
+    let commits_before = fs.stats().journal_commits;
+
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let fs = Arc::clone(&fs);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                for round in 1..=ROUNDS {
+                    let fd = fs.open(&format!("/gc{t}"), OpenFlags::RDWR).unwrap();
+                    fs.write(fd, 0, &vec![round; FILE_BLOCKS * BLOCK_SIZE])
+                        .unwrap();
+                    // all threads reach fsync together: the commit
+                    // leader absorbs the whole round into one batch
+                    barrier.wait();
+                    fs.fsync(fd).unwrap();
+                    fs.close(fd).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let commits = fs.stats().journal_commits - commits_before;
+    assert!(
+        commits < (THREADS as u64) * u64::from(ROUNDS),
+        "fsyncs never coalesced: {commits} commits for {} fsyncs",
+        THREADS * ROUNDS as usize
+    );
+
+    // crash: caches, queues, and any open batch vanish; only the
+    // journal's committed batches survive
+    let fs = Arc::try_unwrap(fs).expect("all threads joined");
+    fs.crash();
+    let fs = mount(dev.clone(), BaseFsConfig::default());
+
+    // every fsync was acknowledged, so replay must land exactly on the
+    // model tree of the final round — nothing torn, nothing lost
+    let model = rae_fsmodel::ModelFs::new();
+    for t in 0..THREADS {
+        let fd = model.open(&format!("/gc{t}"), rw_create()).unwrap();
+        model
+            .write(fd, 0, &vec![ROUNDS; FILE_BLOCKS * BLOCK_SIZE])
+            .unwrap();
+        model.close(fd).unwrap();
+    }
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    tree_of(&fs, "/", &mut got);
+    tree_of(&model, "/", &mut want);
+    assert_eq!(got, want, "replayed tree diverges from acknowledged state");
+
     fs.unmount().unwrap();
     assert!(fsck(dev.as_ref()).unwrap().is_clean());
 }

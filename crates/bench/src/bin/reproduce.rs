@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! cargo run --release -p rae-bench --bin reproduce -- [--fast] [targets...]
-//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e4c | e5 | e6 | e7 | e8 | e9 | e10
+//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e4c | e5 | e6 | e7 | e8 | e9 | e10 | e11
 //!
 //! `e4` runs availability plus the read-scaling sweep (e4c); both
 //! sub-targets can also be requested on their own. `--smoke` shrinks
 //! the e8 nested-fault campaign to its CI subset, the e9 tail-
-//! latency run to its CI size, and the e10 server-traffic run to a
-//! smaller client fleet.
+//! latency run to its CI size, the e10 server-traffic run to a
+//! smaller client fleet, and the e11 write-scaling ladder to CI-sized
+//! rungs.
 //! ```
 
 use rae_bench::experiments::{self, Scale};
@@ -51,9 +52,10 @@ fn main() {
             "e8" => experiments::e8_recovery_resilience(smoke),
             "e9" => experiments::e9_tail_latency(scale, smoke),
             "e10" => experiments::e10_server_traffic(smoke),
+            "e11" => experiments::e11_write_scaling(scale, smoke),
             "trust" => experiments::trust_accounting(),
             other => {
-                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e10|e3b|e4b|e4c)");
+                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e11|e3b|e4b|e4c)");
                 std::process::exit(2);
             }
         };

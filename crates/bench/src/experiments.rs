@@ -16,8 +16,8 @@ use rae_fsmodel::ModelFs;
 use rae_shadowfs::{ShadowAsPrimary, ShadowFs, ShadowOpts};
 use rae_vfs::{FileSystem, FsOp, OpRecord, OpenFlags};
 use rae_workloads::{
-    compare_outcomes, generate_script, populate_read_set, run_reader_mix, run_script, Profile,
-    ReadMix, ReadMixConfig,
+    compare_outcomes, generate_script, populate_read_set, populate_write_set, run_reader_mix,
+    run_script, run_writer_mix, Profile, ReadMix, ReadMixConfig, WriteMix, WriteMixConfig,
 };
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -688,6 +688,183 @@ pub fn e4c_read_scaling(scale: Scale) -> String {
         }
         Err(e) => {
             let _ = writeln!(out, "(could not write BENCH_concurrency.json: {e})");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// E11: concurrent write scaling (group commit + inode sharding)
+// ---------------------------------------------------------------------
+
+const E11_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn e11_mix_config(mix: WriteMix, scale: Scale, smoke: bool) -> WriteMixConfig {
+    WriteMixConfig {
+        nfiles: 32,
+        file_size: 32 * 1024,
+        write_size: 4096,
+        ops_per_thread: if smoke {
+            200
+        } else {
+            (scale.steps / 2).max(200)
+        },
+        seed: 0xE11,
+        mix,
+        // periodic per-thread fsyncs: the commit pressure that group
+        // commit coalesces when threads overlap
+        fsync_every: 8,
+    }
+}
+
+fn e11_base_config(serial: bool, telemetry: Arc<rae_telemetry::Telemetry>) -> BaseFsConfig {
+    BaseFsConfig {
+        serial_writes: serial,
+        // small leader wait so overlapping fsyncs reliably share a
+        // batch instead of racing past each other on a fast device
+        group_commit_leader_wait_us: 50,
+        telemetry: Some(telemetry),
+        ..BaseFsConfig::default()
+    }
+}
+
+/// One (mix, mode) sweep on a fresh write-latency-heavy device:
+/// populate, warm up, then run the thread ladder on the same warm
+/// mount. Returns `(threads, ops/s, mean commit batch)` per rung — the
+/// batch mean comes from the telemetry histogram delta across the
+/// rung, so each rung reports its own contention level.
+fn e11_measure(mix: WriteMix, serial: bool, scale: Scale, smoke: bool) -> Vec<(usize, f64, f64)> {
+    let cfg = e11_mix_config(mix, scale, smoke);
+    // 50 µs writes: the journal flush is genuinely I/O-bound, so
+    // coalescing N fsyncs into one flush shows up as throughput
+    let dev = crate::harness::fresh_custom_latency_device(16_000, 50_000);
+    let telemetry = rae_telemetry::Telemetry::new();
+    let fs = Arc::new(
+        BaseFs::mount(
+            dev as Arc<dyn BlockDevice>,
+            e11_base_config(serial, Arc::clone(&telemetry)),
+        )
+        .expect("mount base"),
+    );
+    populate_write_set(fs.as_ref(), &cfg).expect("populate write set");
+    let warm = WriteMixConfig {
+        ops_per_thread: cfg.ops_per_thread / 2,
+        ..cfg
+    };
+    let _ = run_writer_mix(&fs, &warm, 2).expect("warm-up");
+    E11_THREADS
+        .iter()
+        .map(|&threads| {
+            let before = telemetry.snapshot().commit_batch;
+            let report = run_writer_mix(&fs, &cfg, threads).unwrap_or_else(|e| {
+                panic!(
+                    "writer mix failed: mix={} serial={serial} threads={threads}: {e:?}",
+                    cfg.mix.label()
+                )
+            });
+            let after = telemetry.snapshot().commit_batch;
+            let commits = after.count.saturating_sub(before.count);
+            let batch_mean = if commits == 0 {
+                0.0
+            } else {
+                after.sum.saturating_sub(before.sum) as f64 / commits as f64
+            };
+            (threads, report.ops_per_sec(), batch_mean)
+        })
+        .collect()
+}
+
+/// One E11 sweep: (mix label, mode label, per-rung (threads, ops/s,
+/// batch mean)).
+type E11Row = (&'static str, &'static str, Vec<(usize, f64, f64)>);
+
+fn e11_render_json(rows: &[E11Row]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"e11_write_scaling\",\n");
+    json.push_str("  \"threads\": [1, 2, 4, 8],\n");
+    let _ = writeln!(json, "  \"host_cpus\": {},", host_cpus());
+    json.push_str("  \"results\": [\n");
+    for (i, (mix, mode, ladder)) in rows.iter().enumerate() {
+        let ops: Vec<String> = ladder.iter().map(|(_, o, _)| format!("{o:.0}")).collect();
+        let batches: Vec<String> = ladder.iter().map(|(_, _, b)| format!("{b:.2}")).collect();
+        let speedup = ladder.last().expect("ladder").1 / ladder[0].1.max(f64::MIN_POSITIVE);
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"mix\": \"{mix}\", \"mode\": \"{mode}\", \"ops_per_sec\": [{}], \"commit_batch_mean\": [{}], \"speedup_8t_over_1t\": {speedup:.2}}}{comma}",
+            ops.join(", "),
+            batches.join(", "),
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// E11: throughput of 1–8 writer threads against one mounted base, for
+/// a write-heavy mix and two read/write blends, with periodic fsyncs
+/// supplying commit pressure. The pre-sharding configuration
+/// (`serial_writes`: every mutation takes the filesystem-wide
+/// exclusive lock) runs as the in-tree baseline, so the before/after
+/// comparison is measured live rather than quoted. The mean journal
+/// commit batch per rung (from the telemetry histogram) shows group
+/// commit engaging as contention rises.
+///
+/// Side effect: writes `BENCH_write_scaling.json` into the working
+/// directory (the committed artifact at the repo root).
+#[must_use]
+pub fn e11_write_scaling(scale: Scale, smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E11: concurrent write scaling ({} ops/thread, fsync every 8 writes, {} host CPUs)",
+        e11_mix_config(WriteMix::WriteHeavy, scale, smoke).ops_per_thread,
+        host_cpus()
+    );
+    let _ = writeln!(
+        out,
+        "(serial_baseline: whole-FS exclusive mutations; concurrent: per-inode stripes +"
+    );
+    let _ = writeln!(
+        out,
+        " group commit. batch = mean ops per journal commit at that thread count)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<13} {:<16} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9}",
+        "mix", "mode", "1t", "2t", "4t", "8t", "8t/1t", "batch@8t"
+    );
+    let mut rows: Vec<E11Row> = Vec::new();
+    for mix in [
+        WriteMix::WriteHeavy,
+        WriteMix::Mixed10R90W,
+        WriteMix::Mixed50R50W,
+    ] {
+        for (mode, serial) in [("serial_baseline", true), ("concurrent", false)] {
+            let ladder = e11_measure(mix, serial, scale, smoke);
+            let speedup = ladder.last().expect("ladder").1 / ladder[0].1.max(f64::MIN_POSITIVE);
+            let _ = writeln!(
+                out,
+                "{:<13} {:<16} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>6.2}x {:>9.2}",
+                mix.label(),
+                mode,
+                ladder[0].1,
+                ladder[1].1,
+                ladder[2].1,
+                ladder[3].1,
+                speedup,
+                ladder.last().expect("ladder").2,
+            );
+            rows.push((mix.label(), mode, ladder));
+        }
+    }
+    let json = e11_render_json(&rows);
+    match std::fs::write("BENCH_write_scaling.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_write_scaling.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "(could not write BENCH_write_scaling.json: {e})");
         }
     }
     out
@@ -1971,6 +2148,7 @@ pub fn run_all(scale: Scale) -> String {
         e8_recovery_resilience(false),
         e9_tail_latency(scale, false),
         e10_server_traffic(false),
+        e11_write_scaling(scale, false),
         trust_accounting(),
     ] {
         out.push_str(&section);

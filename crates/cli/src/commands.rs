@@ -310,6 +310,25 @@ impl Session {
                 }
                 self.readers(threads, ops, args[2])
             }
+            "writers" => {
+                if args.len() != 3 {
+                    return Err(CommandError::Usage(
+                        "writers <threads> <ops> <path>".to_string(),
+                    ));
+                }
+                let threads: usize = args[0]
+                    .parse()
+                    .map_err(|_| CommandError::Usage("writers: bad thread count".to_string()))?;
+                let ops: usize = args[1]
+                    .parse()
+                    .map_err(|_| CommandError::Usage("writers: bad op count".to_string()))?;
+                if threads == 0 || threads > 64 {
+                    return Err(CommandError::Usage(
+                        "writers: thread count must be 1..=64".to_string(),
+                    ));
+                }
+                self.writers(threads, ops, args[2])
+            }
             other => Err(CommandError::Usage(format!(
                 "unknown command '{other}' (try 'help')"
             ))),
@@ -363,6 +382,51 @@ impl Session {
         let ops_per_sec = total as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
         Ok(format!(
             "{total} reads by {threads} threads in {:.2}ms ({ops_per_sec:.0} ops/s)",
+            elapsed.as_secs_f64() * 1e3
+        ))
+    }
+
+    /// `writers <threads> <ops> <path>`: hammer one file with N
+    /// concurrent writer threads (the sharded write path demo — writers
+    /// to the same inode still serialize on its stripe, but the journal
+    /// group-commits their mutations in batches).
+    fn writers(&self, threads: usize, ops: usize, path: &str) -> Result<String, CommandError> {
+        let st = self.fs.stat(path)?;
+        let fd = self.fs.open(path, OpenFlags::RDWR)?;
+        let chunk = (st.size as usize).clamp(1, 1024);
+        let span = (st.size).saturating_sub(chunk as u64).max(1);
+        let start = std::time::Instant::now();
+        let result: Result<u64, FsError> = std::thread::scope(|s| {
+            let fs = &self.fs;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || -> Result<u64, FsError> {
+                        // xorshift per-thread stream: cheap, seedable
+                        let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1);
+                        let mut buf = vec![0u8; chunk];
+                        for _ in 0..ops {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            buf.fill(x as u8);
+                            fs.write(fd, x % span, &buf)?;
+                        }
+                        Ok(ops as u64)
+                    })
+                })
+                .collect();
+            let mut total = 0u64;
+            for h in handles {
+                total += h.join().expect("writer thread panicked")?;
+            }
+            Ok(total)
+        });
+        let elapsed = start.elapsed();
+        self.fs.close(fd)?;
+        let total = result?;
+        let ops_per_sec = total as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE);
+        Ok(format!(
+            "{total} writes by {threads} threads in {:.2}ms ({ops_per_sec:.0} ops/s)",
             elapsed.as_secs_f64() * 1e3
         ))
     }
@@ -495,6 +559,7 @@ const HELP: &str = "commands:
   timeline                  flight-recorder dump of the last incident
   top                       latency histograms per op class and I/O phase
   readers <n> <ops> <p>     concurrent read throughput demo
+  writers <n> <ops> <p>     concurrent write throughput demo
 ";
 
 #[cfg(test)]
@@ -518,6 +583,19 @@ mod tests {
         assert!(out.contains("200 reads by 4 threads"), "got: {out}");
         assert!(s.run("readers 0 50 /hot").is_err(), "zero threads rejected");
         assert!(s.run("readers 4 50").is_err(), "missing path rejected");
+        // the descriptor used by the workload is closed again
+        assert!(s.run("stats").unwrap().contains("detected=0"));
+    }
+
+    #[test]
+    fn writers_command_reports_throughput() {
+        let mut s = session();
+        s.run("write /hot some reasonably sized payload for writes")
+            .unwrap();
+        let out = s.run("writers 4 50 /hot").unwrap();
+        assert!(out.contains("200 writes by 4 threads"), "got: {out}");
+        assert!(s.run("writers 0 50 /hot").is_err(), "zero threads rejected");
+        assert!(s.run("writers 4 50").is_err(), "missing path rejected");
         // the descriptor used by the workload is closed again
         assert!(s.run("stats").unwrap().contains("detected=0"));
     }

@@ -44,7 +44,8 @@ const USAGE: &str = "raefs <command> ...
   exec <image> '<cmd>; <cmd>; ...'
   standby <image> ['<cmd>; ...']
   serve <addr> [--volumes N] [--blocks N] [--workers N] [--duration SECS]
-  loadgen <addr> [--connections N] [--clients N] [--ops N] [--write-pct N] [--inject-fault]";
+  loadgen <addr> [--connections N] [--clients N] [--ops N] [--write-pct N]
+                 [--mix read_heavy|mixed_10r90w|mixed_50r50w|write_heavy] [--inject-fault]";
 
 fn parse_flag(args: &[String], name: &str, default: u64) -> Result<u64, ToolError> {
     match args.iter().position(|a| a == name) {
@@ -280,7 +281,26 @@ fn run_loadgen(addr: &str, args: &[String]) -> Result<String, ToolError> {
     let connections = parse_flag(args, "--connections", 8)?;
     let clients = parse_flag(args, "--clients", 16)?;
     let ops = parse_flag(args, "--ops", 50)?;
-    let write_pct = parse_flag(args, "--write-pct", 30)?;
+    let mut write_pct = parse_flag(args, "--write-pct", 30)?;
+    // --mix is a named preset over the same knob; it wins over an
+    // explicit --write-pct so scripts can layer the two safely
+    if let Some(i) = args.iter().position(|a| a == "--mix") {
+        let mix = args
+            .get(i + 1)
+            .ok_or_else(|| ToolError::Usage("--mix needs a name".to_string()))?;
+        write_pct = match mix.as_str() {
+            "read_heavy" => 10,
+            "mixed_10r90w" => 90,
+            "mixed_50r50w" => 50,
+            "write_heavy" => 100,
+            other => {
+                return Err(ToolError::Usage(format!(
+                    "--mix: unknown mix '{other}' (read_heavy, mixed_10r90w, \
+                     mixed_50r50w, write_heavy)"
+                )))
+            }
+        };
+    }
     let inject = args.iter().any(|a| a == "--inject-fault");
 
     let to_usage = |e: rae_server::ClientError| ToolError::Usage(format!("{addr}: {e}"));
@@ -458,6 +478,11 @@ mod tests {
             run(&["loadgen", "127.0.0.1:1"]),
             Err(ToolError::Usage(_))
         ));
+        // bad --mix names are rejected before any connection attempt
+        match run(&["loadgen", "127.0.0.1:1", "--mix", "bogus"]) {
+            Err(ToolError::Usage(msg)) => assert!(msg.contains("unknown mix"), "{msg}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -501,8 +526,8 @@ mod tests {
             "4",
             "--ops",
             "20",
-            "--write-pct",
-            "25",
+            "--mix",
+            "mixed_50r50w",
         ])
         .unwrap();
         assert!(out.contains("ops/s"), "{out}");

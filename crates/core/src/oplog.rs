@@ -80,6 +80,16 @@ impl OpLog {
         seq
     }
 
+    /// Append an already-completed record in one step — the sequence
+    /// assignment point for concurrent mutations, which sequence *after*
+    /// the base applied them (the outcome is known by then) rather than
+    /// before dispatch. Returns the sequence number.
+    pub fn append_completed(&mut self, op: FsOp, outcome: OpOutcome) -> u64 {
+        let seq = self.append(op);
+        self.complete(seq, outcome);
+        seq
+    }
+
     fn track_outcome(&mut self, seq: u64, closed_fd: Option<Fd>, outcome: &OpOutcome) {
         match outcome {
             OpOutcome::Opened { fd, .. } => {
@@ -247,6 +257,16 @@ impl OpLog {
     /// the crash-remount baseline abandons).
     pub fn drop_record(&mut self, seq: u64) {
         self.records.retain(|r| r.seq != seq);
+    }
+
+    /// Remove a just-appended successful barrier record. Its own commit
+    /// made everything at or below it durable, so the record counts as
+    /// discarded-at-a-barrier in [`OpLog::trimmed_total`], exactly as
+    /// if it had been appended before the commit and trimmed after.
+    pub fn drop_barrier(&mut self, seq: u64) {
+        let before = self.records.len();
+        self.records.retain(|r| r.seq != seq);
+        self.trimmed_total += (before - self.records.len()) as u64;
     }
 
     /// Number of retained records.

@@ -6,7 +6,7 @@ use crate::report::{
     LadderRung, RaeStats, RecoveryPath, RecoveryReport, RecoveryTrigger, RungFailure,
 };
 use parking_lot::{Mutex, RwLock};
-use rae_basefs::{BaseFs, BaseFsConfig};
+use rae_basefs::{BaseFs, BaseFsConfig, OpSequencer};
 use rae_blockdev::{
     classify_error, BlockDevice, ErrorClass, IoPhase, RetryDisk, RetryPolicy, TrackedDisk,
 };
@@ -18,6 +18,7 @@ use rae_vfs::{
     DirEntry, Fd, FileStat, FileSystem, FsError, FsGeometryInfo, FsOp, FsResult, FsStatus, InodeNo,
     OpKind, OpOutcome, OpRecord, OpenFlags, SetAttr,
 };
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -109,29 +110,112 @@ enum Ret {
     Written(usize),
 }
 
+thread_local! {
+    /// The operation this thread is currently dispatching into the
+    /// base, readable by the sequencer callback. Set before dispatch,
+    /// taken back after; the dispatch borrow and the sequencer's read
+    /// are both immutable so they coexist on the one thread.
+    static CURRENT_OP: RefCell<Option<FsOp>> = const { RefCell::new(None) };
+    /// Set by the sequencer when the in-flight op reached its
+    /// sequencing point: the assigned log seq and recorded outcome.
+    /// `Some` after dispatch means the op is already in the log as
+    /// completed, even if the dispatch call itself returned an error
+    /// (post-op machinery such as the journal commit failed).
+    static LAST_SEQUENCED: RefCell<Option<(u64, OpOutcome)>> = const { RefCell::new(None) };
+}
+
+/// State shared between the runtime and the sequencer callback the
+/// base invokes at each operation's internal sequencing point: the
+/// operation log and the warm standby it feeds.
+struct LogShared {
+    log: Mutex<OpLog>,
+    /// The warm standby, when spawned and healthy. `None` after
+    /// degradation or when disabled; recovery takes the cold path.
+    standby: Mutex<Option<WarmStandby>>,
+    /// A standby was lost (lag drop, apply failure, failed audit, or
+    /// respawn failure) — surfaced in stats, reset on respawn.
+    standby_degraded: AtomicBool,
+    /// Audit/divergence counts carried over from standbys that have
+    /// been torn down or handed over. A live standby's counters are
+    /// added on top in `stats`; without this accumulation every
+    /// teardown would silently zero the totals.
+    standby_audits_acc: AtomicU64,
+    standby_divergences_acc: AtomicU64,
+}
+
+impl LogShared {
+    /// Fold a standby handle's final counters into the runtime-owned
+    /// accumulators before it is dropped or handed over, so audit and
+    /// divergence totals survive the teardown. Every site that removes
+    /// a handle from `self.standby` (or consumes a taken one) must
+    /// route through here.
+    fn retire_standby(&self, sb: &WarmStandby) {
+        let st = sb.status();
+        self.standby_audits_acc
+            .fetch_add(st.audits_run, Ordering::Relaxed);
+        self.standby_divergences_acc
+            .fetch_add(st.divergences, Ordering::Relaxed);
+    }
+
+    /// Publish the just-completed record `seq` to the warm standby.
+    /// Callers hold the op-log lock, which serializes completion — so
+    /// publish order is completion order and nothing publishes while
+    /// `recover` (also under the log lock) drains the channel.
+    fn publish_to_standby(&self, log: &OpLog, seq: u64) {
+        let mut guard = self.standby.lock();
+        let Some(sb) = guard.as_ref() else { return };
+        if sb.publish(log.record_of(seq).clone()) == Publish::Degraded {
+            self.retire_standby(sb);
+            *guard = None; // drops the handle and joins the apply thread
+            self.standby_degraded.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// The base's [`OpSequencer`]: invoked at each mutation's sequencing
+/// point with the operation's per-inode locks still held, it appends
+/// the completed record to the op log and publishes it to the warm
+/// standby. This is what makes the log's total order equal the base's
+/// actual apply order when mutations run concurrently — the old
+/// pre-dispatch append (which serialized every mutation behind the log
+/// lock for its whole execution) is gone.
+struct RaeSequencer {
+    shared: Arc<LogShared>,
+}
+
+impl OpSequencer for RaeSequencer {
+    fn sequenced(&self, outcome: &OpOutcome) -> Option<u64> {
+        // Clone rather than take: the dispatching frame still borrows
+        // the op for the remainder of the base call. One payload copy
+        // per sequenced mutation, paid outside the log lock.
+        let op = CURRENT_OP.with(|c| c.borrow().as_ref().cloned())?;
+        let mut log = self.shared.log.lock();
+        let seq = log.append_completed(op, outcome.clone());
+        LAST_SEQUENCED.with(|l| *l.borrow_mut() = Some((seq, outcome.clone())));
+        self.shared.publish_to_standby(&log, seq);
+        Some(seq)
+    }
+}
+
 /// The RAE filesystem: a [`BaseFs`] wrapped with operation recording,
 /// error detection, and shadow recovery. Implements [`FileSystem`];
 /// applications cannot tell recoveries happened except by latency.
 pub struct RaeFs {
     base: BaseFs,
     config: RaeConfig,
-    /// Serializes mutating operations and guards the log.
-    log: Mutex<OpLog>,
+    /// The op log + warm standby, shared with the sequencer callback
+    /// installed in the base. Lock order: `gate` before `log` before
+    /// `standby`, everywhere.
+    shared: Arc<LogShared>,
     /// Recovery quiesce gate: operations hold `read`, recovery holds
     /// `write` ("during recovery, new application operations are not
     /// admitted").
     gate: RwLock<()>,
     reports: Mutex<Vec<RecoveryReport>>,
-    /// The warm standby, when spawned and healthy. `None` after
-    /// degradation or when disabled; recovery takes the cold path.
-    standby: Mutex<Option<WarmStandby>>,
     /// Records which device blocks the base writes, drained at every
     /// standby snapshot point so warm recovery's resync visits only
     /// the touched set. `Some` exactly when the standby is configured.
     tracker: Option<Arc<TrackedDisk>>,
-    /// A standby was lost (lag drop, apply failure, failed audit, or
-    /// respawn failure) — surfaced in stats, reset on respawn.
-    standby_degraded: AtomicBool,
     /// Completed operations since the last coordinated standby audit.
     ops_since_audit: AtomicU64,
     failed: AtomicBool,
@@ -158,12 +242,6 @@ pub struct RaeFs {
     rung_cold_time_ns: AtomicU64,
     rung_cold_retry_time_ns: AtomicU64,
     rung_degraded_time_ns: AtomicU64,
-    /// Audit/divergence counts carried over from standbys that have
-    /// been torn down or handed over. A live standby's counters are
-    /// added on top in `stats`; without this accumulation every
-    /// teardown would silently zero the totals.
-    standby_audits_acc: AtomicU64,
-    standby_divergences_acc: AtomicU64,
     telemetry: Arc<Telemetry>,
 }
 
@@ -256,15 +334,25 @@ impl RaeFs {
             } else {
                 (None, false)
             };
+        let shared = Arc::new(LogShared {
+            log: Mutex::new(OpLog::new()),
+            standby: Mutex::new(standby),
+            standby_degraded: AtomicBool::new(standby_degraded),
+            standby_audits_acc: AtomicU64::new(0),
+            standby_divergences_acc: AtomicU64::new(0),
+        });
+        // the base calls back into the sequencer at each mutation's
+        // sequencing point; from here on, log order is apply order
+        base.set_sequencer(Some(Arc::new(RaeSequencer {
+            shared: Arc::clone(&shared),
+        })));
         Ok(RaeFs {
             base,
             config,
-            log: Mutex::new(OpLog::new()),
+            shared,
             gate: RwLock::new(()),
             reports: Mutex::new(Vec::new()),
-            standby: Mutex::new(standby),
             tracker,
-            standby_degraded: AtomicBool::new(standby_degraded),
             ops_since_audit: AtomicU64::new(0),
             failed: AtomicBool::new(false),
             degraded: AtomicBool::new(false),
@@ -286,8 +374,6 @@ impl RaeFs {
             rung_cold_time_ns: AtomicU64::new(0),
             rung_cold_retry_time_ns: AtomicU64::new(0),
             rung_degraded_time_ns: AtomicU64::new(0),
-            standby_audits_acc: AtomicU64::new(0),
-            standby_divergences_acc: AtomicU64::new(0),
             telemetry,
         })
     }
@@ -317,7 +403,7 @@ impl RaeFs {
     /// Runtime statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> RaeStats {
-        let log = self.log.lock();
+        let log = self.shared.log.lock();
         let standby = self.standby_status();
         RaeStats {
             detected_errors: self.detected_errors.load(Ordering::Relaxed),
@@ -333,15 +419,15 @@ impl RaeFs {
             log_len: log.len(),
             log_trimmed: log.trimmed_total(),
             standby_active: standby.active,
-            standby_degraded: self.standby_degraded.load(Ordering::Acquire),
+            standby_degraded: self.shared.standby_degraded.load(Ordering::Acquire),
             standby_completed_seq: standby.completed_seq,
             standby_applied_seq: standby.applied_seq,
             standby_lag: standby.lag,
             // totals survive standby teardown: retired handles fold
             // their final counts into the accumulators
-            standby_audits_run: self.standby_audits_acc.load(Ordering::Relaxed)
+            standby_audits_run: self.shared.standby_audits_acc.load(Ordering::Relaxed)
                 + standby.audits_run,
-            standby_divergences: self.standby_divergences_acc.load(Ordering::Relaxed)
+            standby_divergences: self.shared.standby_divergences_acc.load(Ordering::Relaxed)
                 + standby.divergences,
             degraded: self.degraded.load(Ordering::Acquire),
             ladder_warm: self.ladder_warm.load(Ordering::Relaxed),
@@ -358,7 +444,8 @@ impl RaeFs {
     /// standby is live).
     #[must_use]
     pub fn standby_status(&self) -> StandbyStatus {
-        self.standby
+        self.shared
+            .standby
             .lock()
             .as_ref()
             .map(WarmStandby::status)
@@ -391,15 +478,15 @@ impl RaeFs {
         // the audit begins with a checkpoint, a mutation of the device:
         // refused in read-only degraded mode like any other mutation
         self.check_writable()?;
-        let mut log = self.log.lock();
         {
             let _admitted = self.gate.read();
             // commit + checkpoint: the raw device must show the full
             // durable state for the shadow to audit it
             self.base.checkpoint()?;
         }
-        log.trim(self.base.persisted_seq());
         let _quiesced = self.gate.write();
+        let mut log = self.shared.log.lock();
+        log.trim(self.base.persisted_seq());
         let mut shadow = ShadowFs::load(self.base.device(), self.config.shadow)?;
         let (completed, _) = log.for_recovery();
         shadow.replay_constrained(&completed)
@@ -487,42 +574,15 @@ impl RaeFs {
     // Warm standby
     // ------------------------------------------------------------------
 
-    /// Fold a standby handle's final counters into the runtime-owned
-    /// accumulators before it is dropped or handed over, so audit and
-    /// divergence totals survive the teardown. Every site that removes
-    /// a handle from `self.standby` (or consumes a taken one) must
-    /// route through here.
-    fn retire_standby(&self, sb: &WarmStandby) {
-        let st = sb.status();
-        self.standby_audits_acc
-            .fetch_add(st.audits_run, Ordering::Relaxed);
-        self.standby_divergences_acc
-            .fetch_add(st.divergences, Ordering::Relaxed);
-    }
-
-    /// Publish the just-completed record `seq` to the warm standby.
-    /// Callers hold the op-log lock, which serializes completion — so
-    /// publish order is completion order and nothing publishes while
-    /// `recover` (also under the log lock) drains the channel.
-    fn publish_to_standby(&self, log: &OpLog, seq: u64) {
-        let mut guard = self.standby.lock();
-        let Some(sb) = guard.as_ref() else { return };
-        if sb.publish(log.record_of(seq).clone()) == Publish::Degraded {
-            self.retire_standby(sb);
-            *guard = None; // drops the handle and joins the apply thread
-            self.standby_degraded.store(true, Ordering::Release);
-        }
-    }
-
     /// Every `audit_interval_ops` completed operations: checkpoint the
     /// base (the audit re-bases the standby onto the raw device, which
     /// is only sound on the full durable state), quiesce, and run the
     /// standby's consistency check + model diff + re-base divergence
     /// check. An audit failure is a divergence: the standby is torn
     /// down and recovery falls back to cold replay.
-    fn maybe_standby_audit(&self, log: &mut OpLog) -> FsResult<()> {
+    fn maybe_standby_audit(&self) -> FsResult<()> {
         let interval = self.config.standby.audit_interval_ops;
-        if interval == 0 || self.standby.lock().is_none() {
+        if interval == 0 || self.shared.standby.lock().is_none() {
             return Ok(());
         }
         if self.ops_since_audit.fetch_add(1, Ordering::Relaxed) + 1 < interval {
@@ -545,7 +605,7 @@ impl RaeFs {
                     Self::error_code(&e),
                     0,
                 );
-                self.recover(log, None, None, RecoveryTrigger::DetectedError(e))?;
+                self.recover(None, None, RecoveryTrigger::DetectedError(e))?;
                 return Ok(()); // recovery respawned the standby; audit next round
             }
             Err(p) => {
@@ -553,7 +613,6 @@ impl RaeFs {
                 self.telemetry
                     .event(EventKind::PanicCaught, OpClass::Fsync.code(), 0, 0);
                 self.recover(
-                    log,
                     None,
                     None,
                     RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref())),
@@ -561,9 +620,9 @@ impl RaeFs {
                 return Ok(());
             }
         }
-        log.trim(self.base.persisted_seq());
         let _quiesced = self.gate.write();
-        let mut guard = self.standby.lock();
+        self.shared.log.lock().trim(self.base.persisted_seq());
+        let mut guard = self.shared.standby.lock();
         if let Some(sb) = guard.as_ref() {
             if sb.run_audit().is_ok() {
                 // the audit re-based the standby onto the (still
@@ -572,9 +631,9 @@ impl RaeFs {
                     let _ = t.take_written();
                 }
             } else {
-                self.retire_standby(sb);
+                self.shared.retire_standby(sb);
                 *guard = None;
-                self.standby_degraded.store(true, Ordering::Release);
+                self.shared.standby_degraded.store(true, Ordering::Release);
             }
         }
         Ok(())
@@ -601,11 +660,11 @@ impl RaeFs {
         ) {
             Ok(sb) => {
                 sb.set_telemetry(Arc::clone(&self.telemetry));
-                *self.standby.lock() = Some(sb);
-                self.standby_degraded.store(false, Ordering::Release);
+                *self.shared.standby.lock() = Some(sb);
+                self.shared.standby_degraded.store(false, Ordering::Release);
             }
             Err(_) => {
-                self.standby_degraded.store(true, Ordering::Release);
+                self.shared.standby_degraded.store(true, Ordering::Release);
             }
         }
     }
@@ -688,31 +747,60 @@ impl RaeFs {
 
     fn exec_mutating_inner(&self, op: FsOp, class: OpClass) -> FsResult<Ret> {
         self.check_writable()?;
-        let mut log = self.log.lock();
-        let seq = log.append(op); // the log owns the operation
-        self.base.note_op_seq(seq);
-
+        // Stash the operation where the sequencer callback can see it
+        // and clear the last-sequenced marker. The log is NOT locked
+        // across dispatch: mutations run concurrently through the
+        // base's sharded locks, and the base calls `RaeSequencer`
+        // at each op's sequencing point (per-inode locks held) to
+        // append the completed record — log order is apply order.
+        CURRENT_OP.with(|c| *c.borrow_mut() = Some(op));
+        LAST_SEQUENCED.with(|l| *l.borrow_mut() = None);
         let result = {
-            let op = log.op_of(seq);
             let _admitted = self.gate.read();
-            catch_unwind(AssertUnwindSafe(|| self.dispatch_base(op)))
+            catch_unwind(AssertUnwindSafe(|| {
+                CURRENT_OP.with(|c| {
+                    let cur = c.borrow();
+                    self.dispatch_base(cur.as_ref().expect("current op stashed"))
+                })
+            }))
         };
+        let op = CURRENT_OP.with(|c| c.borrow_mut().take());
+        let sequenced = LAST_SEQUENCED.with(|l| l.borrow_mut().take());
 
         match result {
             Ok(Ok(ret)) => {
                 self.consecutive_recoveries.store(0, Ordering::Relaxed);
-                log.complete(seq, Self::outcome_of(ret));
-                self.publish_to_standby(&log, seq);
+                if sequenced.is_none() {
+                    // ops the base never sequences (the sync family,
+                    // empty writes, no-op renames) are appended
+                    // post-hoc so the retained log still describes
+                    // them; `note_op_seq` marks them covered by the
+                    // next commit so trimming matches the old behavior
+                    let op = op.expect("op retained");
+                    let is_barrier = op.is_sync_family();
+                    let mut log = self.shared.log.lock();
+                    let seq = log.append_completed(op, Self::outcome_of(ret));
+                    self.base.note_op_seq(seq);
+                    self.shared.publish_to_standby(&log, seq);
+                    if is_barrier {
+                        // a successful barrier is never retained: its
+                        // own commit made everything at or below it
+                        // durable (the pre-dispatch-append design
+                        // appended, committed, and trimmed it in one
+                        // critical section)
+                        log.drop_barrier(seq);
+                    }
+                }
                 if self.config.treat_warn_as_error
                     && !self.base.fault_registry().take_warnings().is_empty()
                 {
                     self.detected_errors.fetch_add(1, Ordering::Relaxed);
                     self.telemetry
                         .event(EventKind::ErrorDetected, class.code(), 0, 0);
-                    self.recover(&mut log, None, None, RecoveryTrigger::WarnPolicy)?;
+                    self.recover(None, None, RecoveryTrigger::WarnPolicy)?;
                 }
-                log.trim(self.base.persisted_seq());
-                if log.len() > self.config.max_log_records {
+                self.shared.log.lock().trim(self.base.persisted_seq());
+                if self.shared.log.lock().len() > self.config.max_log_records {
                     // forced barrier — its own runtime errors must be
                     // masked like any other (a commit-site bug would
                     // otherwise leak to an unrelated operation)
@@ -721,7 +809,9 @@ impl RaeFs {
                         catch_unwind(AssertUnwindSafe(|| self.base.sync()))
                     };
                     match barrier {
-                        Ok(Ok(())) => log.trim(self.base.persisted_seq()),
+                        Ok(Ok(())) => {
+                            self.shared.log.lock().trim(self.base.persisted_seq());
+                        }
                         Ok(Err(e)) => {
                             self.detected_errors.fetch_add(1, Ordering::Relaxed);
                             self.telemetry.event(
@@ -730,7 +820,7 @@ impl RaeFs {
                                 Self::error_code(&e),
                                 0,
                             );
-                            self.recover(&mut log, None, None, RecoveryTrigger::DetectedError(e))?;
+                            self.recover(None, None, RecoveryTrigger::DetectedError(e))?;
                         }
                         Err(p) => {
                             self.panics_caught.fetch_add(1, Ordering::Relaxed);
@@ -741,7 +831,6 @@ impl RaeFs {
                                 0,
                             );
                             self.recover(
-                                &mut log,
                                 None,
                                 None,
                                 RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref())),
@@ -749,16 +838,25 @@ impl RaeFs {
                         }
                     }
                 }
-                self.maybe_standby_audit(&mut log)?;
+                self.maybe_standby_audit()?;
                 Ok(ret)
             }
             Ok(Err(e)) if e.is_specified() => {
-                log.complete(seq, OpOutcome::Failed(e.clone()));
-                // `Failed` records are published too: the standby must
-                // accumulate the same skip counts a cold replay of this
-                // log would report
-                self.publish_to_standby(&log, seq);
-                log.trim(self.base.persisted_seq());
+                // a specified error can only be raised before the
+                // sequencing point (names are validated at path-split
+                // time, space is reserved up front)
+                debug_assert!(sequenced.is_none(), "specified failure after sequencing");
+                if sequenced.is_none() {
+                    // `Failed` records are published too: the standby
+                    // must accumulate the same skip counts a cold
+                    // replay of this log would report
+                    let mut log = self.shared.log.lock();
+                    let seq = log
+                        .append_completed(op.expect("op retained"), OpOutcome::Failed(e.clone()));
+                    self.base.note_op_seq(seq);
+                    self.shared.publish_to_standby(&log, seq);
+                    log.trim(self.base.persisted_seq());
+                }
                 Err(e)
             }
             Ok(Err(e)) => {
@@ -769,18 +867,15 @@ impl RaeFs {
                     Self::error_code(&e),
                     0,
                 );
-                let op = log.op_of(seq).clone(); // error path only
-                self.handle_runtime_error(&mut log, seq, &op, RecoveryTrigger::DetectedError(e))
+                self.handle_runtime_error(op, sequenced, RecoveryTrigger::DetectedError(e))
             }
             Err(p) => {
                 self.panics_caught.fetch_add(1, Ordering::Relaxed);
                 self.telemetry
                     .event(EventKind::PanicCaught, class.code(), 0, 0);
-                let op = log.op_of(seq).clone();
                 self.handle_runtime_error(
-                    &mut log,
-                    seq,
-                    &op,
+                    op,
+                    sequenced,
                     RecoveryTrigger::CaughtPanic(panic_msg(p.as_ref())),
                 )
             }
@@ -789,14 +884,27 @@ impl RaeFs {
 
     fn handle_runtime_error(
         &self,
-        log: &mut OpLog,
-        seq: u64,
-        op: &FsOp,
+        op: Option<FsOp>,
+        sequenced: Option<(u64, OpOutcome)>,
         trigger: RecoveryTrigger,
     ) -> FsResult<Ret> {
         match self.config.mode {
             RecoveryMode::Rae => {
-                let (outcome, _) = self.recover(log, Some((seq, op)), None, trigger)?;
+                let outcome = match sequenced {
+                    // the operation itself completed and is already in
+                    // the log (the failure hit post-op machinery such
+                    // as the journal commit): recovery replays it as a
+                    // completed record and the application receives
+                    // the recorded outcome
+                    Some((_, outcome)) => {
+                        self.recover(None, None, trigger)?;
+                        outcome
+                    }
+                    None => {
+                        let (outcome, _) = self.recover(op, None, trigger)?;
+                        outcome
+                    }
+                };
                 self.ops_masked.fetch_add(1, Ordering::Relaxed);
                 Self::ret_of(outcome)
             }
@@ -804,7 +912,7 @@ impl RaeFs {
                 // the whole machine "crashes": buffered state and every
                 // descriptor are gone; remount from disk
                 let _quiesced = self.gate.write();
-                log.clear();
+                self.shared.log.lock().clear();
                 match self.base.contained_reboot() {
                     Ok(_) => Err(FsError::IoFailed {
                         detail: "filesystem crashed and was remounted; unsynced state lost"
@@ -814,7 +922,9 @@ impl RaeFs {
                 }
             }
             RecoveryMode::ErrorReturn => {
-                log.drop_record(seq);
+                // nothing was pre-appended; a record sequenced before
+                // the failure stays in the log — ErrorReturn keeps
+                // running on untrusted state by design
                 match trigger {
                     RecoveryTrigger::DetectedError(e) => Err(e),
                     RecoveryTrigger::CaughtPanic(msg) => Err(FsError::Internal {
@@ -853,12 +963,18 @@ impl RaeFs {
     /// rung instead of crossing the API boundary.
     fn recover(
         &self,
-        log: &mut OpLog,
-        in_flight: Option<(u64, &FsOp)>,
+        in_flight_op: Option<FsOp>,
         read_in_flight: Option<&ReadRequest>,
         trigger: RecoveryTrigger,
     ) -> FsResult<(OpOutcome, Option<ReadReply>)> {
+        // lock order: quiesce gate first, then the log — the same
+        // order the sequencer observes (gate read-held by dispatching
+        // threads, log taken inside). By the time the write gate is
+        // granted, no operation is inside the base and nothing can
+        // append to the log concurrently.
         let _quiesced = self.gate.write();
+        let mut log_guard = self.shared.log.lock();
+        let log = &mut *log_guard;
         let start = Instant::now();
         self.telemetry.event(
             EventKind::RecoveryStarted,
@@ -882,6 +998,16 @@ impl RaeFs {
         // when the guard drops, on every exit path
         let _phase = PhaseGuard::arm(self.base.device());
 
+        // the in-flight mutation was never sequenced: append it as the
+        // log's pending record so the rungs can complete it
+        // autonomously and `resolve_pending` has a record to resolve
+        let in_flight_owned: Option<(u64, FsOp)> = in_flight_op.map(|op| {
+            let seq = log.append(op.clone());
+            self.base.note_op_seq(seq);
+            (seq, op)
+        });
+        let in_flight: Option<(u64, &FsOp)> = in_flight_owned.as_ref().map(|(seq, op)| (*seq, op));
+
         let (completed, pending) = log.for_recovery();
         debug_assert_eq!(
             pending.as_ref().map(|r| r.seq),
@@ -895,10 +1021,10 @@ impl RaeFs {
         // attempt falls through to cold with the standby gone. (Take
         // the handle out first: the `if let` must not hold the lock,
         // finish_recovery re-arms the standby under it.)
-        let taken = self.standby.lock().take();
+        let taken = self.shared.standby.lock().take();
         if let Some(sb) = taken {
             // the handover consumes the handle: bank its counters now
-            self.retire_standby(&sb);
+            self.shared.retire_standby(&sb);
             let lag = sb.lag();
             let rung_t0 = Instant::now();
             self.rung_event(EventKind::RungEntered, LadderRung::Warm, 0);
@@ -925,7 +1051,7 @@ impl RaeFs {
                             )
                         }
                         Err(e) => {
-                            self.standby_degraded.store(true, Ordering::Release);
+                            self.shared.standby_degraded.store(true, Ordering::Release);
                             failed_rungs.push(self.rung_failed(
                                 LadderRung::Warm,
                                 &e,
@@ -938,7 +1064,7 @@ impl RaeFs {
                     // no attempt ran (the standby refused up front):
                     // record the event but keep `failed_rungs` to
                     // genuinely attempted rungs
-                    self.standby_degraded.store(true, Ordering::Release);
+                    self.shared.standby_degraded.store(true, Ordering::Release);
                     self.rung_event(
                         EventKind::RungFailed,
                         LadderRung::Warm,
@@ -1367,8 +1493,8 @@ impl RaeFs {
                     resume_seq,
                 );
                 resumed.set_telemetry(Arc::clone(&self.telemetry));
-                *self.standby.lock() = Some(resumed);
-                self.standby_degraded.store(false, Ordering::Release);
+                *self.shared.standby.lock() = Some(resumed);
+                self.shared.standby_degraded.store(false, Ordering::Release);
             }
             None => self.respawn_standby(log),
         }
@@ -1423,7 +1549,7 @@ impl RaeFs {
         // unreplayable and the buffered tail it described is gone
         log.clear();
         if self.config.standby.enabled {
-            self.standby_degraded.store(true, Ordering::Release);
+            self.shared.standby_degraded.store(true, Ordering::Release);
         }
         let elapsed = start.elapsed();
         self.recovery_time_ns
@@ -1557,20 +1683,15 @@ impl RaeFs {
         };
         match self.config.mode {
             RecoveryMode::Rae => {
-                let reply = {
-                    let mut log = self.log.lock();
-                    let (_, reply) = self.recover(&mut log, None, Some(op), trigger)?;
-                    reply
-                };
+                let (_, reply) = self.recover(None, Some(op), trigger)?;
                 self.ops_masked.fetch_add(1, Ordering::Relaxed);
                 reply.ok_or_else(|| FsError::Internal {
                     detail: "recovery did not produce a read reply".to_string(),
                 })
             }
             RecoveryMode::CrashRemount => {
-                let mut log = self.log.lock();
                 let _quiesced = self.gate.write();
-                log.clear();
+                self.shared.log.lock().clear();
                 match self.base.contained_reboot() {
                     Ok(_) => Err(FsError::IoFailed {
                         detail: "filesystem crashed and was remounted".to_string(),

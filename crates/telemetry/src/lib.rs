@@ -157,6 +157,9 @@ pub struct Telemetry {
     dev_hist: [[LatencyHistogram; 2]; 3],
     journal_commit: LatencyHistogram,
     cache_fill: LatencyHistogram,
+    commit_stall: LatencyHistogram,
+    /// Group-commit batch sizes — raw op counts, not nanoseconds.
+    commit_batch: LatencyHistogram,
     ring: EventRing,
 }
 
@@ -192,6 +195,8 @@ impl Telemetry {
             dev_hist: std::array::from_fn(|_| std::array::from_fn(|_| LatencyHistogram::new())),
             journal_commit: LatencyHistogram::new(),
             cache_fill: LatencyHistogram::new(),
+            commit_stall: LatencyHistogram::new(),
+            commit_batch: LatencyHistogram::new(),
             ring: EventRing::new(ring_capacity),
         }
     }
@@ -296,6 +301,22 @@ impl Telemetry {
         }
     }
 
+    /// Record the time one mutation spent waiting for its journal
+    /// commit (leading it or parked behind the leader), in nanoseconds.
+    pub fn record_commit_stall_ns(&self, ns: u64) {
+        if self.enabled() {
+            self.commit_stall.record(ns);
+        }
+    }
+
+    /// Record the number of committers amortized into one group-commit
+    /// journal flush. The value is a raw count, not nanoseconds.
+    pub fn record_commit_batch(&self, n: u64) {
+        if self.enabled() {
+            self.commit_batch.record(n);
+        }
+    }
+
     /// Record a flight-recorder event (timestamped now).
     pub fn event(&self, kind: EventKind, a: u64, b: u64, c: u64) {
         if self.enabled() {
@@ -348,6 +369,8 @@ impl Telemetry {
                 .collect(),
             journal_commit: self.journal_commit.summary(),
             cache_fill: self.cache_fill.summary(),
+            commit_stall: self.commit_stall.summary(),
+            commit_batch: self.commit_batch.summary(),
             events_recorded: self.ring.recorded(),
             events_dropped: self.ring.dropped(),
         }

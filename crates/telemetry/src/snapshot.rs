@@ -17,6 +17,11 @@ pub struct TelemetrySnapshot {
     pub journal_commit: HistogramSummary,
     /// Page-cache miss fill durations.
     pub cache_fill: HistogramSummary,
+    /// Per-mutation journal-commit stall durations (time spent leading
+    /// or parked behind a group commit).
+    pub commit_stall: HistogramSummary,
+    /// Group-commit batch sizes (raw op counts, not nanoseconds).
+    pub commit_batch: HistogramSummary,
     /// Flight-recorder events ever recorded.
     pub events_recorded: u64,
     /// Flight-recorder events lost to wraparound.
@@ -64,6 +69,16 @@ impl TelemetrySnapshot {
             json,
             "  \"cache_fill\": {},",
             summary_json(&self.cache_fill)
+        );
+        let _ = writeln!(
+            json,
+            "  \"commit_stall\": {},",
+            summary_json(&self.commit_stall)
+        );
+        let _ = writeln!(
+            json,
+            "  \"commit_batch\": {},",
+            summary_json(&self.commit_batch)
         );
         let _ = writeln!(
             json,
@@ -116,6 +131,23 @@ impl TelemetrySnapshot {
         }
         row("journal_commit", &self.journal_commit);
         row("cache_fill", &self.cache_fill);
+        row("commit_stall", &self.commit_stall);
+        // Batch sizes are raw counts, not latencies — render without
+        // the ns→µs conversion the shared row closure applies.
+        if self.commit_batch.count > 0 {
+            let s = &self.commit_batch;
+            let _ = writeln!(
+                out,
+                "{:<18} {:>9} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}   (ops/commit, raw)",
+                "commit_batch",
+                s.count,
+                s.mean() as f64,
+                s.p50 as f64,
+                s.p99 as f64,
+                s.p999 as f64,
+                s.max as f64
+            );
+        }
         if out.lines().count() == 2 {
             out.push_str("(no samples recorded)\n");
         }

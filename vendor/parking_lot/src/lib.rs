@@ -52,6 +52,50 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
     }
 }
 
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Block until notified, releasing the mutex while parked.
+    ///
+    /// parking_lot waits through an `&mut` guard rather than consuming
+    /// it; std's condvar consumes and returns the guard, so this shim
+    /// moves the guard out and back with `ptr::read`/`ptr::write`. The
+    /// window between the two is panic-free: the only failure mode of
+    /// `std::sync::Condvar::wait` is lock poisoning, which is unwrapped
+    /// into the guard (non-poisoning parking_lot semantics).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let returned = self.0.wait(owned).unwrap_or_else(PoisonError::into_inner);
+            std::ptr::write(guard, returned);
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
