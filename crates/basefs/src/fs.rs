@@ -578,7 +578,12 @@ impl BaseFs {
         let mut idx: Vec<usize> = inos.iter().map(|i| i.0 as usize % ILOCK_STRIPES).collect();
         idx.sort_unstable();
         idx.dedup();
-        idx.into_iter().map(|i| self.ilocks[i].write()).collect()
+        let t0 = self.telemetry.as_ref().and_then(|t| t.layer_clock());
+        let guards = idx.into_iter().map(|i| self.ilocks[i].write()).collect();
+        if let Some(t) = self.telemetry.as_ref() {
+            t.layer_observed(rae_telemetry::SpanLayer::LockWait, t0);
+        }
+        guards
     }
 
     /// Take the transaction lock for a mutation: shared normally,
@@ -1355,10 +1360,10 @@ impl BaseFs {
     /// result. One journal write persists every batched caller's
     /// metadata at once.
     fn commit_coordinated(&self) -> FsResult<()> {
-        let t0 = self.telemetry.as_ref().and_then(|t| t.clock());
+        let t0 = self.telemetry.as_ref().and_then(|t| t.layer_clock());
         let r = self.commit_coordinated_inner();
-        if let (Some(t), Some(t0)) = (self.telemetry.as_ref(), t0) {
-            t.record_commit_stall_ns(t0.elapsed().as_nanos() as u64);
+        if let Some(t) = self.telemetry.as_ref() {
+            t.layer_observed(rae_telemetry::SpanLayer::CommitStall, t0);
         }
         r
     }

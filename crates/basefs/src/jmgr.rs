@@ -12,7 +12,7 @@
 use rae_blockdev::BlockDevice;
 use rae_fsformat::journal::{self, TxnTag, MAX_TXN_BLOCKS};
 use rae_fsformat::{crc::crc32c, Geometry};
-use rae_telemetry::Telemetry;
+use rae_telemetry::{SpanLayer, Telemetry};
 use rae_vfs::{FsError, FsResult};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -83,10 +83,10 @@ impl JournalMgr {
         if images.is_empty() {
             return Ok(());
         }
-        let t0 = self.telemetry.as_ref().and_then(|t| t.clock());
+        let t0 = self.telemetry.as_ref().and_then(|t| t.layer_clock());
         let result = self.commit_inner(dev, images);
-        if let (Some(t), Some(t0)) = (self.telemetry.as_ref(), t0) {
-            t.record_journal_commit_ns(t0.elapsed().as_nanos() as u64);
+        if let Some(t) = self.telemetry.as_ref() {
+            t.layer_observed(SpanLayer::JournalIo, t0);
         }
         result
     }

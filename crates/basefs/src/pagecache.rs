@@ -37,7 +37,7 @@
 
 use parking_lot::Mutex;
 use rae_blockdev::{BlockDevice, QueueConfig, WritebackQueue, BLOCK_SIZE};
-use rae_telemetry::{EventKind, Telemetry};
+use rae_telemetry::{EventKind, SpanLayer, Telemetry};
 use rae_vfs::{FsError, FsResult};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -266,11 +266,11 @@ impl PageCache {
         // Miss: read outside the lock, then insert (double-read on a
         // race is harmless — the block content is identical).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let t0 = self.telemetry.get().and_then(|t| t.clock());
+        let t0 = self.telemetry.get().and_then(|t| t.layer_clock());
         let mut buf = vec![0u8; BLOCK_SIZE];
         self.dev.read_block(bno, &mut buf)?;
-        if let (Some(t), Some(t0)) = (self.telemetry.get(), t0) {
-            t.record_cache_fill_ns(t0.elapsed().as_nanos() as u64);
+        if let Some(t) = self.telemetry.get() {
+            t.layer_observed(SpanLayer::CacheFill, t0);
         }
         let mut shard = self.shard_for(bno).lock();
         if let Some(p) = shard.map.get(&bno) {
@@ -416,11 +416,11 @@ impl PageCache {
         // for a racing writer/eviction before installing the patched
         // image (their copy would be newer than our device read).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let t0 = self.telemetry.get().and_then(|t| t.clock());
+        let t0 = self.telemetry.get().and_then(|t| t.layer_clock());
         let mut buf = vec![0u8; BLOCK_SIZE];
         self.dev.read_block(bno, &mut buf)?;
-        if let (Some(t), Some(t0)) = (self.telemetry.get(), t0) {
-            t.record_cache_fill_ns(t0.elapsed().as_nanos() as u64);
+        if let Some(t) = self.telemetry.get() {
+            t.layer_observed(SpanLayer::CacheFill, t0);
         }
         let mut shard = self.shard_for(bno).lock();
         if let Some(res) = self.patch_locked(&mut shard, bno, offset, bytes, class, stamp) {

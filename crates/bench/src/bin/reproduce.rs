@@ -2,14 +2,14 @@
 //!
 //! ```text
 //! cargo run --release -p rae-bench --bin reproduce -- [--fast] [targets...]
-//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e4c | e5 | e6 | e7 | e8 | e9 | e10 | e11
+//! targets: all (default) | table1 | fig1 | e1 | e2 | e3 | e3b | e4 | e4b | e4c | e5 | e6 | e7 | e8 | e9 | e10 | e11 | e12
 //!
 //! `e4` runs availability plus the read-scaling sweep (e4c); both
 //! sub-targets can also be requested on their own. `--smoke` shrinks
 //! the e8 nested-fault campaign to its CI subset, the e9 tail-
 //! latency run to its CI size, the e10 server-traffic run to a
-//! smaller client fleet, and the e11 write-scaling ladder to CI-sized
-//! rungs.
+//! smaller client fleet, the e11 write-scaling ladder to CI-sized
+//! rungs, and the e12 attribution run to a smaller traced fleet.
 //! ```
 
 use rae_bench::experiments::{self, Scale};
@@ -53,9 +53,10 @@ fn main() {
             "e9" => experiments::e9_tail_latency(scale, smoke),
             "e10" => experiments::e10_server_traffic(smoke),
             "e11" => experiments::e11_write_scaling(scale, smoke),
+            "e12" => experiments::e12_tail_attribution(smoke),
             "trust" => experiments::trust_accounting(),
             other => {
-                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e11|e3b|e4b|e4c)");
+                eprintln!("unknown target '{other}' (use all|table1|fig1|e1..e12|e3b|e4b|e4c)");
                 std::process::exit(2);
             }
         };

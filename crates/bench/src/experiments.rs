@@ -1852,6 +1852,7 @@ pub fn e10_server_traffic(smoke: bool) -> String {
         file_size,
         read_size: 1024,
         seed: 0xE10,
+        trace: false,
     };
     let fds = populate_volumes(&cfg).expect("populate volumes");
 
@@ -2035,6 +2036,319 @@ pub fn e10_server_traffic(smoke: bool) -> String {
 }
 
 // ---------------------------------------------------------------------
+// E12: tail-latency attribution under multi-tenant traffic (which
+// *layer* owns the tail, before / during / after a masked fault)
+// ---------------------------------------------------------------------
+
+/// One window's merged attribution view: the end-to-end op histogram
+/// delta plus the per-layer attribution deltas over the same interval.
+struct E12Window {
+    name: &'static str,
+    e2e: rae_telemetry::HistogramSummary,
+    layers: Vec<(&'static str, rae_telemetry::HistogramSummary)>,
+    attr_sum_ns: u64,
+    e2e_sum_ns: u64,
+}
+
+impl E12Window {
+    /// Attribution-mass-to-end-to-end ratio; 1.0 when the per-layer
+    /// vectors account for exactly the recorded op time.
+    fn ratio(&self) -> f64 {
+        if self.e2e_sum_ns == 0 {
+            return 1.0;
+        }
+        self.attr_sum_ns as f64 / self.e2e_sum_ns as f64
+    }
+}
+
+/// Frozen dump of every histogram E12 windows over: the API-boundary
+/// op histograms (all classes merged) and the six attribution layers,
+/// each merged across all volumes.
+struct E12Snap {
+    e2e: rae_telemetry::HistDump,
+    layers: Vec<rae_telemetry::HistDump>,
+}
+
+fn e12_snap(teles: &[Arc<rae_telemetry::Telemetry>]) -> E12Snap {
+    let mut e2e = rae_telemetry::HistDump::empty();
+    for t in teles {
+        for &class in rae_telemetry::OpClass::ALL.iter() {
+            e2e.merge(&t.op_histogram(class).dump());
+        }
+    }
+    let layers = rae_telemetry::SpanLayer::ALL
+        .iter()
+        .map(|&layer| {
+            let mut d = rae_telemetry::HistDump::empty();
+            for t in teles {
+                d.merge(&t.attr_histogram(layer).dump());
+            }
+            d
+        })
+        .collect();
+    E12Snap { e2e, layers }
+}
+
+fn e12_window(name: &'static str, later: &E12Snap, earlier: &E12Snap) -> E12Window {
+    let e2e = later.e2e.delta(&earlier.e2e);
+    let layers: Vec<(&'static str, rae_telemetry::HistogramSummary)> =
+        rae_telemetry::SpanLayer::ALL
+            .iter()
+            .zip(later.layers.iter().zip(earlier.layers.iter()))
+            .map(|(&layer, (l, e))| (layer.name(), l.delta(e).summary()))
+            .collect();
+    let attr_sum_ns = rae_telemetry::SpanLayer::ALL
+        .iter()
+        .zip(later.layers.iter().zip(earlier.layers.iter()))
+        .map(|(_, (l, e))| l.delta(e).sum())
+        .sum();
+    E12Window {
+        name,
+        e2e_sum_ns: e2e.sum(),
+        e2e: e2e.summary(),
+        layers,
+        attr_sum_ns,
+    }
+}
+
+/// E12: decompose the client-visible latency distribution into
+/// per-layer contributions, across a masked mid-traffic fault.
+///
+/// The E10 traffic shape (multi-tenant server on a loopback socket,
+/// Zipf-skewed clients, trace contexts minted per op) runs while the
+/// API-boundary op histograms and the six span-attribution histograms
+/// are dumped at three instants, carving the run into *before* /
+/// *during* / *after* windows around a panic injected into vol0's
+/// path lookup. Each window reports the end-to-end percentiles next
+/// to per-layer percentiles, and the invariant that makes the
+/// attribution trustworthy: the per-layer mass must sum to the
+/// recorded end-to-end mass (ratio within 10%; it is 1.0 by
+/// construction, since the unattributed remainder is booked as
+/// `other`). A final probe prices the whole tracing plane on
+/// cache-hit reads against a 5% budget.
+///
+/// Side effect: writes `BENCH_tail_attribution.json` into the working
+/// directory (the committed artifact at the repo root).
+///
+/// # Panics
+///
+/// Panics if the server cannot bind, the fault escapes masking, a
+/// window records nothing, or the attribution mass drifts more than
+/// 10% from the end-to-end mass.
+#[must_use]
+pub fn e12_tail_attribution(smoke: bool) -> String {
+    use rae_server::{Client, Server, ServerConfig, VolumeManager};
+    use rae_workloads::{populate_volumes, start_load, LoadGenConfig};
+    use std::time::Instant;
+
+    const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+    const SITE_PATH_LOOKUP: u8 = 1;
+    const EFFECT_PANIC: u8 = 1;
+
+    let (connections, clients_per_connection, ops_per_client) =
+        if smoke { (8, 4, 150) } else { (32, 8, 150) };
+    let volumes_wanted = 2usize;
+    let files_per_volume = 32usize;
+
+    let manager = Arc::new(VolumeManager::new());
+    let config = ServerConfig {
+        workers: connections + 8,
+        queue: connections + 8,
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&manager), &config).expect("bind server");
+    let addr = server.local_addr().to_string();
+
+    let mut admin = Client::connect(addr.as_str()).expect("admin connect");
+    let mut volume_ids = Vec::new();
+    for i in 0..volumes_wanted {
+        let id = admin
+            .create_volume(&format!("vol{i}"), 4096, 1024, 256, 0, 0)
+            .expect("create volume");
+        volume_ids.push(id);
+    }
+
+    let cfg = LoadGenConfig {
+        addr: addr.clone(),
+        volumes: volume_ids.clone(),
+        connections,
+        clients_per_connection,
+        ops_per_client,
+        write_pct: 30,
+        zipf_exponent: 0.99,
+        files_per_volume,
+        file_size: 16 * 1024,
+        read_size: 1024,
+        seed: 0xE12,
+        trace: true,
+    };
+    let fds = populate_volumes(&cfg).expect("populate volumes");
+    let teles: Vec<Arc<rae_telemetry::Telemetry>> = volume_ids
+        .iter()
+        .map(|&id| manager.get(id).expect("volume").fs().telemetry())
+        .collect();
+
+    let baseline = e12_snap(&teles);
+    let run = start_load(&cfg, &fds, Instant::now()).expect("start load");
+    while run.progress() < 0.33 {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let snap_before = e12_snap(&teles);
+    admin
+        .inject_fault(volume_ids[0], SITE_PATH_LOOKUP, EFFECT_PANIC, 1)
+        .expect("inject panic fault");
+    while run.progress() < 0.7 {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let snap_during = e12_snap(&teles);
+    let report = run.join();
+    let snap_after = e12_snap(&teles);
+
+    assert_eq!(report.total_errors, 0, "the injected panic must be masked");
+    assert_eq!(report.total_io_errors, 0, "no connection may drop");
+    let recoveries = manager
+        .get(volume_ids[0])
+        .map_or(0, |v| v.fs().stats().recoveries);
+    assert!(recoveries >= 1, "vol0 must have recovered");
+
+    let windows = [
+        e12_window("before", &snap_before, &baseline),
+        e12_window("during", &snap_during, &snap_before),
+        e12_window("after", &snap_after, &snap_during),
+    ];
+    for w in &windows {
+        assert!(w.e2e.count > 0, "window '{}' recorded nothing", w.name);
+        let r = w.ratio();
+        assert!(
+            (0.9..=1.1).contains(&r),
+            "window '{}': attribution mass {} vs e2e mass {} (ratio {r:.3})",
+            w.name,
+            w.attr_sum_ns,
+            w.e2e_sum_ns
+        );
+    }
+
+    let scrape = manager.scrape_prometheus();
+    assert!(
+        scrape.contains("rae_attr_ns"),
+        "metrics plane exports attribution"
+    );
+
+    let shutdown = server.shutdown().expect("graceful shutdown");
+    assert!(shutdown.all_clean, "all volumes must unmount cleanly");
+
+    // price the tracing plane itself on the cheapest op RAE serves
+    let (reads, rounds) = if smoke { (20_000, 3) } else { (100_000, 3) };
+    let (on_ns, off_ns) = e9_cache_hit_ns_per_op(reads, rounds);
+    let overhead_pct = (on_ns - off_ns) / off_ns.max(f64::MIN_POSITIVE) * 100.0;
+    let within_budget = overhead_pct <= OVERHEAD_BUDGET_PCT;
+
+    let mut out = format!(
+        "E12: tail-latency attribution across a masked fault ({} volumes, \
+         {} connections x {} clients, {} ops, {:.0} ops/s)\n",
+        volumes_wanted,
+        connections,
+        clients_per_connection,
+        report.total_ops,
+        report.ops_per_sec()
+    );
+    for w in &windows {
+        let _ = writeln!(
+            out,
+            "window {:<7} e2e: n={:<6} p50={:>7}ns p99={:>9}ns p999={:>9}ns  (attr/e2e {:.3})",
+            w.name,
+            w.e2e.count,
+            w.e2e.p50,
+            w.e2e.p99,
+            w.e2e.p999,
+            w.ratio()
+        );
+        for (name, s) in &w.layers {
+            if s.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<12} n={:<6} p50={:>7}ns p99={:>9}ns p999={:>9}ns sum={}ns",
+                name, s.count, s.p50, s.p99, s.p999, s.sum
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "tracing overhead on cache-hit reads: on={on_ns:.0} ns/op off={off_ns:.0} ns/op \
+         ({overhead_pct:+.1}%, budget {OVERHEAD_BUDGET_PCT:.0}%, within={within_budget})"
+    );
+
+    let mut json = String::from("{\n  \"experiment\": \"e12_tail_attribution\",\n");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        json,
+        "  \"load\": {{\"volumes\": {volumes_wanted}, \"connections\": {connections}, \
+         \"clients_per_connection\": {clients_per_connection}, \"ops\": {}, \
+         \"ops_per_sec\": {:.0}, \"write_pct\": 30, \"traced\": true}},",
+        report.total_ops,
+        report.ops_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"fault\": {{\"tenant\": \"vol0\", \"site\": \"path_lookup\", \"effect\": \"panic\", \
+         \"masked\": true, \"recoveries\": {recoveries}}},"
+    );
+    json.push_str("  \"windows\": [\n");
+    for (i, w) in windows.iter().enumerate() {
+        let comma = if i + 1 < windows.len() { "," } else { "" };
+        let _ = writeln!(json, "    {{\"window\": \"{}\",", w.name);
+        let _ = writeln!(
+            json,
+            "     \"e2e\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}, \"max_ns\": {}}},",
+            w.e2e.count, w.e2e.sum, w.e2e.p50, w.e2e.p99, w.e2e.p999, w.e2e.max
+        );
+        json.push_str("     \"layers\": {");
+        let mut first = true;
+        for (name, s) in &w.layers {
+            if !first {
+                json.push_str(", ");
+            }
+            first = false;
+            let _ = write!(
+                json,
+                "\"{name}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                 \"p999_ns\": {}}}",
+                s.count, s.sum, s.p50, s.p99, s.p999
+            );
+        }
+        json.push_str("},\n");
+        let _ = writeln!(
+            json,
+            "     \"attribution_sum_ns\": {}, \"e2e_sum_ns\": {}, \"attr_to_e2e_ratio\": {:.4}, \
+             \"ratio_within_10pct\": {}}}{comma}",
+            w.attr_sum_ns,
+            w.e2e_sum_ns,
+            w.ratio(),
+            (0.9..=1.1).contains(&w.ratio())
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"overhead\": {{\"tracing_on_ns_per_op\": {on_ns:.0}, \"tracing_off_ns_per_op\": {off_ns:.0}, \
+         \"overhead_pct\": {overhead_pct:.2}, \"budget_pct\": {OVERHEAD_BUDGET_PCT:.1}, \
+         \"within_budget\": {within_budget}}}"
+    );
+    json.push_str("}\n");
+    match std::fs::write("BENCH_tail_attribution.json", &json) {
+        Ok(()) => {
+            let _ = writeln!(out, "wrote BENCH_tail_attribution.json");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "(could not write BENCH_tail_attribution.json: {e})");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Trusted-code accounting (§4.3: "We expect to quantify the code we
 // trust (i.e., reused)")
 // ---------------------------------------------------------------------
@@ -2149,6 +2463,7 @@ pub fn run_all(scale: Scale) -> String {
         e9_tail_latency(scale, false),
         e10_server_traffic(false),
         e11_write_scaling(scale, false),
+        e12_tail_attribution(false),
         trust_accounting(),
     ] {
         out.push_str(&section);

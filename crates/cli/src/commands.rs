@@ -40,6 +40,20 @@ pub struct Session {
     fs: RaeFs,
     faults: FaultRegistry,
     next_bug_id: u32,
+    /// Trace ids minted per command line, starting at 1: command N
+    /// carries trace id N, so `timeline --trace N` replays exactly the
+    /// flight-recorder events command N caused.
+    next_trace_id: u64,
+}
+
+/// Clears the thread's trace context on every exit path out of
+/// [`Session::run`] (including `?` early returns).
+struct TraceScope;
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        rae_telemetry::clear_current_trace();
+    }
 }
 
 impl Session {
@@ -72,6 +86,7 @@ impl Session {
             fs: RaeFs::mount(dev, config)?,
             faults,
             next_bug_id: 9000,
+            next_trace_id: 1,
         })
     }
 
@@ -102,6 +117,9 @@ impl Session {
             return Ok(String::new());
         };
         let args: Vec<&str> = parts.collect();
+        rae_telemetry::set_current_trace(self.next_trace_id);
+        self.next_trace_id += 1;
+        let _trace = TraceScope;
         match cmd {
             "help" => Ok(HELP.to_string()),
             "ls" => self.ls(args.first().copied().unwrap_or("/")),
@@ -255,7 +273,15 @@ impl Session {
             }
             "timeline" => {
                 let (events, dropped) = self.fs.telemetry().timeline();
-                Ok(rae_telemetry::render_timeline(&events, dropped))
+                if let Some(i) = args.iter().position(|&a| a == "--trace") {
+                    let id: u64 = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| CommandError::Usage("timeline --trace <id>".into()))?;
+                    Ok(rae_telemetry::render_trace_timeline(&events, dropped, id))
+                } else {
+                    Ok(rae_telemetry::render_timeline(&events, dropped))
+                }
             }
             "top" => Ok(self.fs.telemetry().snapshot().render_table()),
             "standby" => {
@@ -340,7 +366,11 @@ impl Session {
     /// so dashboards parse one format. A shell session has exactly one
     /// (implicit) volume, keyed `"default"`.
     fn stats_json(&self) -> String {
-        rae_server::volumes_stats_json(&[("default", &self.fs)])
+        rae_server::volumes_stats_json(&[(
+            "default",
+            &self.fs,
+            rae_server::TenantCounters::default(),
+        )])
     }
 
     /// `readers <threads> <ops> <path>`: hammer one file with N
@@ -556,7 +586,7 @@ const HELP: &str = "commands:
   audit                     coordinated shadow cross-check
   ladder                    recovery-ladder rungs, per-rung timings, retries
   standby                   warm-standby watermarks and lag
-  timeline                  flight-recorder dump of the last incident
+  timeline [--trace <id>]   flight-recorder dump (filtered to one trace)
   top                       latency histograms per op class and I/O phase
   readers <n> <ops> <p>     concurrent read throughput demo
   writers <n> <ops> <p>     concurrent write throughput demo
@@ -654,6 +684,28 @@ mod tests {
         let ladder = s.run("ladder").unwrap();
         assert!(ladder.contains("cold=1"), "{ladder}");
         assert!(ladder.contains("rung=cold failed_rungs=[]"), "{ladder}");
+    }
+
+    #[test]
+    fn timeline_trace_filter_isolates_one_command() {
+        let mut s = session();
+        // command trace ids are minted 1, 2, 3, … per line: the masked
+        // fault below happens inside command 3 (the mv)
+        s.run("write /f data").unwrap();
+        s.run("inject rename 1 error").unwrap();
+        s.run("mv /f /g").unwrap();
+
+        let traced = s.run("timeline --trace 3").unwrap();
+        assert!(traced.starts_with("trace 3:"), "{traced}");
+        assert!(traced.contains("error detected"), "{traced}");
+        assert!(traced.contains("recovery done"), "{traced}");
+        // the quiet command before the fault recorded nothing
+        let quiet = s.run("timeline --trace 1").unwrap();
+        assert!(quiet.contains("no retained events for trace 1"), "{quiet}");
+        // the full dump still shows the same incident
+        let full = s.run("timeline").unwrap();
+        assert!(full.contains("error detected"), "{full}");
+        assert!(s.run("timeline --trace").is_err(), "missing id rejected");
     }
 
     #[test]

@@ -45,7 +45,8 @@ const USAGE: &str = "raefs <command> ...
   standby <image> ['<cmd>; ...']
   serve <addr> [--volumes N] [--blocks N] [--workers N] [--duration SECS]
   loadgen <addr> [--connections N] [--clients N] [--ops N] [--write-pct N]
-                 [--mix read_heavy|mixed_10r90w|mixed_50r50w|write_heavy] [--inject-fault]";
+                 [--mix read_heavy|mixed_10r90w|mixed_50r50w|write_heavy] [--inject-fault]
+  metrics <addr> [--json] [--watch SECS]";
 
 fn parse_flag(args: &[String], name: &str, default: u64) -> Result<u64, ToolError> {
     match args.iter().position(|a| a == name) {
@@ -209,6 +210,7 @@ pub fn run_tool(args: &[String]) -> Result<String, ToolError> {
         }
         "serve" => run_serve(image, args),
         "loadgen" => run_loadgen(image, args),
+        "metrics" => run_metrics(image, args),
         other => Err(ToolError::Usage(format!(
             "unknown command '{other}'\n{USAGE}"
         ))),
@@ -319,6 +321,7 @@ fn run_loadgen(addr: &str, args: &[String]) -> Result<String, ToolError> {
         clients_per_connection: clients.clamp(1, 1024) as usize,
         ops_per_client: ops.clamp(1, 1_000_000) as usize,
         write_pct: write_pct.min(100) as u32,
+        trace: true,
         ..rae_workloads::LoadGenConfig::default()
     };
     let fds = rae_workloads::populate_volumes(&cfg).map_err(to_usage)?;
@@ -380,6 +383,36 @@ fn run_loadgen(addr: &str, args: &[String]) -> Result<String, ToolError> {
         }
     }
     Ok(out)
+}
+
+/// `metrics <addr>`: scrape a running server's per-tenant metrics
+/// plane — Prometheus text by default, the JSON mirror with `--json`.
+/// `--watch SECS` re-scrapes on that period until SIGINT (or a broken
+/// connection), separating refreshes with a form-feed marker line.
+fn run_metrics(addr: &str, args: &[String]) -> Result<String, ToolError> {
+    let json = args.iter().any(|a| a == "--json");
+    let watch = parse_flag(args, "--watch", 0)?;
+    let mut client = rae_server::Client::connect(addr)
+        .map_err(|e| ToolError::Usage(format!("connect {addr}: {e}")))?;
+    let to_usage = |e: rae_server::ClientError| ToolError::Usage(format!("{addr}: {e}"));
+    if watch == 0 {
+        return client.scrape(json).map_err(to_usage);
+    }
+    let _ = rae_server::sigint_installed();
+    let mut last = String::new();
+    while !rae_server::sigint_triggered() {
+        match client.scrape(json) {
+            Ok(text) => {
+                println!("--- {addr} ---");
+                print!("{text}");
+                last = text;
+            }
+            Err(rae_server::ClientError::Io(_)) => break,
+            Err(e) => return Err(to_usage(e)),
+        }
+        std::thread::sleep(std::time::Duration::from_secs(watch.clamp(1, 3600)));
+    }
+    Ok(last)
 }
 
 #[cfg(test)]

@@ -736,12 +736,15 @@ impl RaeFs {
 
     /// Execute a mutating operation with full RAE protection, timing
     /// the whole call (recoveries included — the application-visible
-    /// latency) into the per-class histogram.
+    /// latency) into the per-class histogram. Mutations are journal- or
+    /// device-bound, so every one is timed (no sampling) and carries a
+    /// per-layer attribution span.
     fn exec_mutating(&self, op: FsOp) -> FsResult<Ret> {
         let class = Self::class_of_op(&op);
-        let t0 = self.telemetry.op_clock();
+        let t0 = self.telemetry.clock();
+        self.telemetry.op_span_begin();
         let result = self.exec_mutating_inner(op, class);
-        self.telemetry.op_observed(class, t0);
+        self.telemetry.op_finish(class, t0);
         result
     }
 
@@ -1632,11 +1635,18 @@ impl RaeFs {
     /// *through the shadow* in autonomous mode, exactly like a pending
     /// mutation would (§3.2). Retrying on the base instead would loop
     /// forever on a deterministic read-path bug.
+    /// Reads keep the 1-in-8 sampled clock — a sub-microsecond
+    /// cache-hit read cannot afford two clock reads each — but still
+    /// open an attribution span: when an *unsampled* read turns slow,
+    /// its deep-layer time (cache fill, device) crosses the slow-op
+    /// threshold inside [`rae_telemetry::Telemetry::op_finish`] and the
+    /// op is captured anyway as a lower bound.
     fn exec_read(&self, op: &ReadRequest) -> FsResult<ReadReply> {
         let class = Self::class_of_read(op);
         let t0 = self.telemetry.op_clock();
+        self.telemetry.op_span_begin();
         let result = self.exec_read_inner(op, class);
-        self.telemetry.op_observed(class, t0);
+        self.telemetry.op_finish(class, t0);
         result
     }
 

@@ -7,7 +7,9 @@
 
 use crate::wire::{
     read_frame, write_frame, AdminOp, FsOp, Reply, Request, Response, ServerError, VolumeInfo,
+    PROTOCOL_VERSION,
 };
+use rae_telemetry::TraceCtx;
 use rae_vfs::{DirEntry, Fd, FileStat, FsError, FsGeometryInfo, OpenFlags, SetAttr};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -70,6 +72,13 @@ pub type ClientResult<T> = Result<T, ClientError>;
 /// One connection to the storage server.
 pub struct Client {
     stream: TcpStream,
+    /// Trace context stamped on every subsequent request frame (v2
+    /// extension). `None` — the default — emits plain v1 frames.
+    trace: Option<TraceCtx>,
+    /// Peer protocol version, if negotiated. Setting a trace context
+    /// without a negotiated v2 peer is allowed but will be rejected by
+    /// v1 servers.
+    peer_version: Option<u32>,
 }
 
 impl Client {
@@ -81,7 +90,55 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            trace: None,
+            peer_version: None,
+        })
+    }
+
+    /// Negotiate the protocol version with the server. Returns the
+    /// version both sides speak: v1 peers reject the probe frame, which
+    /// this treats as a clean v1 answer (trace contexts then stay off
+    /// the wire). Ping/negotiate frames themselves are never traced.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; an old server is not an error.
+    pub fn negotiate(&mut self) -> ClientResult<u32> {
+        match self.call(&Request::Negotiate {
+            version: PROTOCOL_VERSION,
+        }) {
+            Ok(Response::Ok(Reply::Version(v))) => {
+                let v = v.min(PROTOCOL_VERSION);
+                self.peer_version = Some(v);
+                Ok(v)
+            }
+            // A v1 server answers the unknown opcode with a server
+            // error (bad frame / unsupported); treat it as "speaks v1".
+            Ok(_) => {
+                self.peer_version = Some(1);
+                Ok(1)
+            }
+            Err(ClientError::Io(e)) => Err(ClientError::Io(e)),
+            Err(_) => {
+                self.peer_version = Some(1);
+                Ok(1)
+            }
+        }
+    }
+
+    /// The negotiated peer version, if [`Client::negotiate`] ran.
+    #[must_use]
+    pub fn peer_version(&self) -> Option<u32> {
+        self.peer_version
+    }
+
+    /// Attach a trace context to every subsequent request (or clear
+    /// it with `None`). Ignored — left off the wire — when the peer
+    /// negotiated v1.
+    pub fn set_trace(&mut self, ctx: Option<TraceCtx>) {
+        self.trace = ctx;
     }
 
     /// Issue one raw request and read its response.
@@ -91,7 +148,12 @@ impl Client {
     /// Transport and decode failures (filesystem/server errors are
     /// *values* here; the typed wrappers turn them into errors).
     pub fn call(&mut self, request: &Request) -> ClientResult<Response> {
-        write_frame(&mut self.stream, &request.encode())?;
+        let ctx = match self.peer_version {
+            Some(v) if v >= 2 => self.trace,
+            Some(_) => None,
+            None => self.trace,
+        };
+        write_frame(&mut self.stream, &request.encode_traced(ctx))?;
         let Some(body) = read_frame(&mut self.stream)? else {
             return Err(ClientError::Io(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -497,6 +559,19 @@ impl Client {
         match self.expect(&Request::Admin(AdminOp::ServerStats))? {
             Reply::Str(json) => Ok(json),
             _ => Err(ClientError::Protocol("expected stats json")),
+        }
+    }
+
+    /// Scrape the per-tenant metrics plane: Prometheus text exposition
+    /// format by default, the JSON mirror with `json = true`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`].
+    pub fn scrape(&mut self, json: bool) -> ClientResult<String> {
+        match self.expect(&Request::Admin(AdminOp::Scrape { json }))? {
+            Reply::Str(text) => Ok(text),
+            _ => Err(ClientError::Protocol("expected metrics text")),
         }
     }
 

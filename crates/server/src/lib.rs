@@ -29,7 +29,9 @@ pub mod wire;
 
 pub use client::{Client, ClientError};
 pub use server::{sigint_installed, sigint_triggered, Server, ServerConfig, ShutdownReport};
-pub use volume::{volumes_stats_json, QuotaSpec, Volume, VolumeManager, VolumeSpec};
+pub use volume::{
+    volumes_stats_json, QuotaSpec, TenantCounters, Volume, VolumeManager, VolumeSpec,
+};
 pub use wire::{
     effect_from_code, site_from_code, status_code, status_name, AdminOp, DecodeError, FsOp, Reply,
     Request, Response, ServerError, VolumeInfo, MAX_FRAME_LEN,

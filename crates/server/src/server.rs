@@ -138,9 +138,16 @@ impl Server {
         &self.shared.manager
     }
 
-    /// Flip the shutdown flag: stop accepting, start draining.
+    /// Flip the shutdown flag: stop accepting, start draining. The
+    /// first flip (only) records [`EventKind::ShutdownBegin`] so the
+    /// timeline marks where the drain started.
     pub fn request_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if !self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            self.shared
+                .manager
+                .telemetry()
+                .event(EventKind::ShutdownBegin, 1, 0, 0);
+        }
     }
 
     /// Whether shutdown has been requested (by us, a client's
@@ -207,22 +214,25 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _)) => {
                 let conn = shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
-                shared
-                    .manager
-                    .telemetry()
-                    .event(EventKind::ClientConnected, conn, 0, 0);
+                let t = shared.manager.telemetry();
+                t.event(EventKind::ClientConnected, conn, 0, 0);
                 let _ = stream.set_nodelay(true);
                 if shared.shutdown.load(Ordering::SeqCst) {
+                    t.event(EventKind::ConnAccepted, conn, 0, 0);
                     refuse(stream, &ServerError::ShuttingDown);
                     return;
                 }
-                if let Err(err) = tx.try_send(stream) {
-                    // queue full (or workers gone): refuse politely
-                    let stream = match err {
-                        crossbeam::channel::TrySendError::Full(s)
-                        | crossbeam::channel::TrySendError::Disconnected(s) => s,
-                    };
-                    refuse(stream, &ServerError::Busy);
+                match tx.try_send(stream) {
+                    Ok(()) => t.event(EventKind::ConnAccepted, conn, 1, 0),
+                    Err(err) => {
+                        // queue full (or workers gone): refuse politely
+                        t.event(EventKind::ConnAccepted, conn, 0, 0);
+                        let stream = match err {
+                            crossbeam::channel::TrySendError::Full(s)
+                            | crossbeam::channel::TrySendError::Disconnected(s) => s,
+                        };
+                        refuse(stream, &ServerError::Busy);
+                    }
                 }
             }
             Err(e)
@@ -319,11 +329,19 @@ fn read_frame_interruptible(stream: &mut TcpStream, shared: &Shared) -> ReadOutc
 fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut served = 0u64;
+    // ConnClosed reason codes: 0 eof, 1 transport error, 2 shutdown,
+    // 3 bad frame (see the EventKind schema table)
+    let mut close_reason = 0u64;
     loop {
         let body = match read_frame_interruptible(&mut stream, shared) {
             ReadOutcome::Frame(body) => body,
-            ReadOutcome::Eof | ReadOutcome::Error => break,
+            ReadOutcome::Eof => break,
+            ReadOutcome::Error => {
+                close_reason = 1;
+                break;
+            }
             ReadOutcome::Shutdown => {
+                close_reason = 2;
                 let _ = write_frame(
                     &mut stream,
                     &Response::ServerErr(ServerError::ShuttingDown).encode(),
@@ -331,15 +349,24 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 break;
             }
         };
-        let response = match Request::decode(&body) {
-            Ok(request) => {
+        let response = match Request::decode_traced(&body) {
+            Ok((request, ctx)) => {
                 served += 1;
                 shared.requests.fetch_add(1, Ordering::Relaxed);
-                handle_request(request, shared)
+                // The trace id travels the rest of the way through the
+                // per-thread cell: every flight-recorder event the
+                // request's layers record is stamped with it.
+                if let Some(ctx) = ctx {
+                    rae_telemetry::set_current_trace(ctx.trace_id);
+                }
+                let response = handle_request(request, shared);
+                rae_telemetry::clear_current_trace();
+                response
             }
             Err(e) => {
                 // a malformed frame poisons the stream position: answer
                 // once, then close the connection
+                close_reason = 3;
                 let _ = write_frame(
                     &mut stream,
                     &Response::ServerErr(ServerError::BadFrame {
@@ -354,26 +381,30 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             break;
         }
     }
-    shared
-        .manager
-        .telemetry()
-        .event(EventKind::ClientDisconnected, 0, served, 0);
+    let t = shared.manager.telemetry();
+    t.event(EventKind::ClientDisconnected, 0, served, 0);
+    t.event(EventKind::ConnClosed, served, close_reason, 0);
 }
 
 fn handle_request(request: Request, shared: &Shared) -> Response {
     match request {
         Request::Ping => Response::Ok(Reply::Pong),
+        Request::Negotiate { version } => {
+            Response::Ok(Reply::Version(version.min(wire::PROTOCOL_VERSION)))
+        }
         Request::Fs { volume, op } => {
             let Some(vol) = shared.manager.get(volume) else {
                 return Response::ServerErr(ServerError::NoSuchVolume { volume });
             };
             let class = Volume::class_of(&op);
             if let Err(e) = vol.charge(Volume::bytes_of(&op)) {
-                shared.manager.telemetry().event(
-                    EventKind::QuotaExceeded,
+                let t = shared.manager.telemetry();
+                t.event(EventKind::QuotaExceeded, u64::from(volume), class.code(), 0);
+                t.event(
+                    EventKind::QuotaRefused,
                     u64::from(volume),
-                    class.code(),
-                    0,
+                    vol.ops_used(),
+                    vol.bytes_used(),
                 );
                 return Response::ServerErr(e);
             }
@@ -465,14 +496,23 @@ fn handle_admin(op: AdminOp, shared: &Shared) -> Response {
         AdminOp::ServerStats => {
             let vols = manager.list();
             let handles: Vec<_> = vols.iter().filter_map(|v| manager.get(v.id)).collect();
-            let pairs: Vec<(&str, &rae::RaeFs)> =
-                handles.iter().map(|v| (v.name.as_str(), v.fs())).collect();
+            let pairs: Vec<(&str, &rae::RaeFs, crate::volume::TenantCounters)> = handles
+                .iter()
+                .map(|v| (v.name.as_str(), v.fs(), v.tenant_counters()))
+                .collect();
             Response::Ok(Reply::Str(crate::volume::volumes_stats_json(&pairs)))
         }
         AdminOp::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
+            if !shared.shutdown.swap(true, Ordering::SeqCst) {
+                manager.telemetry().event(EventKind::ShutdownBegin, 0, 0, 0);
+            }
             Response::Ok(Reply::Unit)
         }
+        AdminOp::Scrape { json } => Response::Ok(Reply::Str(if json {
+            manager.scrape_json()
+        } else {
+            manager.scrape_prometheus()
+        })),
     }
 }
 

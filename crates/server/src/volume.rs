@@ -20,7 +20,7 @@ use rae_basefs::BaseFsConfig;
 use rae_blockdev::MemDisk;
 use rae_faults::{BugSpec, Effect, FaultRegistry, Site, Trigger};
 use rae_fsformat::{mkfs, MkfsParams};
-use rae_telemetry::{EventKind, LatencyHistogram, OpClass, Telemetry};
+use rae_telemetry::{EventKind, HistogramSummary, LatencyHistogram, OpClass, Telemetry};
 use rae_vfs::{FileSystem, FsError, FsResult, FsStatus, OpenFlags};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -59,6 +59,34 @@ impl Default for VolumeSpec {
             journal: 256,
             quota: QuotaSpec::default(),
         }
+    }
+}
+
+/// Per-tenant quota accounting, exported identically by the
+/// volume-keyed stats JSON (`stats --json`, `ServerStats`) and the
+/// `Scrape` metrics plane so the two never disagree on schema.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Operations charged against the quota.
+    pub ops_used: u64,
+    /// Data bytes charged against the quota.
+    pub bytes_used: u64,
+    /// Op budget (0 = unlimited).
+    pub max_ops: u64,
+    /// Byte budget (0 = unlimited).
+    pub max_bytes: u64,
+    /// Requests refused over quota.
+    pub quota_rejections: u64,
+}
+
+impl TenantCounters {
+    /// The `"tenant"` JSON object shared by every exporter.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ops_used\": {}, \"bytes_used\": {}, \"max_ops\": {}, \"max_bytes\": {}, \"quota_rejections\": {}}}",
+            self.ops_used, self.bytes_used, self.max_ops, self.max_bytes, self.quota_rejections
+        )
     }
 }
 
@@ -101,10 +129,28 @@ impl Volume {
         self.ops_used.load(Ordering::Relaxed)
     }
 
+    /// Data bytes charged so far.
+    #[must_use]
+    pub fn bytes_used(&self) -> u64 {
+        self.bytes_used.load(Ordering::Relaxed)
+    }
+
     /// Requests refused over quota.
     #[must_use]
     pub fn quota_rejections(&self) -> u64 {
         self.quota_rejections.load(Ordering::Relaxed)
+    }
+
+    /// This tenant's quota accounting, frozen at one instant.
+    #[must_use]
+    pub fn tenant_counters(&self) -> TenantCounters {
+        TenantCounters {
+            ops_used: self.ops_used(),
+            bytes_used: self.bytes_used(),
+            max_ops: self.quota.max_ops,
+            max_bytes: self.quota.max_bytes,
+            quota_rejections: self.quota_rejections(),
+        }
     }
 
     /// Charge one request (plus its data bytes) against the quota.
@@ -173,6 +219,10 @@ impl Volume {
             self.ops_used.load(Ordering::Relaxed),
             self.bytes_used.load(Ordering::Relaxed),
             self.quota_rejections.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "    \"tenant\": {},\n",
+            self.tenant_counters().to_json()
         ));
         out.push_str("    \"request_latency\": {\n");
         for (i, class) in OpClass::ALL.iter().enumerate() {
@@ -467,6 +517,189 @@ impl VolumeManager {
         }
     }
 
+    /// All mounted volumes ordered by id (scrape/stats iteration).
+    fn sorted_volumes(&self) -> Vec<Arc<Volume>> {
+        let mut vols: Vec<Arc<Volume>> = self.volumes.read().values().cloned().collect();
+        vols.sort_by_key(|v| v.id);
+        vols
+    }
+
+    /// Export the per-tenant metrics plane in Prometheus text
+    /// exposition format: quota accounting, server-side request
+    /// latency, RAE recovery counters, API-boundary op latency, and
+    /// the per-layer tail-latency attribution — one sample family at a
+    /// time, labelled by volume.
+    #[must_use]
+    pub fn scrape_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let vols = self.sorted_volumes();
+        let mut out = String::new();
+        let gauge = |out: &mut String, metric: &str, help: &str, rows: Vec<(String, u64)>| {
+            let _ = writeln!(out, "# HELP {metric} {help}");
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for (labels, v) in rows {
+                let _ = writeln!(out, "{metric}{{{labels}}} {v}");
+            }
+        };
+        let vlabel = |v: &Volume| format!("volume=\"{}\"", v.name);
+        gauge(
+            &mut out,
+            "rae_tenant_ops_used",
+            "Operations charged against the tenant quota.",
+            vols.iter().map(|v| (vlabel(v), v.ops_used())).collect(),
+        );
+        gauge(
+            &mut out,
+            "rae_tenant_bytes_used",
+            "Data bytes charged against the tenant quota.",
+            vols.iter().map(|v| (vlabel(v), v.bytes_used())).collect(),
+        );
+        gauge(
+            &mut out,
+            "rae_tenant_quota_rejections",
+            "Requests refused over quota.",
+            vols.iter()
+                .map(|v| (vlabel(v), v.quota_rejections()))
+                .collect(),
+        );
+        let stats: Vec<_> = vols.iter().map(|v| v.fs().stats()).collect();
+        for (metric, help, pick) in [
+            ("rae_recoveries", "Completed RAE recovery cycles.", 0usize),
+            ("rae_detected_errors", "Runtime errors detected.", 1),
+            (
+                "rae_recovery_time_ns",
+                "Total nanoseconds spent in recovery (unavailability).",
+                2,
+            ),
+            (
+                "rae_degraded",
+                "Whether the volume is running degraded (0/1).",
+                3,
+            ),
+        ] {
+            gauge(
+                &mut out,
+                metric,
+                help,
+                vols.iter()
+                    .zip(stats.iter())
+                    .map(|(v, s)| {
+                        let val = match pick {
+                            0 => s.recoveries,
+                            1 => s.detected_errors,
+                            2 => s.recovery_time_ns,
+                            _ => u64::from(s.degraded),
+                        };
+                        (vlabel(v), val)
+                    })
+                    .collect(),
+            );
+        }
+        let summary =
+            |out: &mut String, metric: &str, help: &str, rows: Vec<(String, HistogramSummary)>| {
+                let _ = writeln!(out, "# HELP {metric} {help}");
+                let _ = writeln!(out, "# TYPE {metric} summary");
+                for (labels, s) in rows {
+                    if s.count == 0 {
+                        continue;
+                    }
+                    let _ = writeln!(out, "{metric}_count{{{labels}}} {}", s.count);
+                    let _ = writeln!(out, "{metric}_sum{{{labels}}} {}", s.sum);
+                    for (q, v) in [("0.5", s.p50), ("0.99", s.p99), ("0.999", s.p999)] {
+                        let _ = writeln!(out, "{metric}{{{labels},quantile=\"{q}\"}} {v}");
+                    }
+                }
+            };
+        summary(
+            &mut out,
+            "rae_request_latency_ns",
+            "Server-side request latency (dispatch + filesystem).",
+            vols.iter()
+                .flat_map(|v| {
+                    OpClass::ALL.iter().map(move |&c| {
+                        (
+                            format!("volume=\"{}\",class=\"{}\"", v.name, c.name()),
+                            v.request_histogram(c).summary(),
+                        )
+                    })
+                })
+                .collect(),
+        );
+        let snaps: Vec<_> = vols.iter().map(|v| v.fs().telemetry().snapshot()).collect();
+        summary(
+            &mut out,
+            "rae_op_latency_ns",
+            "RAE API-boundary op latency.",
+            vols.iter()
+                .zip(snaps.iter())
+                .flat_map(|(v, snap)| {
+                    snap.ops.iter().map(move |(class, s)| {
+                        (format!("volume=\"{}\",class=\"{class}\"", v.name), *s)
+                    })
+                })
+                .collect(),
+        );
+        summary(
+            &mut out,
+            "rae_attr_ns",
+            "Per-layer latency attribution of completed ops.",
+            vols.iter()
+                .zip(snaps.iter())
+                .flat_map(|(v, snap)| {
+                    snap.attribution.iter().map(move |(layer, s)| {
+                        (format!("volume=\"{}\",layer=\"{layer}\"", v.name), *s)
+                    })
+                })
+                .collect(),
+        );
+        gauge(
+            &mut out,
+            "rae_events_dropped",
+            "Flight-recorder events lost to ring wraparound.",
+            vols.iter()
+                .zip(snaps.iter())
+                .map(|(v, snap)| (vlabel(v), snap.events_dropped))
+                .collect(),
+        );
+        out
+    }
+
+    /// Export the same per-tenant metrics plane as JSON: every
+    /// volume's tenant counters, server-side request latency, and the
+    /// full telemetry snapshot (histograms + attribution).
+    #[must_use]
+    pub fn scrape_json(&self) -> String {
+        use std::fmt::Write as _;
+        let vols = self.sorted_volumes();
+        let mut out = String::from("{\n  \"volumes\": {\n");
+        for (i, v) in vols.iter().enumerate() {
+            let _ = writeln!(out, "    \"{}\": {{", v.name);
+            let _ = writeln!(out, "      \"tenant\": {},", v.tenant_counters().to_json());
+            out.push_str("      \"request_latency\": {\n");
+            for (j, class) in OpClass::ALL.iter().enumerate() {
+                let s = v.request_histogram(*class).summary();
+                let comma = if j + 1 < OpClass::ALL.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "        \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}{comma}",
+                    class.name(),
+                    s.count,
+                    s.p50,
+                    s.p99,
+                    s.p999,
+                    s.max
+                );
+            }
+            out.push_str("      },\n");
+            let snap = v.fs().telemetry().snapshot().to_json();
+            let _ = writeln!(out, "      \"telemetry\": {}", snap.trim_end());
+            out.push_str("    }");
+            out.push_str(if i + 1 < vols.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n}");
+        out
+    }
+
     /// Take sole ownership of the volume (waiting briefly for in-flight
     /// requests to drop their `Arc`) and unmount; fall back to `sync`
     /// if another holder persists.
@@ -490,17 +723,21 @@ impl VolumeManager {
 
 /// Render the volume-keyed stats JSON shared by `raefs stats --json`
 /// (single implicit volume) and the server's `ServerStats` admin op
-/// (all tenants). Shape:
+/// (all tenants). Every volume carries its per-tenant quota/refusal
+/// counters in a `"tenant"` object — the same shape `Scrape` exports.
+/// Shape:
 ///
 /// ```json
-/// {"volumes": {"<name>": {"status": …, counters…, "standby": {…}, "degraded": …}}}
+/// {"volumes": {"<name>": {"status": …, counters…, "standby": {…}, "degraded": …, "tenant": {…}}}}
 /// ```
 #[must_use]
-pub fn volumes_stats_json(volumes: &[(&str, &RaeFs)]) -> String {
+pub fn volumes_stats_json(volumes: &[(&str, &RaeFs, TenantCounters)]) -> String {
     let mut out = String::from("{\n  \"volumes\": {\n");
-    for (i, (name, fs)) in volumes.iter().enumerate() {
+    for (i, (name, fs, tenant)) in volumes.iter().enumerate() {
         out.push_str(&format!("    \"{name}\": {{\n"));
         out.push_str(&render_volume_body_inner(fs, "      "));
+        out.truncate(out.trim_end().len());
+        out.push_str(&format!(",\n      \"tenant\": {}\n", tenant.to_json()));
         out.push_str("    }");
         out.push_str(if i + 1 < volumes.len() { ",\n" } else { "\n" });
     }
@@ -705,11 +942,81 @@ mod tests {
             .unwrap();
         let va = mgr.get(a).unwrap();
         let vb = mgr.get(b).unwrap();
-        let json = volumes_stats_json(&[("alpha", va.fs()), ("beta", vb.fs())]);
+        let json = volumes_stats_json(&[
+            ("alpha", va.fs(), va.tenant_counters()),
+            ("beta", vb.fs(), vb.tenant_counters()),
+        ]);
         assert!(json.contains("\"volumes\""), "{json}");
         assert!(json.contains("\"alpha\""), "{json}");
         assert!(json.contains("\"beta\""), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn scrape_prometheus_labels_every_volume() {
+        let (mgr, id) = manager_with_volume(QuotaSpec {
+            max_ops: 100,
+            max_bytes: 0,
+        });
+        let vol = mgr.get(id).unwrap();
+        vol.charge(1).expect("under quota");
+        vol.observe_request(OpClass::Read, 1000);
+        populate_volume(vol.fs(), 1, 64).expect("populate");
+        let text = mgr.scrape_prometheus();
+        for needle in [
+            "# TYPE rae_tenant_ops_used gauge",
+            "rae_tenant_ops_used{volume=\"t0\"} 1",
+            "# TYPE rae_request_latency_ns summary",
+            "rae_request_latency_ns_count{volume=\"t0\",class=\"read\"} 1",
+            "quantile=\"0.999\"",
+            "rae_recoveries{volume=\"t0\"} 0",
+            "# TYPE rae_attr_ns summary",
+            "rae_events_dropped{volume=\"t0\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn scrape_json_is_balanced_and_carries_tenant_counters() {
+        let (mgr, id) = manager_with_volume(QuotaSpec {
+            max_ops: 2,
+            max_bytes: 0,
+        });
+        let vol = mgr.get(id).unwrap();
+        vol.charge(1).expect("under");
+        vol.charge(1).expect("at limit");
+        assert!(vol.charge(1).is_err());
+        let json = mgr.scrape_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"volumes\"",
+            "\"t0\"",
+            "\"tenant\"",
+            "\"ops_used\": 3",
+            "\"quota_rejections\": 1",
+            "\"request_latency\"",
+            "\"telemetry\"",
+            "\"attribution\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn tenant_counters_serialize_with_the_shared_schema() {
+        let tc = TenantCounters {
+            ops_used: 1,
+            bytes_used: 2,
+            max_ops: 3,
+            max_bytes: 4,
+            quota_rejections: 5,
+        };
+        assert_eq!(
+            tc.to_json(),
+            "{\"ops_used\": 1, \"bytes_used\": 2, \"max_ops\": 3, \
+             \"max_bytes\": 4, \"quota_rejections\": 5}"
+        );
     }
 
     #[test]

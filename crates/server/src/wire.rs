@@ -18,7 +18,18 @@
 //!
 //! All integers are little-endian. Strings are `u16`-length-prefixed
 //! UTF-8; data blobs are `u32`-length-prefixed.
+//!
+//! **Protocol v2 — trace-context frame extension.** A client that has
+//! negotiated [`PROTOCOL_VERSION`] >= 2 (via [`NEGOTIATE_OPCODE`]) may
+//! set [`TRACE_FLAG`] on a request opcode; the flagged opcode is then
+//! followed by an 8-byte trace id and a 1-byte span counter before the
+//! normal v1 body ([`Request::encode_traced`] /
+//! [`Request::decode_traced`]). The flag bit never collides with a
+//! valid v1 opcode, so a v1 server rejects a flagged frame as an
+//! unknown opcode instead of misreading it — which is exactly how a
+//! new client detects an old server and falls back to untraced frames.
 
+use rae_telemetry::TraceCtx;
 use rae_vfs::{
     DirEntry, Fd, FileStat, FileType, FsError, FsGeometryInfo, FsStatus, InodeNo, OpKind,
     OpenFlags, SetAttr,
@@ -36,6 +47,23 @@ pub const ADMIN_OPCODE_BASE: u8 = 64;
 
 /// Opcode of the connectivity probe.
 pub const PING_OPCODE: u8 = 255;
+
+/// Highest protocol version this build speaks. Version 1 is the
+/// original untraced frame format; version 2 adds the [`TRACE_FLAG`]
+/// frame extension.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Opcode of the version-negotiation request ([`Request::Negotiate`]).
+/// A v1 server rejects it as an unknown opcode, which tells a v2
+/// client to stay on the v1 frame format.
+pub const NEGOTIATE_OPCODE: u8 = 254;
+
+/// Opcode flag bit marking a traced frame: `opcode | TRACE_FLAG`
+/// followed by a `u64` trace id and a `u8` span counter, then the
+/// unmodified v1 body. Valid v1 opcodes never carry this bit
+/// ([`PING_OPCODE`] and [`NEGOTIATE_OPCODE`] are matched before the
+/// flag is tested).
+pub const TRACE_FLAG: u8 = 0x80;
 
 /// A malformed body: which field failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -432,6 +460,13 @@ pub enum AdminOp {
     ServerStats,
     /// Ask the server to begin a graceful shutdown.
     Shutdown,
+    /// Export the per-tenant metrics plane: every volume's telemetry
+    /// snapshot plus server-wide counters, as Prometheus text format
+    /// (`json = false`) or JSON (`json = true`).
+    Scrape {
+        /// Response format: Prometheus text exposition or JSON.
+        json: bool,
+    },
 }
 
 impl AdminOp {
@@ -446,6 +481,7 @@ impl AdminOp {
                 AdminOp::ForceRecover { .. } => 5,
                 AdminOp::ServerStats => 6,
                 AdminOp::Shutdown => 7,
+                AdminOp::Scrape { .. } => 8,
             }
     }
 }
@@ -464,6 +500,15 @@ pub enum Request {
     Admin(AdminOp),
     /// Connectivity probe.
     Ping,
+    /// Protocol version negotiation (v2+): the client offers the
+    /// highest version it speaks, the server answers
+    /// [`Reply::Version`] with the version to use. Only
+    /// [`Request::decode_traced`] accepts it — a v1 server's
+    /// [`Request::decode`] rejects the opcode, signalling "old server".
+    Negotiate {
+        /// Highest protocol version the client speaks.
+        version: u32,
+    },
 }
 
 impl Request {
@@ -473,6 +518,10 @@ impl Request {
         let mut out = Vec::with_capacity(32);
         match self {
             Request::Ping => out.push(PING_OPCODE),
+            Request::Negotiate { version } => {
+                out.push(NEGOTIATE_OPCODE);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
             Request::Fs { volume, op } => {
                 out.push(op.kind().code());
                 out.extend_from_slice(&volume.to_le_bytes());
@@ -558,6 +607,7 @@ impl Request {
                         out.push(*effect);
                         out.extend_from_slice(&nth.to_le_bytes());
                     }
+                    AdminOp::Scrape { json } => out.push(u8::from(*json)),
                     AdminOp::ListVolumes | AdminOp::ServerStats | AdminOp::Shutdown => {}
                 }
             }
@@ -607,6 +657,13 @@ impl Request {
                 },
                 6 => AdminOp::ServerStats,
                 7 => AdminOp::Shutdown,
+                8 => AdminOp::Scrape {
+                    json: match c.u8("scrape.format")? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(DecodeError("scrape.format")),
+                    },
+                },
                 _ => return Err(DecodeError("unknown admin opcode")),
             };
             c.done("admin trailing bytes")?;
@@ -693,6 +750,61 @@ impl Request {
         c.done("fs trailing bytes")?;
         Ok(Request::Fs { volume, op })
     }
+
+    /// Encode into a frame body, attaching `ctx` as the v2 trace
+    /// extension. With `ctx = None` (or for the control frames `Ping`
+    /// and `Negotiate`, which carry no trace) this is exactly
+    /// [`Request::encode`]. Only send traced frames to a server that
+    /// negotiated [`PROTOCOL_VERSION`] >= 2.
+    #[must_use]
+    pub fn encode_traced(&self, ctx: Option<TraceCtx>) -> Vec<u8> {
+        let body = self.encode();
+        let Some(ctx) = ctx else {
+            return body;
+        };
+        if matches!(self, Request::Ping | Request::Negotiate { .. }) {
+            return body;
+        }
+        let mut out = Vec::with_capacity(body.len() + 9);
+        out.push(body[0] | TRACE_FLAG);
+        out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+        out.push(ctx.span);
+        out.extend_from_slice(&body[1..]);
+        out
+    }
+
+    /// Decode a frame body accepting both v1 frames and the v2 trace
+    /// extension (the *new-server* decoder; [`Request::decode`] is the
+    /// v1-only decoder an old server effectively runs).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] as [`Request::decode`], plus truncated trace
+    /// prefixes and malformed negotiation frames.
+    pub fn decode_traced(body: &[u8]) -> Result<(Request, Option<TraceCtx>), DecodeError> {
+        let Some(&opcode) = body.first() else {
+            return Err(DecodeError("empty frame"));
+        };
+        if opcode == NEGOTIATE_OPCODE {
+            let mut c = Cursor::new(body);
+            let _ = c.u8("opcode")?;
+            let version = c.u32("negotiate.version")?;
+            c.done("negotiate trailing bytes")?;
+            return Ok((Request::Negotiate { version }, None));
+        }
+        if opcode == PING_OPCODE || opcode & TRACE_FLAG == 0 {
+            return Ok((Request::decode(body)?, None));
+        }
+        if body.len() < 10 {
+            return Err(DecodeError("traced frame truncated"));
+        }
+        let trace_id = u64::from_le_bytes(body[1..9].try_into().expect("8 bytes checked"));
+        let span = body[9];
+        let mut v1 = Vec::with_capacity(body.len() - 9);
+        v1.push(opcode & !TRACE_FLAG);
+        v1.extend_from_slice(&body[10..]);
+        Ok((Request::decode(&v1)?, Some(TraceCtx { trace_id, span })))
+    }
 }
 
 fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
@@ -756,6 +868,9 @@ pub enum Reply {
     BugId(u32),
     /// A volume status code (force-recover, unmount).
     Status(u8),
+    /// The negotiated protocol version (answer to
+    /// [`Request::Negotiate`]).
+    Version(u32),
 }
 
 const REPLY_UNIT: u8 = 0;
@@ -771,6 +886,7 @@ const REPLY_VOLUME_ID: u8 = 9;
 const REPLY_VOLUMES: u8 = 10;
 const REPLY_BUG_ID: u8 = 11;
 const REPLY_STATUS: u8 = 12;
+const REPLY_VERSION: u8 = 13;
 
 fn put_stat(out: &mut Vec<u8>, st: &FileStat) {
     out.extend_from_slice(&st.ino.0.to_le_bytes());
@@ -1012,6 +1128,10 @@ impl Response {
                         out.push(REPLY_STATUS);
                         out.push(*s);
                     }
+                    Reply::Version(v) => {
+                        out.push(REPLY_VERSION);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
                 }
             }
             Response::Err(e) => {
@@ -1101,6 +1221,7 @@ impl Response {
                     }
                     REPLY_BUG_ID => Reply::BugId(c.u32("reply.bug_id")?),
                     REPLY_STATUS => Reply::Status(c.u8("reply.status")?),
+                    REPLY_VERSION => Reply::Version(c.u32("reply.version")?),
                     _ => return Err(DecodeError("unknown reply tag")),
                 };
                 Response::Ok(reply)
@@ -1285,6 +1406,8 @@ mod tests {
             AdminOp::ForceRecover { volume: 0 },
             AdminOp::ServerStats,
             AdminOp::Shutdown,
+            AdminOp::Scrape { json: false },
+            AdminOp::Scrape { json: true },
         ];
         for op in ops {
             let req = Request::Admin(op);
@@ -1333,6 +1456,7 @@ mod tests {
             }]),
             Reply::BugId(9001),
             Reply::Status(2),
+            Reply::Version(2),
         ];
         for r in replies {
             let resp = Response::Ok(r);
@@ -1456,5 +1580,96 @@ mod tests {
             assert_eq!(effect_code(e), code);
         }
         assert_eq!(effect_from_code(5), None);
+    }
+
+    #[test]
+    fn traced_frames_round_trip_with_and_without_context() {
+        let req = Request::Fs {
+            volume: 3,
+            op: FsOp::Write {
+                fd: Fd(7),
+                offset: 4096,
+                data: vec![1, 2, 3],
+            },
+        };
+        let ctx = TraceCtx {
+            trace_id: 0xdead_beef_cafe,
+            span: 2,
+        };
+        let body = req.encode_traced(Some(ctx));
+        assert_eq!(body[0] & TRACE_FLAG, TRACE_FLAG, "opcode carries the flag");
+        assert_eq!(
+            Request::decode_traced(&body).expect("traced decode"),
+            (req.clone(), Some(ctx))
+        );
+        // without a context the traced encoder emits a plain v1 frame
+        let plain = req.encode_traced(None);
+        assert_eq!(plain, req.encode());
+        assert_eq!(
+            Request::decode_traced(&plain).expect("v1 via traced decoder"),
+            (req, None)
+        );
+        // control frames never carry the extension even with a context
+        let ping = Request::Ping.encode_traced(Some(ctx));
+        assert_eq!(ping, Request::Ping.encode());
+    }
+
+    #[test]
+    fn old_server_rejects_v2_frames_cleanly() {
+        // an old (v1) server runs Request::decode; both the negotiation
+        // probe and a flagged frame must fail as unknown opcodes rather
+        // than be misread as some other request
+        let hello = Request::Negotiate {
+            version: PROTOCOL_VERSION,
+        }
+        .encode();
+        assert!(Request::decode(&hello).is_err(), "v1 rejects negotiate");
+        let traced = Request::Fs {
+            volume: 0,
+            op: FsOp::Sync,
+        }
+        .encode_traced(Some(TraceCtx::new(9)));
+        assert!(Request::decode(&traced).is_err(), "v1 rejects traced frame");
+    }
+
+    #[test]
+    fn new_server_accepts_old_client_frames() {
+        // an old (v1) client encodes without the extension; the new
+        // server's decode_traced must accept every such frame verbatim
+        let ops = vec![
+            Request::Ping,
+            Request::Fs {
+                volume: 1,
+                op: FsOp::Stat { path: "/f".into() },
+            },
+            Request::Admin(AdminOp::ListVolumes),
+            Request::Admin(AdminOp::Scrape { json: true }),
+        ];
+        for req in ops {
+            let (decoded, ctx) = Request::decode_traced(&req.encode()).expect("decode");
+            assert_eq!(decoded, req);
+            assert_eq!(ctx, None, "v1 frame carries no trace");
+        }
+        // and the negotiation handshake itself round-trips
+        let hello = Request::Negotiate { version: 7 }.encode();
+        assert_eq!(
+            Request::decode_traced(&hello).expect("negotiate"),
+            (Request::Negotiate { version: 7 }, None)
+        );
+    }
+
+    #[test]
+    fn truncated_trace_prefix_is_rejected() {
+        let body = Request::Fs {
+            volume: 0,
+            op: FsOp::Sync,
+        }
+        .encode_traced(Some(TraceCtx::new(1)));
+        for cut in 1..10.min(body.len()) {
+            assert!(
+                Request::decode_traced(&body[..cut]).is_err(),
+                "cut={cut} accepted"
+            );
+        }
     }
 }

@@ -3,7 +3,8 @@
 //! wedge) on arbitrary and on deliberately corrupted bytes.
 
 use proptest::prelude::*;
-use rae_server::wire::{FsOp, Reply, Request, Response, ServerError};
+use rae_server::wire::{FsOp, Reply, Request, Response, ServerError, TRACE_FLAG};
+use rae_telemetry::TraceCtx;
 use rae_vfs::{DirEntry, Fd, FileStat, FileType, FsError, InodeNo, OpenFlags, SetAttr};
 
 fn any_flags() -> impl Strategy<Value = OpenFlags> {
@@ -200,6 +201,39 @@ proptest! {
             if let Ok(decoded) = Request::decode(&body[..cut]) {
                 prop_assert_ne!(decoded, req, "truncation produced the original");
             }
+        }
+    }
+
+    /// Every request round-trips bit-exactly through the v2 trace
+    /// extension, with and without a context attached.
+    #[test]
+    fn traced_request_round_trip(
+        volume in 0u32..64,
+        op in any_fs_op(),
+        trace_id in any::<u64>(),
+        span in any::<u8>(),
+        with_ctx in any::<bool>(),
+    ) {
+        let req = Request::Fs { volume, op };
+        let ctx = with_ctx.then_some(TraceCtx { trace_id, span });
+        let body = req.encode_traced(ctx);
+        prop_assert_eq!(Request::decode_traced(&body), Ok((req.clone(), ctx)));
+        if with_ctx {
+            prop_assert_eq!(body[0] & TRACE_FLAG, TRACE_FLAG);
+            // an old server must reject, never misread, a traced frame
+            prop_assert!(Request::decode(&body).is_err());
+        } else {
+            prop_assert_eq!(body, req.encode());
+        }
+    }
+
+    /// The traced decoder is total on arbitrary bytes: anything it
+    /// accepts must re-encode to an equivalent frame (no panic).
+    #[test]
+    fn traced_decoder_is_total(body in proptest::collection::vec(any::<u8>(), 0..128)) {
+        if let Ok((req, ctx)) = Request::decode_traced(&body) {
+            let re = req.encode_traced(ctx);
+            prop_assert_eq!(Request::decode_traced(&re), Ok((req, ctx)));
         }
     }
 

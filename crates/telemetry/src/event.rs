@@ -1,6 +1,6 @@
 //! The flight-recorder event vocabulary.
 //!
-//! Events are recorded as six `u64` words (see [`crate::ring`]); this
+//! Events are recorded as seven `u64` words (see [`crate::ring`]); this
 //! module gives the words meaning: an [`EventKind`] code plus three
 //! kind-specific payload words, and the decoding/rendering used by the
 //! post-incident timeline.
@@ -32,6 +32,11 @@ use std::fmt::Write as _;
 /// | `VolumeMounted` | volume id | 0 | 0 |
 /// | `VolumeUnmounted` | volume id | clean (1) / dirty (0) | 0 |
 /// | `ServerShutdown` | connections drained | volumes unmounted | 0 |
+/// | `ConnAccepted` | connection id | queued for worker (1) / refused (0) | 0 |
+/// | `ConnClosed` | requests served | close reason (0 eof, 1 transport error, 2 shutdown, 3 bad frame) | 0 |
+/// | `QuotaRefused` | volume id | ops used | bytes used |
+/// | `ShutdownBegin` | source (0 admin op, 1 signal/local) | 0 | 0 |
+/// | `SlowOp` | op class code | duration ns | timing (1 sampled, 0 deep-layer lower bound) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
     /// A device-level fault fired (injected by the fault harness).
@@ -74,11 +79,26 @@ pub enum EventKind {
     VolumeUnmounted,
     /// The server completed a graceful shutdown.
     ServerShutdown,
+    /// The accept loop took a connection off the listener (before any
+    /// worker picked it up — pairs with `ConnClosed`).
+    ConnAccepted,
+    /// A connection's request loop ended, with its close reason.
+    ConnClosed,
+    /// The server refused a request over quota, with the tenant's
+    /// budget position (richer server-layer companion to
+    /// `QuotaExceeded`).
+    QuotaRefused,
+    /// Graceful shutdown was requested (drain begins; `ServerShutdown`
+    /// marks its completion).
+    ShutdownBegin,
+    /// An op exceeded the slow-op threshold (always recorded, sampler
+    /// bypassed).
+    SlowOp,
 }
 
 impl EventKind {
     /// All kinds, in code order.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::FaultInjected,
         EventKind::ErrorDetected,
         EventKind::PanicCaught,
@@ -99,6 +119,11 @@ impl EventKind {
         EventKind::VolumeMounted,
         EventKind::VolumeUnmounted,
         EventKind::ServerShutdown,
+        EventKind::ConnAccepted,
+        EventKind::ConnClosed,
+        EventKind::QuotaRefused,
+        EventKind::ShutdownBegin,
+        EventKind::SlowOp,
     ];
 
     /// Stable wire code.
@@ -138,6 +163,11 @@ impl EventKind {
             EventKind::VolumeMounted => "volume_mounted",
             EventKind::VolumeUnmounted => "volume_unmounted",
             EventKind::ServerShutdown => "server_shutdown",
+            EventKind::ConnAccepted => "conn_accepted",
+            EventKind::ConnClosed => "conn_closed",
+            EventKind::QuotaRefused => "quota_refused",
+            EventKind::ShutdownBegin => "shutdown_begin",
+            EventKind::SlowOp => "slow_op",
         }
     }
 }
@@ -205,6 +235,8 @@ pub struct Event {
     pub b: u64,
     /// Third payload word.
     pub c: u64,
+    /// Trace id of the request that recorded the event (0 = untraced).
+    pub trace_id: u64,
 }
 
 impl Event {
@@ -218,6 +250,7 @@ impl Event {
             a: raw.a,
             b: raw.b,
             c: raw.c,
+            trace_id: raw.trace,
         })
     }
 
@@ -290,6 +323,37 @@ impl Event {
             EventKind::ServerShutdown => {
                 format!("server shut down: drained {a} connection(s), unmounted {b} volume(s)")
             }
+            EventKind::ConnAccepted => format!(
+                "connection accepted: conn={a}{}",
+                if b == 0 { " (refused at the door)" } else { "" }
+            ),
+            EventKind::ConnClosed => format!(
+                "connection closed: requests={a} reason={}",
+                match b {
+                    0 => "eof",
+                    1 => "transport_error",
+                    2 => "shutdown",
+                    3 => "bad_frame",
+                    _ => "?",
+                }
+            ),
+            EventKind::QuotaRefused => {
+                format!("quota refused: volume={a} ops_used={b} bytes_used={c}")
+            }
+            EventKind::ShutdownBegin => format!(
+                "shutdown begun: source={}",
+                if a == 0 { "admin_op" } else { "local" }
+            ),
+            EventKind::SlowOp => format!(
+                "slow op: {} took {:.2}ms ({})",
+                crate::OpClass::name_of(a),
+                b as f64 / 1e6,
+                if c == 1 {
+                    "timed"
+                } else {
+                    "deep-layer lower bound"
+                }
+            ),
         }
     }
 }
@@ -349,6 +413,36 @@ pub fn render_timeline(events: &[Event], dropped: u64) -> String {
     out
 }
 
+/// Render one request's cross-layer story: every retained event
+/// stamped with `trace_id`, in recording order, timestamps relative to
+/// the request's first event. Unlike [`render_timeline`] this never
+/// narrows to an incident — a trace *is* the narrowing.
+#[must_use]
+pub fn render_trace_timeline(events: &[Event], dropped: u64, trace_id: u64) -> String {
+    let window: Vec<&Event> = events.iter().filter(|e| e.trace_id == trace_id).collect();
+    if window.is_empty() {
+        return format!(
+            "no retained events for trace {trace_id}{}\n",
+            if dropped > 0 {
+                format!(" ({dropped} lost to wraparound)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    let t0 = window[0].ts_ns;
+    let mut out = format!("trace {trace_id}: {} event(s)\n", window.len());
+    for e in window {
+        let _ = writeln!(
+            out,
+            "{:>12.3}ms  {}",
+            (e.ts_ns - t0) as f64 / 1e6,
+            e.describe()
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +456,79 @@ mod tests {
     }
 
     #[test]
+    fn server_layer_codes_are_appended_not_renumbered() {
+        // the ring stores codes, not names: appending keeps old
+        // recordings decodable
+        assert_eq!(EventKind::ServerShutdown.code(), 19);
+        assert_eq!(EventKind::ConnAccepted.code(), 20);
+        assert_eq!(EventKind::ConnClosed.code(), 21);
+        assert_eq!(EventKind::QuotaRefused.code(), 22);
+        assert_eq!(EventKind::ShutdownBegin.code(), 23);
+        assert_eq!(EventKind::SlowOp.code(), 24);
+    }
+
+    #[test]
+    fn server_layer_event_schemas_render() {
+        let mk = |kind, a, b, c| Event {
+            ticket: 0,
+            ts_ns: 0,
+            kind,
+            a,
+            b,
+            c,
+            trace_id: 0,
+        };
+        let cases = [
+            (mk(EventKind::ConnAccepted, 7, 1, 0), vec!["conn=7"]),
+            (
+                mk(EventKind::ConnClosed, 12, 2, 0),
+                vec!["requests=12", "reason=shutdown"],
+            ),
+            (
+                mk(EventKind::QuotaRefused, 3, 100, 4096),
+                vec!["volume=3", "ops_used=100", "bytes_used=4096"],
+            ),
+            (mk(EventKind::ShutdownBegin, 0, 0, 0), vec!["admin_op"]),
+            (
+                mk(EventKind::SlowOp, 0, 12_000_000, 1),
+                vec!["slow op: read", "12.00ms", "timed"],
+            ),
+        ];
+        for (event, needles) in cases {
+            let line = event.describe();
+            for needle in needles {
+                assert!(line.contains(needle), "{:?}: {line}", event.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_timeline_filters_by_trace_id() {
+        let mk = |ticket: u64, ts: u64, kind: EventKind, trace_id: u64| Event {
+            ticket,
+            ts_ns: ts,
+            kind,
+            a: 1,
+            b: 0,
+            c: 0,
+            trace_id,
+        };
+        let events = vec![
+            mk(0, 0, EventKind::ErrorDetected, 5),
+            mk(1, 10, EventKind::RecoveryStarted, 5),
+            mk(2, 20, EventKind::StandbyLag, 0),
+            mk(3, 30, EventKind::RecoveryDone, 5),
+            mk(4, 40, EventKind::ErrorDetected, 9),
+        ];
+        let out = render_trace_timeline(&events, 0, 5);
+        assert!(out.contains("trace 5: 3 event(s)"), "{out}");
+        assert!(out.contains("recovery done"), "{out}");
+        assert!(!out.contains("standby lag"), "{out}");
+        let missing = render_trace_timeline(&events, 2, 123);
+        assert!(missing.contains("no retained events"), "{missing}");
+    }
+
+    #[test]
     fn timeline_focuses_on_last_incident() {
         let mk = |ticket: u64, ts: u64, kind: EventKind| Event {
             ticket,
@@ -370,6 +537,7 @@ mod tests {
             a: 1,
             b: 0,
             c: 0,
+            trace_id: 0,
         };
         let events = vec![
             mk(0, 0, EventKind::StandbyLag),

@@ -25,15 +25,21 @@ mod event;
 mod hist;
 mod ring;
 mod snapshot;
+mod trace;
 
 pub use event::{
-    dev_op_name, fault_class_name, render_timeline, rung_name, trigger_name, Event, EventKind,
+    dev_op_name, fault_class_name, render_timeline, render_trace_timeline, rung_name, trigger_name,
+    Event, EventKind,
 };
-pub use hist::{HistogramSummary, LatencyHistogram, NUM_BUCKETS};
+pub use hist::{HistDump, HistogramSummary, LatencyHistogram, NUM_BUCKETS};
 pub use ring::{EventRing, RawEvent};
 pub use snapshot::TelemetrySnapshot;
+pub use trace::{
+    clear_current_trace, current_trace, set_current_trace, span_add, span_begin, span_mark,
+    span_take, SpanLayer, TraceCtx, SPAN_LAYERS,
+};
 
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -137,13 +143,28 @@ pub const DEFAULT_RING_CAPACITY: usize = 4096;
 
 /// Latency-sampling rate for API-boundary ops: [`Telemetry::op_clock`]
 /// times one op in this many per thread (must be a power of two).
-pub const OP_SAMPLE: u64 = 8;
+pub const OP_SAMPLE: u64 = 16;
+
+/// Default slow-op threshold: any op at or above this duration is
+/// recorded even when the 1-in-[`OP_SAMPLE`] sampler skipped it, and
+/// emits a [`EventKind::SlowOp`] event. Zero disables the bypass.
+pub const DEFAULT_SLOW_OP_THRESHOLD_NS: u64 = 10_000_000;
 
 thread_local! {
     /// Per-thread op tick driving the 1-in-[`OP_SAMPLE`] latency
     /// sampling — thread-local so the hot path pays no shared
     /// read-modify-write for the sampling decision itself.
     static OP_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// An in-flight layer measurement from [`Telemetry::layer_clock`]:
+/// the wall-clock start plus the open span's accumulated total at that
+/// moment, so [`Telemetry::layer_observed`] can subtract nested-layer
+/// time and deposit only this layer's exclusive share.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerClock {
+    t0: Instant,
+    inner0: u64,
 }
 
 /// The shared telemetry handle: one per mount, `Arc`-cloned into every
@@ -160,6 +181,13 @@ pub struct Telemetry {
     commit_stall: LatencyHistogram,
     /// Group-commit batch sizes — raw op counts, not nanoseconds.
     commit_batch: LatencyHistogram,
+    lock_wait: LatencyHistogram,
+    /// Per-layer attribution: for each completed op whose end-to-end
+    /// latency was recorded, the nanoseconds each [`SpanLayer`]
+    /// contributed (the `other` slot is the remainder, so the six
+    /// sums add up to the recorded end-to-end sums by construction).
+    attr_hist: [LatencyHistogram; SPAN_LAYERS],
+    slow_op_threshold_ns: AtomicU64,
     ring: EventRing,
 }
 
@@ -197,6 +225,9 @@ impl Telemetry {
             cache_fill: LatencyHistogram::new(),
             commit_stall: LatencyHistogram::new(),
             commit_batch: LatencyHistogram::new(),
+            lock_wait: LatencyHistogram::new(),
+            attr_hist: std::array::from_fn(|_| LatencyHistogram::new()),
+            slow_op_threshold_ns: AtomicU64::new(DEFAULT_SLOW_OP_THRESHOLD_NS),
             ring: EventRing::new(ring_capacity),
         }
     }
@@ -235,7 +266,7 @@ impl Telemetry {
     /// [`OP_SAMPLE`] per thread and returns `None` for the rest (the
     /// matching [`Telemetry::op_observed`] still counts those exactly).
     /// Sub-microsecond cache-hit ops can't afford two clock reads each;
-    /// quantiles from a 1-in-8 subset are statistically equivalent
+    /// quantiles from a 1-in-16 subset are statistically equivalent
     /// while the amortized cost drops below the op itself.
     #[must_use]
     pub fn op_clock(&self) -> Option<Instant> {
@@ -272,10 +303,130 @@ impl Telemetry {
         }
     }
 
-    /// Record a device-I/O latency sample in nanoseconds.
+    /// The slow-op threshold in nanoseconds (0 = bypass disabled).
+    #[must_use]
+    pub fn slow_op_threshold_ns(&self) -> u64 {
+        self.slow_op_threshold_ns.load(Relaxed)
+    }
+
+    /// Set the slow-op threshold: ops at or above it are recorded even
+    /// when the sampler skipped them, and emit [`EventKind::SlowOp`].
+    pub fn set_slow_op_threshold_ns(&self, ns: u64) {
+        self.slow_op_threshold_ns.store(ns, Relaxed);
+    }
+
+    /// Open this thread's attribution span for an op that is starting
+    /// (the API boundary calls this right after its clock so the
+    /// instrumented layers below can deposit their elapsed time).
+    pub fn op_span_begin(&self) {
+        if self.enabled() {
+            trace::span_begin();
+        }
+    }
+
+    /// Finish an API-boundary op: close the span, record the
+    /// end-to-end latency (timed ops always; unsampled ops when the
+    /// deep-layer time alone crosses the slow-op threshold — a
+    /// conservative lower bound, so a tail op the sampler skipped is
+    /// never lost), feed the attribution histograms, and emit a
+    /// [`EventKind::SlowOp`] event over the threshold.
+    pub fn op_finish(&self, class: OpClass, started: Option<Instant>) {
+        if !self.enabled() {
+            // a span opened before a runtime disable still needs
+            // clearing, or it would leak into the thread's next op
+            let _ = trace::span_take();
+            return;
+        }
+        let acc = trace::span_take();
+        let threshold = self.slow_op_threshold_ns();
+        let h = &self.op_hist[class.code() as usize];
+        match started {
+            Some(t0) => {
+                let total = t0.elapsed().as_nanos() as u64;
+                h.record(total);
+                if let Some(acc) = acc {
+                    self.record_attribution(total, &acc);
+                }
+                if threshold > 0 && total >= threshold {
+                    self.event(EventKind::SlowOp, class.code(), total, 1);
+                }
+            }
+            None => {
+                let deep: u64 = acc.map_or(0, |a| a.iter().sum());
+                if h.observe(deep, false, threshold) {
+                    if let Some(acc) = acc {
+                        self.record_attribution(deep, &acc);
+                    }
+                    self.event(EventKind::SlowOp, class.code(), deep, 0);
+                }
+            }
+        }
+    }
+
+    /// Feed one completed op's span vector into the attribution
+    /// histograms; whatever the instrumented layers did not claim is
+    /// attributed to `other`.
+    fn record_attribution(&self, total_ns: u64, acc: &[u64; SPAN_LAYERS]) {
+        let other_slot = SpanLayer::Other.code();
+        let mut claimed = 0u64;
+        for (i, &ns) in acc.iter().enumerate() {
+            if i != other_slot {
+                claimed = claimed.saturating_add(ns);
+                // zero-valued layers are skipped: the sum invariant is
+                // untouched and the fast path saves ~5 histogram writes
+                // per sampled op (cache-hit reads touch no layer)
+                if ns > 0 {
+                    self.attr_hist[i].record(ns);
+                }
+            }
+        }
+        self.attr_hist[other_slot].record(total_ns.saturating_sub(claimed));
+    }
+
+    /// Start a layer measurement for span attribution: wall-clock
+    /// start plus the span's accumulated total (so nested layers can
+    /// be excluded at [`Telemetry::layer_observed`] time). `None` when
+    /// disabled.
+    #[must_use]
+    pub fn layer_clock(&self) -> Option<LayerClock> {
+        if self.enabled() {
+            Some(LayerClock {
+                t0: Instant::now(),
+                inner0: trace::span_mark(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Finish a layer measurement: records the layer's histogram and
+    /// adds the *exclusive* elapsed time (total minus whatever inner
+    /// layers deposited meanwhile) to the open span. Returns the total
+    /// elapsed nanoseconds (0 when the clock was off).
+    pub fn layer_observed(&self, layer: SpanLayer, started: Option<LayerClock>) -> u64 {
+        let Some(clock) = started else {
+            return 0;
+        };
+        let ns = clock.t0.elapsed().as_nanos() as u64;
+        match layer {
+            SpanLayer::LockWait => self.lock_wait.record(ns),
+            SpanLayer::CommitStall => self.commit_stall.record(ns),
+            SpanLayer::JournalIo => self.journal_commit.record(ns),
+            SpanLayer::CacheFill => self.cache_fill.record(ns),
+            SpanLayer::Device | SpanLayer::Other => {}
+        }
+        let inner_during = trace::span_mark().saturating_sub(clock.inner0);
+        trace::span_add(layer, ns.saturating_sub(inner_during));
+        ns
+    }
+
+    /// Record a device-I/O latency sample in nanoseconds. Device time
+    /// is the innermost attribution layer, so it is also deposited
+    /// into the open span (if any) without exclusion.
     pub fn record_dev_ns(&self, op: DevOp, recovery_phase: bool, ns: u64) {
         if self.enabled() {
             self.dev_hist[op.code() as usize][usize::from(recovery_phase)].record(ns);
+            trace::span_add(SpanLayer::Device, ns);
         }
     }
 
@@ -317,10 +468,12 @@ impl Telemetry {
         }
     }
 
-    /// Record a flight-recorder event (timestamped now).
+    /// Record a flight-recorder event (timestamped now, stamped with
+    /// this thread's current trace id).
     pub fn event(&self, kind: EventKind, a: u64, b: u64, c: u64) {
         if self.enabled() {
-            self.ring.record(self.now_ns(), kind.code(), a, b, c);
+            self.ring
+                .record(self.now_ns(), kind.code(), a, b, c, trace::current_trace());
         }
     }
 
@@ -342,6 +495,18 @@ impl Telemetry {
     #[must_use]
     pub fn dev_histogram(&self, op: DevOp, recovery_phase: bool) -> &LatencyHistogram {
         &self.dev_hist[op.code() as usize][usize::from(recovery_phase)]
+    }
+
+    /// Histogram of stripe-lock wait times.
+    #[must_use]
+    pub fn lock_wait_histogram(&self) -> &LatencyHistogram {
+        &self.lock_wait
+    }
+
+    /// Attribution histogram for one span layer.
+    #[must_use]
+    pub fn attr_histogram(&self, layer: SpanLayer) -> &LatencyHistogram {
+        &self.attr_hist[layer.code()]
     }
 
     /// Point-in-time summary of every histogram plus flight-recorder
@@ -371,6 +536,11 @@ impl Telemetry {
             cache_fill: self.cache_fill.summary(),
             commit_stall: self.commit_stall.summary(),
             commit_batch: self.commit_batch.summary(),
+            lock_wait: self.lock_wait.summary(),
+            attribution: SpanLayer::ALL
+                .iter()
+                .map(|&l| (l.name(), self.attr_histogram(l).summary()))
+                .collect(),
             events_recorded: self.ring.recorded(),
             events_dropped: self.ring.dropped(),
         }
@@ -436,5 +606,93 @@ mod tests {
         );
         assert_eq!(snap.journal_commit.count, 1);
         assert_eq!(snap.cache_fill.count, 1);
+    }
+
+    #[test]
+    fn op_finish_attributes_timed_ops() {
+        let t = Telemetry::new();
+        let t0 = t.clock();
+        t.op_span_begin();
+        t.record_dev_ns(DevOp::Read, false, 1_000);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        t.op_finish(OpClass::Read, t0);
+        assert_eq!(t.op_histogram(OpClass::Read).count(), 1);
+        assert_eq!(t.attr_histogram(SpanLayer::Device).count(), 1);
+        assert_eq!(t.attr_histogram(SpanLayer::Device).sum(), 1_000);
+        // the remainder (sleep + overhead) lands in `other`, so the
+        // six layer sums add up to the recorded end-to-end sum
+        let e2e = t.op_histogram(OpClass::Read).sum();
+        let layered: u64 = SpanLayer::ALL
+            .iter()
+            .map(|&l| t.attr_histogram(l).sum())
+            .sum();
+        assert_eq!(layered, e2e);
+        assert!(t.attr_histogram(SpanLayer::Other).sum() >= 900_000);
+    }
+
+    #[test]
+    fn op_finish_unsampled_slow_op_is_captured_from_deep_layers() {
+        let t = Telemetry::new();
+        t.set_slow_op_threshold_ns(1_000_000);
+        // unsampled op (no Instant), but its device time alone crosses
+        // the threshold — recorded as a lower bound plus a SlowOp event
+        t.op_span_begin();
+        t.record_dev_ns(DevOp::Read, false, 5_000_000);
+        t.op_finish(OpClass::Read, None);
+        let h = t.op_histogram(OpClass::Read);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.samples(), 1);
+        assert_eq!(h.sum(), 5_000_000);
+        let (events, _) = t.timeline();
+        let slow: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SlowOp)
+            .collect();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].a, OpClass::Read.code());
+        assert_eq!(slow[0].b, 5_000_000);
+        assert_eq!(slow[0].c, 0, "deep-layer lower bound, not timed");
+    }
+
+    #[test]
+    fn op_finish_unsampled_fast_op_only_notes() {
+        let t = Telemetry::new();
+        t.op_span_begin();
+        t.record_dev_ns(DevOp::Read, false, 500);
+        t.op_finish(OpClass::Read, None);
+        let h = t.op_histogram(OpClass::Read);
+        assert_eq!(h.count(), 1, "exact count still bumped");
+        assert_eq!(h.samples(), 0, "fast unsampled op stays unbucketed");
+        assert_eq!(t.timeline().0.len(), 0);
+    }
+
+    #[test]
+    fn layer_observed_excludes_nested_layers() {
+        let t = Telemetry::new();
+        t.op_span_begin();
+        let outer = t.layer_clock();
+        // a device read nested inside the cache fill
+        t.record_dev_ns(DevOp::Read, false, 10_000_000);
+        let total = t.layer_observed(SpanLayer::CacheFill, outer);
+        let acc = trace::span_take().expect("span open");
+        assert_eq!(acc[SpanLayer::Device.code()], 10_000_000);
+        // the fill's exclusive share excludes the nested device time
+        assert_eq!(
+            acc[SpanLayer::CacheFill.code()],
+            total.saturating_sub(10_000_000)
+        );
+        assert_eq!(t.cache_fill.count(), 1);
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_current_trace() {
+        let t = Telemetry::new();
+        set_current_trace(77);
+        t.event(EventKind::Degraded, 1, 2, 3);
+        clear_current_trace();
+        t.event(EventKind::RecoveryDone, 0, 0, 0);
+        let (events, _) = t.timeline();
+        assert_eq!(events[0].trace_id, 77);
+        assert_eq!(events[1].trace_id, 0);
     }
 }

@@ -1,7 +1,7 @@
 //! The flight recorder: a fixed-capacity concurrent event ring.
 //!
-//! Writers claim a ticket with one `fetch_add` and publish six `u64`
-//! words into the slot the ticket maps to under a per-slot seqlock —
+//! Writers claim a ticket with one `fetch_add` and publish seven
+//! `u64` words into the slot the ticket maps to under a per-slot seqlock —
 //! no locks, no allocation, wait-free for writers. Old events are
 //! overwritten once the ring wraps; the drained timeline reports how
 //! many were lost. Readers validate the per-slot sequence before and
@@ -22,7 +22,7 @@
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 
 /// One drained ring entry: the global ticket (total order of recording)
-/// plus the six payload words the writer published.
+/// plus the payload words the writer published.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RawEvent {
     /// Monotone ticket assigned at record time (0-based).
@@ -37,6 +37,8 @@ pub struct RawEvent {
     pub b: u64,
     /// Third payload word.
     pub c: u64,
+    /// Trace id of the request that recorded the event (0 = untraced).
+    pub trace: u64,
 }
 
 struct Slot {
@@ -51,6 +53,7 @@ struct Slot {
     a: AtomicU64,
     b: AtomicU64,
     c: AtomicU64,
+    trace: AtomicU64,
 }
 
 impl Slot {
@@ -63,6 +66,7 @@ impl Slot {
             a: AtomicU64::new(0),
             b: AtomicU64::new(0),
             c: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
         }
     }
 }
@@ -112,7 +116,7 @@ impl EventRing {
     }
 
     /// Record one event. Wait-free; returns the ticket.
-    pub fn record(&self, ts_ns: u64, code: u64, a: u64, b: u64, c: u64) -> u64 {
+    pub fn record(&self, ts_ns: u64, code: u64, a: u64, b: u64, c: u64, trace: u64) -> u64 {
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
         // Only writers a whole lap apart can share a slot; rather than
@@ -143,6 +147,7 @@ impl EventRing {
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
         slot.c.store(c, Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
         slot.seq.store(2 * ticket + 2, Ordering::Release);
         slot.busy.store(false, Ordering::Release);
         ticket
@@ -166,6 +171,7 @@ impl EventRing {
                 a: slot.a.load(Ordering::Relaxed),
                 b: slot.b.load(Ordering::Relaxed),
                 c: slot.c.load(Ordering::Relaxed),
+                trace: slot.trace.load(Ordering::Relaxed),
             };
             // Validate: the payload loads must complete before the
             // re-check (acquire fence), and the sequence must not have
@@ -188,7 +194,7 @@ mod tests {
     fn records_in_order_without_wrap() {
         let ring = EventRing::new(8);
         for i in 0..5u64 {
-            ring.record(i * 10, i, i, 0, 0);
+            ring.record(i * 10, i, i, 0, 0, i + 100);
         }
         let (events, dropped) = ring.snapshot();
         assert_eq!(dropped, 0);
@@ -196,6 +202,7 @@ mod tests {
         for (i, e) in events.iter().enumerate() {
             assert_eq!(e.ticket, i as u64);
             assert_eq!(e.code, i as u64);
+            assert_eq!(e.trace, i as u64 + 100);
         }
     }
 
@@ -203,7 +210,7 @@ mod tests {
     fn wraparound_keeps_newest() {
         let ring = EventRing::new(4);
         for i in 0..10u64 {
-            ring.record(i, i, 0, 0, 0);
+            ring.record(i, i, 0, 0, 0, 0);
         }
         let (events, dropped) = ring.snapshot();
         assert_eq!(dropped, 6);

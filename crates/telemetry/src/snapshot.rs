@@ -22,6 +22,13 @@ pub struct TelemetrySnapshot {
     pub commit_stall: HistogramSummary,
     /// Group-commit batch sizes (raw op counts, not nanoseconds).
     pub commit_batch: HistogramSummary,
+    /// Stripe-lock wait durations.
+    pub lock_wait: HistogramSummary,
+    /// Per-layer latency attribution, in [`crate::SpanLayer`] order:
+    /// for each completed op whose end-to-end latency was recorded, the
+    /// nanoseconds each layer contributed (the `other` row is the
+    /// remainder, so the rows sum to the end-to-end sums).
+    pub attribution: Vec<(&'static str, HistogramSummary)>,
     /// Flight-recorder events ever recorded.
     pub events_recorded: u64,
     /// Flight-recorder events lost to wraparound.
@@ -80,6 +87,17 @@ impl TelemetrySnapshot {
             "  \"commit_batch\": {},",
             summary_json(&self.commit_batch)
         );
+        let _ = writeln!(json, "  \"lock_wait\": {},", summary_json(&self.lock_wait));
+        json.push_str("  \"attribution\": {\n");
+        for (i, (name, s)) in self.attribution.iter().enumerate() {
+            let comma = if i + 1 < self.attribution.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(json, "    \"{name}\": {}{comma}", summary_json(s));
+        }
+        json.push_str("  },\n");
         let _ = writeln!(
             json,
             "  \"events\": {{\"recorded\": {}, \"dropped\": {}}}",
@@ -132,6 +150,10 @@ impl TelemetrySnapshot {
         row("journal_commit", &self.journal_commit);
         row("cache_fill", &self.cache_fill);
         row("commit_stall", &self.commit_stall);
+        row("lock_wait", &self.lock_wait);
+        for (name, s) in &self.attribution {
+            row(&format!("attr/{name}"), s);
+        }
         // Batch sizes are raw counts, not latencies — render without
         // the ns→µs conversion the shared row closure applies.
         if self.commit_batch.count > 0 {

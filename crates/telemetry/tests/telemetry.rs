@@ -104,7 +104,7 @@ fn ring_wraparound_and_order_under_concurrent_writers() {
             thread::spawn(move || {
                 for i in 0..PER_THREAD {
                     // self-checking payload: c must equal a ^ b
-                    ring.record(i, 0, t, i, t ^ i);
+                    ring.record(i, 0, t, i, t ^ i, 0);
                 }
             })
         })
@@ -152,7 +152,7 @@ fn colliding_writers_never_tear_a_slot() {
             let ring = Arc::clone(&ring);
             thread::spawn(move || {
                 for i in 0..PER_THREAD {
-                    ring.record(i, 0, t, i, t ^ i);
+                    ring.record(i, 0, t, i, t ^ i, 0);
                     let (events, _) = ring.snapshot();
                     for e in events {
                         assert_eq!(e.c, e.a ^ e.b, "torn mid-flight: {e:?}");
@@ -180,7 +180,7 @@ fn ring_snapshot_tolerates_live_writers() {
             let ring = Arc::clone(&ring);
             thread::spawn(move || {
                 for i in 0..10_000 {
-                    ring.record(i, 0, t, i, t ^ i);
+                    ring.record(i, 0, t, i, t ^ i, 0);
                 }
             })
         })

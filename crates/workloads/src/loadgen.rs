@@ -14,6 +14,7 @@
 //! after it ([`unavailability_window`]).
 
 use rae_server::{Client, ClientError};
+use rae_telemetry::TraceCtx;
 use rae_vfs::Fd;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +52,11 @@ pub struct LoadGenConfig {
     pub read_size: usize,
     /// RNG seed; per-connection streams derive deterministically.
     pub seed: u64,
+    /// Stamp a fresh v2 trace context on every operation (after
+    /// per-connection version negotiation; a v1 server silently gets
+    /// plain frames). Trace ids are deterministic:
+    /// `(connection+1) << 40 | op-sequence`.
+    pub trace: bool,
 }
 
 impl Default for LoadGenConfig {
@@ -67,6 +73,7 @@ impl Default for LoadGenConfig {
             file_size: 16 * 1024,
             read_size: 1024,
             seed: 0x10AD,
+            trace: false,
         }
     }
 }
@@ -380,7 +387,11 @@ pub fn start_load(
     // of inside worker threads
     let mut clients = Vec::with_capacity(cfg.connections);
     for _ in 0..cfg.connections {
-        clients.push(Client::connect(cfg.addr.as_str())?);
+        let mut client = Client::connect(cfg.addr.as_str())?;
+        if cfg.trace {
+            client.negotiate()?;
+        }
+        clients.push(client);
     }
 
     let started = Instant::now();
@@ -445,6 +456,7 @@ fn connection_stream(
     let mut samples = Vec::with_capacity(cpc * cfg.ops_per_client);
     let span = cfg.file_size.saturating_sub(cfg.read_size).max(1) as u64;
     let mut broken = false;
+    let mut op_seq: u64 = 0;
     for round in 0..cfg.ops_per_client {
         for (c, rng) in rngs.iter_mut().enumerate() {
             let vol_idx = (conn_idx * cpc + c) % cfg.volumes.len().max(1);
@@ -453,6 +465,13 @@ fn connection_stream(
             let fd = fds[vol_idx][file];
             let off = rng.gen_range(0..span);
             let roll = rng.gen_range(0..100u32);
+            if cfg.trace {
+                op_seq += 1;
+                client.set_trace(Some(TraceCtx {
+                    trace_id: ((conn_idx as u64 + 1) << 40) | op_seq,
+                    span: 0,
+                }));
+            }
             let t0 = Instant::now();
             let result: Result<(), ClientError> = if broken {
                 // connection died earlier this stream; report the rest
@@ -465,6 +484,10 @@ fn connection_stream(
                 client.readdir(volume, "/data").map(|_| ())
             } else if roll >= 93 {
                 client.stat(volume, &volume_file_path(file)).map(|_| ())
+            } else if roll >= 91 {
+                // a small fsync fraction keeps the journal/commit path
+                // exercised so attribution layers beyond the cache show up
+                client.fsync(volume, fd).map(|_| ())
             } else {
                 client
                     .read(volume, fd, off, cfg.read_size as u32)
@@ -480,7 +503,12 @@ fn connection_stream(
                     // try one reconnect; if that fails the stream is done
                     if !broken {
                         match Client::connect(cfg.addr.as_str()) {
-                            Ok(fresh) => client = fresh,
+                            Ok(mut fresh) => {
+                                if cfg.trace && fresh.negotiate().is_err() {
+                                    broken = true;
+                                }
+                                client = fresh;
+                            }
                             Err(_) => broken = true,
                         }
                     }

@@ -212,6 +212,83 @@ fn counters_bumped_inside_failing_rungs_stay_visible() {
 }
 
 #[test]
+fn trace_ids_cross_every_layer_and_filter_the_timeline() {
+    let faults = FaultRegistry::new();
+    faults.arm(BugSpec::new(
+        41,
+        "traced-bug",
+        Site::DirModify,
+        Trigger::PathContains("traced".into()),
+        Effect::DetectedError,
+    ));
+    faults.arm(BugSpec::new(
+        42,
+        "ambient-bug",
+        Site::DirModify,
+        Trigger::PathContains("ambient".into()),
+        Effect::DetectedError,
+    ));
+    let fs = setup(faults);
+
+    // one traced request whose masked fault drives the full incident
+    // pipeline, bracketed by an identical *untraced* incident
+    fs.mkdir("/ambient-boom").unwrap();
+    rae_telemetry::set_current_trace(42);
+    fs.mkdir("/traced-boom").unwrap();
+    rae_telemetry::clear_current_trace();
+
+    let (events, dropped) = fs.telemetry().timeline();
+    let traced: Vec<_> = events.iter().filter(|e| e.trace_id == 42).collect();
+    assert!(
+        traced.iter().any(|e| e.kind == EventKind::ErrorDetected),
+        "detection stamped with the request trace"
+    );
+    assert!(
+        traced.iter().any(|e| e.kind == EventKind::RecoveryDone),
+        "recovery completion stamped with the request trace"
+    );
+    // events caused by other requests never leak into the trace
+    assert!(events.iter().any(|e| e.trace_id == 0));
+
+    let rendered = rae_telemetry::render_trace_timeline(&events, dropped, 42);
+    assert!(rendered.starts_with("trace 42:"), "{rendered}");
+    assert!(rendered.contains("error detected"), "{rendered}");
+    assert!(rendered.contains("recovery done"), "{rendered}");
+    let empty = rae_telemetry::render_trace_timeline(&events, dropped, 9999);
+    assert!(
+        empty.contains("no retained events for trace 9999"),
+        "{empty}"
+    );
+}
+
+#[test]
+fn attribution_vectors_cover_the_mutation_path() {
+    let fs = setup(FaultRegistry::new());
+    let fd = fs.open("/f", OpenFlags::RDWR | OpenFlags::CREATE).unwrap();
+    for i in 0..32u64 {
+        fs.write(fd, i * 512, &[i as u8; 512]).unwrap();
+    }
+    fs.fsync(fd).unwrap();
+    fs.close(fd).unwrap();
+
+    let snap = fs.telemetry().snapshot();
+    // every mutation is always-timed, so the attribution plane has the
+    // same order of samples as the op histograms
+    let attr_total: u64 = snap.attribution.iter().map(|(_, s)| s.count).sum();
+    assert!(attr_total > 0, "attribution recorded: {snap:?}");
+    let journal = snap
+        .attribution
+        .iter()
+        .find(|(name, _)| *name == "journal_io")
+        .map(|(_, s)| s.count)
+        .unwrap_or(0);
+    assert!(journal > 0, "journal layer attributed: {snap:?}");
+    // the rendered snapshot carries the attr rows for `top`
+    let table = snap.render_table();
+    assert!(table.contains("attr/"), "{table}");
+}
+
+#[test]
 fn standby_audit_totals_survive_teardown() {
     let faults = FaultRegistry::new();
     faults.arm(BugSpec::new(
